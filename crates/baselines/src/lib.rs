@@ -1,0 +1,24 @@
+//! Baseline collectors the paper compares SVAGC against.
+//!
+//! * [`parallelgc`] — HotSpot's throughput collector: parallel
+//!   work-stealing mark-compact with byte-copy relocation.
+//! * [`shenandoah`] — the pause-oriented region collector whose copy phase
+//!   lacks work stealing/parallelism (the paper's §V-A explanation for its
+//!   poor Full-GC latency); also available with SwapVA-accelerated
+//!   evacuation (Table I row 3).
+//! * [`los`] — the Large-Object-Space organization the paper's intro
+//!   argues against: non-moving free-list LOS with fragmentation and
+//!   "eventual compactions", measurable against SVAGC.
+//!
+//! Both pair with heaps built via `HeapConfig::with_alignment(false)` —
+//! baseline JVMs do not page-align large objects.
+
+#![warn(missing_docs)]
+
+pub mod los;
+pub mod parallelgc;
+pub mod shenandoah;
+
+pub use los::{LosCollector, LosHeap, LosStats};
+pub use parallelgc::ParallelGc;
+pub use shenandoah::Shenandoah;

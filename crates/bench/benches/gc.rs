@@ -1,0 +1,93 @@
+//! Criterion benches of whole GC cycles: SVAGC vs the memmove variant vs
+//! the baselines on a populated heap, plus the work-stealing vs static
+//! compaction ablation (the mechanism behind the Shenandoah gap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use svagc_core::{GcConfig, Lisp2Collector};
+use svagc_heap::{Heap, HeapConfig, ObjShape, RootSet};
+use svagc_kernel::{CoreId, Kernel};
+use svagc_metrics::MachineConfig;
+use svagc_vmem::Asid;
+
+/// Build a fresh populated heap: mixed small/large objects, half garbage.
+fn populated(aligned: bool) -> (Kernel, Heap, RootSet) {
+    let mut k = Kernel::with_bytes(MachineConfig::xeon_gold_6130(), 96 << 20);
+    let mut h = Heap::new(
+        &mut k,
+        Asid(1),
+        HeapConfig::new(64 << 20).with_alignment(aligned),
+    )
+    .unwrap();
+    let mut roots = RootSet::new();
+    for i in 0..400u64 {
+        let shape = if i % 4 == 0 {
+            ObjShape::data_bytes(256 << 10)
+        } else {
+            ObjShape::data_bytes(3 << 10)
+        };
+        let (obj, _) = h.alloc(&mut k, CoreId(0), shape).unwrap();
+        if i % 2 == 0 {
+            roots.push(obj);
+        }
+    }
+    (k, h, roots)
+}
+
+fn bench_full_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_gc");
+    group.sample_size(20);
+    let configs: [(&str, GcConfig, bool); 4] = [
+        ("svagc", GcConfig::svagc(8), true),
+        ("lisp2_memmove", GcConfig::lisp2_memmove(8), true),
+        ("parallelgc_like", GcConfig::lisp2_memmove(8).with_pinned(false), false),
+        (
+            "shenandoah_like",
+            GcConfig::lisp2_memmove(8)
+                .with_pinned(false)
+                .with_compact_threads(Some(1)),
+            false,
+        ),
+    ];
+    for (name, cfg, aligned) in configs {
+        group.bench_function(name, |bch| {
+            bch.iter_batched(
+                || {
+                    let (k, h, r) = populated(aligned);
+                    (k, h, r, Lisp2Collector::new(cfg))
+                },
+                |(mut k, mut h, mut r, mut gc)| {
+                    black_box(gc.collect(&mut k, &mut h, &mut r).unwrap())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction_scheduling(c: &mut Criterion) {
+    // Work stealing vs static partitioning of the compaction phase.
+    let mut group = c.benchmark_group("compaction_scheduling");
+    group.sample_size(20);
+    for (name, stealing) in [("work_stealing", true), ("static_partition", false)] {
+        let cfg = GcConfig::lisp2_memmove(8).with_stealing(stealing);
+        group.bench_function(name, |bch| {
+            bch.iter_batched(
+                || {
+                    let (k, h, r) = populated(false);
+                    (k, h, r, Lisp2Collector::new(cfg))
+                },
+                |(mut k, mut h, mut r, mut gc)| {
+                    let stats = gc.collect(&mut k, &mut h, &mut r).unwrap();
+                    black_box(stats.phases.compact)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_gc, bench_compaction_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Criterion benches of the SwapVA kernels themselves (host wall time of
+//! the real algorithms over simulated memory): swap vs memmove across
+//! object sizes, request aggregation, PMD caching, and the Algorithm 2
+//! overlap rotation. These confirm on real hardware the *shapes* the
+//! simulated-time figures report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use svagc_kernel::{CoreId, FlushMode, Kernel, SwapRequest, SwapVaOptions};
+use svagc_metrics::MachineConfig;
+use svagc_vmem::{AddressSpace, Asid, VirtAddr};
+
+fn setup(pages: u64) -> (Kernel, AddressSpace, VirtAddr, VirtAddr) {
+    let mut k = Kernel::new(MachineConfig::xeon_gold_6130(), (2 * pages + 64) as u32);
+    let mut s = AddressSpace::new(Asid(1));
+    let a = k.vmem.alloc_region(&mut s, pages).unwrap();
+    let b = k.vmem.alloc_region(&mut s, pages).unwrap();
+    (k, s, a, b)
+}
+
+fn bench_swap_vs_memmove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swapva_vs_memmove");
+    for pages in [1u64, 10, 64, 256] {
+        group.throughput(Throughput::Bytes(pages * 4096));
+        group.bench_with_input(BenchmarkId::new("swapva", pages), &pages, |bch, &p| {
+            let (mut k, mut s, a, b) = setup(p);
+            let req = SwapRequest { a, b, pages: p };
+            bch.iter(|| {
+                k.swap_va(&mut s, CoreId(0), black_box(req), SwapVaOptions::pinned())
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("memmove", pages), &pages, |bch, &p| {
+            let (mut k, s, a, b) = setup(p);
+            bch.iter(|| k.memmove(&s, CoreId(0), black_box(a), b, p * 4096).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    let requests = 64u64;
+    let pages = 2u64;
+    let build = || {
+        let mut k = Kernel::new(
+            MachineConfig::i5_7600(),
+            (2 * requests * pages + 64) as u32,
+        );
+        let mut s = AddressSpace::new(Asid(1));
+        let reqs: Vec<SwapRequest> = (0..requests)
+            .map(|_| {
+                let a = k.vmem.alloc_region(&mut s, pages).unwrap();
+                let b = k.vmem.alloc_region(&mut s, pages).unwrap();
+                SwapRequest { a, b, pages }
+            })
+            .collect();
+        (k, s, reqs)
+    };
+    group.bench_function("separated_64x2p", |bch| {
+        let (mut k, mut s, reqs) = build();
+        let opts = SwapVaOptions::pinned();
+        bch.iter(|| {
+            for r in &reqs {
+                k.swap_va(&mut s, CoreId(0), *r, opts).unwrap();
+            }
+        });
+    });
+    group.bench_function("aggregated_64x2p", |bch| {
+        let (mut k, mut s, reqs) = build();
+        let opts = SwapVaOptions::pinned();
+        bch.iter(|| k.swap_va_batch(&mut s, CoreId(0), &reqs, opts).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_pmd_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmd_cache");
+    for (name, on) in [("cached", true), ("uncached", false)] {
+        group.bench_function(name, |bch| {
+            let (mut k, mut s, a, b) = setup(256);
+            let req = SwapRequest { a, b, pages: 256 };
+            let opts = SwapVaOptions {
+                pmd_cache: on,
+                overlap_opt: true,
+                flush: FlushMode::LocalOnly,
+            };
+            bch.iter(|| k.swap_va(&mut s, CoreId(0), black_box(req), opts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap_rotation");
+    // 64-page object sliding down 16 pages: rotation (n+delta writes)
+    // vs an equivalent disjoint swap (2n writes).
+    group.bench_function("overlapping_64p_by_16", |bch| {
+        let mut k = Kernel::new(MachineConfig::xeon_gold_6130(), 256);
+        let mut s = AddressSpace::new(Asid(1));
+        let w = k.vmem.alloc_region(&mut s, 80).unwrap();
+        let req = SwapRequest {
+            a: w,
+            b: w.add_pages(16),
+            pages: 64,
+        };
+        bch.iter(|| {
+            k.swap_va(&mut s, CoreId(0), black_box(req), SwapVaOptions::pinned())
+                .unwrap()
+        });
+    });
+    group.bench_function("disjoint_64p", |bch| {
+        let (mut k, mut s, a, b) = setup(64);
+        let req = SwapRequest { a, b, pages: 64 };
+        bch.iter(|| {
+            k.swap_va(&mut s, CoreId(0), black_box(req), SwapVaOptions::pinned())
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_swap_vs_memmove,
+    bench_aggregation,
+    bench_pmd_cache,
+    bench_overlap
+);
+criterion_main!(benches);

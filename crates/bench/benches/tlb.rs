@@ -1,0 +1,76 @@
+//! Criterion benches of the TLB shootdown machinery: flush policies and
+//! the functional TLB's lookup/flush hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use svagc_kernel::{CoreId, FlushMode, Kernel, SwapRequest, SwapVaOptions};
+use svagc_metrics::MachineConfig;
+use svagc_vmem::{AddressSpace, Asid, FrameId, Tlb, TlbConfig};
+
+fn bench_flush_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shootdown_policy");
+    for (name, flush) in [
+        ("global_per_call", FlushMode::GlobalBroadcast),
+        ("local_only", FlushMode::LocalOnly),
+    ] {
+        group.bench_function(name, |bch| {
+            let mut k = Kernel::new(MachineConfig::xeon_gold_6130(), 512);
+            let mut s = AddressSpace::new(Asid(1));
+            let a = k.vmem.alloc_region(&mut s, 16).unwrap();
+            let b = k.vmem.alloc_region(&mut s, 16).unwrap();
+            let req = SwapRequest { a, b, pages: 16 };
+            let opts = SwapVaOptions {
+                pmd_cache: true,
+                overlap_opt: true,
+                flush,
+            };
+            bch.iter(|| k.swap_va(&mut s, CoreId(0), black_box(req), opts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_tlb_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb");
+    group.bench_function("lookup_hit", |bch| {
+        let mut t = Tlb::new(TlbConfig::skylake());
+        t.insert(Asid(1), 7, FrameId(3));
+        bch.iter(|| black_box(t.lookup(Asid(1), black_box(7))));
+    });
+    group.bench_function("miss_insert_cycle", |bch| {
+        let mut t = Tlb::new(TlbConfig::skylake());
+        let mut vpn = 0u64;
+        bch.iter(|| {
+            vpn = vpn.wrapping_add(97);
+            let (hit, _) = t.lookup(Asid(1), vpn);
+            t.insert(Asid(1), vpn, FrameId(vpn as u32));
+            black_box(hit)
+        });
+    });
+    for entries in [64usize, 1536] {
+        group.bench_with_input(
+            BenchmarkId::new("flush_asid_resident", entries),
+            &entries,
+            |bch, &n| {
+                bch.iter_batched(
+                    || {
+                        let mut t = Tlb::new(TlbConfig::skylake());
+                        for vpn in 0..n as u64 {
+                            t.insert(Asid(1), vpn, FrameId(vpn as u32));
+                        }
+                        t
+                    },
+                    |mut t| {
+                        t.flush_asid(Asid(1));
+                        black_box(t)
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flush_policies, bench_tlb_ops);
+criterion_main!(benches);

@@ -1,0 +1,434 @@
+//! Ablations of the design choices DESIGN.md §5 calls out: the swapping
+//! threshold, aggregation batch size, flush policy, compaction
+//! work-stealing, and SwapVA in the Minor GC (Table I row 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use svagc_baselines::{LosCollector, LosHeap};
+use svagc_core::{GcConfig, Lisp2Collector, MinorConfig, MinorGc};
+use svagc_heap::{GenHeap, Heap, HeapConfig, HeapError, ObjRef, ObjShape, RootSet};
+use svagc_kernel::{CoreId, Kernel};
+use svagc_metrics::{Cycles, MachineConfig};
+use svagc_vmem::{Asid, PAGE_SIZE};
+
+const CORE: CoreId = CoreId(0);
+
+/// Build a heap populated with `count` objects of `obj_pages` pages each,
+/// half garbage, ready to compact.
+fn populated(
+    obj_pages: u64,
+    count: u64,
+    threshold: u64,
+) -> (Kernel, Heap, RootSet) {
+    let heap_bytes = (count + 4) * (obj_pages + 2) * PAGE_SIZE;
+    let mut k = Kernel::with_bytes(MachineConfig::xeon_gold_6130(), heap_bytes + (16 << 20));
+    let mut h = Heap::new(
+        &mut k,
+        Asid(1),
+        HeapConfig::new(heap_bytes).with_threshold(threshold),
+    )
+    .unwrap();
+    let mut roots = RootSet::new();
+    let shape = ObjShape::data_bytes(obj_pages * PAGE_SIZE - 16);
+    for i in 0..count {
+        let (obj, _) = h.alloc(&mut k, CORE, shape).unwrap();
+        if i % 2 == 0 {
+            roots.push(obj);
+        }
+    }
+    (k, h, roots)
+}
+
+fn one_gc(k: &mut Kernel, h: &mut Heap, r: &mut RootSet, cfg: GcConfig) -> Cycles {
+    let mut gc = Lisp2Collector::new(cfg);
+    gc.collect(k, h, r).unwrap().pause()
+}
+
+/// One row of the threshold ablation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ThresholdAblationRow {
+    /// `Threshold_Swapping` in pages.
+    pub threshold_pages: u64,
+    /// Full-GC pause (µs) on a 16-page-object heap.
+    pub pause_us: f64,
+    /// Objects moved via SwapVA.
+    pub swapped: u64,
+}
+
+/// Sweep the MoveObject threshold on a heap of 16-page objects: too low
+/// and sub-break-even swaps lose to cache-resident copies; too high and
+/// nothing swaps at all.
+pub fn threshold_ablation() -> Vec<ThresholdAblationRow> {
+    let machine = MachineConfig::xeon_gold_6130();
+    [1u64, 2, 4, 7, 10, 16, 17, 32]
+        .iter()
+        .map(|&t| {
+            let (mut k, mut h, mut r) = populated(16, 120, t);
+            let pause = one_gc(&mut k, &mut h, &mut r, GcConfig::svagc(8));
+            ThresholdAblationRow {
+                threshold_pages: t,
+                pause_us: machine.time(pause).as_micros(),
+                swapped: k.perf.objects_swapped,
+            }
+        })
+        .collect()
+}
+
+/// One row of the aggregation ablation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct AggregationAblationRow {
+    /// Batch size (`0` = separated calls).
+    pub batch: usize,
+    /// Full-GC pause (µs).
+    pub pause_us: f64,
+    /// Syscalls issued.
+    pub syscalls: u64,
+}
+
+/// Sweep the aggregation batch size on a heap of exactly-threshold (10
+/// page) objects, where syscall amortization matters most.
+pub fn aggregation_ablation() -> Vec<AggregationAblationRow> {
+    let machine = MachineConfig::xeon_gold_6130();
+    [0usize, 1, 4, 16, 64]
+        .iter()
+        .map(|&b| {
+            let (mut k, mut h, mut r) = populated(10, 160, 10);
+            let cfg = GcConfig::svagc(8).with_aggregation((b > 0).then_some(b));
+            let pause = one_gc(&mut k, &mut h, &mut r, cfg);
+            AggregationAblationRow {
+                batch: b,
+                pause_us: machine.time(pause).as_micros(),
+                syscalls: k.perf.syscalls,
+            }
+        })
+        .collect()
+}
+
+/// One row of the flush-policy / stealing / pmd ablations.
+#[derive(Debug, Clone, Serialize)]
+pub struct ToggleAblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Full-GC pause (µs).
+    pub pause_us: f64,
+    /// IPIs sent.
+    pub ipis: u64,
+}
+
+/// Compare Algorithm 4's pinned protocol vs per-call global shootdowns,
+/// with PMD caching and work stealing toggled alongside.
+pub fn mechanism_ablation() -> Vec<ToggleAblationRow> {
+    let machine = MachineConfig::xeon_gold_6130();
+    let variants: [(&str, GcConfig); 5] = [
+        ("svagc (all on)", GcConfig::svagc(8)),
+        ("naive flush", GcConfig::svagc_naive_flush(8)),
+        ("no pmd cache", GcConfig::svagc(8).with_pmd_cache(false)),
+        ("no stealing", GcConfig::svagc(8).with_stealing(false)),
+        ("serial compact", GcConfig::svagc(8).with_compact_threads(Some(1))),
+    ];
+    variants
+        .iter()
+        .map(|(name, cfg)| {
+            let (mut k, mut h, mut r) = populated(64, 60, 10);
+            let pause = one_gc(&mut k, &mut h, &mut r, *cfg);
+            ToggleAblationRow {
+                variant: name.to_string(),
+                pause_us: machine.time(pause).as_micros(),
+                ipis: k.perf.ipis_sent,
+            }
+        })
+        .collect()
+}
+
+/// One row of the minor-GC (Table I row 2) ablation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MinorAblationRow {
+    /// Survivor object size in pages.
+    pub obj_pages: u64,
+    /// Scavenge pause with memmove promotion (µs).
+    pub memmove_us: f64,
+    /// Scavenge pause with SwapVA+aggregation promotion (µs).
+    pub swapva_us: f64,
+}
+
+/// Scavenge a nursery of `N` survivors per object size, promoting by
+/// memmove vs SwapVA.
+pub fn minor_gc_ablation() -> Vec<MinorAblationRow> {
+    let machine = MachineConfig::xeon_gold_6130();
+    [2u64, 6, 10, 16, 32, 64]
+        .iter()
+        .map(|&pages| {
+            let run = |cfg: MinorConfig| {
+                let mut k =
+                    Kernel::with_bytes(MachineConfig::xeon_gold_6130(), 512 << 20);
+                let mut gh =
+                    GenHeap::new(&mut k, Asid(1), 256 << 20, 96 << 20, 10).unwrap();
+                let mut roots = RootSet::new();
+                let shape = ObjShape::data_bytes(pages * PAGE_SIZE - 16);
+                for i in 0..120u64 {
+                    let (obj, _) = gh.alloc_young(&mut k, CORE, shape).unwrap();
+                    if i % 2 == 0 {
+                        roots.push(obj);
+                    }
+                }
+                let mut gc = MinorGc::new(cfg);
+                gc.collect(&mut k, &mut gh, &mut roots).unwrap().pause
+            };
+            MinorAblationRow {
+                obj_pages: pages,
+                memmove_us: machine.time(run(MinorConfig::memmove(8))).as_micros(),
+                swapva_us: machine.time(run(MinorConfig::svagc(8))).as_micros(),
+            }
+        })
+        .collect()
+}
+
+/// Result of the LOS-vs-SVAGC comparison (the intro's critique,
+/// quantified).
+#[derive(Debug, Clone, Serialize)]
+pub struct LosComparisonRow {
+    /// Heap organization under test.
+    pub design: String,
+    /// Full collections run.
+    pub gcs: usize,
+    /// Emergency LOS compactions (0 for SVAGC by construction).
+    pub los_compactions: u64,
+    /// Total GC time (µs), LOS compactions included.
+    pub total_gc_us: f64,
+    /// Worst single pause (µs).
+    pub max_pause_us: f64,
+    /// Final LOS external fragmentation (unusable fraction of free space).
+    pub fragmentation: f64,
+}
+
+/// Run the same variable-size large-object churn against (a) SVAGC's
+/// unified heap and (b) the classic non-moving LOS design, at the paper's
+/// tight 1.2x-minimum occupancy. Each live slot alternates between two
+/// sizes, so freed holes never match the next request exactly — the
+/// first-fit LOS fragments until allocations fail and force serial
+/// compactions ("increased maintenance costs and eventual compactions",
+/// paper introduction), while SVAGC just swaps pages every cycle.
+pub fn los_comparison() -> Vec<LosComparisonRow> {
+    const STEPS: usize = 600;
+    const LIVE: usize = 24;
+    let machine = MachineConfig::xeon_gold_6130();
+
+    // Per-slot size pairs (pages): the slot alternates between them.
+    let mut rng = StdRng::seed_from_u64(97);
+    let slots_spec: Vec<(u64, u64)> = (0..LIVE)
+        .map(|_| {
+            let base = rng.gen_range(10u64..48);
+            (base, base + rng.gen_range(2u64..12))
+        })
+        .collect();
+    let live_max: u64 = slots_spec.iter().map(|&(_, hi)| hi * PAGE_SIZE).sum();
+    // Every 50 steps a transient jumbo buffer (an RDD shuffle block, a
+    // network snapshot) needs a large *contiguous* range — the request
+    // class that defeats a fragmented free list.
+    let jumbo = ObjShape::data_bytes(live_max / 4);
+    // Tight budget: enough for the live set + the jumbo + 5% slack — the
+    // jumbo only fits if the free space is (made) contiguous.
+    let budget = live_max + jumbo.size_bytes() + live_max / 20;
+    let shape_for = |spec: (u64, u64), phase: usize| {
+        let pages = if phase.is_multiple_of(2) { spec.0 } else { spec.1 };
+        ObjShape::data_bytes(pages * PAGE_SIZE - 16)
+    };
+
+    // --- (a) SVAGC: large objects live in the ordinary compacted heap ---
+    let svagc_row = {
+        let mut k = Kernel::with_bytes(machine.clone(), budget + (32 << 20));
+        let mut h = Heap::new(&mut k, Asid(1), HeapConfig::new(budget + (1 << 20))).unwrap();
+        let mut roots = RootSet::new();
+        let mut gc = Lisp2Collector::new(GcConfig::svagc(8));
+        let mut slots: Vec<svagc_heap::RootId> = Vec::new();
+        let mut max_pause = Cycles::ZERO;
+        for step in 0..STEPS {
+            let slot = step % LIVE;
+            let shape = shape_for(slots_spec[slot], step / LIVE);
+            if slots.len() > slot {
+                roots.set(slots[slot], ObjRef::NULL);
+            }
+            let obj = loop {
+                match h.alloc(&mut k, CoreId(0), shape) {
+                    Ok((o, _)) => break o,
+                    Err(HeapError::NeedGc { .. }) => {
+                        let s = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+                        max_pause = max_pause.max(s.pause());
+                    }
+                    Err(e) => panic!("{e}"),
+                }
+            };
+            if slots.len() > slot {
+                roots.set(slots[slot], obj);
+            } else {
+                slots.push(roots.push(obj));
+            }
+            if step % 50 == 49 {
+                // Transient jumbo (dropped immediately).
+                loop {
+                    match h.alloc(&mut k, CoreId(0), jumbo) {
+                        Ok(_) => break,
+                        Err(HeapError::NeedGc { .. }) => {
+                            let s = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+                            max_pause = max_pause.max(s.pause());
+                        }
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+            }
+        }
+        LosComparisonRow {
+            design: "SVAGC (unified heap)".into(),
+            gcs: gc.log.count(),
+            los_compactions: 0,
+            total_gc_us: machine.time(gc.log.total_pause()).as_micros(),
+            max_pause_us: machine.time(max_pause).as_micros(),
+            fragmentation: 0.0,
+        }
+    };
+
+    // --- (b) classic LOS: non-moving free list + emergency compaction ---
+    let los_row = {
+        let mut k = Kernel::with_bytes(machine.clone(), budget + (32 << 20));
+        // Same total budget: the LOS gets the full large-object budget
+        // plus the same 1 MiB sliver of small space SVAGC's heap includes.
+        let mut h = LosHeap::new(&mut k, Asid(1), 1 << 20, budget, 10).unwrap();
+        let mut roots = RootSet::new();
+        let mut gc = LosCollector::new(8);
+        let mut slots: Vec<svagc_heap::RootId> = Vec::new();
+        let mut max_pause = Cycles::ZERO;
+        for step in 0..STEPS {
+            let slot = step % LIVE;
+            let shape = shape_for(slots_spec[slot], step / LIVE);
+            if slots.len() > slot {
+                roots.set(slots[slot], ObjRef::NULL);
+            }
+            let before = h.stats.compaction_cycles;
+            let obj = gc.alloc_with_gc(&mut k, &mut h, &mut roots, shape).unwrap();
+            let compaction_delta = h.stats.compaction_cycles - before;
+            if compaction_delta.get() > 0 {
+                max_pause = max_pause.max(compaction_delta);
+            }
+            if slots.len() > slot {
+                roots.set(slots[slot], obj);
+            } else {
+                slots.push(roots.push(obj));
+            }
+            if step % 50 == 49 {
+                let before = h.stats.compaction_cycles;
+                gc.alloc_with_gc(&mut k, &mut h, &mut roots, jumbo).unwrap();
+                let delta = h.stats.compaction_cycles - before;
+                if delta.get() > 0 {
+                    max_pause = max_pause.max(delta);
+                }
+            }
+        }
+        for s in &gc.log {
+            max_pause = max_pause.max(s.pause());
+        }
+        let total = gc
+            .log
+            .iter()
+            .map(|s| s.pause())
+            .fold(Cycles::ZERO, |a, b| a + b)
+            + h.stats.compaction_cycles;
+        LosComparisonRow {
+            design: "Large Object Space".into(),
+            gcs: gc.log.len(),
+            los_compactions: h.stats.los_compactions,
+            total_gc_us: machine.time(total).as_micros(),
+            max_pause_us: machine.time(max_pause).as_micros(),
+            fragmentation: h.fragmentation(),
+        }
+    };
+
+    vec![svagc_row, los_row]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_sweep_is_sane() {
+        let rows = threshold_ablation();
+        // Everything swaps at threshold <= 16, nothing above.
+        assert!(rows.iter().filter(|r| r.threshold_pages <= 16).all(|r| r.swapped > 0));
+        assert!(rows.iter().filter(|r| r.threshold_pages > 16).all(|r| r.swapped == 0));
+        // 16-page objects sit near the GC-level break-even (the paper's
+        // syscall-level break-even is ~7-10 pages; the per-cycle shootdown
+        // fixed cost pushes the effective GC-level threshold up at this
+        // scaled-down volume): all settings land within 35% of each other.
+        let min = rows.iter().map(|r| r.pause_us).fold(f64::MAX, f64::min);
+        let max = rows.iter().map(|r| r.pause_us).fold(0.0, f64::max);
+        assert!(max < min * 1.35, "sweep spread too wide: {min}..{max}");
+    }
+
+    #[test]
+    fn aggregation_reduces_syscalls_and_pause() {
+        let rows = aggregation_ablation();
+        let sep = &rows[0];
+        let big = rows.last().unwrap();
+        // The page budget floors batches at ~8 x 10-page objects.
+        assert!(big.syscalls <= sep.syscalls / 7, "{} vs {}", big.syscalls, sep.syscalls);
+        assert!(big.pause_us <= sep.pause_us);
+    }
+
+    #[test]
+    fn mechanism_toggles_all_cost_something() {
+        let rows = mechanism_ablation();
+        let base = rows[0].pause_us;
+        for r in &rows[1..] {
+            assert!(
+                r.pause_us >= base * 0.99,
+                "{} ({} us) should not beat the full config ({base} us)",
+                r.variant,
+                r.pause_us
+            );
+        }
+        // Naive flush broadcasts per batch instead of per cycle.
+        assert!(rows[1].ipis > rows[0].ipis * 5, "{} vs {}", rows[1].ipis, rows[0].ipis);
+        // Serial compaction is the worst toggle (the Shenandoah gap).
+        let serial = rows.last().unwrap();
+        assert!(serial.pause_us > base * 2.5);
+    }
+
+    #[test]
+    fn los_design_pays_for_fragmentation() {
+        let rows = los_comparison();
+        let svagc = &rows[0];
+        let los = &rows[1];
+        // The intro's critique, quantified: the LOS fragments and is
+        // eventually forced into compactions whose pause dwarfs anything
+        // SVAGC's steady swap-compactions produce.
+        assert!(
+            los.los_compactions >= 1,
+            "the LOS must eventually compact (got {})",
+            los.los_compactions
+        );
+        assert!(
+            los.max_pause_us > svagc.max_pause_us * 2.0,
+            "LOS compaction spike {} us should dwarf SVAGC max {} us",
+            los.max_pause_us,
+            svagc.max_pause_us
+        );
+    }
+
+    #[test]
+    fn minor_crossover_matches_threshold() {
+        let rows = minor_gc_ablation();
+        // Below the 10-page threshold nothing swaps: identical pauses.
+        for r in rows.iter().filter(|r| r.obj_pages < 10) {
+            assert!((r.swapva_us - r.memmove_us).abs() / r.memmove_us < 0.25);
+        }
+        // Well above it, SwapVA wins big (2.7x at 64 pages).
+        let big = rows.last().unwrap();
+        assert!(
+            big.swapva_us * 2.0 < big.memmove_us,
+            "{} vs {}",
+            big.swapva_us,
+            big.memmove_us
+        );
+    }
+}

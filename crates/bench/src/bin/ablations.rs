@@ -1,0 +1,66 @@
+//! Design-choice ablations: threshold, aggregation batch size, flush
+//! policy / stealing / PMD caching, and Minor-GC promotion mechanism.
+
+use svagc_bench::ablations;
+use svagc_bench::report::{banner, json_line, Table};
+
+fn main() {
+    banner("Ablation A", "MoveObject threshold sweep (16-page objects)");
+    let mut t = Table::new(["threshold (pages)", "GC pause (us)", "objects swapped"]);
+    for r in ablations::threshold_ablation() {
+        t.row([
+            r.threshold_pages.to_string(),
+            format!("{:.1}", r.pause_us),
+            r.swapped.to_string(),
+        ]);
+        json_line("ablation_threshold", &r);
+    }
+    println!("{}", t.render());
+
+    banner("Ablation B", "Aggregation batch size (10-page objects)");
+    let mut t = Table::new(["batch", "GC pause (us)", "syscalls"]);
+    for r in ablations::aggregation_ablation() {
+        t.row([
+            if r.batch == 0 { "separated".to_string() } else { r.batch.to_string() },
+            format!("{:.1}", r.pause_us),
+            r.syscalls.to_string(),
+        ]);
+        json_line("ablation_aggregation", &r);
+    }
+    println!("{}", t.render());
+
+    banner("Ablation C", "Mechanism toggles (64-page objects)");
+    let mut t = Table::new(["variant", "GC pause (us)", "IPIs"]);
+    for r in ablations::mechanism_ablation() {
+        t.row([r.variant.clone(), format!("{:.1}", r.pause_us), r.ipis.to_string()]);
+        json_line("ablation_mechanism", &r);
+    }
+    println!("{}", t.render());
+
+    banner("Ablation E", "LOS design vs SVAGC (the intro's critique)");
+    let mut t = Table::new(["design", "GCs", "LOS compactions", "total GC (us)", "max pause (us)", "frag"]);
+    for r in ablations::los_comparison() {
+        t.row([
+            r.design.clone(),
+            r.gcs.to_string(),
+            r.los_compactions.to_string(),
+            format!("{:.1}", r.total_gc_us),
+            format!("{:.1}", r.max_pause_us),
+            format!("{:.2}", r.fragmentation),
+        ]);
+        json_line("ablation_los", &r);
+    }
+    println!("{}", t.render());
+
+    banner("Ablation D", "Minor-GC promotion mechanism (Table I row 2)");
+    let mut t = Table::new(["object pages", "memmove (us)", "SwapVA (us)"]);
+    for r in ablations::minor_gc_ablation() {
+        t.row([
+            r.obj_pages.to_string(),
+            format!("{:.1}", r.memmove_us),
+            format!("{:.1}", r.swapva_us),
+        ]);
+        json_line("ablation_minor", &r);
+    }
+    println!("{}", t.render());
+}

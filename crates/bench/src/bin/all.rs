@@ -1,0 +1,19 @@
+//! Regenerates every figure and table of the paper, in order.
+
+fn main() {
+    svagc_bench::render::fig01();
+    svagc_bench::render::fig02();
+    svagc_bench::render::table1();
+    svagc_bench::render::table2();
+    svagc_bench::render::fig06();
+    svagc_bench::render::fig08();
+    svagc_bench::render::fig09();
+    svagc_bench::render::fig10();
+    svagc_bench::render::fig11();
+    svagc_bench::render::fig12();
+    svagc_bench::render::fig13();
+    svagc_bench::render::fig14();
+    svagc_bench::render::fig15();
+    svagc_bench::render::fig16();
+    svagc_bench::render::table3();
+}

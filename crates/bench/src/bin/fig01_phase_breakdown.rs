@@ -1,0 +1,5 @@
+//! Regenerates Fig. 01 of the paper.
+
+fn main() {
+    svagc_bench::render::fig01();
+}

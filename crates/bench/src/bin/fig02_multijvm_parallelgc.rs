@@ -1,0 +1,5 @@
+//! Regenerates Fig. 02 of the paper.
+
+fn main() {
+    svagc_bench::render::fig02();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 08 of the paper.
+
+fn main() {
+    svagc_bench::render::fig08();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 10 of the paper.
+
+fn main() {
+    svagc_bench::render::fig10();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 11 of the paper.
+
+fn main() {
+    svagc_bench::render::fig11();
+}

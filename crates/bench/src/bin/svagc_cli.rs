@@ -1,0 +1,201 @@
+//! Command-line driver: run any benchmark under any collector without
+//! writing code.
+//!
+//! ```text
+//! svagc list
+//! svagc run --workload Sigverify --collector svagc --heap-factor 1.2
+//! svagc run --workload Sparse.large --collector parallelgc --steps 40 --instrumented
+//! svagc multi --jvms 8 --collector svagc --gc-threads 4
+//! ```
+
+use svagc_metrics::MachineConfig;
+use svagc_workloads::driver::{run, CollectorKind, RunConfig};
+use svagc_workloads::lrucache::LruCache;
+use svagc_workloads::multijvm::run_multi;
+use svagc_workloads::suite;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:
+  svagc list
+  svagc run --workload <name> [--collector svagc|memmove|parallelgc|shenandoah]
+            [--heap-factor <f>] [--gc-threads <n>] [--steps <n>]
+            [--machine 6130|6240|i5] [--threshold <pages>] [--instrumented]
+  svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_collector(s: &str) -> CollectorKind {
+    match s {
+        "svagc" => CollectorKind::Svagc,
+        "memmove" => CollectorKind::SvagcMemmove,
+        "parallelgc" => CollectorKind::ParallelGc,
+        "shenandoah" => CollectorKind::Shenandoah,
+        other => {
+            eprintln!("unknown collector {other:?}");
+            usage()
+        }
+    }
+}
+
+fn parse_machine(s: &str) -> MachineConfig {
+    match s {
+        "6130" => MachineConfig::xeon_gold_6130(),
+        "6240" => MachineConfig::xeon_gold_6240(),
+        "i5" => MachineConfig::i5_7600(),
+        other => {
+            eprintln!("unknown machine {other:?}");
+            usage()
+        }
+    }
+}
+
+/// Tiny flag parser: `--key value` pairs after the subcommand.
+fn flags(args: &[String]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument {a:?}");
+            usage()
+        };
+        // Boolean flags take no value.
+        if key == "instrumented" {
+            out.push((key.to_string(), "true".to_string()));
+            continue;
+        }
+        let Some(v) = it.next() else {
+            eprintln!("missing value for --{key}");
+            usage()
+        };
+        out.push((key.to_string(), v.clone()));
+    }
+    out
+}
+
+fn get<'a>(fs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    fs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("workloads:");
+            for w in suite::standard_suite() {
+                println!(
+                    "  {:<16} threads {:>4}  min heap {:>7.1} MiB",
+                    w.name(),
+                    w.threads(),
+                    w.min_heap_bytes() as f64 / (1 << 20) as f64
+                );
+            }
+            println!("  {:<16} threads {:>4}  (multi-JVM scalability workload)", "LRUCache", 1);
+            println!("collectors: svagc | memmove | parallelgc | shenandoah");
+        }
+        Some("run") => {
+            let fs = flags(&args[1..]);
+            let name = get(&fs, "workload").unwrap_or_else(|| {
+                eprintln!("--workload is required");
+                usage()
+            });
+            let mut w = suite::by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown workload {name:?} (try `svagc list`)");
+                std::process::exit(2);
+            });
+            let mut cfg = RunConfig::new(parse_collector(get(&fs, "collector").unwrap_or("svagc")));
+            cfg.machine = parse_machine(get(&fs, "machine").unwrap_or("6130"));
+            if let Some(f) = get(&fs, "heap-factor") {
+                cfg.heap_factor = f.parse().expect("--heap-factor expects a float");
+            }
+            if let Some(t) = get(&fs, "gc-threads") {
+                cfg.gc_threads = t.parse().expect("--gc-threads expects an integer");
+            }
+            if let Some(st) = get(&fs, "steps") {
+                cfg.steps = Some(st.parse().expect("--steps expects an integer"));
+            }
+            if let Some(t) = get(&fs, "threshold") {
+                cfg.threshold_pages = Some(t.parse().expect("--threshold expects pages"));
+            }
+            cfg.instrumented = get(&fs, "instrumented").is_some();
+
+            let r = run(w.as_mut(), &cfg).unwrap_or_else(|e| {
+                eprintln!("run failed: {e}");
+                std::process::exit(1);
+            });
+            println!("workload     : {}", r.workload);
+            println!("collector    : {}", r.collector);
+            println!(
+                "heap         : {:.1} MiB ({}x of {:.1} MiB minimum)",
+                r.heap_bytes as f64 / (1 << 20) as f64,
+                cfg.heap_factor,
+                r.min_heap_bytes as f64 / (1 << 20) as f64
+            );
+            println!("steps        : {}", r.steps);
+            println!("full GCs     : {}", r.gc.count());
+            println!(
+                "GC pause     : total {:.3} ms | avg {:.3} ms | max {:.3} ms",
+                r.gc_total_ms(),
+                r.gc_avg_ms(),
+                r.gc_max_ms()
+            );
+            println!(
+                "app / total  : {:.3} ms / {:.3} ms  (throughput {:.1} steps/s)",
+                r.app_wall.at_ghz(r.freq_ghz).as_millis(),
+                r.total_wall.at_ghz(r.freq_ghz).as_millis(),
+                r.throughput()
+            );
+            println!(
+                "moved        : {} objects swapped (zero-copy), {:.2} MiB memmoved",
+                r.perf.objects_swapped,
+                r.perf.bytes_copied as f64 / (1 << 20) as f64
+            );
+            if cfg.instrumented {
+                println!(
+                    "cache miss   : {:.2}%   dtlb miss: {:.2}%",
+                    r.perf.cache_miss_pct(),
+                    r.perf.dtlb_miss_pct()
+                );
+            }
+            println!("verify       : {}", if r.verify_ok { "ok" } else { "FAILED" });
+        }
+        Some("multi") => {
+            let fs = flags(&args[1..]);
+            let n: usize = get(&fs, "jvms")
+                .unwrap_or_else(|| {
+                    eprintln!("--jvms is required");
+                    usage()
+                })
+                .parse()
+                .expect("--jvms expects an integer");
+            let mut base =
+                RunConfig::new(parse_collector(get(&fs, "collector").unwrap_or("svagc")));
+            base.machine = parse_machine(get(&fs, "machine").unwrap_or("6130"));
+            if let Some(t) = get(&fs, "gc-threads") {
+                base.gc_threads = t.parse().expect("--gc-threads expects an integer");
+            } else {
+                base.gc_threads = 4;
+            }
+            let res = run_multi(
+                n,
+                |i| Box::new(LruCache::new(192, 2 << 20, 8, 100 + i as u64)),
+                &base,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("multi-JVM run failed: {e}");
+                std::process::exit(1);
+            });
+            println!("JVMs         : {n} x LRUCache on {}", base.machine.name);
+            println!("collector    : {}", base.collector.label());
+            println!(
+                "per-JVM mean : GC total {:.3} ms | GC max {:.3} ms | app {:.2} ms | total {:.2} ms",
+                res.avg_gc_total_ms(),
+                res.avg_gc_max_ms(),
+                res.avg_app_ms(),
+                res.avg_total_ms()
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 of the paper.
+
+fn main() {
+    svagc_bench::render::table1();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2 of the paper.
+
+fn main() {
+    svagc_bench::render::table2();
+}

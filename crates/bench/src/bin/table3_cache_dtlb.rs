@@ -1,0 +1,5 @@
+//! Regenerates Table 3 of the paper.
+
+fn main() {
+    svagc_bench::render::table3();
+}

@@ -1,0 +1,16 @@
+//! Figure/table harnesses reproducing the paper's evaluation.
+//!
+//! * [`micro`] — kernel-level sweeps (Figs. 6, 8, 9, 10).
+//! * [`ablations`] — design-choice studies (threshold, aggregation batch,
+//!   flush policy, stealing, Minor-GC promotion).
+//! * [`suites`] — whole-benchmark runs (Figs. 1, 2, 11-16, Table III).
+//! * [`report`] — table/JSON output helpers.
+//!
+//! Each `src/bin/figNN_*` binary regenerates one figure; `bin/all` runs
+//! everything in paper order.
+
+pub mod ablations;
+pub mod micro;
+pub mod render;
+pub mod report;
+pub mod suites;

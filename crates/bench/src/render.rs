@@ -1,0 +1,368 @@
+//! Rendering of every figure/table: each `figNN()` runs its experiment and
+//! prints the paper-matching rows (aligned table + `@json` lines). The
+//! `bin/figNN_*` binaries and `bin/all` are thin wrappers.
+
+use crate::micro;
+use crate::report::{banner, json_line, ms, pct, x, Table};
+use crate::suites::{self, GcTimeRow};
+use svagc_metrics::MachineConfig;
+use svagc_workloads::driver::CollectorKind;
+
+/// Fig. 1: execution time split of the full-GC phases (memmove prototype).
+pub fn fig01() {
+    banner("Fig. 1", "Execution time of the full GC phases (i5-7600)");
+    let rows = suites::fig01_rows();
+    let mut t = Table::new(["benchmark", "mark", "forward", "adjust", "compact", "compact %"]);
+    for r in &rows {
+        let total = r.mark_ms + r.forward_ms + r.adjust_ms + r.compact_ms;
+        t.row([
+            r.name.clone(),
+            ms(r.mark_ms),
+            ms(r.forward_ms),
+            ms(r.adjust_ms),
+            ms(r.compact_ms),
+            pct(100.0 * r.compact_ms / total),
+        ]);
+        json_line("fig01", r);
+    }
+    println!("{}", t.render());
+    println!("(paper: compaction = 79.33% Sparse.large, 84.76% FFT.large)");
+}
+
+/// Fig. 2: multi-JVM scalability collapse under ParallelGC.
+pub fn fig02() {
+    banner("Fig. 2", "Scalability issue in LRU Cache under ParallelGC (32-core Xeon)");
+    let rows = suites::multijvm_rows(CollectorKind::ParallelGc, &[1, 2, 4, 8, 16, 32]);
+    let mut t = Table::new(["JVMs", "GC total (ms)", "GC max (ms)", "app (ms)", "total (ms)"]);
+    for r in &rows {
+        t.row([
+            r.jvms.to_string(),
+            ms(r.gc_total_ms),
+            ms(r.gc_max_ms),
+            ms(r.app_ms),
+            ms(r.total_ms),
+        ]);
+        json_line("fig02", r);
+    }
+    println!("{}", t.render());
+    let g = rows.last().unwrap().gc_total_ms / rows[0].gc_total_ms;
+    let a = rows.last().unwrap().app_ms / rows[0].app_ms;
+    println!("1->32 JVMs: GC time x{g:.2}, app time x{a:.2} (paper: both rise significantly)");
+}
+
+/// Fig. 6: aggregated vs separated SwapVA calls.
+pub fn fig06() {
+    banner("Fig. 6", "Aggregated vs separated SwapVA calls (i5-7600)");
+    let rows = micro::fig06_aggregation(1024);
+    let mut t = Table::new(["pages/req", "requests", "separated (us)", "aggregated (us)", "speedup"]);
+    for r in &rows {
+        t.row([
+            r.pages_per_request.to_string(),
+            r.requests.to_string(),
+            format!("{:.1}", r.separated_us),
+            format!("{:.1}", r.aggregated_us),
+            x(r.speedup),
+        ]);
+        json_line("fig06", r);
+    }
+    println!("{}", t.render());
+    println!("(paper: aggregation wins most for small requests; gap closes as input size grows)");
+}
+
+/// Fig. 8: PMD-caching benefit.
+pub fn fig08() {
+    banner("Fig. 8", "Benefits of PMD caching (i5-7600)");
+    let rows = micro::fig08_pmd_cache();
+    let mut t = Table::new(["pages", "no cache (us)", "cached (us)", "improvement"]);
+    for r in &rows {
+        t.row([
+            r.pages.to_string(),
+            format!("{:.2}", r.uncached_us),
+            format!("{:.2}", r.cached_us),
+            pct(r.improvement_pct),
+        ]);
+        json_line("fig08", r);
+    }
+    println!("{}", t.render());
+    let multi: Vec<_> = rows.iter().filter(|r| r.pages >= 8).collect();
+    let max = multi.iter().map(|r| r.improvement_pct).fold(0.0, f64::max);
+    let avg = multi.iter().map(|r| r.improvement_pct).sum::<f64>() / multi.len() as f64;
+    println!("multi-page: max {max:.1}%, avg {avg:.1}% (paper: up to 52.5%, avg 36.7%)");
+}
+
+/// Fig. 9: multi-core shootdown optimizations.
+pub fn fig09() {
+    banner("Fig. 9", "Multi-core optimizations to SwapVA (Xeon 6130, 100 objects)");
+    let rows = micro::fig09_multicore(16);
+    let mut t = Table::new([
+        "cores",
+        "memmove (us)",
+        "naive (us)",
+        "pinned (us)",
+        "tracked (us)",
+        "naive IPIs",
+        "pinned IPIs",
+        "tracked IPIs",
+    ]);
+    for r in &rows {
+        t.row([
+            r.cores.to_string(),
+            format!("{:.1}", r.memmove_us),
+            format!("{:.1}", r.naive_us),
+            format!("{:.1}", r.pinned_us),
+            format!("{:.1}", r.tracked_us),
+            r.naive_ipis.to_string(),
+            r.pinned_ipis.to_string(),
+            r.tracked_ipis.to_string(),
+        ]);
+        json_line("fig09", r);
+    }
+    println!("{}", t.render());
+    let last = rows.last().unwrap();
+    println!(
+        "IPI reduction at 32 cores: {:.0}x (Eq. 2 predicts l-bar = 100)",
+        last.naive_ipis as f64 / last.pinned_ipis.max(1) as f64
+    );
+}
+
+/// Fig. 10: memmove/SwapVA break-even threshold on two machines.
+pub fn fig10() {
+    banner("Fig. 10", "Threshold value for SwapVA in different CPU/memory configs");
+    for machine in [MachineConfig::xeon_gold_6130(), MachineConfig::xeon_gold_6240()] {
+        println!("\n-- {} --", machine.name);
+        let rows = micro::fig10_threshold(&machine, 24);
+        let mut t = Table::new(["pages", "memmove (us)", "SwapVA (us)"]);
+        for r in &rows {
+            t.row([
+                r.pages.to_string(),
+                format!("{:.2}", r.memmove_us),
+                format!("{:.2}", r.swapva_us),
+            ]);
+            json_line("fig10", r);
+        }
+        println!("{}", t.render());
+        match micro::break_even(&rows) {
+            Some(p) => println!(
+                "break-even: {p} pages (paper: ~10; cost-model formula derives {})",
+                machine.derived_threshold_pages()
+            ),
+            None => println!("no crossover in range"),
+        }
+    }
+}
+
+fn suite_pair(factor: f64) -> (Vec<GcTimeRow>, Vec<GcTimeRow>) {
+    (
+        suites::suite_rows(CollectorKind::SvagcMemmove, factor, None),
+        suites::suite_rows(CollectorKind::Svagc, factor, None),
+    )
+}
+
+/// Fig. 11: GC time −/+ SwapVA per benchmark, compaction vs other phases.
+pub fn fig11() {
+    banner("Fig. 11", "GC time -/+ SwapVA on SVAGC at 1.2x min heap");
+    let (memmove, swap) = suite_pair(1.2);
+    let mut t = Table::new([
+        "benchmark",
+        "-SwapVA compact",
+        "-SwapVA other",
+        "+SwapVA compact",
+        "+SwapVA other",
+        "GC reduction",
+    ]);
+    for (m, s) in memmove.iter().zip(&swap) {
+        assert_eq!(m.name, s.name);
+        let red = 100.0 * (1.0 - s.gc_total_ms / m.gc_total_ms.max(1e-12));
+        t.row([
+            m.name.clone(),
+            ms(m.compact_ms),
+            ms(m.other_ms),
+            ms(s.compact_ms),
+            ms(s.other_ms),
+            pct(red),
+        ]);
+        json_line("fig11_memmove", m);
+        json_line("fig11_swapva", s);
+    }
+    println!("{}", t.render());
+    println!("(paper: pause reduced up to 70.9% Sparse.large/4, 97% Sigverify)");
+}
+
+fn three_way(factor: f64) -> [Vec<GcTimeRow>; 3] {
+    [
+        suites::suite_rows(CollectorKind::Shenandoah, factor, None),
+        suites::suite_rows(CollectorKind::ParallelGc, factor, None),
+        suites::suite_rows(CollectorKind::Svagc, factor, None),
+    ]
+}
+
+fn render_latency(fig: &str, caption: &str, metric: fn(&GcTimeRow) -> f64, paper_note: &str) {
+    banner(fig, caption);
+    for factor in [1.2, 2.0] {
+        println!("\n-- heap = {factor}x minimum --");
+        let [shen, pgc, svagc] = three_way(factor);
+        let mut t = Table::new(["benchmark", "Shenandoah", "ParallelGC", "SVAGC", "PGC/SVAGC", "Shen/SVAGC"]);
+        let (mut rp, mut rs, mut n) = (0.0, 0.0, 0);
+        for ((sh, pg), sv) in shen.iter().zip(&pgc).zip(&svagc) {
+            let (a, b, c) = (metric(sh), metric(pg), metric(sv));
+            t.row([
+                sv.name.clone(),
+                ms(a),
+                ms(b),
+                ms(c),
+                x(b / c.max(1e-12)),
+                x(a / c.max(1e-12)),
+            ]);
+            rp += b / c.max(1e-12);
+            rs += a / c.max(1e-12);
+            n += 1;
+            json_line(&format!("{}_{}", fig.to_lowercase().replace(". ", ""), factor), sv);
+        }
+        println!("{}", t.render());
+        println!(
+            "mean ratio vs SVAGC: ParallelGC {:.2}x, Shenandoah {:.2}x  {paper_note}",
+            rp / n as f64,
+            rs / n as f64
+        );
+    }
+}
+
+/// Fig. 12: average Full-GC latency, SVAGC vs baselines.
+pub fn fig12() {
+    render_latency(
+        "Fig. 12",
+        "Average Full-GC latency vs Shenandoah/ParallelGC",
+        |r| r.gc_avg_ms,
+        "(paper @1.2x: 3.82x / 16.05x; @2x: 2.74x / 13.62x)",
+    );
+}
+
+/// Fig. 13: maximum pause, SVAGC vs baselines.
+pub fn fig13() {
+    render_latency(
+        "Fig. 13",
+        "Maximum GC pause vs Shenandoah/ParallelGC",
+        |r| r.gc_max_ms,
+        "(paper @1.2x: 4.49x / 18.25x; @2x: 3.60x / 12.24x)",
+    );
+}
+
+/// Fig. 14: SVAGC multi-JVM scaling.
+pub fn fig14() {
+    banner("Fig. 14", "Scalability of SVAGC in single/multi-JVM setting (32 cores)");
+    let rows = suites::multijvm_rows(CollectorKind::Svagc, &[1, 2, 4, 8, 16, 32]);
+    let mut t = Table::new(["JVMs", "GC total (ms)", "GC max (ms)", "app (ms)", "total (ms)"]);
+    for r in &rows {
+        t.row([
+            r.jvms.to_string(),
+            ms(r.gc_total_ms),
+            ms(r.gc_max_ms),
+            ms(r.app_ms),
+            ms(r.total_ms),
+        ]);
+        json_line("fig14", r);
+    }
+    println!("{}", t.render());
+    let g = 100.0 * (rows.last().unwrap().gc_total_ms / rows[0].gc_total_ms - 1.0);
+    let a = 100.0 * (rows.last().unwrap().app_ms / rows[0].app_ms - 1.0);
+    println!("1->32 JVMs: GC time +{g:.0}%, app time +{a:.0}% (paper: +52% GC vs +327.5% app)");
+}
+
+/// Fig. 15: application throughput gain from SwapVA at 1.2× heap.
+pub fn fig15() {
+    banner("Fig. 15", "Application throughput of SVAGC at 1.2x min heap (+/- SwapVA)");
+    let (memmove, swap) = suite_pair(1.2);
+    let mut t = Table::new(["benchmark", "-SwapVA (steps/s)", "+SwapVA (steps/s)", "improvement"]);
+    for (m, s) in memmove.iter().zip(&swap) {
+        let imp = 100.0 * (s.throughput / m.throughput - 1.0);
+        t.row([
+            m.name.clone(),
+            format!("{:.1}", m.throughput),
+            format!("{:.1}", s.throughput),
+            pct(imp),
+        ]);
+        json_line("fig15", s);
+    }
+    println!("{}", t.render());
+    println!("(paper: +15.2% CryptoAES ... +86.9% Sparse.large)");
+}
+
+/// Fig. 16: application throughput, SVAGC vs baselines at both factors.
+pub fn fig16() {
+    banner("Fig. 16", "Throughput of SVAGC vs Shenandoah/ParallelGC");
+    for factor in [1.2, 2.0] {
+        println!("\n-- heap = {factor}x minimum --");
+        let [shen, pgc, svagc] = three_way(factor);
+        let mut t = Table::new(["benchmark", "Shenandoah", "ParallelGC", "SVAGC", "vs PGC", "vs Shen"]);
+        let (mut ip, mut is_, mut n) = (0.0, 0.0, 0);
+        for ((sh, pg), sv) in shen.iter().zip(&pgc).zip(&svagc) {
+            let vp = 100.0 * (sv.throughput / pg.throughput - 1.0);
+            let vs = 100.0 * (sv.throughput / sh.throughput - 1.0);
+            t.row([
+                sv.name.clone(),
+                format!("{:.1}", sh.throughput),
+                format!("{:.1}", pg.throughput),
+                format!("{:.1}", sv.throughput),
+                pct(vp),
+                pct(vs),
+            ]);
+            ip += vp;
+            is_ += vs;
+            n += 1;
+            json_line(&format!("fig16_{factor}"), sv);
+        }
+        println!("{}", t.render());
+        println!(
+            "mean improvement: vs ParallelGC {:.1}%, vs Shenandoah {:.1}% (paper @1.2x: 30.95%/37.27%; @2x: 15.26%/16.79%)",
+            ip / n as f64,
+            is_ / n as f64
+        );
+    }
+}
+
+/// Table I: applicability matrix.
+pub fn table1() {
+    banner("Table I", "Applicability of SwapVA and optimizations");
+    print!("{}", svagc_core::applicability::render_table());
+}
+
+/// Table II: benchmark configuration.
+pub fn table2() {
+    banner("Table II", "Benchmarks configuration (paper values; see EXPERIMENTS.md for scaling)");
+    print!("{}", svagc_workloads::render_table_ii());
+}
+
+/// Table III: cache & DTLB miss rates.
+pub fn table3() {
+    banner("Table III", "Cache & DTLB misses at 1.2x (2x) minimum heap");
+    let rows = suites::table3_rows(Some(25));
+    let mut t = Table::new([
+        "benchmark",
+        "cache% memmove",
+        "cache% SwapVA",
+        "dtlb% memmove",
+        "dtlb% SwapVA",
+    ]);
+    let pair = |p: (f64, f64)| format!("{:.2}({:.2})", p.0, p.1);
+    for r in &rows {
+        t.row([
+            r.name.clone(),
+            pair(r.cache_memmove),
+            pair(r.cache_swapva),
+            pair(r.dtlb_memmove),
+            pair(r.dtlb_swapva),
+        ]);
+        json_line("table3", r);
+    }
+    // Summary rows (min/max/geomean, as in the paper).
+    let gm = |f: fn(&suites::CacheDtlbRow) -> f64| suites::geomean(rows.iter().map(f));
+    t.row([
+        "geomean".to_string(),
+        format!("{:.2}", gm(|r| r.cache_memmove.0)),
+        format!("{:.2}", gm(|r| r.cache_swapva.0)),
+        format!("{:.2}", gm(|r| r.dtlb_memmove.0)),
+        format!("{:.2}", gm(|r| r.dtlb_swapva.0)),
+    ]);
+    println!("{}", t.render());
+    println!("(paper geomeans @1.2x: cache 69.32 -> 65.71, DTLB 1.28 -> 0.52)");
+}

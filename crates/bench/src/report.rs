@@ -1,0 +1,119 @@
+//! Report formatting shared by the figure harnesses: aligned text tables
+//! on stdout plus machine-readable JSON lines.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A simple aligned-column table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells stringified by the caller).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Render with per-column widths.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<w$}", c, w = widths[i]);
+                } else {
+                    let _ = write!(out, "  {:>w$}", c, w = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Print a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("\n=== {id}: {caption} ===");
+}
+
+/// Emit one JSON record (prefixed so it greps cleanly out of mixed logs).
+pub fn json_line<T: Serialize>(tag: &str, value: &T) {
+    match serde_json::to_string(value) {
+        Ok(s) => println!("@json {tag} {s}"),
+        Err(e) => eprintln!("json encoding failed for {tag}: {e}"),
+    }
+}
+
+/// Format milliseconds with sensible precision.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Format a speedup factor.
+pub fn x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["longer-name", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].starts_with("longer-name"));
+        assert!(lines[0].contains("value"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(123.4), "123");
+        assert_eq!(ms(12.34), "12.34");
+        assert_eq!(ms(0.1234), "0.1234");
+        assert_eq!(pct(12.34), "12.3%");
+        assert_eq!(x(3.821), "3.82x");
+    }
+}

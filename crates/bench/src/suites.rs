@@ -1,0 +1,319 @@
+//! Whole-benchmark experiments: Figs. 1, 2, 11-16 and Table III.
+//!
+//! Each function returns serializable rows; the `bin/figNN_*` binaries
+//! render them as tables + JSON. Everything is deterministic.
+
+use rayon::prelude::*;
+use serde::Serialize;
+use svagc_metrics::MachineConfig;
+use svagc_workloads::driver::{run, CollectorKind, RunConfig, RunResult};
+use svagc_workloads::lrucache::LruCache;
+use svagc_workloads::multijvm::run_multi;
+use svagc_workloads::suite;
+
+/// One benchmark × collector × heap-factor measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct GcTimeRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Collector label.
+    pub collector: &'static str,
+    /// Heap factor (1.2 / 2.0).
+    pub factor: f64,
+    /// Full GC cycles run.
+    pub gcs: usize,
+    /// Total GC pause (ms).
+    pub gc_total_ms: f64,
+    /// Average pause (ms).
+    pub gc_avg_ms: f64,
+    /// Max pause (ms).
+    pub gc_max_ms: f64,
+    /// Marking time total (ms).
+    pub mark_ms: f64,
+    /// Forwarding time total (ms).
+    pub forward_ms: f64,
+    /// Pointer-adjust time total (ms).
+    pub adjust_ms: f64,
+    /// Compaction time total incl. shootdown (ms).
+    pub compact_ms: f64,
+    /// Non-compaction phase total (ms).
+    pub other_ms: f64,
+    /// Application wall time (ms).
+    pub app_ms: f64,
+    /// Total wall time (ms).
+    pub total_ms: f64,
+    /// Steps per simulated second.
+    pub throughput: f64,
+    /// perf-style cache-miss % over the run.
+    pub cache_miss_pct: f64,
+    /// DTLB miss % over the run.
+    pub dtlb_miss_pct: f64,
+    /// Objects moved by PTE swap.
+    pub swapped_objects: u64,
+    /// End-of-run integrity check.
+    pub verify_ok: bool,
+}
+
+impl GcTimeRow {
+    fn from_result(r: &RunResult, factor: f64) -> GcTimeRow {
+        let t = |c: svagc_metrics::Cycles| c.at_ghz(r.freq_ghz).as_millis();
+        let phases = r.gc.phase_totals();
+        GcTimeRow {
+            name: r.workload.clone(),
+            collector: r.collector,
+            factor,
+            gcs: r.gc.count(),
+            gc_total_ms: r.gc_total_ms(),
+            gc_avg_ms: r.gc_avg_ms(),
+            gc_max_ms: r.gc_max_ms(),
+            mark_ms: t(phases.mark),
+            forward_ms: t(phases.forward),
+            adjust_ms: t(phases.adjust),
+            compact_ms: t(phases.compact_total()),
+            other_ms: t(phases.non_compact()),
+            app_ms: t(r.app_wall),
+            total_ms: t(r.total_wall),
+            throughput: r.throughput(),
+            cache_miss_pct: r.perf.cache_miss_pct(),
+            dtlb_miss_pct: r.perf.dtlb_miss_pct(),
+            swapped_objects: r.perf.objects_swapped,
+            verify_ok: r.verify_ok,
+        }
+    }
+}
+
+/// Run one named benchmark under `kind` at `factor`.
+pub fn run_one(
+    name: &str,
+    kind: CollectorKind,
+    factor: f64,
+    machine: MachineConfig,
+    steps: Option<usize>,
+    instrumented: bool,
+) -> GcTimeRow {
+    let mut w = suite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let mut cfg = RunConfig::new(kind);
+    cfg.machine = machine;
+    cfg.heap_factor = factor;
+    cfg.steps = steps;
+    cfg.instrumented = instrumented;
+    let r = run(w.as_mut(), &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+    GcTimeRow::from_result(&r, factor)
+}
+
+/// The benchmark list used by Figs. 11-16.
+pub const FIG11_SUITE: [&str; 15] = [
+    "FFT.large",
+    "FFT.large/8",
+    "FFT.large/16",
+    "Sparse.large",
+    "Sparse.large/2",
+    "Sparse.large/4",
+    "SOR.large",
+    "SOR.large x10",
+    "LU.large",
+    "Compress",
+    "Sigverify",
+    "CryptoAES",
+    "PR",
+    "Bisort",
+    "ParallelSort",
+];
+
+/// Run the whole suite under one collector/factor. Benchmarks run
+/// host-parallel via rayon — each is a self-contained deterministic
+/// simulation, so the results are identical to a sequential run.
+pub fn suite_rows(kind: CollectorKind, factor: f64, steps: Option<usize>) -> Vec<GcTimeRow> {
+    FIG11_SUITE
+        .par_iter()
+        .map(|name| {
+            run_one(
+                name,
+                kind,
+                factor,
+                MachineConfig::xeon_gold_6130(),
+                steps,
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 1: phase breakdown of the memmove LISP2 prototype on the i5-7600.
+pub fn fig01_rows() -> Vec<GcTimeRow> {
+    ["FFT.large", "Sparse.large"]
+        .iter()
+        .map(|name| {
+            run_one(
+                name,
+                CollectorKind::SvagcMemmove,
+                1.2,
+                MachineConfig::i5_7600(),
+                None,
+                false,
+            )
+        })
+        .collect()
+}
+
+/// One N-JVM data point for Figs. 2/14.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiJvmRow {
+    /// Concurrent JVM count.
+    pub jvms: usize,
+    /// Mean total GC time per JVM (ms).
+    pub gc_total_ms: f64,
+    /// Mean max pause per JVM (ms).
+    pub gc_max_ms: f64,
+    /// Mean app wall time per JVM (ms).
+    pub app_ms: f64,
+    /// Mean total wall time per JVM (ms).
+    pub total_ms: f64,
+}
+
+/// Figs. 2 (ParallelGC) / 14 (SVAGC): LRUCache × N JVMs, 4 GC threads
+/// each, on the 32-core machine.
+pub fn multijvm_rows(kind: CollectorKind, counts: &[usize]) -> Vec<MultiJvmRow> {
+    counts
+        .iter()
+        .map(|&n| {
+            let mut base = RunConfig::new(kind);
+            base.machine = MachineConfig::xeon_gold_6130();
+            base.gc_threads = 4; // the paper pins GCThreadsCount=4
+            base.heap_factor = 1.2;
+            let res = run_multi(
+                n,
+                // Paper geometry: values log-uniform in [1 B, 2 MB]
+                // (capacity scaled; see EXPERIMENTS.md).
+                |i| Box::new(LruCache::new(192, 2 << 20, 8, 100 + i as u64)),
+                &base,
+            )
+            .expect("multi-JVM run");
+            MultiJvmRow {
+                jvms: n,
+                gc_total_ms: res.avg_gc_total_ms(),
+                gc_max_ms: res.avg_gc_max_ms(),
+                app_ms: res.avg_app_ms(),
+                total_ms: res.avg_total_ms(),
+            }
+        })
+        .collect()
+}
+
+/// One Table III row: miss rates under memmove vs SwapVA at both heap
+/// factors.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheDtlbRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Cache miss % (memmove) at 1.2× (2×).
+    pub cache_memmove: (f64, f64),
+    /// Cache miss % (SwapVA) at 1.2× (2×).
+    pub cache_swapva: (f64, f64),
+    /// DTLB miss % (memmove) at 1.2× (2×).
+    pub dtlb_memmove: (f64, f64),
+    /// DTLB miss % (SwapVA) at 1.2× (2×).
+    pub dtlb_swapva: (f64, f64),
+}
+
+/// The Table III benchmark list (paper order).
+pub const TABLE3_SUITE: [&str; 14] = [
+    "Bisort",
+    "ParallelSort",
+    "Sparse.large/4",
+    "Sparse.large/2",
+    "Sparse.large",
+    "FFT.large/16",
+    "FFT.large/8",
+    "FFT.large",
+    "SOR.large x10",
+    "LU.large",
+    "CryptoAES",
+    "Sigverify",
+    "Compress",
+    "PR",
+];
+
+/// Table III: run each benchmark instrumented under both copy mechanisms
+/// and both heap factors (host-parallel; each cell is independent).
+pub fn table3_rows(steps: Option<usize>) -> Vec<CacheDtlbRow> {
+    TABLE3_SUITE
+        .par_iter()
+        .map(|name| {
+            let m = MachineConfig::xeon_gold_6130();
+            let cell = |kind, factor| {
+                let row = run_one(name, kind, factor, m.clone(), steps, true);
+                (row.cache_miss_pct, row.dtlb_miss_pct)
+            };
+            let (cm12, dm12) = cell(CollectorKind::SvagcMemmove, 1.2);
+            let (cm20, dm20) = cell(CollectorKind::SvagcMemmove, 2.0);
+            let (cs12, ds12) = cell(CollectorKind::Svagc, 1.2);
+            let (cs20, ds20) = cell(CollectorKind::Svagc, 2.0);
+            CacheDtlbRow {
+                name: name.to_string(),
+                cache_memmove: (cm12, cm20),
+                cache_swapva: (cs12, cs20),
+                dtlb_memmove: (dm12, dm20),
+                dtlb_swapva: (ds12, ds20),
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean helper for the Table III summary rows.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0u32);
+    for v in values {
+        log_sum += v.max(1e-9).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 9.0]) - 6.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn fig01_compaction_dominates() {
+        // Paper Fig. 1: compaction is 79-85% of the memmove prototype's
+        // full-GC time on FFT.large / Sparse.large.
+        for row in fig01_rows() {
+            let pct = 100.0 * row.compact_ms / (row.compact_ms + row.other_ms);
+            assert!(
+                (60.0..97.0).contains(&pct),
+                "{}: compaction share {pct:.1}%",
+                row.name
+            );
+            assert!(row.verify_ok);
+        }
+    }
+
+    #[test]
+    fn multijvm_scaling_shapes() {
+        // ParallelGC degrades much faster than SVAGC as JVMs multiply
+        // (Fig. 2 vs Fig. 14).
+        let counts = [1usize, 8, 32];
+        let pgc = multijvm_rows(CollectorKind::ParallelGc, &counts);
+        let svagc = multijvm_rows(CollectorKind::Svagc, &counts);
+        let growth = |rows: &[MultiJvmRow]| rows.last().unwrap().gc_total_ms / rows[0].gc_total_ms;
+        let g_pgc = growth(&pgc);
+        let g_svagc = growth(&svagc);
+        assert!(
+            g_pgc > g_svagc,
+            "ParallelGC GC-time growth {g_pgc:.2}x should exceed SVAGC {g_svagc:.2}x"
+        );
+        // App time rises with contention for both.
+        assert!(pgc.last().unwrap().app_ms > pgc[0].app_ms);
+    }
+}

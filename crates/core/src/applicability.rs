@@ -1,0 +1,144 @@
+//! Table I: applicability of SwapVA and its optimizations per GC phase.
+//!
+//! A static capability matrix — SwapVA itself fits any moving phase;
+//! aggregation needs batched copy requests (compaction has them, concurrent
+//! evacuation does not); overlap handling needs src/dst in one shared
+//! addressable window (only full/major compaction slides that way).
+
+use std::fmt;
+
+/// The GC cycle/phase rows of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcPhaseKind {
+    /// Full & Major GC: compact / moving phase.
+    FullCompact,
+    /// Minor GC: copying (scavenge) phase.
+    MinorCopy,
+    /// Concurrent GC: evacuation / relocation phase.
+    ConcurrentEvacuation,
+}
+
+impl GcPhaseKind {
+    /// All rows in Table I order.
+    pub const ALL: [GcPhaseKind; 3] = [
+        GcPhaseKind::FullCompact,
+        GcPhaseKind::MinorCopy,
+        GcPhaseKind::ConcurrentEvacuation,
+    ];
+
+    /// Row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GcPhaseKind::FullCompact => "Full & Major (Compact, Moving)",
+            GcPhaseKind::MinorCopy => "Minor (Copying)",
+            GcPhaseKind::ConcurrentEvacuation => "Concurrent (Evacuation, Reloc.)",
+        }
+    }
+}
+
+/// The optimization columns of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Optimization {
+    /// The base SwapVA call.
+    SwapVa,
+    /// Request aggregation.
+    Aggregation,
+    /// PMD caching.
+    PmdCaching,
+    /// Overlapping-area handling (Algorithm 2).
+    Overlapping,
+}
+
+impl Optimization {
+    /// All columns in Table I order.
+    pub const ALL: [Optimization; 4] = [
+        Optimization::SwapVa,
+        Optimization::Aggregation,
+        Optimization::PmdCaching,
+        Optimization::Overlapping,
+    ];
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Optimization::SwapVa => "SwapVA",
+            Optimization::Aggregation => "Aggregation",
+            Optimization::PmdCaching => "PMD Caching",
+            Optimization::Overlapping => "Overlapping",
+        }
+    }
+}
+
+/// Is `opt` applicable in `phase`? (The checkmarks of Table I.)
+pub fn applicable(phase: GcPhaseKind, opt: Optimization) -> bool {
+    use GcPhaseKind::*;
+    use Optimization::*;
+    match (phase, opt) {
+        // The base call and PMD caching apply everywhere.
+        (_, SwapVa) | (_, PmdCaching) => true,
+        // Aggregation needs grouped requests: not in concurrent evacuation
+        // where each copy is independent.
+        (FullCompact, Aggregation) | (MinorCopy, Aggregation) => true,
+        (ConcurrentEvacuation, Aggregation) => false,
+        // Overlap handling needs a shared addressable window: only sliding
+        // compaction has one.
+        (FullCompact, Overlapping) => true,
+        (MinorCopy, Overlapping) | (ConcurrentEvacuation, Overlapping) => false,
+    }
+}
+
+/// Render Table I as text.
+pub fn render_table() -> String {
+    let mut out = String::new();
+    use fmt::Write;
+    let _ = writeln!(
+        out,
+        "{:<34} {:>8} {:>12} {:>12} {:>12}",
+        "GC (Phase)", "SwapVA", "Aggregation", "PMD Caching", "Overlapping"
+    );
+    for phase in GcPhaseKind::ALL {
+        let mark = |o| if applicable(phase, o) { "yes" } else { "-" };
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8} {:>12} {:>12} {:>12}",
+            phase.label(),
+            mark(Optimization::SwapVa),
+            mark(Optimization::Aggregation),
+            mark(Optimization::PmdCaching),
+            mark(Optimization::Overlapping),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table_i() {
+        use GcPhaseKind::*;
+        use Optimization::*;
+        // Row 1: all four check.
+        for o in Optimization::ALL {
+            assert!(applicable(FullCompact, o));
+        }
+        // Row 2: all but overlapping.
+        assert!(applicable(MinorCopy, SwapVa));
+        assert!(applicable(MinorCopy, Aggregation));
+        assert!(applicable(MinorCopy, PmdCaching));
+        assert!(!applicable(MinorCopy, Overlapping));
+        // Row 3: SwapVA + PMD caching only.
+        assert!(applicable(ConcurrentEvacuation, SwapVa));
+        assert!(!applicable(ConcurrentEvacuation, Aggregation));
+        assert!(applicable(ConcurrentEvacuation, PmdCaching));
+        assert!(!applicable(ConcurrentEvacuation, Overlapping));
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = render_table();
+        assert_eq!(t.lines().count(), 4);
+        assert!(t.contains("Minor (Copying)"));
+    }
+}

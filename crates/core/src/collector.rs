@@ -1,0 +1,47 @@
+//! The common collector interface used by drivers and baselines.
+
+use crate::stats::{GcCycleStats, GcLog};
+use svagc_heap::{Heap, HeapError, RootSet};
+use svagc_kernel::Kernel;
+
+/// A stop-the-world (or partially concurrent) garbage collector.
+pub trait Collector {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Run one collection cycle.
+    fn collect(
+        &mut self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        roots: &mut RootSet,
+    ) -> Result<GcCycleStats, HeapError>;
+
+    /// The log of completed cycles.
+    fn log(&self) -> &GcLog;
+}
+
+impl Collector for crate::lisp2::Lisp2Collector {
+    fn name(&self) -> &'static str {
+        if self.cfg.use_swapva {
+            "SVAGC"
+        } else {
+            "LISP2-memmove"
+        }
+    }
+
+    fn collect(
+        &mut self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        roots: &mut RootSet,
+    ) -> Result<GcCycleStats, HeapError> {
+        Lisp2Collector::collect(self, kernel, heap, roots)
+    }
+
+    fn log(&self) -> &GcLog {
+        &self.log
+    }
+}
+
+use crate::lisp2::Lisp2Collector;

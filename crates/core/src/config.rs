@@ -1,0 +1,135 @@
+//! Collector configuration: which of the paper's mechanisms are active.
+
+/// Tunables of the LISP2/SVAGC collector.
+#[derive(Debug, Clone, Copy)]
+pub struct GcConfig {
+    /// Parallel GC worker count (the paper tunes `GCThreadsCount`).
+    pub gc_threads: usize,
+    /// Use SwapVA for objects at/above the heap's threshold; `false` is the
+    /// "memmove-only" variant (left bars of Fig. 11).
+    pub use_swapva: bool,
+    /// Aggregate up to this many swap requests per syscall (Fig. 5/6);
+    /// `None` issues one syscall per move.
+    pub aggregation: Option<usize>,
+    /// PMD walk caching inside SwapVA (Fig. 7/8).
+    pub pmd_cache: bool,
+    /// Algorithm 2 for overlapping src/dst; when off such moves fall back
+    /// to memmove.
+    pub overlap_opt: bool,
+    /// Algorithm 4: pin compaction workers, broadcast the shootdown once
+    /// per cycle, then flush only locally. When off, every SwapVA call
+    /// broadcasts IPIs to all cores (the "non-optimized" line of Fig. 9).
+    pub pinned_compaction: bool,
+    /// Work-stealing (greedy) load balance across GC workers; `false`
+    /// models a statically partitioned phase (Shenandoah's copy phase).
+    pub work_stealing: bool,
+    /// Worker count override for the compaction phase only. `None` uses
+    /// `gc_threads`. Shenandoah's copy phase "does not utilize the
+    /// work-stealing mechanism and parallelism" (§V-A), modeled as
+    /// `Some(1)`.
+    pub compact_threads: Option<usize>,
+}
+
+impl GcConfig {
+    /// Full SVAGC: everything the paper proposes, on.
+    pub fn svagc(gc_threads: usize) -> GcConfig {
+        GcConfig {
+            gc_threads,
+            use_swapva: true,
+            aggregation: Some(32),
+            pmd_cache: true,
+            overlap_opt: true,
+            pinned_compaction: true,
+            work_stealing: true,
+            compact_threads: None,
+        }
+    }
+
+    /// The same LISP2 collector with SwapVA disabled (pure memmove) — the
+    /// "-SwapVA" bars of Fig. 11.
+    pub fn lisp2_memmove(gc_threads: usize) -> GcConfig {
+        GcConfig {
+            use_swapva: false,
+            aggregation: None,
+            ..GcConfig::svagc(gc_threads)
+        }
+    }
+
+    /// SVAGC with the naive per-call global shootdown (Fig. 9 baseline).
+    pub fn svagc_naive_flush(gc_threads: usize) -> GcConfig {
+        GcConfig {
+            pinned_compaction: false,
+            ..GcConfig::svagc(gc_threads)
+        }
+    }
+
+    /// Builder-style toggles (ablation benches).
+    pub fn with_swapva(mut self, on: bool) -> GcConfig {
+        self.use_swapva = on;
+        self
+    }
+
+    /// Set aggregation batch size (`None` = separated calls).
+    pub fn with_aggregation(mut self, batch: Option<usize>) -> GcConfig {
+        self.aggregation = batch;
+        self
+    }
+
+    /// Toggle PMD caching.
+    pub fn with_pmd_cache(mut self, on: bool) -> GcConfig {
+        self.pmd_cache = on;
+        self
+    }
+
+    /// Toggle Algorithm 2 overlap handling.
+    pub fn with_overlap(mut self, on: bool) -> GcConfig {
+        self.overlap_opt = on;
+        self
+    }
+
+    /// Toggle Algorithm 4 pinned compaction.
+    pub fn with_pinned(mut self, on: bool) -> GcConfig {
+        self.pinned_compaction = on;
+        self
+    }
+
+    /// Toggle work stealing.
+    pub fn with_stealing(mut self, on: bool) -> GcConfig {
+        self.work_stealing = on;
+        self
+    }
+
+    /// Override the compaction-phase worker count.
+    pub fn with_compact_threads(mut self, n: Option<usize>) -> GcConfig {
+        self.compact_threads = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let s = GcConfig::svagc(8);
+        assert!(s.use_swapva && s.pinned_compaction && s.pmd_cache);
+        assert_eq!(s.gc_threads, 8);
+        let m = GcConfig::lisp2_memmove(8);
+        assert!(!m.use_swapva);
+        assert!(m.work_stealing, "memmove variant keeps parallel phases");
+        let n = GcConfig::svagc_naive_flush(4);
+        assert!(n.use_swapva && !n.pinned_compaction);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = GcConfig::svagc(2)
+            .with_aggregation(None)
+            .with_pmd_cache(false)
+            .with_overlap(false)
+            .with_stealing(false);
+        assert!(c.aggregation.is_none());
+        assert!(!c.pmd_cache && !c.overlap_opt && !c.work_stealing);
+    }
+}

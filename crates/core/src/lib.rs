@@ -1,0 +1,29 @@
+//! SVAGC — the paper's collector: a parallel LISP2 mark-compact full GC
+//! whose compaction phase moves large objects by swapping their page-table
+//! entries (the SwapVA system call) instead of copying bytes.
+//!
+//! * [`config`] — which mechanisms are on ([`GcConfig::svagc`] vs
+//!   [`GcConfig::lisp2_memmove`] is the paper's central comparison).
+//! * [`lisp2`] — the four STW phases over real simulated memory.
+//! * [`scheduler`] — deterministic virtual-time model of parallel GC
+//!   workers (work stealing vs static partitioning).
+//! * [`stats`] — per-phase and per-cycle accounting behind every figure.
+//! * [`collector`] — the [`Collector`] trait baselines also implement.
+//! * [`applicability`] — Table I as code.
+
+#![warn(missing_docs)]
+
+pub mod applicability;
+pub mod collector;
+pub mod config;
+pub mod lisp2;
+pub mod minor;
+pub mod scheduler;
+pub mod stats;
+
+pub use collector::Collector;
+pub use config::GcConfig;
+pub use lisp2::Lisp2Collector;
+pub use minor::{full_collect_generational, MinorConfig, MinorGc, MinorStats};
+pub use scheduler::WorkerPool;
+pub use stats::{GcCycleStats, GcLog, PhaseBreakdown};

@@ -1,0 +1,468 @@
+//! The parallel LISP2 mark-compact collector with SwapVA integration.
+//!
+//! Four STW phases (paper §II), all operating on real simulated memory:
+//!
+//! 1. **Mark** — trace from roots, set header bits in a [`MarkBitmap`].
+//! 2. **Forward** — `CALCNEWADD` (Algorithm 3): slide a compaction cursor
+//!    over live objects in address order, page-aligning SwapVA candidates,
+//!    and store each object's destination in its forwarding word.
+//! 3. **Adjust** — rewrite every reference field (and root slot) to the
+//!    target's forwarding address.
+//! 4. **Compact** — `MOVEOBJECT` + `COMPACTOPT` (Algorithms 3/4): move each
+//!    live object to its destination, by PTE swap when it is at least the
+//!    threshold and both endpoints are page-aligned, else by memmove; under
+//!    Algorithm 4 the shootdown is broadcast once and per-move flushes stay
+//!    local.
+//!
+//! Execution is host-sequential in ascending address order (which is what
+//! makes sliding safe) while cycle costs are attributed to simulated
+//! workers via [`WorkerPool`] — see that module for the model.
+
+use crate::config::GcConfig;
+use crate::scheduler::WorkerPool;
+use crate::stats::{GcCycleStats, GcLog};
+use svagc_heap::{Heap, HeapError, MarkBitmap, ObjHeader, ObjRef, RootSet};
+use svagc_kernel::{FlushMode, Kernel, SwapRequest, SwapVaOptions};
+use svagc_metrics::Cycles;
+use svagc_vmem::{VirtAddr, PAGE_SIZE};
+
+/// During an STW phase the victims of an IPI broadcast are the *other GC
+/// workers* — every naive per-call shootdown stalls all of them for one
+/// interrupt handling. (`interference` is total remote cycles across all
+/// cores; each worker core absorbs its per-core share.)
+fn stall_coworkers(pool: &mut WorkerPool, kernel: &Kernel, interference: Cycles) {
+    if interference.get() == 0 {
+        return;
+    }
+    let peers = (kernel.cores() as u64 - 1).max(1);
+    pool.charge_all(interference / peers);
+}
+
+/// A LISP2 mark-compact collector (SVAGC when `cfg.use_swapva`).
+#[derive(Debug)]
+pub struct Lisp2Collector {
+    /// Active configuration.
+    pub cfg: GcConfig,
+    /// Per-cycle statistics log.
+    pub log: GcLog,
+}
+
+/// A pending move computed in the forward phase.
+#[derive(Debug, Clone, Copy)]
+struct PlannedMove {
+    src: ObjRef,
+    dst: ObjRef,
+    header: ObjHeader,
+}
+
+impl Lisp2Collector {
+    /// A collector with the given configuration.
+    ///
+    /// ```
+    /// use svagc_core::{GcConfig, Lisp2Collector};
+    /// use svagc_heap::{Heap, HeapConfig, ObjShape, RootSet};
+    /// use svagc_kernel::{CoreId, Kernel};
+    /// use svagc_metrics::MachineConfig;
+    /// use svagc_vmem::Asid;
+    ///
+    /// let mut k = Kernel::with_bytes(MachineConfig::xeon_gold_6130(), 16 << 20);
+    /// let mut heap = Heap::new(&mut k, Asid(1), HeapConfig::new(8 << 20)).unwrap();
+    /// let mut roots = RootSet::new();
+    ///
+    /// // One surviving large object among garbage.
+    /// for i in 0..10u64 {
+    ///     let (obj, _) = heap.alloc(&mut k, CoreId(0), ObjShape::data_bytes(64 << 10)).unwrap();
+    ///     if i == 5 { roots.push(obj); }
+    /// }
+    ///
+    /// let mut gc = Lisp2Collector::new(GcConfig::svagc(4));
+    /// let stats = gc.collect(&mut k, &mut heap, &mut roots).unwrap();
+    /// assert_eq!(stats.live_objects, 1);
+    /// assert_eq!(stats.dead_objects, 9);
+    /// assert_eq!(stats.swapped_objects, 1); // moved by PTE swap
+    /// ```
+    pub fn new(cfg: GcConfig) -> Lisp2Collector {
+        Lisp2Collector {
+            cfg,
+            log: GcLog::new(),
+        }
+    }
+
+    /// Run one full STW collection. Returns this cycle's statistics
+    /// (also appended to [`Lisp2Collector::log`]).
+    pub fn collect(
+        &mut self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        roots: &mut RootSet,
+    ) -> Result<GcCycleStats, HeapError> {
+        let mut stats = GcCycleStats::default();
+        let cores = kernel.cores();
+        let threads = self.cfg.gc_threads.min(cores).max(1);
+        let mut pool = WorkerPool::new(threads);
+        let objects: Vec<ObjRef> = heap.objects_sorted().to_vec();
+
+        // ---- Phase I: mark -------------------------------------------
+        let mut bitmap = MarkBitmap::new(heap.base(), heap.extent_words());
+        self.mark_phase(kernel, heap, roots, &mut bitmap, &mut pool)?;
+        stats.phases.mark = pool.makespan();
+
+        // ---- Phase II: forwarding address calculation ----------------
+        pool.reset();
+        let (moves, new_top) =
+            self.forward_phase(kernel, heap, &objects, &bitmap, &mut pool, &mut stats)?;
+        stats.phases.forward = pool.makespan();
+
+        // ---- Phase III: adjust pointers ------------------------------
+        pool.reset();
+        self.adjust_phase(kernel, heap, roots, &moves, &mut pool)?;
+        stats.phases.adjust = pool.makespan();
+
+        // ---- Phase IV: compaction ------------------------------------
+        let compact_workers = self
+            .cfg
+            .compact_threads
+            .unwrap_or(threads)
+            .min(cores)
+            .max(1);
+        let mut compact_pool = WorkerPool::new(compact_workers);
+        self.compact_phase(kernel, heap, &moves, &mut compact_pool, &mut stats)?;
+        stats.phases.compact = compact_pool.makespan();
+
+        // Publish the new heap layout.
+        let survivors: Vec<ObjRef> = moves.iter().map(|m| m.dst).collect();
+        stats.live_objects = survivors.len() as u64;
+        stats.dead_objects = objects.len() as u64 - survivors.len() as u64;
+        heap.complete_gc(survivors, new_top);
+
+        self.log.push(stats);
+        Ok(stats)
+    }
+
+    /// Phase I: trace the object graph from the roots.
+    fn mark_phase(
+        &self,
+        kernel: &mut Kernel,
+        heap: &Heap,
+        roots: &RootSet,
+        bitmap: &mut MarkBitmap,
+        pool: &mut WorkerPool,
+    ) -> Result<(), HeapError> {
+        let cores = kernel.cores();
+        let mut stack: Vec<ObjRef> = Vec::new();
+        for r in roots.iter_live() {
+            // Roots outside this heap (e.g. nursery objects during an
+            // old-generation-only collection) are not ours to trace.
+            if heap.contains(r.0) && bitmap.mark(r.header_va()) {
+                stack.push(r);
+            }
+        }
+        while let Some(obj) = stack.pop() {
+            let w = if self.cfg.work_stealing {
+                pool.least_loaded()
+            } else {
+                pool.dispatch_static(Cycles::ZERO)
+            };
+            let core = pool.core_of(w, cores);
+            let (hdr, mut t) = heap.read_header(kernel, core, obj)?;
+            for i in 0..hdr.num_refs as u64 {
+                let (tgt, tc) = heap.read_ref(kernel, core, obj, i)?;
+                t += tc;
+                if !tgt.is_null() && heap.contains(tgt.0) && bitmap.mark(tgt.header_va()) {
+                    stack.push(tgt);
+                }
+            }
+            pool.dispatch_to(w, t);
+        }
+        Ok(())
+    }
+
+    /// Phase II: compute destinations (`CALCNEWADD`). Returns the move plan
+    /// (ascending source order) and the post-compaction cursor.
+    #[allow(clippy::type_complexity)]
+    fn forward_phase(
+        &self,
+        kernel: &mut Kernel,
+        heap: &Heap,
+        objects: &[ObjRef],
+        bitmap: &MarkBitmap,
+        pool: &mut WorkerPool,
+        stats: &mut GcCycleStats,
+    ) -> Result<(Vec<PlannedMove>, VirtAddr), HeapError> {
+        let cores = kernel.cores();
+        let mut comp_pnt = heap.base();
+        let mut moves = Vec::new();
+        for &obj in objects {
+            let w = if self.cfg.work_stealing {
+                pool.least_loaded()
+            } else {
+                pool.dispatch_static(Cycles::ZERO)
+            };
+            let core = pool.core_of(w, cores);
+            // Heap parsing touches every header, live or dead.
+            let (hdr, mut t) = heap.read_header(kernel, core, obj)?;
+            if bitmap.is_marked(obj.header_va()) {
+                // IFSWAPALIGN before and after (Algorithm 3 lines 22/25).
+                if hdr.is_large() {
+                    comp_pnt = comp_pnt.align_up();
+                }
+                let dst = ObjRef(comp_pnt);
+                comp_pnt = comp_pnt + hdr.size_bytes();
+                if hdr.is_large() {
+                    comp_pnt = comp_pnt.align_up();
+                }
+                t += kernel.write_word(
+                    heap.space(),
+                    core,
+                    obj.forwarding_va(),
+                    dst.0.get(),
+                )?;
+                stats.live_bytes += hdr.size_bytes();
+                moves.push(PlannedMove {
+                    src: obj,
+                    dst,
+                    header: hdr,
+                });
+            }
+            pool.dispatch_to(w, t);
+        }
+        Ok((moves, comp_pnt))
+    }
+
+    /// Phase III: rewrite reference fields and roots via forwarding words.
+    fn adjust_phase(
+        &self,
+        kernel: &mut Kernel,
+        heap: &Heap,
+        roots: &mut RootSet,
+        moves: &[PlannedMove],
+        pool: &mut WorkerPool,
+    ) -> Result<(), HeapError> {
+        let cores = kernel.cores();
+        for m in moves {
+            if m.header.num_refs == 0 {
+                continue;
+            }
+            let w = if self.cfg.work_stealing {
+                pool.least_loaded()
+            } else {
+                pool.dispatch_static(Cycles::ZERO)
+            };
+            let core = pool.core_of(w, cores);
+            let mut t = Cycles::ZERO;
+            for i in 0..m.header.num_refs as u64 {
+                let (tgt, tc) = heap.read_ref(kernel, core, m.src, i)?;
+                t += tc;
+                // Out-of-heap targets (nursery objects) don't move here.
+                if tgt.is_null() || !heap.contains(tgt.0) {
+                    continue;
+                }
+                let (fwd, fc) = kernel.read_word(heap.space(), core, tgt.forwarding_va())?;
+                t += fc;
+                t += heap.write_ref(kernel, core, m.src, i, ObjRef(VirtAddr(fwd)))?;
+            }
+            pool.dispatch_to(w, t);
+        }
+        // Root slots (charged to worker 0 — the VM thread).
+        let core0 = pool.core_of(0, cores);
+        let mut t = Cycles::ZERO;
+        for slot in roots.slots_mut() {
+            if slot.is_null() || !heap.contains(slot.0) {
+                continue;
+            }
+            let (fwd, fc) = kernel.read_word(heap.space(), core0, slot.forwarding_va())?;
+            t += fc;
+            *slot = ObjRef(VirtAddr(fwd));
+        }
+        pool.dispatch_to(0, t);
+        Ok(())
+    }
+
+    /// Phase IV: move everything (`COMPACTOPT` + `MOVEOBJECT`).
+    fn compact_phase(
+        &self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        moves: &[PlannedMove],
+        pool: &mut WorkerPool,
+        stats: &mut GcCycleStats,
+    ) -> Result<(), HeapError> {
+        let cores = kernel.cores();
+        let threshold_bytes = heap.threshold_pages() * PAGE_SIZE;
+        let flush_mode = if self.cfg.pinned_compaction {
+            FlushMode::LocalOnly
+        } else {
+            FlushMode::GlobalBroadcast
+        };
+        let swap_opts = SwapVaOptions {
+            pmd_cache: self.cfg.pmd_cache,
+            overlap_opt: self.cfg.overlap_opt,
+            flush: flush_mode,
+        };
+
+        // Will any move actually go through SwapVA this cycle? The pinning
+        // protocol's broadcasts only pay for themselves when PTEs change.
+        let any_swaps = self.cfg.use_swapva
+            && moves.iter().any(|m| {
+                m.src != m.dst
+                    && m.header.size_bytes() >= threshold_bytes
+                    && m.src.0.is_page_aligned()
+                    && m.dst.0.is_page_aligned()
+            });
+
+        if self.cfg.pinned_compaction && any_swaps {
+            // Algorithm 4 prologue: pin workers, broadcast the shootdown
+            // once so every core sees fresh mappings from here on.
+            let asid = heap.space().asid();
+            let pin_cost = kernel.pin(pool.core_of(0, cores));
+            let (bcast, intf) = kernel.flush_asid_all_cores(pool.core_of(0, cores), asid);
+            stats.phases.shootdown += pin_cost + bcast;
+            stats.interference += intf.0;
+        }
+
+        // Aggregation buffer: a run of consecutive swap-eligible moves,
+        // flushed as one syscall (Fig. 5b). Any intervening memmove flushes
+        // it first to preserve ascending-order safety. Aggregation exists
+        // to amortize syscall entry across *small* requests; a page budget
+        // keeps batches from serializing big-object moves onto one worker.
+        let mut batch: Vec<SwapRequest> = Vec::new();
+        let mut batch_pages = 0u64;
+        let batch_cap = self.cfg.aggregation.unwrap_or(1).max(1);
+        let batch_page_budget = 8 * heap.threshold_pages().max(1);
+
+        for m in moves {
+            let w = if self.cfg.work_stealing {
+                pool.least_loaded()
+            } else {
+                pool.dispatch_static(Cycles::ZERO)
+            };
+            let core = pool.core_of(w, cores);
+            let mut t = Cycles::ZERO;
+
+            // Read the forwarding word at the source (Algorithm 4 line 9).
+            let (_, fc) = kernel.read_word(heap.space(), core, m.src.forwarding_va())?;
+            t += fc;
+
+            let size = m.header.size_bytes();
+            if m.src != m.dst {
+                let pages = size.div_ceil(PAGE_SIZE);
+                let swappable = self.cfg.use_swapva
+                    && pages >= heap.threshold_pages()
+                    && m.src.0.is_page_aligned()
+                    && m.dst.0.is_page_aligned()
+                    && size >= threshold_bytes;
+                let overlap_unsupported = !self.cfg.overlap_opt
+                    && m.src.0.get().abs_diff(m.dst.0.get()) < pages * PAGE_SIZE;
+                if swappable && !overlap_unsupported {
+                    let req = SwapRequest {
+                        a: m.src.0,
+                        b: m.dst.0,
+                        pages,
+                    };
+                    stats.swapped_objects += 1;
+                    stats.swapped_bytes += size;
+                    batch.push(req);
+                    batch_pages += pages;
+                    if batch.len() >= batch_cap || batch_pages >= batch_page_budget {
+                        let (c, intf) =
+                            self.flush_batch(kernel, heap, &mut batch, swap_opts, core, stats)?;
+                        t += c;
+                        stall_coworkers(pool, kernel, intf);
+                        batch_pages = 0;
+                    }
+                } else {
+                    // memmove path: drain pending swaps first (ordering).
+                    let (c, intf) =
+                        self.flush_batch(kernel, heap, &mut batch, swap_opts, core, stats)?;
+                    t += c;
+                    stall_coworkers(pool, kernel, intf);
+                    batch_pages = 0;
+                    t += kernel.memmove(heap.space(), core, m.src.0, m.dst.0, size)?;
+                    stats.memmove_bytes += size;
+                }
+                stats.moved_objects += 1;
+                kernel.perf.objects_moved += 1;
+            }
+            pool.dispatch_to(w, t);
+        }
+        // Drain the tail of the batch.
+        if !batch.is_empty() {
+            let w = pool.least_loaded();
+            let core = pool.core_of(w, cores);
+            let (t, intf) = self.flush_batch(kernel, heap, &mut batch, swap_opts, core, stats)?;
+            pool.dispatch_to(w, t);
+            stall_coworkers(pool, kernel, intf);
+        }
+
+        // Workers resynchronize at the phase barrier: each flushes its own
+        // TLB so the forwarding-word clears below cannot read mappings
+        // staled by *other* workers' swaps.
+        if any_swaps {
+            let asid = heap.space().asid();
+            let mut worst = Cycles::ZERO;
+            for w in 0..pool.len() {
+                let c = kernel.flush_tlb_local(pool.core_of(w, cores), asid);
+                worst = worst.max(c);
+            }
+            pool.charge_all(worst);
+        }
+
+        // Clear forwarding words at the destinations.
+        for m in moves {
+            let w = pool.least_loaded();
+            let core = pool.core_of(w, cores);
+            let t = kernel.write_word(heap.space(), core, m.dst.forwarding_va(), 0)?;
+            pool.dispatch_to(w, t);
+        }
+
+        if self.cfg.pinned_compaction && any_swaps {
+            // Algorithm 4 epilogue: unpin; mutators get fresh TLBs via one
+            // final broadcast (the post-GC cost §V-C mentions).
+            let asid = heap.space().asid();
+            let (bcast, intf) = kernel.flush_asid_all_cores(pool.core_of(0, cores), asid);
+            let unpin = kernel.unpin();
+            stats.phases.shootdown += bcast + unpin;
+            stats.interference += intf.0;
+        }
+        kernel.perf.objects_swapped += stats.swapped_objects;
+        kernel.perf.gc_cycles += 1;
+        Ok(())
+    }
+
+    /// Execute and clear the aggregation buffer. With aggregation disabled
+    /// the buffer never exceeds one request, so this degenerates to
+    /// separated calls.
+    fn flush_batch(
+        &self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        batch: &mut Vec<SwapRequest>,
+        opts: SwapVaOptions,
+        core: svagc_kernel::CoreId,
+        stats: &mut GcCycleStats,
+    ) -> Result<(Cycles, Cycles), HeapError> {
+        if batch.is_empty() {
+            return Ok((Cycles::ZERO, Cycles::ZERO));
+        }
+        let (t, intf) = if self.cfg.aggregation.is_some() {
+            kernel
+                .swap_va_batch(heap.space_mut(), core, batch, opts)
+                .map_err(HeapError::Vm)?
+        } else {
+            // Separated calls: one syscall per request.
+            let mut total = Cycles::ZERO;
+            let mut intf = Cycles::ZERO;
+            for req in batch.iter() {
+                let (t, i) = kernel
+                    .swap_va(heap.space_mut(), core, *req, opts)
+                    .map_err(HeapError::Vm)?;
+                total += t;
+                intf += i.0;
+            }
+            (total, svagc_kernel::Interference(intf))
+        };
+        stats.interference += intf.0;
+        batch.clear();
+        Ok((t, intf.0))
+    }
+}

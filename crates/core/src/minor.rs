@@ -1,0 +1,454 @@
+//! Minor GC: a copying scavenge of the nursery with SwapVA-accelerated
+//! promotion — Table I's second row made concrete.
+//!
+//! Phases (all STW, like HotSpot's parallel scavenge):
+//!
+//! 1. **Young roots** — root slots pointing into eden, plus old-generation
+//!    reference fields found by scanning the dirty cards of the remembered
+//!    set.
+//! 2. **Trace** — mark the transitively live *young* subgraph (references
+//!    into the old generation are not followed; old objects don't move).
+//! 3. **Forward** — assign each survivor a promotion address at the old
+//!    generation's cursor, `IFSWAPALIGN`-aligned for large objects.
+//! 4. **Adjust** — rewrite young-pointing references (roots, dirty old
+//!    fields, and survivors' own fields) to the forwarding addresses.
+//! 5. **Promote** — move each survivor: by **SwapVA** when it is at least
+//!    the threshold and both endpoints are page-aligned (requests
+//!    **aggregated** per Fig. 5 — eden and old space are disjoint, so the
+//!    overlap machinery is never needed, exactly as Table I says), else by
+//!    memmove. Then reset eden; the remembered set is clean by
+//!    construction (no young objects remain).
+
+use crate::scheduler::WorkerPool;
+use svagc_heap::{GenHeap, HeapError, MarkBitmap, ObjRef, RootSet, CARD_BYTES};
+use svagc_kernel::{FlushMode, Kernel, SwapRequest, SwapVaOptions};
+use svagc_metrics::Cycles;
+use svagc_vmem::{VirtAddr, PAGE_SIZE};
+
+/// Minor-collector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MinorConfig {
+    /// Scavenger worker threads.
+    pub gc_threads: usize,
+    /// Promote large survivors by PTE swapping.
+    pub use_swapva: bool,
+    /// Aggregate up to this many swap requests per syscall.
+    pub aggregation: Option<usize>,
+    /// PMD walk caching inside SwapVA.
+    pub pmd_cache: bool,
+}
+
+impl MinorConfig {
+    /// Everything on (the SVAGC-style scavenger).
+    pub fn svagc(gc_threads: usize) -> MinorConfig {
+        MinorConfig {
+            gc_threads,
+            use_swapva: true,
+            aggregation: Some(32),
+            pmd_cache: true,
+        }
+    }
+
+    /// memmove-only baseline.
+    pub fn memmove(gc_threads: usize) -> MinorConfig {
+        MinorConfig {
+            use_swapva: false,
+            aggregation: None,
+            ..MinorConfig::svagc(gc_threads)
+        }
+    }
+}
+
+/// Statistics of one scavenge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinorStats {
+    /// STW pause (cycles).
+    pub pause: Cycles,
+    /// Young objects found live and promoted.
+    pub promoted_objects: u64,
+    /// Bytes promoted.
+    pub promoted_bytes: u64,
+    /// Of those objects, promoted by PTE swap.
+    pub swapped_objects: u64,
+    /// Young objects reclaimed with eden.
+    pub dead_young: u64,
+    /// Dirty cards scanned.
+    pub scanned_cards: u64,
+    /// IPI interference pushed onto other cores.
+    pub interference: Cycles,
+}
+
+/// The minor collector.
+#[derive(Debug)]
+pub struct MinorGc {
+    /// Active configuration.
+    pub cfg: MinorConfig,
+    /// Per-scavenge log.
+    pub log: Vec<MinorStats>,
+}
+
+impl MinorGc {
+    /// A scavenger with the given configuration.
+    ///
+    /// ```
+    /// use svagc_core::{MinorConfig, MinorGc};
+    /// use svagc_heap::{GenHeap, ObjShape, RootSet};
+    /// use svagc_kernel::{CoreId, Kernel};
+    /// use svagc_metrics::MachineConfig;
+    /// use svagc_vmem::Asid;
+    ///
+    /// let mut k = Kernel::with_bytes(MachineConfig::xeon_gold_6130(), 32 << 20);
+    /// let mut gh = GenHeap::new(&mut k, Asid(1), 16 << 20, 4 << 20, 10).unwrap();
+    /// let mut roots = RootSet::new();
+    ///
+    /// let (live, _) = gh.alloc_young(&mut k, CoreId(0), ObjShape::data(32)).unwrap();
+    /// roots.push(live);
+    /// gh.alloc_young(&mut k, CoreId(0), ObjShape::data(32)).unwrap(); // garbage
+    ///
+    /// let mut minor = MinorGc::new(MinorConfig::svagc(2));
+    /// let stats = minor.collect(&mut k, &mut gh, &mut roots).unwrap();
+    /// assert_eq!(stats.promoted_objects, 1);
+    /// assert_eq!(stats.dead_young, 1);
+    /// assert!(gh.in_old(roots.iter_live().next().unwrap().0));
+    /// ```
+    pub fn new(cfg: MinorConfig) -> MinorGc {
+        MinorGc {
+            cfg,
+            log: Vec::new(),
+        }
+    }
+
+    /// Run one scavenge.
+    pub fn collect(
+        &mut self,
+        kernel: &mut Kernel,
+        gh: &mut GenHeap,
+        roots: &mut RootSet,
+    ) -> Result<MinorStats, HeapError> {
+        let mut stats = MinorStats::default();
+        let cores = kernel.cores();
+        let threads = self.cfg.gc_threads.min(cores).max(1);
+        let mut pool = WorkerPool::new(threads);
+        let (eden_base, eden_end) = gh.eden_range();
+        let eden_words = (eden_end - eden_base) / 8;
+        let mut bitmap = MarkBitmap::new(eden_base, eden_words);
+
+        // ---- Phase 1+2: young roots and trace ------------------------
+        // `slots`: every location that holds a young pointer and must be
+        // rewritten: root indices and (holder, field) pairs in old space.
+        let mut old_slots: Vec<(ObjRef, u64)> = Vec::new();
+        let mut stack: Vec<ObjRef> = Vec::new();
+        for r in roots.iter_live() {
+            if gh.in_young(r.0) && bitmap.mark(r.header_va()) {
+                stack.push(r);
+            }
+        }
+        // Scan dirty cards: find old objects overlapping each card and
+        // inspect their reference fields.
+        let dirty: Vec<VirtAddr> = gh.cards.iter_dirty().collect();
+        stats.scanned_cards = dirty.len() as u64;
+        let old_objects: Vec<ObjRef> = gh.old.objects_sorted().to_vec();
+        for card in dirty {
+            let card_end = card + CARD_BYTES;
+            // Objects whose extent intersects [card, card_end): start from
+            // the last object at or before the card.
+            let start_idx = old_objects.partition_point(|o| o.0 <= card).saturating_sub(1);
+            for &obj in &old_objects[start_idx..] {
+                if obj.0 >= card_end {
+                    break;
+                }
+                let w = pool.least_loaded();
+                let core = pool.core_of(w, cores);
+                let (hdr, mut t) = gh.old.read_header(kernel, core, obj)?;
+                // Imprecise card scan (as HotSpot does): inspect every
+                // reference field of each object overlapping the card.
+                for i in 0..hdr.num_refs as u64 {
+                    let (tgt, tc) = gh.old.read_ref(kernel, core, obj, i)?;
+                    t += tc;
+                    if !tgt.is_null() && gh.in_young(tgt.0) {
+                        old_slots.push((obj, i));
+                        if bitmap.mark(tgt.header_va()) {
+                            stack.push(tgt);
+                        }
+                    }
+                }
+                pool.dispatch_to(w, t);
+            }
+        }
+        // Trace the young subgraph.
+        while let Some(obj) = stack.pop() {
+            let w = pool.least_loaded();
+            let core = pool.core_of(w, cores);
+            let (hdr, mut t) = gh.old.read_header(kernel, core, obj)?;
+            for i in 0..hdr.num_refs as u64 {
+                let (tgt, tc) = gh.old.read_ref(kernel, core, obj, i)?;
+                t += tc;
+                if !tgt.is_null() && gh.in_young(tgt.0) && bitmap.mark(tgt.header_va()) {
+                    stack.push(tgt);
+                }
+            }
+            pool.dispatch_to(w, t);
+        }
+
+        // ---- Phase 3: forwarding (promotion addresses) ----------------
+        struct Promo {
+            src: ObjRef,
+            dst: ObjRef,
+            size: u64,
+            large: bool,
+        }
+        let young: Vec<ObjRef> = gh.young_objects().to_vec();
+        // First pass: read survivor shapes and pre-check old-gen capacity
+        // so a promotion failure aborts *before* any state changes (the
+        // caller must run a full collection and retry).
+        let mut survivors: Vec<(ObjRef, svagc_heap::ObjShape, bool)> = Vec::new();
+        let mut demand = 0u64;
+        let mut large_count = 0u64;
+        for &obj in &young {
+            if !bitmap.is_marked(obj.header_va()) {
+                stats.dead_young += 1;
+                continue;
+            }
+            let w = pool.least_loaded();
+            let core = pool.core_of(w, cores);
+            let (hdr, t) = gh.old.read_header(kernel, core, obj)?;
+            let shape = svagc_heap::ObjShape::with_refs(
+                hdr.num_refs,
+                hdr.size_words - 2 - hdr.num_refs,
+            );
+            demand += hdr.size_bytes();
+            if hdr.is_large() {
+                large_count += 1;
+            }
+            survivors.push((obj, shape, hdr.is_large()));
+            pool.dispatch_to(w, t);
+        }
+        if demand + (2 * large_count + 1) * PAGE_SIZE > gh.old.free_bytes() {
+            return Err(HeapError::NeedGc { requested: demand });
+        }
+        let mut promos: Vec<Promo> = Vec::new();
+        for (obj, shape, large) in survivors {
+            let w = pool.least_loaded();
+            let core = pool.core_of(w, cores);
+            let dst = gh.old.adopt_at_top(shape)?;
+            let t = kernel.write_word(gh.old.space(), core, obj.forwarding_va(), dst.0.get())?;
+            stats.promoted_bytes += shape.size_bytes();
+            promos.push(Promo {
+                src: obj,
+                dst,
+                size: shape.size_bytes(),
+                large,
+            });
+            pool.dispatch_to(w, t);
+        }
+        stats.promoted_objects = promos.len() as u64;
+
+        // ---- Phase 4: adjust references -------------------------------
+        let read_fwd = |kernel: &mut Kernel, gh: &GenHeap, core, tgt: ObjRef| {
+            kernel.read_word(gh.old.space(), core, tgt.forwarding_va())
+        };
+        // Root slots.
+        {
+            let core0 = pool.core_of(0, cores);
+            let mut t = Cycles::ZERO;
+            for slot in roots.slots_mut() {
+                if !slot.is_null() && slot.0 >= eden_base && slot.0 < eden_end {
+                    let (fwd, c) = kernel.read_word(gh.old.space(), core0, slot.forwarding_va())?;
+                    t += c;
+                    *slot = ObjRef(VirtAddr(fwd));
+                }
+            }
+            pool.dispatch_to(0, t);
+        }
+        // Old-generation fields discovered via cards.
+        for (holder, field) in old_slots {
+            let w = pool.least_loaded();
+            let core = pool.core_of(w, cores);
+            let (tgt, mut t) = gh.old.read_ref(kernel, core, holder, field)?;
+            if !tgt.is_null() && gh.in_young(tgt.0) {
+                let (fwd, c) = read_fwd(kernel, gh, core, tgt)?;
+                t += c;
+                t += gh.old.write_ref(kernel, core, holder, field, ObjRef(VirtAddr(fwd)))?;
+            }
+            pool.dispatch_to(w, t);
+        }
+        // Survivors' own fields (young targets forward; old targets keep).
+        for p in &promos {
+            let w = pool.least_loaded();
+            let core = pool.core_of(w, cores);
+            let (hdr, mut t) = gh.old.read_header(kernel, core, p.src)?;
+            for i in 0..hdr.num_refs as u64 {
+                let (tgt, tc) = gh.old.read_ref(kernel, core, p.src, i)?;
+                t += tc;
+                if !tgt.is_null() && gh.in_young(tgt.0) {
+                    let (fwd, c) = read_fwd(kernel, gh, core, tgt)?;
+                    t += c;
+                    t += gh.old.write_ref(kernel, core, p.src, i, ObjRef(VirtAddr(fwd)))?;
+                }
+            }
+            pool.dispatch_to(w, t);
+        }
+
+        // ---- Phase 5: promote (copy or swap) ---------------------------
+        let threshold_pages = gh.old.threshold_pages();
+        let swap_opts = SwapVaOptions {
+            pmd_cache: self.cfg.pmd_cache,
+            overlap_opt: false, // Table I: not applicable to Minor copying
+            flush: FlushMode::LocalOnly,
+        };
+        let any_swaps = self.cfg.use_swapva
+            && promos.iter().any(|p| {
+                p.large && p.src.0.is_page_aligned() && p.dst.0.is_page_aligned()
+            });
+        if any_swaps {
+            let asid = gh.old.space().asid();
+            let c0 = pool.core_of(0, cores);
+            let pin = kernel.pin(c0);
+            let (b, intf) = kernel.flush_asid_all_cores(c0, asid);
+            pool.dispatch_to(0, pin + b);
+            stats.interference += intf.0;
+        }
+        let mut batch: Vec<SwapRequest> = Vec::new();
+        let mut batch_pages = 0u64;
+        let batch_cap = self.cfg.aggregation.unwrap_or(1).max(1);
+        // Aggregation amortizes syscall entry across *small* promotions; a
+        // page budget keeps one batch from serializing big-object swaps
+        // onto a single worker.
+        let batch_page_budget = 8 * threshold_pages.max(1);
+        for p in &promos {
+            let w = pool.least_loaded();
+            let core = pool.core_of(w, cores);
+            let mut t = Cycles::ZERO;
+            let pages = p.size.div_ceil(PAGE_SIZE);
+            let swappable = self.cfg.use_swapva
+                && p.large
+                && pages >= threshold_pages
+                && p.src.0.is_page_aligned()
+                && p.dst.0.is_page_aligned();
+            if swappable {
+                // Eden and old space never overlap: this is always the
+                // disjoint fast path.
+                debug_assert!(
+                    !(SwapRequest { a: p.src.0, b: p.dst.0, pages }).overlaps(),
+                    "eden and old generation must be disjoint"
+                );
+                stats.swapped_objects += 1;
+                batch.push(SwapRequest { a: p.src.0, b: p.dst.0, pages });
+                batch_pages += pages;
+                if batch.len() >= batch_cap || batch_pages >= batch_page_budget {
+                    let (c, intf) = if self.cfg.aggregation.is_some() {
+                        kernel
+                            .swap_va_batch(gh.old.space_mut(), core, &batch, swap_opts)
+                            .map_err(HeapError::Vm)?
+                    } else {
+                        let req = batch[0];
+                        kernel
+                            .swap_va(gh.old.space_mut(), core, req, swap_opts)
+                            .map_err(HeapError::Vm)?
+                    };
+                    batch.clear();
+                    batch_pages = 0;
+                    t += c;
+                    stats.interference += intf.0;
+                }
+            } else {
+                t += kernel.memmove(gh.old.space(), core, p.src.0, p.dst.0, p.size)?;
+            }
+            pool.dispatch_to(w, t);
+        }
+        if !batch.is_empty() {
+            let w = pool.least_loaded();
+            let core = pool.core_of(w, cores);
+            let (c, intf) = kernel
+                .swap_va_batch(gh.old.space_mut(), core, &batch, swap_opts)
+                .map_err(HeapError::Vm)?;
+            stats.interference += intf.0;
+            pool.dispatch_to(w, c);
+        }
+        // Clear forwarding words at the destinations (after every deferred
+        // swap has executed, so the words land in the final frames).
+        if any_swaps {
+            let asid = gh.old.space().asid();
+            for w in 0..pool.len() {
+                kernel.flush_tlb_local(pool.core_of(w, cores), asid);
+            }
+        }
+        for p in &promos {
+            let w = pool.least_loaded();
+            let core = pool.core_of(w, cores);
+            let t = kernel.write_word(gh.old.space(), core, p.dst.forwarding_va(), 0)?;
+            pool.dispatch_to(w, t);
+        }
+        if any_swaps {
+            let asid = gh.old.space().asid();
+            let c0 = pool.core_of(0, cores);
+            let (b, intf) = kernel.flush_asid_all_cores(c0, asid);
+            pool.dispatch_to(0, b + kernel.unpin());
+            stats.interference += intf.0;
+        }
+
+        gh.reset_eden();
+        stats.pause = pool.makespan();
+        kernel.perf.gc_cycles += 1;
+        kernel.perf.objects_moved += stats.promoted_objects;
+        kernel.perf.objects_swapped += stats.swapped_objects;
+        self.log.push(stats);
+        Ok(stats)
+    }
+
+    /// Total scavenge pause across the log.
+    pub fn total_pause(&self) -> Cycles {
+        self.log.iter().map(|s| s.pause).sum()
+    }
+}
+
+/// Full collection of the *old generation* while a nursery exists (e.g.
+/// after a promotion failure): young-held references into the old space
+/// are pinned as temporary roots so the full collector keeps and updates
+/// them, the collection runs on the old heap only (its phases ignore
+/// out-of-heap roots and targets), the updated values are written back
+/// into the young holders, and the remembered set is rebuilt for the
+/// moved old objects.
+pub fn full_collect_generational(
+    kernel: &mut Kernel,
+    gh: &mut GenHeap,
+    roots: &mut RootSet,
+    full: &mut crate::lisp2::Lisp2Collector,
+) -> Result<crate::stats::GcCycleStats, HeapError> {
+    let core = svagc_kernel::CoreId(0);
+    // Pin young-held old references as temporary roots.
+    let mut temp: Vec<(ObjRef, u64, svagc_heap::RootId)> = Vec::new();
+    for &y in &gh.young_objects().to_vec() {
+        let (hdr, _) = gh.old.read_header(kernel, core, y)?;
+        for i in 0..hdr.num_refs as u64 {
+            let (tgt, _) = gh.old.read_ref(kernel, core, y, i)?;
+            if !tgt.is_null() && gh.in_old(tgt.0) {
+                temp.push((y, i, roots.push(tgt)));
+            }
+        }
+    }
+
+    let stats = full.collect(kernel, &mut gh.old, roots)?;
+
+    // Write the updated addresses back into the young holders and retire
+    // the temporary roots.
+    for (holder, field, rid) in temp {
+        let updated = roots.get(rid);
+        gh.old.write_ref(kernel, core, holder, field, updated)?;
+        roots.set(rid, ObjRef::NULL);
+    }
+
+    // Old objects moved: rebuild the remembered set by scanning the
+    // surviving old objects for young-pointing fields.
+    gh.cards.clear();
+    for &obj in &gh.old.objects_sorted().to_vec() {
+        let (hdr, _) = gh.old.read_header(kernel, core, obj)?;
+        for i in 0..hdr.num_refs as u64 {
+            let (tgt, _) = gh.old.read_ref(kernel, core, obj, i)?;
+            if !tgt.is_null() && gh.in_young(tgt.0) {
+                gh.cards.dirty(obj.ref_field_va(i));
+            }
+        }
+    }
+    Ok(stats)
+}

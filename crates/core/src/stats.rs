@@ -1,0 +1,216 @@
+//! GC timing statistics: per-phase breakdowns and per-cycle logs.
+//!
+//! Every figure in the paper's evaluation is a function of these numbers:
+//! Fig. 1 plots the phase breakdown, Figs. 11-13 plot total/average/max
+//! pause split into compaction vs other phases, Figs. 15/16 add mutator
+//! time.
+
+use svagc_metrics::{Cycles, SimTime};
+
+/// Cycle cost of each LISP2 phase (makespan across GC workers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseBreakdown {
+    /// Phase I: marking.
+    pub mark: Cycles,
+    /// Phase II: forwarding-address calculation.
+    pub forward: Cycles,
+    /// Phase III: pointer adjustment.
+    pub adjust: Cycles,
+    /// Phase IV: compaction (moving), including move-time flushes.
+    pub compact: Cycles,
+    /// Pin/broadcast overhead around the compaction phase (Algorithm 4).
+    pub shootdown: Cycles,
+}
+
+impl PhaseBreakdown {
+    /// Total STW pause.
+    pub fn total(&self) -> Cycles {
+        self.mark + self.forward + self.adjust + self.compact + self.shootdown
+    }
+
+    /// Everything except the moving/compaction phase (the red bars of
+    /// Figs. 11/12).
+    pub fn non_compact(&self) -> Cycles {
+        self.mark + self.forward + self.adjust
+    }
+
+    /// Compaction (incl. its shootdown overhead — the blue bars).
+    pub fn compact_total(&self) -> Cycles {
+        self.compact + self.shootdown
+    }
+
+    /// Compaction share of the pause, in percent (Fig. 1).
+    pub fn compact_pct(&self) -> f64 {
+        let total = self.total().get();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.compact_total().get() as f64 / total as f64
+        }
+    }
+}
+
+/// Statistics of one full GC cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcCycleStats {
+    /// Phase costs.
+    pub phases: PhaseBreakdown,
+    /// Objects found live.
+    pub live_objects: u64,
+    /// Live bytes (requested sizes).
+    pub live_bytes: u64,
+    /// Objects reclaimed.
+    pub dead_objects: u64,
+    /// Objects relocated (src != dst).
+    pub moved_objects: u64,
+    /// Of those, moved via SwapVA.
+    pub swapped_objects: u64,
+    /// Bytes relocated by memmove.
+    pub memmove_bytes: u64,
+    /// Bytes relocated by PTE swapping (no data traffic).
+    pub swapped_bytes: u64,
+    /// Cycles stolen from other cores by IPIs (mutator interference).
+    pub interference: Cycles,
+}
+
+impl GcCycleStats {
+    /// Total STW pause of this cycle.
+    pub fn pause(&self) -> Cycles {
+        self.phases.total()
+    }
+}
+
+/// The log of all GC cycles in a run.
+#[derive(Debug, Clone, Default)]
+pub struct GcLog {
+    /// Per-cycle records, in order.
+    pub cycles: Vec<GcCycleStats>,
+}
+
+impl GcLog {
+    /// Empty log.
+    pub fn new() -> GcLog {
+        GcLog::default()
+    }
+
+    /// Record a cycle.
+    pub fn push(&mut self, s: GcCycleStats) {
+        self.cycles.push(s);
+    }
+
+    /// Number of GC cycles.
+    pub fn count(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Sum of all pauses.
+    pub fn total_pause(&self) -> Cycles {
+        self.cycles.iter().map(|c| c.pause()).sum()
+    }
+
+    /// Longest single pause.
+    pub fn max_pause(&self) -> Cycles {
+        self.cycles
+            .iter()
+            .map(|c| c.pause())
+            .fold(Cycles::ZERO, Cycles::max)
+    }
+
+    /// Mean pause (zero if no cycles).
+    pub fn avg_pause(&self) -> Cycles {
+        if self.cycles.is_empty() {
+            Cycles::ZERO
+        } else {
+            self.total_pause() / self.cycles.len() as u64
+        }
+    }
+
+    /// Sum of compaction-phase time across cycles.
+    pub fn total_compact(&self) -> Cycles {
+        self.cycles
+            .iter()
+            .map(|c| c.phases.compact_total())
+            .sum()
+    }
+
+    /// Sum of non-compaction phase time across cycles.
+    pub fn total_other(&self) -> Cycles {
+        self.cycles.iter().map(|c| c.phases.non_compact()).sum()
+    }
+
+    /// Total interference pushed onto other cores.
+    pub fn total_interference(&self) -> Cycles {
+        self.cycles.iter().map(|c| c.interference).sum()
+    }
+
+    /// Aggregate phase breakdown over all cycles.
+    pub fn phase_totals(&self) -> PhaseBreakdown {
+        let mut total = PhaseBreakdown::default();
+        for c in &self.cycles {
+            total.mark += c.phases.mark;
+            total.forward += c.phases.forward;
+            total.adjust += c.phases.adjust;
+            total.compact += c.phases.compact;
+            total.shootdown += c.phases.shootdown;
+        }
+        total
+    }
+
+    /// Convert a cycle count to time at `freq_ghz`.
+    pub fn time(&self, c: Cycles, freq_ghz: f64) -> SimTime {
+        c.at_ghz(freq_ghz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cyc(mark: u64, fw: u64, adj: u64, comp: u64) -> GcCycleStats {
+        GcCycleStats {
+            phases: PhaseBreakdown {
+                mark: Cycles(mark),
+                forward: Cycles(fw),
+                adjust: Cycles(adj),
+                compact: Cycles(comp),
+                shootdown: Cycles::ZERO,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = PhaseBreakdown {
+            mark: Cycles(10),
+            forward: Cycles(20),
+            adjust: Cycles(30),
+            compact: Cycles(140),
+            shootdown: Cycles(10),
+        };
+        assert_eq!(b.total(), Cycles(210));
+        assert_eq!(b.non_compact(), Cycles(60));
+        assert_eq!(b.compact_total(), Cycles(150));
+        assert!((b.compact_pct() - 100.0 * 150.0 / 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_aggregates() {
+        let mut log = GcLog::new();
+        log.push(cyc(1, 2, 3, 4));
+        log.push(cyc(10, 20, 30, 140));
+        assert_eq!(log.count(), 2);
+        assert_eq!(log.total_pause(), Cycles(210));
+        assert_eq!(log.max_pause(), Cycles(200));
+        assert_eq!(log.avg_pause(), Cycles(105));
+        assert_eq!(log.total_compact(), Cycles(144));
+        assert_eq!(log.total_other(), Cycles(66));
+    }
+
+    #[test]
+    fn empty_log_is_safe() {
+        let log = GcLog::new();
+        assert_eq!(log.avg_pause(), Cycles::ZERO);
+        assert_eq!(log.max_pause(), Cycles::ZERO);
+    }
+}

@@ -1,0 +1,275 @@
+//! End-to-end correctness of the SVAGC collector: object graphs survive
+//! compaction bit-for-bit, whether objects move by memmove or by PTE swap.
+
+use svagc_core::{GcConfig, Lisp2Collector};
+use svagc_heap::{Heap, HeapConfig, ObjRef, ObjShape, RootSet};
+use svagc_kernel::{CoreId, Kernel};
+use svagc_metrics::MachineConfig;
+use svagc_vmem::{Asid, PAGE_SIZE};
+
+const CORE: CoreId = CoreId(0);
+
+fn setup(heap_bytes: u64) -> (Kernel, Heap, RootSet) {
+    let mut k = Kernel::with_bytes(MachineConfig::i5_7600(), heap_bytes + (4 << 20));
+    let h = Heap::new(&mut k, Asid(1), HeapConfig::new(heap_bytes)).unwrap();
+    (k, h, RootSet::new())
+}
+
+/// Allocate an object whose data words are `seed, seed+1, ...` so content
+/// can be verified after moves.
+fn alloc_stamped(
+    k: &mut Kernel,
+    h: &mut Heap,
+    shape: ObjShape,
+    seed: u64,
+) -> ObjRef {
+    let (obj, _) = h.alloc(k, CORE, shape).unwrap();
+    for i in 0..shape.data_words as u64 {
+        h.write_data(k, CORE, obj, shape.num_refs as u64, i, seed + i)
+            .unwrap();
+    }
+    obj
+}
+
+fn check_stamped(k: &mut Kernel, h: &Heap, obj: ObjRef, shape: ObjShape, seed: u64) {
+    for i in 0..shape.data_words as u64 {
+        let (v, _) = h
+            .read_data(k, CORE, obj, shape.num_refs as u64, i)
+            .unwrap();
+        assert_eq!(v, seed + i, "data word {i} of object at {}", obj.0);
+    }
+}
+
+#[test]
+fn dead_objects_reclaimed_live_data_survives() {
+    for cfg in [GcConfig::svagc(4), GcConfig::lisp2_memmove(4)] {
+        let (mut k, mut h, mut roots) = setup(8 << 20);
+        let shape = ObjShape::data(64);
+        let mut kept = Vec::new();
+        for i in 0..100u64 {
+            let obj = alloc_stamped(&mut k, &mut h, shape, i * 1000);
+            if i % 3 == 0 {
+                kept.push((roots.push(obj), i * 1000));
+            }
+        }
+        let used_before = h.used_bytes();
+        let mut gc = Lisp2Collector::new(cfg);
+        let stats = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+        assert_eq!(stats.live_objects, 34);
+        assert_eq!(stats.dead_objects, 66);
+        assert!(h.used_bytes() < used_before);
+        for (rid, seed) in kept {
+            let obj = roots.get(rid);
+            check_stamped(&mut k, &h, obj, shape, seed);
+        }
+    }
+}
+
+#[test]
+fn linked_graph_with_cycles_survives() {
+    for cfg in [GcConfig::svagc(2), GcConfig::lisp2_memmove(2)] {
+        let (mut k, mut h, mut roots) = setup(8 << 20);
+        let shape = ObjShape::with_refs(2, 8);
+        // Ring of 10 nodes, each also pointing at a payload leaf.
+        let nodes: Vec<ObjRef> = (0..10u64)
+            .map(|i| alloc_stamped(&mut k, &mut h, shape, i * 100))
+            .collect();
+        let leaves: Vec<ObjRef> = (0..10u64)
+            .map(|i| alloc_stamped(&mut k, &mut h, ObjShape::data(4), 7000 + i))
+            .collect();
+        for i in 0..10 {
+            h.write_ref(&mut k, CORE, nodes[i], 0, nodes[(i + 1) % 10])
+                .unwrap();
+            h.write_ref(&mut k, CORE, nodes[i], 1, leaves[i]).unwrap();
+        }
+        // Garbage between the nodes.
+        for i in 0..50u64 {
+            alloc_stamped(&mut k, &mut h, ObjShape::data(32), 999_000 + i);
+        }
+        let rid = roots.push(nodes[0]);
+        let mut gc = Lisp2Collector::new(cfg);
+        let stats = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+        assert_eq!(stats.live_objects, 20, "ring + leaves");
+
+        // Walk the ring through the *moved* references.
+        let mut cur = roots.get(rid);
+        for step in 0..10u64 {
+            check_stamped(&mut k, &h, cur, shape, step * 100);
+            let (leaf, _) = h.read_ref(&mut k, CORE, cur, 1).unwrap();
+            check_stamped(&mut k, &h, leaf, ObjShape::data(4), 7000 + step);
+            let (next, _) = h.read_ref(&mut k, CORE, cur, 0).unwrap();
+            cur = next;
+        }
+        assert_eq!(cur, roots.get(rid), "ring closes after 10 hops");
+    }
+}
+
+#[test]
+fn large_objects_move_by_pte_swap() {
+    let (mut k, mut h, mut roots) = setup(96 << 20);
+    let big = ObjShape::data_bytes(12 * PAGE_SIZE);
+    // Interleave doomed and surviving large objects so survivors slide.
+    let mut kept = Vec::new();
+    for i in 0..16u64 {
+        let obj = alloc_stamped(&mut k, &mut h, big, i * 1_000_000);
+        if i % 2 == 1 {
+            kept.push((roots.push(obj), i * 1_000_000));
+        }
+    }
+    let mut gc = Lisp2Collector::new(GcConfig::svagc(4));
+    let stats = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+    assert_eq!(stats.live_objects, 8);
+    assert!(
+        stats.swapped_objects >= 7,
+        "large survivors should move via SwapVA (got {})",
+        stats.swapped_objects
+    );
+    assert_eq!(stats.memmove_bytes, 0, "nothing should be byte-copied");
+    for (rid, seed) in kept {
+        let obj = roots.get(rid);
+        assert!(obj.0.is_page_aligned(), "large stays page-aligned");
+        check_stamped(&mut k, &h, obj, big, seed);
+    }
+}
+
+#[test]
+fn overlapping_slide_uses_rotation_and_preserves_data() {
+    let (mut k, mut h, mut roots) = setup(64 << 20);
+    // A doomed small object, then a big survivor: the survivor slides down
+    // by less than its own size -> overlap path.
+    alloc_stamped(&mut k, &mut h, ObjShape::data_bytes(2 * PAGE_SIZE - 64), 1);
+    let big = ObjShape::data_bytes(40 * PAGE_SIZE);
+    let obj = alloc_stamped(&mut k, &mut h, big, 42_000);
+    let rid = roots.push(obj);
+    let src = obj.0;
+    let mut gc = Lisp2Collector::new(GcConfig::svagc(1));
+    let stats = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+    let moved = roots.get(rid);
+    assert!(moved.0 < src, "object slid down");
+    assert!(src - moved.0 < 41 * PAGE_SIZE, "slide smaller than object");
+    assert_eq!(stats.swapped_objects, 1);
+    check_stamped(&mut k, &h, moved, big, 42_000);
+}
+
+#[test]
+fn overlap_opt_disabled_falls_back_to_memmove() {
+    let (mut k, mut h, mut roots) = setup(64 << 20);
+    alloc_stamped(&mut k, &mut h, ObjShape::data_bytes(PAGE_SIZE), 1);
+    let big = ObjShape::data_bytes(40 * PAGE_SIZE);
+    let obj = alloc_stamped(&mut k, &mut h, big, 5_000);
+    let rid = roots.push(obj);
+    let mut gc = Lisp2Collector::new(GcConfig::svagc(1).with_overlap(false));
+    let stats = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+    assert_eq!(stats.swapped_objects, 0);
+    assert!(stats.memmove_bytes > 0);
+    check_stamped(&mut k, &h, roots.get(rid), big, 5_000);
+}
+
+#[test]
+fn second_gc_moves_nothing() {
+    let (mut k, mut h, mut roots) = setup(16 << 20);
+    for i in 0..50u64 {
+        let obj = alloc_stamped(&mut k, &mut h, ObjShape::data(16), i);
+        if i % 2 == 0 {
+            roots.push(obj);
+        }
+    }
+    let mut gc = Lisp2Collector::new(GcConfig::svagc(2));
+    gc.collect(&mut k, &mut h, &mut roots).unwrap();
+    let stats2 = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+    assert_eq!(stats2.moved_objects, 0, "already compacted");
+    assert_eq!(stats2.dead_objects, 0);
+}
+
+#[test]
+fn allocation_succeeds_after_reclaim() {
+    let (mut k, mut h, mut roots) = setup(1 << 20);
+    let shape = ObjShape::data(1024);
+    // Fill the heap with garbage.
+    while h.alloc(&mut k, CORE, shape).is_ok() {}
+    let mut gc = Lisp2Collector::new(GcConfig::svagc(2));
+    gc.collect(&mut k, &mut h, &mut roots).unwrap();
+    assert_eq!(h.used_bytes(), 0, "everything was garbage");
+    let obj = alloc_stamped(&mut k, &mut h, shape, 77);
+    check_stamped(&mut k, &h, obj, shape, 77);
+}
+
+#[test]
+fn svagc_and_memmove_produce_identical_layouts() {
+    // The two variants must compact to byte-identical heaps — SwapVA is a
+    // pure mechanism change.
+    let run = |cfg: GcConfig| {
+        let (mut k, mut h, mut roots) = setup(64 << 20);
+        let mut layout = Vec::new();
+        for i in 0..30u64 {
+            let shape = if i % 4 == 0 {
+                ObjShape::data_bytes(11 * PAGE_SIZE)
+            } else {
+                ObjShape::data(100)
+            };
+            let obj = alloc_stamped(&mut k, &mut h, shape, i * 10);
+            if i % 2 == 0 {
+                roots.push(obj);
+            }
+        }
+        let mut gc = Lisp2Collector::new(cfg);
+        gc.collect(&mut k, &mut h, &mut roots).unwrap();
+        for r in roots.iter_live() {
+            layout.push(r.0.get());
+        }
+        (layout, h.top().get())
+    };
+    let (layout_swap, top_swap) = run(GcConfig::svagc(4));
+    let (layout_move, top_move) = run(GcConfig::lisp2_memmove(4));
+    assert_eq!(layout_swap, layout_move);
+    assert_eq!(top_swap, top_move);
+}
+
+#[test]
+fn mixed_sizes_many_cycles_remain_consistent() {
+    let (mut k, mut h, mut roots) = setup(2 << 20);
+    let mut gc = Lisp2Collector::new(GcConfig::svagc(4));
+    let mut live: Vec<(svagc_heap::RootId, ObjShape, u64)> = Vec::new();
+    let mut seed = 0u64;
+    for round in 0..5 {
+        // Drop half the live set.
+        for (i, (rid, _, _)) in live.iter().enumerate() {
+            if i % 2 == 0 {
+                roots.set(*rid, ObjRef::NULL);
+            }
+        }
+        live = live
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 1)
+            .map(|(_, x)| *x)
+            .collect();
+        // Allocate a new mixed generation, GC on demand.
+        for i in 0..40u64 {
+            let shape = match i % 5 {
+                0 => ObjShape::data_bytes(10 * PAGE_SIZE + 512),
+                1 => ObjShape::data(700),
+                _ => ObjShape::data(48),
+            };
+            seed += 10_000;
+            let obj = loop {
+                match h.alloc(&mut k, CORE, shape) {
+                    Ok((o, _)) => break o,
+                    Err(svagc_heap::HeapError::NeedGc { .. }) => {
+                        gc.collect(&mut k, &mut h, &mut roots).unwrap();
+                    }
+                    Err(e) => panic!("round {round}: {e}"),
+                }
+            };
+            for w in 0..shape.data_words as u64 {
+                h.write_data(&mut k, CORE, obj, 0, w, seed + w).unwrap();
+            }
+            live.push((roots.push(obj), shape, seed));
+        }
+        // Verify everything still live.
+        for (rid, shape, s) in &live {
+            check_stamped(&mut k, &h, roots.get(*rid), *shape, *s);
+        }
+    }
+    assert!(gc.log.count() >= 1, "GC must have run at least once");
+}

@@ -1,0 +1,119 @@
+//! Property tests of the virtual-time scheduler: the greedy (work-
+//! stealing) dispatcher obeys the classic list-scheduling bounds, and
+//! static partitioning never beats it.
+
+use proptest::prelude::*;
+use svagc_core::WorkerPool;
+use svagc_metrics::Cycles;
+
+proptest! {
+    /// Greedy list scheduling is within the Graham bound:
+    /// `makespan <= total/n + max_item`, and at least
+    /// `max(total/n, max_item)` (no scheduler can beat that).
+    #[test]
+    fn greedy_obeys_graham_bounds(
+        n in 1usize..16,
+        items in proptest::collection::vec(1u64..10_000, 1..200),
+    ) {
+        let mut pool = WorkerPool::new(n);
+        for &c in &items {
+            pool.dispatch(Cycles(c));
+        }
+        let total: u64 = items.iter().sum();
+        let max_item = *items.iter().max().unwrap();
+        let makespan = pool.makespan().get();
+        let lower = (total / n as u64).max(max_item);
+        let upper = total / n as u64 + max_item;
+        prop_assert!(makespan >= lower, "makespan {makespan} < lower {lower}");
+        prop_assert!(makespan <= upper, "makespan {makespan} > upper {upper}");
+        prop_assert_eq!(pool.total_work(), Cycles(total));
+    }
+
+    /// On uniform items both dispatchers balance perfectly and agree
+    /// exactly; greedy additionally respects the Graham bound on any
+    /// input while static round-robin can exceed it (it is what makes the
+    /// Shenandoah copy-phase model slower under skew) — checked here via
+    /// an explicit skew pattern rather than a (false) pairwise dominance
+    /// claim: list scheduling is only a 2-approximation and specific
+    /// sequences exist where round-robin happens to win.
+    #[test]
+    fn uniform_items_balance_identically(
+        n in 1usize..8,
+        rounds in 1usize..40,
+        cost in 1u64..1000,
+    ) {
+        let mut greedy = WorkerPool::new(n);
+        let mut fixed = WorkerPool::new(n);
+        for _ in 0..rounds * n {
+            greedy.dispatch(Cycles(cost));
+            fixed.dispatch_static(Cycles(cost));
+        }
+        prop_assert_eq!(greedy.makespan(), fixed.makespan());
+        prop_assert_eq!(greedy.makespan(), Cycles(rounds as u64 * cost));
+    }
+
+    /// Under a big-items-first skew (one giant, many small), greedy stays
+    /// at the giant item's cost while static round-robin stacks small
+    /// items behind it.
+    #[test]
+    fn static_suffers_under_head_skew(
+        n in 2usize..8,
+        small in proptest::collection::vec(1u64..100, 8..100),
+    ) {
+        let giant: u64 = small.iter().sum::<u64>() + 1;
+        let mut greedy = WorkerPool::new(n);
+        let mut fixed = WorkerPool::new(n);
+        greedy.dispatch(Cycles(giant));
+        fixed.dispatch_static(Cycles(giant));
+        for &c in &small {
+            greedy.dispatch(Cycles(c));
+            fixed.dispatch_static(Cycles(c));
+        }
+        prop_assert_eq!(greedy.makespan(), Cycles(giant));
+        prop_assert!(fixed.makespan() >= greedy.makespan());
+    }
+
+    /// More workers never hurt (greedy makespan is monotone in n).
+    #[test]
+    fn more_workers_never_hurt(
+        items in proptest::collection::vec(1u64..10_000, 1..150),
+    ) {
+        let mut prev = u64::MAX;
+        for n in [1usize, 2, 4, 8, 16] {
+            let mut pool = WorkerPool::new(n);
+            for &c in &items {
+                pool.dispatch(Cycles(c));
+            }
+            let m = pool.makespan().get();
+            prop_assert!(m <= prev, "n={n}: {m} > previous {prev}");
+            prev = m;
+        }
+    }
+
+    /// Barriers preserve total-order consistency: after a barrier every
+    /// worker restarts from the same clock, so the makespan decomposes as
+    /// a sum of phase makespans.
+    #[test]
+    fn barriers_decompose_phases(
+        phase_a in proptest::collection::vec(1u64..1000, 1..50),
+        phase_b in proptest::collection::vec(1u64..1000, 1..50),
+    ) {
+        let n = 4;
+        let mut pool = WorkerPool::new(n);
+        for &c in &phase_a {
+            pool.dispatch(Cycles(c));
+        }
+        let a = pool.makespan();
+        pool.barrier();
+        for &c in &phase_b {
+            pool.dispatch(Cycles(c));
+        }
+        let combined = pool.makespan();
+
+        let mut solo = WorkerPool::new(n);
+        for &c in &phase_b {
+            solo.dispatch(Cycles(c));
+        }
+        prop_assert_eq!(combined, a + solo.makespan());
+    }
+}

@@ -1,0 +1,648 @@
+//! The Epsilon-style bump heap with Algorithm 3's SwapVA-aware allocator.
+//!
+//! One contiguous virtual range, fully mapped at construction (the paper
+//! extends OpenJDK's Epsilon allocator). Allocation is `ALLOCMEM`
+//! (Algorithm 3): objects at or above the swapping threshold are placed on
+//! page boundaries — and leave the cursor page-aligned afterwards — so that
+//! the compaction phase may move them by swapping whole PTEs without
+//! disturbing neighbours. The alignment gaps this creates are the internal
+//! fragmentation the paper bounds at <5 % for a 10-page threshold.
+
+use crate::object::{ObjHeader, ObjRef, ObjShape, FLAG_LARGE, HEADER_WORDS};
+use svagc_kernel::{CoreId, Kernel};
+use svagc_metrics::Cycles;
+use svagc_vmem::{AddressSpace, Asid, VirtAddr, VmError, PAGE_SIZE, WORD_BYTES};
+
+/// Heap construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapConfig {
+    /// Heap capacity in bytes (rounded up to pages).
+    pub heap_bytes: u64,
+    /// `Threshold_Swapping`: objects of at least this many pages are
+    /// page-aligned SwapVA candidates. The paper's break-even is 10.
+    pub swap_threshold_pages: u64,
+    /// Apply Algorithm 3's `IFSWAPALIGN` at allocation/forwarding time.
+    /// Baseline collectors (ParallelGC, Shenandoah) do not align large
+    /// objects — set this `false` for their heaps.
+    pub align_large: bool,
+}
+
+impl HeapConfig {
+    /// A heap of `heap_bytes` with the paper's default threshold (10).
+    pub fn new(heap_bytes: u64) -> HeapConfig {
+        HeapConfig {
+            heap_bytes,
+            swap_threshold_pages: 10,
+            align_large: true,
+        }
+    }
+
+    /// Override the swapping threshold.
+    pub fn with_threshold(mut self, pages: u64) -> HeapConfig {
+        self.swap_threshold_pages = pages;
+        self
+    }
+
+    /// Toggle large-object page alignment (off for baseline collectors).
+    pub fn with_alignment(mut self, on: bool) -> HeapConfig {
+        self.align_large = on;
+        self
+    }
+
+    /// Derive the threshold from the machine's cost constants instead of
+    /// the paper's fixed 10 (Fig. 10: the break-even is a property of the
+    /// CPU/memory configuration).
+    pub fn with_auto_threshold(mut self, machine: &svagc_metrics::MachineConfig) -> HeapConfig {
+        self.swap_threshold_pages = machine.derived_threshold_pages().min(1 << 20);
+        self
+    }
+
+    /// Minimum byte size of a "large" (page-aligned) object.
+    pub fn large_bytes(&self) -> u64 {
+        self.swap_threshold_pages * PAGE_SIZE
+    }
+}
+
+/// Allocation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// Not enough contiguous space left: run a GC and retry.
+    NeedGc {
+        /// Bytes the failed request needed.
+        requested: u64,
+    },
+    /// Request larger than the whole heap.
+    TooLarge {
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// Underlying memory error.
+    Vm(VmError),
+}
+
+impl From<VmError> for HeapError {
+    fn from(e: VmError) -> HeapError {
+        HeapError::Vm(e)
+    }
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::NeedGc { requested } => write!(f, "heap full ({requested} B needed)"),
+            HeapError::TooLarge { requested } => write!(f, "request exceeds heap ({requested} B)"),
+            HeapError::Vm(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// Allocation/fragmentation statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeapStats {
+    /// Objects allocated since construction.
+    pub allocations: u64,
+    /// Large (page-aligned) objects among them.
+    pub large_allocations: u64,
+    /// Payload bytes requested.
+    pub bytes_requested: u64,
+    /// Bytes lost to page-alignment gaps (internal fragmentation).
+    pub align_waste_bytes: u64,
+}
+
+impl HeapStats {
+    /// Fragmentation as a fraction of bytes consumed.
+    pub fn frag_ratio(&self) -> f64 {
+        let total = self.bytes_requested + self.align_waste_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.align_waste_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// The managed heap of one simulated JVM.
+#[derive(Debug)]
+pub struct Heap {
+    space: AddressSpace,
+    base: VirtAddr,
+    end: VirtAddr,
+    top: VirtAddr,
+    cfg: HeapConfig,
+    /// All allocated objects in allocation order (sorted on demand).
+    objects: Vec<ObjRef>,
+    sorted: bool,
+    /// Statistics.
+    pub stats: HeapStats,
+}
+
+impl Heap {
+    /// Map and build a heap of `cfg.heap_bytes` in a fresh address space.
+    pub fn new(kernel: &mut Kernel, asid: Asid, cfg: HeapConfig) -> Result<Heap, HeapError> {
+        let mut space = AddressSpace::new(asid);
+        let pages = cfg.heap_bytes.div_ceil(PAGE_SIZE);
+        let base = kernel.vmem.alloc_region(&mut space, pages)?;
+        Ok(Heap {
+            space,
+            base,
+            end: base.add_pages(pages),
+            top: base,
+            cfg,
+            objects: Vec::new(),
+            sorted: true,
+            stats: HeapStats::default(),
+        })
+    }
+
+    /// `IFSWAPALIGN` (Algorithm 3, lines 7-11): page-align the cursor for
+    /// SwapVA-candidate objects, identity otherwise.
+    #[inline]
+    fn if_swap_align(&self, shape: ObjShape, addr: VirtAddr) -> VirtAddr {
+        if self.is_large(shape) {
+            addr.align_up()
+        } else {
+            addr
+        }
+    }
+
+    /// Does `shape` qualify as a large (SwapVA-candidate) object?
+    /// Always `false` on unaligned (baseline) heaps.
+    pub fn is_large(&self, shape: ObjShape) -> bool {
+        self.cfg.align_large && shape.size_bytes() >= self.cfg.large_bytes()
+    }
+
+    /// `ALLOCMEM` (Algorithm 3, lines 12-20): bump-allocate `shape`,
+    /// page-aligning large objects before *and after*. Returns the new
+    /// object and the cycles charged to the allocating core.
+    ///
+    /// ```
+    /// use svagc_heap::{Heap, HeapConfig, ObjShape};
+    /// use svagc_kernel::{CoreId, Kernel};
+    /// use svagc_metrics::MachineConfig;
+    /// use svagc_vmem::{Asid, PAGE_SIZE};
+    ///
+    /// let mut k = Kernel::with_bytes(MachineConfig::i5_7600(), 8 << 20);
+    /// let mut heap = Heap::new(&mut k, Asid(1), HeapConfig::new(4 << 20)).unwrap();
+    ///
+    /// let (small, _) = heap.alloc(&mut k, CoreId(0), ObjShape::data(16)).unwrap();
+    /// let (large, _) = heap
+    ///     .alloc(&mut k, CoreId(0), ObjShape::data_bytes(12 * PAGE_SIZE))
+    ///     .unwrap();
+    /// assert!(large.0.is_page_aligned(), "SwapVA candidates start on a page");
+    /// assert!(!small.0.is_page_aligned() || small.0 == heap.base());
+    /// ```
+    pub fn alloc(
+        &mut self,
+        kernel: &mut Kernel,
+        core: CoreId,
+        shape: ObjShape,
+    ) -> Result<(ObjRef, Cycles), HeapError> {
+        let size = shape.size_bytes();
+        if size > self.end - self.base {
+            return Err(HeapError::TooLarge { requested: size });
+        }
+        let aligned = self.if_swap_align(shape, self.top);
+        let after = self.if_swap_align(shape, aligned + size);
+        if after.get() > self.end.get() {
+            return Err(HeapError::NeedGc { requested: size });
+        }
+        let pre_gap = aligned - self.top;
+        let post_gap = after - (aligned + size);
+        self.top = after;
+        let obj = ObjRef(aligned);
+
+        let large = self.is_large(shape);
+        let mut header = shape.header();
+        if large {
+            header.flags |= FLAG_LARGE;
+        }
+        let mut t = kernel.write_word(&self.space, core, obj.header_va(), header.encode())?;
+        t += kernel.write_word(&self.space, core, obj.forwarding_va(), 0)?;
+
+        self.objects.push(obj);
+        self.sorted = if self
+            .sorted { self.objects.len() < 2 || self.objects[self.objects.len() - 2] < obj } else { false };
+        self.stats.allocations += 1;
+        self.stats.bytes_requested += size;
+        self.stats.align_waste_bytes += pre_gap + post_gap;
+        if large {
+            self.stats.large_allocations += 1;
+        }
+        Ok((obj, t))
+    }
+
+    /// Register an object placed externally (TLAB path) and write its
+    /// header.
+    pub(crate) fn register_at(
+        &mut self,
+        kernel: &mut Kernel,
+        core: CoreId,
+        at: VirtAddr,
+        shape: ObjShape,
+        large: bool,
+        waste: u64,
+    ) -> Result<(ObjRef, Cycles), HeapError> {
+        let obj = ObjRef(at);
+        let mut header = shape.header();
+        if large {
+            header.flags |= FLAG_LARGE;
+        }
+        let mut t = kernel.write_word(&self.space, core, obj.header_va(), header.encode())?;
+        t += kernel.write_word(&self.space, core, obj.forwarding_va(), 0)?;
+        self.objects.push(obj);
+        self.sorted = false;
+        self.stats.allocations += 1;
+        self.stats.bytes_requested += shape.size_bytes();
+        self.stats.align_waste_bytes += waste;
+        if large {
+            self.stats.large_allocations += 1;
+        }
+        Ok((obj, t))
+    }
+
+    // ---- geometry -------------------------------------------------------
+
+    /// Heap base address.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Is `va` inside this heap's range? (Generational setups have object
+    /// references that cross spaces; collectors guard on this.)
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.base && va < self.end
+    }
+
+    /// One past the last usable byte.
+    pub fn end(&self) -> VirtAddr {
+        self.end
+    }
+
+    /// Current allocation cursor.
+    pub fn top(&self) -> VirtAddr {
+        self.top
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.end - self.base
+    }
+
+    /// Bytes consumed (cursor minus base).
+    pub fn used_bytes(&self) -> u64 {
+        self.top - self.base
+    }
+
+    /// Bytes remaining.
+    pub fn free_bytes(&self) -> u64 {
+        self.end - self.top
+    }
+
+    /// Heap extent in words (mark bitmap sizing).
+    pub fn extent_words(&self) -> u64 {
+        (self.end - self.base) / WORD_BYTES
+    }
+
+    /// Swap threshold in pages.
+    pub fn threshold_pages(&self) -> u64 {
+        self.cfg.swap_threshold_pages
+    }
+
+    /// The heap's address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// The heap's address space, mutable (SwapVA needs the page table).
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// Borrow space and object list together (GC phases iterate objects
+    /// while reading memory).
+    pub fn space_and_objects(&self) -> (&AddressSpace, &[ObjRef]) {
+        (&self.space, &self.objects)
+    }
+
+    // ---- object access --------------------------------------------------
+
+    /// Read and decode an object header (costed).
+    pub fn read_header(
+        &self,
+        kernel: &mut Kernel,
+        core: CoreId,
+        obj: ObjRef,
+    ) -> Result<(ObjHeader, Cycles), HeapError> {
+        let (raw, t) = kernel.read_word(&self.space, core, obj.header_va())?;
+        Ok((ObjHeader::decode(raw), t))
+    }
+
+    /// Read reference field `i` (costed).
+    pub fn read_ref(
+        &self,
+        kernel: &mut Kernel,
+        core: CoreId,
+        obj: ObjRef,
+        i: u64,
+    ) -> Result<(ObjRef, Cycles), HeapError> {
+        let (raw, t) = kernel.read_word(&self.space, core, obj.ref_field_va(i))?;
+        Ok((ObjRef(VirtAddr(raw)), t))
+    }
+
+    /// Write reference field `i` (costed).
+    pub fn write_ref(
+        &self,
+        kernel: &mut Kernel,
+        core: CoreId,
+        obj: ObjRef,
+        i: u64,
+        target: ObjRef,
+    ) -> Result<Cycles, HeapError> {
+        Ok(kernel.write_word(&self.space, core, obj.ref_field_va(i), target.0.get())?)
+    }
+
+    /// Read data word `i` of an object with `num_refs` reference fields
+    /// (costed).
+    pub fn read_data(
+        &self,
+        kernel: &mut Kernel,
+        core: CoreId,
+        obj: ObjRef,
+        num_refs: u64,
+        i: u64,
+    ) -> Result<(u64, Cycles), HeapError> {
+        let (v, t) = kernel.read_word(&self.space, core, obj.data_va(num_refs, i))?;
+        Ok((v, t))
+    }
+
+    /// Write data word `i` (costed).
+    pub fn write_data(
+        &self,
+        kernel: &mut Kernel,
+        core: CoreId,
+        obj: ObjRef,
+        num_refs: u64,
+        i: u64,
+        val: u64,
+    ) -> Result<Cycles, HeapError> {
+        Ok(kernel.write_word(&self.space, core, obj.data_va(num_refs, i), val)?)
+    }
+
+    /// Bulk-initialize an object's data region (uncosted functional write;
+    /// returns the bandwidth-modeled cycle cost of producing it).
+    pub fn init_data_bulk(
+        &self,
+        kernel: &mut Kernel,
+        obj: ObjRef,
+        num_refs: u64,
+        bytes: &[u8],
+    ) -> Result<Cycles, HeapError> {
+        kernel
+            .vmem
+            .write_bytes(&self.space, obj.data_va(num_refs, 0), bytes)?;
+        Ok(kernel
+            .bandwidth
+            .copy_cycles(&kernel.machine, bytes.len() as u64))
+    }
+
+    // ---- GC interface ---------------------------------------------------
+
+    /// All objects, sorted by address (GC walks the heap in order).
+    pub fn objects_sorted(&mut self) -> &[ObjRef] {
+        if !self.sorted {
+            self.objects.sort_unstable();
+            self.sorted = true;
+        }
+        &self.objects
+    }
+
+    /// Object count.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Replace the object list and cursor after a collection.
+    pub fn complete_gc(&mut self, survivors: Vec<ObjRef>, new_top: VirtAddr) {
+        debug_assert!(new_top >= self.base && new_top.get() <= self.end.get());
+        self.objects = survivors;
+        self.sorted = true;
+        self.top = new_top;
+    }
+
+    /// Number of payload words of an object (`size - header`).
+    pub fn payload_words(header: ObjHeader) -> u64 {
+        header.size_words as u64 - HEADER_WORDS
+    }
+
+    /// Advance the shared cursor to `to` (TLAB reservation). Callers must
+    /// have checked capacity.
+    pub(crate) fn reserve_to(&mut self, to: VirtAddr) {
+        debug_assert!(to >= self.top && to.get() <= self.end.get());
+        self.top = to;
+    }
+
+    /// Map a fresh region of `pages` pages in this heap's address space,
+    /// outside the heap range (eden spaces, side buffers).
+    pub fn map_region(
+        &mut self,
+        kernel: &mut Kernel,
+        pages: u64,
+    ) -> Result<VirtAddr, HeapError> {
+        Ok(kernel.vmem.alloc_region(&mut self.space, pages)?)
+    }
+
+    /// `IFSWAPALIGN` for external allocators (eden, promotion): where an
+    /// object of `shape` placed at `addr` must actually start.
+    pub fn align_for(&self, shape: ObjShape, addr: VirtAddr) -> VirtAddr {
+        self.if_swap_align(shape, addr)
+    }
+
+    /// Reserve space for and adopt an object that an external mover
+    /// (promotion) will place at the current cursor. Returns the
+    /// destination; the caller moves the object bytes there (header
+    /// included) and the heap tracks it from now on.
+    pub fn adopt_at_top(&mut self, shape: ObjShape) -> Result<ObjRef, HeapError> {
+        let size = shape.size_bytes();
+        let aligned = self.if_swap_align(shape, self.top);
+        let after = self.if_swap_align(shape, aligned + size);
+        if after.get() > self.end.get() {
+            return Err(HeapError::NeedGc { requested: size });
+        }
+        let pre_gap = aligned - self.top;
+        let post_gap = after - (aligned + size);
+        self.top = after;
+        let obj = ObjRef(aligned);
+        self.objects.push(obj);
+        self.sorted = false;
+        self.stats.allocations += 1;
+        self.stats.bytes_requested += size;
+        self.stats.align_waste_bytes += pre_gap + post_gap;
+        if self.is_large(shape) {
+            self.stats.large_allocations += 1;
+        }
+        Ok(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svagc_metrics::MachineConfig;
+
+    fn setup(bytes: u64) -> (Kernel, Heap) {
+        let mut k = Kernel::with_bytes(MachineConfig::i5_7600(), bytes + (1 << 20));
+        let h = Heap::new(&mut k, Asid(1), HeapConfig::new(bytes)).unwrap();
+        (k, h)
+    }
+
+    #[test]
+    fn small_objects_pack_contiguously() {
+        let (mut k, mut h) = setup(1 << 20);
+        let (a, _) = h.alloc(&mut k, CoreId(0), ObjShape::data(10)).unwrap();
+        let (b, _) = h.alloc(&mut k, CoreId(0), ObjShape::data(10)).unwrap();
+        assert_eq!(b.0 - a.0, 12 * 8, "header(2) + data(10) words apart");
+        assert_eq!(h.stats.align_waste_bytes, 0);
+    }
+
+    #[test]
+    fn large_objects_are_page_aligned_both_sides() {
+        let (mut k, mut h) = setup(4 << 20);
+        // One small object to misalign the cursor.
+        h.alloc(&mut k, CoreId(0), ObjShape::data(10)).unwrap();
+        let big = ObjShape::data_bytes(11 * PAGE_SIZE); // ≥10-page threshold
+        let (obj, _) = h.alloc(&mut k, CoreId(0), big).unwrap();
+        assert!(obj.0.is_page_aligned(), "large object must start a page");
+        // The cursor after it is page-aligned too (protects the next one).
+        assert!(h.top().is_page_aligned());
+        let (hdr, _) = h.read_header(&mut k, CoreId(0), obj).unwrap();
+        assert!(hdr.is_large());
+        assert!(h.stats.align_waste_bytes > 0);
+    }
+
+    #[test]
+    fn small_objects_are_not_flagged_large() {
+        let (mut k, mut h) = setup(1 << 20);
+        let (obj, _) = h.alloc(&mut k, CoreId(0), ObjShape::data(100)).unwrap();
+        let (hdr, _) = h.read_header(&mut k, CoreId(0), obj).unwrap();
+        assert!(!hdr.is_large());
+    }
+
+    #[test]
+    fn exhaustion_asks_for_gc() {
+        let (mut k, mut h) = setup(64 * 1024);
+        let shape = ObjShape::data(1000);
+        loop {
+            match h.alloc(&mut k, CoreId(0), shape) {
+                Ok(_) => continue,
+                Err(HeapError::NeedGc { requested }) => {
+                    assert_eq!(requested, shape.size_bytes());
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(h.free_bytes() < shape.size_bytes());
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_outright() {
+        let (mut k, mut h) = setup(64 * 1024);
+        let huge = ObjShape::data_bytes(1 << 20);
+        assert!(matches!(
+            h.alloc(&mut k, CoreId(0), huge),
+            Err(HeapError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn ref_fields_roundtrip() {
+        let (mut k, mut h) = setup(1 << 20);
+        let (a, _) = h.alloc(&mut k, CoreId(0), ObjShape::with_refs(2, 4)).unwrap();
+        let (b, _) = h.alloc(&mut k, CoreId(0), ObjShape::data(1)).unwrap();
+        h.write_ref(&mut k, CoreId(0), a, 0, b).unwrap();
+        h.write_ref(&mut k, CoreId(0), a, 1, ObjRef::NULL).unwrap();
+        assert_eq!(h.read_ref(&mut k, CoreId(0), a, 0).unwrap().0, b);
+        assert!(h.read_ref(&mut k, CoreId(0), a, 1).unwrap().0.is_null());
+    }
+
+    #[test]
+    fn data_words_roundtrip() {
+        let (mut k, mut h) = setup(1 << 20);
+        let (a, _) = h.alloc(&mut k, CoreId(0), ObjShape::with_refs(1, 8)).unwrap();
+        h.write_data(&mut k, CoreId(0), a, 1, 3, 0xFEED).unwrap();
+        assert_eq!(h.read_data(&mut k, CoreId(0), a, 1, 3).unwrap().0, 0xFEED);
+        // Data does not clobber the ref field.
+        assert!(h.read_ref(&mut k, CoreId(0), a, 0).unwrap().0.is_null());
+    }
+
+    #[test]
+    fn bulk_init_visible_via_word_reads() {
+        let (mut k, mut h) = setup(1 << 20);
+        let (a, _) = h.alloc(&mut k, CoreId(0), ObjShape::data(4)).unwrap();
+        let bytes: Vec<u8> = 1u64.to_le_bytes().iter().chain(2u64.to_le_bytes().iter()).copied().collect();
+        h.init_data_bulk(&mut k, a, 0, &bytes).unwrap();
+        assert_eq!(h.read_data(&mut k, CoreId(0), a, 0, 0).unwrap().0, 1);
+        assert_eq!(h.read_data(&mut k, CoreId(0), a, 0, 1).unwrap().0, 2);
+    }
+
+    #[test]
+    fn shared_space_fragmentation_is_bounded() {
+        // Direct shared-space allocation interleaving small and large
+        // objects is the worst case (every large pays a pre- and post-gap);
+        // even so waste stays small relative to heap use. The paper's <5%
+        // claim is for the bidirectional-TLAB scheme — asserted in
+        // `tlab_fragmentation_meets_paper_claim` below.
+        let (mut k, mut h) = setup(64 << 20);
+        for i in 0..200u64 {
+            h.alloc(&mut k, CoreId(0), ObjShape::data(50 + (i % 97) as u32))
+                .unwrap();
+            if i % 5 == 0 {
+                let big = ObjShape::data_bytes(10 * PAGE_SIZE + (i % 7) * 1000);
+                h.alloc(&mut k, CoreId(0), big).unwrap();
+            }
+        }
+        assert!(
+            h.stats.frag_ratio() < 0.15,
+            "frag ratio {} exceeds worst-case bound",
+            h.stats.frag_ratio()
+        );
+    }
+
+    #[test]
+    fn tlab_fragmentation_meets_paper_claim() {
+        // With bidirectional TLABs and a 10-page threshold, the paper
+        // bounds internal fragmentation at <5% ("statistically up to half a
+        // memory page ... for every ten pages or more").
+        use crate::tlab::TlabAllocator;
+        let (mut k, mut h) = setup(128 << 20);
+        let mut alloc = TlabAllocator::new(4 << 20);
+        for i in 0..400u64 {
+            alloc
+                .alloc(&mut h, &mut k, CoreId(0), ObjShape::data(50 + (i % 97) as u32))
+                .map(|_| ())
+                .or_else(|e| if matches!(e, HeapError::NeedGc { .. }) { Ok(()) } else { Err(e) })
+                .unwrap();
+            if i % 5 == 0 {
+                let big = ObjShape::data_bytes(10 * PAGE_SIZE + (i % 7) * 1000);
+                alloc.alloc(&mut h, &mut k, CoreId(0), big).unwrap();
+            }
+        }
+        assert!(
+            h.stats.frag_ratio() < 0.05,
+            "frag ratio {} exceeds 5%",
+            h.stats.frag_ratio()
+        );
+    }
+
+    #[test]
+    fn objects_sorted_is_address_ordered() {
+        let (mut k, mut h) = setup(4 << 20);
+        for _ in 0..50 {
+            h.alloc(&mut k, CoreId(0), ObjShape::data(7)).unwrap();
+        }
+        let objs = h.objects_sorted();
+        assert!(objs.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,27 @@
+//! The managed heap of the SVAGC reproduction.
+//!
+//! Implements the JVM-side substrate the paper modifies: an Epsilon-style
+//! bump heap ([`heap::Heap`]) with Algorithm 3's SwapVA-aware allocator
+//! (page-aligned large objects, aligned-after protection of neighbours),
+//! bidirectional TLABs ([`tlab`]) that keep small and large objects from
+//! fragmenting each other, a self-describing object model ([`object`]) that
+//! really lives in simulated memory, a mark bitmap ([`bitmap`]), and GC
+//! roots ([`roots`]).
+
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod cards;
+pub mod genheap;
+pub mod heap;
+pub mod object;
+pub mod roots;
+pub mod tlab;
+
+pub use bitmap::MarkBitmap;
+pub use cards::{CardTable, CARD_BYTES};
+pub use genheap::GenHeap;
+pub use heap::{Heap, HeapConfig, HeapError, HeapStats};
+pub use object::{ObjHeader, ObjRef, ObjShape, FLAG_LARGE, HEADER_WORDS};
+pub use roots::{RootId, RootSet};
+pub use tlab::{Tlab, TlabAllocator};

@@ -1,0 +1,208 @@
+//! The managed object model.
+//!
+//! Objects live *in simulated memory* and are self-describing, so GC phases
+//! genuinely read/write them through the kernel's costed access path:
+//!
+//! ```text
+//! word 0: header  [ size_words:32 | num_refs:24 | flags:8 ]
+//! word 1: forwarding address (raw VirtAddr; 0 = none)
+//! word 2..2+num_refs: reference fields (raw VirtAddr of target, 0 = null)
+//! rest:   data words
+//! ```
+//!
+//! `size_words` includes the 2-word header. A reference always points at a
+//! target object's word 0.
+
+use svagc_vmem::{VirtAddr, WORD_BYTES};
+
+/// Words of header before the payload.
+pub const HEADER_WORDS: u64 = 2;
+/// Flag bit: object was allocated page-aligned as a SwapVA candidate.
+pub const FLAG_LARGE: u8 = 1 << 0;
+
+/// A reference to a managed object (the virtual address of its header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjRef(pub VirtAddr);
+
+impl ObjRef {
+    /// The null reference.
+    pub const NULL: ObjRef = ObjRef(VirtAddr(0));
+
+    /// Is this the null reference?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0.get() == 0
+    }
+
+    /// Address of the header word.
+    #[inline]
+    pub fn header_va(self) -> VirtAddr {
+        self.0
+    }
+
+    /// Address of the forwarding word.
+    #[inline]
+    pub fn forwarding_va(self) -> VirtAddr {
+        self.0 + WORD_BYTES
+    }
+
+    /// Address of reference field `i`.
+    #[inline]
+    pub fn ref_field_va(self, i: u64) -> VirtAddr {
+        self.0 + (HEADER_WORDS + i) * WORD_BYTES
+    }
+
+    /// Address of data word `i` (after `num_refs` reference fields).
+    #[inline]
+    pub fn data_va(self, num_refs: u64, i: u64) -> VirtAddr {
+        self.0 + (HEADER_WORDS + num_refs + i) * WORD_BYTES
+    }
+}
+
+/// Decoded header word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjHeader {
+    /// Total size in words, header included.
+    pub size_words: u32,
+    /// Number of leading reference fields in the payload.
+    pub num_refs: u32,
+    /// Flag bits ([`FLAG_LARGE`], …).
+    pub flags: u8,
+}
+
+impl ObjHeader {
+    /// Pack into the raw header word.
+    #[inline]
+    pub fn encode(self) -> u64 {
+        debug_assert!(self.num_refs < (1 << 24));
+        (self.size_words as u64)
+            | ((self.num_refs as u64) << 32)
+            | ((self.flags as u64) << 56)
+    }
+
+    /// Decode from the raw header word.
+    #[inline]
+    pub fn decode(raw: u64) -> ObjHeader {
+        ObjHeader {
+            size_words: raw as u32,
+            num_refs: ((raw >> 32) & 0xff_ffff) as u32,
+            flags: (raw >> 56) as u8,
+        }
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn size_bytes(self) -> u64 {
+        self.size_words as u64 * WORD_BYTES
+    }
+
+    /// Was the object allocated as a page-aligned SwapVA candidate?
+    #[inline]
+    pub fn is_large(self) -> bool {
+        self.flags & FLAG_LARGE != 0
+    }
+}
+
+/// The shape requested at allocation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjShape {
+    /// Number of reference fields.
+    pub num_refs: u32,
+    /// Number of (non-reference) data words.
+    pub data_words: u32,
+}
+
+impl ObjShape {
+    /// A leaf object with `data_words` words and no references.
+    pub fn data(data_words: u32) -> ObjShape {
+        ObjShape {
+            num_refs: 0,
+            data_words,
+        }
+    }
+
+    /// A leaf object of roughly `bytes` bytes of data.
+    pub fn data_bytes(bytes: u64) -> ObjShape {
+        ObjShape::data((bytes.div_ceil(WORD_BYTES)) as u32)
+    }
+
+    /// An object with `num_refs` references and `data_words` data words.
+    pub fn with_refs(num_refs: u32, data_words: u32) -> ObjShape {
+        ObjShape {
+            num_refs,
+            data_words,
+        }
+    }
+
+    /// Total size in words (header included).
+    #[inline]
+    pub fn size_words(self) -> u32 {
+        HEADER_WORDS as u32 + self.num_refs + self.data_words
+    }
+
+    /// Total size in bytes.
+    #[inline]
+    pub fn size_bytes(self) -> u64 {
+        self.size_words() as u64 * WORD_BYTES
+    }
+
+    /// The header this shape produces (before flags are applied).
+    pub fn header(self) -> ObjHeader {
+        ObjHeader {
+            size_words: self.size_words(),
+            num_refs: self.num_refs,
+            flags: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = ObjHeader {
+            size_words: 123_456,
+            num_refs: 7_890,
+            flags: FLAG_LARGE,
+        };
+        assert_eq!(ObjHeader::decode(h.encode()), h);
+        assert!(ObjHeader::decode(h.encode()).is_large());
+    }
+
+    #[test]
+    fn header_roundtrip_extremes() {
+        let h = ObjHeader {
+            size_words: u32::MAX,
+            num_refs: (1 << 24) - 1,
+            flags: 0xff,
+        };
+        assert_eq!(ObjHeader::decode(h.encode()), h);
+    }
+
+    #[test]
+    fn shape_sizes() {
+        let s = ObjShape::with_refs(3, 10);
+        assert_eq!(s.size_words(), 15);
+        assert_eq!(s.size_bytes(), 120);
+        assert_eq!(ObjShape::data_bytes(100).data_words, 13);
+    }
+
+    #[test]
+    fn field_addresses() {
+        let o = ObjRef(VirtAddr(0x1000));
+        assert_eq!(o.header_va(), VirtAddr(0x1000));
+        assert_eq!(o.forwarding_va(), VirtAddr(0x1008));
+        assert_eq!(o.ref_field_va(0), VirtAddr(0x1010));
+        assert_eq!(o.ref_field_va(2), VirtAddr(0x1020));
+        assert_eq!(o.data_va(2, 0), VirtAddr(0x1020));
+        assert_eq!(o.data_va(0, 1), VirtAddr(0x1018));
+    }
+
+    #[test]
+    fn null_ref() {
+        assert!(ObjRef::NULL.is_null());
+        assert!(!ObjRef(VirtAddr(8)).is_null());
+    }
+}

@@ -1,0 +1,96 @@
+//! GC roots.
+//!
+//! Workloads hold their live data through root slots (stand-ins for stacks,
+//! statics, and JNI handles). The GC traces from these and rewrites them
+//! after objects move.
+
+use crate::object::ObjRef;
+
+/// Index of a root slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootId(pub usize);
+
+/// A mutable set of root slots.
+#[derive(Debug, Default)]
+pub struct RootSet {
+    slots: Vec<ObjRef>,
+}
+
+impl RootSet {
+    /// Empty root set.
+    pub fn new() -> RootSet {
+        RootSet::default()
+    }
+
+    /// Add a root; returns its stable slot id.
+    pub fn push(&mut self, obj: ObjRef) -> RootId {
+        self.slots.push(obj);
+        RootId(self.slots.len() - 1)
+    }
+
+    /// Read a slot.
+    pub fn get(&self, id: RootId) -> ObjRef {
+        self.slots[id.0]
+    }
+
+    /// Overwrite a slot (workload dropping or retargeting a reference;
+    /// `ObjRef::NULL` kills the root).
+    pub fn set(&mut self, id: RootId, obj: ObjRef) {
+        self.slots[id.0] = obj;
+    }
+
+    /// All non-null roots.
+    pub fn iter_live(&self) -> impl Iterator<Item = ObjRef> + '_ {
+        self.slots.iter().copied().filter(|r| !r.is_null())
+    }
+
+    /// Mutable access for the GC's adjust phase.
+    pub fn slots_mut(&mut self) -> &mut [ObjRef] {
+        &mut self.slots
+    }
+
+    /// Number of slots (live or null).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Any slots at all?
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of live (non-null) roots.
+    pub fn live_count(&self) -> usize {
+        self.iter_live().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svagc_vmem::VirtAddr;
+
+    #[test]
+    fn push_get_set() {
+        let mut r = RootSet::new();
+        let a = ObjRef(VirtAddr(0x1000));
+        let id = r.push(a);
+        assert_eq!(r.get(id), a);
+        r.set(id, ObjRef::NULL);
+        assert!(r.get(id).is_null());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.live_count(), 0);
+    }
+
+    #[test]
+    fn iter_live_skips_nulls() {
+        let mut r = RootSet::new();
+        r.push(ObjRef(VirtAddr(0x1000)));
+        let dead = r.push(ObjRef(VirtAddr(0x2000)));
+        r.push(ObjRef(VirtAddr(0x3000)));
+        r.set(dead, ObjRef::NULL);
+        let live: Vec<_> = r.iter_live().collect();
+        assert_eq!(live.len(), 2);
+        assert!(!live.contains(&ObjRef(VirtAddr(0x2000))));
+    }
+}

@@ -1,0 +1,262 @@
+//! Bidirectional thread-local allocation buffers.
+//!
+//! §IV ("Memory Fragmentation Issue"): page-aligning large objects inside a
+//! TLAB would sprinkle gaps between small and large neighbours. The paper's
+//! fix is to allocate *small objects front-to-back and large page-aligned
+//! objects back-to-front* within each TLAB, so each species stays packed
+//! and external fragmentation between them disappears.
+
+use crate::heap::{Heap, HeapError};
+use crate::object::{ObjRef, ObjShape};
+use svagc_kernel::{CoreId, Kernel};
+use svagc_metrics::Cycles;
+use svagc_vmem::VirtAddr;
+
+/// One thread's allocation buffer.
+#[derive(Debug)]
+pub struct Tlab {
+    start: VirtAddr,
+    end: VirtAddr,
+    /// Small-object cursor, grows upward from `start`.
+    small_top: VirtAddr,
+    /// Large-object cursor, grows downward from `end` (page-aligned).
+    large_bottom: VirtAddr,
+    /// Alignment waste attributed to this TLAB.
+    waste: u64,
+}
+
+impl Tlab {
+    /// Carve a TLAB of `bytes` from the heap's shared space.
+    pub fn new(heap: &mut Heap, kernel: &mut Kernel, core: CoreId, bytes: u64) -> Result<(Tlab, Cycles), HeapError> {
+        // A TLAB is just a heap range reservation: allocate a filler region
+        // by bumping the shared cursor via a raw data "object" would pollute
+        // the object list, so reserve directly.
+        let _ = (kernel, core);
+        let start = heap.top();
+        let end = VirtAddr(start.get() + bytes);
+        if end.get() > heap.end().get() {
+            return Err(HeapError::NeedGc { requested: bytes });
+        }
+        heap.reserve_to(end);
+        Ok((
+            Tlab {
+                start,
+                end,
+                small_top: start,
+                large_bottom: end.align_down(),
+                waste: 0,
+            },
+            Cycles(60), // TLAB refill bookkeeping
+        ))
+    }
+
+    /// Remaining contiguous space for small objects.
+    pub fn small_free(&self) -> u64 {
+        self.large_bottom.get().saturating_sub(self.small_top.get())
+    }
+
+    /// Try to place `shape`; `None` means the TLAB is too full and the
+    /// caller must refill or fall back to the shared space.
+    pub fn try_place(&mut self, shape: ObjShape, large_threshold_bytes: u64) -> Option<(VirtAddr, bool, u64)> {
+        let size = shape.size_bytes();
+        if size >= large_threshold_bytes {
+            // Back-to-front, page-aligned start, and the object must end at
+            // or before the previous large object's start.
+            let end_limit = self.large_bottom;
+            let start = VirtAddr(end_limit.get().checked_sub(size)?).align_down();
+            if start < self.small_top {
+                return None;
+            }
+            let waste = end_limit - (start + size);
+            self.waste += waste;
+            self.large_bottom = start;
+            Some((start, true, waste))
+        } else {
+            let start = self.small_top;
+            let end = start + size;
+            if end.get() > self.large_bottom.get() {
+                return None;
+            }
+            self.small_top = end;
+            Some((start, false, 0))
+        }
+    }
+
+    /// Bytes never used (dead remainder when the TLAB retires).
+    pub fn remainder(&self) -> u64 {
+        self.small_free()
+    }
+
+    /// Alignment waste accrued inside this TLAB.
+    pub fn waste(&self) -> u64 {
+        self.waste
+    }
+
+    /// TLAB bounds (tests).
+    pub fn bounds(&self) -> (VirtAddr, VirtAddr) {
+        (self.start, self.end)
+    }
+}
+
+/// A mutator-thread allocator: small/large split inside a TLAB, refill on
+/// exhaustion, shared-space fallback for objects bigger than a TLAB.
+#[derive(Debug)]
+pub struct TlabAllocator {
+    tlab: Option<Tlab>,
+    tlab_bytes: u64,
+    /// Dead remainders of retired TLABs (external fragmentation).
+    pub retired_waste: u64,
+}
+
+impl TlabAllocator {
+    /// Allocator with `tlab_bytes` buffers.
+    pub fn new(tlab_bytes: u64) -> TlabAllocator {
+        TlabAllocator {
+            tlab: None,
+            tlab_bytes,
+            retired_waste: 0,
+        }
+    }
+
+    /// Allocate `shape`, refilling the TLAB as needed.
+    pub fn alloc(
+        &mut self,
+        heap: &mut Heap,
+        kernel: &mut Kernel,
+        core: CoreId,
+        shape: ObjShape,
+    ) -> Result<(ObjRef, Cycles), HeapError> {
+        let threshold = heap.threshold_pages() * svagc_vmem::PAGE_SIZE;
+        // Objects above an eighth of a TLAB go to the shared space
+        // directly (as HotSpot does) — they would waste big TLAB
+        // remainders otherwise.
+        if shape.size_bytes() >= self.tlab_bytes / 8 {
+            return heap.alloc(kernel, core, shape);
+        }
+        let mut total = Cycles::ZERO;
+        for _attempt in 0..2 {
+            if let Some(tlab) = self.tlab.as_mut() {
+                if let Some((at, large, waste)) = tlab.try_place(shape, threshold) {
+                    let (obj, t) = heap.register_at(kernel, core, at, shape, large, waste)?;
+                    return Ok((obj, total + t));
+                }
+                // Retire and refill.
+                self.retired_waste += tlab.remainder();
+                self.tlab = None;
+            }
+            let (tlab, t) = Tlab::new(heap, kernel, core, self.tlab_bytes)?;
+            total += t;
+            self.tlab = Some(tlab);
+        }
+        unreachable!("a fresh TLAB always fits a sub-TLAB-sized object");
+    }
+
+    /// Drop the current TLAB (e.g. before a GC, which invalidates cursors).
+    pub fn retire(&mut self) {
+        if let Some(t) = self.tlab.take() {
+            self.retired_waste += t.remainder();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapConfig;
+    use svagc_metrics::MachineConfig;
+    use svagc_vmem::{Asid, PAGE_SIZE};
+
+    fn setup(bytes: u64) -> (Kernel, Heap) {
+        let mut k = Kernel::with_bytes(MachineConfig::i5_7600(), bytes + (1 << 20));
+        let h = Heap::new(&mut k, Asid(1), HeapConfig::new(bytes)).unwrap();
+        (k, h)
+    }
+
+    #[test]
+    fn small_and_large_grow_toward_each_other() {
+        let (mut k, mut h) = setup(8 << 20);
+        let (mut tlab, _) = Tlab::new(&mut h, &mut k, CoreId(0), 2 << 20).unwrap();
+        let threshold = 10 * PAGE_SIZE;
+        let (s1, large1, _) = tlab.try_place(ObjShape::data(10), threshold).unwrap();
+        let (s2, _, _) = tlab.try_place(ObjShape::data(10), threshold).unwrap();
+        assert!(!large1);
+        assert!(s2 > s1, "small objects grow upward");
+        let big = ObjShape::data_bytes(10 * PAGE_SIZE);
+        let (l1, large2, _) = tlab.try_place(big, threshold).unwrap();
+        let (l2, _, _) = tlab.try_place(big, threshold).unwrap();
+        assert!(large2);
+        assert!(l1.is_page_aligned() && l2.is_page_aligned());
+        assert!(l2 < l1, "large objects grow downward");
+        assert!(l2 > s2, "species must not collide");
+    }
+
+    #[test]
+    fn collision_returns_none() {
+        let (mut k, mut h) = setup(8 << 20);
+        let (mut tlab, _) = Tlab::new(&mut h, &mut k, CoreId(0), 64 * 1024).unwrap();
+        let threshold = 4 * PAGE_SIZE;
+        // Fill with exactly-4-page objects (header included) until refusal.
+        let big = ObjShape::data(4 * 512 - 2);
+        assert_eq!(big.size_bytes(), 4 * PAGE_SIZE);
+        let mut n = 0;
+        while tlab.try_place(big, threshold).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4, "64 KiB TLAB holds four 16 KiB aligned objects");
+        // Small allocations can still use the front until it collides.
+        assert!(tlab.try_place(ObjShape::data(10), threshold).is_none() || tlab.small_free() > 0);
+    }
+
+    #[test]
+    fn allocator_refills_and_separates_species() {
+        let (mut k, mut h) = setup(32 << 20);
+        let mut alloc = TlabAllocator::new(1 << 20);
+        let mut smalls = Vec::new();
+        let mut larges = Vec::new();
+        for i in 0..300u64 {
+            if i % 10 == 0 {
+                let big = ObjShape::data_bytes(10 * PAGE_SIZE);
+                larges.push(alloc.alloc(&mut h, &mut k, CoreId(0), big).unwrap().0);
+            } else {
+                smalls.push(
+                    alloc
+                        .alloc(&mut h, &mut k, CoreId(0), ObjShape::data(64))
+                        .unwrap()
+                        .0,
+                );
+            }
+        }
+        assert_eq!(h.object_count(), 300);
+        for l in &larges {
+            assert!(l.0.is_page_aligned());
+        }
+    }
+
+    #[test]
+    fn oversized_objects_bypass_tlab() {
+        let (mut k, mut h) = setup(32 << 20);
+        let mut alloc = TlabAllocator::new(256 * 1024);
+        let huge = ObjShape::data_bytes(1 << 20);
+        let (obj, _) = alloc.alloc(&mut h, &mut k, CoreId(0), huge).unwrap();
+        assert!(obj.0.is_page_aligned(), "shared-space large path aligns");
+    }
+
+    #[test]
+    fn tlab_exhaustion_propagates_need_gc() {
+        let (mut k, mut h) = setup(1 << 20);
+        let mut alloc = TlabAllocator::new(512 * 1024);
+        let shape = ObjShape::data(1024);
+        let mut got_need_gc = false;
+        for _ in 0..1000 {
+            match alloc.alloc(&mut h, &mut k, CoreId(0), shape) {
+                Ok(_) => {}
+                Err(HeapError::NeedGc { .. }) => {
+                    got_need_gc = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(got_need_gc);
+    }
+}

@@ -1,0 +1,32 @@
+//! The simulated kernel: the SwapVA system call and everything it needs.
+//!
+//! This crate is the reproduction of the paper's §III (SwapVA design) and
+//! the OS half of §IV (multi-core scalability):
+//!
+//! * [`state`] — the [`Kernel`]: machine config + physical memory +
+//!   per-core TLBs + perf counters; TLB-mediated translation with refill
+//!   charging; optional cache instrumentation for Table III.
+//! * [`swapva`] — Algorithm 1 ([`Kernel::swap_va`]), request aggregation
+//!   ([`Kernel::swap_va_batch`], Fig. 5/6), and PMD-cached walks
+//!   (Fig. 7/8).
+//! * [`overlap`] — Algorithm 2: gcd-cycle rotation of overlapping ranges in
+//!   `n + δ` PTE writes.
+//! * [`shootdown`] — flush policies: naive per-call global IPI broadcast
+//!   vs the pinned local-only protocol of Algorithm 4 (Fig. 9, Eq. 2).
+//! * [`memmove`] — the cost-modeled byte-copy baseline SwapVA replaces.
+//!
+//! All operations return the [`svagc_metrics::Cycles`] consumed so callers
+//! attribute time to the right simulated core.
+
+#![warn(missing_docs)]
+
+pub mod memmove;
+pub mod overlap;
+pub mod shootdown;
+pub mod state;
+pub mod swapva;
+
+pub use overlap::gcd;
+pub use shootdown::{FlushMode, Interference};
+pub use state::{CoreId, Kernel};
+pub use swapva::{SwapRequest, SwapVaOptions};

@@ -1,0 +1,332 @@
+//! The kernel/machine state: cores, TLBs, physical memory, counters.
+//!
+//! [`Kernel`] binds a [`MachineConfig`] cost model to the functional
+//! `svagc-vmem` substrate. Every operation returns the [`Cycles`] it would
+//! have consumed on the modeled machine so callers (GC workers, workload
+//! drivers) can attribute time to the right simulated core; global event
+//! counts land in [`Kernel::perf`].
+
+use svagc_metrics::{
+    AccessKind, BandwidthModel, CacheHierarchy, CacheLevel, Cycles, MachineConfig, PerfCounters,
+};
+use svagc_vmem::{
+    AddressSpace, Asid, PhysAddr, VirtAddr, VmError, Tlb, TlbConfig, TlbHit, Vmem, PAGE_SIZE,
+};
+
+/// Identifier of a simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub usize);
+
+/// Synthetic physical region where page-table lines "live" for cache
+/// simulation. Page tables are host Rust structures, so we give each PTE a
+/// deterministic line address: adjacent virtual pages map to adjacent PTE
+/// words, matching real PTE-table locality.
+const PT_SHADOW_BASE: u64 = 1 << 45;
+
+/// The simulated kernel + machine.
+#[derive(Debug)]
+pub struct Kernel {
+    /// The modeled machine (costs, cores, bandwidth).
+    pub machine: MachineConfig,
+    /// Physical memory + frame allocator.
+    pub vmem: Vmem,
+    /// Per-core TLBs.
+    tlbs: Vec<Tlb>,
+    /// Event counters (global).
+    pub perf: PerfCounters,
+    /// Cache hierarchy, present only in instrumented (Table III) mode.
+    cache: Option<CacheHierarchy>,
+    /// Shared bandwidth contention state (multi-JVM experiments share one).
+    pub bandwidth: BandwidthModel,
+    /// Core a process is pinned to, if any (Algorithm 4).
+    pinned: Option<CoreId>,
+}
+
+impl Kernel {
+    /// A machine with `phys_frames` frames of simulated DRAM.
+    pub fn new(machine: MachineConfig, phys_frames: u32) -> Kernel {
+        let cores = machine.cores;
+        Kernel {
+            machine,
+            vmem: Vmem::new(phys_frames),
+            tlbs: (0..cores).map(|_| Tlb::new(TlbConfig::skylake())).collect(),
+            perf: PerfCounters::new(),
+            cache: None,
+            bandwidth: BandwidthModel::new(),
+            pinned: None,
+        }
+    }
+
+    /// A machine with at least `bytes` of simulated DRAM.
+    pub fn with_bytes(machine: MachineConfig, bytes: u64) -> Kernel {
+        Kernel::new(machine.clone(), bytes.div_ceil(PAGE_SIZE) as u32)
+    }
+
+    /// Share another kernel's bandwidth model (multi-JVM contention).
+    pub fn share_bandwidth(&mut self, bw: &BandwidthModel) {
+        self.bandwidth = bw.clone();
+    }
+
+    /// Enable/disable cache+DTLB instrumentation (Table III mode). The
+    /// hierarchy is rebuilt cold on enable.
+    pub fn set_instrumented(&mut self, on: bool) {
+        self.cache = on.then(|| CacheHierarchy::new(&self.machine.cache));
+    }
+
+    /// Is cache instrumentation on?
+    pub fn instrumented(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Number of modeled cores.
+    pub fn cores(&self) -> usize {
+        self.machine.cores
+    }
+
+    /// The core the process is currently pinned to.
+    pub fn pinned_core(&self) -> Option<CoreId> {
+        self.pinned
+    }
+
+    /// Pin the process to `core` (charged per `CostParams::pin_task`).
+    pub fn pin(&mut self, core: CoreId) -> Cycles {
+        self.pinned = Some(core);
+        Cycles(self.machine.costs.pin_task)
+    }
+
+    /// Unpin the process.
+    pub fn unpin(&mut self) -> Cycles {
+        self.pinned = None;
+        Cycles(self.machine.costs.pin_task)
+    }
+
+    /// Simulated time of `c` cycles on this machine.
+    pub fn time(&self, c: Cycles) -> svagc_metrics::SimTime {
+        self.machine.time(c)
+    }
+
+    // ---- cache plumbing ------------------------------------------------
+
+    /// Route a data access at physical address `pa` through the cache
+    /// hierarchy (if instrumented) and return its latency.
+    fn cache_access(&mut self, pa: PhysAddr, kind: AccessKind) -> Cycles {
+        let costs = &self.machine.costs;
+        match self.cache.as_mut() {
+            // Uninstrumented fast path: assume heap-cold accesses (GC
+            // phases stride over a heap far larger than any cache; at the
+            // paper's 5-85 GiB heap sizes essentially every header/field
+            // touch misses). Instrumented mode refines this with the real
+            // cache simulation.
+            None => Cycles(costs.mem_access),
+            Some(cache) => {
+                self.perf.cache_accesses += 1;
+                let level = cache.access(pa.get(), kind);
+                // perf semantics on Intel: `cache-references` counts LLC
+                // references (accesses that missed L2), `cache-misses`
+                // counts LLC misses.
+                match level {
+                    CacheLevel::L1 => Cycles(costs.l1_hit),
+                    CacheLevel::L2 => Cycles(costs.l2_hit),
+                    CacheLevel::Llc => {
+                        self.perf.cache_references += 1;
+                        Cycles(costs.llc_hit)
+                    }
+                    CacheLevel::Memory => {
+                        self.perf.cache_references += 1;
+                        self.perf.cache_misses += 1;
+                        Cycles(costs.mem_access)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Route a bulk-copy data line through the cache simulator for
+    /// pollution accounting only (timing of bulk copies is
+    /// bandwidth-modeled; see `memmove`). Public for workload drivers that
+    /// replay mutator access streams in instrumented mode.
+    pub fn touch_data_line(&mut self, pa: PhysAddr, kind: AccessKind) {
+        self.cache_access(pa, kind);
+    }
+
+    /// Touch the shadow line of the PTE for `va` at walk `level`
+    /// (0 = PGD … 3 = PTE table). Page-table walks pollute the cache too —
+    /// that's part of why SwapVA still beats memmove only above a
+    /// threshold.
+    pub(crate) fn touch_pt_level(&mut self, va: VirtAddr, level: u8) -> Cycles {
+        self.perf.pt_level_accesses += 1;
+        let latency = if self.instrumented() {
+            let shift = 12 + 9 * (3 - level as u64).min(3);
+            let idx = va.get() >> shift;
+            let pa = PhysAddr(PT_SHADOW_BASE + (level as u64) * (1 << 40) + idx * 8);
+            self.cache_access(pa, AccessKind::Read)
+        } else {
+            // Page-table lines are hot by construction (walked over and
+            // over; the very premise of PMD caching): L2-ish latency.
+            Cycles(self.machine.costs.l2_hit)
+        };
+        Cycles(self.machine.costs.pt_level_access) + latency
+    }
+
+    // ---- TLB-mediated translation --------------------------------------
+
+    /// Translate `va` in `space` on `core`, consulting that core's TLB and
+    /// charging refills on miss.
+    pub fn translate(
+        &mut self,
+        space: &AddressSpace,
+        core: CoreId,
+        va: VirtAddr,
+    ) -> Result<(PhysAddr, Cycles), VmError> {
+        let asid = space.asid();
+        let vpn = va.vpn();
+        self.perf.tlb_lookups += 1;
+        let (hit, frame) = self.tlbs[core.0].lookup(asid, vpn);
+        match hit {
+            TlbHit::L1 => Ok((frame.expect("hit").base() + va.page_offset(), Cycles(1))),
+            TlbHit::Stlb => Ok((frame.expect("hit").base() + va.page_offset(), Cycles(7))),
+            TlbHit::Miss => {
+                self.perf.tlb_misses += 1;
+                let pa = space.translate(va)?;
+                self.tlbs[core.0].insert(asid, vpn, pa.frame());
+                Ok((pa, Cycles(self.machine.costs.tlb_refill)))
+            }
+        }
+    }
+
+    /// Read one word through `space` on `core`, with full charging.
+    pub fn read_word(
+        &mut self,
+        space: &AddressSpace,
+        core: CoreId,
+        va: VirtAddr,
+    ) -> Result<(u64, Cycles), VmError> {
+        let (pa, t) = self.translate(space, core, va)?;
+        let lat = self.cache_access(pa, AccessKind::Read);
+        let val = self.vmem.phys.read_u64(pa)?;
+        Ok((val, t + lat))
+    }
+
+    /// Write one word through `space` on `core`, with full charging.
+    pub fn write_word(
+        &mut self,
+        space: &AddressSpace,
+        core: CoreId,
+        va: VirtAddr,
+        val: u64,
+    ) -> Result<Cycles, VmError> {
+        let (pa, t) = self.translate(space, core, va)?;
+        let lat = self.cache_access(pa, AccessKind::Write);
+        self.vmem.phys.write_u64(pa, val)?;
+        Ok(t + lat)
+    }
+
+    // ---- TLB flush primitives ------------------------------------------
+
+    /// Flush `asid` from `core`'s TLB (`flush_tlb_local`).
+    pub fn flush_tlb_local(&mut self, core: CoreId, asid: Asid) -> Cycles {
+        self.perf.tlb_flushes_local += 1;
+        self.tlbs[core.0].flush_asid(asid);
+        Cycles(self.machine.costs.tlb_flush_local)
+    }
+
+    /// Flush one page from `core`'s TLB (`flush_tlb_page` / `invlpg`).
+    pub fn flush_tlb_page(&mut self, core: CoreId, asid: Asid, va: VirtAddr) -> Cycles {
+        self.perf.tlb_flushes_page += 1;
+        self.tlbs[core.0].flush_page(asid, va.vpn());
+        Cycles(self.machine.costs.tlb_flush_page)
+    }
+
+    /// Access a core's TLB stats: `(lookups, misses)`.
+    pub fn tlb_stats(&self, core: CoreId) -> (u64, u64) {
+        self.tlbs[core.0].stats()
+    }
+
+    /// Direct TLB access for the shootdown module.
+    pub(crate) fn tlb_mut(&mut self, core: CoreId) -> &mut Tlb {
+        &mut self.tlbs[core.0]
+    }
+
+    /// Charge one syscall entry/exit.
+    pub(crate) fn charge_syscall(&mut self) -> Cycles {
+        self.perf.syscalls += 1;
+        Cycles(self.machine.costs.syscall_entry_exit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svagc_vmem::Asid;
+
+    fn setup() -> (Kernel, AddressSpace) {
+        let k = Kernel::new(MachineConfig::i5_7600(), 256);
+        let s = AddressSpace::new(Asid(1));
+        (k, s)
+    }
+
+    #[test]
+    fn translate_charges_refill_then_hits() {
+        let (mut k, mut s) = setup();
+        let va = k.vmem.alloc_region(&mut s, 1).unwrap();
+        let (_, t_miss) = k.translate(&s, CoreId(0), va).unwrap();
+        assert_eq!(t_miss, Cycles(k.machine.costs.tlb_refill));
+        let (_, t_hit) = k.translate(&s, CoreId(0), va).unwrap();
+        assert!(t_hit.get() < 10);
+        assert_eq!(k.perf.tlb_misses, 1);
+        assert_eq!(k.perf.tlb_lookups, 2);
+    }
+
+    #[test]
+    fn per_core_tlbs_are_independent() {
+        let (mut k, mut s) = setup();
+        let va = k.vmem.alloc_region(&mut s, 1).unwrap();
+        k.translate(&s, CoreId(0), va).unwrap();
+        // Core 1 misses even though core 0 is warm.
+        k.translate(&s, CoreId(1), va).unwrap();
+        assert_eq!(k.perf.tlb_misses, 2);
+    }
+
+    #[test]
+    fn word_rw_through_kernel() {
+        let (mut k, mut s) = setup();
+        let va = k.vmem.alloc_region(&mut s, 1).unwrap();
+        k.write_word(&s, CoreId(0), va, 99).unwrap();
+        let (v, _) = k.read_word(&s, CoreId(0), va).unwrap();
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn local_flush_forces_refill() {
+        let (mut k, mut s) = setup();
+        let va = k.vmem.alloc_region(&mut s, 1).unwrap();
+        k.translate(&s, CoreId(0), va).unwrap();
+        k.flush_tlb_local(CoreId(0), s.asid());
+        let (_, t) = k.translate(&s, CoreId(0), va).unwrap();
+        assert_eq!(t, Cycles(k.machine.costs.tlb_refill));
+        assert_eq!(k.perf.tlb_flushes_local, 1);
+    }
+
+    #[test]
+    fn instrumented_mode_counts_cache_events() {
+        let (mut k, mut s) = setup();
+        k.set_instrumented(true);
+        let va = k.vmem.alloc_region(&mut s, 1).unwrap();
+        k.write_word(&s, CoreId(0), va, 1).unwrap();
+        k.read_word(&s, CoreId(0), va).unwrap();
+        assert_eq!(k.perf.cache_accesses, 2);
+        // First access missed everywhere, second hit L1.
+        assert_eq!(k.perf.cache_misses, 1);
+    }
+
+    #[test]
+    fn pinning_tracks_state() {
+        let (mut k, _) = setup();
+        assert!(k.pinned_core().is_none());
+        let c = k.pin(CoreId(2));
+        assert_eq!(c, Cycles(k.machine.costs.pin_task));
+        assert_eq!(k.pinned_core(), Some(CoreId(2)));
+        k.unpin();
+        assert!(k.pinned_core().is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared DRAM bandwidth contention model.
+//!
+//! Fig. 2 and Fig. 14 hinge on one mechanism: when N JVMs copy
+//! simultaneously (mutator work + `memmove` compaction), each sees roughly
+//! `1/N` of the machine's DRAM bandwidth, so byte-copy costs inflate while
+//! SwapVA's page-table-only traffic barely notices. [`BandwidthModel`] is a
+//! small shared token of "how many streams are active right now" that
+//! drivers register with while running an instance.
+
+use crate::cycles::Cycles;
+use crate::machine::MachineConfig;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Shared contention state: the number of concurrently active
+/// memory-intensive streams (JVM instances, GC copiers).
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthModel {
+    active: Arc<AtomicU32>,
+}
+
+impl BandwidthModel {
+    /// New model with no active streams.
+    pub fn new() -> BandwidthModel {
+        BandwidthModel::default()
+    }
+
+    /// Register a stream; the guard deregisters on drop.
+    pub fn register(&self) -> StreamGuard {
+        self.active.fetch_add(1, Ordering::Relaxed);
+        StreamGuard {
+            active: Arc::clone(&self.active),
+        }
+    }
+
+    /// Currently active streams (at least 1 for costing purposes).
+    pub fn streams(&self) -> u32 {
+        self.active.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Cost of copying `bytes` on `machine` under current contention.
+    pub fn copy_cycles(&self, machine: &MachineConfig, bytes: u64) -> Cycles {
+        machine.copy_cycles(bytes, self.streams())
+    }
+}
+
+/// RAII registration of one active stream.
+#[derive(Debug)]
+pub struct StreamGuard {
+    active: Arc<AtomicU32>,
+}
+
+impl Drop for StreamGuard {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_counts_streams() {
+        let bw = BandwidthModel::new();
+        assert_eq!(bw.streams(), 1, "idle model costs as a single stream");
+        let g1 = bw.register();
+        let g2 = bw.register();
+        assert_eq!(bw.streams(), 2);
+        drop(g1);
+        assert_eq!(bw.streams(), 1);
+        drop(g2);
+        assert_eq!(bw.streams(), 1);
+    }
+
+    #[test]
+    fn contention_inflates_copy_cost() {
+        let m = MachineConfig::xeon_gold_6130();
+        let bw = BandwidthModel::new();
+        let solo = bw.copy_cycles(&m, 1 << 24);
+        // Enough streams that shares drop well below one stream's cap
+        // (total 255.9 GB/s / 12 GB/s-per-stream ≈ 21 streams).
+        let _guards: Vec<_> = (0..64).map(|_| bw.register()).collect();
+        let contended = bw.copy_cycles(&m, 1 << 24);
+        assert!(contended.get() > solo.get() * 2);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let bw = BandwidthModel::new();
+        let bw2 = bw.clone();
+        let _g = bw.register();
+        let _g2 = bw.register();
+        assert_eq!(bw2.streams(), 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! Cycle counts and simulated-time conversion.
+//!
+//! Everything the simulation "measures" is a deterministic count of CPU
+//! cycles. Converting to wall time only requires the modeled core frequency,
+//! so [`Cycles`] is the universal currency of the whole workspace.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deterministic count of simulated CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// The raw count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Convert to simulated time at `freq_ghz` GHz.
+    #[inline]
+    pub fn at_ghz(self, freq_ghz: f64) -> SimTime {
+        SimTime::from_nanos(self.0 as f64 / freq_ghz)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two counts (used to combine parallel workers: the phase
+    /// ends when the slowest worker ends).
+    #[inline]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// Simulated wall-clock time, stored in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime {
+    nanos: f64,
+}
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime { nanos: 0.0 };
+
+    /// Build from nanoseconds.
+    #[inline]
+    pub fn from_nanos(nanos: f64) -> SimTime {
+        SimTime { nanos }
+    }
+
+    /// Build from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> SimTime {
+        SimTime { nanos: ms * 1e6 }
+    }
+
+    /// Nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.nanos
+    }
+
+    /// Microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.nanos / 1e3
+    }
+
+    /// Milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.nanos / 1e6
+    }
+
+    /// Seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.nanos / 1e9
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime {
+            nanos: self.nanos.max(rhs.nanos),
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime {
+            nanos: self.nanos + rhs.nanos,
+        }
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime {
+            nanos: iter.map(|t| t.nanos).sum(),
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nanos >= 1e9 {
+            write!(f, "{:.3} s", self.as_secs())
+        } else if self.nanos >= 1e6 {
+            write!(f, "{:.3} ms", self.as_millis())
+        } else if self.nanos >= 1e3 {
+            write!(f, "{:.3} us", self.as_micros())
+        } else {
+            write!(f, "{:.0} ns", self.nanos)
+        }
+    }
+}
+
+/// A thread-safe cycle accumulator.
+///
+/// Used where several host threads (e.g. rayon tasks generating workload
+/// data) charge costs against the same logical core. All updates are
+/// `Relaxed`: the counter is a statistic, not a synchronization point, and
+/// readers only observe it after the work is joined.
+#[derive(Debug, Default)]
+pub struct CycleCell {
+    cycles: AtomicU64,
+}
+
+impl CycleCell {
+    /// New zeroed cell.
+    pub fn new() -> CycleCell {
+        CycleCell::default()
+    }
+
+    /// Add `c` cycles.
+    #[inline]
+    pub fn charge(&self, c: Cycles) {
+        self.cycles.fetch_add(c.0, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> Cycles {
+        Cycles(self.cycles.load(Ordering::Relaxed))
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn take(&self) -> Cycles {
+        Cycles(self.cycles.swap(0, Ordering::Relaxed))
+    }
+}
+
+impl Clone for CycleCell {
+    fn clone(&self) -> CycleCell {
+        CycleCell {
+            cycles: AtomicU64::new(self.cycles.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles(100);
+        let b = Cycles(50);
+        assert_eq!(a + b, Cycles(150));
+        assert_eq!(a - b, Cycles(50));
+        assert_eq!(a * 3, Cycles(300));
+        assert_eq!(a / 4, Cycles(25));
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+    }
+
+    #[test]
+    fn cycles_sum() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+    }
+
+    #[test]
+    fn time_conversion_at_frequency() {
+        // 3.5 GHz: 3500 cycles == 1000 ns.
+        let t = Cycles(3500).at_ghz(3.5);
+        assert!((t.as_nanos() - 1000.0).abs() < 1e-9);
+        assert!((t.as_micros() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_display_scales_units() {
+        assert_eq!(format!("{}", SimTime::from_nanos(512.0)), "512 ns");
+        assert_eq!(format!("{}", SimTime::from_nanos(2_500.0)), "2.500 us");
+        assert_eq!(format!("{}", SimTime::from_millis(12.0)), "12.000 ms");
+        assert_eq!(format!("{}", SimTime::from_millis(2000.0)), "2.000 s");
+    }
+
+    #[test]
+    fn cycle_cell_accumulates_and_takes() {
+        let cell = CycleCell::new();
+        cell.charge(Cycles(10));
+        cell.charge(Cycles(32));
+        assert_eq!(cell.get(), Cycles(42));
+        assert_eq!(cell.take(), Cycles(42));
+        assert_eq!(cell.get(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn cycle_cell_is_thread_safe() {
+        let cell = std::sync::Arc::new(CycleCell::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = cell.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.charge(Cycles(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.get(), Cycles(8000));
+    }
+}

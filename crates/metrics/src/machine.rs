@@ -1,0 +1,330 @@
+//! Modeled machines and their primitive-event cycle costs.
+//!
+//! The paper reports results from three Intel testbeds; each gets a preset
+//! here. Cost constants are stated assumptions (see DESIGN.md §6): the
+//! reproduction targets *shape* agreement, so what matters is that the
+//! relative magnitudes (a syscall ≫ a word copy; an IPI ≈ a couple of
+//! syscalls; a page walk ≈ a handful of memory touches) are realistic.
+
+use crate::cache::CacheGeometry;
+use crate::cycles::Cycles;
+use serde::Serialize;
+
+/// Cycle costs of the primitive events the simulation charges.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CostParams {
+    /// Combined user→kernel→user transition cost of one system call
+    /// (post-KPTI x86-64 ballpark).
+    pub syscall_entry_exit: u64,
+    /// Dispatching one inter-processor interrupt to one target core
+    /// (x2apic unicast loop: one wrmsr + bookkeeping per target).
+    pub ipi_send: u64,
+    /// The receiving core's interrupt handling + local TLB flush.
+    pub ipi_receive_flush: u64,
+    /// Flushing the local core's whole TLB (the flush itself; refills are
+    /// charged lazily via `tlb_refill` on subsequent misses).
+    pub tlb_flush_local: u64,
+    /// `invlpg`-style single-page local flush.
+    pub tlb_flush_page: u64,
+    /// Refilling one TLB entry: a 4-level page walk — five dependent
+    /// loads (paper §IV: "roughly a five-fold memory access time"), which
+    /// mostly hit cached page-table lines on a warm system.
+    pub tlb_refill: u64,
+    /// One cache-missing memory access (DRAM latency in cycles).
+    pub mem_access: u64,
+    /// L1D hit latency.
+    pub l1_hit: u64,
+    /// L2 hit latency.
+    pub l2_hit: u64,
+    /// LLC hit latency.
+    pub llc_hit: u64,
+    /// CPU-side cost of copying one 64-byte cache line when the data is
+    /// L1/L2-resident (vectorized `memmove` inner loop).
+    pub line_copy_cpu: u64,
+    /// Per-line copy cost for LLC-resident data.
+    pub line_copy_llc: u64,
+    /// Exchanging one pair of PTEs once both are located and locked
+    /// (two locked loads + two stores).
+    pub pte_swap: u64,
+    /// Taking + releasing one page-table spinlock (uncontended).
+    pub lock_unlock: u64,
+    /// Touching one page-table level during a software walk
+    /// (one dependent memory load, typically L1/L2 resident).
+    pub pt_level_access: u64,
+    /// Pinning/unpinning a task to a core (scheduler round trip).
+    pub pin_task: u64,
+}
+
+impl CostParams {
+    /// Baseline cost set shared by the presets; per-machine overrides tweak
+    /// latency-sensitive entries.
+    const fn baseline() -> CostParams {
+        CostParams {
+            syscall_entry_exit: 1_800,
+            ipi_send: 600,
+            ipi_receive_flush: 2_000,
+            tlb_flush_local: 800,
+            tlb_flush_page: 150,
+            tlb_refill: 5 * 20, // five walk loads at cached latency
+            mem_access: 70,
+            l1_hit: 4,
+            l2_hit: 14,
+            llc_hit: 42,
+            line_copy_cpu: 6,
+            line_copy_llc: 14,
+            pte_swap: 40,
+            lock_unlock: 20,
+            pt_level_access: 12,
+            pin_task: 3_000,
+        }
+    }
+}
+
+/// A modeled machine: cores, clock, DRAM bandwidth, cache geometry, and
+/// primitive costs.
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineConfig {
+    /// Human-readable name (matches the paper's figure captions).
+    pub name: &'static str,
+    /// Number of physical cores the process can be scheduled on.
+    pub cores: usize,
+    /// Core frequency in GHz (converts cycles to simulated time).
+    pub freq_ghz: f64,
+    /// Aggregate DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbs: f64,
+    /// Bandwidth one streaming thread can actually sustain (GB/s) — a
+    /// single core cannot drive the full multi-channel aggregate.
+    pub stream_bandwidth_gbs: f64,
+    /// Cache geometry for the instrumented (Table III) mode.
+    pub cache: CacheGeometry,
+    /// Primitive event costs.
+    pub costs: CostParams,
+}
+
+impl MachineConfig {
+    /// Intel Core i5-7600 @ 3.50 GHz, 24 GB DDR4-2400 (Figs. 1, 6, 8).
+    pub fn i5_7600() -> MachineConfig {
+        MachineConfig {
+            name: "Core i5-7600 @3.50GHz, DDR4-2400",
+            cores: 4,
+            freq_ghz: 3.5,
+            // Dual-channel DDR4-2400: 2 x 19.2 GB/s.
+            dram_bandwidth_gbs: 38.4,
+            stream_bandwidth_gbs: 14.0,
+            cache: CacheGeometry::client_skylake(),
+            costs: CostParams::baseline(),
+        }
+    }
+
+    /// Dual Intel Xeon Gold 6130 @ 2.10 GHz, 192 GB DDR4-2666
+    /// (Figs. 2, 9, 10a, 11-16, Tables II/III).
+    pub fn xeon_gold_6130() -> MachineConfig {
+        let mut costs = CostParams::baseline();
+        // Server uncore: higher DRAM and cross-core latencies.
+        costs.mem_access = 90;
+        costs.ipi_send = 700;
+        costs.ipi_receive_flush = 2_600;
+        MachineConfig {
+            name: "2x Xeon Gold 6130 @2.10GHz, DDR4-2666",
+            cores: 32,
+            freq_ghz: 2.1,
+            // Six channels per socket x 21.3 GB/s x 2 sockets.
+            dram_bandwidth_gbs: 255.9,
+            stream_bandwidth_gbs: 12.0,
+            cache: CacheGeometry::server_skylake(),
+            costs,
+        }
+    }
+
+    /// Intel Xeon Gold 6240 @ 2.60 GHz, 192 GB DDR4-2933 (Fig. 10b).
+    pub fn xeon_gold_6240() -> MachineConfig {
+        let mut costs = CostParams::baseline();
+        costs.mem_access = 85;
+        costs.ipi_send = 700;
+        costs.ipi_receive_flush = 2_600;
+        MachineConfig {
+            name: "Xeon Gold 6240 @2.60GHz, DDR4-2933",
+            cores: 18,
+            freq_ghz: 2.6,
+            // Six channels x 23.5 GB/s.
+            dram_bandwidth_gbs: 140.8,
+            stream_bandwidth_gbs: 13.5,
+            cache: CacheGeometry::server_skylake(),
+            costs,
+        }
+    }
+
+    /// The same machine with a different online-core count (Fig. 9 sweeps
+    /// IPI fan-out against core count).
+    pub fn with_cores(mut self, cores: usize) -> MachineConfig {
+        self.cores = cores;
+        self
+    }
+
+    /// Bytes of DRAM bandwidth available per core cycle (aggregate).
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth_gbs / self.freq_ghz
+    }
+
+    /// Cycles to copy `bytes` when `streams` independent copiers share the
+    /// machine, with cache-tiered throughput:
+    ///
+    /// * fits in L2 → CPU-bound vectorized copy (`line_copy_cpu`/line),
+    /// * fits in half the LLC → LLC-rate copy (`line_copy_llc`/line),
+    /// * larger → DRAM streaming: each byte moves twice (read +
+    ///   write-allocate), each copier is capped at one thread's sustainable
+    ///   stream bandwidth, and under contention gets at most its share of
+    ///   the aggregate — the multi-JVM degradation of Fig. 2.
+    ///
+    /// This tiering is what produces the paper's ~10-page SwapVA/memmove
+    /// break-even (Fig. 10): small copies are cache-resident and cheap, so
+    /// the syscall+flush overhead only amortizes above a threshold.
+    pub fn copy_cycles(&self, bytes: u64, streams: u32) -> Cycles {
+        let lines = bytes.div_ceil(64);
+        if bytes <= self.cache.l2_bytes as u64 / 2 {
+            return Cycles(lines * self.costs.line_copy_cpu);
+        }
+        // The LLC is shared: with many active streams each copier owns a
+        // sliver of it, so the LLC tier shrinks under contention.
+        if bytes <= self.cache.llc_bytes as u64 / (8 * streams.max(1) as u64) {
+            return Cycles(lines * self.costs.line_copy_llc);
+        }
+        let share = self.dram_bandwidth_gbs / streams.max(1) as f64;
+        let effective_gbs = self.stream_bandwidth_gbs.min(share);
+        let bytes_per_cycle = effective_gbs / self.freq_ghz;
+        Cycles((2.0 * bytes as f64 / bytes_per_cycle) as u64)
+    }
+
+    /// Simulated time of `c` cycles on this machine.
+    pub fn time(&self, c: Cycles) -> crate::cycles::SimTime {
+        c.at_ghz(self.freq_ghz)
+    }
+
+    /// The SwapVA/memmove break-even in pages, derived from this machine's
+    ///
+    /// ```
+    /// use svagc_metrics::MachineConfig;
+    /// let t = MachineConfig::xeon_gold_6130().derived_threshold_pages();
+    /// assert!((3..=20).contains(&t)); // near the paper's ~10
+    /// ```
+    ///
+    /// cost constants — Fig. 10's observation that "CPU performance and
+    /// memory bandwidth can impact on threshold value and define it",
+    /// turned into a formula. A collector can use this instead of the
+    /// hard-coded 10.
+    ///
+    /// Per page, SwapVA pays two (PMD-cached) walk steps, two lock
+    /// round-trips, and the PTE exchange; memmove pays the cache-tiered
+    /// copy of one page plus two TLB refills. The fixed syscall + local
+    /// flush cost divides by the per-page advantage.
+    pub fn derived_threshold_pages(&self) -> u64 {
+        let c = &self.costs;
+        let swap_per_page = 2 * (c.pt_level_access + c.l2_hit) + 2 * c.lock_unlock + c.pte_swap;
+        let copy_per_page = self.copy_cycles(4096, 1).get() + 2 * c.tlb_refill;
+        let fixed = c.syscall_entry_exit + c.tlb_flush_local;
+        if copy_per_page <= swap_per_page {
+            return u64::MAX; // swapping never pays on this machine
+        }
+        (fixed / (copy_per_page - swap_per_page)).max(1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_geometry() {
+        assert_eq!(MachineConfig::i5_7600().cores, 4);
+        assert_eq!(MachineConfig::xeon_gold_6130().cores, 32);
+        assert_eq!(MachineConfig::xeon_gold_6240().cores, 18);
+    }
+
+    #[test]
+    fn copy_cost_scales_with_bytes() {
+        let m = MachineConfig::xeon_gold_6130();
+        let small = m.copy_cycles(4096, 1);
+        let big = m.copy_cycles(4096 * 100, 1);
+        assert!(big.get() > small.get() * 50);
+    }
+
+    #[test]
+    fn copy_cost_grows_under_contention() {
+        let m = MachineConfig::xeon_gold_6130();
+        // A lone copier is capped by single-stream bandwidth, so light
+        // contention is free; beyond total/stream (~21 streams) the shares
+        // shrink and costs grow.
+        let solo = m.copy_cycles(1 << 24, 1);
+        let light = m.copy_cycles(1 << 24, 8);
+        let heavy = m.copy_cycles(1 << 24, 128);
+        assert_eq!(light, solo, "8 streams still fit the aggregate");
+        assert!(
+            heavy.get() > solo.get() * 4,
+            "128-way contended {heavy} vs solo {solo}"
+        );
+    }
+
+    #[test]
+    fn big_copy_is_stream_bandwidth_bound() {
+        let m = MachineConfig::i5_7600();
+        let bytes = 64u64 << 20; // well past the LLC
+        let c = m.copy_cycles(bytes, 1);
+        let expect = (2.0 * bytes as f64 / (m.stream_bandwidth_gbs / m.freq_ghz)) as u64;
+        assert_eq!(c.get(), expect);
+        // Sanity: 64 MiB at 14 GB/s effective (x2 traffic) ≈ 9.6 ms.
+        let ms = Cycles(c.get()).at_ghz(m.freq_ghz).as_millis();
+        assert!((5.0..20.0).contains(&ms), "copy time {ms} ms");
+    }
+
+    #[test]
+    fn derived_threshold_matches_the_empirical_break_even() {
+        // The formula must land in the same band as the Fig. 10 sweep
+        // (~7 pages measured; the paper uses 10).
+        for m in [
+            MachineConfig::i5_7600(),
+            MachineConfig::xeon_gold_6130(),
+            MachineConfig::xeon_gold_6240(),
+        ] {
+            let t = m.derived_threshold_pages();
+            assert!((3..=20).contains(&t), "{}: derived threshold {t}", m.name);
+        }
+    }
+
+    #[test]
+    fn slower_copies_lower_the_threshold() {
+        // A machine whose copies are pricier breaks even sooner.
+        let base = MachineConfig::xeon_gold_6130();
+        let mut slow_copy = base.clone();
+        slow_copy.costs.line_copy_cpu *= 4;
+        assert!(slow_copy.derived_threshold_pages() <= base.derived_threshold_pages());
+        // And a machine with absurdly slow page-table ops never swaps.
+        let mut slow_walk = base.clone();
+        slow_walk.costs.pte_swap = 1_000_000;
+        assert_eq!(slow_walk.derived_threshold_pages(), u64::MAX);
+    }
+
+    #[test]
+    fn copy_tiers_are_monotonic_per_byte() {
+        let m = MachineConfig::xeon_gold_6130();
+        let per_byte = |bytes: u64| m.copy_cycles(bytes, 1).get() as f64 / bytes as f64;
+        let l2 = per_byte(128 << 10); // L2-resident
+        let llc = per_byte(4 << 20); // LLC-resident
+        let dram = per_byte(64 << 20); // streaming
+        assert!(l2 < llc && llc < dram, "{l2} {llc} {dram}");
+    }
+
+    #[test]
+    fn tlb_refill_is_five_walk_loads() {
+        // Paper §IV: a refill walks ~5 levels; the loads are mostly
+        // cache-resident on a warm system, so the refill sits well below
+        // five DRAM accesses but above a handful of L1 hits.
+        for m in [
+            MachineConfig::i5_7600(),
+            MachineConfig::xeon_gold_6130(),
+            MachineConfig::xeon_gold_6240(),
+        ] {
+            assert!(m.costs.tlb_refill >= 5 * m.costs.l1_hit);
+            assert!(m.costs.tlb_refill <= 5 * m.costs.mem_access);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! `perf`-style event counters.
+//!
+//! Every subsystem increments these as it simulates; harnesses snapshot and
+//! diff them around regions of interest (a GC cycle, a benchmark run).
+//! Counters are plain `u64`s updated behind `&mut` — shared/concurrent
+//! accumulation goes through thread-local counters merged at joins.
+
+use serde::Serialize;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A bundle of simulated hardware/OS event counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PerfCounters {
+    /// System calls entered.
+    pub syscalls: u64,
+    /// PTE pairs exchanged by SwapVA.
+    pub pte_swaps: u64,
+    /// Bytes copied verbatim (memmove path).
+    pub bytes_copied: u64,
+    /// Page-table level touches during software walks.
+    pub pt_level_accesses: u64,
+    /// PMD-cache hits (walks shortened from 4 levels to 1).
+    pub pmd_cache_hits: u64,
+    /// Full local TLB flushes.
+    pub tlb_flushes_local: u64,
+    /// Single-page local TLB invalidations.
+    pub tlb_flushes_page: u64,
+    /// Inter-processor interrupts sent.
+    pub ipis_sent: u64,
+    /// TLB lookups.
+    pub tlb_lookups: u64,
+    /// TLB misses (each costs a refill walk).
+    pub tlb_misses: u64,
+    /// Data accesses presented to the cache hierarchy.
+    pub cache_accesses: u64,
+    /// Accesses that missed L1 (perf "cache-references").
+    pub cache_references: u64,
+    /// Accesses that missed the LLC (perf "cache-misses").
+    pub cache_misses: u64,
+    /// Objects moved by GC (any path).
+    pub objects_moved: u64,
+    /// Objects moved via SwapVA.
+    pub objects_swapped: u64,
+    /// GC cycles completed.
+    pub gc_cycles: u64,
+}
+
+impl PerfCounters {
+    /// All-zero counters.
+    pub fn new() -> PerfCounters {
+        PerfCounters::default()
+    }
+
+    /// perf-style cache-miss percentage (`cache-misses / cache-references`).
+    pub fn cache_miss_pct(&self) -> f64 {
+        if self.cache_references == 0 {
+            0.0
+        } else {
+            100.0 * self.cache_misses as f64 / self.cache_references as f64
+        }
+    }
+
+    /// DTLB miss percentage (`tlb_misses / tlb_lookups`).
+    pub fn dtlb_miss_pct(&self) -> f64 {
+        if self.tlb_lookups == 0 {
+            0.0
+        } else {
+            100.0 * self.tlb_misses as f64 / self.tlb_lookups as f64
+        }
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &PerfCounters) {
+        *self += *other;
+    }
+}
+
+impl Add for PerfCounters {
+    type Output = PerfCounters;
+    fn add(self, o: PerfCounters) -> PerfCounters {
+        PerfCounters {
+            syscalls: self.syscalls + o.syscalls,
+            pte_swaps: self.pte_swaps + o.pte_swaps,
+            bytes_copied: self.bytes_copied + o.bytes_copied,
+            pt_level_accesses: self.pt_level_accesses + o.pt_level_accesses,
+            pmd_cache_hits: self.pmd_cache_hits + o.pmd_cache_hits,
+            tlb_flushes_local: self.tlb_flushes_local + o.tlb_flushes_local,
+            tlb_flushes_page: self.tlb_flushes_page + o.tlb_flushes_page,
+            ipis_sent: self.ipis_sent + o.ipis_sent,
+            tlb_lookups: self.tlb_lookups + o.tlb_lookups,
+            tlb_misses: self.tlb_misses + o.tlb_misses,
+            cache_accesses: self.cache_accesses + o.cache_accesses,
+            cache_references: self.cache_references + o.cache_references,
+            cache_misses: self.cache_misses + o.cache_misses,
+            objects_moved: self.objects_moved + o.objects_moved,
+            objects_swapped: self.objects_swapped + o.objects_swapped,
+            gc_cycles: self.gc_cycles + o.gc_cycles,
+        }
+    }
+}
+
+impl AddAssign for PerfCounters {
+    fn add_assign(&mut self, o: PerfCounters) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for PerfCounters {
+    type Output = PerfCounters;
+    fn sub(self, o: PerfCounters) -> PerfCounters {
+        PerfCounters {
+            syscalls: self.syscalls - o.syscalls,
+            pte_swaps: self.pte_swaps - o.pte_swaps,
+            bytes_copied: self.bytes_copied - o.bytes_copied,
+            pt_level_accesses: self.pt_level_accesses - o.pt_level_accesses,
+            pmd_cache_hits: self.pmd_cache_hits - o.pmd_cache_hits,
+            tlb_flushes_local: self.tlb_flushes_local - o.tlb_flushes_local,
+            tlb_flushes_page: self.tlb_flushes_page - o.tlb_flushes_page,
+            ipis_sent: self.ipis_sent - o.ipis_sent,
+            tlb_lookups: self.tlb_lookups - o.tlb_lookups,
+            tlb_misses: self.tlb_misses - o.tlb_misses,
+            cache_accesses: self.cache_accesses - o.cache_accesses,
+            cache_references: self.cache_references - o.cache_references,
+            cache_misses: self.cache_misses - o.cache_misses,
+            objects_moved: self.objects_moved - o.objects_moved,
+            objects_swapped: self.objects_swapped - o.objects_swapped,
+            gc_cycles: self.gc_cycles - o.gc_cycles,
+        }
+    }
+}
+
+impl fmt::Display for PerfCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "syscalls            {:>12}", self.syscalls)?;
+        writeln!(f, "pte swaps           {:>12}", self.pte_swaps)?;
+        writeln!(f, "bytes copied        {:>12}", self.bytes_copied)?;
+        writeln!(f, "pt level accesses   {:>12}", self.pt_level_accesses)?;
+        writeln!(f, "pmd cache hits      {:>12}", self.pmd_cache_hits)?;
+        writeln!(f, "tlb flushes (local) {:>12}", self.tlb_flushes_local)?;
+        writeln!(f, "tlb flushes (page)  {:>12}", self.tlb_flushes_page)?;
+        writeln!(f, "IPIs sent           {:>12}", self.ipis_sent)?;
+        writeln!(
+            f,
+            "dtlb miss           {:>11.2}% ({} / {})",
+            self.dtlb_miss_pct(),
+            self.tlb_misses,
+            self.tlb_lookups
+        )?;
+        writeln!(
+            f,
+            "cache miss          {:>11.2}% ({} / {})",
+            self.cache_miss_pct(),
+            self.cache_misses,
+            self.cache_references
+        )?;
+        writeln!(
+            f,
+            "objects moved       {:>12} ({} swapped)",
+            self.objects_moved, self.objects_swapped
+        )?;
+        write!(f, "gc cycles           {:>12}", self.gc_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_roundtrip() {
+        let mut a = PerfCounters::new();
+        a.syscalls = 10;
+        a.pte_swaps = 100;
+        a.tlb_lookups = 1000;
+        a.tlb_misses = 50;
+        let mut b = PerfCounters::new();
+        b.syscalls = 3;
+        b.tlb_lookups = 200;
+        b.tlb_misses = 10;
+        let sum = a + b;
+        assert_eq!(sum.syscalls, 13);
+        assert_eq!(sum - b, a);
+    }
+
+    #[test]
+    fn miss_percentages() {
+        let mut c = PerfCounters::new();
+        assert_eq!(c.dtlb_miss_pct(), 0.0);
+        assert_eq!(c.cache_miss_pct(), 0.0);
+        c.tlb_lookups = 200;
+        c.tlb_misses = 50;
+        c.cache_references = 1000;
+        c.cache_misses = 900;
+        assert!((c.dtlb_miss_pct() - 25.0).abs() < 1e-12);
+        assert!((c.cache_miss_pct() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut total = PerfCounters::new();
+        for _ in 0..4 {
+            let mut part = PerfCounters::new();
+            part.ipis_sent = 7;
+            total.merge(&part);
+        }
+        assert_eq!(total.ipis_sent, 28);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let c = PerfCounters::new();
+        let s = format!("{c}");
+        assert!(s.contains("IPIs sent"));
+        assert!(s.contains("gc cycles"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests of the measurement substrate: cache replacement laws
+//! and perf-counter algebra.
+
+use proptest::prelude::*;
+use svagc_metrics::{PerfCounters, SetAssocCache};
+
+proptest! {
+    /// A fully-associative-equivalent cache with capacity C lines never
+    /// misses on a working set of at most C distinct lines (after the cold
+    /// pass) — LRU's basic guarantee.
+    #[test]
+    fn lru_retains_small_working_sets(
+        distinct in 1usize..16,
+        accesses in proptest::collection::vec(0usize..16, 1..300),
+    ) {
+        // 16 lines of capacity in one set (16-way, one set).
+        let mut c = SetAssocCache::new(16 * 64, 16, 64);
+        let lines: Vec<u64> = (0..distinct as u64).map(|i| i * 64).collect();
+        // Cold pass.
+        for &l in &lines {
+            c.access(l);
+        }
+        c.reset_stats();
+        for &a in &accesses {
+            c.access(lines[a % distinct]);
+        }
+        let (_, misses) = c.stats();
+        prop_assert_eq!(misses, 0, "working set fits: no misses allowed");
+    }
+
+    /// Inclusion monotonicity: a bigger cache of the same shape never has
+    /// more misses on the same trace.
+    #[test]
+    fn bigger_cache_never_misses_more(
+        trace in proptest::collection::vec(0u64..256, 1..400),
+    ) {
+        let mut small = SetAssocCache::new(8 * 64, 8, 64); // 8 lines, 1 set
+        let mut big = SetAssocCache::new(32 * 64, 32, 64); // 32 lines, 1 set
+        for &t in &trace {
+            small.access(t * 64);
+            big.access(t * 64);
+        }
+        let (_, m_small) = small.stats();
+        let (_, m_big) = big.stats();
+        prop_assert!(m_big <= m_small, "big {m_big} vs small {m_small}");
+    }
+
+    /// Counter algebra: (a + b) - b == a for arbitrary counters.
+    #[test]
+    fn perf_counter_algebra(vals in proptest::collection::vec(0u64..1_000_000, 16)) {
+        let build = |off: usize| {
+            let mut c = PerfCounters::new();
+            c.syscalls = vals[off % 16];
+            c.pte_swaps = vals[(off + 1) % 16];
+            c.bytes_copied = vals[(off + 2) % 16];
+            c.tlb_lookups = vals[(off + 3) % 16];
+            c.tlb_misses = vals[(off + 4) % 16].min(c.tlb_lookups);
+            c.ipis_sent = vals[(off + 5) % 16];
+            c.cache_references = vals[(off + 6) % 16];
+            c.cache_misses = vals[(off + 7) % 16].min(c.cache_references);
+            c
+        };
+        let a = build(0);
+        let b = build(5);
+        prop_assert_eq!((a + b) - b, a);
+        let mut m = PerfCounters::new();
+        m.merge(&a);
+        m.merge(&b);
+        prop_assert_eq!(m, a + b);
+    }
+}

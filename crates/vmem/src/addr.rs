@@ -1,0 +1,237 @@
+//! Virtual/physical addresses and x86-64 4-KiB-page constants.
+//!
+//! The layout mirrors Linux on x86-64 with 4-level paging (the `p4d` level
+//! folded into `pgd`, as on the paper's 4.17 kernel):
+//!
+//! ```text
+//! 47        39 38       30 29       21 20       12 11         0
+//! +-----------+-----------+-----------+-----------+------------+
+//! | PGD index | PUD index | PMD index | PTE index | page offset|
+//! +-----------+-----------+-----------+-----------+------------+
+//! ```
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// log2 of the page size (4 KiB pages).
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// Bytes per machine word.
+pub const WORD_BYTES: u64 = 8;
+/// Words per page.
+pub const WORDS_PER_PAGE: u64 = PAGE_SIZE / WORD_BYTES;
+/// Entries per page-table level.
+pub const ENTRIES_PER_TABLE: usize = 512;
+/// Bits of index per page-table level.
+pub const LEVEL_BITS: u32 = 9;
+
+/// A virtual address in a simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The raw address.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Virtual page number (address >> 12).
+    #[inline]
+    pub fn vpn(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Is this address page-aligned?
+    #[inline]
+    pub fn is_page_aligned(self) -> bool {
+        self.page_offset() == 0
+    }
+
+    /// Round up to the next page boundary (identity if aligned).
+    #[inline]
+    pub fn align_up(self) -> VirtAddr {
+        VirtAddr((self.0 + PAGE_SIZE - 1) & !(PAGE_SIZE - 1))
+    }
+
+    /// Round down to the containing page boundary.
+    #[inline]
+    pub fn align_down(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// PGD (top-level) index, bits 39..=47.
+    #[inline]
+    pub fn pgd_index(self) -> usize {
+        ((self.0 >> 39) & 0x1ff) as usize
+    }
+
+    /// PUD index, bits 30..=38.
+    #[inline]
+    pub fn pud_index(self) -> usize {
+        ((self.0 >> 30) & 0x1ff) as usize
+    }
+
+    /// PMD index, bits 21..=29.
+    #[inline]
+    pub fn pmd_index(self) -> usize {
+        ((self.0 >> 21) & 0x1ff) as usize
+    }
+
+    /// PTE index, bits 12..=20.
+    #[inline]
+    pub fn pte_index(self) -> usize {
+        ((self.0 >> 12) & 0x1ff) as usize
+    }
+
+    /// The PMD prefix (everything above the PTE index): two pages share a
+    /// PTE table — and thus a cached PMD walk — iff their prefixes match.
+    #[inline]
+    pub fn pmd_prefix(self) -> u64 {
+        self.0 >> 21
+    }
+
+    /// Address `pages` pages after this one.
+    #[inline]
+    pub fn add_pages(self, pages: u64) -> VirtAddr {
+        VirtAddr(self.0 + pages * PAGE_SIZE)
+    }
+}
+
+impl Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+    #[inline]
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<VirtAddr> for VirtAddr {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: VirtAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#014x}", self.0)
+    }
+}
+
+/// A physical address in the simulated frame pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The raw address.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The containing frame.
+    #[inline]
+    pub fn frame(self) -> FrameId {
+        FrameId((self.0 >> PAGE_SHIFT) as u32)
+    }
+
+    /// Byte offset within the frame.
+    #[inline]
+    pub fn frame_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+    #[inline]
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#012x}", self.0)
+    }
+}
+
+/// Identifier of one 4-KiB physical frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FrameId(pub u32);
+
+impl FrameId {
+    /// Base physical address of the frame.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr((self.0 as u64) << PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame:{}", self.0)
+    }
+}
+
+/// An address-space identifier (one per simulated process/JVM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asid(pub u16);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_constants_consistent() {
+        assert_eq!(PAGE_SIZE, 4096);
+        assert_eq!(WORDS_PER_PAGE, 512);
+        assert_eq!(ENTRIES_PER_TABLE, 512);
+    }
+
+    #[test]
+    fn index_extraction_matches_linux_layout() {
+        // va = pgd 1, pud 2, pmd 3, pte 4, offset 5.
+        let va = VirtAddr((1 << 39) | (2 << 30) | (3 << 21) | (4 << 12) | 5);
+        assert_eq!(va.pgd_index(), 1);
+        assert_eq!(va.pud_index(), 2);
+        assert_eq!(va.pmd_index(), 3);
+        assert_eq!(va.pte_index(), 4);
+        assert_eq!(va.page_offset(), 5);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let va = VirtAddr(0x1001);
+        assert!(!va.is_page_aligned());
+        assert_eq!(va.align_up(), VirtAddr(0x2000));
+        assert_eq!(va.align_down(), VirtAddr(0x1000));
+        assert_eq!(VirtAddr(0x2000).align_up(), VirtAddr(0x2000));
+    }
+
+    #[test]
+    fn pmd_prefix_shared_within_2mib() {
+        let a = VirtAddr(0x40000000);
+        let b = a.add_pages(511); // last page of the same PTE table
+        let c = a.add_pages(512); // first page of the next PTE table
+        assert_eq!(a.pmd_prefix(), b.pmd_prefix());
+        assert_ne!(a.pmd_prefix(), c.pmd_prefix());
+    }
+
+    #[test]
+    fn phys_frame_roundtrip() {
+        let f = FrameId(42);
+        let pa = f.base() + 123;
+        assert_eq!(pa.frame(), f);
+        assert_eq!(pa.frame_offset(), 123);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for the virtual-memory subsystem.
+
+use crate::addr::{PhysAddr, VirtAddr};
+use std::fmt;
+
+/// Failures of the simulated memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// Physical address outside the frame pool (or straddling its end).
+    BadPhysAddr(PhysAddr),
+    /// Virtual address has no present mapping.
+    NotMapped(VirtAddr),
+    /// Virtual address already mapped (double map).
+    AlreadyMapped(VirtAddr),
+    /// The frame pool is exhausted.
+    OutOfFrames,
+    /// SwapVA operand error (misaligned or zero-length range).
+    BadSwapRange {
+        /// First operand.
+        a: VirtAddr,
+        /// Second operand.
+        b: VirtAddr,
+        /// Page count requested.
+        pages: u64,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::BadPhysAddr(pa) => write!(f, "physical address out of range: {pa}"),
+            VmError::NotMapped(va) => write!(f, "virtual address not mapped: {va}"),
+            VmError::AlreadyMapped(va) => write!(f, "virtual address already mapped: {va}"),
+            VmError::OutOfFrames => write!(f, "out of physical frames"),
+            VmError::BadSwapRange { a, b, pages } => {
+                write!(f, "bad swap range: {a} <-> {b} ({pages} pages)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(format!("{}", VmError::OutOfFrames).contains("out of"));
+        assert!(format!("{}", VmError::NotMapped(VirtAddr(0x1000))).contains("0x"));
+    }
+}

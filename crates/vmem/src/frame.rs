@@ -1,0 +1,240 @@
+//! Simulated physical memory: a pool of 4-KiB frames plus an allocator.
+//!
+//! Objects really live here — GC correctness tests read heap contents back
+//! through translations after compaction, so a PTE swap that corrupted data
+//! would be caught, not just mis-costed.
+
+use crate::addr::{FrameId, PhysAddr, PAGE_SIZE};
+use crate::error::VmError;
+
+/// Flat physical memory of `frames * 4096` bytes.
+#[derive(Debug)]
+pub struct PhysMem {
+    bytes: Vec<u8>,
+    frames: u32,
+}
+
+impl PhysMem {
+    /// Allocate a pool of `frames` zeroed frames.
+    pub fn new(frames: u32) -> PhysMem {
+        PhysMem {
+            bytes: vec![0u8; frames as usize * PAGE_SIZE as usize],
+            frames,
+        }
+    }
+
+    /// Number of frames in the pool.
+    pub fn frame_count(&self) -> u32 {
+        self.frames
+    }
+
+    /// Total bytes.
+    pub fn byte_count(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    #[inline]
+    fn check(&self, pa: PhysAddr, len: u64) -> Result<usize, VmError> {
+        let start = pa.get();
+        let end = start.checked_add(len).ok_or(VmError::BadPhysAddr(pa))?;
+        if end > self.bytes.len() as u64 {
+            return Err(VmError::BadPhysAddr(pa));
+        }
+        Ok(start as usize)
+    }
+
+    /// Read one 8-byte word (must not straddle the pool end).
+    #[inline]
+    pub fn read_u64(&self, pa: PhysAddr) -> Result<u64, VmError> {
+        let i = self.check(pa, 8)?;
+        Ok(u64::from_le_bytes(
+            self.bytes[i..i + 8].try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Write one 8-byte word.
+    #[inline]
+    pub fn write_u64(&mut self, pa: PhysAddr, val: u64) -> Result<(), VmError> {
+        let i = self.check(pa, 8)?;
+        self.bytes[i..i + 8].copy_from_slice(&val.to_le_bytes());
+        Ok(())
+    }
+
+    /// Read `buf.len()` bytes at `pa`.
+    pub fn read_bytes(&self, pa: PhysAddr, buf: &mut [u8]) -> Result<(), VmError> {
+        let i = self.check(pa, buf.len() as u64)?;
+        buf.copy_from_slice(&self.bytes[i..i + buf.len()]);
+        Ok(())
+    }
+
+    /// Write `buf` at `pa`.
+    pub fn write_bytes(&mut self, pa: PhysAddr, buf: &[u8]) -> Result<(), VmError> {
+        let i = self.check(pa, buf.len() as u64)?;
+        self.bytes[i..i + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Copy `len` bytes from `src` to `dst` (handles overlap like memmove).
+    pub fn copy(&mut self, src: PhysAddr, dst: PhysAddr, len: u64) -> Result<(), VmError> {
+        let s = self.check(src, len)?;
+        let d = self.check(dst, len)?;
+        self.bytes.copy_within(s..s + len as usize, d);
+        Ok(())
+    }
+
+    /// Zero a whole frame.
+    pub fn zero_frame(&mut self, frame: FrameId) -> Result<(), VmError> {
+        let i = self.check(frame.base(), PAGE_SIZE)?;
+        self.bytes[i..i + PAGE_SIZE as usize].fill(0);
+        Ok(())
+    }
+
+    /// Borrow a frame's bytes (tests, checksums).
+    pub fn frame_bytes(&self, frame: FrameId) -> Result<&[u8], VmError> {
+        let i = self.check(frame.base(), PAGE_SIZE)?;
+        Ok(&self.bytes[i..i + PAGE_SIZE as usize])
+    }
+}
+
+/// Free-list frame allocator over a [`PhysMem`]-sized pool.
+#[derive(Debug)]
+pub struct FrameAllocator {
+    /// Next never-allocated frame (bump region).
+    next: u32,
+    limit: u32,
+    /// Returned frames, reused LIFO.
+    free: Vec<FrameId>,
+    allocated: u32,
+    /// High-water mark of simultaneously live frames.
+    peak: u32,
+}
+
+impl FrameAllocator {
+    /// Allocator over frames `0..limit`.
+    pub fn new(limit: u32) -> FrameAllocator {
+        FrameAllocator {
+            next: 0,
+            limit,
+            free: Vec::new(),
+            allocated: 0,
+            peak: 0,
+        }
+    }
+
+    /// Allocate one frame.
+    pub fn alloc(&mut self) -> Result<FrameId, VmError> {
+        let f = if let Some(f) = self.free.pop() {
+            f
+        } else if self.next < self.limit {
+            let f = FrameId(self.next);
+            self.next += 1;
+            f
+        } else {
+            return Err(VmError::OutOfFrames);
+        };
+        self.allocated += 1;
+        self.peak = self.peak.max(self.allocated);
+        Ok(f)
+    }
+
+    /// Allocate `n` frames (not necessarily contiguous).
+    pub fn alloc_many(&mut self, n: u32) -> Result<Vec<FrameId>, VmError> {
+        let mut v = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            match self.alloc() {
+                Ok(f) => v.push(f),
+                Err(e) => {
+                    for f in v {
+                        self.free(f);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(v)
+    }
+
+    /// Return a frame to the pool.
+    pub fn free(&mut self, frame: FrameId) {
+        debug_assert!(frame.0 < self.limit);
+        self.allocated -= 1;
+        self.free.push(frame);
+    }
+
+    /// Frames currently allocated.
+    pub fn in_use(&self) -> u32 {
+        self.allocated
+    }
+
+    /// Frames still available.
+    pub fn available(&self) -> u32 {
+        self.limit - self.next + self.free.len() as u32
+    }
+
+    /// High-water mark of live frames.
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip() {
+        let mut m = PhysMem::new(2);
+        let pa = PhysAddr(4096 + 16);
+        m.write_u64(pa, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read_u64(pa).unwrap(), 0xdead_beef_cafe_f00d);
+        // Untouched memory is zero.
+        assert_eq!(m.read_u64(PhysAddr(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let m = PhysMem::new(1);
+        assert!(m.read_u64(PhysAddr(4096)).is_err());
+        assert!(m.read_u64(PhysAddr(4090)).is_err()); // straddles end
+        assert!(m.read_u64(PhysAddr(u64::MAX)).is_err()); // overflow
+    }
+
+    #[test]
+    fn byte_copy_handles_overlap() {
+        let mut m = PhysMem::new(1);
+        m.write_bytes(PhysAddr(0), b"abcdef").unwrap();
+        m.copy(PhysAddr(0), PhysAddr(2), 4).unwrap();
+        let mut out = [0u8; 6];
+        m.read_bytes(PhysAddr(0), &mut out).unwrap();
+        assert_eq!(&out, b"ababcd");
+    }
+
+    #[test]
+    fn allocator_reuses_freed_frames() {
+        let mut a = FrameAllocator::new(2);
+        let f0 = a.alloc().unwrap();
+        let f1 = a.alloc().unwrap();
+        assert!(a.alloc().is_err());
+        a.free(f0);
+        assert_eq!(a.alloc().unwrap(), f0);
+        assert_eq!(a.in_use(), 2);
+        assert_eq!(a.peak(), 2);
+        let _ = f1;
+    }
+
+    #[test]
+    fn alloc_many_rolls_back_on_failure() {
+        let mut a = FrameAllocator::new(3);
+        assert!(a.alloc_many(4).is_err());
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.alloc_many(3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn zero_frame_clears() {
+        let mut m = PhysMem::new(1);
+        m.write_u64(PhysAddr(8), 7).unwrap();
+        m.zero_frame(FrameId(0)).unwrap();
+        assert_eq!(m.read_u64(PhysAddr(8)).unwrap(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Simulated physical memory, x86-64-style 4-level page tables, and
+//! per-core TLBs — the substrate SwapVA operates on.
+//!
+//! The paper implements SwapVA inside Linux 4.17; this crate provides a
+//! structurally faithful userspace stand-in:
+//!
+//! * [`frame`] — a pool of real 4-KiB frames. Heap objects genuinely live
+//!   here, so "zero-copy" claims are checked against actual bytes.
+//! * [`pagetable`] — PGD→PUD→PMD→PTE radix tables whose walks report the
+//!   number of levels touched, making the PMD-cache optimization (Fig. 7/8)
+//!   measurable. [`pagetable::PmdCache`] models the cache itself.
+//! * [`tlb`] — two-level per-core TLBs with ASID tagging and precise
+//!   flush operations (`all` / `asid` / `page`), the state SwapVA's
+//!   shootdown protocol manages.
+//! * [`space`] — address spaces (one per simulated JVM) plus the
+//!   [`space::Vmem`] bundle for mapping regions and reading/writing through
+//!   translations.
+//!
+//! Everything here is *functional and uncosted*; `svagc-kernel` wraps these
+//! primitives with cycle/event charging.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod error;
+pub mod frame;
+pub mod pagetable;
+pub mod pte;
+pub mod space;
+pub mod tlb;
+
+pub use addr::{
+    Asid, FrameId, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE, WORDS_PER_PAGE, WORD_BYTES,
+};
+pub use error::VmError;
+pub use frame::{FrameAllocator, PhysMem};
+pub use pagetable::{PageTable, PmdCache, PteTable, WALK_LEVELS_CACHED, WALK_LEVELS_FULL};
+pub use pte::{Pte, PteFlags};
+pub use space::{AddressSpace, Vmem, USER_BASE};
+pub use tlb::{Tlb, TlbConfig, TlbHit};

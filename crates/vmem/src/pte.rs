@@ -1,0 +1,147 @@
+//! Page-table entries.
+//!
+//! A [`Pte`] packs a frame number and permission/status bits into one `u64`,
+//! mirroring the x86-64 hardware format closely enough that "swap two PTEs"
+//! means exactly what it means in the paper: exchange two 8-byte words.
+
+use crate::addr::FrameId;
+use std::fmt;
+
+/// Bit flags of a PTE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PteFlags(u64);
+
+impl PteFlags {
+    /// Entry maps a frame.
+    pub const PRESENT: PteFlags = PteFlags(1 << 0);
+    /// Writable mapping.
+    pub const WRITABLE: PteFlags = PteFlags(1 << 1);
+    /// Accessed (set by simulated MMU on translation).
+    pub const ACCESSED: PteFlags = PteFlags(1 << 5);
+    /// Dirty (set by simulated MMU on write).
+    pub const DIRTY: PteFlags = PteFlags(1 << 6);
+
+    /// Union of flags.
+    #[inline]
+    pub const fn union(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 | other.0)
+    }
+
+    /// Raw bits.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+}
+
+/// One page-table entry: frame number in bits 12.., flags in bits 0..12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pte(u64);
+
+impl Pte {
+    /// The not-present entry.
+    pub const NONE: Pte = Pte(0);
+
+    /// A present entry mapping `frame` with `flags` (PRESENT is implied).
+    #[inline]
+    pub fn map(frame: FrameId, flags: PteFlags) -> Pte {
+        Pte(((frame.0 as u64) << 12) | flags.0 | PteFlags::PRESENT.0)
+    }
+
+    /// Is the entry present?
+    #[inline]
+    pub fn present(self) -> bool {
+        self.0 & PteFlags::PRESENT.0 != 0
+    }
+
+    /// Mapped frame (meaningless if not present).
+    #[inline]
+    pub fn frame(self) -> FrameId {
+        FrameId((self.0 >> 12) as u32)
+    }
+
+    /// Is the mapping writable?
+    #[inline]
+    pub fn writable(self) -> bool {
+        self.0 & PteFlags::WRITABLE.0 != 0
+    }
+
+    /// Set a flag.
+    #[inline]
+    pub fn set(&mut self, flag: PteFlags) {
+        self.0 |= flag.0;
+    }
+
+    /// Test a flag.
+    #[inline]
+    pub fn has(self, flag: PteFlags) -> bool {
+        self.0 & flag.0 == flag.0
+    }
+
+    /// The raw 64-bit word (what SwapVA exchanges).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Build from a raw word.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Pte {
+        Pte(raw)
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.present() {
+            write!(
+                f,
+                "pte[{} {}{}{}p]",
+                self.frame(),
+                if self.writable() { "w" } else { "-" },
+                if self.has(PteFlags::ACCESSED) { "a" } else { "-" },
+                if self.has(PteFlags::DIRTY) { "d" } else { "-" }
+            )
+        } else {
+            write!(f, "pte[none]")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_inspect() {
+        let pte = Pte::map(FrameId(7), PteFlags::WRITABLE);
+        assert!(pte.present());
+        assert!(pte.writable());
+        assert_eq!(pte.frame(), FrameId(7));
+        assert!(!pte.has(PteFlags::DIRTY));
+    }
+
+    #[test]
+    fn none_is_absent() {
+        assert!(!Pte::NONE.present());
+        assert_eq!(Pte::NONE.raw(), 0);
+    }
+
+    #[test]
+    fn raw_roundtrip_is_swap_safe() {
+        // SwapVA exchanges raw words; flags and frame must survive.
+        let a = Pte::map(FrameId(1), PteFlags::WRITABLE.union(PteFlags::DIRTY));
+        let b = Pte::from_raw(a.raw());
+        assert_eq!(a, b);
+        assert!(b.has(PteFlags::DIRTY));
+    }
+
+    #[test]
+    fn flag_setting() {
+        let mut pte = Pte::map(FrameId(3), PteFlags::WRITABLE);
+        pte.set(PteFlags::ACCESSED);
+        assert!(pte.has(PteFlags::ACCESSED));
+        pte.set(PteFlags::DIRTY);
+        assert!(pte.has(PteFlags::DIRTY.union(PteFlags::ACCESSED)));
+    }
+}

@@ -1,0 +1,326 @@
+//! Per-core two-level TLB (L1 DTLB + unified STLB).
+//!
+//! This is the *functional* TLB whose flush traffic SwapVA must manage:
+//! every PTE exchange leaves stale entries on every core that has touched
+//! the page, which is exactly the shootdown problem of §IV. The kernel
+//! layer decides *when* to flush (per-call global vs pinned/local); this
+//! module implements the state machine and counts lookups/misses for the
+//! Table III DTLB columns.
+
+use crate::addr::{Asid, FrameId};
+
+/// Which level serviced a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbHit {
+    /// L1 DTLB hit.
+    L1,
+    /// Second-level TLB hit (promoted to L1).
+    Stlb,
+    /// Miss — page walk required.
+    Miss,
+}
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct TlbConfig {
+    /// L1 DTLB entry count.
+    pub l1_entries: usize,
+    /// L1 DTLB associativity.
+    pub l1_ways: usize,
+    /// STLB entry count.
+    pub stlb_entries: usize,
+    /// STLB associativity.
+    pub stlb_ways: usize,
+}
+
+impl TlbConfig {
+    /// Skylake-like: 64-entry 4-way L1 DTLB, 1536-entry 12-way STLB.
+    pub fn skylake() -> TlbConfig {
+        TlbConfig {
+            l1_entries: 64,
+            l1_ways: 4,
+            stlb_entries: 1536,
+            stlb_ways: 12,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbEntry {
+    valid: bool,
+    asid: u16,
+    vpn: u64,
+    frame: FrameId,
+    stamp: u64,
+}
+
+#[derive(Debug)]
+struct TlbArray {
+    sets: usize,
+    ways: usize,
+    entries: Vec<TlbEntry>,
+    tick: u64,
+}
+
+impl TlbArray {
+    fn new(entries: usize, ways: usize) -> TlbArray {
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "TLB set count must be 2^k");
+        TlbArray {
+            sets,
+            ways,
+            entries: vec![TlbEntry::default(); entries],
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn as usize) & (self.sets - 1)
+    }
+
+    fn lookup(&mut self, asid: Asid, vpn: u64) -> Option<FrameId> {
+        self.tick += 1;
+        let base = self.set_of(vpn) * self.ways;
+        for w in 0..self.ways {
+            let e = &mut self.entries[base + w];
+            if e.valid && e.asid == asid.0 && e.vpn == vpn {
+                e.stamp = self.tick;
+                return Some(e.frame);
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, asid: Asid, vpn: u64, frame: FrameId) {
+        self.tick += 1;
+        let base = self.set_of(vpn) * self.ways;
+        let victim = (0..self.ways)
+            .min_by_key(|&w| {
+                let e = &self.entries[base + w];
+                if e.valid {
+                    e.stamp + 1
+                } else {
+                    0
+                }
+            })
+            .expect("ways > 0");
+        self.entries[base + victim] = TlbEntry {
+            valid: true,
+            asid: asid.0,
+            vpn,
+            frame,
+            stamp: self.tick,
+        };
+    }
+
+    fn flush_all(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+    }
+
+    fn flush_asid(&mut self, asid: Asid) {
+        for e in &mut self.entries {
+            if e.asid == asid.0 {
+                e.valid = false;
+            }
+        }
+    }
+
+    fn flush_page(&mut self, asid: Asid, vpn: u64) {
+        let base = self.set_of(vpn) * self.ways;
+        for w in 0..self.ways {
+            let e = &mut self.entries[base + w];
+            if e.valid && e.asid == asid.0 && e.vpn == vpn {
+                e.valid = false;
+            }
+        }
+    }
+
+    fn valid_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+/// One core's TLB hierarchy with lookup/miss statistics.
+#[derive(Debug)]
+pub struct Tlb {
+    l1: TlbArray,
+    stlb: TlbArray,
+    lookups: u64,
+    l1_misses: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Build from a geometry.
+    pub fn new(cfg: TlbConfig) -> Tlb {
+        Tlb {
+            l1: TlbArray::new(cfg.l1_entries, cfg.l1_ways),
+            stlb: TlbArray::new(cfg.stlb_entries, cfg.stlb_ways),
+            lookups: 0,
+            l1_misses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up `(asid, vpn)`. Hits in the STLB are promoted to L1. Misses
+    /// must be followed by [`Tlb::insert`] after the page walk.
+    pub fn lookup(&mut self, asid: Asid, vpn: u64) -> (TlbHit, Option<FrameId>) {
+        self.lookups += 1;
+        if let Some(f) = self.l1.lookup(asid, vpn) {
+            return (TlbHit::L1, Some(f));
+        }
+        self.l1_misses += 1;
+        if let Some(f) = self.stlb.lookup(asid, vpn) {
+            self.l1.insert(asid, vpn, f);
+            return (TlbHit::Stlb, Some(f));
+        }
+        self.misses += 1;
+        (TlbHit::Miss, None)
+    }
+
+    /// Fill both levels after a page walk.
+    pub fn insert(&mut self, asid: Asid, vpn: u64, frame: FrameId) {
+        self.stlb.insert(asid, vpn, frame);
+        self.l1.insert(asid, vpn, frame);
+    }
+
+    /// Drop every entry (global flush, e.g. CR3 write without PCID).
+    pub fn flush_all(&mut self) {
+        self.l1.flush_all();
+        self.stlb.flush_all();
+    }
+
+    /// Drop entries of one address space (`flush_tlb_local(pid)`).
+    pub fn flush_asid(&mut self, asid: Asid) {
+        self.l1.flush_asid(asid);
+        self.stlb.flush_asid(asid);
+    }
+
+    /// Drop one page's entry (`invlpg` / `flush_tlb_page`).
+    pub fn flush_page(&mut self, asid: Asid, vpn: u64) {
+        self.l1.flush_page(asid, vpn);
+        self.stlb.flush_page(asid, vpn);
+    }
+
+    /// `(lookups, full_misses)` — the Table III DTLB-miss ratio inputs.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.misses)
+    }
+
+    /// L1 DTLB misses (reached the STLB).
+    pub fn l1_misses(&self) -> u64 {
+        self.l1_misses
+    }
+
+    /// Reset statistics (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.lookups = 0;
+        self.l1_misses = 0;
+        self.misses = 0;
+    }
+
+    /// Valid entries across both levels (for tests).
+    pub fn resident(&self) -> usize {
+        self.l1.valid_count() + self.stlb.valid_count()
+    }
+
+    /// Does this TLB hold any entry of `asid`? (The question an
+    /// access-tracking shootdown scheme answers per core.)
+    pub fn holds_asid(&self, asid: Asid) -> bool {
+        self.l1
+            .entries
+            .iter()
+            .chain(self.stlb.entries.iter())
+            .any(|e| e.valid && e.asid == asid.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Asid = Asid(1);
+    const B: Asid = Asid(2);
+
+    fn tlb() -> Tlb {
+        Tlb::new(TlbConfig::skylake())
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut t = tlb();
+        assert_eq!(t.lookup(A, 7).0, TlbHit::Miss);
+        t.insert(A, 7, FrameId(3));
+        let (hit, f) = t.lookup(A, 7);
+        assert_eq!(hit, TlbHit::L1);
+        assert_eq!(f, Some(FrameId(3)));
+        assert_eq!(t.stats(), (2, 1));
+    }
+
+    #[test]
+    fn asids_are_isolated() {
+        let mut t = tlb();
+        t.insert(A, 7, FrameId(3));
+        assert_eq!(t.lookup(B, 7).0, TlbHit::Miss);
+    }
+
+    #[test]
+    fn stlb_backstops_l1_eviction() {
+        let mut t = tlb();
+        // Fill far beyond L1 (64 entries) but within STLB (1536): entries
+        // evicted from L1 should still hit in the STLB.
+        for vpn in 0..512 {
+            t.insert(A, vpn, FrameId(vpn as u32));
+        }
+        let (hit, f) = t.lookup(A, 0);
+        assert_eq!(hit, TlbHit::Stlb);
+        assert_eq!(f, Some(FrameId(0)));
+        // And it was promoted to L1.
+        assert_eq!(t.lookup(A, 0).0, TlbHit::L1);
+    }
+
+    #[test]
+    fn flush_page_is_precise() {
+        let mut t = tlb();
+        t.insert(A, 7, FrameId(3));
+        t.insert(A, 8, FrameId(4));
+        t.flush_page(A, 7);
+        assert_eq!(t.lookup(A, 7).0, TlbHit::Miss);
+        assert_ne!(t.lookup(A, 8).0, TlbHit::Miss);
+    }
+
+    #[test]
+    fn flush_asid_spares_other_spaces() {
+        let mut t = tlb();
+        t.insert(A, 7, FrameId(3));
+        t.insert(B, 7, FrameId(9));
+        t.flush_asid(A);
+        assert_eq!(t.lookup(A, 7).0, TlbHit::Miss);
+        assert_eq!(t.lookup(B, 7).1, Some(FrameId(9)));
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut t = tlb();
+        for vpn in 0..100 {
+            t.insert(A, vpn, FrameId(vpn as u32));
+        }
+        assert!(t.resident() > 0);
+        t.flush_all();
+        assert_eq!(t.resident(), 0);
+    }
+
+    #[test]
+    fn stale_entry_after_pte_swap_without_flush() {
+        // The hazard SwapVA must handle: swap the mapping, skip the flush,
+        // and the TLB still returns the old frame.
+        let mut t = tlb();
+        t.insert(A, 7, FrameId(3));
+        // Mapping changed to FrameId(5) in the page table... TLB unaware:
+        assert_eq!(t.lookup(A, 7).1, Some(FrameId(3)));
+        t.flush_page(A, 7);
+        assert_eq!(t.lookup(A, 7).0, TlbHit::Miss);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: the page table against a model, and PTE swapping as a
+//! permutation of the mapping.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use svagc_vmem::{FrameId, PageTable, Pte, PteFlags, VirtAddr, VmError};
+
+/// Random-but-valid virtual page addresses across several table subtrees.
+fn arb_va() -> impl Strategy<Value = VirtAddr> {
+    // A few PGD/PUD/PMD indices and any PTE index.
+    (0u64..4, 0u64..4, 0u64..8, 0u64..512)
+        .prop_map(|(pgd, pud, pmd, pte)| {
+            VirtAddr((pgd << 39) | (pud << 30) | (pmd << 21) | (pte << 12))
+        })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Map(VirtAddr, u32),
+    Unmap(VirtAddr),
+    Translate(VirtAddr),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_va(), 1u32..10_000).prop_map(|(va, f)| Op::Map(va, f)),
+        arb_va().prop_map(Op::Unmap),
+        arb_va().prop_map(Op::Translate),
+    ]
+}
+
+proptest! {
+    /// The page table behaves exactly like a `HashMap<vpn, frame>`.
+    #[test]
+    fn page_table_matches_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut pt = PageTable::new();
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Map(va, frame) => {
+                    let r = pt.map(va, Pte::map(FrameId(frame), PteFlags::WRITABLE));
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(va.vpn()) {
+                        prop_assert!(r.is_ok());
+                        e.insert(frame);
+                    } else {
+                        prop_assert_eq!(r, Err(VmError::AlreadyMapped(va)));
+                    }
+                }
+                Op::Unmap(va) => {
+                    let r = pt.unmap(va);
+                    match model.remove(&va.vpn()) {
+                        Some(f) => prop_assert_eq!(r.unwrap().frame(), FrameId(f)),
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                Op::Translate(va) => {
+                    let r = pt.translate(va);
+                    match model.get(&va.vpn()) {
+                        Some(&f) => {
+                            let pa = r.unwrap();
+                            prop_assert_eq!(pa.frame(), FrameId(f));
+                            prop_assert_eq!(pa.frame_offset(), va.page_offset());
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+            }
+            prop_assert_eq!(pt.mapped_pages(), model.len() as u64);
+        }
+    }
+
+    /// Any sequence of PTE swaps permutes the frame assignment: the same
+    /// multiset of frames stays mapped, just under different pages.
+    #[test]
+    fn swaps_are_permutations(
+        pages in 2u64..40,
+        swaps in proptest::collection::vec((0u64..40, 0u64..40), 1..60),
+    ) {
+        let base = VirtAddr(0x4000_0000);
+        let mut pt = PageTable::new();
+        for i in 0..pages {
+            pt.map(base.add_pages(i), Pte::map(FrameId(i as u32 + 100), PteFlags::WRITABLE))
+                .unwrap();
+        }
+        let mut model: Vec<u32> = (0..pages as u32).map(|i| i + 100).collect();
+        for (i, j) in swaps {
+            let (i, j) = (i % pages, j % pages);
+            pt.swap_ptes(base.add_pages(i), base.add_pages(j)).unwrap();
+            model.swap(i as usize, j as usize);
+        }
+        for i in 0..pages {
+            prop_assert_eq!(
+                pt.pte(base.add_pages(i)).unwrap().frame(),
+                FrameId(model[i as usize])
+            );
+        }
+        prop_assert_eq!(pt.mapped_pages(), pages);
+    }
+
+    /// Alignment helpers round-trip: align_down(va) <= va <= align_up(va),
+    /// both page-aligned, within one page of the original.
+    #[test]
+    fn alignment_laws(raw in 0u64..(1 << 47)) {
+        let va = VirtAddr(raw);
+        let down = va.align_down();
+        let up = va.align_up();
+        prop_assert!(down.is_page_aligned() && up.is_page_aligned());
+        prop_assert!(down <= va && va <= up);
+        prop_assert!(va - down < 4096);
+        prop_assert!(up - va < 4096);
+        prop_assert_eq!(va.is_page_aligned(), down == up);
+    }
+}

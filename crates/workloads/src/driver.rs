@@ -1,0 +1,232 @@
+//! Single-JVM benchmark driver: build machine + heap + collector, run a
+//! workload, and report the numbers the paper's figures are made of.
+
+use crate::env::JvmEnv;
+use crate::workload::Workload;
+use svagc_baselines::{ParallelGc, Shenandoah};
+use svagc_core::{Collector, GcConfig, GcLog, Lisp2Collector};
+use svagc_heap::{Heap, HeapConfig};
+use svagc_kernel::Kernel;
+use svagc_metrics::{BandwidthModel, Cycles, MachineConfig, PerfCounters};
+use svagc_vmem::Asid;
+
+/// Which collector to run.
+#[derive(Debug, Clone, Copy)]
+pub enum CollectorKind {
+    /// SVAGC with all optimizations (the paper's system).
+    Svagc,
+    /// The same LISP2 collector with memmove only ("-SwapVA").
+    SvagcMemmove,
+    /// ParallelGC-like baseline.
+    ParallelGc,
+    /// Shenandoah-like baseline.
+    Shenandoah,
+    /// Any explicit configuration (ablations).
+    Custom(GcConfig),
+}
+
+impl CollectorKind {
+    /// Instantiate the collector.
+    pub fn build(&self, gc_threads: usize) -> Box<dyn Collector> {
+        match self {
+            CollectorKind::Svagc => Box::new(Lisp2Collector::new(GcConfig::svagc(gc_threads))),
+            CollectorKind::SvagcMemmove => {
+                Box::new(Lisp2Collector::new(GcConfig::lisp2_memmove(gc_threads)))
+            }
+            CollectorKind::ParallelGc => Box::new(ParallelGc::new(gc_threads)),
+            CollectorKind::Shenandoah => Box::new(Shenandoah::new(gc_threads)),
+            CollectorKind::Custom(cfg) => Box::new(Lisp2Collector::new(GcConfig {
+                gc_threads,
+                ..*cfg
+            })),
+        }
+    }
+
+    /// Does this collector's heap page-align large objects (Algorithm 3)?
+    pub fn aligned_heap(&self) -> bool {
+        match self {
+            CollectorKind::Svagc | CollectorKind::SvagcMemmove => true,
+            CollectorKind::ParallelGc | CollectorKind::Shenandoah => false,
+            CollectorKind::Custom(_) => true,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CollectorKind::Svagc => "SVAGC",
+            CollectorKind::SvagcMemmove => "SVAGC(-SwapVA)",
+            CollectorKind::ParallelGc => "ParallelGC",
+            CollectorKind::Shenandoah => "Shenandoah",
+            CollectorKind::Custom(_) => "Custom",
+        }
+    }
+}
+
+/// Parameters of one benchmark run.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// The modeled machine.
+    pub machine: MachineConfig,
+    /// Heap size as a multiple of the workload's minimum (1.2 / 2.0).
+    pub heap_factor: f64,
+    /// Collector under test.
+    pub collector: CollectorKind,
+    /// GC worker threads.
+    pub gc_threads: usize,
+    /// Steps to run (`None` = the workload's default).
+    pub steps: Option<usize>,
+    /// Cache/DTLB instrumentation (Table III mode; slower).
+    pub instrumented: bool,
+    /// Shared bandwidth model (multi-JVM); `None` builds a private one.
+    pub bandwidth: Option<BandwidthModel>,
+    /// Cores effectively available to this JVM's mutators (multi-JVM
+    /// sharing); `None` = the whole machine.
+    pub effective_cores: Option<usize>,
+    /// Address-space id of this JVM.
+    pub asid: u16,
+    /// Override the swap threshold in pages (`None` = paper default 10).
+    pub threshold_pages: Option<u64>,
+}
+
+impl RunConfig {
+    /// Defaults: Xeon 6130, 1.2× heap, SVAGC, 8 GC threads.
+    pub fn new(collector: CollectorKind) -> RunConfig {
+        RunConfig {
+            machine: MachineConfig::xeon_gold_6130(),
+            heap_factor: 1.2,
+            collector,
+            gc_threads: 8,
+            steps: None,
+            instrumented: false,
+            bandwidth: None,
+            effective_cores: None,
+            asid: 1,
+        threshold_pages: None,
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Collector label.
+    pub collector: &'static str,
+    /// Per-GC-cycle log.
+    pub gc: GcLog,
+    /// Raw mutator cycles (sum over logical threads).
+    pub app_cycles: Cycles,
+    /// Mutator wall cycles (divided by effective parallelism, plus
+    /// interference absorbed).
+    pub app_wall: Cycles,
+    /// Total wall cycles: mutator wall + STW pauses.
+    pub total_wall: Cycles,
+    /// Machine event counters for the whole run.
+    pub perf: PerfCounters,
+    /// Core frequency for time conversion.
+    pub freq_ghz: f64,
+    /// Steps executed.
+    pub steps: usize,
+    /// Heap capacity used for the run.
+    pub heap_bytes: u64,
+    /// The workload's minimum heap.
+    pub min_heap_bytes: u64,
+    /// Final fragmentation ratio.
+    pub frag_ratio: f64,
+    /// Did end-of-run data verification pass?
+    pub verify_ok: bool,
+}
+
+impl RunResult {
+    /// Steps per simulated second (the throughput metric of Figs. 15/16).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.total_wall.at_ghz(self.freq_ghz).as_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.steps as f64 / secs
+        }
+    }
+
+    /// Total GC pause in milliseconds.
+    pub fn gc_total_ms(&self) -> f64 {
+        self.gc.total_pause().at_ghz(self.freq_ghz).as_millis()
+    }
+
+    /// Max GC pause in milliseconds.
+    pub fn gc_max_ms(&self) -> f64 {
+        self.gc.max_pause().at_ghz(self.freq_ghz).as_millis()
+    }
+
+    /// Average GC pause in milliseconds.
+    pub fn gc_avg_ms(&self) -> f64 {
+        self.gc.avg_pause().at_ghz(self.freq_ghz).as_millis()
+    }
+}
+
+/// Run `workload` under `cfg`. Deterministic for fixed inputs.
+pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, String> {
+    let min_heap = workload.min_heap_bytes();
+    // An aligned (Algorithm 3) heap's "minimum required size" includes its
+    // internal fragmentation — the paper bounds it under 5% at the
+    // 10-page threshold.
+    let min_effective = if cfg.collector.aligned_heap() {
+        (min_heap as f64 * 1.05) as u64
+    } else {
+        min_heap
+    };
+    let heap_bytes = (min_effective as f64 * cfg.heap_factor) as u64;
+    let mut kernel = Kernel::with_bytes(cfg.machine.clone(), heap_bytes + (16 << 20));
+    if let Some(bw) = &cfg.bandwidth {
+        kernel.share_bandwidth(bw);
+    }
+    kernel.set_instrumented(cfg.instrumented);
+
+    let mut heap_cfg =
+        HeapConfig::new(heap_bytes).with_alignment(cfg.collector.aligned_heap());
+    if let Some(t) = cfg.threshold_pages {
+        heap_cfg = heap_cfg.with_threshold(t);
+    }
+    let heap = Heap::new(&mut kernel, Asid(cfg.asid), heap_cfg).map_err(|e| e.to_string())?;
+    let collector = cfg.collector.build(cfg.gc_threads);
+
+    let mut env = JvmEnv::new(&mut kernel, heap, collector);
+    workload.setup(&mut env).map_err(|e| e.to_string())?;
+    let steps = cfg.steps.unwrap_or_else(|| workload.default_steps());
+    for s in 0..steps {
+        workload
+            .step(&mut env)
+            .map_err(|e| format!("step {s}: {e}"))?;
+    }
+    workload.verify(&mut env)?;
+    let verify_ok = true;
+
+    let gc_log = env.collector.log().clone();
+    let app_cycles = env.app_cycles;
+    let frag_ratio = env.heap.stats.frag_ratio();
+    drop(env);
+
+    let cores = cfg.effective_cores.unwrap_or(cfg.machine.cores).max(1);
+    let parallelism = (workload.threads() as usize).min(cores).max(1) as u64;
+    // Mutators absorb IPI interference from this JVM's own shootdowns too.
+    let app_wall = app_cycles / parallelism + gc_log.total_interference() / parallelism;
+    let total_wall = app_wall + gc_log.total_pause();
+
+    Ok(RunResult {
+        workload: workload.name(),
+        collector: cfg.collector.label(),
+        gc: gc_log,
+        app_cycles,
+        app_wall,
+        total_wall,
+        perf: kernel.perf,
+        freq_ghz: cfg.machine.freq_ghz,
+        steps,
+        heap_bytes,
+        min_heap_bytes: min_heap,
+        frag_ratio,
+        verify_ok,
+    })
+}

@@ -1,0 +1,180 @@
+//! The simulated JVM a workload runs in: heap + roots + collector +
+//! mutator-time accounting, with GC-on-demand allocation.
+
+use svagc_core::Collector;
+use svagc_heap::{Heap, HeapError, ObjRef, ObjShape, RootId, RootSet, TlabAllocator};
+use svagc_kernel::{CoreId, Kernel};
+use svagc_metrics::{AccessKind, Cycles};
+
+/// Upper bound on workload TLAB size (shrunk for small heaps).
+const TLAB_BYTES_MAX: u64 = 1 << 20;
+
+/// One running JVM instance.
+pub struct JvmEnv<'a> {
+    /// The machine this JVM runs on (shared in multi-JVM experiments).
+    pub kernel: &'a mut Kernel,
+    /// The managed heap.
+    pub heap: Heap,
+    /// GC roots.
+    pub roots: RootSet,
+    /// The active collector.
+    pub collector: Box<dyn Collector>,
+    /// Bidirectional TLAB front-end (§IV's fragmentation fix).
+    tlab: TlabAllocator,
+    /// Accumulated mutator (application) cycles.
+    pub app_cycles: Cycles,
+    /// The core mutator work is charged to.
+    pub core: CoreId,
+}
+
+impl<'a> JvmEnv<'a> {
+    /// Wire up an environment.
+    pub fn new(
+        kernel: &'a mut Kernel,
+        heap: Heap,
+        collector: Box<dyn Collector>,
+    ) -> JvmEnv<'a> {
+        let tlab_bytes = (heap.capacity() / 16).clamp(64 << 10, TLAB_BYTES_MAX);
+        JvmEnv {
+            kernel,
+            heap,
+            roots: RootSet::new(),
+            collector,
+            tlab: TlabAllocator::new(tlab_bytes),
+            app_cycles: Cycles::ZERO,
+            core: CoreId(0),
+        }
+    }
+
+    /// Allocate through the TLAB front-end, collecting once if the heap is
+    /// full. A second failure is a genuine OOM and propagates. The TLAB is
+    /// retired before any GC (compaction invalidates its cursors).
+    pub fn alloc(&mut self, shape: ObjShape) -> Result<ObjRef, HeapError> {
+        match self
+            .tlab
+            .alloc(&mut self.heap, self.kernel, self.core, shape)
+        {
+            Ok((obj, t)) => {
+                self.app_cycles += t;
+                Ok(obj)
+            }
+            Err(HeapError::NeedGc { .. }) => {
+                self.tlab.retire();
+                self.collector
+                    .collect(self.kernel, &mut self.heap, &mut self.roots)?;
+                let (obj, t) = self
+                    .tlab
+                    .alloc(&mut self.heap, self.kernel, self.core, shape)?;
+                self.app_cycles += t;
+                Ok(obj)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Allocate a rooted object whose data words are `seed, seed+1, ...`.
+    /// Initialization is bulk (bandwidth-costed); the stamp lets
+    /// [`JvmEnv::check_stamped`] verify integrity after any number of GCs.
+    pub fn alloc_stamped(
+        &mut self,
+        shape: ObjShape,
+        seed: u64,
+    ) -> Result<(RootId, ObjRef), HeapError> {
+        let obj = self.alloc(shape)?;
+        // Stamp first and last words through the costed path, the bulk via
+        // one modeled streaming write.
+        let words = shape.data_words as u64;
+        if words > 0 {
+            self.app_cycles +=
+                self.heap
+                    .write_data(self.kernel, self.core, obj, shape.num_refs as u64, 0, seed)?;
+            if words > 1 {
+                self.app_cycles += self.heap.write_data(
+                    self.kernel,
+                    self.core,
+                    obj,
+                    shape.num_refs as u64,
+                    words - 1,
+                    seed + words - 1,
+                )?;
+            }
+            self.app_cycles += self
+                .kernel
+                .bandwidth
+                .copy_cycles(&self.kernel.machine, (words - 1).max(1) * 8);
+        }
+        let rid = self.roots.push(obj);
+        Ok((rid, obj))
+    }
+
+    /// Verify a stamped object's first/last data words.
+    pub fn check_stamped(
+        &mut self,
+        rid: RootId,
+        shape: ObjShape,
+        seed: u64,
+    ) -> Result<(), String> {
+        let obj = self.roots.get(rid);
+        if obj.is_null() {
+            return Err("root unexpectedly null".into());
+        }
+        let words = shape.data_words as u64;
+        if words == 0 {
+            return Ok(());
+        }
+        let (first, t1) = self
+            .heap
+            .read_data(self.kernel, self.core, obj, shape.num_refs as u64, 0)
+            .map_err(|e| e.to_string())?;
+        self.app_cycles += t1;
+        if first != seed {
+            return Err(format!("first word: got {first}, want {seed}"));
+        }
+        if words > 1 {
+            let (last, t2) = self
+                .heap
+                .read_data(self.kernel, self.core, obj, shape.num_refs as u64, words - 1)
+                .map_err(|e| e.to_string())?;
+            self.app_cycles += t2;
+            let want = seed + words - 1;
+            if last != want {
+                return Err(format!("last word: got {last}, want {want}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Model the mutator streaming over `bytes` of an object (compute
+    /// kernels reading their arrays): bandwidth-costed, and in instrumented
+    /// mode the lines pass through the cache/DTLB simulators.
+    pub fn compute_over(&mut self, obj: ObjRef, bytes: u64) {
+        self.app_cycles += self
+            .kernel
+            .bandwidth
+            .copy_cycles(&self.kernel.machine, bytes / 2);
+        if self.kernel.instrumented() {
+            // One TLB lookup + one cache access per line (the hardware
+            // event stream; lines within a page naturally hit the TLB).
+            for off in (0..bytes).step_by(64) {
+                if let Ok((pa, t)) =
+                    self.kernel.translate(self.heap.space(), self.core, obj.0 + off)
+                {
+                    self.app_cycles += t;
+                    self.kernel.touch_data_line(pa, AccessKind::Read);
+                }
+            }
+        }
+    }
+
+    /// Charge pure compute (no memory traffic).
+    pub fn charge_app(&mut self, c: Cycles) {
+        self.app_cycles += c;
+    }
+
+    /// Force a GC now (drivers use this for deterministic cycle counts).
+    pub fn force_gc(&mut self) -> Result<(), HeapError> {
+        self.collector
+            .collect(self.kernel, &mut self.heap, &mut self.roots)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,106 @@
+//! Multi-JVM runs: N instances sharing one machine's bandwidth and cores
+//! (Figs. 2, 9, 14).
+//!
+//! Each instance owns its kernel state (address space, TLBs are per-machine
+//! but each JVM's GC/mutator activity is confined to its core share), while
+//! all instances share one [`BandwidthModel`]: with N registered streams,
+//! every byte-copy costs N× its solo bandwidth share — the degradation that
+//! makes `memmove`-based GC collapse in Fig. 2 while SVAGC's page-table
+//! traffic barely grows (Fig. 14).
+//!
+//! Instances run host-parallel via rayon (they are independent simulations;
+//! the shared stream count is constant for the whole batch, so results stay
+//! deterministic).
+
+use crate::driver::{run, RunConfig, RunResult};
+use crate::workload::Workload;
+use rayon::prelude::*;
+use svagc_metrics::{BandwidthModel, Cycles};
+
+/// Result of an N-JVM experiment.
+#[derive(Debug, Clone)]
+pub struct MultiJvmResult {
+    /// Instance count.
+    pub n: usize,
+    /// Per-instance results.
+    pub per_jvm: Vec<RunResult>,
+}
+
+impl MultiJvmResult {
+    /// Mean total GC pause across instances (ms).
+    pub fn avg_gc_total_ms(&self) -> f64 {
+        self.per_jvm.iter().map(|r| r.gc_total_ms()).sum::<f64>() / self.n as f64
+    }
+
+    /// Mean max-pause across instances (ms).
+    pub fn avg_gc_max_ms(&self) -> f64 {
+        self.per_jvm.iter().map(|r| r.gc_max_ms()).sum::<f64>() / self.n as f64
+    }
+
+    /// Mean application wall time (ms), including cross-JVM IPI
+    /// interference.
+    pub fn avg_app_ms(&self) -> f64 {
+        self.per_jvm
+            .iter()
+            .map(|r| r.app_wall.at_ghz(r.freq_ghz).as_millis())
+            .sum::<f64>()
+            / self.n as f64
+    }
+
+    /// Mean total wall time (ms).
+    pub fn avg_total_ms(&self) -> f64 {
+        self.per_jvm
+            .iter()
+            .map(|r| r.total_wall.at_ghz(r.freq_ghz).as_millis())
+            .sum::<f64>()
+            / self.n as f64
+    }
+}
+
+/// Run `n` instances of the workload produced by `make` under `base`.
+///
+/// `make(i)` builds instance `i` (seed it with `i` for variety). The
+/// machine's cores are split evenly; all instances contend for bandwidth.
+pub fn run_multi<F>(n: usize, make: F, base: &RunConfig) -> Result<MultiJvmResult, String>
+where
+    F: Fn(usize) -> Box<dyn Workload> + Sync,
+{
+    assert!(n >= 1);
+    let bandwidth = BandwidthModel::new();
+    // Each JVM drives several concurrent memory streams (its mutator plus
+    // GC copier threads), so register a few streams per instance.
+    const STREAMS_PER_JVM: usize = 4;
+    let _guards: Vec<_> = (0..n * STREAMS_PER_JVM)
+        .map(|_| bandwidth.register())
+        .collect();
+    let core_share = (base.machine.cores / n).max(1);
+
+    let mut per_jvm: Vec<RunResult> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut cfg = base.clone();
+            cfg.bandwidth = Some(bandwidth.clone());
+            cfg.effective_cores = Some(core_share);
+            cfg.asid = (i + 1) as u16;
+            let mut w = make(i);
+            run(w.as_mut(), &cfg)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // Cross-JVM IPI interference: each broadcast lands on all cores; a
+    // victim JVM owns ~1/n of them. Charge each instance its share of the
+    // *other* instances' interference.
+    let total_intf: u64 = per_jvm
+        .iter()
+        .map(|r| r.gc.total_interference().get())
+        .sum();
+    for r in per_jvm.iter_mut() {
+        let foreign = total_intf - r.gc.total_interference().get();
+        let share = Cycles(foreign / n as u64);
+        let parallelism = core_share as u64;
+        r.app_wall += share / parallelism.max(1);
+        r.total_wall += share / parallelism.max(1);
+    }
+
+    Ok(MultiJvmResult { n, per_jvm })
+}

@@ -1,0 +1,31 @@
+//! The workload interface drivers run.
+
+use crate::env::JvmEnv;
+use svagc_heap::HeapError;
+
+/// A benchmark program: sets up a live data set, then mutates/allocates in
+/// steps, and can verify its data integrity at any point.
+pub trait Workload {
+    /// Display name (with variant suffix, e.g. `FFT.large/8`).
+    fn name(&self) -> String;
+
+    /// Mutator thread count (Table II) — determines how much hardware
+    /// parallelism the app time model divides by.
+    fn threads(&self) -> u32;
+
+    /// Minimum heap this workload needs (the paper's "minimum required
+    /// size" that 1.2×/2× factors multiply).
+    fn min_heap_bytes(&self) -> u64;
+
+    /// Build the initial live set.
+    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), HeapError>;
+
+    /// One unit of mutator work (allocation churn + modeled compute).
+    fn step(&mut self, env: &mut JvmEnv) -> Result<(), HeapError>;
+
+    /// Steps in a standard run.
+    fn default_steps(&self) -> usize;
+
+    /// Verify live-data integrity (catches GC corruption mid-benchmark).
+    fn verify(&mut self, env: &mut JvmEnv) -> Result<(), String>;
+}
