@@ -16,7 +16,7 @@
 //! total free space.
 
 use std::collections::HashMap;
-use svagc_core::{GcConfig, GcCycleStats, Lisp2Collector, WorkerPool};
+use svagc_core::{GcConfig, GcCycleStats, Lisp2Collector, WorkerPool, GcError};
 use svagc_heap::{Heap, HeapConfig, HeapError, MarkBitmap, ObjHeader, ObjRef, ObjShape, RootSet};
 use svagc_kernel::{CoreId, Kernel};
 use svagc_metrics::Cycles;
@@ -261,7 +261,7 @@ impl LosCollector {
         kernel: &mut Kernel,
         heap: &mut LosHeap,
         roots: &mut RootSet,
-    ) -> Result<GcCycleStats, HeapError> {
+    ) -> Result<GcCycleStats, GcError> {
         let core = CoreId(0);
         let (_, los_marks, live_los) = self.trace(kernel, heap, roots)?;
 
@@ -386,26 +386,26 @@ impl LosCollector {
         heap: &mut LosHeap,
         roots: &mut RootSet,
         shape: ObjShape,
-    ) -> Result<ObjRef, HeapError> {
+    ) -> Result<ObjRef, GcError> {
         match heap.alloc(kernel, CoreId(0), shape) {
             Ok((obj, _)) => return Ok(obj),
             Err(HeapError::NeedGc { .. }) => {}
-            Err(e) => return Err(e),
+            Err(e) => return Err(e.into()),
         }
         self.collect(kernel, heap, roots)?;
         match heap.alloc(kernel, CoreId(0), shape) {
             Ok((obj, _)) => return Ok(obj),
             Err(HeapError::NeedGc { .. }) => {}
-            Err(e) => return Err(e),
+            Err(e) => return Err(e.into()),
         }
         // Still failing: if it is fragmentation, compact the LOS.
         if heap.is_large(shape) && heap.los_free() >= shape.size_bytes() {
             self.compact_los(kernel, heap, roots)?;
             return Ok(heap.alloc(kernel, CoreId(0), shape)?.0);
         }
-        Err(HeapError::NeedGc {
+        Err(GcError::Heap(HeapError::NeedGc {
             requested: shape.size_bytes(),
-        })
+        }))
     }
 }
 

@@ -16,8 +16,8 @@
 //! SVAGC prototype is a full-heap collector too, and the benchmarks are
 //! sized to trigger full collections). See DESIGN.md §2.
 
-use svagc_core::{Collector, GcConfig, GcCycleStats, GcLog, Lisp2Collector};
-use svagc_heap::{Heap, HeapError, RootSet};
+use svagc_core::{Collector, GcConfig, GcCycleStats, GcLog, Lisp2Collector, GcError};
+use svagc_heap::{Heap, RootSet};
 use svagc_kernel::Kernel;
 
 /// The ParallelGC-like comparator.
@@ -54,7 +54,7 @@ impl Collector for ParallelGc {
         kernel: &mut Kernel,
         heap: &mut Heap,
         roots: &mut RootSet,
-    ) -> Result<GcCycleStats, HeapError> {
+    ) -> Result<GcCycleStats, GcError> {
         self.inner.collect(kernel, heap, roots)
     }
 

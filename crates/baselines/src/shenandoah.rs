@@ -16,8 +16,8 @@
 //! * no large-object page alignment (pair with
 //!   `HeapConfig::with_alignment(false)`).
 
-use svagc_core::{Collector, GcConfig, GcCycleStats, GcLog, Lisp2Collector};
-use svagc_heap::{Heap, HeapError, RootSet};
+use svagc_core::{Collector, GcConfig, GcCycleStats, GcLog, Lisp2Collector, GcError};
+use svagc_heap::{Heap, RootSet};
 use svagc_kernel::Kernel;
 use svagc_metrics::Cycles;
 
@@ -78,7 +78,7 @@ impl Collector for Shenandoah {
         kernel: &mut Kernel,
         heap: &mut Heap,
         roots: &mut RootSet,
-    ) -> Result<GcCycleStats, HeapError> {
+    ) -> Result<GcCycleStats, GcError> {
         let mut stats = self.inner.collect(kernel, heap, roots)?;
         // Concurrent marking: move (1 - fraction) of mark cost out of the
         // pause and onto the mutators.

@@ -2,14 +2,11 @@
 //! threshold, aggregation batch size, flush policy, compaction
 //! work-stealing, and SwapVA in the Minor GC (Table I row 2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::Serialize;
 use svagc_baselines::{LosCollector, LosHeap};
 use svagc_core::{GcConfig, Lisp2Collector, MinorConfig, MinorGc};
 use svagc_heap::{GenHeap, Heap, HeapConfig, HeapError, ObjRef, ObjShape, RootSet};
 use svagc_kernel::{CoreId, Kernel};
-use svagc_metrics::{Cycles, MachineConfig};
+use svagc_metrics::{impl_to_json, Cycles, MachineConfig, SimRng};
 use svagc_vmem::{Asid, PAGE_SIZE};
 
 const CORE: CoreId = CoreId(0);
@@ -46,7 +43,7 @@ fn one_gc(k: &mut Kernel, h: &mut Heap, r: &mut RootSet, cfg: GcConfig) -> Cycle
 }
 
 /// One row of the threshold ablation.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ThresholdAblationRow {
     /// `Threshold_Swapping` in pages.
     pub threshold_pages: u64,
@@ -55,6 +52,8 @@ pub struct ThresholdAblationRow {
     /// Objects moved via SwapVA.
     pub swapped: u64,
 }
+
+impl_to_json!(ThresholdAblationRow { threshold_pages, pause_us, swapped });
 
 /// Sweep the MoveObject threshold on a heap of 16-page objects: too low
 /// and sub-break-even swaps lose to cache-resident copies; too high and
@@ -76,7 +75,7 @@ pub fn threshold_ablation() -> Vec<ThresholdAblationRow> {
 }
 
 /// One row of the aggregation ablation.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AggregationAblationRow {
     /// Batch size (`0` = separated calls).
     pub batch: usize,
@@ -85,6 +84,8 @@ pub struct AggregationAblationRow {
     /// Syscalls issued.
     pub syscalls: u64,
 }
+
+impl_to_json!(AggregationAblationRow { batch, pause_us, syscalls });
 
 /// Sweep the aggregation batch size on a heap of exactly-threshold (10
 /// page) objects, where syscall amortization matters most.
@@ -106,7 +107,7 @@ pub fn aggregation_ablation() -> Vec<AggregationAblationRow> {
 }
 
 /// One row of the flush-policy / stealing / pmd ablations.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ToggleAblationRow {
     /// Variant label.
     pub variant: String,
@@ -115,6 +116,8 @@ pub struct ToggleAblationRow {
     /// IPIs sent.
     pub ipis: u64,
 }
+
+impl_to_json!(ToggleAblationRow { variant, pause_us, ipis });
 
 /// Compare Algorithm 4's pinned protocol vs per-call global shootdowns,
 /// with PMD caching and work stealing toggled alongside.
@@ -142,7 +145,7 @@ pub fn mechanism_ablation() -> Vec<ToggleAblationRow> {
 }
 
 /// One row of the minor-GC (Table I row 2) ablation.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MinorAblationRow {
     /// Survivor object size in pages.
     pub obj_pages: u64,
@@ -151,6 +154,8 @@ pub struct MinorAblationRow {
     /// Scavenge pause with SwapVA+aggregation promotion (µs).
     pub swapva_us: f64,
 }
+
+impl_to_json!(MinorAblationRow { obj_pages, memmove_us, swapva_us });
 
 /// Scavenge a nursery of `N` survivors per object size, promoting by
 /// memmove vs SwapVA.
@@ -186,7 +191,7 @@ pub fn minor_gc_ablation() -> Vec<MinorAblationRow> {
 
 /// Result of the LOS-vs-SVAGC comparison (the intro's critique,
 /// quantified).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LosComparisonRow {
     /// Heap organization under test.
     pub design: String,
@@ -202,6 +207,15 @@ pub struct LosComparisonRow {
     pub fragmentation: f64,
 }
 
+impl_to_json!(LosComparisonRow {
+    design,
+    gcs,
+    los_compactions,
+    total_gc_us,
+    max_pause_us,
+    fragmentation,
+});
+
 /// Run the same variable-size large-object churn against (a) SVAGC's
 /// unified heap and (b) the classic non-moving LOS design, at the paper's
 /// tight 1.2x-minimum occupancy. Each live slot alternates between two
@@ -215,7 +229,7 @@ pub fn los_comparison() -> Vec<LosComparisonRow> {
     let machine = MachineConfig::xeon_gold_6130();
 
     // Per-slot size pairs (pages): the slot alternates between them.
-    let mut rng = StdRng::seed_from_u64(97);
+    let mut rng = SimRng::seed_from_u64(97);
     let slots_spec: Vec<(u64, u64)> = (0..LIVE)
         .map(|_| {
             let base = rng.gen_range(10u64..48);

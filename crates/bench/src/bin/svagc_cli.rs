@@ -21,6 +21,7 @@ fn usage() -> ! {
   svagc run --workload <name> [--collector svagc|memmove|parallelgc|shenandoah]
             [--heap-factor <f>] [--gc-threads <n>] [--steps <n>]
             [--machine 6130|6240|i5] [--threshold <pages>] [--instrumented]
+            [--fault-rate <p>] [--fault-seed <n>] [--verify-phases]
   svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]"
     );
     std::process::exit(2);
@@ -61,7 +62,7 @@ fn flags(args: &[String]) -> Vec<(String, String)> {
             usage()
         };
         // Boolean flags take no value.
-        if key == "instrumented" {
+        if key == "instrumented" || key == "verify-phases" {
             out.push((key.to_string(), "true".to_string()));
             continue;
         }
@@ -119,6 +120,13 @@ fn main() {
                 cfg.threshold_pages = Some(t.parse().expect("--threshold expects pages"));
             }
             cfg.instrumented = get(&fs, "instrumented").is_some();
+            cfg.verify_phases = get(&fs, "verify-phases").is_some();
+            if let Some(p) = get(&fs, "fault-rate") {
+                cfg.fault_rate = p.parse().expect("--fault-rate expects a probability");
+            }
+            if let Some(sd) = get(&fs, "fault-seed") {
+                cfg.fault_seed = sd.parse().expect("--fault-seed expects an integer");
+            }
 
             let r = run(w.as_mut(), &cfg).unwrap_or_else(|e| {
                 eprintln!("run failed: {e}");
@@ -158,6 +166,16 @@ fn main() {
                     r.perf.dtlb_miss_pct()
                 );
             }
+            if cfg.fault_rate > 0.0 {
+                println!(
+                    "resilience   : {} faults injected | {} retries | {} fallbacks | {} batch splits",
+                    r.gc.total_faults_injected(),
+                    r.gc.total_swap_retries(),
+                    r.gc.total_swap_fallbacks(),
+                    r.gc.total_batch_splits()
+                );
+            }
+            println!("heap hash    : {:#018x}", r.heap_hash);
             println!("verify       : {}", if r.verify_ok { "ok" } else { "FAILED" });
         }
         Some("multi") => {

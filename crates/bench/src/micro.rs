@@ -1,8 +1,7 @@
 //! Kernel-level micro-experiments: Figs. 6, 8, 9, 10.
 
-use serde::Serialize;
 use svagc_kernel::{CoreId, FlushMode, Kernel, SwapRequest, SwapVaOptions};
-use svagc_metrics::{Cycles, MachineConfig};
+use svagc_metrics::{impl_to_json, Cycles, MachineConfig};
 use svagc_vmem::{AddressSpace, Asid, VirtAddr};
 
 fn setup(machine: MachineConfig, pages: u64) -> (Kernel, AddressSpace) {
@@ -28,7 +27,7 @@ fn alloc_pairs(
 }
 
 /// One row of Fig. 6: aggregated vs separated SwapVA calls.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AggregationRow {
     /// Pages per request (the x-axis: "average input size").
     pub pages_per_request: u64,
@@ -77,7 +76,7 @@ pub fn fig06_aggregation(total_pages: u64) -> Vec<AggregationRow> {
 }
 
 /// One row of Fig. 8: PMD caching on vs off.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PmdCacheRow {
     /// Pages swapped.
     pub pages: u64,
@@ -122,7 +121,7 @@ pub fn fig08_pmd_cache() -> Vec<PmdCacheRow> {
 }
 
 /// One row of Fig. 9: moving l̄ = 100 objects on an `cores`-core machine.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MulticoreRow {
     /// Online cores.
     pub cores: usize,
@@ -225,7 +224,7 @@ pub fn fig09_multicore(object_pages: u64) -> Vec<MulticoreRow> {
 }
 
 /// One row of Fig. 10: per-object move cost by mechanism.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ThresholdRow {
     /// Object size in pages.
     pub pages: u64,
@@ -234,6 +233,29 @@ pub struct ThresholdRow {
     /// SwapVA cost (µs, syscall + local flush included).
     pub swapva_us: f64,
 }
+
+impl_to_json!(AggregationRow {
+    pages_per_request,
+    requests,
+    separated_us,
+    aggregated_us,
+    speedup,
+});
+
+impl_to_json!(PmdCacheRow { pages, uncached_us, cached_us, improvement_pct });
+
+impl_to_json!(MulticoreRow {
+    cores,
+    memmove_us,
+    naive_us,
+    pinned_us,
+    tracked_us,
+    naive_ipis,
+    pinned_ipis,
+    tracked_ipis,
+});
+
+impl_to_json!(ThresholdRow { pages, memmove_us, swapva_us });
 
 /// Fig. 10: sweep object size on one machine; the crossover is the
 /// break-even threshold.

@@ -1,8 +1,8 @@
 //! Report formatting shared by the figure harnesses: aligned text tables
 //! on stdout plus machine-readable JSON lines.
 
-use serde::Serialize;
 use std::fmt::Write as _;
+use svagc_metrics::ToJson;
 
 /// A simple aligned-column table builder.
 #[derive(Debug, Default)]
@@ -64,11 +64,8 @@ pub fn banner(id: &str, caption: &str) {
 }
 
 /// Emit one JSON record (prefixed so it greps cleanly out of mixed logs).
-pub fn json_line<T: Serialize>(tag: &str, value: &T) {
-    match serde_json::to_string(value) {
-        Ok(s) => println!("@json {tag} {s}"),
-        Err(e) => eprintln!("json encoding failed for {tag}: {e}"),
-    }
+pub fn json_line<T: ToJson + ?Sized>(tag: &str, value: &T) {
+    println!("@json {tag} {}", value.to_json());
 }
 
 /// Format milliseconds with sensible precision.

@@ -3,16 +3,14 @@
 //! Each function returns serializable rows; the `bin/figNN_*` binaries
 //! render them as tables + JSON. Everything is deterministic.
 
-use rayon::prelude::*;
-use serde::Serialize;
-use svagc_metrics::MachineConfig;
+use svagc_metrics::{impl_to_json, par_map, MachineConfig};
 use svagc_workloads::driver::{run, CollectorKind, RunConfig, RunResult};
 use svagc_workloads::lrucache::LruCache;
 use svagc_workloads::multijvm::run_multi;
 use svagc_workloads::suite;
 
 /// One benchmark × collector × heap-factor measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GcTimeRow {
     /// Benchmark name.
     pub name: String,
@@ -50,9 +48,43 @@ pub struct GcTimeRow {
     pub dtlb_miss_pct: f64,
     /// Objects moved by PTE swap.
     pub swapped_objects: u64,
+    /// Kernel faults injected over the run (0 unless fault injection is on).
+    pub faults_injected: u64,
+    /// SwapVA retries after transient faults.
+    pub swap_retries: u64,
+    /// Objects demoted to memmove after permanent faults.
+    pub swap_fallbacks: u64,
+    /// Batch swaps split at a failing index and resumed.
+    pub batch_splits: u64,
     /// End-of-run integrity check.
     pub verify_ok: bool,
 }
+
+impl_to_json!(GcTimeRow {
+    name,
+    collector,
+    factor,
+    gcs,
+    gc_total_ms,
+    gc_avg_ms,
+    gc_max_ms,
+    mark_ms,
+    forward_ms,
+    adjust_ms,
+    compact_ms,
+    other_ms,
+    app_ms,
+    total_ms,
+    throughput,
+    cache_miss_pct,
+    dtlb_miss_pct,
+    swapped_objects,
+    faults_injected,
+    swap_retries,
+    swap_fallbacks,
+    batch_splits,
+    verify_ok,
+});
 
 impl GcTimeRow {
     fn from_result(r: &RunResult, factor: f64) -> GcTimeRow {
@@ -77,6 +109,10 @@ impl GcTimeRow {
             cache_miss_pct: r.perf.cache_miss_pct(),
             dtlb_miss_pct: r.perf.dtlb_miss_pct(),
             swapped_objects: r.perf.objects_swapped,
+            faults_injected: r.gc.total_faults_injected(),
+            swap_retries: r.gc.total_swap_retries(),
+            swap_fallbacks: r.gc.total_swap_fallbacks(),
+            batch_splits: r.gc.total_batch_splits(),
             verify_ok: r.verify_ok,
         }
     }
@@ -121,22 +157,19 @@ pub const FIG11_SUITE: [&str; 15] = [
 ];
 
 /// Run the whole suite under one collector/factor. Benchmarks run
-/// host-parallel via rayon — each is a self-contained deterministic
-/// simulation, so the results are identical to a sequential run.
+/// host-parallel — each is a self-contained deterministic simulation, so
+/// the results are identical to a sequential run.
 pub fn suite_rows(kind: CollectorKind, factor: f64, steps: Option<usize>) -> Vec<GcTimeRow> {
-    FIG11_SUITE
-        .par_iter()
-        .map(|name| {
-            run_one(
-                name,
-                kind,
-                factor,
-                MachineConfig::xeon_gold_6130(),
-                steps,
-                false,
-            )
-        })
-        .collect()
+    par_map(FIG11_SUITE.to_vec(), |name| {
+        run_one(
+            name,
+            kind,
+            factor,
+            MachineConfig::xeon_gold_6130(),
+            steps,
+            false,
+        )
+    })
 }
 
 /// Fig. 1: phase breakdown of the memmove LISP2 prototype on the i5-7600.
@@ -157,7 +190,7 @@ pub fn fig01_rows() -> Vec<GcTimeRow> {
 }
 
 /// One N-JVM data point for Figs. 2/14.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MultiJvmRow {
     /// Concurrent JVM count.
     pub jvms: usize,
@@ -170,6 +203,14 @@ pub struct MultiJvmRow {
     /// Mean total wall time per JVM (ms).
     pub total_ms: f64,
 }
+
+impl_to_json!(MultiJvmRow {
+    jvms,
+    gc_total_ms,
+    gc_max_ms,
+    app_ms,
+    total_ms,
+});
 
 /// Figs. 2 (ParallelGC) / 14 (SVAGC): LRUCache × N JVMs, 4 GC threads
 /// each, on the 32-core machine.
@@ -202,7 +243,7 @@ pub fn multijvm_rows(kind: CollectorKind, counts: &[usize]) -> Vec<MultiJvmRow> 
 
 /// One Table III row: miss rates under memmove vs SwapVA at both heap
 /// factors.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CacheDtlbRow {
     /// Benchmark name.
     pub name: String,
@@ -215,6 +256,14 @@ pub struct CacheDtlbRow {
     /// DTLB miss % (SwapVA) at 1.2× (2×).
     pub dtlb_swapva: (f64, f64),
 }
+
+impl_to_json!(CacheDtlbRow {
+    name,
+    cache_memmove,
+    cache_swapva,
+    dtlb_memmove,
+    dtlb_swapva,
+});
 
 /// The Table III benchmark list (paper order).
 pub const TABLE3_SUITE: [&str; 14] = [
@@ -237,9 +286,7 @@ pub const TABLE3_SUITE: [&str; 14] = [
 /// Table III: run each benchmark instrumented under both copy mechanisms
 /// and both heap factors (host-parallel; each cell is independent).
 pub fn table3_rows(steps: Option<usize>) -> Vec<CacheDtlbRow> {
-    TABLE3_SUITE
-        .par_iter()
-        .map(|name| {
+    par_map(TABLE3_SUITE.to_vec(), |name| {
             let m = MachineConfig::xeon_gold_6130();
             let cell = |kind, factor| {
                 let row = run_one(name, kind, factor, m.clone(), steps, true);
@@ -256,8 +303,7 @@ pub fn table3_rows(steps: Option<usize>) -> Vec<CacheDtlbRow> {
                 dtlb_memmove: (dm12, dm20),
                 dtlb_swapva: (ds12, ds20),
             }
-        })
-        .collect()
+    })
 }
 
 /// Geometric mean helper for the Table III summary rows.

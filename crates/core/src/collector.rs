@@ -1,7 +1,8 @@
 //! The common collector interface used by drivers and baselines.
 
+use crate::error::GcError;
 use crate::stats::{GcCycleStats, GcLog};
-use svagc_heap::{Heap, HeapError, RootSet};
+use svagc_heap::{Heap, RootSet};
 use svagc_kernel::Kernel;
 
 /// A stop-the-world (or partially concurrent) garbage collector.
@@ -15,7 +16,7 @@ pub trait Collector {
         kernel: &mut Kernel,
         heap: &mut Heap,
         roots: &mut RootSet,
-    ) -> Result<GcCycleStats, HeapError>;
+    ) -> Result<GcCycleStats, GcError>;
 
     /// The log of completed cycles.
     fn log(&self) -> &GcLog;
@@ -35,7 +36,7 @@ impl Collector for crate::lisp2::Lisp2Collector {
         kernel: &mut Kernel,
         heap: &mut Heap,
         roots: &mut RootSet,
-    ) -> Result<GcCycleStats, HeapError> {
+    ) -> Result<GcCycleStats, GcError> {
         Lisp2Collector::collect(self, kernel, heap, roots)
     }
 

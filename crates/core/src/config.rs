@@ -1,5 +1,7 @@
 //! Collector configuration: which of the paper's mechanisms are active.
 
+use crate::resilience::RetryPolicy;
+
 /// Tunables of the LISP2/SVAGC collector.
 #[derive(Debug, Clone, Copy)]
 pub struct GcConfig {
@@ -28,6 +30,12 @@ pub struct GcConfig {
     /// work-stealing mechanism and parallelism" (§V-A), modeled as
     /// `Some(1)`.
     pub compact_threads: Option<usize>,
+    /// Run the heap verifier after each LISP2 phase and abort the cycle
+    /// (with [`crate::GcError::Corruption`]) on any violation. Verification
+    /// uses uncosted functional reads, so timings are unaffected.
+    pub verify_phases: bool,
+    /// Retry/backoff budget for transient SwapVA faults.
+    pub retry: RetryPolicy,
 }
 
 impl GcConfig {
@@ -42,6 +50,8 @@ impl GcConfig {
             pinned_compaction: true,
             work_stealing: true,
             compact_threads: None,
+            verify_phases: false,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -102,6 +112,18 @@ impl GcConfig {
     /// Override the compaction-phase worker count.
     pub fn with_compact_threads(mut self, n: Option<usize>) -> GcConfig {
         self.compact_threads = n;
+        self
+    }
+
+    /// Toggle post-phase heap verification.
+    pub fn with_verify_phases(mut self, on: bool) -> GcConfig {
+        self.verify_phases = on;
+        self
+    }
+
+    /// Override the transient-fault retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> GcConfig {
+        self.retry = retry;
         self
     }
 }

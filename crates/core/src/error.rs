@@ -1,0 +1,125 @@
+//! The GC-level error hierarchy.
+//!
+//! Lower layers stay specific — [`VmError`] for the memory model,
+//! [`SwapVaError`] for the syscall layer, [`HeapError`] for allocation —
+//! and [`GcError`] is the type a collection cycle actually returns:
+//! everything a driver or workload has to be prepared for, including
+//! heap corruption detected by the post-phase verifier.
+
+use std::fmt;
+use svagc_heap::{HeapError, VerifyReport};
+use svagc_kernel::SwapVaError;
+use svagc_vmem::VmError;
+
+/// Failure of a GC cycle (or of heap access on behalf of the mutator).
+#[derive(Debug, Clone)]
+pub enum GcError {
+    /// Heap-level failure (allocation, out of frames, unmapped access).
+    Heap(HeapError),
+    /// A SwapVA failure the resilient executor could not absorb — the
+    /// retry budget ran out on a transient fault *and* the memmove
+    /// fallback itself failed, or a structural error surfaced.
+    Swap(SwapVaError),
+    /// The post-phase heap verifier found broken invariants. Collection
+    /// aborts rather than letting a corrupted heap reach the mutator.
+    Corruption {
+        /// LISP2 phase after which the verifier ran.
+        phase: &'static str,
+        /// Number of violations found.
+        violations: usize,
+        /// The first violation, rendered (the one that matters).
+        first: String,
+    },
+}
+
+impl GcError {
+    /// Build a corruption error from a failed verification pass.
+    /// Panics if the report is clean — calling this on a clean report is
+    /// itself a bug in the collector.
+    pub fn corruption(report: &VerifyReport) -> GcError {
+        let v = report
+            .violations
+            .first()
+            .expect("GcError::corruption requires a failed VerifyReport");
+        GcError::Corruption {
+            phase: report.phase,
+            violations: report.violations.len(),
+            first: format!("{} at {}: {}", v.invariant, v.at, v.detail),
+        }
+    }
+}
+
+impl From<HeapError> for GcError {
+    fn from(e: HeapError) -> GcError {
+        GcError::Heap(e)
+    }
+}
+
+impl From<SwapVaError> for GcError {
+    fn from(e: SwapVaError) -> GcError {
+        GcError::Swap(e)
+    }
+}
+
+impl From<VmError> for GcError {
+    fn from(e: VmError) -> GcError {
+        GcError::Heap(HeapError::Vm(e))
+    }
+}
+
+impl fmt::Display for GcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcError::Heap(e) => write!(f, "heap error: {e}"),
+            GcError::Swap(e) => write!(f, "unrecoverable swap failure: {e}"),
+            GcError::Corruption {
+                phase,
+                violations,
+                first,
+            } => write!(
+                f,
+                "heap corruption after {phase} phase ({violations} violation(s); first: {first})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GcError::Heap(e) => Some(e),
+            GcError::Swap(e) => Some(e),
+            GcError::Corruption { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svagc_vmem::VirtAddr;
+
+    #[test]
+    fn conversions_compose() {
+        let g: GcError = VmError::OutOfFrames.into();
+        assert!(matches!(g, GcError::Heap(HeapError::Vm(_))));
+        let g: GcError = HeapError::TooLarge { requested: 1 }.into();
+        assert!(format!("{g}").contains("heap error"));
+    }
+
+    #[test]
+    fn corruption_renders_first_violation() {
+        let report = VerifyReport {
+            phase: "compact",
+            checked: 3,
+            violations: vec![svagc_heap::Violation {
+                invariant: "forwarding-cleared",
+                at: VirtAddr(0x1000),
+                detail: "stale".to_string(),
+            }],
+        };
+        let g = GcError::corruption(&report);
+        let s = format!("{g}");
+        assert!(s.contains("compact") && s.contains("forwarding-cleared"));
+    }
+}

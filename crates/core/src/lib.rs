@@ -10,20 +10,27 @@
 //! * [`stats`] — per-phase and per-cycle accounting behind every figure.
 //! * [`collector`] — the [`Collector`] trait baselines also implement.
 //! * [`applicability`] — Table I as code.
+//! * [`error`] / [`resilience`] — the typed [`GcError`] hierarchy and the
+//!   retry/fallback/split executor that keeps compaction alive under
+//!   injected SwapVA faults.
 
 #![warn(missing_docs)]
 
 pub mod applicability;
 pub mod collector;
 pub mod config;
+pub mod error;
 pub mod lisp2;
 pub mod minor;
+pub mod resilience;
 pub mod scheduler;
 pub mod stats;
 
 pub use collector::Collector;
 pub use config::GcConfig;
+pub use error::GcError;
 pub use lisp2::Lisp2Collector;
 pub use minor::{full_collect_generational, MinorConfig, MinorGc, MinorStats};
+pub use resilience::{execute_swaps, RetryPolicy, SwapOutcome};
 pub use scheduler::WorkerPool;
 pub use stats::{GcCycleStats, GcLog, PhaseBreakdown};

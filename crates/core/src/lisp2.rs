@@ -19,9 +19,11 @@
 //! workers via [`WorkerPool`] — see that module for the model.
 
 use crate::config::GcConfig;
+use crate::error::GcError;
+use crate::resilience::execute_swaps;
 use crate::scheduler::WorkerPool;
 use crate::stats::{GcCycleStats, GcLog};
-use svagc_heap::{Heap, HeapError, MarkBitmap, ObjHeader, ObjRef, RootSet};
+use svagc_heap::{Heap, HeapError, HeapVerifier, MarkBitmap, ObjHeader, ObjRef, RootSet, VerifyReport};
 use svagc_kernel::{FlushMode, Kernel, SwapRequest, SwapVaOptions};
 use svagc_metrics::Cycles;
 use svagc_vmem::{VirtAddr, PAGE_SIZE};
@@ -95,28 +97,40 @@ impl Lisp2Collector {
         kernel: &mut Kernel,
         heap: &mut Heap,
         roots: &mut RootSet,
-    ) -> Result<GcCycleStats, HeapError> {
+    ) -> Result<GcCycleStats, GcError> {
         let mut stats = GcCycleStats::default();
         let cores = kernel.cores();
         let threads = self.cfg.gc_threads.min(cores).max(1);
         let mut pool = WorkerPool::new(threads);
         let objects: Vec<ObjRef> = heap.objects_sorted().to_vec();
+        let verifier = HeapVerifier::new();
+        let faults_before = kernel.perf.swap_faults_injected;
 
         // ---- Phase I: mark -------------------------------------------
         let mut bitmap = MarkBitmap::new(heap.base(), heap.extent_words());
         self.mark_phase(kernel, heap, roots, &mut bitmap, &mut pool)?;
         stats.phases.mark = pool.makespan();
+        if self.cfg.verify_phases {
+            Self::require_clean(verifier.verify_marks(kernel, heap, &bitmap, roots), &mut stats)?;
+        }
 
         // ---- Phase II: forwarding address calculation ----------------
         pool.reset();
         let (moves, new_top) =
             self.forward_phase(kernel, heap, &objects, &bitmap, &mut pool, &mut stats)?;
         stats.phases.forward = pool.makespan();
+        if self.cfg.verify_phases {
+            Self::require_clean(verifier.verify_forwarding(kernel, heap, &bitmap), &mut stats)?;
+        }
 
         // ---- Phase III: adjust pointers ------------------------------
         pool.reset();
         self.adjust_phase(kernel, heap, roots, &moves, &mut pool)?;
         stats.phases.adjust = pool.makespan();
+        if self.cfg.verify_phases {
+            // Adjust rewrites fields but must leave the move plan intact.
+            Self::require_clean(verifier.verify_forwarding(kernel, heap, &bitmap), &mut stats)?;
+        }
 
         // ---- Phase IV: compaction ------------------------------------
         let compact_workers = self
@@ -134,9 +148,23 @@ impl Lisp2Collector {
         stats.live_objects = survivors.len() as u64;
         stats.dead_objects = objects.len() as u64 - survivors.len() as u64;
         heap.complete_gc(survivors, new_top);
+        if self.cfg.verify_phases {
+            Self::require_clean(verifier.verify_post_compact(kernel, heap, roots), &mut stats)?;
+        }
 
+        stats.faults_injected = kernel.perf.swap_faults_injected - faults_before;
         self.log.push(stats);
         Ok(stats)
+    }
+
+    /// Turn a failed verification pass into a [`GcError::Corruption`] abort.
+    fn require_clean(report: VerifyReport, stats: &mut GcCycleStats) -> Result<(), GcError> {
+        if report.is_clean() {
+            Ok(())
+        } else {
+            stats.verify_violations += report.violations.len() as u64;
+            Err(GcError::corruption(&report))
+        }
     }
 
     /// Phase I: trace the object graph from the roots.
@@ -286,7 +314,7 @@ impl Lisp2Collector {
         moves: &[PlannedMove],
         pool: &mut WorkerPool,
         stats: &mut GcCycleStats,
-    ) -> Result<(), HeapError> {
+    ) -> Result<(), GcError> {
         let cores = kernel.cores();
         let threshold_bytes = heap.threshold_pages() * PAGE_SIZE;
         let flush_mode = if self.cfg.pinned_compaction {
@@ -325,7 +353,9 @@ impl Lisp2Collector {
         // it first to preserve ascending-order safety. Aggregation exists
         // to amortize syscall entry across *small* requests; a page budget
         // keeps batches from serializing big-object moves onto one worker.
-        let mut batch: Vec<SwapRequest> = Vec::new();
+        // Each entry carries the object's true byte size alongside its
+        // request, so a memmove fallback can be re-attributed in the stats.
+        let mut batch: Vec<(SwapRequest, u64)> = Vec::new();
         let mut batch_pages = 0u64;
         let batch_cap = self.cfg.aggregation.unwrap_or(1).max(1);
         let batch_page_budget = 8 * heap.threshold_pages().max(1);
@@ -361,7 +391,7 @@ impl Lisp2Collector {
                     };
                     stats.swapped_objects += 1;
                     stats.swapped_bytes += size;
-                    batch.push(req);
+                    batch.push((req, size));
                     batch_pages += pages;
                     if batch.len() >= batch_cap || batch_pages >= batch_page_budget {
                         let (c, intf) =
@@ -429,40 +459,47 @@ impl Lisp2Collector {
         Ok(())
     }
 
-    /// Execute and clear the aggregation buffer. With aggregation disabled
-    /// the buffer never exceeds one request, so this degenerates to
-    /// separated calls.
+    /// Execute and clear the aggregation buffer through the resilient
+    /// executor: transient faults retry with backoff, permanent faults
+    /// demote single requests to memmove, mid-batch faults split the
+    /// batch. With aggregation disabled the buffer never exceeds one
+    /// request, so this degenerates to separated calls.
     fn flush_batch(
         &self,
         kernel: &mut Kernel,
         heap: &mut Heap,
-        batch: &mut Vec<SwapRequest>,
+        batch: &mut Vec<(SwapRequest, u64)>,
         opts: SwapVaOptions,
         core: svagc_kernel::CoreId,
         stats: &mut GcCycleStats,
-    ) -> Result<(Cycles, Cycles), HeapError> {
+    ) -> Result<(Cycles, Cycles), GcError> {
         if batch.is_empty() {
             return Ok((Cycles::ZERO, Cycles::ZERO));
         }
-        let (t, intf) = if self.cfg.aggregation.is_some() {
-            kernel
-                .swap_va_batch(heap.space_mut(), core, batch, opts)
-                .map_err(HeapError::Vm)?
-        } else {
-            // Separated calls: one syscall per request.
-            let mut total = Cycles::ZERO;
-            let mut intf = Cycles::ZERO;
-            for req in batch.iter() {
-                let (t, i) = kernel
-                    .swap_va(heap.space_mut(), core, *req, opts)
-                    .map_err(HeapError::Vm)?;
-                total += t;
-                intf += i.0;
-            }
-            (total, svagc_kernel::Interference(intf))
-        };
-        stats.interference += intf.0;
+        let reqs: Vec<SwapRequest> = batch.iter().map(|(r, _)| *r).collect();
+        let out = execute_swaps(
+            kernel,
+            heap.space_mut(),
+            &reqs,
+            opts,
+            core,
+            self.cfg.aggregation.is_some(),
+            &self.cfg.retry,
+        )?;
+        stats.swap_retries += out.retries;
+        stats.batch_splits += out.batch_splits;
+        for &i in &out.fallback {
+            // This object was queued as a swap but moved by copy: shift it
+            // from the swap columns to the fallback/memmove ones.
+            let size = batch[i].1;
+            stats.swapped_objects -= 1;
+            stats.swapped_bytes = stats.swapped_bytes.saturating_sub(size);
+            stats.memmove_bytes += size;
+            stats.swap_fallback_objects += 1;
+            stats.swap_fallback_bytes += size;
+        }
+        stats.interference += out.interference;
         batch.clear();
-        Ok((t, intf.0))
+        Ok((out.cycles, out.interference))
     }
 }

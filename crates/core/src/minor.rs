@@ -19,6 +19,8 @@
 //!    memmove. Then reset eden; the remembered set is clean by
 //!    construction (no young objects remain).
 
+use crate::error::GcError;
+use crate::resilience::{execute_swaps, RetryPolicy};
 use crate::scheduler::WorkerPool;
 use svagc_heap::{GenHeap, HeapError, MarkBitmap, ObjRef, RootSet, CARD_BYTES};
 use svagc_kernel::{FlushMode, Kernel, SwapRequest, SwapVaOptions};
@@ -36,6 +38,8 @@ pub struct MinorConfig {
     pub aggregation: Option<usize>,
     /// PMD walk caching inside SwapVA.
     pub pmd_cache: bool,
+    /// Retry/backoff budget for transient SwapVA faults during promotion.
+    pub retry: RetryPolicy,
 }
 
 impl MinorConfig {
@@ -46,6 +50,7 @@ impl MinorConfig {
             use_swapva: true,
             aggregation: Some(32),
             pmd_cache: true,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -76,6 +81,12 @@ pub struct MinorStats {
     pub scanned_cards: u64,
     /// IPI interference pushed onto other cores.
     pub interference: Cycles,
+    /// Transient-fault retries during promotion swaps.
+    pub swap_retries: u64,
+    /// Promotions demoted from SwapVA to memmove by permanent faults.
+    pub swap_fallback_objects: u64,
+    /// Aggregated promotion batches split by a mid-batch fault.
+    pub batch_splits: u64,
 }
 
 /// The minor collector.
@@ -124,7 +135,7 @@ impl MinorGc {
         kernel: &mut Kernel,
         gh: &mut GenHeap,
         roots: &mut RootSet,
-    ) -> Result<MinorStats, HeapError> {
+    ) -> Result<MinorStats, GcError> {
         let mut stats = MinorStats::default();
         let cores = kernel.cores();
         let threads = self.cfg.gc_threads.min(cores).max(1);
@@ -224,7 +235,7 @@ impl MinorGc {
             pool.dispatch_to(w, t);
         }
         if demand + (2 * large_count + 1) * PAGE_SIZE > gh.old.free_bytes() {
-            return Err(HeapError::NeedGc { requested: demand });
+            return Err(GcError::Heap(HeapError::NeedGc { requested: demand }));
         }
         let mut promos: Vec<Promo> = Vec::new();
         for (obj, shape, large) in survivors {
@@ -336,20 +347,23 @@ impl MinorGc {
                 batch.push(SwapRequest { a: p.src.0, b: p.dst.0, pages });
                 batch_pages += pages;
                 if batch.len() >= batch_cap || batch_pages >= batch_page_budget {
-                    let (c, intf) = if self.cfg.aggregation.is_some() {
-                        kernel
-                            .swap_va_batch(gh.old.space_mut(), core, &batch, swap_opts)
-                            .map_err(HeapError::Vm)?
-                    } else {
-                        let req = batch[0];
-                        kernel
-                            .swap_va(gh.old.space_mut(), core, req, swap_opts)
-                            .map_err(HeapError::Vm)?
-                    };
+                    let out = execute_swaps(
+                        kernel,
+                        gh.old.space_mut(),
+                        &batch,
+                        swap_opts,
+                        core,
+                        self.cfg.aggregation.is_some(),
+                        &self.cfg.retry,
+                    )?;
+                    stats.swap_retries += out.retries;
+                    stats.batch_splits += out.batch_splits;
+                    stats.swapped_objects -= out.fallback.len() as u64;
+                    stats.swap_fallback_objects += out.fallback.len() as u64;
                     batch.clear();
                     batch_pages = 0;
-                    t += c;
-                    stats.interference += intf.0;
+                    t += out.cycles;
+                    stats.interference += out.interference;
                 }
             } else {
                 t += kernel.memmove(gh.old.space(), core, p.src.0, p.dst.0, p.size)?;
@@ -359,11 +373,21 @@ impl MinorGc {
         if !batch.is_empty() {
             let w = pool.least_loaded();
             let core = pool.core_of(w, cores);
-            let (c, intf) = kernel
-                .swap_va_batch(gh.old.space_mut(), core, &batch, swap_opts)
-                .map_err(HeapError::Vm)?;
-            stats.interference += intf.0;
-            pool.dispatch_to(w, c);
+            let out = execute_swaps(
+                kernel,
+                gh.old.space_mut(),
+                &batch,
+                swap_opts,
+                core,
+                self.cfg.aggregation.is_some(),
+                &self.cfg.retry,
+            )?;
+            stats.swap_retries += out.retries;
+            stats.batch_splits += out.batch_splits;
+            stats.swapped_objects -= out.fallback.len() as u64;
+            stats.swap_fallback_objects += out.fallback.len() as u64;
+            stats.interference += out.interference;
+            pool.dispatch_to(w, out.cycles);
         }
         // Clear forwarding words at the destinations (after every deferred
         // swap has executed, so the words land in the final frames).
@@ -414,7 +438,7 @@ pub fn full_collect_generational(
     gh: &mut GenHeap,
     roots: &mut RootSet,
     full: &mut crate::lisp2::Lisp2Collector,
-) -> Result<crate::stats::GcCycleStats, HeapError> {
+) -> Result<crate::stats::GcCycleStats, GcError> {
     let core = svagc_kernel::CoreId(0);
     // Pin young-held old references as temporary roots.
     let mut temp: Vec<(ObjRef, u64, svagc_heap::RootId)> = Vec::new();

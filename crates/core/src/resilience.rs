@@ -1,0 +1,322 @@
+//! Resilient SwapVA execution: retry, fall back, split.
+//!
+//! The compaction phase must finish even when individual SwapVA calls
+//! fail. [`execute_swaps`] wraps `swap_va`/`swap_va_batch` with the three
+//! degradation moves, in order of preference:
+//!
+//! 1. **Retry** — transient faults (`EAGAIN` contention, shootdown
+//!    timeout) are re-issued with a bounded, cycle-charged exponential
+//!    backoff ([`RetryPolicy`]). Failed attempts cost real simulated time;
+//!    the budget bounds how much one stubborn request can burn.
+//! 2. **Fallback** — permanent faults (`EINVAL`, `ENOMEM`), or transients
+//!    that exhaust the budget, demote *that one request* to `memmove` of
+//!    the same whole pages. Byte copy places exactly the bytes the swap
+//!    would have placed at the destination, so heap contents stay
+//!    bit-identical to the fault-free run.
+//! 3. **Split** — when a request mid-batch faults, the already-applied
+//!    prefix MUST NOT be replayed (a second swap would undo the first).
+//!    Execution resumes *from the failing index*, splitting the batch.
+//!
+//! The outcome reports retries, fallbacks, and splits so GC stats expose
+//! how much degradation a run absorbed.
+
+use crate::error::GcError;
+use svagc_kernel::{CoreId, Kernel, SwapRequest, SwapVaError, SwapVaOptions};
+use svagc_metrics::Cycles;
+use svagc_vmem::{AddressSpace, PAGE_SIZE};
+
+/// Bounded-retry policy for transient SwapVA faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed per request before it falls back to `memmove`.
+    pub max_retries: u32,
+    /// Cycles charged before the first retry; doubles per attempt.
+    pub backoff_base: u64,
+    /// Backoff ceiling in cycles (keeps pathological runs bounded).
+    pub backoff_cap: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            backoff_base: 64,
+            backoff_cap: 4096,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with a custom retry budget and default backoff shape.
+    pub fn with_max_retries(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Cycles the caller spins before retry number `attempt` (1-based):
+    /// exponential from `backoff_base`, capped at `backoff_cap`.
+    pub fn backoff(&self, attempt: u32) -> Cycles {
+        let shift = attempt.saturating_sub(1).min(63);
+        Cycles(
+            self.backoff_base
+                .saturating_mul(1u64 << shift)
+                .min(self.backoff_cap),
+        )
+    }
+}
+
+/// What resilient execution of a request list cost and absorbed.
+#[derive(Debug, Clone, Default)]
+pub struct SwapOutcome {
+    /// Cycles charged to the calling core (successful calls, failed
+    /// attempts, backoff spins, fallback copies).
+    pub cycles: Cycles,
+    /// Shootdown interference pushed onto other cores.
+    pub interference: Cycles,
+    /// Transient-fault retries issued.
+    pub retries: u64,
+    /// Batches split because a mid-batch request faulted.
+    pub batch_splits: u64,
+    /// Indices (into the input slice) of requests demoted to `memmove`.
+    pub fallback: Vec<usize>,
+}
+
+/// Execute `reqs` with retry/fallback/split resilience.
+///
+/// `aggregated` selects one `swap_va_batch` syscall over the remaining
+/// run (re-issued from the failing index after each fault) versus one
+/// `swap_va` syscall per request. Structural [`VmError`]s are *not*
+/// degraded — they mean the collector built an invalid request, which is
+/// a bug to surface, not an operational fault to absorb.
+pub fn execute_swaps(
+    kernel: &mut Kernel,
+    space: &mut AddressSpace,
+    reqs: &[SwapRequest],
+    opts: SwapVaOptions,
+    core: CoreId,
+    aggregated: bool,
+    policy: &RetryPolicy,
+) -> Result<SwapOutcome, GcError> {
+    let mut out = SwapOutcome::default();
+    let mut start = 0usize; // first request not yet applied
+    let mut attempts_at_head = 0u32; // retries spent on reqs[start]
+
+    while start < reqs.len() {
+        let result = if aggregated {
+            kernel.swap_va_batch(space, core, &reqs[start..], opts)
+        } else {
+            kernel.swap_va(space, core, reqs[start], opts)
+        };
+        match result {
+            Ok((t, intf)) => {
+                out.cycles += t;
+                out.interference += intf.0;
+                if aggregated {
+                    break; // the whole remaining run went through
+                }
+                start += 1;
+                attempts_at_head = 0;
+            }
+            Err(e @ SwapVaError::Vm(_)) => return Err(GcError::Swap(e)),
+            Err(SwapVaError::Fault { kind, index, spent }) => {
+                out.cycles += spent;
+                if index > 0 {
+                    // Requests start..start+index were applied; the batch
+                    // is now split. Resume FROM the failing request —
+                    // replaying the prefix would swap it back.
+                    out.batch_splits += 1;
+                    start += index;
+                    attempts_at_head = 0;
+                }
+                if kind.is_transient() && attempts_at_head < policy.max_retries {
+                    attempts_at_head += 1;
+                    out.retries += 1;
+                    out.cycles += policy.backoff(attempts_at_head);
+                } else {
+                    // Permanent fault, or the retry budget ran dry: demote
+                    // this one request to a whole-page byte copy.
+                    let req = reqs[start];
+                    out.cycles +=
+                        kernel.memmove(space, core, req.a, req.b, req.pages * PAGE_SIZE)?;
+                    out.fallback.push(start);
+                    start += 1;
+                    attempts_at_head = 0;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svagc_kernel::{FaultConfig, FaultPlan, FlushMode};
+    use svagc_metrics::MachineConfig;
+    use svagc_vmem::{Asid, VirtAddr};
+
+    const CORE: CoreId = CoreId(0);
+
+    fn setup(reqs: usize) -> (Kernel, AddressSpace, Vec<SwapRequest>) {
+        let mut k = Kernel::with_bytes(MachineConfig::i5_7600(), 64 << 20);
+        let mut space = AddressSpace::new(Asid(1));
+        let base = VirtAddr(0x10_0000);
+        let pages_per = 2u64;
+        let total = reqs as u64 * 2 * pages_per;
+        k.vmem.map_pages(&mut space, base, total).unwrap();
+        let mut v = Vec::new();
+        for i in 0..reqs as u64 {
+            let a = base + i * 2 * pages_per * PAGE_SIZE;
+            let b = a + pages_per * PAGE_SIZE;
+            // Distinct content on each side so swaps are observable.
+            k.vmem.write_u64(&space, a, 0xA000 + i).unwrap();
+            k.vmem.write_u64(&space, b, 0xB000 + i).unwrap();
+            v.push(SwapRequest {
+                a,
+                b,
+                pages: pages_per,
+            });
+        }
+        (k, space, v)
+    }
+
+    fn opts() -> SwapVaOptions {
+        SwapVaOptions {
+            pmd_cache: true,
+            overlap_opt: true,
+            flush: FlushMode::LocalOnly,
+        }
+    }
+
+    /// Every request ends up applied: request i's `a` page holds what its
+    /// `b` page held (swap) or a copy of `a` (fallback puts `a` at `b`).
+    fn assert_all_applied(k: &Kernel, space: &AddressSpace, reqs: &[SwapRequest], out: &SwapOutcome) {
+        for (i, r) in reqs.iter().enumerate() {
+            let at_b = k.vmem.read_u64(space, r.b).unwrap();
+            assert_eq!(at_b, 0xA000 + i as u64, "request {i}: dst holds src content");
+            let at_a = k.vmem.read_u64(space, r.a).unwrap();
+            if out.fallback.contains(&i) {
+                // memmove copies a→b, leaving a unchanged.
+                assert_eq!(at_a, 0xA000 + i as u64, "request {i}: fallback leaves src");
+            } else {
+                assert_eq!(at_a, 0xB000 + i as u64, "request {i}: swap exchanged");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_batch_is_one_syscall() {
+        let (mut k, mut space, reqs) = setup(8);
+        let out = execute_swaps(&mut k, &mut space, &reqs, opts(), CORE, true, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.batch_splits, 0);
+        assert!(out.fallback.is_empty());
+        assert_eq!(k.perf.syscalls, 1);
+        assert_all_applied(&k, &space, &reqs, &out);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_completion() {
+        let (mut k, mut space, reqs) = setup(16);
+        k.set_fault_plan(Some(FaultPlan::new(FaultConfig::transient_only(0.3, 42))));
+        let out = execute_swaps(&mut k, &mut space, &reqs, opts(), CORE, true, &RetryPolicy::default())
+            .unwrap();
+        assert!(out.retries > 0, "p=0.3 over 16 requests must fault");
+        assert!(out.fallback.is_empty(), "transients never fall back");
+        assert_all_applied(&k, &space, &reqs, &out);
+    }
+
+    #[test]
+    fn permanent_faults_fall_back_to_memmove() {
+        let (mut k, mut space, reqs) = setup(16);
+        k.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            p_transient: 0.0,
+            p_invalid: 0.2,
+            p_nomem: 0.1,
+            p_timeout: 0.0,
+            seed: 7,
+        })));
+        let bytes_before = k.perf.bytes_copied;
+        let out = execute_swaps(&mut k, &mut space, &reqs, opts(), CORE, true, &RetryPolicy::default())
+            .unwrap();
+        assert!(!out.fallback.is_empty(), "p=0.3 permanent over 16 requests");
+        assert!(k.perf.bytes_copied > bytes_before, "fallback copies bytes");
+        assert_all_applied(&k, &space, &reqs, &out);
+    }
+
+    #[test]
+    fn mid_batch_fault_splits_and_never_replays_prefix() {
+        // High fault rate: guaranteed mid-batch faults. If the executor
+        // ever replayed an applied prefix, some request would end up
+        // double-swapped (back to its original content) and the content
+        // check would fail.
+        let (mut k, mut space, reqs) = setup(32);
+        k.set_fault_plan(Some(FaultPlan::new(FaultConfig::uniform(0.4, 3))));
+        let out = execute_swaps(&mut k, &mut space, &reqs, opts(), CORE, true, &RetryPolicy::default())
+            .unwrap();
+        assert!(out.batch_splits > 0, "p=0.4 over 32 requests splits batches");
+        assert_all_applied(&k, &space, &reqs, &out);
+    }
+
+    #[test]
+    fn separated_mode_retries_per_request() {
+        let (mut k, mut space, reqs) = setup(12);
+        k.set_fault_plan(Some(FaultPlan::new(FaultConfig::uniform(0.3, 11))));
+        let out = execute_swaps(&mut k, &mut space, &reqs, opts(), CORE, false, &RetryPolicy::default())
+            .unwrap();
+        assert!(out.retries + out.fallback.len() as u64 > 0);
+        assert_eq!(out.batch_splits, 0, "separated calls never split");
+        assert_all_applied(&k, &space, &reqs, &out);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_falls_back() {
+        let (mut k, mut space, reqs) = setup(4);
+        // Every call faults transiently: with a zero budget each request
+        // must fall back immediately.
+        k.set_fault_plan(Some(FaultPlan::new(FaultConfig::transient_only(1.0, 5))));
+        let out = execute_swaps(
+            &mut k,
+            &mut space,
+            &reqs,
+            opts(),
+            CORE,
+            true,
+            &RetryPolicy::with_max_retries(0),
+        )
+        .unwrap();
+        assert_eq!(out.fallback, vec![0, 1, 2, 3]);
+        assert_eq!(out.retries, 0);
+        assert_all_applied(&k, &space, &reqs, &out);
+    }
+
+    #[test]
+    fn failed_attempts_cost_cycles() {
+        let (mut k1, mut s1, r1) = setup(8);
+        let clean = execute_swaps(&mut k1, &mut s1, &r1, opts(), CORE, true, &RetryPolicy::default())
+            .unwrap();
+        let (mut k2, mut s2, r2) = setup(8);
+        k2.set_fault_plan(Some(FaultPlan::new(FaultConfig::transient_only(0.5, 9))));
+        let faulty = execute_swaps(&mut k2, &mut s2, &r2, opts(), CORE, true, &RetryPolicy::default())
+            .unwrap();
+        assert!(faulty.retries > 0);
+        assert!(
+            faulty.cycles > clean.cycles,
+            "retries burn time: {} !> {}",
+            faulty.cycles,
+            clean.cycles
+        );
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), Cycles(64));
+        assert_eq!(p.backoff(2), Cycles(128));
+        assert_eq!(p.backoff(7), Cycles(4096));
+        assert_eq!(p.backoff(30), Cycles(4096), "capped");
+    }
+}

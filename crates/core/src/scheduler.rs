@@ -64,7 +64,7 @@ impl WorkerPool {
             .enumerate()
             .min_by_key(|&(i, &l)| (l, i))
             .map(|(i, _)| i)
-            .expect("non-empty pool")
+            .expect("WorkerPool invariant: constructed with at least one worker")
     }
 
     /// Charge `cost` to the least-loaded worker; returns who got it.

@@ -71,6 +71,20 @@ pub struct GcCycleStats {
     pub swapped_bytes: u64,
     /// Cycles stolen from other cores by IPIs (mutator interference).
     pub interference: Cycles,
+    /// SwapVA faults injected during this cycle.
+    pub faults_injected: u64,
+    /// Transient-fault retries the resilient executor issued.
+    pub swap_retries: u64,
+    /// Objects demoted from SwapVA to memmove by permanent faults (or an
+    /// exhausted retry budget).
+    pub swap_fallback_objects: u64,
+    /// Bytes those demoted objects copied instead of swapped.
+    pub swap_fallback_bytes: u64,
+    /// Aggregated batches split by a mid-batch fault.
+    pub batch_splits: u64,
+    /// Invariant violations the post-phase verifier found (always zero on
+    /// a cycle that returned `Ok`; violations abort the cycle).
+    pub verify_violations: u64,
 }
 
 impl GcCycleStats {
@@ -141,6 +155,26 @@ impl GcLog {
     /// Total interference pushed onto other cores.
     pub fn total_interference(&self) -> Cycles {
         self.cycles.iter().map(|c| c.interference).sum()
+    }
+
+    /// Total SwapVA faults injected across cycles.
+    pub fn total_faults_injected(&self) -> u64 {
+        self.cycles.iter().map(|c| c.faults_injected).sum()
+    }
+
+    /// Total transient-fault retries across cycles.
+    pub fn total_swap_retries(&self) -> u64 {
+        self.cycles.iter().map(|c| c.swap_retries).sum()
+    }
+
+    /// Total objects demoted to the memmove fallback across cycles.
+    pub fn total_swap_fallbacks(&self) -> u64 {
+        self.cycles.iter().map(|c| c.swap_fallback_objects).sum()
+    }
+
+    /// Total batch splits across cycles.
+    pub fn total_batch_splits(&self) -> u64 {
+        self.cycles.iter().map(|c| c.batch_splits).sum()
     }
 
     /// Aggregate phase breakdown over all cycles.

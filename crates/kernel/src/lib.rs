@@ -14,18 +14,25 @@
 //! * [`shootdown`] — flush policies: naive per-call global IPI broadcast
 //!   vs the pinned local-only protocol of Algorithm 4 (Fig. 9, Eq. 2).
 //! * [`memmove`] — the cost-modeled byte-copy baseline SwapVA replaces.
+//! * [`fault`] — deterministic, seeded injection of modeled SwapVA failure
+//!   modes (EAGAIN/EINVAL/ENOMEM/IPI timeout) for chaos testing; failures
+//!   surface as typed [`SwapVaError`]s that carry the cycles burned.
 //!
 //! All operations return the [`svagc_metrics::Cycles`] consumed so callers
 //! attribute time to the right simulated core.
 
 #![warn(missing_docs)]
 
+pub mod error;
+pub mod fault;
 pub mod memmove;
 pub mod overlap;
 pub mod shootdown;
 pub mod state;
 pub mod swapva;
 
+pub use error::SwapVaError;
+pub use fault::{FaultConfig, FaultKind, FaultPlan};
 pub use overlap::gcd;
 pub use shootdown::{FlushMode, Interference};
 pub use state::{CoreId, Kernel};

@@ -106,6 +106,7 @@ pub(crate) fn swap_overlap_body(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SwapVaError;
     use crate::swapva::SwapVaOptions;
     use svagc_metrics::MachineConfig;
     use svagc_vmem::{AddressSpace, Asid};
@@ -226,7 +227,9 @@ mod tests {
     }
 
     #[test]
-    fn identical_ranges_are_noop() {
+    fn identical_ranges_are_rejected() {
+        // A self-swap used to be a silent no-op; validation now rejects it
+        // explicitly (it is always a caller bug).
         let (mut k, mut s) = setup(64);
         let base = k.vmem.alloc_region(&mut s, 4).unwrap();
         k.vmem.write_u64(&s, base, 77).unwrap();
@@ -235,8 +238,13 @@ mod tests {
             b: base,
             pages: 4,
         };
-        k.swap_va(&mut s, CoreId(0), req, SwapVaOptions::naive())
-            .unwrap();
+        let err = k
+            .swap_va(&mut s, CoreId(0), req, SwapVaOptions::naive())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SwapVaError::Vm(VmError::AliasedSwapRange { a, pages: 4 }) if a == base
+        ));
         assert_eq!(k.vmem.read_u64(&s, base).unwrap(), 77);
         assert_eq!(k.perf.pte_swaps, 0);
     }

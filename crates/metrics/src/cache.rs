@@ -10,7 +10,6 @@
 //! sets. It is intentionally single-observer (one `&mut` user); concurrency
 //! is handled a level up by instrumenting one logical core at a time.
 
-use serde::Serialize;
 
 /// Whether an access reads or writes (writes allocate like reads here;
 /// a write-allocate, write-back policy is assumed).
@@ -36,7 +35,7 @@ pub enum CacheLevel {
 }
 
 /// Geometry of the modeled hierarchy.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CacheGeometry {
     /// L1D size in bytes.
     pub l1_bytes: usize,
@@ -140,7 +139,7 @@ impl SetAssocCache {
                     self.stamps[base + w]
                 }
             })
-            .expect("ways > 0");
+            .expect("cache invariant: associativity (ways) is at least 1");
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.tick;
         false

@@ -1,0 +1,62 @@
+//! Host-side parallelism helpers (std-only `rayon` replacement).
+//!
+//! Simulated *virtual-time* parallelism lives in `svagc-core`'s worker
+//! pool; this module is only about using the host's cores to run many
+//! independent simulations (multi-JVM batches, figure suites) faster in
+//! wall-clock time. A small `Mutex`-guarded work queue feeds scoped
+//! threads; results are reassembled in input order, so output is
+//! deterministic regardless of host scheduling.
+
+use std::sync::Mutex;
+
+/// Map `f` over `items` on up to `available_parallelism` host threads,
+/// preserving input order in the output.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(&f).collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    // LIFO std-only work queue: each worker pops the next unclaimed item.
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let item = queue.lock().expect("par_map queue lock poisoned").pop();
+                let Some((i, it)) = item else { break };
+                let r = f(it);
+                done.lock().expect("par_map result lock poisoned").push((i, r));
+            });
+        }
+    });
+    let mut out = done.into_inner().expect("par_map result lock poisoned");
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_maps_all() {
+        let input: Vec<u64> = (0..257).collect();
+        let out = par_map(input.clone(), |x| x * 2);
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![9], |x| x + 1), vec![10]);
+    }
+}

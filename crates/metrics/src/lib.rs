@@ -18,11 +18,17 @@
 pub mod bandwidth;
 pub mod cache;
 pub mod cycles;
+pub mod host;
+pub mod json;
 pub mod machine;
 pub mod perf;
+pub mod rng;
 
 pub use bandwidth::BandwidthModel;
 pub use cache::{AccessKind, CacheGeometry, CacheHierarchy, CacheLevel, SetAssocCache};
 pub use cycles::{CycleCell, Cycles, SimTime};
+pub use host::par_map;
+pub use json::ToJson;
 pub use machine::{CostParams, MachineConfig};
 pub use perf::PerfCounters;
+pub use rng::SimRng;

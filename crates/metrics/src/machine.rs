@@ -8,10 +8,9 @@
 
 use crate::cache::CacheGeometry;
 use crate::cycles::Cycles;
-use serde::Serialize;
 
 /// Cycle costs of the primitive events the simulation charges.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostParams {
     /// Combined user→kernel→user transition cost of one system call
     /// (post-KPTI x86-64 ballpark).
@@ -82,7 +81,7 @@ impl CostParams {
 
 /// A modeled machine: cores, clock, DRAM bandwidth, cache geometry, and
 /// primitive costs.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// Human-readable name (matches the paper's figure captions).
     pub name: &'static str,

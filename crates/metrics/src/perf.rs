@@ -5,12 +5,11 @@
 //! Counters are plain `u64`s updated behind `&mut` — shared/concurrent
 //! accumulation goes through thread-local counters merged at joins.
 
-use serde::Serialize;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A bundle of simulated hardware/OS event counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerfCounters {
     /// System calls entered.
     pub syscalls: u64,
@@ -44,6 +43,8 @@ pub struct PerfCounters {
     pub objects_swapped: u64,
     /// GC cycles completed.
     pub gc_cycles: u64,
+    /// SwapVA faults injected by the kernel fault plan.
+    pub swap_faults_injected: u64,
 }
 
 impl PerfCounters {
@@ -96,6 +97,7 @@ impl Add for PerfCounters {
             objects_moved: self.objects_moved + o.objects_moved,
             objects_swapped: self.objects_swapped + o.objects_swapped,
             gc_cycles: self.gc_cycles + o.gc_cycles,
+            swap_faults_injected: self.swap_faults_injected + o.swap_faults_injected,
         }
     }
 }
@@ -126,6 +128,7 @@ impl Sub for PerfCounters {
             objects_moved: self.objects_moved - o.objects_moved,
             objects_swapped: self.objects_swapped - o.objects_swapped,
             gc_cycles: self.gc_cycles - o.gc_cycles,
+            swap_faults_injected: self.swap_faults_injected - o.swap_faults_injected,
         }
     }
 }

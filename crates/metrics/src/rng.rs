@@ -1,0 +1,156 @@
+//! Small deterministic PRNG (std-only `rand` replacement).
+//!
+//! The workloads and the kernel fault injector need seeded, reproducible
+//! pseudo-randomness; the external `rand` crate is unavailable offline, so
+//! this module provides a splitmix64 generator with the narrow API surface
+//! the workspace actually uses (`gen_bool`, `gen_range` over the handful of
+//! range types that appear in workloads). Determinism across runs and
+//! platforms is a hard requirement — simulation results must not depend on
+//! the host.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeded splitmix64 generator.
+///
+/// Not cryptographic; statistically solid for simulation workloads and
+/// passes through a full 2^64 period.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Build a generator from a seed (same call shape as
+    /// `rand::SeedableRng::seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> SimRng {
+        SimRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from a range (see [`SampleRange`] for supported types).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Range types [`SimRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// Element type produced by sampling.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut SimRng) -> Self::Output;
+}
+
+// Modulo reduction has negligible bias for the span sizes the simulation
+// uses (all far below 2^64) and keeps sampling branch-free/deterministic.
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut SimRng) -> u64 {
+        assert!(self.start < self.end, "gen_range: empty u64 range");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut SimRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty inclusive u64 range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.next_u64() % (span + 1)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SimRng) -> usize {
+        (self.start as u64..self.end as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SimRng) -> usize {
+        (*self.start() as u64..=*self.end() as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut SimRng) -> u32 {
+        (self.start as u64..self.end as u64).sample(rng) as u32
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        self.start() + rng.gen_f64() * (self.end() - self.start())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let v = r.gen_range(5u64..=5);
+            assert_eq!(v, 5);
+            let v = r.gen_range(0usize..3);
+            assert!(v < 3);
+            let f = r.gen_range(1.0f64..=2.0);
+            assert!((1.0..=2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SimRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+}

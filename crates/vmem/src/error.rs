@@ -23,6 +23,15 @@ pub enum VmError {
         /// Page count requested.
         pages: u64,
     },
+    /// SwapVA operands alias the same range (`a == b`): swapping a range
+    /// with itself is always a caller bug, so it is rejected rather than
+    /// silently treated as a no-op.
+    AliasedSwapRange {
+        /// The (shared) operand.
+        a: VirtAddr,
+        /// Page count requested.
+        pages: u64,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -34,6 +43,9 @@ impl fmt::Display for VmError {
             VmError::OutOfFrames => write!(f, "out of physical frames"),
             VmError::BadSwapRange { a, b, pages } => {
                 write!(f, "bad swap range: {a} <-> {b} ({pages} pages)")
+            }
+            VmError::AliasedSwapRange { a, pages } => {
+                write!(f, "self-aliasing swap range: {a} <-> {a} ({pages} pages)")
             }
         }
     }

@@ -48,7 +48,9 @@ impl PhysMem {
     pub fn read_u64(&self, pa: PhysAddr) -> Result<u64, VmError> {
         let i = self.check(pa, 8)?;
         Ok(u64::from_le_bytes(
-            self.bytes[i..i + 8].try_into().expect("8 bytes"),
+            self.bytes[i..i + 8]
+                .try_into()
+                .expect("bounds invariant: check() guarantees an 8-byte slice"),
         ))
     }
 

@@ -157,7 +157,9 @@ impl PageTable {
     pub fn map(&mut self, va: VirtAddr, pte: Pte) -> Result<(), VmError> {
         debug_assert!(pte.present());
         let idx = va.pte_index();
-        let table = self.pte_table_mut(va, true).expect("create=true");
+        let table = self
+            .pte_table_mut(va, true)
+            .expect("page-table invariant: create=true always yields a leaf table");
         if table.get(idx).present() {
             return Err(VmError::AlreadyMapped(va));
         }

@@ -102,7 +102,10 @@ impl Vmem {
         }
         let rollback = |vm: &mut Vmem, space: &mut AddressSpace, upto: u64| {
             for j in 0..upto {
-                let f = space.pt.unmap(va.add_pages(j)).expect("just mapped");
+                let f = space
+                    .pt
+                    .unmap(va.add_pages(j))
+                    .expect("rollback invariant: pages 0..upto were mapped by this call");
                 vm.frames.free(f.frame());
             }
         };

@@ -103,7 +103,7 @@ impl TlbArray {
                     0
                 }
             })
-            .expect("ways > 0");
+            .expect("TLB invariant: associativity (ways) is at least 1");
         self.entries[base + victim] = TlbEntry {
             valid: true,
             asid: asid.0,

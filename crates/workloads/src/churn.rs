@@ -9,10 +9,9 @@
 
 use crate::env::JvmEnv;
 use crate::workload::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use svagc_heap::{HeapError, ObjRef, ObjShape, RootId};
-use svagc_metrics::Cycles;
+use svagc_core::GcError;
+use svagc_heap::{ObjRef, ObjShape, RootId};
+use svagc_metrics::{Cycles, SimRng};
 
 /// Object-size distributions (payload bytes).
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +36,7 @@ pub enum SizeDist {
 
 impl SizeDist {
     /// Draw a size.
-    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
         match *self {
             SizeDist::Fixed(s) => s,
             SizeDist::Uniform(lo, hi) => rng.gen_range(lo..=hi),
@@ -125,7 +124,7 @@ pub struct ChurnWorkload {
     /// Root slots of the long-lived hub objects (never raw `ObjRef`s:
     /// any allocation can trigger a compaction that moves them).
     hubs: Vec<RootId>,
-    rng: StdRng,
+    rng: SimRng,
     next_seed: u64,
     min_heap: u64,
 }
@@ -137,7 +136,7 @@ impl ChurnWorkload {
     pub fn new(spec: ChurnSpec) -> ChurnWorkload {
         // Pre-draw the initial shapes to compute the exact minimum heap:
         // live bytes + alignment slack + room for one churn batch.
-        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut rng = SimRng::seed_from_u64(spec.seed);
         let mut live_bytes = 0u64;
         let mut large_count = 0u64;
         let mut initial_shapes = Vec::with_capacity(spec.live_objects);
@@ -154,7 +153,7 @@ impl ChurnWorkload {
         let batch = (live_bytes as f64 * spec.alloc_fraction_per_step) as u64;
         let min_heap = live_bytes + align_slack + batch.max(spec.size.max() * 2) + (64 << 10);
         ChurnWorkload {
-            rng: StdRng::seed_from_u64(spec.seed), // fresh stream for the run
+            rng: SimRng::seed_from_u64(spec.seed), // fresh stream for the run
             spec,
             initial_shapes,
             live: Vec::new(),
@@ -178,7 +177,7 @@ impl ChurnWorkload {
         &mut self,
         env: &mut JvmEnv,
         shape: ObjShape,
-    ) -> Result<LiveObj, HeapError> {
+    ) -> Result<LiveObj, GcError> {
         let seed = self.next_seed;
         self.next_seed += 1_000_000;
         let (rid, obj) = env.alloc_stamped(shape, seed)?;
@@ -210,7 +209,7 @@ impl Workload for ChurnWorkload {
         self.min_heap
     }
 
-    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         for i in 0..HUB_COUNT {
             let (rid, _) = env.alloc_stamped(ObjShape::data(4), 0x1100 + i as u64)?;
             self.hubs.push(rid);
@@ -223,7 +222,7 @@ impl Workload for ChurnWorkload {
         Ok(())
     }
 
-    fn step(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn step(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         let target_bytes = (self.min_heap as f64 * self.spec.alloc_fraction_per_step) as u64;
         let mean = self.spec.size.mean().max(64.0);
         let count = ((target_bytes as f64 / mean) as usize).max(1);
@@ -286,7 +285,7 @@ mod tests {
 
     #[test]
     fn size_dist_sampling_in_range() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         let d = SizeDist::Uniform(100, 200);
         for _ in 0..100 {
             let s = d.sample(&mut rng);

@@ -5,8 +5,8 @@ use crate::env::JvmEnv;
 use crate::workload::Workload;
 use svagc_baselines::{ParallelGc, Shenandoah};
 use svagc_core::{Collector, GcConfig, GcLog, Lisp2Collector};
-use svagc_heap::{Heap, HeapConfig};
-use svagc_kernel::Kernel;
+use svagc_heap::{Heap, HeapConfig, HeapVerifier};
+use svagc_kernel::{FaultConfig, FaultPlan, Kernel};
 use svagc_metrics::{BandwidthModel, Cycles, MachineConfig, PerfCounters};
 use svagc_vmem::Asid;
 
@@ -28,17 +28,29 @@ pub enum CollectorKind {
 impl CollectorKind {
     /// Instantiate the collector.
     pub fn build(&self, gc_threads: usize) -> Box<dyn Collector> {
+        self.build_verified(gc_threads, false)
+    }
+
+    /// Instantiate the collector, optionally with post-phase heap
+    /// verification (LISP2-based collectors only; the baseline wrappers
+    /// keep their own fixed configurations).
+    pub fn build_verified(&self, gc_threads: usize, verify_phases: bool) -> Box<dyn Collector> {
         match self {
-            CollectorKind::Svagc => Box::new(Lisp2Collector::new(GcConfig::svagc(gc_threads))),
-            CollectorKind::SvagcMemmove => {
-                Box::new(Lisp2Collector::new(GcConfig::lisp2_memmove(gc_threads)))
-            }
+            CollectorKind::Svagc => Box::new(Lisp2Collector::new(
+                GcConfig::svagc(gc_threads).with_verify_phases(verify_phases),
+            )),
+            CollectorKind::SvagcMemmove => Box::new(Lisp2Collector::new(
+                GcConfig::lisp2_memmove(gc_threads).with_verify_phases(verify_phases),
+            )),
             CollectorKind::ParallelGc => Box::new(ParallelGc::new(gc_threads)),
             CollectorKind::Shenandoah => Box::new(Shenandoah::new(gc_threads)),
-            CollectorKind::Custom(cfg) => Box::new(Lisp2Collector::new(GcConfig {
-                gc_threads,
-                ..*cfg
-            })),
+            CollectorKind::Custom(cfg) => Box::new(Lisp2Collector::new(
+                GcConfig {
+                    gc_threads,
+                    ..*cfg
+                }
+                .with_verify_phases(verify_phases || cfg.verify_phases),
+            )),
         }
     }
 
@@ -87,6 +99,13 @@ pub struct RunConfig {
     pub asid: u16,
     /// Override the swap threshold in pages (`None` = paper default 10).
     pub threshold_pages: Option<u64>,
+    /// Per-swap-request fault-injection probability (0.0 = off), split
+    /// across failure modes per [`FaultConfig::uniform`].
+    pub fault_rate: f64,
+    /// Seed of the fault plan (same seed + rate ⇒ same fault sequence).
+    pub fault_seed: u64,
+    /// Run the heap verifier after every LISP2 phase.
+    pub verify_phases: bool,
 }
 
 impl RunConfig {
@@ -102,8 +121,24 @@ impl RunConfig {
             bandwidth: None,
             effective_cores: None,
             asid: 1,
-        threshold_pages: None,
+            threshold_pages: None,
+            fault_rate: 0.0,
+            fault_seed: 0xFA017,
+            verify_phases: false,
         }
+    }
+
+    /// Enable deterministic SwapVA fault injection at probability `p`.
+    pub fn with_faults(mut self, p: f64, seed: u64) -> RunConfig {
+        self.fault_rate = p;
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Enable post-phase heap verification.
+    pub fn with_verify_phases(mut self, on: bool) -> RunConfig {
+        self.verify_phases = on;
+        self
     }
 }
 
@@ -137,6 +172,10 @@ pub struct RunResult {
     pub frag_ratio: f64,
     /// Did end-of-run data verification pass?
     pub verify_ok: bool,
+    /// FNV content hash of the final live heap (address + header +
+    /// payload of every object). Equal hashes ⇔ bit-identical heaps;
+    /// the chaos suite compares faulty runs against fault-free ones.
+    pub heap_hash: u64,
 }
 
 impl RunResult {
@@ -190,7 +229,13 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
         heap_cfg = heap_cfg.with_threshold(t);
     }
     let heap = Heap::new(&mut kernel, Asid(cfg.asid), heap_cfg).map_err(|e| e.to_string())?;
-    let collector = cfg.collector.build(cfg.gc_threads);
+    let collector = cfg.collector.build_verified(cfg.gc_threads, cfg.verify_phases);
+    if cfg.fault_rate > 0.0 {
+        kernel.set_fault_plan(Some(FaultPlan::new(FaultConfig::uniform(
+            cfg.fault_rate,
+            cfg.fault_seed,
+        ))));
+    }
 
     let mut env = JvmEnv::new(&mut kernel, heap, collector);
     workload.setup(&mut env).map_err(|e| e.to_string())?;
@@ -206,7 +251,9 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
     let gc_log = env.collector.log().clone();
     let app_cycles = env.app_cycles;
     let frag_ratio = env.heap.stats.frag_ratio();
-    drop(env);
+    let JvmEnv { heap: mut final_heap, .. } = env;
+    let heap_hash = HeapVerifier::new().content_hash(&kernel, &mut final_heap);
+    drop(final_heap);
 
     let cores = cfg.effective_cores.unwrap_or(cfg.machine.cores).max(1);
     let parallelism = (workload.threads() as usize).min(cores).max(1) as u64;
@@ -228,5 +275,6 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
         min_heap_bytes: min_heap,
         frag_ratio,
         verify_ok,
+        heap_hash,
     })
 }

@@ -1,7 +1,7 @@
 //! The simulated JVM a workload runs in: heap + roots + collector +
 //! mutator-time accounting, with GC-on-demand allocation.
 
-use svagc_core::Collector;
+use svagc_core::{Collector, GcError};
 use svagc_heap::{Heap, HeapError, ObjRef, ObjShape, RootId, RootSet, TlabAllocator};
 use svagc_kernel::{CoreId, Kernel};
 use svagc_metrics::{AccessKind, Cycles};
@@ -49,7 +49,7 @@ impl<'a> JvmEnv<'a> {
     /// Allocate through the TLAB front-end, collecting once if the heap is
     /// full. A second failure is a genuine OOM and propagates. The TLAB is
     /// retired before any GC (compaction invalidates its cursors).
-    pub fn alloc(&mut self, shape: ObjShape) -> Result<ObjRef, HeapError> {
+    pub fn alloc(&mut self, shape: ObjShape) -> Result<ObjRef, GcError> {
         match self
             .tlab
             .alloc(&mut self.heap, self.kernel, self.core, shape)
@@ -68,7 +68,7 @@ impl<'a> JvmEnv<'a> {
                 self.app_cycles += t;
                 Ok(obj)
             }
-            Err(e) => Err(e),
+            Err(e) => Err(e.into()),
         }
     }
 
@@ -79,7 +79,7 @@ impl<'a> JvmEnv<'a> {
         &mut self,
         shape: ObjShape,
         seed: u64,
-    ) -> Result<(RootId, ObjRef), HeapError> {
+    ) -> Result<(RootId, ObjRef), GcError> {
         let obj = self.alloc(shape)?;
         // Stamp first and last words through the costed path, the bulk via
         // one modeled streaming write.
@@ -172,7 +172,7 @@ impl<'a> JvmEnv<'a> {
     }
 
     /// Force a GC now (drivers use this for deterministic cycle counts).
-    pub fn force_gc(&mut self) -> Result<(), HeapError> {
+    pub fn force_gc(&mut self) -> Result<(), GcError> {
         self.collector
             .collect(self.kernel, &mut self.heap, &mut self.roots)?;
         Ok(())

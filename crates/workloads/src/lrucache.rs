@@ -9,11 +9,10 @@
 
 use crate::env::JvmEnv;
 use crate::workload::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
-use svagc_heap::{HeapError, ObjRef, ObjShape, RootId};
-use svagc_metrics::Cycles;
+use svagc_core::GcError;
+use svagc_heap::{ObjRef, ObjShape, RootId};
+use svagc_metrics::{Cycles, SimRng};
 
 /// One cached value.
 #[derive(Debug, Clone, Copy)]
@@ -29,7 +28,7 @@ pub struct LruCache {
     max_value_bytes: u64,
     inserts_per_step: usize,
     queue: VecDeque<Entry>,
-    rng: StdRng,
+    rng: SimRng,
     next_seed: u64,
 }
 
@@ -51,7 +50,7 @@ impl LruCache {
             max_value_bytes,
             inserts_per_step,
             queue: VecDeque::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             next_seed: 1,
         }
     }
@@ -62,9 +61,12 @@ impl LruCache {
         ObjShape::data_bytes(bytes.max(1))
     }
 
-    fn insert(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn insert(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         if self.queue.len() >= self.capacity {
-            let victim = self.queue.pop_front().expect("non-empty");
+            let victim = self
+                .queue
+                .pop_front()
+                .expect("LRU invariant: a queue at capacity > 0 is non-empty");
             env.roots.set(victim.rid, ObjRef::NULL);
         }
         let shape = self.draw_shape();
@@ -94,14 +96,14 @@ impl Workload for LruCache {
             + (256 << 10)
     }
 
-    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         for _ in 0..self.capacity {
             self.insert(env)?;
         }
         Ok(())
     }
 
-    fn step(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn step(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         for _ in 0..self.inserts_per_step {
             self.insert(env)?;
         }
@@ -113,7 +115,10 @@ impl Workload for LruCache {
             let obj = env.roots.get(e.rid);
             env.compute_over(obj, e.shape.size_bytes());
             // Move to MRU position.
-            let e = self.queue.remove(i).expect("index valid");
+            let e = self
+                .queue
+                .remove(i)
+                .expect("LRU invariant: index was drawn from 0..queue.len()");
             self.queue.push_back(e);
         }
         env.charge_app(Cycles(self.inserts_per_step as u64 * 2_000));

@@ -8,14 +8,13 @@
 //! makes `memmove`-based GC collapse in Fig. 2 while SVAGC's page-table
 //! traffic barely grows (Fig. 14).
 //!
-//! Instances run host-parallel via rayon (they are independent simulations;
-//! the shared stream count is constant for the whole batch, so results stay
-//! deterministic).
+//! Instances run host-parallel via `svagc_metrics::par_map` (they are
+//! independent simulations; the shared stream count is constant for the
+//! whole batch, so results stay deterministic).
 
 use crate::driver::{run, RunConfig, RunResult};
 use crate::workload::Workload;
-use rayon::prelude::*;
-use svagc_metrics::{BandwidthModel, Cycles};
+use svagc_metrics::{par_map, BandwidthModel, Cycles};
 
 /// Result of an N-JVM experiment.
 #[derive(Debug, Clone)]
@@ -75,17 +74,16 @@ where
         .collect();
     let core_share = (base.machine.cores / n).max(1);
 
-    let mut per_jvm: Vec<RunResult> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let mut cfg = base.clone();
-            cfg.bandwidth = Some(bandwidth.clone());
-            cfg.effective_cores = Some(core_share);
-            cfg.asid = (i + 1) as u16;
-            let mut w = make(i);
-            run(w.as_mut(), &cfg)
-        })
-        .collect::<Result<Vec<_>, _>>()?;
+    let mut per_jvm: Vec<RunResult> = par_map((0..n).collect::<Vec<_>>(), |i| {
+        let mut cfg = base.clone();
+        cfg.bandwidth = Some(bandwidth.clone());
+        cfg.effective_cores = Some(core_share);
+        cfg.asid = (i + 1) as u16;
+        let mut w = make(i);
+        run(w.as_mut(), &cfg)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
 
     // Cross-JVM IPI interference: each broadcast lands on all cores; a
     // victim JVM owns ~1/n of them. Charge each instance its share of the

@@ -7,10 +7,9 @@
 
 use crate::env::JvmEnv;
 use crate::workload::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use svagc_heap::{HeapError, ObjShape, RootId};
-use svagc_metrics::Cycles;
+use svagc_core::GcError;
+use svagc_heap::{ObjShape, RootId};
+use svagc_metrics::{Cycles, SimRng};
 
 /// Graph nodes (paper scale).
 const NODES: u64 = 78_000;
@@ -21,7 +20,7 @@ const BLOCK: u64 = 512;
 
 /// The PageRank workload.
 pub struct PageRank {
-    rng: StdRng,
+    rng: SimRng,
     blocks: Vec<(RootId, ObjShape, u64)>,
     ranks: Option<(RootId, ObjShape)>,
     iteration: u64,
@@ -31,7 +30,7 @@ impl PageRank {
     /// Standard configuration.
     pub fn new() -> PageRank {
         PageRank {
-            rng: StdRng::seed_from_u64(61),
+            rng: SimRng::seed_from_u64(61),
             blocks: Vec::new(),
             ranks: None,
             iteration: 0,
@@ -74,7 +73,7 @@ impl Workload for PageRank {
             + (256 << 10)
     }
 
-    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         for b in 0..Self::block_count() {
             let (rid, obj) = env.alloc_stamped(Self::block_shape(), b * 10_000)?;
             // Fill with random edge targets (real words in simulated
@@ -101,7 +100,7 @@ impl Workload for PageRank {
         Ok(())
     }
 
-    fn step(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn step(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         self.iteration += 1;
         // New rank vector; the old one becomes garbage.
         let seed = 5_000_000 + self.iteration * 1_000_000;
@@ -141,7 +140,9 @@ impl Workload for PageRank {
         for (rid, shape, seed) in &self.blocks.clone() {
             env.check_stamped(*rid, *shape, *seed)?;
         }
-        let (rid, shape) = self.ranks.expect("setup ran");
+        let (rid, shape) = self
+            .ranks
+            .expect("PageRank invariant: verify only runs after setup allocated the rank vector");
         env.check_stamped(rid, shape, 5_000_000 + self.iteration * 1_000_000)
     }
 }

@@ -9,7 +9,8 @@
 
 use crate::env::JvmEnv;
 use crate::workload::Workload;
-use svagc_heap::{HeapError, ObjRef, ObjShape, RootId};
+use svagc_core::GcError;
+use svagc_heap::{ObjRef, ObjShape, RootId};
 use svagc_metrics::Cycles;
 
 /// Entries in the full sort (paper: 2 M, scaled 1/2).
@@ -43,7 +44,7 @@ impl ParallelSort {
         ObjShape::data(entries as u32)
     }
 
-    fn fresh_epoch(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn fresh_epoch(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         // The merged result stays live for a couple of epochs (a consumer
         // is reading it); older results retire.
         self.results.append(&mut self.arrays);
@@ -83,11 +84,11 @@ impl Workload for ParallelSort {
         5 * TOTAL_ENTRIES * 8 + (512 << 10)
     }
 
-    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         self.fresh_epoch(env)
     }
 
-    fn step(&mut self, env: &mut JvmEnv) -> Result<(), HeapError> {
+    fn step(&mut self, env: &mut JvmEnv) -> Result<(), GcError> {
         if self.arrays.len() <= 1 {
             return self.fresh_epoch(env);
         }
@@ -115,7 +116,12 @@ impl Workload for ParallelSort {
         }
         // Odd leftover carries over.
         if self.arrays.len() % 2 == 1 {
-            next.push(*self.arrays.last().expect("odd element"));
+            next.push(
+                *self
+                    .arrays
+                    .last()
+                    .expect("merge invariant: an odd-length array list has a last element"),
+            );
         }
         self.arrays = next;
         Ok(())

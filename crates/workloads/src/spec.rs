@@ -8,10 +8,10 @@
 //! the 1.2×/2× heap-size factors. The scale factor of each workload is
 //! recorded in EXPERIMENTS.md.
 
-use serde::Serialize;
+use svagc_metrics::impl_to_json;
 
 /// One row of Table II plus reproduction scaling notes.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BenchSpec {
     /// Benchmark name as the paper prints it.
     pub name: &'static str,
@@ -22,6 +22,8 @@ pub struct BenchSpec {
     /// Paper heap range in GiB (1.2× .. 2× minimum).
     pub heap_gib: (f64, f64),
 }
+
+impl_to_json!(BenchSpec { name, suite, threads, heap_gib });
 
 /// All Table II rows, in paper order.
 pub const TABLE_II: [BenchSpec; 11] = [

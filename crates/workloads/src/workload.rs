@@ -1,7 +1,7 @@
 //! The workload interface drivers run.
 
 use crate::env::JvmEnv;
-use svagc_heap::HeapError;
+use svagc_core::GcError;
 
 /// A benchmark program: sets up a live data set, then mutates/allocates in
 /// steps, and can verify its data integrity at any point.
@@ -18,10 +18,10 @@ pub trait Workload {
     fn min_heap_bytes(&self) -> u64;
 
     /// Build the initial live set.
-    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), HeapError>;
+    fn setup(&mut self, env: &mut JvmEnv) -> Result<(), GcError>;
 
     /// One unit of mutator work (allocation churn + modeled compute).
-    fn step(&mut self, env: &mut JvmEnv) -> Result<(), HeapError>;
+    fn step(&mut self, env: &mut JvmEnv) -> Result<(), GcError>;
 
     /// Steps in a standard run.
     fn default_steps(&self) -> usize;

@@ -7,7 +7,7 @@
 //! cargo run --release --example generational_service
 //! ```
 
-use svagc::gc::{full_collect_generational, GcConfig, Lisp2Collector, MinorConfig, MinorGc};
+use svagc::gc::{full_collect_generational, GcConfig, GcError, Lisp2Collector, MinorConfig, MinorGc};
 use svagc::heap::{GenHeap, HeapError, ObjRef, ObjShape, RootSet};
 use svagc::kernel::{CoreId, Kernel};
 use svagc::metrics::MachineConfig;
@@ -113,7 +113,7 @@ fn alloc_young(
             }
             Err(HeapError::NeedGc { .. }) => match minor.collect(kernel, gh, roots) {
                 Ok(_) => {}
-                Err(HeapError::NeedGc { .. }) => {
+                Err(GcError::Heap(HeapError::NeedGc { .. })) => {
                     full_collect_generational(kernel, gh, roots, full).expect("full GC");
                 }
                 Err(e) => panic!("{e}"),

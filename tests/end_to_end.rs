@@ -117,7 +117,7 @@ fn threshold_config_controls_swapping() {
 }
 
 #[test]
-fn multi_jvm_is_deterministic_despite_rayon() {
+fn multi_jvm_is_deterministic_despite_host_parallelism() {
     let go = || {
         let mut base = RunConfig::new(CollectorKind::ParallelGc);
         base.gc_threads = 4;
