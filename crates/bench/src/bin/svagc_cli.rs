@@ -22,7 +22,15 @@ fn usage() -> ! {
             [--heap-factor <f>] [--gc-threads <n>] [--steps <n>]
             [--machine 6130|6240|i5] [--threshold <pages>] [--instrumented]
             [--fault-rate <p>] [--fault-seed <n>] [--verify-phases]
-  svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]"
+            [--trace <out.json>] [--trace-summary]
+  svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]
+
+  --trace <out.json>  write a Chrome trace_event JSON (chrome://tracing,
+                      https://ui.perfetto.dev) of every GC phase, SwapVA
+                      call, shootdown, and fault event, timestamped in
+                      virtual cycles
+  --trace-summary     print a per-phase/per-event text digest and the
+                      unified counter registry instead of raw JSON"
     );
     std::process::exit(2);
 }
@@ -62,7 +70,7 @@ fn flags(args: &[String]) -> Vec<(String, String)> {
             usage()
         };
         // Boolean flags take no value.
-        if key == "instrumented" || key == "verify-phases" {
+        if key == "instrumented" || key == "verify-phases" || key == "trace-summary" {
             out.push((key.to_string(), "true".to_string()));
             continue;
         }
@@ -127,6 +135,9 @@ fn main() {
             if let Some(sd) = get(&fs, "fault-seed") {
                 cfg.fault_seed = sd.parse().expect("--fault-seed expects an integer");
             }
+            let trace_path = get(&fs, "trace");
+            let trace_summary = get(&fs, "trace-summary").is_some();
+            cfg.trace = trace_path.is_some() || trace_summary;
 
             let r = run(w.as_mut(), &cfg).unwrap_or_else(|e| {
                 eprintln!("run failed: {e}");
@@ -177,6 +188,20 @@ fn main() {
             }
             println!("heap hash    : {:#018x}", r.heap_hash);
             println!("verify       : {}", if r.verify_ok { "ok" } else { "FAILED" });
+            if let Some(path) = trace_path {
+                let json = svagc_metrics::chrome_trace_json(&r.trace);
+                std::fs::write(path, &json).unwrap_or_else(|e| {
+                    eprintln!("cannot write trace to {path:?}: {e}");
+                    std::process::exit(1);
+                });
+                println!("trace        : {} events -> {path}", r.trace.len());
+            }
+            if trace_summary {
+                println!();
+                println!("{}", svagc_metrics::trace_summary(&r.trace, 10, cfg.machine.cores));
+                println!("-- counter registry --");
+                println!("{}", r.registry().render());
+            }
         }
         Some("multi") => {
             let fs = flags(&args[1..]);

@@ -119,6 +119,11 @@ impl GcTimeRow {
 }
 
 /// Run one named benchmark under `kind` at `factor`.
+///
+/// When `SVAGC_TRACE_DIR` is set, the run records trace events and drops
+/// a Chrome trace_event JSON per row into that directory — any figure of
+/// the suite can be replayed with full cycle-level visibility without
+/// touching the figure binaries.
 pub fn run_one(
     name: &str,
     kind: CollectorKind,
@@ -133,8 +138,32 @@ pub fn run_one(
     cfg.heap_factor = factor;
     cfg.steps = steps;
     cfg.instrumented = instrumented;
+    let trace_dir = std::env::var("SVAGC_TRACE_DIR").ok();
+    cfg.trace = trace_dir.is_some();
     let r = run(w.as_mut(), &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+    if let Some(dir) = trace_dir {
+        write_row_trace(&dir, name, &cfg, &r);
+    }
     GcTimeRow::from_result(&r, factor)
+}
+
+/// Emit one suite row's trace as `<dir>/<bench>_<collector>_<factor>.json`.
+fn write_row_trace(dir: &str, name: &str, cfg: &RunConfig, r: &RunResult) {
+    let sanitize = |s: &str| {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '.' { c } else { '-' })
+            .collect::<String>()
+    };
+    let file = format!(
+        "{}_{}_{:.1}x.json",
+        sanitize(name),
+        sanitize(r.collector),
+        cfg.heap_factor
+    );
+    let path = std::path::Path::new(dir).join(file);
+    if let Err(e) = std::fs::write(&path, svagc_metrics::chrome_trace_json(&r.trace)) {
+        eprintln!("SVAGC_TRACE_DIR: cannot write {}: {e}", path.display());
+    }
 }
 
 /// The benchmark list used by Figs. 11-16.

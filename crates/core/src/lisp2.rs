@@ -25,7 +25,7 @@ use crate::scheduler::WorkerPool;
 use crate::stats::{GcCycleStats, GcLog};
 use svagc_heap::{Heap, HeapError, HeapVerifier, MarkBitmap, ObjHeader, ObjRef, RootSet, VerifyReport};
 use svagc_kernel::{FlushMode, Kernel, SwapRequest, SwapVaOptions};
-use svagc_metrics::Cycles;
+use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{VirtAddr, PAGE_SIZE};
 
 /// During an STW phase the victims of an IPI broadcast are the *other GC
@@ -47,6 +47,11 @@ pub struct Lisp2Collector {
     pub cfg: GcConfig,
     /// Per-cycle statistics log.
     pub log: GcLog,
+    /// Cumulative GC virtual time: the trace-timeline position where the
+    /// next cycle's events begin. Counts only GC work (phase makespans) —
+    /// mutator execution between cycles is excluded, so traces from runs
+    /// with different allocation rates stay comparable.
+    timeline: Cycles,
 }
 
 /// A pending move computed in the forward phase.
@@ -87,6 +92,7 @@ impl Lisp2Collector {
         Lisp2Collector {
             cfg,
             log: GcLog::new(),
+            timeline: Cycles::ZERO,
         }
     }
 
@@ -99,6 +105,7 @@ impl Lisp2Collector {
         roots: &mut RootSet,
     ) -> Result<GcCycleStats, GcError> {
         let mut stats = GcCycleStats::default();
+        let cycle_start = self.timeline;
         let cores = kernel.cores();
         let threads = self.cfg.gc_threads.min(cores).max(1);
         let mut pool = WorkerPool::new(threads);
@@ -140,6 +147,13 @@ impl Lisp2Collector {
             .min(cores)
             .max(1);
         let mut compact_pool = WorkerPool::new(compact_workers);
+        // Kernel-side trace events (SwapVA spans, shootdowns, fallbacks)
+        // are positioned relative to the tracer base; anchor it where the
+        // compact phase begins on the cumulative GC timeline so they nest
+        // under this cycle's CompactPhase span.
+        self.timeline =
+            cycle_start + stats.phases.mark + stats.phases.forward + stats.phases.adjust;
+        kernel.trace.set_base(self.timeline);
         self.compact_phase(kernel, heap, &moves, &mut compact_pool, &mut stats)?;
         stats.phases.compact = compact_pool.makespan();
 
@@ -153,6 +167,49 @@ impl Lisp2Collector {
         }
 
         stats.faults_injected = kernel.perf.swap_faults_injected - faults_before;
+
+        // Phase spans on the cumulative GC timeline (tid 0 = the VM/GC
+        // coordinator lane; per-core kernel events carry their own tids).
+        let mut at = cycle_start;
+        kernel.trace.span_abs(
+            TraceKind::MarkPhase,
+            at,
+            stats.phases.mark,
+            0,
+            &[("objects", objects.len() as u64)],
+        );
+        at += stats.phases.mark;
+        kernel.trace.span_abs(
+            TraceKind::ForwardPhase,
+            at,
+            stats.phases.forward,
+            0,
+            &[("live", stats.live_objects), ("live_bytes", stats.live_bytes)],
+        );
+        at += stats.phases.forward;
+        kernel.trace.span_abs(TraceKind::AdjustPhase, at, stats.phases.adjust, 0, &[]);
+        at += stats.phases.adjust;
+        kernel.trace.span_abs(
+            TraceKind::CompactPhase,
+            at,
+            stats.phases.compact,
+            0,
+            &[
+                ("moved", stats.moved_objects),
+                ("swapped", stats.swapped_objects),
+                ("memmove_bytes", stats.memmove_bytes),
+            ],
+        );
+        kernel.trace.span_abs(
+            TraceKind::GcCycle,
+            cycle_start,
+            stats.pause(),
+            0,
+            &[("live", stats.live_objects), ("dead", stats.dead_objects)],
+        );
+        self.timeline = cycle_start + stats.pause();
+        kernel.trace.set_base(self.timeline);
+
         self.log.push(stats);
         Ok(stats)
     }
@@ -367,11 +424,15 @@ impl Lisp2Collector {
                 pool.dispatch_static(Cycles::ZERO)
             };
             let core = pool.core_of(w, cores);
+            // Kernel events for this move start at the worker's current
+            // virtual-clock position within the phase.
+            kernel.trace.set_base(self.timeline + pool.load(w));
             let mut t = Cycles::ZERO;
 
             // Read the forwarding word at the source (Algorithm 4 line 9).
             let (_, fc) = kernel.read_word(heap.space(), core, m.src.forwarding_va())?;
             t += fc;
+            kernel.trace.advance(fc);
 
             let size = m.header.size_bytes();
             if m.src != m.dst {
@@ -419,6 +480,7 @@ impl Lisp2Collector {
         if !batch.is_empty() {
             let w = pool.least_loaded();
             let core = pool.core_of(w, cores);
+            kernel.trace.set_base(self.timeline + pool.load(w));
             let (t, intf) = self.flush_batch(kernel, heap, &mut batch, swap_opts, core, stats)?;
             pool.dispatch_to(w, t);
             stall_coworkers(pool, kernel, intf);
@@ -448,6 +510,7 @@ impl Lisp2Collector {
         if self.cfg.pinned_compaction && any_swaps {
             // Algorithm 4 epilogue: unpin; mutators get fresh TLBs via one
             // final broadcast (the post-GC cost §V-C mentions).
+            kernel.trace.set_base(self.timeline + pool.makespan());
             let asid = heap.space().asid();
             let (bcast, intf) = kernel.flush_asid_all_cores(pool.core_of(0, cores), asid);
             let unpin = kernel.unpin();
@@ -477,6 +540,15 @@ impl Lisp2Collector {
             return Ok((Cycles::ZERO, Cycles::ZERO));
         }
         let reqs: Vec<SwapRequest> = batch.iter().map(|(r, _)| *r).collect();
+        kernel.trace.instant(
+            TraceKind::BatchFlush,
+            Cycles::ZERO,
+            core.0 as u32,
+            &[
+                ("requests", reqs.len() as u64),
+                ("pages", reqs.iter().map(|r| r.pages).sum()),
+            ],
+        );
         let out = execute_swaps(
             kernel,
             heap.space_mut(),
@@ -490,9 +562,12 @@ impl Lisp2Collector {
         stats.batch_splits += out.batch_splits;
         for &i in &out.fallback {
             // This object was queued as a swap but moved by copy: shift it
-            // from the swap columns to the fallback/memmove ones.
+            // from the swap columns to the fallback/memmove ones. The
+            // executor guarantees distinct ascending indices, so each entry
+            // is rebooked at most once; saturate anyway so a miscount can
+            // never escalate into a debug-build panic mid-collection.
             let size = batch[i].1;
-            stats.swapped_objects -= 1;
+            stats.swapped_objects = stats.swapped_objects.saturating_sub(1);
             stats.swapped_bytes = stats.swapped_bytes.saturating_sub(size);
             stats.memmove_bytes += size;
             stats.swap_fallback_objects += 1;

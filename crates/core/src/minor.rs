@@ -24,7 +24,7 @@ use crate::resilience::{execute_swaps, RetryPolicy};
 use crate::scheduler::WorkerPool;
 use svagc_heap::{GenHeap, HeapError, MarkBitmap, ObjRef, RootSet, CARD_BYTES};
 use svagc_kernel::{FlushMode, Kernel, SwapRequest, SwapVaOptions};
-use svagc_metrics::Cycles;
+use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{VirtAddr, PAGE_SIZE};
 
 /// Minor-collector configuration.
@@ -137,6 +137,9 @@ impl MinorGc {
         roots: &mut RootSet,
     ) -> Result<MinorStats, GcError> {
         let mut stats = MinorStats::default();
+        // Anchor of this scavenge on the cumulative GC trace timeline
+        // (kernel emissions below advance the base as they consume cycles).
+        let trace_start = kernel.trace.base();
         let cores = kernel.cores();
         let threads = self.cfg.gc_threads.min(cores).max(1);
         let mut pool = WorkerPool::new(threads);
@@ -358,7 +361,11 @@ impl MinorGc {
                     )?;
                     stats.swap_retries += out.retries;
                     stats.batch_splits += out.batch_splits;
-                    stats.swapped_objects -= out.fallback.len() as u64;
+                    // Fallback indices are distinct by construction; use a
+                    // saturating rebook (as the full collector does) so a
+                    // miscount degrades the stats instead of panicking.
+                    stats.swapped_objects =
+                        stats.swapped_objects.saturating_sub(out.fallback.len() as u64);
                     stats.swap_fallback_objects += out.fallback.len() as u64;
                     batch.clear();
                     batch_pages = 0;
@@ -384,7 +391,8 @@ impl MinorGc {
             )?;
             stats.swap_retries += out.retries;
             stats.batch_splits += out.batch_splits;
-            stats.swapped_objects -= out.fallback.len() as u64;
+            stats.swapped_objects =
+                stats.swapped_objects.saturating_sub(out.fallback.len() as u64);
             stats.swap_fallback_objects += out.fallback.len() as u64;
             stats.interference += out.interference;
             pool.dispatch_to(w, out.cycles);
@@ -413,6 +421,20 @@ impl MinorGc {
 
         gh.reset_eden();
         stats.pause = pool.makespan();
+        kernel.trace.span_abs(
+            TraceKind::MinorCycle,
+            trace_start,
+            stats.pause,
+            0,
+            &[
+                ("promoted", stats.promoted_objects),
+                ("swapped", stats.swapped_objects),
+                ("dead_young", stats.dead_young),
+            ],
+        );
+        // Stack successive scavenges (and their kernel-side events) on the
+        // cumulative GC timeline.
+        kernel.trace.set_base(trace_start + stats.pause);
         kernel.perf.gc_cycles += 1;
         kernel.perf.objects_moved += stats.promoted_objects;
         kernel.perf.objects_swapped += stats.swapped_objects;

@@ -22,7 +22,7 @@
 
 use crate::error::GcError;
 use svagc_kernel::{CoreId, Kernel, SwapRequest, SwapVaError, SwapVaOptions};
-use svagc_metrics::Cycles;
+use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{AddressSpace, PAGE_SIZE};
 
 /// Bounded-retry policy for transient SwapVA faults.
@@ -113,6 +113,7 @@ pub fn execute_swaps(
             Ok((t, intf)) => {
                 out.cycles += t;
                 out.interference += intf.0;
+                kernel.trace.advance(t);
                 if aggregated {
                     break; // the whole remaining run went through
                 }
@@ -122,6 +123,7 @@ pub fn execute_swaps(
             Err(e @ SwapVaError::Vm(_)) => return Err(GcError::Swap(e)),
             Err(SwapVaError::Fault { kind, index, spent }) => {
                 out.cycles += spent;
+                kernel.trace.advance(spent);
                 if index > 0 {
                     // Requests start..start+index were applied; the batch
                     // is now split. Resume FROM the failing request —
@@ -129,17 +131,39 @@ pub fn execute_swaps(
                     out.batch_splits += 1;
                     start += index;
                     attempts_at_head = 0;
+                    kernel.trace.instant(
+                        TraceKind::BatchSplit,
+                        Cycles::ZERO,
+                        core.0 as u32,
+                        &[("resume_index", start as u64)],
+                    );
                 }
                 if kind.is_transient() && attempts_at_head < policy.max_retries {
                     attempts_at_head += 1;
                     out.retries += 1;
-                    out.cycles += policy.backoff(attempts_at_head);
+                    let backoff = policy.backoff(attempts_at_head);
+                    out.cycles += backoff;
+                    kernel.trace.instant(
+                        TraceKind::SwapRetry,
+                        Cycles::ZERO,
+                        core.0 as u32,
+                        &[("attempt", attempts_at_head as u64), ("backoff", backoff.get())],
+                    );
+                    kernel.trace.advance(backoff);
                 } else {
                     // Permanent fault, or the retry budget ran dry: demote
                     // this one request to a whole-page byte copy.
                     let req = reqs[start];
-                    out.cycles +=
+                    kernel.trace.instant(
+                        TraceKind::SwapFallback,
+                        Cycles::ZERO,
+                        core.0 as u32,
+                        &[("index", start as u64), ("pages", req.pages)],
+                    );
+                    let copy =
                         kernel.memmove(space, core, req.a, req.b, req.pages * PAGE_SIZE)?;
+                    out.cycles += copy;
+                    kernel.trace.advance(copy);
                     out.fallback.push(start);
                     start += 1;
                     attempts_at_head = 0;
@@ -147,6 +171,20 @@ pub fn execute_swaps(
             }
         }
     }
+    // Accounting contract the compactor's stats rebooking relies on: each
+    // fallback index identifies a distinct input request, reported at most
+    // once and in ascending order (the cursor only moves forward).
+    debug_assert!(
+        out.fallback.windows(2).all(|w| w[0] < w[1]),
+        "fallback indices must be strictly increasing: {:?}",
+        out.fallback
+    );
+    debug_assert!(
+        out.fallback.iter().all(|&i| i < reqs.len()),
+        "fallback index out of range: {:?} (len {})",
+        out.fallback,
+        reqs.len()
+    );
     Ok(out)
 }
 

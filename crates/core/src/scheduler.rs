@@ -51,9 +51,17 @@ impl WorkerPool {
         self.loads.len()
     }
 
-    /// True when the pool has exactly one worker.
+    /// True when the pool has no workers. The constructor rejects `n == 0`,
+    /// so every constructed pool returns `false` — the method exists for
+    /// the `len`/`is_empty` convention and must stay consistent with
+    /// [`WorkerPool::len`] rather than hardcoding that invariant.
     pub fn is_empty(&self) -> bool {
-        false
+        self.loads.is_empty()
+    }
+
+    /// Worker `w`'s current virtual clock (its position within the phase).
+    pub fn load(&self, w: usize) -> Cycles {
+        Cycles(self.loads[w])
     }
 
     /// The least-loaded worker — where a work-stealing pool's next item
@@ -81,6 +89,15 @@ impl WorkerPool {
 
     /// Static (non-stealing) dispatch: items are assigned to workers in
     /// fixed round-robin order regardless of load.
+    ///
+    /// Lifecycle: the round-robin cursor persists across
+    /// [`WorkerPool::barrier`] (a barrier synchronizes *clocks*, not work
+    /// assignment) and is cleared only by [`WorkerPool::reset`]. A phase
+    /// that reuses a pool without `reset()` therefore starts its first
+    /// assignment wherever the previous phase's item count left the
+    /// cursor — callers running distinct phases (see
+    /// `Lisp2Collector::collect`) must `reset()` between them so a phase's
+    /// schedule depends only on its own inputs.
     pub fn dispatch_static(&mut self, cost: Cycles) -> usize {
         let w = self.rr % self.loads.len();
         self.rr += 1;
@@ -112,7 +129,8 @@ impl WorkerPool {
     }
 
     /// Synchronize all workers to the makespan (phase barrier), returning
-    /// the barrier time.
+    /// the barrier time. Does *not* touch the static-dispatch cursor —
+    /// use [`WorkerPool::reset`] when starting an unrelated phase.
     pub fn barrier(&mut self) -> Cycles {
         let m = self.makespan().get();
         for l in &mut self.loads {
@@ -121,7 +139,9 @@ impl WorkerPool {
         Cycles(m)
     }
 
-    /// Reset all clocks to zero (new phase).
+    /// Reset all clocks to zero and rewind the static-dispatch cursor
+    /// (new phase): after `reset()` a phase's schedule is a pure function
+    /// of its own dispatch sequence.
     pub fn reset(&mut self) {
         self.loads.fill(0);
         self.rr = 0;
@@ -214,5 +234,64 @@ mod tests {
         let p = WorkerPool::new(8);
         assert_eq!(p.core_of(0, 4), CoreId(0));
         assert_eq!(p.core_of(5, 4), CoreId(1));
+    }
+
+    #[test]
+    fn is_empty_agrees_with_len() {
+        // Regression: `is_empty` used to hardcode `false` with a doc
+        // comment claiming it meant "exactly one worker".
+        for n in 1..5 {
+            let p = WorkerPool::new(n);
+            assert_eq!(p.len(), n);
+            assert!(!p.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GC worker")]
+    fn zero_worker_pool_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn load_exposes_per_worker_clock() {
+        let mut p = WorkerPool::new(3);
+        p.dispatch_to(1, Cycles(42));
+        assert_eq!(p.load(0), Cycles::ZERO);
+        assert_eq!(p.load(1), Cycles(42));
+    }
+
+    #[test]
+    fn reset_makes_static_dispatch_phase_deterministic() {
+        // Two pools run a first "phase" with *different* item counts, then
+        // reset. The next phase's static schedule must be identical — the
+        // round-robin cursor may not leak across reset().
+        let mut a = WorkerPool::new(3);
+        let mut b = WorkerPool::new(3);
+        for _ in 0..4 {
+            a.dispatch_static(Cycles(5));
+        }
+        for _ in 0..7 {
+            b.dispatch_static(Cycles(5));
+        }
+        a.reset();
+        b.reset();
+        for i in 0..10 {
+            let c = Cycles(1 + i);
+            assert_eq!(a.dispatch_static(c), b.dispatch_static(c), "item {i}");
+        }
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    fn barrier_preserves_static_cursor() {
+        // Documented behavior: a barrier is mid-phase synchronization, so
+        // round-robin placement continues where it left off.
+        let mut p = WorkerPool::new(2);
+        assert_eq!(p.dispatch_static(Cycles(1)), 0);
+        p.barrier();
+        assert_eq!(p.dispatch_static(Cycles(1)), 1, "cursor survives barrier");
+        p.reset();
+        assert_eq!(p.dispatch_static(Cycles(1)), 0, "reset rewinds cursor");
     }
 }

@@ -194,6 +194,34 @@ impl GcLog {
     pub fn time(&self, c: Cycles, freq_ghz: f64) -> SimTime {
         c.at_ghz(freq_ghz)
     }
+
+    /// Fold the log's aggregates into `reg` under `gc.*`, mirroring the
+    /// `perf.*` and `trace.*` namespaces of the unified counter registry.
+    pub fn register_into(&self, reg: &mut svagc_metrics::Registry) {
+        let phases = self.phase_totals();
+        for (name, v) in [
+            ("gc.cycles", self.count() as u64),
+            ("gc.pause.total", self.total_pause().get()),
+            ("gc.pause.max", self.max_pause().get()),
+            ("gc.phase.mark", phases.mark.get()),
+            ("gc.phase.forward", phases.forward.get()),
+            ("gc.phase.adjust", phases.adjust.get()),
+            ("gc.phase.compact", phases.compact.get()),
+            ("gc.phase.shootdown", phases.shootdown.get()),
+            ("gc.interference", self.total_interference().get()),
+            ("gc.live_objects", self.cycles.iter().map(|c| c.live_objects).sum()),
+            ("gc.moved_objects", self.cycles.iter().map(|c| c.moved_objects).sum()),
+            ("gc.swapped_objects", self.cycles.iter().map(|c| c.swapped_objects).sum()),
+            ("gc.swapped_bytes", self.cycles.iter().map(|c| c.swapped_bytes).sum()),
+            ("gc.memmove_bytes", self.cycles.iter().map(|c| c.memmove_bytes).sum()),
+            ("gc.faults_injected", self.total_faults_injected()),
+            ("gc.swap_retries", self.total_swap_retries()),
+            ("gc.swap_fallbacks", self.total_swap_fallbacks()),
+            ("gc.batch_splits", self.total_batch_splits()),
+        ] {
+            reg.add(name, v);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! but the *timing* stays bandwidth-modeled to avoid double counting.
 
 use crate::state::{CoreId, Kernel};
-use svagc_metrics::{AccessKind, Cycles};
+use svagc_metrics::{AccessKind, Cycles, TraceKind};
 use svagc_vmem::{AddressSpace, VirtAddr, VmError};
 
 impl Kernel {
@@ -58,6 +58,13 @@ impl Kernel {
         // Bandwidth/CPU copy cost under current contention.
         t += self.bandwidth.copy_cycles(&self.machine, len);
         self.perf.bytes_copied += len;
+        self.trace.span(
+            TraceKind::Memmove,
+            Cycles::ZERO,
+            t,
+            core.0 as u32,
+            &[("bytes", len)],
+        );
         Ok(t)
     }
 }

@@ -7,8 +7,14 @@
 //! cycle, then flushes only locally — `c` IPIs total, a gain of `l̄` (Eq. 2).
 
 use crate::state::{CoreId, Kernel};
-use svagc_metrics::Cycles;
+use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::Asid;
+
+/// Bitmask of victim cores (cores ≥ 64 fold into bit 63; the modeled
+/// machines top out at 32 cores, so in practice the mask is exact).
+fn victim_bit(core: usize) -> u64 {
+    1u64 << core.min(63)
+}
 
 /// When/where SwapVA flushes TLBs after updating PTEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,19 +56,32 @@ impl Kernel {
         let costs = self.machine.costs;
         let peers = (self.machine.cores - 1) as u64;
         let mut t = self.flush_tlb_local(initiator, asid);
+        let mut victims = 0u64;
         for core in 0..self.machine.cores {
             if core == initiator.0 {
                 continue;
             }
             self.perf.ipis_sent += 1;
             self.tlb_mut(CoreId(core)).flush_asid(asid);
+            victims |= victim_bit(core);
         }
         t += Cycles(costs.ipi_send * peers);
         if peers > 0 {
             // Wait for the slowest remote ack.
             t += Cycles(costs.ipi_receive_flush);
         }
-        (t, Interference(Cycles(costs.ipi_receive_flush * peers)))
+        let intf = Interference(Cycles(costs.ipi_receive_flush * peers));
+        self.trace.instant(
+            TraceKind::Shootdown,
+            Cycles::ZERO,
+            initiator.0 as u32,
+            &[
+                ("ipis", peers),
+                ("interference", intf.0.get()),
+                ("victims", victims),
+            ],
+        );
+        (t, intf)
     }
 
     /// Targeted shootdown: flush `asid` only on cores that actually hold
@@ -73,6 +92,7 @@ impl Kernel {
         // Consulting the tracking state costs a lookup per core.
         t += Cycles(self.machine.cores as u64 * 8);
         let mut targets = 0u64;
+        let mut victims = 0u64;
         for core in 0..self.machine.cores {
             if core == initiator.0 {
                 continue;
@@ -81,13 +101,25 @@ impl Kernel {
                 self.perf.ipis_sent += 1;
                 self.tlb_mut(CoreId(core)).flush_asid(asid);
                 targets += 1;
+                victims |= victim_bit(core);
             }
         }
         t += Cycles(costs.ipi_send * targets);
         if targets > 0 {
             t += Cycles(costs.ipi_receive_flush);
         }
-        (t, Interference(Cycles(costs.ipi_receive_flush * targets)))
+        let intf = Interference(Cycles(costs.ipi_receive_flush * targets));
+        self.trace.instant(
+            TraceKind::Shootdown,
+            Cycles::ZERO,
+            initiator.0 as u32,
+            &[
+                ("ipis", targets),
+                ("interference", intf.0.get()),
+                ("victims", victims),
+            ],
+        );
+        (t, intf)
     }
 
     /// The per-call flush required by `mode` after a SwapVA body.

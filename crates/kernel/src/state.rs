@@ -9,6 +9,7 @@
 use crate::fault::FaultPlan;
 use svagc_metrics::{
     AccessKind, BandwidthModel, CacheHierarchy, CacheLevel, Cycles, MachineConfig, PerfCounters,
+    TraceEvent, Tracer,
 };
 use svagc_vmem::{
     AddressSpace, Asid, PhysAddr, VirtAddr, VmError, Tlb, TlbConfig, TlbHit, Vmem, PAGE_SIZE,
@@ -43,6 +44,10 @@ pub struct Kernel {
     pinned: Option<CoreId>,
     /// Seeded SwapVA fault schedule (None = fault-free).
     pub(crate) fault: Option<FaultPlan>,
+    /// Virtual-time event sink (disabled by default; see
+    /// [`svagc_metrics::trace`]). Kernel hot paths emit into it
+    /// unconditionally — a disabled sink is a no-op.
+    pub trace: Tracer,
 }
 
 impl Kernel {
@@ -58,6 +63,7 @@ impl Kernel {
             bandwidth: BandwidthModel::new(),
             pinned: None,
             fault: None,
+            trace: Tracer::disabled(),
         }
     }
 
@@ -80,6 +86,17 @@ impl Kernel {
     /// Is cache instrumentation on?
     pub fn instrumented(&self) -> bool {
         self.cache.is_some()
+    }
+
+    /// Enable/disable the virtual-time event trace. Enabling resets any
+    /// previously recorded events.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = if on { Tracer::enabled() } else { Tracer::disabled() };
+    }
+
+    /// Drain the recorded trace events (empty when tracing is off).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
     }
 
     /// Number of modeled cores.

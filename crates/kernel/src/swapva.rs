@@ -20,7 +20,7 @@ use crate::error::SwapVaError;
 use crate::overlap;
 use crate::shootdown::{FlushMode, Interference};
 use crate::state::{CoreId, Kernel};
-use svagc_metrics::Cycles;
+use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{AddressSpace, PmdCache, VirtAddr, VmError, PAGE_SIZE, WALK_LEVELS_FULL};
 
 /// One swap request: exchange `pages` pages at `a` with `pages` pages at `b`.
@@ -141,12 +141,28 @@ impl Kernel {
         req: SwapRequest,
         opts: SwapVaOptions,
     ) -> Result<(Cycles, Interference), SwapVaError> {
+        let perf0 = self.perf;
         let mut t = self.charge_syscall();
         t += self
             .swap_va_body(space, core, req, opts)
             .map_err(|e| e.add_spent(t))?;
         let (ft, intf) = self.flush_after_swap(core, space.asid(), opts.flush);
-        Ok((t + ft, intf))
+        let total = t + ft;
+        let d = self.perf - perf0;
+        self.trace.span(
+            TraceKind::SwapVa,
+            Cycles::ZERO,
+            total,
+            core.0 as u32,
+            &[
+                ("requests", 1),
+                ("pages", req.pages),
+                ("pte_swaps", d.pte_swaps),
+                ("pmd_hits", d.pmd_cache_hits),
+                ("walk_levels", d.pt_level_accesses),
+            ],
+        );
+        Ok((total, intf))
     }
 
     /// Aggregated SwapVA (Fig. 5b): many requests under a single syscall
@@ -163,6 +179,7 @@ impl Kernel {
         reqs: &[SwapRequest],
         opts: SwapVaOptions,
     ) -> Result<(Cycles, Interference), SwapVaError> {
+        let perf0 = self.perf;
         let mut t = self.charge_syscall();
         for (i, req) in reqs.iter().enumerate() {
             t += self
@@ -170,7 +187,22 @@ impl Kernel {
                 .map_err(|e| e.add_spent(t).at_index(i))?;
         }
         let (ft, intf) = self.flush_after_swap(core, space.asid(), opts.flush);
-        Ok((t + ft, intf))
+        let total = t + ft;
+        let d = self.perf - perf0;
+        self.trace.span(
+            TraceKind::SwapVa,
+            Cycles::ZERO,
+            total,
+            core.0 as u32,
+            &[
+                ("requests", reqs.len() as u64),
+                ("pages", reqs.iter().map(|r| r.pages).sum()),
+                ("pte_swaps", d.pte_swaps),
+                ("pmd_hits", d.pmd_cache_hits),
+                ("walk_levels", d.pt_level_accesses),
+            ],
+        );
+        Ok((total, intf))
     }
 
     /// Algorithm 1's loop body (no syscall entry, no trailing flush):
@@ -188,6 +220,16 @@ impl Kernel {
         // (so a faulted request leaves memory untouched).
         if let Some(kind) = self.roll_fault() {
             let spent = self.fault_attempt_cost(kind, req.pages, core, space.asid());
+            self.trace.instant(
+                TraceKind::FaultInjected,
+                Cycles::ZERO,
+                core.0 as u32,
+                &[
+                    ("pages", req.pages),
+                    ("spent", spent.get()),
+                    ("transient", kind.is_transient() as u64),
+                ],
+            );
             return Err(SwapVaError::Fault {
                 kind,
                 index: 0,
@@ -520,6 +562,47 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(k.perf.ipis_sent, 0, "pinned mode sends no per-call IPIs");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_swap_emits_span_matching_perf() {
+        let (mut k, mut s) = setup(128);
+        k.set_tracing(true);
+        let a = k.vmem.alloc_region(&mut s, 8).unwrap();
+        let b = k.vmem.alloc_region(&mut s, 8).unwrap();
+        let req = SwapRequest { a, b, pages: 8 };
+        k.swap_va(&mut s, CoreId(2), req, SwapVaOptions::naive())
+            .unwrap();
+        let evs = k.take_trace();
+        let span = evs
+            .iter()
+            .find(|e| e.kind == TraceKind::SwapVa)
+            .expect("swap emits a span");
+        assert_eq!(span.tid, 2);
+        assert_eq!(span.arg("pages"), Some(8));
+        assert_eq!(span.arg("pte_swaps"), Some(k.perf.pte_swaps));
+        assert_eq!(span.arg("walk_levels"), Some(k.perf.pt_level_accesses));
+        // The naive flush broadcast shows up too, with the IPI fan-out.
+        let sd = evs
+            .iter()
+            .find(|e| e.kind == TraceKind::Shootdown)
+            .expect("global flush emits a shootdown");
+        assert_eq!(sd.arg("ipis"), Some(k.perf.ipis_sent));
+        // Victim mask excludes the initiator.
+        assert_eq!(sd.arg("victims").unwrap() & (1 << 2), 0);
+    }
+
+    #[test]
+    fn untraced_swap_records_nothing() {
+        let (mut k, mut s) = setup(64);
+        let a = k.vmem.alloc_region(&mut s, 2).unwrap();
+        let b = k.vmem.alloc_region(&mut s, 2).unwrap();
+        let req = SwapRequest { a, b, pages: 2 };
+        k.swap_va(&mut s, CoreId(0), req, SwapVaOptions::naive())
+            .unwrap();
+        assert!(!k.trace.is_enabled());
+        assert!(k.take_trace().is_empty());
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod host;
 pub mod json;
 pub mod machine;
 pub mod perf;
+pub mod registry;
 pub mod rng;
+pub mod trace;
 
 pub use bandwidth::BandwidthModel;
 pub use cache::{AccessKind, CacheGeometry, CacheHierarchy, CacheLevel, SetAssocCache};
@@ -31,4 +33,6 @@ pub use host::par_map;
 pub use json::ToJson;
 pub use machine::{CostParams, MachineConfig};
 pub use perf::PerfCounters;
+pub use registry::Registry;
 pub use rng::SimRng;
+pub use trace::{chrome_trace_json, trace_summary, TraceEvent, TraceKind, Tracer};

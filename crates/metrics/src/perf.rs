@@ -75,6 +75,32 @@ impl PerfCounters {
     pub fn merge(&mut self, other: &PerfCounters) {
         *self += *other;
     }
+
+    /// Fold every counter into `reg` under `perf.<field>` keys.
+    pub fn register_into(&self, reg: &mut crate::registry::Registry) {
+        let fields: [(&str, u64); 17] = [
+            ("syscalls", self.syscalls),
+            ("pte_swaps", self.pte_swaps),
+            ("bytes_copied", self.bytes_copied),
+            ("pt_level_accesses", self.pt_level_accesses),
+            ("pmd_cache_hits", self.pmd_cache_hits),
+            ("tlb_flushes_local", self.tlb_flushes_local),
+            ("tlb_flushes_page", self.tlb_flushes_page),
+            ("ipis_sent", self.ipis_sent),
+            ("tlb_lookups", self.tlb_lookups),
+            ("tlb_misses", self.tlb_misses),
+            ("cache_accesses", self.cache_accesses),
+            ("cache_references", self.cache_references),
+            ("cache_misses", self.cache_misses),
+            ("objects_moved", self.objects_moved),
+            ("objects_swapped", self.objects_swapped),
+            ("gc_cycles", self.gc_cycles),
+            ("swap_faults_injected", self.swap_faults_injected),
+        ];
+        for (name, v) in fields {
+            reg.add(&format!("perf.{name}"), v);
+        }
+    }
 }
 
 impl Add for PerfCounters {

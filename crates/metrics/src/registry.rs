@@ -1,0 +1,136 @@
+//! A unified counter registry.
+//!
+//! The workspace historically accumulated counters in three disjoint
+//! places — `kernel.perf` ([`crate::PerfCounters`]), the GC's per-cycle
+//! stats, and the resilience counters — each with its own report path, so
+//! the numbers could silently disagree. The [`Registry`] is the single
+//! namespace they all fold into: `perf.*` from the kernel counters, `gc.*`
+//! from the collector log, and `trace.*` derived from the event sink by
+//! [`crate::trace::register_events`]. Cross-source invariants (for example
+//! `trace.swapva.pte_swaps == perf.pte_swaps`) become one-line assertions
+//! over registry keys, which is how the trace layer keeps the stats honest.
+//!
+//! Keys are sorted (BTreeMap), so rendering and JSON export are
+//! deterministic.
+
+use crate::json::write_json_str;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A flat, sorted `name -> u64` counter store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    entries: BTreeMap<String, u64>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add `v` to counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, v: u64) {
+        if let Some(slot) = self.entries.get_mut(name) {
+            *slot += v;
+        } else {
+            self.entries.insert(name.to_string(), v);
+        }
+    }
+
+    /// The value of `name` (0 when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no counter has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate counters in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Counters under `prefix` (e.g. `"trace."`), in key order.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, u64)> {
+        self.iter().filter(move |(k, _)| k.starts_with(prefix))
+    }
+
+    /// Deterministic JSON object of all counters.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(16 + self.entries.len() * 24);
+        out.push('{');
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Aligned text table of all counters.
+    pub fn render(&self) -> String {
+        let width = self.entries.keys().map(String::len).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            let _ = writeln!(out, "{k:<width$} {v:>14}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_accumulate() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.add("perf.syscalls", 3);
+        r.add("perf.syscalls", 4);
+        r.add("gc.cycles", 1);
+        assert_eq!(r.get("perf.syscalls"), 7);
+        assert_eq!(r.get("missing"), 0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn iteration_and_json_are_sorted() {
+        let mut r = Registry::new();
+        r.add("z.last", 1);
+        r.add("a.first", 2);
+        let keys: Vec<&str> = r.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a.first", "z.last"]);
+        assert_eq!(r.to_json(), r#"{"a.first":2,"z.last":1}"#);
+    }
+
+    #[test]
+    fn prefix_filter() {
+        let mut r = Registry::new();
+        r.add("trace.swapva.count", 5);
+        r.add("perf.syscalls", 5);
+        let traced: Vec<&str> = r.with_prefix("trace.").map(|(k, _)| k).collect();
+        assert_eq!(traced, ["trace.swapva.count"]);
+    }
+
+    #[test]
+    fn render_aligns() {
+        let mut r = Registry::new();
+        r.add("a", 1);
+        r.add("long.key", 2);
+        let s = r.render();
+        assert!(s.contains("a        "));
+        assert!(s.lines().count() == 2);
+    }
+}

@@ -7,7 +7,9 @@ use svagc_baselines::{ParallelGc, Shenandoah};
 use svagc_core::{Collector, GcConfig, GcLog, Lisp2Collector};
 use svagc_heap::{Heap, HeapConfig, HeapVerifier};
 use svagc_kernel::{FaultConfig, FaultPlan, Kernel};
-use svagc_metrics::{BandwidthModel, Cycles, MachineConfig, PerfCounters};
+use svagc_metrics::{
+    BandwidthModel, Cycles, MachineConfig, PerfCounters, Registry, TraceEvent,
+};
 use svagc_vmem::Asid;
 
 /// Which collector to run.
@@ -106,6 +108,10 @@ pub struct RunConfig {
     pub fault_seed: u64,
     /// Run the heap verifier after every LISP2 phase.
     pub verify_phases: bool,
+    /// Record cycle-accurate trace events (requires the `trace` feature;
+    /// a no-op sink otherwise). Off by default — the disabled tracer is a
+    /// branch on a `None`.
+    pub trace: bool,
 }
 
 impl RunConfig {
@@ -125,6 +131,7 @@ impl RunConfig {
             fault_rate: 0.0,
             fault_seed: 0xFA017,
             verify_phases: false,
+            trace: false,
         }
     }
 
@@ -138,6 +145,12 @@ impl RunConfig {
     /// Enable post-phase heap verification.
     pub fn with_verify_phases(mut self, on: bool) -> RunConfig {
         self.verify_phases = on;
+        self
+    }
+
+    /// Enable trace-event recording.
+    pub fn with_trace(mut self, on: bool) -> RunConfig {
+        self.trace = on;
         self
     }
 }
@@ -176,6 +189,9 @@ pub struct RunResult {
     /// payload of every object). Equal hashes ⇔ bit-identical heaps;
     /// the chaos suite compares faulty runs against fault-free ones.
     pub heap_hash: u64,
+    /// Trace events recorded during the run (empty unless
+    /// [`RunConfig::trace`] was set and the `trace` feature is on).
+    pub trace: Vec<TraceEvent>,
 }
 
 impl RunResult {
@@ -203,6 +219,17 @@ impl RunResult {
     pub fn gc_avg_ms(&self) -> f64 {
         self.gc.avg_pause().at_ghz(self.freq_ghz).as_millis()
     }
+
+    /// The unified counter registry of this run: machine events under
+    /// `perf.*`, GC-log aggregates under `gc.*`, and (when tracing was on)
+    /// trace-event totals under `trace.*`.
+    pub fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        self.perf.register_into(&mut reg);
+        self.gc.register_into(&mut reg);
+        svagc_metrics::trace::register_events(&self.trace, &mut reg);
+        reg
+    }
 }
 
 /// Run `workload` under `cfg`. Deterministic for fixed inputs.
@@ -222,6 +249,7 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
         kernel.share_bandwidth(bw);
     }
     kernel.set_instrumented(cfg.instrumented);
+    kernel.set_tracing(cfg.trace);
 
     let mut heap_cfg =
         HeapConfig::new(heap_bytes).with_alignment(cfg.collector.aligned_heap());
@@ -254,6 +282,7 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
     let JvmEnv { heap: mut final_heap, .. } = env;
     let heap_hash = HeapVerifier::new().content_hash(&kernel, &mut final_heap);
     drop(final_heap);
+    let trace = kernel.take_trace();
 
     let cores = cfg.effective_cores.unwrap_or(cfg.machine.cores).max(1);
     let parallelism = (workload.threads() as usize).min(cores).max(1) as u64;
@@ -276,5 +305,6 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
         frag_ratio,
         verify_ok,
         heap_hash,
+        trace,
     })
 }
