@@ -8,6 +8,7 @@
 //! svagc multi --jvms 8 --collector svagc --gc-threads 4
 //! ```
 
+use svagc_core::{DegradePolicy, DegradedMode};
 use svagc_metrics::MachineConfig;
 use svagc_workloads::driver::{run, CollectorKind, RunConfig};
 use svagc_workloads::lrucache::LruCache;
@@ -22,9 +23,17 @@ fn usage() -> ! {
             [--heap-factor <f>] [--gc-threads <n>] [--steps <n>]
             [--machine 6130|6240|i5] [--threshold <pages>] [--instrumented]
             [--fault-rate <p>] [--fault-seed <n>] [--verify-phases]
+            [--gc-deadline-cycles <n>] [--degrade-policy off|standard|standard:N]
             [--trace <out.json>] [--trace-summary]
   svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]
 
+  --gc-deadline-cycles <n>  per-phase watchdog budget in virtual cycles; a
+                      phase exceeding it aborts the GC cycle and rolls it
+                      back through the compaction journal
+  --degrade-policy    circuit breaker applied after aborted cycles:
+                      off (default; aborts propagate as errors), standard
+                      (normal -> memmove-only -> single-threaded, recover
+                      after 2 clean cycles), or standard:N (probation N)
   --trace <out.json>  write a Chrome trace_event JSON (chrome://tracing,
                       https://ui.perfetto.dev) of every GC phase, SwapVA
                       call, shootdown, and fault event, timestamped in
@@ -135,6 +144,16 @@ fn main() {
             if let Some(sd) = get(&fs, "fault-seed") {
                 cfg.fault_seed = sd.parse().expect("--fault-seed expects an integer");
             }
+            if let Some(d) = get(&fs, "gc-deadline-cycles") {
+                cfg.deadline_cycles =
+                    Some(d.parse().expect("--gc-deadline-cycles expects cycles"));
+            }
+            if let Some(p) = get(&fs, "degrade-policy") {
+                cfg.degrade = DegradePolicy::parse(p).unwrap_or_else(|| {
+                    eprintln!("unknown degrade policy {p:?} (off | standard | standard:N)");
+                    usage()
+                });
+            }
             let trace_path = get(&fs, "trace");
             let trace_summary = get(&fs, "trace-summary").is_some();
             cfg.trace = trace_path.is_some() || trace_summary;
@@ -184,6 +203,15 @@ fn main() {
                     r.gc.total_swap_retries(),
                     r.gc.total_swap_fallbacks(),
                     r.gc.total_batch_splits()
+                );
+            }
+            if cfg.deadline_cycles.is_some() || cfg.degrade.enabled || r.gc.total_aborts() > 0 {
+                println!(
+                    "transactions : {} aborts | {} watchdog expiries | {} pages rolled back | peak mode {}",
+                    r.gc.total_aborts(),
+                    r.gc.total_watchdog_expiries(),
+                    r.gc.total_rollback_pages(),
+                    DegradedMode::from_level(r.gc.max_mode()).name()
                 );
             }
             println!("heap hash    : {:#018x}", r.heap_hash);

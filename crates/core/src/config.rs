@@ -1,5 +1,6 @@
 //! Collector configuration: which of the paper's mechanisms are active.
 
+use crate::degrade::DegradePolicy;
 use crate::resilience::RetryPolicy;
 
 /// Tunables of the LISP2/SVAGC collector.
@@ -36,6 +37,13 @@ pub struct GcConfig {
     pub verify_phases: bool,
     /// Retry/backoff budget for transient SwapVA faults.
     pub retry: RetryPolicy,
+    /// Per-phase watchdog deadline in virtual cycles; exceeding it aborts
+    /// the cycle with [`crate::GcError::Deadline`]. `None` disarms the
+    /// watchdog.
+    pub deadline_cycles: Option<u64>,
+    /// Circuit-breaker policy deciding whether an aborted cycle is
+    /// retried in a degraded mode (see [`crate::degrade`]).
+    pub degrade: DegradePolicy,
 }
 
 impl GcConfig {
@@ -52,6 +60,8 @@ impl GcConfig {
             compact_threads: None,
             verify_phases: false,
             retry: RetryPolicy::default(),
+            deadline_cycles: None,
+            degrade: DegradePolicy::off(),
         }
     }
 
@@ -126,6 +136,18 @@ impl GcConfig {
         self.retry = retry;
         self
     }
+
+    /// Arm (or disarm) the per-phase watchdog deadline.
+    pub fn with_deadline(mut self, cycles: Option<u64>) -> GcConfig {
+        self.deadline_cycles = cycles;
+        self
+    }
+
+    /// Set the degraded-mode circuit-breaker policy.
+    pub fn with_degrade(mut self, policy: DegradePolicy) -> GcConfig {
+        self.degrade = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +175,17 @@ mod tests {
             .with_stealing(false);
         assert!(c.aggregation.is_none());
         assert!(!c.pmd_cache && !c.overlap_opt && !c.work_stealing);
+    }
+
+    #[test]
+    fn transaction_knobs_default_off() {
+        let s = GcConfig::svagc(4);
+        assert!(s.deadline_cycles.is_none());
+        assert!(!s.degrade.enabled);
+        let c = s
+            .with_deadline(Some(1 << 20))
+            .with_degrade(DegradePolicy::standard());
+        assert_eq!(c.deadline_cycles, Some(1 << 20));
+        assert!(c.degrade.enabled);
     }
 }

@@ -9,6 +9,7 @@
 use std::fmt;
 use svagc_heap::{HeapError, VerifyReport};
 use svagc_kernel::SwapVaError;
+use svagc_metrics::Cycles;
 use svagc_vmem::VmError;
 
 /// Failure of a GC cycle (or of heap access on behalf of the mutator).
@@ -20,6 +21,18 @@ pub enum GcError {
     /// retry budget ran out on a transient fault *and* the memmove
     /// fallback itself failed, or a structural error surfaced.
     Swap(SwapVaError),
+    /// A GC phase blew past its watchdog deadline
+    /// ([`crate::GcConfig::deadline_cycles`]). The transactional collector
+    /// treats this exactly like an unrecoverable fault: abort, roll back,
+    /// escalate the degraded mode.
+    Deadline {
+        /// Phase whose makespan exceeded the budget.
+        phase: &'static str,
+        /// The makespan at the failed check.
+        elapsed: Cycles,
+        /// The per-phase budget.
+        budget: Cycles,
+    },
     /// The post-phase heap verifier found broken invariants. Collection
     /// aborts rather than letting a corrupted heap reach the mutator.
     Corruption {
@@ -49,6 +62,20 @@ impl GcError {
     }
 }
 
+impl GcError {
+    /// Operational failures — an injected/hardware fault the executor
+    /// could not absorb, or a watchdog expiry. These are the errors the
+    /// degraded-mode ladder may retry after rollback; everything else
+    /// (allocation pressure, structural [`VmError`]s, verifier-detected
+    /// corruption) must propagate to the caller unchanged.
+    pub fn is_operational(&self) -> bool {
+        matches!(
+            self,
+            GcError::Swap(SwapVaError::Fault { .. }) | GcError::Deadline { .. }
+        )
+    }
+}
+
 impl From<HeapError> for GcError {
     fn from(e: HeapError) -> GcError {
         GcError::Heap(e)
@@ -72,6 +99,14 @@ impl fmt::Display for GcError {
         match self {
             GcError::Heap(e) => write!(f, "heap error: {e}"),
             GcError::Swap(e) => write!(f, "unrecoverable swap failure: {e}"),
+            GcError::Deadline {
+                phase,
+                elapsed,
+                budget,
+            } => write!(
+                f,
+                "watchdog deadline expired in {phase} phase ({elapsed} elapsed, budget {budget})"
+            ),
             GcError::Corruption {
                 phase,
                 violations,
@@ -89,7 +124,7 @@ impl std::error::Error for GcError {
         match self {
             GcError::Heap(e) => Some(e),
             GcError::Swap(e) => Some(e),
-            GcError::Corruption { .. } => None,
+            GcError::Deadline { .. } | GcError::Corruption { .. } => None,
         }
     }
 }
@@ -105,6 +140,21 @@ mod tests {
         assert!(matches!(g, GcError::Heap(HeapError::Vm(_))));
         let g: GcError = HeapError::TooLarge { requested: 1 }.into();
         assert!(format!("{g}").contains("heap error"));
+    }
+
+    #[test]
+    fn deadline_renders_and_classifies() {
+        let e = GcError::Deadline {
+            phase: "compact",
+            elapsed: Cycles(5000),
+            budget: Cycles(4096),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("deadline") && s.contains("compact"));
+        assert!(e.is_operational());
+        assert!(!GcError::Heap(HeapError::TooLarge { requested: 1 }).is_operational());
+        let vm: GcError = VmError::OutOfFrames.into();
+        assert!(!vm.is_operational(), "structural errors are not retried");
     }
 
     #[test]

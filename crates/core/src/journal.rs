@@ -1,0 +1,153 @@
+//! The GC transaction protocol: every cycle is all-or-nothing.
+//!
+//! A [`CompactionJournal`] brackets one collection attempt:
+//!
+//! 1. [`CompactionJournal::begin`] snapshots the collector-visible
+//!    pre-state — the heap's object index and cursor, the root slots, and
+//!    (when verification is on) the FNV content hash of every live object
+//!    — and arms the kernel's undo journal, which from then on records
+//!    every PTE swap, memmove, and word write the cycle applies.
+//! 2. On success, [`CompactionJournal::commit`] discards the journal:
+//!    the new heap layout is published and the transaction is over.
+//! 3. On *any* error, [`CompactionJournal::abort`] replays the kernel
+//!    journal backward (restoring memory and page tables bit-for-bit),
+//!    restores the heap index and root slots, and broadcasts a TLB
+//!    shootdown so no core can see a rolled-back mapping. After an abort
+//!    the mutator-visible heap is exactly the pre-GC heap — the caller
+//!    may retry the cycle (typically degraded, see
+//!    [`crate::degrade::DegradeController`]) or surface the error.
+//!
+//! The undo journal lives in the *kernel* layer ([`svagc_kernel::OpJournal`])
+//! because that is the only layer that sees every mutation: collector code
+//! never writes memory except through `Kernel` entry points. This wrapper
+//! adds the collector-side pre-state that the kernel cannot know about.
+
+use svagc_heap::{Heap, HeapSnapshot, HeapVerifier, ObjRef, RootSet};
+use svagc_kernel::{CoreId, Kernel};
+use svagc_metrics::Cycles;
+use svagc_vmem::VmError;
+
+/// What one rollback cost and undid.
+#[derive(Debug, Clone, Copy)]
+pub struct RollbackReport {
+    /// Journal entries replayed backward.
+    pub ops: usize,
+    /// Pages rewritten (PTE re-swaps and byte restores).
+    pub pages: u64,
+    /// Simulated cycles the rollback itself consumed.
+    pub cycles: Cycles,
+}
+
+/// Pre-state of one transactional GC cycle. See the module docs.
+#[derive(Debug)]
+pub struct CompactionJournal {
+    heap: HeapSnapshot,
+    roots: Vec<ObjRef>,
+    pre_hash: Option<u64>,
+}
+
+impl CompactionJournal {
+    /// Open the transaction: snapshot collector pre-state and arm the
+    /// kernel undo journal. When `want_hash` is set, the heap's content
+    /// hash is computed up front so an abort can prove bit-for-bit
+    /// restoration.
+    pub fn begin(
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        roots: &RootSet,
+        want_hash: bool,
+    ) -> CompactionJournal {
+        let pre_hash = want_hash.then(|| HeapVerifier::new().content_hash(kernel, heap));
+        let txn = CompactionJournal {
+            heap: heap.snapshot(),
+            roots: roots.snapshot(),
+            pre_hash,
+        };
+        kernel.journal_begin();
+        txn
+    }
+
+    /// The pre-GC content hash, when `begin` was asked to compute one.
+    pub fn pre_hash(&self) -> Option<u64> {
+        self.pre_hash
+    }
+
+    /// Commit: the cycle succeeded; drop the undo journal.
+    pub fn commit(self, kernel: &mut Kernel) {
+        let _ = kernel.journal_take();
+    }
+
+    /// Abort: replay the kernel journal backward, restore the heap index
+    /// and roots, and broadcast a shootdown so every core drops mappings
+    /// the rollback may have re-swapped. `core` is charged for the work.
+    ///
+    /// Errors here are [`VmError`]s from the functional restore path —
+    /// they mean the journal itself is inconsistent, which is a simulator
+    /// bug, not an operational condition.
+    pub fn abort(
+        self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        roots: &mut RootSet,
+        core: CoreId,
+    ) -> Result<RollbackReport, VmError> {
+        let journal = kernel.journal_take().unwrap_or_default();
+        let ops = journal.len();
+        // Memory and page tables first (needs the space the cycle ran in)…
+        let (mut cycles, pages) = kernel.rollback(heap.space_mut(), journal, core)?;
+        // …then the collector-side index and roots…
+        let asid = heap.space().asid();
+        heap.restore(self.heap);
+        roots.restore(self.roots);
+        // …then make sure no core's TLB still caches a rolled-back PTE.
+        let (flush, _intf) = kernel.flush_asid_all_cores(core, asid);
+        cycles += flush;
+        Ok(RollbackReport { ops, pages, cycles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svagc_heap::{HeapConfig, ObjShape};
+    use svagc_metrics::MachineConfig;
+    use svagc_vmem::Asid;
+
+    const CORE: CoreId = CoreId(0);
+
+    #[test]
+    fn abort_restores_heap_hash_and_roots() {
+        let mut k = Kernel::with_bytes(MachineConfig::i5_7600(), 16 << 20);
+        let mut heap = Heap::new(&mut k, Asid(1), HeapConfig::new(4 << 20)).unwrap();
+        let mut roots = RootSet::new();
+        let (a, _) = heap.alloc(&mut k, CORE, ObjShape::data(8)).unwrap();
+        let (b, _) = heap.alloc(&mut k, CORE, ObjShape::data(8)).unwrap();
+        let rid = roots.push(a);
+        let verifier = HeapVerifier::new();
+        let pre = verifier.content_hash(&k, &mut heap);
+
+        let txn = CompactionJournal::begin(&mut k, &mut heap, &roots, true);
+        assert_eq!(txn.pre_hash(), Some(pre));
+        // Scribble like a half-done cycle: payload writes, a root retarget.
+        heap.write_data(&mut k, CORE, a, 0, 0, 0xDEAD).unwrap();
+        heap.write_data(&mut k, CORE, b, 0, 1, 0xBEEF).unwrap();
+        roots.set(rid, b);
+        assert_ne!(verifier.content_hash(&k, &mut heap), pre);
+
+        let report = txn.abort(&mut k, &mut heap, &mut roots, CORE).unwrap();
+        assert!(report.ops >= 2);
+        assert_eq!(verifier.content_hash(&k, &mut heap), pre, "bit-for-bit");
+        assert_eq!(roots.get(rid), a);
+    }
+
+    #[test]
+    fn commit_discards_the_journal() {
+        let mut k = Kernel::with_bytes(MachineConfig::i5_7600(), 16 << 20);
+        let mut heap = Heap::new(&mut k, Asid(1), HeapConfig::new(4 << 20)).unwrap();
+        let roots = RootSet::new();
+        let txn = CompactionJournal::begin(&mut k, &mut heap, &roots, false);
+        assert!(txn.pre_hash().is_none());
+        txn.commit(&mut k);
+        assert!(k.journal_take().is_none(), "commit consumed the journal");
+    }
+}

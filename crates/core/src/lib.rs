@@ -13,24 +13,34 @@
 //! * [`error`] / [`resilience`] — the typed [`GcError`] hierarchy and the
 //!   retry/fallback/split executor that keeps compaction alive under
 //!   injected SwapVA faults.
+//! * [`journal`] / [`watchdog`] / [`degrade`] — the transactional cycle
+//!   protocol: every collection is all-or-nothing (undo journal +
+//!   rollback), bounded in time (per-phase deadlines), and survivable
+//!   (the degraded-mode circuit breaker).
 
 #![warn(missing_docs)]
 
 pub mod applicability;
 pub mod collector;
 pub mod config;
+pub mod degrade;
 pub mod error;
+pub mod journal;
 pub mod lisp2;
 pub mod minor;
 pub mod resilience;
 pub mod scheduler;
 pub mod stats;
+pub mod watchdog;
 
 pub use collector::Collector;
 pub use config::GcConfig;
+pub use degrade::{DegradeController, DegradePolicy, DegradedMode, ModeTransition};
 pub use error::GcError;
+pub use journal::{CompactionJournal, RollbackReport};
 pub use lisp2::Lisp2Collector;
 pub use minor::{full_collect_generational, MinorConfig, MinorGc, MinorStats};
 pub use resilience::{execute_swaps, RetryPolicy, SwapOutcome};
 pub use scheduler::WorkerPool;
 pub use stats::{GcCycleStats, GcLog, PhaseBreakdown};
+pub use watchdog::GcWatchdog;

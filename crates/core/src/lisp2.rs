@@ -19,12 +19,15 @@
 //! workers via [`WorkerPool`] — see that module for the model.
 
 use crate::config::GcConfig;
+use crate::degrade::DegradeController;
 use crate::error::GcError;
+use crate::journal::CompactionJournal;
 use crate::resilience::execute_swaps;
 use crate::scheduler::WorkerPool;
 use crate::stats::{GcCycleStats, GcLog};
+use crate::watchdog::GcWatchdog;
 use svagc_heap::{Heap, HeapError, HeapVerifier, MarkBitmap, ObjHeader, ObjRef, RootSet, VerifyReport};
-use svagc_kernel::{FlushMode, Kernel, SwapRequest, SwapVaOptions};
+use svagc_kernel::{CoreId, FlushMode, Kernel, SwapRequest, SwapVaOptions};
 use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{VirtAddr, PAGE_SIZE};
 
@@ -47,6 +50,10 @@ pub struct Lisp2Collector {
     pub cfg: GcConfig,
     /// Per-cycle statistics log.
     pub log: GcLog,
+    /// Degraded-mode circuit breaker carried across cycles: decides how
+    /// conservatively the *next* cycle runs after aborts, and recovers
+    /// toward normal after clean cycles.
+    pub degrade: DegradeController,
     /// Cumulative GC virtual time: the trace-timeline position where the
     /// next cycle's events begin. Counts only GC work (phase makespans) —
     /// mutator execution between cycles is excluded, so traces from runs
@@ -92,19 +99,143 @@ impl Lisp2Collector {
         Lisp2Collector {
             cfg,
             log: GcLog::new(),
+            degrade: DegradeController::new(cfg.degrade),
             timeline: Cycles::ZERO,
         }
     }
 
-    /// Run one full STW collection. Returns this cycle's statistics
-    /// (also appended to [`Lisp2Collector::log`]).
+    /// Run one full STW collection as a **transaction**. Returns this
+    /// cycle's statistics (also appended to [`Lisp2Collector::log`]).
+    ///
+    /// Every attempt is bracketed by a [`CompactionJournal`]: on any error
+    /// the attempt's swaps, copies, and metadata writes are rolled back so
+    /// the heap is bit-for-bit the pre-GC heap. Operational errors (an
+    /// unrecoverable SwapVA fault, a watchdog deadline) then escalate the
+    /// degraded-mode ladder and retry within this call; structural errors
+    /// propagate after rollback. The controller's state persists across
+    /// calls, so cycles after a recovery-by-degradation keep running
+    /// degraded until probation is served.
     pub fn collect(
         &mut self,
         kernel: &mut Kernel,
         heap: &mut Heap,
         roots: &mut RootSet,
     ) -> Result<GcCycleStats, GcError> {
-        let mut stats = GcCycleStats::default();
+        let core0 = CoreId(0);
+        let user_cfg = self.cfg;
+        let mut aborts = 0u64;
+        let mut watchdog_expiries = 0u64;
+        let mut rollback_pages = 0u64;
+        let mut abort_overhead = Cycles::ZERO;
+        loop {
+            let attempt_start = self.timeline;
+            let effective = self.degrade.apply(&user_cfg);
+            let mut watchdog = GcWatchdog::new(effective.deadline_cycles);
+            let txn = CompactionJournal::begin(kernel, heap, roots, user_cfg.verify_phases);
+            let pre_hash = txn.pre_hash();
+            let mut stats = GcCycleStats::default();
+            // The phase methods read `self.cfg`; swap in the (possibly
+            // degraded) effective config for the duration of the attempt.
+            self.cfg = effective;
+            let attempt = self.try_collect(kernel, heap, roots, &mut watchdog, &mut stats);
+            self.cfg = user_cfg;
+            match attempt {
+                Ok(()) => {
+                    txn.commit(kernel);
+                    stats.aborts = aborts;
+                    stats.watchdog_expiries = watchdog_expiries;
+                    stats.rollback_pages = rollback_pages;
+                    stats.abort_overhead = abort_overhead;
+                    stats.mode = self.degrade.mode().level();
+                    if let Some(t) = self.degrade.on_clean() {
+                        kernel.trace.instant(
+                            TraceKind::ModeChange,
+                            Cycles::ZERO,
+                            0,
+                            &[("from", t.from.level() as u64), ("to", t.to.level() as u64)],
+                        );
+                    }
+                    self.log.push(stats);
+                    return Ok(stats);
+                }
+                Err(e) => {
+                    // Roll back memory, page tables, heap index, roots.
+                    let rb = txn.abort(kernel, heap, roots, core0).map_err(GcError::from)?;
+                    aborts += 1;
+                    rollback_pages += rb.pages;
+                    if matches!(e, GcError::Deadline { .. }) {
+                        watchdog_expiries += 1;
+                    }
+                    // The aborted attempt and its rollback burned real
+                    // virtual time: it is part of this cycle's pause.
+                    let attempt_cost = stats.phases.total() + rb.cycles;
+                    abort_overhead += attempt_cost;
+                    self.timeline = attempt_start + attempt_cost;
+                    kernel.trace.set_base(self.timeline);
+                    kernel.trace.instant(
+                        TraceKind::CycleAbort,
+                        Cycles::ZERO,
+                        0,
+                        &[
+                            ("attempt", aborts),
+                            ("mode", self.degrade.mode().level() as u64),
+                            ("rollback_ops", rb.ops as u64),
+                            ("rollback_pages", rb.pages),
+                        ],
+                    );
+                    // Prove the rollback before touching anything else:
+                    // bit-for-bit content, clean layout and boundaries.
+                    if user_cfg.verify_phases {
+                        let verifier = HeapVerifier::new();
+                        let post = verifier.content_hash(kernel, heap);
+                        if Some(post) != pre_hash {
+                            return Err(GcError::Corruption {
+                                phase: "rollback",
+                                violations: 1,
+                                first: format!(
+                                    "post-rollback content hash {post:#018x} != pre-GC {:#018x}",
+                                    pre_hash.unwrap_or(0)
+                                ),
+                            });
+                        }
+                        Self::require_clean(verifier.verify_layout(kernel, heap), &mut stats)?;
+                        Self::require_clean(verifier.verify_boundaries(kernel, heap), &mut stats)?;
+                    }
+                    // Operational failures walk the degradation ladder and
+                    // retry; anything else — or an exhausted ladder —
+                    // propagates (heap already restored).
+                    let escalation = if e.is_operational() {
+                        self.degrade.on_abort()
+                    } else {
+                        None
+                    };
+                    match escalation {
+                        Some(t) => {
+                            kernel.trace.instant(
+                                TraceKind::ModeChange,
+                                Cycles::ZERO,
+                                0,
+                                &[("from", t.from.level() as u64), ("to", t.to.level() as u64)],
+                            );
+                        }
+                        None => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    /// One collection attempt (no transaction bracketing — `collect` owns
+    /// that). Partial phase makespans accumulate into `stats` even on
+    /// error, so an abort can account the time the attempt burned.
+    fn try_collect(
+        &mut self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        roots: &mut RootSet,
+        watchdog: &mut GcWatchdog,
+        stats: &mut GcCycleStats,
+    ) -> Result<(), GcError> {
         let cycle_start = self.timeline;
         let cores = kernel.cores();
         let threads = self.cfg.gc_threads.min(cores).max(1);
@@ -117,26 +248,29 @@ impl Lisp2Collector {
         let mut bitmap = MarkBitmap::new(heap.base(), heap.extent_words());
         self.mark_phase(kernel, heap, roots, &mut bitmap, &mut pool)?;
         stats.phases.mark = pool.makespan();
+        watchdog.check("mark", stats.phases.mark)?;
         if self.cfg.verify_phases {
-            Self::require_clean(verifier.verify_marks(kernel, heap, &bitmap, roots), &mut stats)?;
+            Self::require_clean(verifier.verify_marks(kernel, heap, &bitmap, roots), stats)?;
         }
 
         // ---- Phase II: forwarding address calculation ----------------
         pool.reset();
         let (moves, new_top) =
-            self.forward_phase(kernel, heap, &objects, &bitmap, &mut pool, &mut stats)?;
+            self.forward_phase(kernel, heap, &objects, &bitmap, &mut pool, stats)?;
         stats.phases.forward = pool.makespan();
+        watchdog.check("forward", stats.phases.forward)?;
         if self.cfg.verify_phases {
-            Self::require_clean(verifier.verify_forwarding(kernel, heap, &bitmap), &mut stats)?;
+            Self::require_clean(verifier.verify_forwarding(kernel, heap, &bitmap), stats)?;
         }
 
         // ---- Phase III: adjust pointers ------------------------------
         pool.reset();
         self.adjust_phase(kernel, heap, roots, &moves, &mut pool)?;
         stats.phases.adjust = pool.makespan();
+        watchdog.check("adjust", stats.phases.adjust)?;
         if self.cfg.verify_phases {
             // Adjust rewrites fields but must leave the move plan intact.
-            Self::require_clean(verifier.verify_forwarding(kernel, heap, &bitmap), &mut stats)?;
+            Self::require_clean(verifier.verify_forwarding(kernel, heap, &bitmap), stats)?;
         }
 
         // ---- Phase IV: compaction ------------------------------------
@@ -154,8 +288,9 @@ impl Lisp2Collector {
         self.timeline =
             cycle_start + stats.phases.mark + stats.phases.forward + stats.phases.adjust;
         kernel.trace.set_base(self.timeline);
-        self.compact_phase(kernel, heap, &moves, &mut compact_pool, &mut stats)?;
+        self.compact_phase(kernel, heap, &moves, &mut compact_pool, watchdog, stats)?;
         stats.phases.compact = compact_pool.makespan();
+        watchdog.check("compact", stats.phases.compact)?;
 
         // Publish the new heap layout.
         let survivors: Vec<ObjRef> = moves.iter().map(|m| m.dst).collect();
@@ -163,7 +298,7 @@ impl Lisp2Collector {
         stats.dead_objects = objects.len() as u64 - survivors.len() as u64;
         heap.complete_gc(survivors, new_top);
         if self.cfg.verify_phases {
-            Self::require_clean(verifier.verify_post_compact(kernel, heap, roots), &mut stats)?;
+            Self::require_clean(verifier.verify_post_compact(kernel, heap, roots), stats)?;
         }
 
         stats.faults_injected = kernel.perf.swap_faults_injected - faults_before;
@@ -203,15 +338,13 @@ impl Lisp2Collector {
         kernel.trace.span_abs(
             TraceKind::GcCycle,
             cycle_start,
-            stats.pause(),
+            stats.phases.total(),
             0,
             &[("live", stats.live_objects), ("dead", stats.dead_objects)],
         );
-        self.timeline = cycle_start + stats.pause();
+        self.timeline = cycle_start + stats.phases.total();
         kernel.trace.set_base(self.timeline);
-
-        self.log.push(stats);
-        Ok(stats)
+        Ok(())
     }
 
     /// Turn a failed verification pass into a [`GcError::Corruption`] abort.
@@ -370,6 +503,7 @@ impl Lisp2Collector {
         heap: &mut Heap,
         moves: &[PlannedMove],
         pool: &mut WorkerPool,
+        watchdog: &mut GcWatchdog,
         stats: &mut GcCycleStats,
     ) -> Result<(), GcError> {
         let cores = kernel.cores();
@@ -460,6 +594,10 @@ impl Lisp2Collector {
                         t += c;
                         stall_coworkers(pool, kernel, intf);
                         batch_pages = 0;
+                        // Mid-phase deadline check: the watchdog can abort
+                        // a runaway compaction between batches, not only
+                        // at phase barriers.
+                        watchdog.check("compact", pool.makespan() + t)?;
                     }
                 } else {
                     // memmove path: drain pending swaps first (ordering).
@@ -468,6 +606,7 @@ impl Lisp2Collector {
                     t += c;
                     stall_coworkers(pool, kernel, intf);
                     batch_pages = 0;
+                    watchdog.check("compact", pool.makespan() + t)?;
                     t += kernel.memmove(heap.space(), core, m.src.0, m.dst.0, size)?;
                     stats.memmove_bytes += size;
                 }

@@ -19,11 +19,14 @@
 //!    memmove. Then reset eden; the remembered set is clean by
 //!    construction (no young objects remain).
 
+use crate::degrade::{DegradeController, DegradePolicy};
 use crate::error::GcError;
+use crate::journal::CompactionJournal;
 use crate::resilience::{execute_swaps, RetryPolicy};
 use crate::scheduler::WorkerPool;
+use crate::watchdog::GcWatchdog;
 use svagc_heap::{GenHeap, HeapError, MarkBitmap, ObjRef, RootSet, CARD_BYTES};
-use svagc_kernel::{FlushMode, Kernel, SwapRequest, SwapVaOptions};
+use svagc_kernel::{CoreId, FlushMode, Kernel, SwapRequest, SwapVaOptions};
 use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{VirtAddr, PAGE_SIZE};
 
@@ -40,6 +43,10 @@ pub struct MinorConfig {
     pub pmd_cache: bool,
     /// Retry/backoff budget for transient SwapVA faults during promotion.
     pub retry: RetryPolicy,
+    /// Per-phase watchdog deadline in virtual cycles (`None` disarms).
+    pub deadline_cycles: Option<u64>,
+    /// Degraded-mode circuit-breaker policy for aborted scavenges.
+    pub degrade: DegradePolicy,
 }
 
 impl MinorConfig {
@@ -51,6 +58,8 @@ impl MinorConfig {
             aggregation: Some(32),
             pmd_cache: true,
             retry: RetryPolicy::default(),
+            deadline_cycles: None,
+            degrade: DegradePolicy::off(),
         }
     }
 
@@ -87,6 +96,13 @@ pub struct MinorStats {
     pub swap_fallback_objects: u64,
     /// Aggregated promotion batches split by a mid-batch fault.
     pub batch_splits: u64,
+    /// Attempts of this scavenge that aborted and rolled back before the
+    /// committed attempt.
+    pub aborts: u64,
+    /// Pages rewritten by the aborted attempts' rollbacks.
+    pub rollback_pages: u64,
+    /// Degradation level the committed attempt ran at (0 = normal).
+    pub mode: u8,
 }
 
 /// The minor collector.
@@ -96,6 +112,8 @@ pub struct MinorGc {
     pub cfg: MinorConfig,
     /// Per-scavenge log.
     pub log: Vec<MinorStats>,
+    /// Degraded-mode circuit breaker carried across scavenges.
+    pub degrade: DegradeController,
 }
 
 impl MinorGc {
@@ -126,15 +144,99 @@ impl MinorGc {
         MinorGc {
             cfg,
             log: Vec::new(),
+            degrade: DegradeController::new(cfg.degrade),
         }
     }
 
-    /// Run one scavenge.
+    /// Run one scavenge as a **transaction**: on any error the attempt's
+    /// promotions and metadata writes are rolled back (eden and the
+    /// remembered set are only touched on success), operational errors
+    /// escalate the degraded-mode ladder and retry within this call, and
+    /// structural errors — notably [`HeapError::NeedGc`], which the caller
+    /// must answer with a full collection — propagate after rollback.
     pub fn collect(
         &mut self,
         kernel: &mut Kernel,
         gh: &mut GenHeap,
         roots: &mut RootSet,
+    ) -> Result<MinorStats, GcError> {
+        let core0 = CoreId(0);
+        let user_cfg = self.cfg;
+        let mut aborts = 0u64;
+        let mut rollback_pages = 0u64;
+        loop {
+            let effective = self.degrade.apply_minor(&user_cfg);
+            let mut watchdog = GcWatchdog::new(effective.deadline_cycles);
+            let txn = CompactionJournal::begin(kernel, &mut gh.old, roots, false);
+            self.cfg = effective;
+            let attempt = self.try_collect(kernel, gh, roots, &mut watchdog);
+            self.cfg = user_cfg;
+            match attempt {
+                Ok(mut stats) => {
+                    txn.commit(kernel);
+                    stats.aborts = aborts;
+                    stats.rollback_pages = rollback_pages;
+                    stats.mode = self.degrade.mode().level();
+                    if let Some(t) = self.degrade.on_clean() {
+                        kernel.trace.instant(
+                            TraceKind::ModeChange,
+                            Cycles::ZERO,
+                            0,
+                            &[("from", t.from.level() as u64), ("to", t.to.level() as u64)],
+                        );
+                    }
+                    // Success: only now is eden wiped (and with it the
+                    // remembered set — no young objects remain).
+                    gh.reset_eden();
+                    self.log.push(stats);
+                    return Ok(stats);
+                }
+                Err(e) => {
+                    let rb = txn
+                        .abort(kernel, &mut gh.old, roots, core0)
+                        .map_err(GcError::from)?;
+                    aborts += 1;
+                    rollback_pages += rb.pages;
+                    kernel.trace.instant(
+                        TraceKind::CycleAbort,
+                        Cycles::ZERO,
+                        0,
+                        &[
+                            ("attempt", aborts),
+                            ("mode", self.degrade.mode().level() as u64),
+                            ("rollback_pages", rb.pages),
+                        ],
+                    );
+                    let escalation = if e.is_operational() {
+                        self.degrade.on_abort()
+                    } else {
+                        None
+                    };
+                    match escalation {
+                        Some(t) => {
+                            kernel.trace.instant(
+                                TraceKind::ModeChange,
+                                Cycles::ZERO,
+                                0,
+                                &[("from", t.from.level() as u64), ("to", t.to.level() as u64)],
+                            );
+                        }
+                        None => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    /// One scavenge attempt (no transaction bracketing — `collect` owns
+    /// that; eden is untouched here so an abort only needs to restore the
+    /// old generation).
+    fn try_collect(
+        &mut self,
+        kernel: &mut Kernel,
+        gh: &mut GenHeap,
+        roots: &mut RootSet,
+        watchdog: &mut GcWatchdog,
     ) -> Result<MinorStats, GcError> {
         let mut stats = MinorStats::default();
         // Anchor of this scavenge on the cumulative GC trace timeline
@@ -203,6 +305,7 @@ impl MinorGc {
             }
             pool.dispatch_to(w, t);
         }
+        watchdog.check("minor-trace", pool.makespan())?;
 
         // ---- Phase 3: forwarding (promotion addresses) ----------------
         struct Promo {
@@ -256,6 +359,7 @@ impl MinorGc {
             pool.dispatch_to(w, t);
         }
         stats.promoted_objects = promos.len() as u64;
+        watchdog.check("minor-forward", pool.makespan())?;
 
         // ---- Phase 4: adjust references -------------------------------
         let read_fwd = |kernel: &mut Kernel, gh: &GenHeap, core, tgt: ObjRef| {
@@ -302,6 +406,7 @@ impl MinorGc {
             }
             pool.dispatch_to(w, t);
         }
+        watchdog.check("minor-adjust", pool.makespan())?;
 
         // ---- Phase 5: promote (copy or swap) ---------------------------
         let threshold_pages = gh.old.threshold_pages();
@@ -371,6 +476,8 @@ impl MinorGc {
                     batch_pages = 0;
                     t += out.cycles;
                     stats.interference += out.interference;
+                    // Mid-phase deadline check between promotion batches.
+                    watchdog.check("minor-promote", pool.makespan() + t)?;
                 }
             } else {
                 t += kernel.memmove(gh.old.space(), core, p.src.0, p.dst.0, p.size)?;
@@ -419,8 +526,8 @@ impl MinorGc {
             stats.interference += intf.0;
         }
 
-        gh.reset_eden();
         stats.pause = pool.makespan();
+        watchdog.check("minor-promote", stats.pause)?;
         kernel.trace.span_abs(
             TraceKind::MinorCycle,
             trace_start,
@@ -438,7 +545,6 @@ impl MinorGc {
         kernel.perf.gc_cycles += 1;
         kernel.perf.objects_moved += stats.promoted_objects;
         kernel.perf.objects_swapped += stats.swapped_objects;
-        self.log.push(stats);
         Ok(stats)
     }
 

@@ -34,6 +34,13 @@ pub struct RetryPolicy {
     pub backoff_base: u64,
     /// Backoff ceiling in cycles (keeps pathological runs bounded).
     pub backoff_cap: u64,
+    /// Memmove fallbacks allowed per [`execute_swaps`] call before the
+    /// next demotion is treated as *unrecoverable* and surfaces as
+    /// [`GcError::Swap`]. `None` (the default) never gives up — the
+    /// pre-transactional behavior. A bounded budget is what makes an
+    /// unrecoverable mid-compaction fault reachable, which the
+    /// transactional collector answers with rollback + degraded retry.
+    pub fallback_budget: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -42,6 +49,7 @@ impl Default for RetryPolicy {
             max_retries: 8,
             backoff_base: 64,
             backoff_cap: 4096,
+            fallback_budget: None,
         }
     }
 }
@@ -53,6 +61,12 @@ impl RetryPolicy {
             max_retries,
             ..RetryPolicy::default()
         }
+    }
+
+    /// Cap the number of memmove fallbacks absorbed per call.
+    pub fn with_fallback_budget(mut self, budget: Option<u64>) -> RetryPolicy {
+        self.fallback_budget = budget;
+        self
     }
 
     /// Cycles the caller spins before retry number `attempt` (1-based):
@@ -152,7 +166,20 @@ pub fn execute_swaps(
                     kernel.trace.advance(backoff);
                 } else {
                     // Permanent fault, or the retry budget ran dry: demote
-                    // this one request to a whole-page byte copy.
+                    // this one request to a whole-page byte copy — unless
+                    // the fallback budget itself is exhausted, in which
+                    // case the fault is unrecoverable at this layer and
+                    // the (transactional) caller must abort the cycle.
+                    if policy
+                        .fallback_budget
+                        .is_some_and(|b| out.fallback.len() as u64 >= b)
+                    {
+                        return Err(GcError::Swap(SwapVaError::Fault {
+                            kind,
+                            index: 0,
+                            spent: Cycles::ZERO,
+                        }));
+                    }
                     let req = reqs[start];
                     kernel.trace.instant(
                         TraceKind::SwapFallback,
@@ -356,5 +383,85 @@ mod tests {
         assert_eq!(p.backoff(2), Cycles(128));
         assert_eq!(p.backoff(7), Cycles(4096));
         assert_eq!(p.backoff(30), Cycles(4096), "capped");
+    }
+
+    /// Regression: `backoff` must saturate, never overflow, for any
+    /// attempt number — even with a cap high enough that the saturated
+    /// multiply is what protects us (a naive `base * (1 << shift)` panics
+    /// in debug builds once attempt > 58 with the default base).
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            backoff_base: u64::MAX / 2,
+            backoff_cap: u64::MAX,
+            fallback_budget: None,
+        };
+        assert_eq!(p.backoff(u32::MAX), Cycles(u64::MAX), "saturated, not wrapped");
+        assert_eq!(p.backoff(64), Cycles(u64::MAX), "shift clamped at 63");
+        // Default shape with an uncapped ceiling: large attempts still
+        // return a sane (saturated) value rather than wrapping to ~0.
+        let d = RetryPolicy {
+            backoff_cap: u64::MAX,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(d.backoff(100), Cycles(64u64.saturating_mul(1 << 63)));
+        assert!(d.backoff(100) >= d.backoff(58), "monotone under saturation");
+    }
+
+    /// Satellite: `FaultPlan::roll` draws exactly one PRNG value per swap
+    /// request, so the per-request fault sequence is a pure function of
+    /// the seed and the request order — *not* of how requests are grouped
+    /// into batches. Aggregated execution (which splits batches at faults
+    /// and re-issues from the failing index) must therefore absorb the
+    /// identical faults as fully separated execution.
+    #[test]
+    fn fault_rolls_are_deterministic_across_batch_splits() {
+        let cfg = FaultConfig::uniform(0.35, 77);
+        let (mut k1, mut s1, r1) = setup(24);
+        k1.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let agg = execute_swaps(&mut k1, &mut s1, &r1, opts(), CORE, true, &RetryPolicy::default())
+            .unwrap();
+        let (mut k2, mut s2, r2) = setup(24);
+        k2.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let sep = execute_swaps(&mut k2, &mut s2, &r2, opts(), CORE, false, &RetryPolicy::default())
+            .unwrap();
+        assert!(agg.batch_splits > 0, "p=0.35 over 24 requests must split");
+        assert_eq!(agg.retries, sep.retries, "same transient sequence");
+        assert_eq!(agg.fallback, sep.fallback, "same permanent demotions");
+        assert_eq!(
+            k1.perf.swap_faults_injected, k2.perf.swap_faults_injected,
+            "identical injected-fault count regardless of batching"
+        );
+        assert_all_applied(&k1, &s1, &r1, &agg);
+        assert_all_applied(&k2, &s2, &r2, &sep);
+    }
+
+    #[test]
+    fn exhausted_fallback_budget_is_unrecoverable() {
+        let (mut k, mut space, reqs) = setup(8);
+        // Every request faults permanently; a budget of 3 absorbs three
+        // demotions and then surfaces the fourth as a hard error.
+        k.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            p_transient: 0.0,
+            p_invalid: 1.0,
+            p_nomem: 0.0,
+            p_timeout: 0.0,
+            seed: 13,
+        })));
+        let policy = RetryPolicy::default().with_fallback_budget(Some(3));
+        let err = execute_swaps(&mut k, &mut space, &reqs, opts(), CORE, true, &policy)
+            .unwrap_err();
+        assert!(matches!(err, GcError::Swap(SwapVaError::Fault { .. })));
+        assert!(err.is_operational(), "the transaction layer may retry this");
+    }
+
+    #[test]
+    fn unset_fallback_budget_changes_nothing() {
+        let (mut k, mut space, reqs) = setup(16);
+        k.set_fault_plan(Some(FaultPlan::new(FaultConfig::uniform(0.4, 7))));
+        let out = execute_swaps(&mut k, &mut space, &reqs, opts(), CORE, true, &RetryPolicy::default())
+            .unwrap();
+        assert_all_applied(&k, &space, &reqs, &out);
     }
 }

@@ -85,12 +85,26 @@ pub struct GcCycleStats {
     /// Invariant violations the post-phase verifier found (always zero on
     /// a cycle that returned `Ok`; violations abort the cycle).
     pub verify_violations: u64,
+    /// Attempts of this cycle that aborted and rolled back before the
+    /// committed attempt (0 on a clean cycle).
+    pub aborts: u64,
+    /// Of those aborts, how many were watchdog deadline expiries.
+    pub watchdog_expiries: u64,
+    /// Pages rewritten by the aborted attempts' rollbacks.
+    pub rollback_pages: u64,
+    /// Cycles burned by aborted attempts and their rollbacks — part of
+    /// the STW pause, on top of the committed attempt's phases.
+    pub abort_overhead: Cycles,
+    /// Degradation level the committed attempt ran at (0 = normal,
+    /// 1 = memmove-only, 2 = single-threaded).
+    pub mode: u8,
 }
 
 impl GcCycleStats {
-    /// Total STW pause of this cycle.
+    /// Total STW pause of this cycle, including time lost to aborted
+    /// attempts and their rollbacks.
     pub fn pause(&self) -> Cycles {
-        self.phases.total()
+        self.phases.total() + self.abort_overhead
     }
 }
 
@@ -177,6 +191,26 @@ impl GcLog {
         self.cycles.iter().map(|c| c.batch_splits).sum()
     }
 
+    /// Total aborted (rolled-back) attempts across cycles.
+    pub fn total_aborts(&self) -> u64 {
+        self.cycles.iter().map(|c| c.aborts).sum()
+    }
+
+    /// Total pages rewritten by rollbacks across cycles.
+    pub fn total_rollback_pages(&self) -> u64 {
+        self.cycles.iter().map(|c| c.rollback_pages).sum()
+    }
+
+    /// Total watchdog expiries across cycles.
+    pub fn total_watchdog_expiries(&self) -> u64 {
+        self.cycles.iter().map(|c| c.watchdog_expiries).sum()
+    }
+
+    /// Worst degradation level any committed cycle ran at.
+    pub fn max_mode(&self) -> u8 {
+        self.cycles.iter().map(|c| c.mode).max().unwrap_or(0)
+    }
+
     /// Aggregate phase breakdown over all cycles.
     pub fn phase_totals(&self) -> PhaseBreakdown {
         let mut total = PhaseBreakdown::default();
@@ -218,6 +252,10 @@ impl GcLog {
             ("gc.swap_retries", self.total_swap_retries()),
             ("gc.swap_fallbacks", self.total_swap_fallbacks()),
             ("gc.batch_splits", self.total_batch_splits()),
+            ("gc.aborts", self.total_aborts()),
+            ("gc.rollback_pages", self.total_rollback_pages()),
+            ("gc.watchdog_expiries", self.total_watchdog_expiries()),
+            ("gc.mode", self.max_mode() as u64),
         ] {
             reg.add(name, v);
         }
@@ -267,6 +305,23 @@ mod tests {
         assert_eq!(log.avg_pause(), Cycles(105));
         assert_eq!(log.total_compact(), Cycles(144));
         assert_eq!(log.total_other(), Cycles(66));
+    }
+
+    #[test]
+    fn abort_overhead_counts_toward_pause() {
+        let mut s = cyc(1, 2, 3, 4);
+        s.abort_overhead = Cycles(90);
+        s.aborts = 1;
+        s.rollback_pages = 7;
+        s.mode = 1;
+        assert_eq!(s.pause(), Cycles(100), "pause includes rollback time");
+        let mut log = GcLog::new();
+        log.push(s);
+        log.push(cyc(1, 1, 1, 1));
+        assert_eq!(log.total_pause(), Cycles(104));
+        assert_eq!(log.total_aborts(), 1);
+        assert_eq!(log.total_rollback_pages(), 7);
+        assert_eq!(log.max_mode(), 1);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! GC watchdog: per-phase virtual-cycle deadlines.
+//!
+//! A cycle that will not finish is as bad as one that faults: a stuck
+//! shootdown, a pathological retry storm, or a degenerate heap shape can
+//! inflate one phase far beyond its budget. The watchdog compares each
+//! phase's accumulated makespan against a single per-phase budget
+//! ([`GcConfig::deadline_cycles`](crate::GcConfig)); exceeding it raises
+//! [`GcError::Deadline`], which the transactional collector treats exactly
+//! like an unrecoverable fault — abort, roll back, escalate the degraded
+//! mode, retry.
+//!
+//! All time here is *virtual* (simulated cycles charged to workers), so
+//! expiry is fully deterministic: the same seed and configuration expire
+//! at the same check, every run.
+
+use crate::error::GcError;
+use svagc_metrics::Cycles;
+
+/// Deadline checker for one GC cycle attempt.
+#[derive(Debug, Clone)]
+pub struct GcWatchdog {
+    budget: Option<u64>,
+    /// Deadline expiries this watchdog has raised.
+    pub expiries: u64,
+}
+
+impl GcWatchdog {
+    /// A watchdog with a per-phase budget in cycles; `None` never expires.
+    pub fn new(budget: Option<u64>) -> GcWatchdog {
+        GcWatchdog {
+            budget,
+            expiries: 0,
+        }
+    }
+
+    /// Is a deadline configured at all?
+    pub fn armed(&self) -> bool {
+        self.budget.is_some()
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Check `phase`'s accumulated makespan against the budget. Cheap
+    /// enough to call at every batch flush inside the compaction phase.
+    pub fn check(&mut self, phase: &'static str, elapsed: Cycles) -> Result<(), GcError> {
+        match self.budget {
+            Some(b) if elapsed.get() > b => {
+                self.expiries += 1;
+                Err(GcError::Deadline {
+                    phase,
+                    elapsed,
+                    budget: Cycles(b),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_watchdog_never_expires() {
+        let mut w = GcWatchdog::new(None);
+        assert!(!w.armed());
+        assert!(w.check("mark", Cycles(u64::MAX)).is_ok());
+        assert_eq!(w.expiries, 0);
+    }
+
+    #[test]
+    fn expiry_is_strictly_over_budget() {
+        let mut w = GcWatchdog::new(Some(1000));
+        assert!(w.check("mark", Cycles(1000)).is_ok(), "at budget is fine");
+        let e = w.check("compact", Cycles(1001)).unwrap_err();
+        match e {
+            GcError::Deadline {
+                phase,
+                elapsed,
+                budget,
+            } => {
+                assert_eq!(phase, "compact");
+                assert_eq!(elapsed, Cycles(1001));
+                assert_eq!(budget, Cycles(1000));
+            }
+            other => panic!("expected Deadline, got {other}"),
+        }
+        assert_eq!(w.expiries, 1);
+    }
+}

@@ -237,6 +237,7 @@ fn fault_free_runs_are_unperturbed() {
             max_retries: 99,
             backoff_base: 1,
             backoff_cap: 2,
+            fallback_budget: None,
         });
         let (b, hash_b, _) = run_gc(cfg, seed, None);
         assert_eq!(hash_a, hash_b);

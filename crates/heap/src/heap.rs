@@ -123,6 +123,19 @@ impl HeapStats {
     }
 }
 
+/// Snapshot of the heap's host-side allocation state (cursor, object
+/// list, statistics) taken at transaction begin and restored on abort.
+/// Simulated memory contents are restored separately by the kernel's undo
+/// journal — this covers only the bookkeeping that lives outside simulated
+/// memory.
+#[derive(Debug, Clone)]
+pub struct HeapSnapshot {
+    top: VirtAddr,
+    objects: Vec<ObjRef>,
+    sorted: bool,
+    stats: HeapStats,
+}
+
 /// The managed heap of one simulated JVM.
 #[derive(Debug)]
 pub struct Heap {
@@ -442,6 +455,25 @@ impl Heap {
     /// Object count.
     pub fn object_count(&self) -> usize {
         self.objects.len()
+    }
+
+    /// Capture the host-side allocation state for a transactional GC
+    /// cycle. Pair with [`Heap::restore`] on abort.
+    pub fn snapshot(&self) -> HeapSnapshot {
+        HeapSnapshot {
+            top: self.top,
+            objects: self.objects.clone(),
+            sorted: self.sorted,
+            stats: self.stats,
+        }
+    }
+
+    /// Restore a snapshot taken by [`Heap::snapshot`] (transaction abort).
+    pub fn restore(&mut self, snap: HeapSnapshot) {
+        self.top = snap.top;
+        self.objects = snap.objects;
+        self.sorted = snap.sorted;
+        self.stats = snap.stats;
     }
 
     /// Replace the object list and cursor after a collection.

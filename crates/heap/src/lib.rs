@@ -23,7 +23,7 @@ pub mod verify;
 pub use bitmap::MarkBitmap;
 pub use cards::{CardTable, CARD_BYTES};
 pub use genheap::GenHeap;
-pub use heap::{Heap, HeapConfig, HeapError, HeapStats};
+pub use heap::{Heap, HeapConfig, HeapError, HeapSnapshot, HeapStats};
 pub use object::{ObjHeader, ObjRef, ObjShape, FLAG_LARGE, HEADER_WORDS};
 pub use roots::{RootId, RootSet};
 pub use tlab::{Tlab, TlabAllocator};

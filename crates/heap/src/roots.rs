@@ -63,6 +63,19 @@ impl RootSet {
     pub fn live_count(&self) -> usize {
         self.iter_live().count()
     }
+
+    /// Copy of all slots, for a transactional GC cycle's pre-state. Pair
+    /// with [`RootSet::restore`] on abort.
+    pub fn snapshot(&self) -> Vec<ObjRef> {
+        self.slots.clone()
+    }
+
+    /// Restore slots captured by [`RootSet::snapshot`]. Slots pushed since
+    /// the snapshot are dropped (GC cycles never push roots, so within a
+    /// transaction the lengths always match).
+    pub fn restore(&mut self, slots: Vec<ObjRef>) {
+        self.slots = slots;
+    }
 }
 
 #[cfg(test)]

@@ -388,6 +388,68 @@ impl HeapVerifier {
         c.report
     }
 
+    /// TLAB/large-object boundary pass: the bidirectional allocation
+    /// invariant. Small objects fill pages front-to-back; large
+    /// (SwapVA-candidate) objects claim *whole* page spans — they start on
+    /// a page boundary and the allocator re-aligns the cursor after them,
+    /// so the page span `[start, align_up(end))` of a large object is
+    /// exclusively its own. A small object sharing any page with a large
+    /// object would make that large object unswappable (a PTE swap would
+    /// carry the interloper along), so interleaving is checked directly
+    /// here rather than inferred from byte-level non-overlap.
+    ///
+    /// Run after rollback: an abort that restored bytes but mis-restored
+    /// allocator state would surface here.
+    pub fn verify_boundaries(&self, kernel: &Kernel, heap: &mut Heap) -> VerifyReport {
+        use svagc_vmem::PAGE_SIZE;
+        let mut c = Checker::new(kernel, "boundary", self.max_violations);
+        let objects: Vec<ObjRef> = heap.objects_sorted().to_vec();
+        // Page spans `[start_page, end_page)` in address order.
+        let mut large_spans: Vec<(u64, u64)> = Vec::new();
+        let mut small_spans: Vec<(ObjRef, u64, u64)> = Vec::new();
+        for obj in objects {
+            c.report.checked += 1;
+            let Some(hdr) = c.read_header(heap, obj) else {
+                continue;
+            };
+            let start = obj.0.get();
+            let end = start + hdr.size_bytes();
+            if hdr.is_large() {
+                if !obj.0.is_page_aligned() {
+                    c.violate(
+                        "large-object-page-aligned",
+                        obj.0,
+                        "large object does not start on a page boundary".to_string(),
+                    );
+                    continue;
+                }
+                large_spans.push((start / PAGE_SIZE, end.div_ceil(PAGE_SIZE)));
+            } else {
+                small_spans.push((obj, start / PAGE_SIZE, end.div_ceil(PAGE_SIZE)));
+            }
+        }
+        // Merge walk (both lists ascend): any page shared between a small
+        // object and a large object's exclusive span is a violation.
+        let mut li = 0;
+        for (obj, sp, ep) in small_spans {
+            while li < large_spans.len() && large_spans[li].1 <= sp {
+                li += 1;
+            }
+            if li < large_spans.len() && large_spans[li].0 < ep {
+                c.violate(
+                    "small-large-pages-disjoint",
+                    obj.0,
+                    format!(
+                        "small object touches pages [{sp}, {ep}) inside large object's \
+                         exclusive span [{}, {})",
+                        large_spans[li].0, large_spans[li].1
+                    ),
+                );
+            }
+        }
+        c.report
+    }
+
     /// FNV-1a hash of every live object's address, header, and payload.
     /// The forwarding word is excluded (transient GC state); everything
     /// else that defines the heap's observable content folds in, so equal
@@ -528,6 +590,56 @@ mod tests {
             .violations
             .iter()
             .any(|x| x.invariant == "forwarding-slides-down"));
+    }
+
+    #[test]
+    fn boundary_pass_accepts_allocator_output() {
+        use svagc_vmem::PAGE_SIZE;
+        let (mut k, mut h, _) = setup();
+        for i in 0..30u64 {
+            h.alloc(&mut k, CORE, ObjShape::data(20 + (i % 13) as u32)).unwrap();
+            if i % 4 == 0 {
+                h.alloc(&mut k, CORE, ObjShape::data_bytes(10 * PAGE_SIZE + i * 8))
+                    .unwrap();
+            }
+        }
+        let rep = HeapVerifier::new().verify_boundaries(&k, &mut h);
+        assert!(rep.is_clean(), "{:?}", rep.violations);
+        assert!(rep.checked > 30);
+    }
+
+    #[test]
+    fn boundary_pass_catches_interleaved_small_object() {
+        use svagc_vmem::PAGE_SIZE;
+        let (mut k, mut h, _) = setup();
+        let (big, _) = h
+            .alloc(&mut k, CORE, ObjShape::data_bytes(12 * PAGE_SIZE))
+            .unwrap();
+        // Plant a small object inside the large object's exclusive page
+        // span — exactly what a botched rollback of allocator state could
+        // produce.
+        h.register_at(&mut k, CORE, big.0 + 2 * PAGE_SIZE + 64, ObjShape::data(4), false, 0)
+            .unwrap();
+        let rep = HeapVerifier::new().verify_boundaries(&k, &mut h);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "small-large-pages-disjoint"),
+            "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn heap_snapshot_restore_roundtrips() {
+        let (mut k, mut h, _) = setup();
+        h.alloc(&mut k, CORE, ObjShape::data(16)).unwrap();
+        let snap = h.snapshot();
+        let (top0, count0, stats0) = (h.top(), h.object_count(), h.stats);
+        h.alloc(&mut k, CORE, ObjShape::data(64)).unwrap();
+        assert_ne!(h.top(), top0);
+        h.restore(snap);
+        assert_eq!(h.top(), top0);
+        assert_eq!(h.object_count(), count0);
+        assert_eq!(h.stats.allocations, stats0.allocations);
     }
 
     #[test]

@@ -115,6 +115,21 @@ impl FaultConfig {
         }
     }
 
+    /// Only permanent, non-retryable faults at probability `p`, split
+    /// evenly between `EINVAL` and `ENOMEM`. Every injected fault defeats
+    /// the retry ladder and forces a fallback (or, under a fallback
+    /// budget, a transactional abort) — the chaos profile that exercises
+    /// rollback.
+    pub fn permanent_only(p: f64, seed: u64) -> FaultConfig {
+        FaultConfig {
+            p_transient: 0.0,
+            p_invalid: p * 0.5,
+            p_nomem: p * 0.5,
+            p_timeout: 0.0,
+            seed,
+        }
+    }
+
     /// Sum of all per-call probabilities.
     pub fn total_p(&self) -> f64 {
         self.p_transient + self.p_invalid + self.p_nomem + self.p_timeout

@@ -1,0 +1,349 @@
+//! Undo journal for transactional GC cycles.
+//!
+//! Every mutation the kernel applies on behalf of a GC cycle — PTE swaps,
+//! memmove byte copies, and single metadata-word writes — can be recorded
+//! into an [`OpJournal`] with enough information to invert it. Replaying
+//! the journal *backward* ([`Kernel::rollback`]) restores the virtual
+//! content view of the address space bit-for-bit, because each undo step
+//! exactly inverts its forward operation:
+//!
+//! * **Disjoint PTE swap** — involutive: re-swapping the same page pairs
+//!   restores the original mapping (and therefore the original contents as
+//!   seen through virtual addresses).
+//! * **Overlap rotation** (Algorithm 2) — *not* involutive (the window is
+//!   rotated, not exchanged pairwise), so the forward path snapshots the
+//!   byte contents of the whole window union and the undo restores them.
+//! * **memmove** — destructive on the destination; the forward path
+//!   snapshots the destination bytes and the undo restores them.
+//! * **Metadata word write** (forwarding pointers, adjusted reference
+//!   fields) — the forward path records the old word value.
+//!
+//! Because operations are journaled in application order and undone in
+//! reverse, interleaved mapping changes compose correctly: a byte restore
+//! always runs after every later mapping change has been undone, so it
+//! writes through the same translation the forward operation used.
+//!
+//! Rollback uses the *functional* vmem primitives directly — it bypasses
+//! the fault-injection plan (a rollback must not itself fault) and does
+//! not re-journal (undo is not a recordable mutation). Cycle costs are
+//! still charged: PTE writes at `pte_swap`, byte restores through the
+//! bandwidth model, word restores at `mem_access`.
+
+use crate::state::{CoreId, Kernel};
+use crate::swapva::SwapRequest;
+use svagc_metrics::{Cycles, TraceKind};
+use svagc_vmem::{AddressSpace, VirtAddr, VmError, PAGE_SIZE};
+
+/// One invertible operation applied by the kernel while a journal was
+/// active, with the data needed to undo it.
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// A disjoint PTE swap: undone by re-applying the same swap
+    /// (pairwise PTE exchange is an involution).
+    PteSwap {
+        /// The request as applied.
+        req: SwapRequest,
+    },
+    /// A byte-range overwrite (memmove destination, or the window union
+    /// of a non-involutive overlap rotation): undone by restoring the
+    /// saved bytes.
+    Bytes {
+        /// Start of the overwritten virtual range.
+        at: VirtAddr,
+        /// The range's contents immediately before the overwrite.
+        saved: Vec<u8>,
+    },
+    /// A single word write (forwarding pointer, adjusted reference field):
+    /// undone by restoring the old value.
+    Word {
+        /// The written word's virtual address.
+        at: VirtAddr,
+        /// The word's value immediately before the write.
+        old: u64,
+    },
+}
+
+impl UndoOp {
+    /// Pages this op's undo rewrites (words count as zero — they are
+    /// sub-page metadata restores).
+    fn pages(&self) -> u64 {
+        match self {
+            UndoOp::PteSwap { req } => 2 * req.pages,
+            UndoOp::Bytes { saved, .. } => (saved.len() as u64).div_ceil(PAGE_SIZE),
+            UndoOp::Word { .. } => 0,
+        }
+    }
+}
+
+/// An append-only log of invertible kernel operations, in application
+/// order. Undone back-to-front by [`Kernel::rollback`].
+#[derive(Debug, Clone, Default)]
+pub struct OpJournal {
+    ops: Vec<UndoOp>,
+}
+
+impl OpJournal {
+    /// An empty journal.
+    pub fn new() -> OpJournal {
+        OpJournal::default()
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been recorded (rollback is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append an operation.
+    pub(crate) fn record(&mut self, op: UndoOp) {
+        self.ops.push(op);
+    }
+
+    /// Total pages a rollback of this journal would rewrite.
+    pub fn pages(&self) -> u64 {
+        self.ops.iter().map(UndoOp::pages).sum()
+    }
+}
+
+impl Kernel {
+    /// Start journaling: every subsequent PTE swap, memmove, and
+    /// `write_word` records an undo entry until [`Kernel::journal_take`].
+    /// Any previously active journal is discarded.
+    pub fn journal_begin(&mut self) {
+        self.journal = Some(OpJournal::new());
+    }
+
+    /// Stop journaling and return the recorded journal (None if journaling
+    /// was never started). Call this both to commit (drop the result) and
+    /// to abort (pass the result to [`Kernel::rollback`]).
+    pub fn journal_take(&mut self) -> Option<OpJournal> {
+        self.journal.take()
+    }
+
+    /// Is a journal currently recording?
+    pub fn journal_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Record `op` into the active journal, if any.
+    pub(crate) fn journal_record(&mut self, op: UndoOp) {
+        if let Some(j) = self.journal.as_mut() {
+            j.record(op);
+        }
+    }
+
+    /// Replay `journal` backward, restoring the virtual content view of
+    /// `space` to its state when the journal was begun. Returns the cycles
+    /// charged to `core` and the number of pages rewritten.
+    ///
+    /// Uses functional vmem operations: no fault injection, no TLB
+    /// consults, no re-journaling. The caller is responsible for the
+    /// trailing TLB shootdown (stale translations survive on every core
+    /// until flushed).
+    pub fn rollback(
+        &mut self,
+        space: &mut AddressSpace,
+        journal: OpJournal,
+        core: CoreId,
+    ) -> Result<(Cycles, u64), VmError> {
+        let costs = self.machine.costs;
+        let mut t = Cycles::ZERO;
+        let mut pages = 0u64;
+        for op in journal.ops.iter().rev() {
+            pages += op.pages();
+            match op {
+                UndoOp::PteSwap { req } => {
+                    for i in 0..req.pages {
+                        space
+                            .page_table_mut()
+                            .swap_ptes(req.a.add_pages(i), req.b.add_pages(i))?;
+                        self.perf.pte_swaps += 1;
+                        t += Cycles(costs.pte_swap);
+                    }
+                }
+                UndoOp::Bytes { at, saved } => {
+                    self.vmem.write_bytes(space, *at, saved)?;
+                    t += self.bandwidth.copy_cycles(&self.machine, saved.len() as u64);
+                }
+                UndoOp::Word { at, old } => {
+                    self.vmem.write_u64(space, *at, *old)?;
+                    t += Cycles(costs.mem_access);
+                }
+            }
+        }
+        self.perf.rollback_pages += pages;
+        self.trace.instant(
+            TraceKind::Rollback,
+            Cycles::ZERO,
+            core.0 as u32,
+            &[("ops", journal.len() as u64), ("pages", pages)],
+        );
+        Ok((t, pages))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swapva::SwapVaOptions;
+    use svagc_metrics::MachineConfig;
+    use svagc_vmem::Asid;
+
+    fn setup(frames: u32) -> (Kernel, AddressSpace) {
+        (
+            Kernel::new(MachineConfig::i5_7600(), frames),
+            AddressSpace::new(Asid(1)),
+        )
+    }
+
+    fn fill(k: &mut Kernel, s: &AddressSpace, base: VirtAddr, pages: u64, tag: u64) {
+        for i in 0..pages * 512 {
+            k.vmem.write_u64(s, base + i * 8, tag * 1_000_000 + i).unwrap();
+        }
+    }
+
+    fn snapshot(k: &Kernel, s: &AddressSpace, base: VirtAddr, bytes: u64) -> Vec<u8> {
+        let mut buf = vec![0u8; bytes as usize];
+        k.vmem.read_bytes(s, base, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn rollback_undoes_disjoint_swaps() {
+        let (mut k, mut s) = setup(128);
+        let a = k.vmem.alloc_region(&mut s, 4).unwrap();
+        let b = k.vmem.alloc_region(&mut s, 4).unwrap();
+        fill(&mut k, &s, a, 4, 1);
+        fill(&mut k, &s, b, 4, 2);
+        let before_a = snapshot(&k, &s, a, 4 * PAGE_SIZE);
+        let before_b = snapshot(&k, &s, b, 4 * PAGE_SIZE);
+        k.journal_begin();
+        k.swap_va(&mut s, CoreId(0), SwapRequest { a, b, pages: 4 }, SwapVaOptions::naive())
+            .unwrap();
+        assert_ne!(snapshot(&k, &s, a, 4 * PAGE_SIZE), before_a);
+        let j = k.journal_take().unwrap();
+        assert_eq!(j.len(), 1);
+        let (_, pages) = k.rollback(&mut s, j, CoreId(0)).unwrap();
+        assert_eq!(pages, 8);
+        assert_eq!(snapshot(&k, &s, a, 4 * PAGE_SIZE), before_a);
+        assert_eq!(snapshot(&k, &s, b, 4 * PAGE_SIZE), before_b);
+        assert_eq!(k.perf.rollback_pages, 8);
+    }
+
+    #[test]
+    fn rollback_undoes_overlap_rotation() {
+        // The rotation is NOT involutive — this is exactly the case the
+        // byte snapshot exists for.
+        let (mut k, mut s) = setup(128);
+        let base = k.vmem.alloc_region(&mut s, 10).unwrap();
+        fill(&mut k, &s, base, 10, 3);
+        let before = snapshot(&k, &s, base, 10 * PAGE_SIZE);
+        // Slide 7 pages down by 3: ranges [3..10) -> [0..7) overlap.
+        let req = SwapRequest {
+            a: base,
+            b: base.add_pages(3),
+            pages: 7,
+        };
+        assert!(req.overlaps());
+        k.journal_begin();
+        k.swap_va(&mut s, CoreId(0), req, SwapVaOptions::naive()).unwrap();
+        assert_ne!(snapshot(&k, &s, base, 10 * PAGE_SIZE), before);
+        let j = k.journal_take().unwrap();
+        k.rollback(&mut s, j, CoreId(0)).unwrap();
+        assert_eq!(snapshot(&k, &s, base, 10 * PAGE_SIZE), before);
+    }
+
+    #[test]
+    fn rollback_undoes_memmove() {
+        let (mut k, mut s) = setup(64);
+        let a = k.vmem.alloc_region(&mut s, 2).unwrap();
+        let b = k.vmem.alloc_region(&mut s, 2).unwrap();
+        fill(&mut k, &s, a, 2, 5);
+        fill(&mut k, &s, b, 2, 6);
+        let before_b = snapshot(&k, &s, b, 2 * PAGE_SIZE);
+        k.journal_begin();
+        k.memmove(&s, CoreId(0), a, b, 2 * PAGE_SIZE).unwrap();
+        assert_ne!(snapshot(&k, &s, b, 2 * PAGE_SIZE), before_b);
+        let j = k.journal_take().unwrap();
+        let (_, pages) = k.rollback(&mut s, j, CoreId(0)).unwrap();
+        assert_eq!(pages, 2);
+        assert_eq!(snapshot(&k, &s, b, 2 * PAGE_SIZE), before_b);
+    }
+
+    #[test]
+    fn rollback_undoes_word_writes() {
+        let (mut k, mut s) = setup(16);
+        let a = k.vmem.alloc_region(&mut s, 1).unwrap();
+        k.vmem.write_u64(&s, a, 111).unwrap();
+        k.journal_begin();
+        k.write_word(&s, CoreId(0), a, 222).unwrap();
+        k.write_word(&s, CoreId(0), a, 333).unwrap();
+        let j = k.journal_take().unwrap();
+        assert_eq!(j.len(), 2);
+        k.rollback(&mut s, j, CoreId(0)).unwrap();
+        assert_eq!(k.vmem.read_u64(&s, a).unwrap(), 111, "oldest value wins");
+    }
+
+    #[test]
+    fn rollback_composes_interleaved_ops_in_reverse() {
+        // memmove into b, then swap a<->b, then scribble a word: the undo
+        // order (word, swap, bytes) must restore the exact initial state.
+        let (mut k, mut s) = setup(128);
+        let a = k.vmem.alloc_region(&mut s, 2).unwrap();
+        let b = k.vmem.alloc_region(&mut s, 2).unwrap();
+        fill(&mut k, &s, a, 2, 7);
+        fill(&mut k, &s, b, 2, 8);
+        let before_a = snapshot(&k, &s, a, 2 * PAGE_SIZE);
+        let before_b = snapshot(&k, &s, b, 2 * PAGE_SIZE);
+        k.journal_begin();
+        k.memmove(&s, CoreId(0), a, b, PAGE_SIZE).unwrap();
+        k.swap_va(&mut s, CoreId(0), SwapRequest { a, b, pages: 2 }, SwapVaOptions::naive())
+            .unwrap();
+        k.write_word(&s, CoreId(0), a + 64, 0xDEAD).unwrap();
+        let j = k.journal_take().unwrap();
+        assert_eq!(j.len(), 3);
+        k.rollback(&mut s, j, CoreId(0)).unwrap();
+        assert_eq!(snapshot(&k, &s, a, 2 * PAGE_SIZE), before_a);
+        assert_eq!(snapshot(&k, &s, b, 2 * PAGE_SIZE), before_b);
+    }
+
+    #[test]
+    fn faulted_swap_records_nothing() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let (mut k, mut s) = setup(64);
+        let a = k.vmem.alloc_region(&mut s, 2).unwrap();
+        let b = k.vmem.alloc_region(&mut s, 2).unwrap();
+        k.set_fault_plan(Some(FaultPlan::new(FaultConfig::transient_only(1.0, 1))));
+        k.journal_begin();
+        assert!(k
+            .swap_va(&mut s, CoreId(0), SwapRequest { a, b, pages: 2 }, SwapVaOptions::naive())
+            .is_err());
+        let j = k.journal_take().unwrap();
+        assert!(j.is_empty(), "a faulted request mutates nothing, journals nothing");
+    }
+
+    #[test]
+    fn empty_rollback_is_free() {
+        let (mut k, mut s) = setup(16);
+        k.journal_begin();
+        let j = k.journal_take().unwrap();
+        let (t, pages) = k.rollback(&mut s, j, CoreId(0)).unwrap();
+        assert_eq!(t, Cycles::ZERO);
+        assert_eq!(pages, 0);
+    }
+
+    #[test]
+    fn journal_lifecycle() {
+        let (mut k, _) = setup(16);
+        assert!(!k.journal_active());
+        assert!(k.journal_take().is_none());
+        k.journal_begin();
+        assert!(k.journal_active());
+        assert!(k.journal_take().is_some());
+        assert!(!k.journal_active());
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod error;
 pub mod fault;
+pub mod journal;
 pub mod memmove;
 pub mod overlap;
 pub mod shootdown;
@@ -33,6 +34,7 @@ pub mod swapva;
 
 pub use error::SwapVaError;
 pub use fault::{FaultConfig, FaultKind, FaultPlan};
+pub use journal::{OpJournal, UndoOp};
 pub use overlap::gcd;
 pub use shootdown::{FlushMode, Interference};
 pub use state::{CoreId, Kernel};

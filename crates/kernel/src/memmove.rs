@@ -41,6 +41,13 @@ impl Kernel {
         // Functional move via a bounce buffer (exactly memmove semantics).
         let mut buf = vec![0u8; len as usize];
         self.vmem.read_bytes(space, src, &mut buf)?;
+        // The copy destroys the destination; journal its bytes first so an
+        // aborting GC cycle can restore them (see `crate::journal`).
+        if self.journal_active() {
+            let mut saved = vec![0u8; len as usize];
+            self.vmem.read_bytes(space, dst, &mut saved)?;
+            self.journal_record(crate::journal::UndoOp::Bytes { at: dst, saved });
+        }
         self.vmem.write_bytes(space, dst, &buf)?;
 
         // Cache + DTLB pollution: stream src (reads) then dst (writes),

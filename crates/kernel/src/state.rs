@@ -7,6 +7,7 @@
 //! counts land in [`Kernel::perf`].
 
 use crate::fault::FaultPlan;
+use crate::journal::{OpJournal, UndoOp};
 use svagc_metrics::{
     AccessKind, BandwidthModel, CacheHierarchy, CacheLevel, Cycles, MachineConfig, PerfCounters,
     TraceEvent, Tracer,
@@ -44,6 +45,8 @@ pub struct Kernel {
     pinned: Option<CoreId>,
     /// Seeded SwapVA fault schedule (None = fault-free).
     pub(crate) fault: Option<FaultPlan>,
+    /// Active undo journal (None = not recording). See [`crate::journal`].
+    pub(crate) journal: Option<OpJournal>,
     /// Virtual-time event sink (disabled by default; see
     /// [`svagc_metrics::trace`]). Kernel hot paths emit into it
     /// unconditionally — a disabled sink is a no-op.
@@ -63,6 +66,7 @@ impl Kernel {
             bandwidth: BandwidthModel::new(),
             pinned: None,
             fault: None,
+            journal: None,
             trace: Tracer::disabled(),
         }
     }
@@ -237,6 +241,10 @@ impl Kernel {
     }
 
     /// Write one word through `space` on `core`, with full charging.
+    /// While an undo journal is recording, the word's old value is
+    /// journaled first — this is how GC metadata writes (forwarding
+    /// pointers, adjusted reference fields) become invertible without any
+    /// collector-side bookkeeping.
     pub fn write_word(
         &mut self,
         space: &AddressSpace,
@@ -246,6 +254,10 @@ impl Kernel {
     ) -> Result<Cycles, VmError> {
         let (pa, t) = self.translate(space, core, va)?;
         let lat = self.cache_access(pa, AccessKind::Write);
+        if self.journal.is_some() {
+            let old = self.vmem.phys.read_u64(pa)?;
+            self.journal_record(UndoOp::Word { at: va, old });
+        }
         self.vmem.phys.write_u64(pa, val)?;
         Ok(t + lat)
     }

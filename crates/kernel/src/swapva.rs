@@ -17,6 +17,7 @@
 //!   local-only protocol of Algorithm 4 — see [`crate::shootdown`].
 
 use crate::error::SwapVaError;
+use crate::journal::UndoOp;
 use crate::overlap;
 use crate::shootdown::{FlushMode, Interference};
 use crate::state::{CoreId, Kernel};
@@ -244,8 +245,25 @@ impl Kernel {
                     pages: req.pages,
                 }));
             }
-            return overlap::swap_overlap_body(self, space, core, req, opts.pmd_cache)
-                .map_err(SwapVaError::Vm);
+            // The rotation is not involutive, so journal the byte contents
+            // of the whole window union. Recording only on success is
+            // exact: the rotation validates its window up front and
+            // mutates nothing on error.
+            let snapshot = if self.journal_active() {
+                let lo = if req.a <= req.b { req.a } else { req.b };
+                let delta = req.a.get().abs_diff(req.b.get()) / PAGE_SIZE;
+                let mut buf = vec![0u8; ((req.pages + delta) * PAGE_SIZE) as usize];
+                self.vmem.read_bytes(space, lo, &mut buf).map_err(SwapVaError::Vm)?;
+                Some((lo, buf))
+            } else {
+                None
+            };
+            let t = overlap::swap_overlap_body(self, space, core, req, opts.pmd_cache)
+                .map_err(SwapVaError::Vm)?;
+            if let Some((at, saved)) = snapshot {
+                self.journal_record(UndoOp::Bytes { at, saved });
+            }
+            return Ok(t);
         }
 
         let costs = self.machine.costs;
@@ -273,6 +291,10 @@ impl Kernel {
             t += Cycles(costs.pte_swap);
             self.perf.pte_swaps += 1;
         }
+        // A disjoint swap is involutive: undo = re-swap. Journaled after
+        // the loop, which cannot fail mid-way (both ranges were validated
+        // above).
+        self.journal_record(UndoOp::PteSwap { req });
         Ok(t)
     }
 

@@ -45,6 +45,8 @@ pub struct PerfCounters {
     pub gc_cycles: u64,
     /// SwapVA faults injected by the kernel fault plan.
     pub swap_faults_injected: u64,
+    /// Pages rewritten by transaction rollbacks (aborted GC cycles).
+    pub rollback_pages: u64,
 }
 
 impl PerfCounters {
@@ -78,7 +80,7 @@ impl PerfCounters {
 
     /// Fold every counter into `reg` under `perf.<field>` keys.
     pub fn register_into(&self, reg: &mut crate::registry::Registry) {
-        let fields: [(&str, u64); 17] = [
+        let fields: [(&str, u64); 18] = [
             ("syscalls", self.syscalls),
             ("pte_swaps", self.pte_swaps),
             ("bytes_copied", self.bytes_copied),
@@ -96,6 +98,7 @@ impl PerfCounters {
             ("objects_swapped", self.objects_swapped),
             ("gc_cycles", self.gc_cycles),
             ("swap_faults_injected", self.swap_faults_injected),
+            ("rollback_pages", self.rollback_pages),
         ];
         for (name, v) in fields {
             reg.add(&format!("perf.{name}"), v);
@@ -124,6 +127,7 @@ impl Add for PerfCounters {
             objects_swapped: self.objects_swapped + o.objects_swapped,
             gc_cycles: self.gc_cycles + o.gc_cycles,
             swap_faults_injected: self.swap_faults_injected + o.swap_faults_injected,
+            rollback_pages: self.rollback_pages + o.rollback_pages,
         }
     }
 }
@@ -155,6 +159,7 @@ impl Sub for PerfCounters {
             objects_swapped: self.objects_swapped - o.objects_swapped,
             gc_cycles: self.gc_cycles - o.gc_cycles,
             swap_faults_injected: self.swap_faults_injected - o.swap_faults_injected,
+            rollback_pages: self.rollback_pages - o.rollback_pages,
         }
     }
 }

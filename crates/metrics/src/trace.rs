@@ -77,11 +77,18 @@ pub enum TraceKind {
     BatchSplit,
     /// A fault injected by the kernel fault plan. Instant.
     FaultInjected,
+    /// A GC cycle aborted (unrecoverable fault or blown deadline). Instant.
+    CycleAbort,
+    /// An undo-journal rollback replayed after an abort. Instant.
+    Rollback,
+    /// A degraded-mode transition (escalation or probation recovery).
+    /// Instant.
+    ModeChange,
 }
 
 impl TraceKind {
     /// Every kind, in a fixed order (for summaries and registries).
-    pub const ALL: [TraceKind; 14] = [
+    pub const ALL: [TraceKind; 17] = [
         TraceKind::GcCycle,
         TraceKind::MinorCycle,
         TraceKind::MarkPhase,
@@ -96,6 +103,9 @@ impl TraceKind {
         TraceKind::SwapFallback,
         TraceKind::BatchSplit,
         TraceKind::FaultInjected,
+        TraceKind::CycleAbort,
+        TraceKind::Rollback,
+        TraceKind::ModeChange,
     ];
 
     /// Stable event name (Chrome trace `name`, registry key segment).
@@ -115,6 +125,9 @@ impl TraceKind {
             TraceKind::SwapFallback => "swap_fallback",
             TraceKind::BatchSplit => "batch_split",
             TraceKind::FaultInjected => "fault_injected",
+            TraceKind::CycleAbort => "cycle_abort",
+            TraceKind::Rollback => "rollback",
+            TraceKind::ModeChange => "mode_change",
         }
     }
 
@@ -132,7 +145,10 @@ impl TraceKind {
             | TraceKind::SwapRetry
             | TraceKind::SwapFallback
             | TraceKind::BatchSplit
-            | TraceKind::FaultInjected => "resilience",
+            | TraceKind::FaultInjected
+            | TraceKind::CycleAbort
+            | TraceKind::Rollback
+            | TraceKind::ModeChange => "resilience",
         }
     }
 }

@@ -4,7 +4,7 @@
 use crate::env::JvmEnv;
 use crate::workload::Workload;
 use svagc_baselines::{ParallelGc, Shenandoah};
-use svagc_core::{Collector, GcConfig, GcLog, Lisp2Collector};
+use svagc_core::{Collector, DegradePolicy, GcConfig, GcLog, Lisp2Collector};
 use svagc_heap::{Heap, HeapConfig, HeapVerifier};
 use svagc_kernel::{FaultConfig, FaultPlan, Kernel};
 use svagc_metrics::{
@@ -37,21 +37,44 @@ impl CollectorKind {
     /// verification (LISP2-based collectors only; the baseline wrappers
     /// keep their own fixed configurations).
     pub fn build_verified(&self, gc_threads: usize, verify_phases: bool) -> Box<dyn Collector> {
+        self.build_configured(gc_threads, verify_phases, None, DegradePolicy::off())
+    }
+
+    /// Instantiate the collector with the full set of run-time knobs:
+    /// post-phase verification, per-phase watchdog deadline, and
+    /// degraded-mode policy. The baseline wrappers (ParallelGC,
+    /// Shenandoah) keep their own fixed configurations and ignore the
+    /// transactional knobs.
+    pub fn build_configured(
+        &self,
+        gc_threads: usize,
+        verify_phases: bool,
+        deadline_cycles: Option<u64>,
+        degrade: DegradePolicy,
+    ) -> Box<dyn Collector> {
         match self {
             CollectorKind::Svagc => Box::new(Lisp2Collector::new(
-                GcConfig::svagc(gc_threads).with_verify_phases(verify_phases),
+                GcConfig::svagc(gc_threads)
+                    .with_verify_phases(verify_phases)
+                    .with_deadline(deadline_cycles)
+                    .with_degrade(degrade),
             )),
             CollectorKind::SvagcMemmove => Box::new(Lisp2Collector::new(
-                GcConfig::lisp2_memmove(gc_threads).with_verify_phases(verify_phases),
+                GcConfig::lisp2_memmove(gc_threads)
+                    .with_verify_phases(verify_phases)
+                    .with_deadline(deadline_cycles)
+                    .with_degrade(degrade),
             )),
             CollectorKind::ParallelGc => Box::new(ParallelGc::new(gc_threads)),
             CollectorKind::Shenandoah => Box::new(Shenandoah::new(gc_threads)),
             CollectorKind::Custom(cfg) => Box::new(Lisp2Collector::new(
                 GcConfig {
                     gc_threads,
+                    deadline_cycles: deadline_cycles.or(cfg.deadline_cycles),
                     ..*cfg
                 }
-                .with_verify_phases(verify_phases || cfg.verify_phases),
+                .with_verify_phases(verify_phases || cfg.verify_phases)
+                .with_degrade(if degrade.enabled { degrade } else { cfg.degrade }),
             )),
         }
     }
@@ -106,8 +129,20 @@ pub struct RunConfig {
     pub fault_rate: f64,
     /// Seed of the fault plan (same seed + rate ⇒ same fault sequence).
     pub fault_seed: u64,
+    /// Restrict injected faults to the permanent, non-retryable modes
+    /// (`EINVAL`/`ENOMEM`) instead of the production-skewed uniform mix —
+    /// the profile that defeats retries and exercises fallbacks, fallback
+    /// budgets, and transactional rollback.
+    pub fault_permanent_only: bool,
     /// Run the heap verifier after every LISP2 phase.
     pub verify_phases: bool,
+    /// Per-phase GC watchdog deadline in virtual cycles (`None` = no
+    /// deadline). A phase exceeding the budget aborts the cycle and rolls
+    /// it back through the compaction journal.
+    pub deadline_cycles: Option<u64>,
+    /// Degraded-mode circuit-breaker policy applied after aborted cycles
+    /// (default off — aborts propagate as errors).
+    pub degrade: DegradePolicy,
     /// Record cycle-accurate trace events (requires the `trace` feature;
     /// a no-op sink otherwise). Off by default — the disabled tracer is a
     /// branch on a `None`.
@@ -130,7 +165,10 @@ impl RunConfig {
             threshold_pages: None,
             fault_rate: 0.0,
             fault_seed: 0xFA017,
+            fault_permanent_only: false,
             verify_phases: false,
+            deadline_cycles: None,
+            degrade: DegradePolicy::off(),
             trace: false,
         }
     }
@@ -151,6 +189,18 @@ impl RunConfig {
     /// Enable trace-event recording.
     pub fn with_trace(mut self, on: bool) -> RunConfig {
         self.trace = on;
+        self
+    }
+
+    /// Set the per-phase watchdog deadline (virtual cycles).
+    pub fn with_deadline(mut self, cycles: Option<u64>) -> RunConfig {
+        self.deadline_cycles = cycles;
+        self
+    }
+
+    /// Set the degraded-mode policy.
+    pub fn with_degrade(mut self, policy: DegradePolicy) -> RunConfig {
+        self.degrade = policy;
         self
     }
 }
@@ -257,12 +307,19 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
         heap_cfg = heap_cfg.with_threshold(t);
     }
     let heap = Heap::new(&mut kernel, Asid(cfg.asid), heap_cfg).map_err(|e| e.to_string())?;
-    let collector = cfg.collector.build_verified(cfg.gc_threads, cfg.verify_phases);
+    let collector = cfg.collector.build_configured(
+        cfg.gc_threads,
+        cfg.verify_phases,
+        cfg.deadline_cycles,
+        cfg.degrade,
+    );
     if cfg.fault_rate > 0.0 {
-        kernel.set_fault_plan(Some(FaultPlan::new(FaultConfig::uniform(
-            cfg.fault_rate,
-            cfg.fault_seed,
-        ))));
+        let fc = if cfg.fault_permanent_only {
+            FaultConfig::permanent_only(cfg.fault_rate, cfg.fault_seed)
+        } else {
+            FaultConfig::uniform(cfg.fault_rate, cfg.fault_seed)
+        };
+        kernel.set_fault_plan(Some(FaultPlan::new(fc)));
     }
 
     let mut env = JvmEnv::new(&mut kernel, heap, collector);

@@ -92,3 +92,107 @@ fn aggregated_collector_splits_batches_under_faults() {
         "5% faults over batched swaps must split at least one batch"
     );
 }
+
+/// Escalating fault rates (10% and 50% of all swap requests): the retry
+/// ladder plus memmove fallback must absorb every injected fault and the
+/// live heap must stay bit-identical at every rate.
+#[test]
+fn heavy_fault_rates_stay_bit_identical() {
+    let clean = chaos_run("LRUCache", 0.0);
+    for rate in [0.10, 0.50] {
+        let faulty = chaos_run("LRUCache", rate);
+        assert!(faulty.verify_ok, "p={rate}: verification failed");
+        assert_eq!(
+            faulty.heap_hash, clean.heap_hash,
+            "p={rate}: heap diverged under faults"
+        );
+        assert_eq!(faulty.gc.count(), clean.gc.count(), "p={rate}: GC schedule");
+        assert!(faulty.gc.total_faults_injected() > 0, "p={rate}: plan never fired");
+        assert_eq!(faulty.gc.total_aborts(), 0, "p={rate}: default policy must absorb");
+    }
+    // At 50%, permanent faults in the uniform mix are frequent enough that
+    // the fallback path must have been taken.
+    let heavy = chaos_run("LRUCache", 0.50);
+    assert!(heavy.gc.total_swap_fallbacks() > 0, "50% must force fallbacks");
+}
+
+/// Permanent-only faults (EINVAL/ENOMEM — nothing is retryable) with a
+/// zero fallback budget: every swap-phase attempt is unrecoverable, so each
+/// affected cycle must abort, roll back through the journal, and re-run
+/// degraded. The standard policy lands in memmove-only mode, whose cycles
+/// perform no swaps and therefore see no faults — so the run completes and
+/// the final heap is still bit-identical to the fault-free reference.
+#[test]
+fn permanent_only_faults_abort_rollback_and_degrade() {
+    let run_kind = |fault_rate: f64| {
+        let mut w = suite::by_name("LRUCache").unwrap();
+        let gc_cfg = svagc::gc::GcConfig::svagc(8)
+            .with_retry_policy(svagc::gc::RetryPolicy {
+                max_retries: 2,
+                fallback_budget: Some(0),
+                ..svagc::gc::RetryPolicy::default()
+            })
+            .with_degrade(svagc::gc::DegradePolicy::standard());
+        let mut cfg = RunConfig::new(CollectorKind::Custom(gc_cfg))
+            .with_faults(fault_rate, CHAOS_SEED)
+            .with_verify_phases(true);
+        cfg.fault_permanent_only = true;
+        cfg.gc_threads = 8;
+        run(w.as_mut(), &cfg).unwrap_or_else(|e| panic!("p={fault_rate}: {e}"))
+    };
+    let clean = run_kind(0.0);
+    let faulty = run_kind(1.0);
+    assert!(faulty.verify_ok);
+    assert_eq!(
+        faulty.heap_hash, clean.heap_hash,
+        "rollback + degraded re-run must converge to the fault-free heap"
+    );
+    assert!(faulty.gc.total_aborts() > 0, "p=1 permanent faults must abort");
+    assert!(faulty.gc.total_rollback_pages() > 0, "aborts must roll pages back");
+    assert_eq!(
+        faulty.gc.max_mode(),
+        1,
+        "policy says one escalation to memmove-only ends the faults"
+    );
+    // Mode transitions must match the policy: a cycle either committed in
+    // Normal mode with no aborts, or aborted exactly once and committed in
+    // memmove-only (level 1) with zero swaps.
+    for c in &faulty.gc.cycles {
+        if c.aborts > 0 {
+            assert_eq!(c.mode, 1, "an aborted cycle must commit degraded");
+            assert_eq!(c.swapped_objects, 0, "memmove-only performs no swaps");
+        }
+        assert_eq!(c.verify_violations, 0);
+    }
+    // The clean run must not touch the transactional machinery at all.
+    assert_eq!(clean.gc.total_aborts(), 0);
+    assert_eq!(clean.gc.max_mode(), 0);
+}
+
+/// Forced watchdog expiry end to end: a 1-cycle per-phase budget is
+/// impossible to meet in any mode, so the cycle aborts, degradation walks
+/// the whole ladder, and the error propagates out of the driver — while a
+/// generous budget is invisible (same hash as the no-deadline run).
+#[test]
+fn forced_watchdog_expiry_propagates_and_generous_budget_is_invisible() {
+    let run_kind = |deadline: Option<u64>| {
+        let mut w = suite::by_name("Sigverify").unwrap();
+        let mut cfg = RunConfig::new(CollectorKind::Svagc)
+            .with_verify_phases(true)
+            .with_deadline(deadline)
+            .with_degrade(svagc::gc::DegradePolicy::standard());
+        cfg.gc_threads = 4;
+        run(w.as_mut(), &cfg)
+    };
+    let reference = run_kind(None).expect("no deadline");
+    let generous = run_kind(Some(u64::MAX / 2)).expect("generous deadline");
+    assert_eq!(generous.heap_hash, reference.heap_hash, "armed watchdog must be free");
+    assert_eq!(generous.gc.total_watchdog_expiries(), 0);
+    assert_eq!(generous.gc.total_aborts(), 0);
+
+    let err = run_kind(Some(1)).expect_err("a 1-cycle budget cannot be met");
+    assert!(
+        err.contains("watchdog deadline expired"),
+        "driver must surface the watchdog error, got: {err}"
+    );
+}
