@@ -51,9 +51,11 @@ pub struct ThresholdAblationRow {
     pub pause_us: f64,
     /// Objects moved via SwapVA.
     pub swapped: u64,
+    /// Full-GC pause, exact simulated cycles.
+    pub pause_cycles: u64,
 }
 
-impl_to_json!(ThresholdAblationRow { threshold_pages, pause_us, swapped });
+impl_to_json!(ThresholdAblationRow { threshold_pages, pause_us, swapped, pause_cycles });
 
 /// Sweep the MoveObject threshold on a heap of 16-page objects: too low
 /// and sub-break-even swaps lose to cache-resident copies; too high and
@@ -69,6 +71,7 @@ pub fn threshold_ablation() -> Vec<ThresholdAblationRow> {
                 threshold_pages: t,
                 pause_us: machine.time(pause).as_micros(),
                 swapped: k.perf.objects_swapped,
+                pause_cycles: pause.get(),
             }
         })
         .collect()
@@ -83,9 +86,11 @@ pub struct AggregationAblationRow {
     pub pause_us: f64,
     /// Syscalls issued.
     pub syscalls: u64,
+    /// Full-GC pause, exact simulated cycles.
+    pub pause_cycles: u64,
 }
 
-impl_to_json!(AggregationAblationRow { batch, pause_us, syscalls });
+impl_to_json!(AggregationAblationRow { batch, pause_us, syscalls, pause_cycles });
 
 /// Sweep the aggregation batch size on a heap of exactly-threshold (10
 /// page) objects, where syscall amortization matters most.
@@ -101,6 +106,7 @@ pub fn aggregation_ablation() -> Vec<AggregationAblationRow> {
                 batch: b,
                 pause_us: machine.time(pause).as_micros(),
                 syscalls: k.perf.syscalls,
+                pause_cycles: pause.get(),
             }
         })
         .collect()
@@ -115,9 +121,11 @@ pub struct ToggleAblationRow {
     pub pause_us: f64,
     /// IPIs sent.
     pub ipis: u64,
+    /// Full-GC pause, exact simulated cycles.
+    pub pause_cycles: u64,
 }
 
-impl_to_json!(ToggleAblationRow { variant, pause_us, ipis });
+impl_to_json!(ToggleAblationRow { variant, pause_us, ipis, pause_cycles });
 
 /// Compare Algorithm 4's pinned protocol vs per-call global shootdowns,
 /// with PMD caching and work stealing toggled alongside.
@@ -139,6 +147,7 @@ pub fn mechanism_ablation() -> Vec<ToggleAblationRow> {
                 variant: name.to_string(),
                 pause_us: machine.time(pause).as_micros(),
                 ipis: k.perf.ipis_sent,
+                pause_cycles: pause.get(),
             }
         })
         .collect()
@@ -153,9 +162,19 @@ pub struct MinorAblationRow {
     pub memmove_us: f64,
     /// Scavenge pause with SwapVA+aggregation promotion (µs).
     pub swapva_us: f64,
+    /// memmove scavenge pause, exact simulated cycles.
+    pub memmove_cycles: u64,
+    /// SwapVA scavenge pause, exact simulated cycles.
+    pub swapva_cycles: u64,
 }
 
-impl_to_json!(MinorAblationRow { obj_pages, memmove_us, swapva_us });
+impl_to_json!(MinorAblationRow {
+    obj_pages,
+    memmove_us,
+    swapva_us,
+    memmove_cycles,
+    swapva_cycles,
+});
 
 /// Scavenge a nursery of `N` survivors per object size, promoting by
 /// memmove vs SwapVA.
@@ -180,10 +199,14 @@ pub fn minor_gc_ablation() -> Vec<MinorAblationRow> {
                 let mut gc = MinorGc::new(cfg);
                 gc.collect(&mut k, &mut gh, &mut roots).unwrap().pause
             };
+            let memmove = run(MinorConfig::memmove(8));
+            let swapva = run(MinorConfig::svagc(8));
             MinorAblationRow {
                 obj_pages: pages,
-                memmove_us: machine.time(run(MinorConfig::memmove(8))).as_micros(),
-                swapva_us: machine.time(run(MinorConfig::svagc(8))).as_micros(),
+                memmove_us: machine.time(memmove).as_micros(),
+                swapva_us: machine.time(swapva).as_micros(),
+                memmove_cycles: memmove.get(),
+                swapva_cycles: swapva.get(),
             }
         })
         .collect()
@@ -205,6 +228,10 @@ pub struct LosComparisonRow {
     pub max_pause_us: f64,
     /// Final LOS external fragmentation (unusable fraction of free space).
     pub fragmentation: f64,
+    /// Total GC time, exact simulated cycles.
+    pub total_gc_cycles: u64,
+    /// Worst single pause, exact simulated cycles.
+    pub max_pause_cycles: u64,
 }
 
 impl_to_json!(LosComparisonRow {
@@ -214,6 +241,8 @@ impl_to_json!(LosComparisonRow {
     total_gc_us,
     max_pause_us,
     fragmentation,
+    total_gc_cycles,
+    max_pause_cycles,
 });
 
 /// Run the same variable-size large-object churn against (a) SVAGC's
@@ -299,6 +328,8 @@ pub fn los_comparison() -> Vec<LosComparisonRow> {
             total_gc_us: machine.time(gc.log.total_pause()).as_micros(),
             max_pause_us: machine.time(max_pause).as_micros(),
             fragmentation: 0.0,
+            total_gc_cycles: gc.log.total_pause().get(),
+            max_pause_cycles: max_pause.get(),
         }
     };
 
@@ -354,6 +385,8 @@ pub fn los_comparison() -> Vec<LosComparisonRow> {
             total_gc_us: machine.time(total).as_micros(),
             max_pause_us: machine.time(max_pause).as_micros(),
             fragmentation: h.fragmentation(),
+            total_gc_cycles: total.get(),
+            max_pause_cycles: max_pause.get(),
         }
     };
 

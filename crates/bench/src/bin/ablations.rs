@@ -1,66 +1,28 @@
 //! Design-choice ablations: threshold, aggregation batch size, flush
-//! policy / stealing / PMD caching, and Minor-GC promotion mechanism.
+//! policy / stealing / PMD caching, LOS comparison, and Minor-GC
+//! promotion mechanism. A subset of `bin/all` — same registry, same
+//! flags (`--parallel`, `--out DIR`).
 
-use svagc_bench::ablations;
-use svagc_bench::report::{banner, json_line, Table};
+use std::path::PathBuf;
+use svagc_bench::runner;
 
 fn main() {
-    banner("Ablation A", "MoveObject threshold sweep (16-page objects)");
-    let mut t = Table::new(["threshold (pages)", "GC pause (us)", "objects swapped"]);
-    for r in ablations::threshold_ablation() {
-        t.row([
-            r.threshold_pages.to_string(),
-            format!("{:.1}", r.pause_us),
-            r.swapped.to_string(),
-        ]);
-        json_line("ablation_threshold", &r);
-    }
-    println!("{}", t.render());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parallel = args.iter().any(|a| a == "--parallel");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
 
-    banner("Ablation B", "Aggregation batch size (10-page objects)");
-    let mut t = Table::new(["batch", "GC pause (us)", "syscalls"]);
-    for r in ablations::aggregation_ablation() {
-        t.row([
-            if r.batch == 0 { "separated".to_string() } else { r.batch.to_string() },
-            format!("{:.1}", r.pause_us),
-            r.syscalls.to_string(),
-        ]);
-        json_line("ablation_aggregation", &r);
+    let outcomes = runner::run_ids(&runner::ABLATION_IDS, parallel);
+    for o in &outcomes {
+        print!("{}", o.report.text());
     }
-    println!("{}", t.render());
-
-    banner("Ablation C", "Mechanism toggles (64-page objects)");
-    let mut t = Table::new(["variant", "GC pause (us)", "IPIs"]);
-    for r in ablations::mechanism_ablation() {
-        t.row([r.variant.clone(), format!("{:.1}", r.pause_us), r.ipis.to_string()]);
-        json_line("ablation_mechanism", &r);
+    if let Some(dir) = out_dir {
+        runner::write_bench_files(&dir, &outcomes, parallel)
+            .and_then(|_| runner::write_summary(&dir, &outcomes, parallel))
+            .unwrap_or_else(|e| panic!("cannot write BENCH files to {}: {e}", dir.display()));
+        eprintln!("wrote BENCH files under {}", dir.display());
     }
-    println!("{}", t.render());
-
-    banner("Ablation E", "LOS design vs SVAGC (the intro's critique)");
-    let mut t = Table::new(["design", "GCs", "LOS compactions", "total GC (us)", "max pause (us)", "frag"]);
-    for r in ablations::los_comparison() {
-        t.row([
-            r.design.clone(),
-            r.gcs.to_string(),
-            r.los_compactions.to_string(),
-            format!("{:.1}", r.total_gc_us),
-            format!("{:.1}", r.max_pause_us),
-            format!("{:.2}", r.fragmentation),
-        ]);
-        json_line("ablation_los", &r);
-    }
-    println!("{}", t.render());
-
-    banner("Ablation D", "Minor-GC promotion mechanism (Table I row 2)");
-    let mut t = Table::new(["object pages", "memmove (us)", "SwapVA (us)"]);
-    for r in ablations::minor_gc_ablation() {
-        t.row([
-            r.obj_pages.to_string(),
-            format!("{:.1}", r.memmove_us),
-            format!("{:.1}", r.swapva_us),
-        ]);
-        json_line("ablation_minor", &r);
-    }
-    println!("{}", t.render());
 }

@@ -1,5 +1,6 @@
-//! Regenerates Fig. 01 of the paper.
+//! Regenerates Fig. 1 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig01.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig01();
+    svagc_bench::runner::main_single("fig01");
 }

@@ -1,5 +1,6 @@
-//! Regenerates Fig. 02 of the paper.
+//! Regenerates Fig. 2 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig02.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig02();
+    svagc_bench::runner::main_single("fig02");
 }

@@ -1,5 +1,6 @@
-//! Regenerates Fig. 06 of the paper.
+//! Regenerates Fig. 6 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig06.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig06();
+    svagc_bench::runner::main_single("fig06");
 }

@@ -1,5 +1,6 @@
-//! Regenerates Fig. 08 of the paper.
+//! Regenerates Fig. 8 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig08.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig08();
+    svagc_bench::runner::main_single("fig08");
 }

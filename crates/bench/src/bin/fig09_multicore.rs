@@ -1,5 +1,6 @@
-//! Regenerates Fig. 09 of the paper.
+//! Regenerates Fig. 9 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig09.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig09();
+    svagc_bench::runner::main_single("fig09");
 }

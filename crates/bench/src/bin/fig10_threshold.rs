@@ -1,5 +1,6 @@
-//! Regenerates Fig. 10 of the paper.
+//! Regenerates Fig. 10 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig10.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig10();
+    svagc_bench::runner::main_single("fig10");
 }

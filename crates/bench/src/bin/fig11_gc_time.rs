@@ -1,5 +1,6 @@
-//! Regenerates Fig. 11 of the paper.
+//! Regenerates Fig. 11 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig11.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig11();
+    svagc_bench::runner::main_single("fig11");
 }

@@ -1,5 +1,6 @@
-//! Regenerates Fig. 12 of the paper.
+//! Regenerates Fig. 12 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig12.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig12();
+    svagc_bench::runner::main_single("fig12");
 }

@@ -1,5 +1,6 @@
-//! Regenerates Fig. 13 of the paper.
+//! Regenerates Fig. 13 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig13.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig13();
+    svagc_bench::runner::main_single("fig13");
 }

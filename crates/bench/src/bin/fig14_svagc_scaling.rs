@@ -1,5 +1,6 @@
-//! Regenerates Fig. 14 of the paper.
+//! Regenerates Fig. 14 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig14.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig14();
+    svagc_bench::runner::main_single("fig14");
 }

@@ -1,5 +1,6 @@
-//! Regenerates Fig. 15 of the paper.
+//! Regenerates Fig. 15 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig15.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig15();
+    svagc_bench::runner::main_single("fig15");
 }

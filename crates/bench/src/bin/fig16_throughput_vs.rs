@@ -1,5 +1,6 @@
-//! Regenerates Fig. 16 of the paper.
+//! Regenerates Fig. 16 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_fig16.json` perf record.
 
 fn main() {
-    svagc_bench::render::fig16();
+    svagc_bench::runner::main_single("fig16");
 }

@@ -1,0 +1,53 @@
+//! CI perf gate: compare a freshly generated `BENCH_summary.json`
+//! against the checked-in baseline.
+//!
+//! Usage: `perf_gate --baseline ci/perf-baseline.json --current /tmp/bench/BENCH_summary.json
+//!         [--wall-factor 20] [--wall-slack-ms 250]`
+//!
+//! Exits 0 when every simulated metric is bit-identical to the baseline
+//! and wall times stay under their bounds; exits 1 and prints every
+//! violation otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use svagc_bench::gate::{run_gate, GateConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(baseline) = arg_value(&args, "--baseline").map(PathBuf::from) else {
+        eprintln!("perf_gate: --baseline <file> is required");
+        return ExitCode::FAILURE;
+    };
+    let Some(current) = arg_value(&args, "--current").map(PathBuf::from) else {
+        eprintln!("perf_gate: --current <file> is required");
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = GateConfig::default();
+    if let Some(f) = arg_value(&args, "--wall-factor").and_then(|v| v.parse().ok()) {
+        cfg.wall_factor = f;
+    }
+    if let Some(s) = arg_value(&args, "--wall-slack-ms").and_then(|v| v.parse().ok()) {
+        cfg.wall_slack_ms = s;
+    }
+    match run_gate(&baseline, &current, &cfg) {
+        Ok(()) => {
+            println!(
+                "perf gate PASSED: {} matches {}",
+                current.display(),
+                baseline.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errs) => {
+            eprintln!("perf gate FAILED with {} violation(s):", errs.len());
+            for e in &errs {
+                eprintln!("  - {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! svagc multi --jvms 8 --collector svagc --gc-threads 4
 //! ```
 
+use svagc_bench::report::{HostInfo, Report};
 use svagc_core::{DegradePolicy, DegradedMode};
 use svagc_metrics::MachineConfig;
 use svagc_workloads::driver::{run, CollectorKind, RunConfig};
@@ -24,7 +25,7 @@ fn usage() -> ! {
             [--machine 6130|6240|i5] [--threshold <pages>] [--instrumented]
             [--fault-rate <p>] [--fault-seed <n>] [--verify-phases]
             [--gc-deadline-cycles <n>] [--degrade-policy off|standard|standard:N]
-            [--trace <out.json>] [--trace-summary]
+            [--trace <out.json>] [--trace-summary] [--bench-json <out.json>]
   svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]
 
   --gc-deadline-cycles <n>  per-phase watchdog budget in virtual cycles; a
@@ -39,7 +40,11 @@ fn usage() -> ! {
                       call, shootdown, and fault event, timestamped in
                       virtual cycles
   --trace-summary     print a per-phase/per-event text digest and the
-                      unified counter registry instead of raw JSON"
+                      unified counter registry instead of raw JSON
+  --bench-json <out>  write a svagc-bench-report-v1 BENCH record of the
+                      run: the unified counter registry plus derived
+                      pause/throughput scalars in the simulated plane
+                      (digested), host wall time outside it"
     );
     std::process::exit(2);
 }
@@ -158,10 +163,12 @@ fn main() {
             let trace_summary = get(&fs, "trace-summary").is_some();
             cfg.trace = trace_path.is_some() || trace_summary;
 
+            let t0 = std::time::Instant::now();
             let r = run(w.as_mut(), &cfg).unwrap_or_else(|e| {
                 eprintln!("run failed: {e}");
                 std::process::exit(1);
             });
+            let host_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             println!("workload     : {}", r.workload);
             println!("collector    : {}", r.collector);
             println!(
@@ -229,6 +236,25 @@ fn main() {
                 println!("{}", svagc_metrics::trace_summary(&r.trace, 10, cfg.machine.cores));
                 println!("-- counter registry --");
                 println!("{}", r.registry().render());
+            }
+            if let Some(path) = get(&fs, "bench-json") {
+                let mut rep = Report::new(
+                    "cli_run",
+                    &format!("{} under {} ({})", r.workload, r.collector, cfg.machine.name),
+                );
+                rep.counters_from(&r.registry());
+                rep.counter("gc.pause_cycles", r.gc_pause_cycles());
+                rep.counter("sim.total_cycles", r.total_cycles());
+                rep.derived("gc_total_ms", r.gc_total_ms());
+                rep.derived("gc_avg_ms", r.gc_avg_ms());
+                rep.derived("gc_max_ms", r.gc_max_ms());
+                rep.derived("throughput_steps_per_s", r.throughput());
+                let host = HostInfo { wall_ms: host_wall_ms, threads: 1, parallel: false };
+                std::fs::write(path, rep.bench_json(&host)).unwrap_or_else(|e| {
+                    eprintln!("cannot write BENCH record to {path:?}: {e}");
+                    std::process::exit(1);
+                });
+                println!("bench json   : {} -> {path}", rep.sim_digest());
             }
         }
         Some("multi") => {

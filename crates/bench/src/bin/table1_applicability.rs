@@ -1,5 +1,6 @@
-//! Regenerates Table 1 of the paper.
+//! Regenerates Table 1 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_table1.json` perf record.
 
 fn main() {
-    svagc_bench::render::table1();
+    svagc_bench::runner::main_single("table1");
 }

@@ -1,5 +1,6 @@
-//! Regenerates Table 2 of the paper.
+//! Regenerates Table 2 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_table2.json` perf record.
 
 fn main() {
-    svagc_bench::render::table2();
+    svagc_bench::runner::main_single("table2");
 }

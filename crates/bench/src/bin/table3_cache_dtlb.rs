@@ -1,5 +1,6 @@
-//! Regenerates Table 3 of the paper.
+//! Regenerates Table 3 of the paper. Pass `--out DIR` to also write
+//! the `BENCH_table3.json` perf record.
 
 fn main() {
-    svagc_bench::render::table3();
+    svagc_bench::runner::main_single("table3");
 }

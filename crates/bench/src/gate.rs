@@ -1,0 +1,227 @@
+//! The CI perf gate: compare a freshly generated `BENCH_summary.json`
+//! against a checked-in baseline.
+//!
+//! Simulated metrics are compared **exactly**: the `sim_digest` of every
+//! experiment must match byte-for-byte, and every counter must agree on
+//! its raw JSON token (so u64 cycle counts beyond f64's mantissa still
+//! compare losslessly). Host wall time is the only tolerant metric — it
+//! only has an upper bound, scaled by [`GateConfig::wall_factor`] plus
+//! [`GateConfig::wall_slack_ms`], because the baseline may have been
+//! generated on a much slower (or faster) machine than the CI runner.
+//! Missing or extra experiments and counters are violations in both
+//! directions.
+
+use crate::runner::BENCH_SUMMARY_SCHEMA;
+use svagc_metrics::{parse_json, JsonValue};
+
+/// Tolerances for the host plane. The simulated plane has none.
+pub struct GateConfig {
+    /// Allowed wall-time ratio current/baseline per experiment. Generous
+    /// by default: the baseline machine and the CI runner can differ by
+    /// an order of magnitude, and the gate's job is to catch blow-ups
+    /// (an accidental O(n^2), a lost `--release`), not 10% noise.
+    pub wall_factor: f64,
+    /// Flat slack added on top, so microsecond-scale experiments do not
+    /// trip the ratio on scheduler jitter.
+    pub wall_slack_ms: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            wall_factor: 20.0,
+            wall_slack_ms: 250.0,
+        }
+    }
+}
+
+fn num_raw(v: &JsonValue) -> Option<&str> {
+    match v {
+        JsonValue::Num { raw, .. } => Some(raw),
+        _ => None,
+    }
+}
+
+fn experiments(doc: &JsonValue, which: &str, errs: &mut Vec<String>) -> Vec<JsonValue> {
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == BENCH_SUMMARY_SCHEMA => {}
+        other => errs.push(format!(
+            "{which}: schema is {other:?}, expected {BENCH_SUMMARY_SCHEMA:?}"
+        )),
+    }
+    match doc.get("experiments").and_then(JsonValue::as_arr) {
+        Some(arr) => arr.to_vec(),
+        None => {
+            errs.push(format!("{which}: no \"experiments\" array"));
+            Vec::new()
+        }
+    }
+}
+
+fn entry_id(e: &JsonValue) -> String {
+    e.get("experiment")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("<unnamed>")
+        .to_string()
+}
+
+fn compare_counters(id: &str, base: &JsonValue, cur: &JsonValue, errs: &mut Vec<String>) {
+    let (Some(b), Some(c)) = (
+        base.get("counters").and_then(JsonValue::as_obj),
+        cur.get("counters").and_then(JsonValue::as_obj),
+    ) else {
+        errs.push(format!("{id}: missing counters object"));
+        return;
+    };
+    for (key, bval) in b {
+        match c.iter().find(|(k, _)| k == key) {
+            None => errs.push(format!("{id}: counter {key} missing from current run")),
+            Some((_, cval)) if cval != bval => errs.push(format!(
+                "{id}: counter {key} changed: baseline {} vs current {}",
+                num_raw(bval).unwrap_or("<non-numeric>"),
+                num_raw(cval).unwrap_or("<non-numeric>"),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (key, _) in c {
+        if !b.iter().any(|(k, _)| k == key) {
+            errs.push(format!("{id}: counter {key} absent from baseline (refresh ci/perf-baseline.json)"));
+        }
+    }
+}
+
+/// Compare two parsed summary documents; returns all violations (empty
+/// means the gate passes).
+pub fn compare(baseline: &JsonValue, current: &JsonValue, cfg: &GateConfig) -> Vec<String> {
+    let mut errs = Vec::new();
+    let base = experiments(baseline, "baseline", &mut errs);
+    let cur = experiments(current, "current", &mut errs);
+    for b in &base {
+        let id = entry_id(b);
+        let Some(c) = cur.iter().find(|c| entry_id(c) == id) else {
+            errs.push(format!("{id}: experiment missing from current run"));
+            continue;
+        };
+        let bd = b.get("sim_digest").and_then(JsonValue::as_str);
+        let cd = c.get("sim_digest").and_then(JsonValue::as_str);
+        if bd.is_none() || bd != cd {
+            errs.push(format!(
+                "{id}: sim_digest changed: baseline {} vs current {} (simulated output is expected to be bit-exact; if the change is intentional, refresh ci/perf-baseline.json)",
+                bd.unwrap_or("<missing>"),
+                cd.unwrap_or("<missing>"),
+            ));
+        }
+        compare_counters(&id, b, c, &mut errs);
+        let bw = b.get("wall_ms").and_then(JsonValue::as_f64);
+        let cw = c.get("wall_ms").and_then(JsonValue::as_f64);
+        match (bw, cw) {
+            (Some(bw), Some(cw)) => {
+                let bound = bw * cfg.wall_factor + cfg.wall_slack_ms;
+                if cw > bound {
+                    errs.push(format!(
+                        "{id}: wall_ms {cw:.1} exceeds bound {bound:.1} (baseline {bw:.1} x {} + {}ms slack)",
+                        cfg.wall_factor, cfg.wall_slack_ms
+                    ));
+                }
+            }
+            _ => errs.push(format!("{id}: missing wall_ms")),
+        }
+    }
+    for c in &cur {
+        let id = entry_id(c);
+        if !base.iter().any(|b| entry_id(b) == id) {
+            errs.push(format!(
+                "{id}: experiment absent from baseline (refresh ci/perf-baseline.json)"
+            ));
+        }
+    }
+    errs
+}
+
+/// Read, parse, and compare two summary files.
+pub fn run_gate(
+    baseline_path: &std::path::Path,
+    current_path: &std::path::Path,
+    cfg: &GateConfig,
+) -> Result<(), Vec<String>> {
+    let read = |p: &std::path::Path| -> Result<JsonValue, Vec<String>> {
+        let text = std::fs::read_to_string(p)
+            .map_err(|e| vec![format!("cannot read {}: {e}", p.display())])?;
+        parse_json(&text).map_err(|e| vec![format!("cannot parse {}: {e}", p.display())])
+    };
+    let baseline = read(baseline_path)?;
+    let current = read(current_path)?;
+    let errs = compare(&baseline, &current, cfg);
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(digest: &str, cycles: u64, wall: f64) -> JsonValue {
+        parse_json(&format!(
+            "{{\"schema\":\"{BENCH_SUMMARY_SCHEMA}\",\"parallel\":false,\"host_threads\":1,\
+             \"experiments\":[{{\"experiment\":\"fig99\",\"sim_digest\":\"{digest}\",\
+             \"counters\":{{\"gc.pause_cycles\":{cycles}}},\"wall_ms\":{wall}}}]}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let a = summary("fnv1a:00000000deadbeef", u64::MAX, 10.0);
+        assert!(compare(&a, &a, &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn digest_and_counter_drift_are_violations() {
+        let base = summary("fnv1a:00000000deadbeef", 100, 10.0);
+        let cur = summary("fnv1a:00000000cafecafe", 101, 10.0);
+        let errs = compare(&base, &cur, &GateConfig::default());
+        assert!(errs.iter().any(|e| e.contains("sim_digest changed")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("gc.pause_cycles changed")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn u64_counters_compare_exactly_beyond_f64_mantissa() {
+        // These two differ by 1 ULP of u64 but round to the same f64.
+        let base = summary("fnv1a:00000000deadbeef", 9_007_199_254_740_993, 10.0);
+        let cur = summary("fnv1a:00000000deadbeef", 9_007_199_254_740_992, 10.0);
+        let errs = compare(&base, &cur, &GateConfig::default());
+        assert!(errs.iter().any(|e| e.contains("gc.pause_cycles changed")), "{errs:?}");
+    }
+
+    #[test]
+    fn wall_time_is_an_upper_bound_only() {
+        let cfg = GateConfig { wall_factor: 2.0, wall_slack_ms: 1.0 };
+        let base = summary("fnv1a:00000000deadbeef", 1, 10.0);
+        // Faster than baseline: fine.
+        assert!(compare(&base, &summary("fnv1a:00000000deadbeef", 1, 0.01), &cfg).is_empty());
+        // Within 2x + 1ms: fine.
+        assert!(compare(&base, &summary("fnv1a:00000000deadbeef", 1, 20.9), &cfg).is_empty());
+        // Beyond the bound: violation.
+        let errs = compare(&base, &summary("fnv1a:00000000deadbeef", 1, 21.1), &cfg);
+        assert!(errs.iter().any(|e| e.contains("wall_ms")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_and_extra_experiments_are_violations() {
+        let a = summary("fnv1a:00000000deadbeef", 1, 10.0);
+        let empty = parse_json(&format!(
+            "{{\"schema\":\"{BENCH_SUMMARY_SCHEMA}\",\"parallel\":false,\"host_threads\":1,\"experiments\":[]}}"
+        ))
+        .unwrap();
+        let cfg = GateConfig::default();
+        assert!(compare(&a, &empty, &cfg).iter().any(|e| e.contains("missing from current")));
+        assert!(compare(&empty, &a, &cfg).iter().any(|e| e.contains("absent from baseline")));
+    }
+}

@@ -39,6 +39,10 @@ pub struct AggregationRow {
     pub aggregated_us: f64,
     /// separated / aggregated.
     pub speedup: f64,
+    /// Separated calls, exact simulated cycles.
+    pub separated_cycles: u64,
+    /// Aggregated call, exact simulated cycles.
+    pub aggregated_cycles: u64,
 }
 
 /// Fig. 6: fix the total work at `total_pages`, sweep the request size.
@@ -70,6 +74,8 @@ pub fn fig06_aggregation(total_pages: u64) -> Vec<AggregationRow> {
             separated_us: machine.time(separated).as_micros(),
             aggregated_us: machine.time(aggregated).as_micros(),
             speedup: separated.get() as f64 / aggregated.get().max(1) as f64,
+            separated_cycles: separated.get(),
+            aggregated_cycles: aggregated.get(),
         });
     }
     rows
@@ -86,6 +92,10 @@ pub struct PmdCacheRow {
     pub cached_us: f64,
     /// Improvement percentage.
     pub improvement_pct: f64,
+    /// Without PMD caching, exact simulated cycles.
+    pub uncached_cycles: u64,
+    /// With PMD caching, exact simulated cycles.
+    pub cached_cycles: u64,
 }
 
 /// Fig. 8: sweep the swap size with and without PMD caching.
@@ -115,6 +125,8 @@ pub fn fig08_pmd_cache() -> Vec<PmdCacheRow> {
             cached_us: machine.time(cached).as_micros(),
             improvement_pct: 100.0 * (uncached.get() - cached.get()) as f64
                 / uncached.get() as f64,
+            uncached_cycles: uncached.get(),
+            cached_cycles: cached.get(),
         });
     }
     rows
@@ -140,6 +152,14 @@ pub struct MulticoreRow {
     pub pinned_ipis: u64,
     /// IPIs sent by the tracked version.
     pub tracked_ipis: u64,
+    /// memmove baseline, exact simulated cycles.
+    pub memmove_cycles: u64,
+    /// Naive SwapVA, exact simulated cycles.
+    pub naive_cycles: u64,
+    /// Pinned SwapVA, exact simulated cycles.
+    pub pinned_cycles: u64,
+    /// Tracked SwapVA, exact simulated cycles.
+    pub tracked_cycles: u64,
 }
 
 /// Fig. 9: 100 live swappable objects, sweep the core count.
@@ -218,6 +238,10 @@ pub fn fig09_multicore(object_pages: u64) -> Vec<MulticoreRow> {
             naive_ipis,
             pinned_ipis,
             tracked_ipis,
+            memmove_cycles: memmove.get(),
+            naive_cycles: naive.get(),
+            pinned_cycles: pinned.get(),
+            tracked_cycles: tracked.get(),
         });
     }
     rows
@@ -232,6 +256,10 @@ pub struct ThresholdRow {
     pub memmove_us: f64,
     /// SwapVA cost (µs, syscall + local flush included).
     pub swapva_us: f64,
+    /// memmove cost, exact simulated cycles.
+    pub memmove_cycles: u64,
+    /// SwapVA cost, exact simulated cycles.
+    pub swapva_cycles: u64,
 }
 
 impl_to_json!(AggregationRow {
@@ -240,9 +268,18 @@ impl_to_json!(AggregationRow {
     separated_us,
     aggregated_us,
     speedup,
+    separated_cycles,
+    aggregated_cycles,
 });
 
-impl_to_json!(PmdCacheRow { pages, uncached_us, cached_us, improvement_pct });
+impl_to_json!(PmdCacheRow {
+    pages,
+    uncached_us,
+    cached_us,
+    improvement_pct,
+    uncached_cycles,
+    cached_cycles,
+});
 
 impl_to_json!(MulticoreRow {
     cores,
@@ -253,9 +290,19 @@ impl_to_json!(MulticoreRow {
     naive_ipis,
     pinned_ipis,
     tracked_ipis,
+    memmove_cycles,
+    naive_cycles,
+    pinned_cycles,
+    tracked_cycles,
 });
 
-impl_to_json!(ThresholdRow { pages, memmove_us, swapva_us });
+impl_to_json!(ThresholdRow {
+    pages,
+    memmove_us,
+    swapva_us,
+    memmove_cycles,
+    swapva_cycles,
+});
 
 /// Fig. 10: sweep object size on one machine; the crossover is the
 /// break-even threshold.
@@ -279,6 +326,8 @@ pub fn fig10_threshold(machine: &MachineConfig, max_pages: u64) -> Vec<Threshold
             pages: p,
             memmove_us: machine.time(mm).as_micros(),
             swapva_us: machine.time(sw).as_micros(),
+            memmove_cycles: mm.get(),
+            swapva_cycles: sw.get(),
         });
         p += 1;
     }

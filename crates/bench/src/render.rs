@@ -1,16 +1,19 @@
-//! Rendering of every figure/table: each `figNN()` runs its experiment and
-//! prints the paper-matching rows (aligned table + `@json` lines). The
-//! `bin/figNN_*` binaries and `bin/all` are thin wrappers.
+//! Rendering of every figure/table: each experiment function runs its
+//! simulation and writes the paper-matching rows into a [`Report`] sink —
+//! aligned text tables plus `@json` row echoes on the text plane, rows /
+//! headline counters / derived scalars on the simulated plane (which the
+//! BENCH JSON emitter digests for the CI perf gate). The `bin/figNN_*`
+//! binaries and `bin/all` are thin wrappers over [`crate::runner`].
 
 use crate::micro;
-use crate::report::{banner, json_line, ms, pct, x, Table};
+use crate::report::{fnv1a, ms, pct, x, Report, Table};
 use crate::suites::{self, GcTimeRow};
+use crate::ablations;
 use svagc_metrics::MachineConfig;
 use svagc_workloads::driver::CollectorKind;
 
 /// Fig. 1: execution time split of the full-GC phases (memmove prototype).
-pub fn fig01() {
-    banner("Fig. 1", "Execution time of the full GC phases (i5-7600)");
+pub fn fig01(rep: &mut Report) {
     let rows = suites::fig01_rows();
     let mut t = Table::new(["benchmark", "mark", "forward", "adjust", "compact", "compact %"]);
     for r in &rows {
@@ -23,18 +26,30 @@ pub fn fig01() {
             ms(r.compact_ms),
             pct(100.0 * r.compact_ms / total),
         ]);
-        json_line("fig01", r);
+        rep.row("fig01", r);
+        rep.counter("gc.pause_cycles", r.gc_pause_cycles);
+        rep.counter("sim.total_cycles", r.total_cycles);
     }
-    println!("{}", t.render());
-    println!("(paper: compaction = 79.33% Sparse.large, 84.76% FFT.large)");
+    rep.table(&t);
+    rep.say("(paper: compaction = 79.33% Sparse.large, 84.76% FFT.large)");
 }
 
 /// Fig. 2: multi-JVM scalability collapse under ParallelGC.
-pub fn fig02() {
-    banner("Fig. 2", "Scalability issue in LRU Cache under ParallelGC (32-core Xeon)");
+pub fn fig02(rep: &mut Report) {
     let rows = suites::multijvm_rows(CollectorKind::ParallelGc, &[1, 2, 4, 8, 16, 32]);
+    multijvm_render("fig02", rep, &rows);
+    let g = rows.last().unwrap().gc_total_ms / rows[0].gc_total_ms;
+    let a = rows.last().unwrap().app_ms / rows[0].app_ms;
+    rep.derived("gc_growth_1_to_32", g);
+    rep.derived("app_growth_1_to_32", a);
+    rep.say(format!(
+        "1->32 JVMs: GC time x{g:.2}, app time x{a:.2} (paper: both rise significantly)"
+    ));
+}
+
+fn multijvm_render(tag: &str, rep: &mut Report, rows: &[suites::MultiJvmRow]) {
     let mut t = Table::new(["JVMs", "GC total (ms)", "GC max (ms)", "app (ms)", "total (ms)"]);
-    for r in &rows {
+    for r in rows {
         t.row([
             r.jvms.to_string(),
             ms(r.gc_total_ms),
@@ -42,17 +57,15 @@ pub fn fig02() {
             ms(r.app_ms),
             ms(r.total_ms),
         ]);
-        json_line("fig02", r);
+        rep.row(tag, r);
+        rep.counter("gc.pause_cycles", r.gc_pause_cycles);
+        rep.counter("sim.total_cycles", r.total_cycles);
     }
-    println!("{}", t.render());
-    let g = rows.last().unwrap().gc_total_ms / rows[0].gc_total_ms;
-    let a = rows.last().unwrap().app_ms / rows[0].app_ms;
-    println!("1->32 JVMs: GC time x{g:.2}, app time x{a:.2} (paper: both rise significantly)");
+    rep.table(&t);
 }
 
 /// Fig. 6: aggregated vs separated SwapVA calls.
-pub fn fig06() {
-    banner("Fig. 6", "Aggregated vs separated SwapVA calls (i5-7600)");
+pub fn fig06(rep: &mut Report) {
     let rows = micro::fig06_aggregation(1024);
     let mut t = Table::new(["pages/req", "requests", "separated (us)", "aggregated (us)", "speedup"]);
     for r in &rows {
@@ -63,15 +76,16 @@ pub fn fig06() {
             format!("{:.1}", r.aggregated_us),
             x(r.speedup),
         ]);
-        json_line("fig06", r);
+        rep.row("fig06", r);
+        rep.counter("swap.separated_cycles", r.separated_cycles);
+        rep.counter("swap.aggregated_cycles", r.aggregated_cycles);
     }
-    println!("{}", t.render());
-    println!("(paper: aggregation wins most for small requests; gap closes as input size grows)");
+    rep.table(&t);
+    rep.say("(paper: aggregation wins most for small requests; gap closes as input size grows)");
 }
 
 /// Fig. 8: PMD-caching benefit.
-pub fn fig08() {
-    banner("Fig. 8", "Benefits of PMD caching (i5-7600)");
+pub fn fig08(rep: &mut Report) {
     let rows = micro::fig08_pmd_cache();
     let mut t = Table::new(["pages", "no cache (us)", "cached (us)", "improvement"]);
     for r in &rows {
@@ -81,18 +95,23 @@ pub fn fig08() {
             format!("{:.2}", r.cached_us),
             pct(r.improvement_pct),
         ]);
-        json_line("fig08", r);
+        rep.row("fig08", r);
+        rep.counter("swap.uncached_cycles", r.uncached_cycles);
+        rep.counter("swap.cached_cycles", r.cached_cycles);
     }
-    println!("{}", t.render());
+    rep.table(&t);
     let multi: Vec<_> = rows.iter().filter(|r| r.pages >= 8).collect();
     let max = multi.iter().map(|r| r.improvement_pct).fold(0.0, f64::max);
     let avg = multi.iter().map(|r| r.improvement_pct).sum::<f64>() / multi.len() as f64;
-    println!("multi-page: max {max:.1}%, avg {avg:.1}% (paper: up to 52.5%, avg 36.7%)");
+    rep.derived("multi_page_improvement_max_pct", max);
+    rep.derived("multi_page_improvement_avg_pct", avg);
+    rep.say(format!(
+        "multi-page: max {max:.1}%, avg {avg:.1}% (paper: up to 52.5%, avg 36.7%)"
+    ));
 }
 
 /// Fig. 9: multi-core shootdown optimizations.
-pub fn fig09() {
-    banner("Fig. 9", "Multi-core optimizations to SwapVA (Xeon 6130, 100 objects)");
+pub fn fig09(rep: &mut Report) {
     let rows = micro::fig09_multicore(16);
     let mut t = Table::new([
         "cores",
@@ -115,21 +134,27 @@ pub fn fig09() {
             r.pinned_ipis.to_string(),
             r.tracked_ipis.to_string(),
         ]);
-        json_line("fig09", r);
+        rep.row("fig09", r);
+        rep.counter("ipi.naive", r.naive_ipis);
+        rep.counter("ipi.pinned", r.pinned_ipis);
+        rep.counter("ipi.tracked", r.tracked_ipis);
+        rep.counter("swap.naive_cycles", r.naive_cycles);
+        rep.counter("swap.pinned_cycles", r.pinned_cycles);
+        rep.counter("swap.tracked_cycles", r.tracked_cycles);
     }
-    println!("{}", t.render());
+    rep.table(&t);
     let last = rows.last().unwrap();
-    println!(
-        "IPI reduction at 32 cores: {:.0}x (Eq. 2 predicts l-bar = 100)",
-        last.naive_ipis as f64 / last.pinned_ipis.max(1) as f64
-    );
+    let gain = last.naive_ipis as f64 / last.pinned_ipis.max(1) as f64;
+    rep.derived("ipi_reduction_32_cores", gain);
+    rep.say(format!(
+        "IPI reduction at 32 cores: {gain:.0}x (Eq. 2 predicts l-bar = 100)"
+    ));
 }
 
 /// Fig. 10: memmove/SwapVA break-even threshold on two machines.
-pub fn fig10() {
-    banner("Fig. 10", "Threshold value for SwapVA in different CPU/memory configs");
+pub fn fig10(rep: &mut Report) {
     for machine in [MachineConfig::xeon_gold_6130(), MachineConfig::xeon_gold_6240()] {
-        println!("\n-- {} --", machine.name);
+        rep.say(format!("\n-- {} --", machine.name));
         let rows = micro::fig10_threshold(&machine, 24);
         let mut t = Table::new(["pages", "memmove (us)", "SwapVA (us)"]);
         for r in &rows {
@@ -138,15 +163,20 @@ pub fn fig10() {
                 format!("{:.2}", r.memmove_us),
                 format!("{:.2}", r.swapva_us),
             ]);
-            json_line("fig10", r);
+            rep.row("fig10", r);
+            rep.counter("move.memmove_cycles", r.memmove_cycles);
+            rep.counter("move.swapva_cycles", r.swapva_cycles);
         }
-        println!("{}", t.render());
+        rep.table(&t);
         match micro::break_even(&rows) {
-            Some(p) => println!(
-                "break-even: {p} pages (paper: ~10; cost-model formula derives {})",
-                machine.derived_threshold_pages()
-            ),
-            None => println!("no crossover in range"),
+            Some(p) => {
+                rep.counter("threshold.break_even_pages", p);
+                rep.say(format!(
+                    "break-even: {p} pages (paper: ~10; cost-model formula derives {})",
+                    machine.derived_threshold_pages()
+                ));
+            }
+            None => rep.say("no crossover in range"),
         }
     }
 }
@@ -159,8 +189,7 @@ fn suite_pair(factor: f64) -> (Vec<GcTimeRow>, Vec<GcTimeRow>) {
 }
 
 /// Fig. 11: GC time −/+ SwapVA per benchmark, compaction vs other phases.
-pub fn fig11() {
-    banner("Fig. 11", "GC time -/+ SwapVA on SVAGC at 1.2x min heap");
+pub fn fig11(rep: &mut Report) {
     let (memmove, swap) = suite_pair(1.2);
     let mut t = Table::new([
         "benchmark",
@@ -181,11 +210,14 @@ pub fn fig11() {
             ms(s.other_ms),
             pct(red),
         ]);
-        json_line("fig11_memmove", m);
-        json_line("fig11_swapva", s);
+        rep.row("fig11_memmove", m);
+        rep.row("fig11_swapva", s);
+        rep.counter("gc.pause_cycles.memmove", m.gc_pause_cycles);
+        rep.counter("gc.pause_cycles.swapva", s.gc_pause_cycles);
+        rep.counter("swap.objects", s.swapped_objects);
     }
-    println!("{}", t.render());
-    println!("(paper: pause reduced up to 70.9% Sparse.large/4, 97% Sigverify)");
+    rep.table(&t);
+    rep.say("(paper: pause reduced up to 70.9% Sparse.large/4, 97% Sigverify)");
 }
 
 fn three_way(factor: f64) -> [Vec<GcTimeRow>; 3] {
@@ -196,12 +228,17 @@ fn three_way(factor: f64) -> [Vec<GcTimeRow>; 3] {
     ]
 }
 
-fn render_latency(fig: &str, caption: &str, metric: fn(&GcTimeRow) -> f64, paper_note: &str) {
-    banner(fig, caption);
+fn render_latency(
+    rep: &mut Report,
+    fig: &str,
+    metric: fn(&GcTimeRow) -> f64,
+    paper_note: &str,
+) {
     for factor in [1.2, 2.0] {
-        println!("\n-- heap = {factor}x minimum --");
+        rep.say(format!("\n-- heap = {factor}x minimum --"));
         let [shen, pgc, svagc] = three_way(factor);
-        let mut t = Table::new(["benchmark", "Shenandoah", "ParallelGC", "SVAGC", "PGC/SVAGC", "Shen/SVAGC"]);
+        let mut t =
+            Table::new(["benchmark", "Shenandoah", "ParallelGC", "SVAGC", "PGC/SVAGC", "Shen/SVAGC"]);
         let (mut rp, mut rs, mut n) = (0.0, 0.0, 0);
         for ((sh, pg), sv) in shen.iter().zip(&pgc).zip(&svagc) {
             let (a, b, c) = (metric(sh), metric(pg), metric(sv));
@@ -216,61 +253,56 @@ fn render_latency(fig: &str, caption: &str, metric: fn(&GcTimeRow) -> f64, paper
             rp += b / c.max(1e-12);
             rs += a / c.max(1e-12);
             n += 1;
-            json_line(&format!("{}_{}", fig.to_lowercase().replace(". ", ""), factor), sv);
+            rep.row(&format!("{}_{}", fig.to_lowercase().replace(". ", ""), factor), sv);
+            rep.counter("gc.pause_cycles.shenandoah", sh.gc_pause_cycles);
+            rep.counter("gc.pause_cycles.parallelgc", pg.gc_pause_cycles);
+            rep.counter("gc.pause_cycles.svagc", sv.gc_pause_cycles);
         }
-        println!("{}", t.render());
-        println!(
-            "mean ratio vs SVAGC: ParallelGC {:.2}x, Shenandoah {:.2}x  {paper_note}",
-            rp / n as f64,
-            rs / n as f64
-        );
+        rep.table(&t);
+        let (mean_p, mean_s) = (rp / n as f64, rs / n as f64);
+        rep.derived(&format!("mean_ratio_parallelgc_{factor}"), mean_p);
+        rep.derived(&format!("mean_ratio_shenandoah_{factor}"), mean_s);
+        rep.say(format!(
+            "mean ratio vs SVAGC: ParallelGC {mean_p:.2}x, Shenandoah {mean_s:.2}x  {paper_note}"
+        ));
     }
 }
 
 /// Fig. 12: average Full-GC latency, SVAGC vs baselines.
-pub fn fig12() {
+pub fn fig12(rep: &mut Report) {
     render_latency(
+        rep,
         "Fig. 12",
-        "Average Full-GC latency vs Shenandoah/ParallelGC",
         |r| r.gc_avg_ms,
         "(paper @1.2x: 3.82x / 16.05x; @2x: 2.74x / 13.62x)",
     );
 }
 
 /// Fig. 13: maximum pause, SVAGC vs baselines.
-pub fn fig13() {
+pub fn fig13(rep: &mut Report) {
     render_latency(
+        rep,
         "Fig. 13",
-        "Maximum GC pause vs Shenandoah/ParallelGC",
         |r| r.gc_max_ms,
         "(paper @1.2x: 4.49x / 18.25x; @2x: 3.60x / 12.24x)",
     );
 }
 
 /// Fig. 14: SVAGC multi-JVM scaling.
-pub fn fig14() {
-    banner("Fig. 14", "Scalability of SVAGC in single/multi-JVM setting (32 cores)");
+pub fn fig14(rep: &mut Report) {
     let rows = suites::multijvm_rows(CollectorKind::Svagc, &[1, 2, 4, 8, 16, 32]);
-    let mut t = Table::new(["JVMs", "GC total (ms)", "GC max (ms)", "app (ms)", "total (ms)"]);
-    for r in &rows {
-        t.row([
-            r.jvms.to_string(),
-            ms(r.gc_total_ms),
-            ms(r.gc_max_ms),
-            ms(r.app_ms),
-            ms(r.total_ms),
-        ]);
-        json_line("fig14", r);
-    }
-    println!("{}", t.render());
+    multijvm_render("fig14", rep, &rows);
     let g = 100.0 * (rows.last().unwrap().gc_total_ms / rows[0].gc_total_ms - 1.0);
     let a = 100.0 * (rows.last().unwrap().app_ms / rows[0].app_ms - 1.0);
-    println!("1->32 JVMs: GC time +{g:.0}%, app time +{a:.0}% (paper: +52% GC vs +327.5% app)");
+    rep.derived("gc_growth_pct_1_to_32", g);
+    rep.derived("app_growth_pct_1_to_32", a);
+    rep.say(format!(
+        "1->32 JVMs: GC time +{g:.0}%, app time +{a:.0}% (paper: +52% GC vs +327.5% app)"
+    ));
 }
 
 /// Fig. 15: application throughput gain from SwapVA at 1.2× heap.
-pub fn fig15() {
-    banner("Fig. 15", "Application throughput of SVAGC at 1.2x min heap (+/- SwapVA)");
+pub fn fig15(rep: &mut Report) {
     let (memmove, swap) = suite_pair(1.2);
     let mut t = Table::new(["benchmark", "-SwapVA (steps/s)", "+SwapVA (steps/s)", "improvement"]);
     for (m, s) in memmove.iter().zip(&swap) {
@@ -281,17 +313,18 @@ pub fn fig15() {
             format!("{:.1}", s.throughput),
             pct(imp),
         ]);
-        json_line("fig15", s);
+        rep.row("fig15", s);
+        rep.counter("sim.total_cycles.memmove", m.total_cycles);
+        rep.counter("sim.total_cycles.swapva", s.total_cycles);
     }
-    println!("{}", t.render());
-    println!("(paper: +15.2% CryptoAES ... +86.9% Sparse.large)");
+    rep.table(&t);
+    rep.say("(paper: +15.2% CryptoAES ... +86.9% Sparse.large)");
 }
 
 /// Fig. 16: application throughput, SVAGC vs baselines at both factors.
-pub fn fig16() {
-    banner("Fig. 16", "Throughput of SVAGC vs Shenandoah/ParallelGC");
+pub fn fig16(rep: &mut Report) {
     for factor in [1.2, 2.0] {
-        println!("\n-- heap = {factor}x minimum --");
+        rep.say(format!("\n-- heap = {factor}x minimum --"));
         let [shen, pgc, svagc] = three_way(factor);
         let mut t = Table::new(["benchmark", "Shenandoah", "ParallelGC", "SVAGC", "vs PGC", "vs Shen"]);
         let (mut ip, mut is_, mut n) = (0.0, 0.0, 0);
@@ -309,32 +342,38 @@ pub fn fig16() {
             ip += vp;
             is_ += vs;
             n += 1;
-            json_line(&format!("fig16_{factor}"), sv);
+            rep.row(&format!("fig16_{factor}"), sv);
+            rep.counter("sim.total_cycles.shenandoah", sh.total_cycles);
+            rep.counter("sim.total_cycles.parallelgc", pg.total_cycles);
+            rep.counter("sim.total_cycles.svagc", sv.total_cycles);
         }
-        println!("{}", t.render());
-        println!(
-            "mean improvement: vs ParallelGC {:.1}%, vs Shenandoah {:.1}% (paper @1.2x: 30.95%/37.27%; @2x: 15.26%/16.79%)",
-            ip / n as f64,
-            is_ / n as f64
-        );
+        rep.table(&t);
+        let (mean_p, mean_s) = (ip / n as f64, is_ / n as f64);
+        rep.derived(&format!("mean_improvement_vs_parallelgc_{factor}"), mean_p);
+        rep.derived(&format!("mean_improvement_vs_shenandoah_{factor}"), mean_s);
+        rep.say(format!(
+            "mean improvement: vs ParallelGC {mean_p:.1}%, vs Shenandoah {mean_s:.1}% (paper @1.2x: 30.95%/37.27%; @2x: 15.26%/16.79%)"
+        ));
     }
 }
 
 /// Table I: applicability matrix.
-pub fn table1() {
-    banner("Table I", "Applicability of SwapVA and optimizations");
-    print!("{}", svagc_core::applicability::render_table());
+pub fn table1(rep: &mut Report) {
+    let text = svagc_core::applicability::render_table();
+    // Static tables have no numeric rows; pin the rendered text itself.
+    rep.counter("render.text_fnv", fnv1a(text.as_bytes()));
+    rep.say(text.trim_end());
 }
 
 /// Table II: benchmark configuration.
-pub fn table2() {
-    banner("Table II", "Benchmarks configuration (paper values; see EXPERIMENTS.md for scaling)");
-    print!("{}", svagc_workloads::render_table_ii());
+pub fn table2(rep: &mut Report) {
+    let text = svagc_workloads::render_table_ii();
+    rep.counter("render.text_fnv", fnv1a(text.as_bytes()));
+    rep.say(text.trim_end());
 }
 
 /// Table III: cache & DTLB miss rates.
-pub fn table3() {
-    banner("Table III", "Cache & DTLB misses at 1.2x (2x) minimum heap");
+pub fn table3(rep: &mut Report) {
     let rows = suites::table3_rows(Some(25));
     let mut t = Table::new([
         "benchmark",
@@ -352,17 +391,103 @@ pub fn table3() {
             pair(r.dtlb_memmove),
             pair(r.dtlb_swapva),
         ]);
-        json_line("table3", r);
+        rep.row("table3", r);
     }
     // Summary rows (min/max/geomean, as in the paper).
     let gm = |f: fn(&suites::CacheDtlbRow) -> f64| suites::geomean(rows.iter().map(f));
+    let (gc_m, gc_s) = (gm(|r| r.cache_memmove.0), gm(|r| r.cache_swapva.0));
+    let (gd_m, gd_s) = (gm(|r| r.dtlb_memmove.0), gm(|r| r.dtlb_swapva.0));
     t.row([
         "geomean".to_string(),
-        format!("{:.2}", gm(|r| r.cache_memmove.0)),
-        format!("{:.2}", gm(|r| r.cache_swapva.0)),
-        format!("{:.2}", gm(|r| r.dtlb_memmove.0)),
-        format!("{:.2}", gm(|r| r.dtlb_swapva.0)),
+        format!("{gc_m:.2}"),
+        format!("{gc_s:.2}"),
+        format!("{gd_m:.2}"),
+        format!("{gd_s:.2}"),
     ]);
-    println!("{}", t.render());
-    println!("(paper geomeans @1.2x: cache 69.32 -> 65.71, DTLB 1.28 -> 0.52)");
+    rep.derived("cache_geomean_memmove_1.2x", gc_m);
+    rep.derived("cache_geomean_swapva_1.2x", gc_s);
+    rep.derived("dtlb_geomean_memmove_1.2x", gd_m);
+    rep.derived("dtlb_geomean_swapva_1.2x", gd_s);
+    rep.table(&t);
+    rep.say("(paper geomeans @1.2x: cache 69.32 -> 65.71, DTLB 1.28 -> 0.52)");
+}
+
+/// Ablation A: MoveObject threshold sweep (16-page objects).
+pub fn ablation_threshold(rep: &mut Report) {
+    let mut t = Table::new(["threshold (pages)", "GC pause (us)", "objects swapped"]);
+    for r in ablations::threshold_ablation() {
+        t.row([
+            r.threshold_pages.to_string(),
+            format!("{:.1}", r.pause_us),
+            r.swapped.to_string(),
+        ]);
+        rep.row("ablation_threshold", &r);
+        rep.counter("gc.pause_cycles", r.pause_cycles);
+        rep.counter("swap.objects", r.swapped);
+    }
+    rep.table(&t);
+}
+
+/// Ablation B: aggregation batch size (10-page objects).
+pub fn ablation_aggregation(rep: &mut Report) {
+    let mut t = Table::new(["batch", "GC pause (us)", "syscalls"]);
+    for r in ablations::aggregation_ablation() {
+        t.row([
+            if r.batch == 0 { "separated".to_string() } else { r.batch.to_string() },
+            format!("{:.1}", r.pause_us),
+            r.syscalls.to_string(),
+        ]);
+        rep.row("ablation_aggregation", &r);
+        rep.counter("gc.pause_cycles", r.pause_cycles);
+        rep.counter("kernel.syscalls", r.syscalls);
+    }
+    rep.table(&t);
+}
+
+/// Ablation C: mechanism toggles (64-page objects).
+pub fn ablation_mechanism(rep: &mut Report) {
+    let mut t = Table::new(["variant", "GC pause (us)", "IPIs"]);
+    for r in ablations::mechanism_ablation() {
+        t.row([r.variant.clone(), format!("{:.1}", r.pause_us), r.ipis.to_string()]);
+        rep.row("ablation_mechanism", &r);
+        rep.counter("gc.pause_cycles", r.pause_cycles);
+        rep.counter("kernel.ipis", r.ipis);
+    }
+    rep.table(&t);
+}
+
+/// Ablation E: LOS design vs SVAGC (the intro's critique).
+pub fn ablation_los(rep: &mut Report) {
+    let mut t =
+        Table::new(["design", "GCs", "LOS compactions", "total GC (us)", "max pause (us)", "frag"]);
+    for r in ablations::los_comparison() {
+        t.row([
+            r.design.clone(),
+            r.gcs.to_string(),
+            r.los_compactions.to_string(),
+            format!("{:.1}", r.total_gc_us),
+            format!("{:.1}", r.max_pause_us),
+            format!("{:.2}", r.fragmentation),
+        ]);
+        rep.row("ablation_los", &r);
+        rep.counter("gc.total_cycles", r.total_gc_cycles);
+        rep.counter("los.compactions", r.los_compactions);
+    }
+    rep.table(&t);
+}
+
+/// Ablation D: Minor-GC promotion mechanism (Table I row 2).
+pub fn ablation_minor(rep: &mut Report) {
+    let mut t = Table::new(["object pages", "memmove (us)", "SwapVA (us)"]);
+    for r in ablations::minor_gc_ablation() {
+        t.row([
+            r.obj_pages.to_string(),
+            format!("{:.1}", r.memmove_us),
+            format!("{:.1}", r.swapva_us),
+        ]);
+        rep.row("ablation_minor", &r);
+        rep.counter("minor.memmove_cycles", r.memmove_cycles);
+        rep.counter("minor.swapva_cycles", r.swapva_cycles);
+    }
+    rep.table(&t);
 }

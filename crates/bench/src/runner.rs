@@ -1,0 +1,367 @@
+//! The experiment registry and the serial / host-parallel runner behind
+//! `bin/all`, `bin/ablations`, and the thin `bin/figNN_*` wrappers.
+//!
+//! Every entry in [`EXPERIMENTS`] is an independent simulation — it builds
+//! its own `Kernel`, `AddressSpace`, and counters — so fanning experiments
+//! across host threads cannot change any simulated number, only the host
+//! wall time. The runner leans on that: [`run_ids`] maps the requested
+//! experiments through `par_map` (order-preserving) or a plain serial
+//! loop, and parallel `bin/all` runs re-verify a probe subset serially,
+//! byte-comparing the canonical sim JSON.
+
+use crate::render;
+use crate::report::{HostInfo, Report};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use svagc_metrics::json::write_json_str;
+use svagc_metrics::{host_threads, par_map};
+
+/// One registered experiment.
+pub struct Experiment {
+    /// Stable identifier: names the `BENCH_<id>.json` file.
+    pub id: &'static str,
+    /// Paper-facing label ("Fig. 6", "Ablation A", ...).
+    pub title: &'static str,
+    /// Human caption for the banner and the BENCH record.
+    pub caption: &'static str,
+    /// The experiment body.
+    pub run: fn(&mut Report),
+}
+
+/// Every figure, table, and ablation, in `bin/all` output order.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "fig01",
+        title: "Fig. 1",
+        caption: "Execution time of the full GC phases (i5-7600)",
+        run: render::fig01,
+    },
+    Experiment {
+        id: "fig02",
+        title: "Fig. 2",
+        caption: "Scalability issue in LRU Cache under ParallelGC (32-core Xeon)",
+        run: render::fig02,
+    },
+    Experiment {
+        id: "table1",
+        title: "Table I",
+        caption: "Applicability of SwapVA and optimizations",
+        run: render::table1,
+    },
+    Experiment {
+        id: "table2",
+        title: "Table II",
+        caption: "Benchmarks configuration (paper values; see EXPERIMENTS.md for scaling)",
+        run: render::table2,
+    },
+    Experiment {
+        id: "fig06",
+        title: "Fig. 6",
+        caption: "Aggregated vs separated SwapVA calls (i5-7600)",
+        run: render::fig06,
+    },
+    Experiment {
+        id: "fig08",
+        title: "Fig. 8",
+        caption: "Benefits of PMD caching (i5-7600)",
+        run: render::fig08,
+    },
+    Experiment {
+        id: "fig09",
+        title: "Fig. 9",
+        caption: "Multi-core optimizations to SwapVA (Xeon 6130, 100 objects)",
+        run: render::fig09,
+    },
+    Experiment {
+        id: "fig10",
+        title: "Fig. 10",
+        caption: "Threshold value for SwapVA in different CPU/memory configs",
+        run: render::fig10,
+    },
+    Experiment {
+        id: "fig11",
+        title: "Fig. 11",
+        caption: "GC time -/+ SwapVA on SVAGC at 1.2x min heap",
+        run: render::fig11,
+    },
+    Experiment {
+        id: "fig12",
+        title: "Fig. 12",
+        caption: "Average Full-GC latency vs Shenandoah/ParallelGC",
+        run: render::fig12,
+    },
+    Experiment {
+        id: "fig13",
+        title: "Fig. 13",
+        caption: "Maximum GC pause vs Shenandoah/ParallelGC",
+        run: render::fig13,
+    },
+    Experiment {
+        id: "fig14",
+        title: "Fig. 14",
+        caption: "Scalability of SVAGC in single/multi-JVM setting (32 cores)",
+        run: render::fig14,
+    },
+    Experiment {
+        id: "fig15",
+        title: "Fig. 15",
+        caption: "Application throughput of SVAGC at 1.2x min heap (+/- SwapVA)",
+        run: render::fig15,
+    },
+    Experiment {
+        id: "fig16",
+        title: "Fig. 16",
+        caption: "Throughput of SVAGC vs Shenandoah/ParallelGC",
+        run: render::fig16,
+    },
+    Experiment {
+        id: "table3",
+        title: "Table III",
+        caption: "Cache & DTLB misses at 1.2x (2x) minimum heap",
+        run: render::table3,
+    },
+    Experiment {
+        id: "ablation_threshold",
+        title: "Ablation A",
+        caption: "MoveObject threshold sweep (16-page objects)",
+        run: render::ablation_threshold,
+    },
+    Experiment {
+        id: "ablation_aggregation",
+        title: "Ablation B",
+        caption: "Aggregation batch size (10-page objects)",
+        run: render::ablation_aggregation,
+    },
+    Experiment {
+        id: "ablation_mechanism",
+        title: "Ablation C",
+        caption: "Mechanism toggles (64-page objects)",
+        run: render::ablation_mechanism,
+    },
+    Experiment {
+        id: "ablation_los",
+        title: "Ablation E",
+        caption: "LOS design vs SVAGC (the intro's critique)",
+        run: render::ablation_los,
+    },
+    Experiment {
+        id: "ablation_minor",
+        title: "Ablation D",
+        caption: "Minor-GC promotion mechanism (Table I row 2)",
+        run: render::ablation_minor,
+    },
+];
+
+/// The five design-choice studies `bin/ablations` runs.
+pub const ABLATION_IDS: [&str; 5] = [
+    "ablation_threshold",
+    "ablation_aggregation",
+    "ablation_mechanism",
+    "ablation_los",
+    "ablation_minor",
+];
+
+/// Cheap experiments a parallel `bin/all` re-runs serially as an
+/// always-on determinism probe (milliseconds each).
+pub const DETERMINISM_PROBE_IDS: [&str; 2] = ["fig06", "fig08"];
+
+/// Look up an experiment by id.
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.id == id)
+}
+
+/// All registered ids, in run order.
+pub fn all_ids() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|e| e.id).collect()
+}
+
+/// One finished experiment plus its host wall time.
+pub struct Outcome {
+    /// The filled report.
+    pub report: Report,
+    /// Host wall-clock milliseconds the experiment took.
+    pub wall_ms: f64,
+}
+
+/// Run one experiment, timing it on the host clock.
+pub fn run_experiment(exp: &Experiment) -> Outcome {
+    let mut rep = Report::new(exp.id, exp.caption);
+    rep.say("");
+    rep.say(format!("=== {}: {} ===", exp.title, exp.caption));
+    let t0 = Instant::now();
+    (exp.run)(&mut rep);
+    Outcome {
+        report: rep,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Run `ids` serially or host-parallel. Output order always follows
+/// `ids`; with `parallel` only the host scheduling changes — each
+/// experiment is a self-contained simulation, so its simulated plane is
+/// identical either way (see `tests/parallel_determinism.rs`).
+pub fn run_ids(ids: &[&str], parallel: bool) -> Vec<Outcome> {
+    let exps: Vec<&'static Experiment> = ids
+        .iter()
+        .map(|id| find(id).unwrap_or_else(|| panic!("unknown experiment {id:?}")))
+        .collect();
+    if parallel {
+        par_map(exps, run_experiment)
+    } else {
+        exps.into_iter().map(run_experiment).collect()
+    }
+}
+
+/// Version tag of the `BENCH_summary.json` layout.
+pub const BENCH_SUMMARY_SCHEMA: &str = "svagc-bench-summary-v1";
+
+/// The rolled-up summary document: one entry per experiment with the
+/// digest, headline counters, and host wall time. The CI perf gate
+/// compares this file against a checked-in baseline.
+pub fn summary_json(outcomes: &[Outcome], parallel: bool) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"schema\":\"");
+    out.push_str(BENCH_SUMMARY_SCHEMA);
+    out.push_str("\",\"parallel\":");
+    out.push_str(if parallel { "true" } else { "false" });
+    out.push_str(&format!(",\"host_threads\":{}", host_threads()));
+    out.push_str(",\"experiments\":[");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"experiment\":");
+        write_json_str(&mut out, o.report.id());
+        out.push_str(",\"sim_digest\":\"");
+        out.push_str(&o.report.sim_digest());
+        out.push_str("\",\"counters\":");
+        out.push_str(&o.report.counters().to_json());
+        out.push_str(&format!(",\"wall_ms\":{}", o.wall_ms));
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Write one `BENCH_<id>.json` per outcome into `dir`; returns the paths.
+pub fn write_bench_files(
+    dir: &Path,
+    outcomes: &[Outcome],
+    parallel: bool,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let threads = if parallel { host_threads() } else { 1 };
+    let mut paths = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        let host = HostInfo {
+            wall_ms: o.wall_ms,
+            threads,
+            parallel,
+        };
+        let path = dir.join(format!("BENCH_{}.json", o.report.id()));
+        std::fs::write(&path, o.report.bench_json(&host))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Write the `BENCH_summary.json` roll-up into `dir`.
+pub fn write_summary(dir: &Path, outcomes: &[Outcome], parallel: bool) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_summary.json");
+    std::fs::write(&path, summary_json(outcomes, parallel))?;
+    Ok(path)
+}
+
+/// Re-run `probe_ids` serially and byte-compare their canonical sim JSON
+/// against the already-collected `outcomes`; returns the mismatching ids.
+pub fn verify_against_serial(outcomes: &[Outcome], probe_ids: &[&str]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for id in probe_ids {
+        let Some(o) = outcomes.iter().find(|o| o.report.id() == *id) else {
+            bad.push(format!("{id}: not present in the parallel run"));
+            continue;
+        };
+        let serial = run_experiment(find(id).expect("probe id registered"));
+        if serial.report.sim_json() != o.report.sim_json() {
+            bad.push(format!(
+                "{id}: parallel sim JSON diverged from serial ({} vs {})",
+                o.report.sim_digest(),
+                serial.report.sim_digest()
+            ));
+        }
+    }
+    bad
+}
+
+/// Pull `--out DIR` out of a raw argument list (for the thin bins).
+fn parse_out(args: &[String]) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Entry point of the thin `bin/figNN_*` / `bin/tableN_*` wrappers: run
+/// one experiment, print its text, and honor `--out DIR` by writing the
+/// `BENCH_<id>.json` record.
+pub fn main_single(id: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exp = find(id).unwrap_or_else(|| panic!("{id} is not a registered experiment"));
+    let o = run_experiment(exp);
+    print!("{}", o.report.text());
+    if let Some(dir) = parse_out(&args) {
+        let paths = write_bench_files(&dir, std::slice::from_ref(&o), false)
+            .unwrap_or_else(|e| panic!("cannot write BENCH files to {}: {e}", dir.display()));
+        println!("wrote {}", paths[0].display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_resolvable() {
+        let ids = all_ids();
+        for (i, id) in ids.iter().enumerate() {
+            assert!(find(id).is_some());
+            assert!(!ids[i + 1..].contains(id), "duplicate id {id}");
+            assert!(
+                id.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{id} must be filename-safe"
+            );
+        }
+        for probe in DETERMINISM_PROBE_IDS {
+            assert!(find(probe).is_some());
+        }
+        for ab in ABLATION_IDS {
+            assert!(find(ab).is_some());
+        }
+    }
+
+    #[test]
+    fn summary_json_parses_and_lists_experiments() {
+        use svagc_metrics::{parse_json, JsonValue};
+        let mut rep = Report::new("fake", "synthetic");
+        rep.counter("gc.pause_cycles", 42);
+        let outcomes = vec![Outcome { report: rep, wall_ms: 1.5 }];
+        let doc = parse_json(&summary_json(&outcomes, true)).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(BENCH_SUMMARY_SCHEMA)
+        );
+        assert_eq!(doc.get("parallel"), Some(&JsonValue::Bool(true)));
+        let exps = doc.get("experiments").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(exps.len(), 1);
+        assert_eq!(
+            exps[0].get("experiment").and_then(JsonValue::as_str),
+            Some("fake")
+        );
+        assert_eq!(
+            exps[0].get("counters").unwrap().get("gc.pause_cycles").and_then(JsonValue::as_u64),
+            Some(42)
+        );
+        assert_eq!(exps[0].get("wall_ms").and_then(JsonValue::as_f64), Some(1.5));
+    }
+}

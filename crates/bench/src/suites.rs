@@ -40,6 +40,11 @@ pub struct GcTimeRow {
     pub app_ms: f64,
     /// Total wall time (ms).
     pub total_ms: f64,
+    /// Total GC pause in exact simulated cycles (the `_ms` fields round
+    /// through `f64`; the perf gate pins this u64 byte-for-byte).
+    pub gc_pause_cycles: u64,
+    /// Total wall time in exact simulated cycles.
+    pub total_cycles: u64,
     /// Steps per simulated second.
     pub throughput: f64,
     /// perf-style cache-miss % over the run.
@@ -75,6 +80,8 @@ impl_to_json!(GcTimeRow {
     other_ms,
     app_ms,
     total_ms,
+    gc_pause_cycles,
+    total_cycles,
     throughput,
     cache_miss_pct,
     dtlb_miss_pct,
@@ -105,6 +112,8 @@ impl GcTimeRow {
             other_ms: t(phases.non_compact()),
             app_ms: t(r.app_wall),
             total_ms: t(r.total_wall),
+            gc_pause_cycles: r.gc_pause_cycles(),
+            total_cycles: r.total_cycles(),
             throughput: r.throughput(),
             cache_miss_pct: r.perf.cache_miss_pct(),
             dtlb_miss_pct: r.perf.dtlb_miss_pct(),
@@ -231,6 +240,10 @@ pub struct MultiJvmRow {
     pub app_ms: f64,
     /// Mean total wall time per JVM (ms).
     pub total_ms: f64,
+    /// Summed GC pause across JVMs, exact simulated cycles.
+    pub gc_pause_cycles: u64,
+    /// Summed total wall time across JVMs, exact simulated cycles.
+    pub total_cycles: u64,
 }
 
 impl_to_json!(MultiJvmRow {
@@ -239,6 +252,8 @@ impl_to_json!(MultiJvmRow {
     gc_max_ms,
     app_ms,
     total_ms,
+    gc_pause_cycles,
+    total_cycles,
 });
 
 /// Figs. 2 (ParallelGC) / 14 (SVAGC): LRUCache × N JVMs, 4 GC threads
@@ -265,6 +280,8 @@ pub fn multijvm_rows(kind: CollectorKind, counts: &[usize]) -> Vec<MultiJvmRow> 
                 gc_max_ms: res.avg_gc_max_ms(),
                 app_ms: res.avg_app_ms(),
                 total_ms: res.avg_total_ms(),
+                gc_pause_cycles: res.gc_pause_cycles(),
+                total_cycles: res.total_cycles(),
             }
         })
         .collect()

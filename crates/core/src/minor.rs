@@ -88,6 +88,9 @@ pub struct MinorStats {
     pub dead_young: u64,
     /// Dirty cards scanned.
     pub scanned_cards: u64,
+    /// Old objects inspected via dirty cards, deduped: an object spanning
+    /// several dirty cards is scanned (and charged) exactly once.
+    pub scanned_objects: u64,
     /// IPI interference pushed onto other cores.
     pub interference: Cycles,
     /// Transient-fault retries during promotion swaps.
@@ -264,15 +267,27 @@ impl MinorGc {
         let dirty: Vec<VirtAddr> = gh.cards.iter_dirty().collect();
         stats.scanned_cards = dirty.len() as u64;
         let old_objects: Vec<ObjRef> = gh.old.objects_sorted().to_vec();
+        // An old object can overlap several adjacent dirty cards; scanning
+        // it once per card would double-push its young-pointing slots into
+        // `old_slots` (duplicate pointer adjustments) and double-charge the
+        // scan cycles. Cards iterate in ascending address order, so the
+        // index one past the last scanned object dedupes the sweep.
+        let mut scanned_upto = 0usize;
         for card in dirty {
             let card_end = card + CARD_BYTES;
             // Objects whose extent intersects [card, card_end): start from
-            // the last object at or before the card.
-            let start_idx = old_objects.partition_point(|o| o.0 <= card).saturating_sub(1);
-            for &obj in &old_objects[start_idx..] {
+            // the last object at or before the card, skipping any already
+            // scanned under a previous card.
+            let start_idx = old_objects
+                .partition_point(|o| o.0 <= card)
+                .saturating_sub(1)
+                .max(scanned_upto);
+            for (idx, &obj) in old_objects.iter().enumerate().skip(start_idx) {
                 if obj.0 >= card_end {
                     break;
                 }
+                scanned_upto = idx + 1;
+                stats.scanned_objects += 1;
                 let w = pool.least_loaded();
                 let core = pool.core_of(w, cores);
                 let (hdr, mut t) = gh.old.read_header(kernel, core, obj)?;
@@ -466,9 +481,14 @@ impl MinorGc {
                     )?;
                     stats.swap_retries += out.retries;
                     stats.batch_splits += out.batch_splits;
-                    // Fallback indices are distinct by construction; use a
-                    // saturating rebook (as the full collector does) so a
-                    // miscount degrades the stats instead of panicking.
+                    // Fallback indices are distinct within one call and the
+                    // batch is cleared after every flush, so this rebooking
+                    // site and the post-loop one below never see the same
+                    // request twice — each subtraction is bounded by the
+                    // requests booked for its own batch. Saturating (as the
+                    // full collector does) so a miscount degrades the stats
+                    // instead of panicking.
+                    debug_assert!(out.fallback.len() <= batch.len());
                     stats.swapped_objects =
                         stats.swapped_objects.saturating_sub(out.fallback.len() as u64);
                     stats.swap_fallback_objects += out.fallback.len() as u64;
@@ -498,6 +518,11 @@ impl MinorGc {
             )?;
             stats.swap_retries += out.retries;
             stats.batch_splits += out.batch_splits;
+            // Second rebooking site: this drains only the final partial
+            // batch, disjoint from every mid-loop flush above, so the two
+            // sites cannot double-subtract the same fallback even when both
+            // run within one scavenge (pinned by minor_counters tests).
+            debug_assert!(out.fallback.len() <= batch.len());
             stats.swapped_objects =
                 stats.swapped_objects.saturating_sub(out.fallback.len() as u64);
             stats.swap_fallback_objects += out.fallback.len() as u64;

@@ -61,13 +61,22 @@ impl Tlab {
         let size = shape.size_bytes();
         if size >= large_threshold_bytes {
             // Back-to-front, page-aligned start, and the object must end at
-            // or before the previous large object's start.
-            let end_limit = self.large_bottom;
+            // or before the previous large object's start. Align the end
+            // limit *before* carving the start: subtracting `size` first and
+            // only then aligning the result would let `checked_sub` succeed
+            // against an unaligned limit while `start + size` lands past it,
+            // underlapping the prior reservation and mis-charging `waste`
+            // against the unaligned end.
+            let end_limit = self.large_bottom.align_down();
             let start = VirtAddr(end_limit.get().checked_sub(size)?).align_down();
             if start < self.small_top {
                 return None;
             }
-            let waste = end_limit - (start + size);
+            debug_assert!(
+                start + size <= end_limit,
+                "aligned large placement [{start:?}, +{size}) crosses the previous reservation at {end_limit:?}"
+            );
+            let waste = self.large_bottom - (start + size);
             self.waste += waste;
             self.large_bottom = start;
             Some((start, true, waste))
@@ -230,6 +239,33 @@ mod tests {
         for l in &larges {
             assert!(l.0.is_page_aligned());
         }
+    }
+
+    #[test]
+    fn unaligned_large_sizes_never_cross_the_previous_reservation() {
+        // Regression: carving the start by subtracting `size` first and
+        // aligning afterwards must still keep `start + size` at or below
+        // the previous large object's (aligned) start, with the waste
+        // charged to the gap left behind.
+        let (mut k, mut h) = setup(16 << 20);
+        let (mut tlab, _) = Tlab::new(&mut h, &mut k, CoreId(0), 2 << 20).unwrap();
+        let threshold = 4 * PAGE_SIZE;
+        let mut prev_bottom = tlab.bounds().1.align_down();
+        let mut waste_sum = 0u64;
+        for extra in [8u64, 24, 4000, 16, 4088] {
+            let shape = ObjShape::data_bytes(4 * PAGE_SIZE + extra - 16);
+            let size = shape.size_bytes();
+            let (start, large, waste) = tlab.try_place(shape, threshold).unwrap();
+            assert!(large && start.is_page_aligned());
+            assert!(
+                start + size <= prev_bottom,
+                "placement [{start:?}, +{size}) crosses the previous reservation at {prev_bottom:?}"
+            );
+            assert_eq!(waste, prev_bottom - (start + size));
+            waste_sum += waste;
+            prev_bottom = start;
+        }
+        assert_eq!(tlab.waste(), waste_sum);
     }
 
     #[test]

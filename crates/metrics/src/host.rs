@@ -21,10 +21,7 @@ where
     if n <= 1 {
         return items.into_iter().map(&f).collect();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let threads = host_threads().min(n);
     // LIFO std-only work queue: each worker pops the next unclaimed item.
     let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
@@ -41,6 +38,19 @@ where
     let mut out = done.into_inner().expect("par_map result lock poisoned");
     out.sort_by_key(|(i, _)| *i);
     out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Worker count for [`par_map`]: `SVAGC_HOST_THREADS` when set (clamped to
+/// at least 1), otherwise the host's available parallelism. The override
+/// exists so CI and benchmark reports can pin the fan-out width — results
+/// are order-deterministic either way, only wall time changes.
+pub fn host_threads() -> usize {
+    if let Ok(v) = std::env::var("SVAGC_HOST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
 }
 
 #[cfg(test)]

@@ -163,6 +163,295 @@ macro_rules! impl_to_json {
     };
 }
 
+/// A parsed JSON document.
+///
+/// The perf gate has to *read* the `BENCH_summary.json` it previously wrote,
+/// so emission alone is not enough. Numbers keep their source token in
+/// `raw`: simulated-cycle counters are `u64`s that can exceed `f64`'s 53-bit
+/// mantissa, and the gate compares them exactly via the token, not the
+/// lossy float.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, keeping the exact source token alongside the float view.
+    Num {
+        /// The untouched source token (e.g. `"18446744073709551615"`).
+        raw: String,
+        /// Lossy float view for tolerance comparisons.
+        value: f64,
+    },
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, keys in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects (first match, like serde_json's maps).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Exact integer view via the raw token (never rounds through `f64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num { raw, .. } => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Float view, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure: a message plus the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse_json(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            msg: msg.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|()| JsonValue::Null),
+            Some(b't') => self.eat("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
+        let value: f64 = raw.parse().map_err(|_| self.err("malformed number"))?;
+        Ok(JsonValue::Num {
+            raw: raw.to_string(),
+            value,
+        })
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat("\"")?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates never appear in our own output; map
+                            // them to the replacement char rather than pairing.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat("[")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat("{")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +489,54 @@ mod tests {
             r.to_json(),
             r#"{"name":"LRUCache/4","collector":"SVAGC","count":3,"ok":true}"#
         );
+    }
+
+    #[test]
+    fn parser_round_trips_emitted_documents() {
+        let doc = r#"{"name":"fig06","rows":[{"cap":1,"ms":0.125},{"cap":8,"ms":1e3}],"big":18446744073709551615,"none":null,"on":true}"#;
+        let v = parse_json(doc).unwrap();
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("fig06"));
+        let rows = v.get("rows").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("cap").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(rows[0].get("ms").and_then(JsonValue::as_f64), Some(0.125));
+        assert_eq!(rows[1].get("ms").and_then(JsonValue::as_f64), Some(1000.0));
+        // u64::MAX survives exactly via the raw token, though f64 cannot hold it.
+        assert_eq!(v.get("big").and_then(JsonValue::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+        assert_eq!(v.get("on"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_whitespace() {
+        let v = parse_json(" { \"k\\n\\\"\" : [ 1 , \"\\u0041\\t\" ] } ").unwrap();
+        let arr = v.get("k\n\"").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[1].as_str(), Some("A\t"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"abc", "{\"a\" 1}"] {
+            assert!(parse_json(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_own_struct_output() {
+        struct Row {
+            name: String,
+            cycles: u64,
+            ratio: f64,
+        }
+        impl_to_json!(Row { name, cycles, ratio });
+        let r = Row {
+            name: "x\"y".into(),
+            cycles: 1 << 60,
+            ratio: 0.333,
+        };
+        let v = parse_json(&r.to_json()).unwrap();
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("x\"y"));
+        assert_eq!(v.get("cycles").and_then(JsonValue::as_u64), Some(1u64 << 60));
+        assert_eq!(v.get("ratio").and_then(JsonValue::as_f64), Some(0.333));
     }
 }

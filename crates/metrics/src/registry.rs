@@ -89,6 +89,14 @@ impl Registry {
     }
 }
 
+/// Hook the registry into the generic JSON emitters (e.g. the BENCH report
+/// writer nests a registry under its `"counters"` key).
+impl crate::json::ToJson for Registry {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_json());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

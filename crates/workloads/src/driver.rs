@@ -270,6 +270,17 @@ impl RunResult {
         self.gc.avg_pause().at_ghz(self.freq_ghz).as_millis()
     }
 
+    /// Total GC pause in exact simulated cycles. The BENCH reports pin
+    /// these u64s byte-for-byte; the `_ms` views round through `f64`.
+    pub fn gc_pause_cycles(&self) -> u64 {
+        self.gc.total_pause().get()
+    }
+
+    /// Total wall time in exact simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_wall.get()
+    }
+
     /// The unified counter registry of this run: machine events under
     /// `perf.*`, GC-log aggregates under `gc.*`, and (when tracing was on)
     /// trace-event totals under `trace.*`.

@@ -46,6 +46,16 @@ impl MultiJvmResult {
             / self.n as f64
     }
 
+    /// Sum of GC pause time across instances, exact simulated cycles.
+    pub fn gc_pause_cycles(&self) -> u64 {
+        self.per_jvm.iter().map(|r| r.gc_pause_cycles()).sum()
+    }
+
+    /// Sum of total wall time across instances, exact simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.per_jvm.iter().map(|r| r.total_cycles()).sum()
+    }
+
     /// Mean total wall time (ms).
     pub fn avg_total_ms(&self) -> f64 {
         self.per_jvm
