@@ -9,7 +9,9 @@
 //! ```
 
 use svagc_bench::report::{HostInfo, Report};
+use svagc_core::protocol::{self, ModelConfig};
 use svagc_core::{DegradePolicy, DegradedMode};
+use svagc_kernel::FlushMode;
 use svagc_metrics::MachineConfig;
 use svagc_workloads::driver::{run, CollectorKind, RunConfig};
 use svagc_workloads::lrucache::LruCache;
@@ -26,7 +28,9 @@ fn usage() -> ! {
             [--fault-rate <p>] [--fault-seed <n>] [--verify-phases]
             [--gc-deadline-cycles <n>] [--degrade-policy off|standard|standard:N]
             [--trace <out.json>] [--trace-summary] [--bench-json <out.json>]
+            [--tlb-oracle]
   svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]
+  svagc protocol-check [--deep]
 
   --gc-deadline-cycles <n>  per-phase watchdog budget in virtual cycles; a
                       phase exceeding it aborts the GC cycle and rolls it
@@ -44,7 +48,17 @@ fn usage() -> ! {
   --bench-json <out>  write a svagc-bench-report-v1 BENCH record of the
                       run: the unified counter registry plus derived
                       pause/throughput scalars in the simulated plane
-                      (digested), host wall time outside it"
+                      (digested), host wall time outside it
+  --tlb-oracle        run under the stale-translation oracle: every TLB
+                      hit is cross-checked against the live page table
+                      and every flush audited against the Algorithm 4
+                      preconditions; any violation fails the run
+  protocol-check      exhaustively model-check the three TLB-coherence
+                      protocols (GlobalBroadcast / LocalOnly / Tracked)
+                      and run the seeded mutation suite; --deep adds a
+                      larger 4-core x 4-page universe. Exit 1 if a real
+                      protocol has a counterexample or a seeded bug goes
+                      undetected"
     );
     std::process::exit(2);
 }
@@ -84,7 +98,12 @@ fn flags(args: &[String]) -> Vec<(String, String)> {
             usage()
         };
         // Boolean flags take no value.
-        if key == "instrumented" || key == "verify-phases" || key == "trace-summary" {
+        if key == "instrumented"
+            || key == "verify-phases"
+            || key == "trace-summary"
+            || key == "tlb-oracle"
+            || key == "deep"
+        {
             out.push((key.to_string(), "true".to_string()));
             continue;
         }
@@ -162,6 +181,7 @@ fn main() {
             let trace_path = get(&fs, "trace");
             let trace_summary = get(&fs, "trace-summary").is_some();
             cfg.trace = trace_path.is_some() || trace_summary;
+            cfg.tlb_oracle = get(&fs, "tlb-oracle").is_some();
 
             let t0 = std::time::Instant::now();
             let r = run(w.as_mut(), &cfg).unwrap_or_else(|e| {
@@ -219,6 +239,14 @@ fn main() {
                     r.gc.total_watchdog_expiries(),
                     r.gc.total_rollback_pages(),
                     DegradedMode::from_level(r.gc.max_mode()).name()
+                );
+            }
+            if r.tlb_oracle.enabled {
+                println!(
+                    "tlb oracle   : {} hits checked | {} stale | {} audit violations",
+                    r.tlb_oracle.checks,
+                    r.tlb_oracle.stale_hits,
+                    r.tlb_oracle.audit_violations
                 );
             }
             println!("heap hash    : {:#018x}", r.heap_hash);
@@ -292,6 +320,76 @@ fn main() {
                 res.avg_app_ms(),
                 res.avg_total_ms()
             );
+        }
+        Some("protocol-check") => {
+            let fs = flags(&args[1..]);
+            let mut universes = vec![("default", ModelConfig::default_check())];
+            if get(&fs, "deep").is_some() {
+                // Larger bound: 4 cores x 4 pages x a 3-swap chain. Too slow
+                // for the debug test suite; the CI protocol-check job runs it
+                // in release mode.
+                universes.push((
+                    "deep",
+                    ModelConfig {
+                        cores: 4,
+                        pages: 4,
+                        swaps: vec![(0, 1), (1, 2), (2, 3)],
+                        max_cycle_reads: 2,
+                        max_migrations: 1,
+                    },
+                ));
+            }
+            let mut failed = false;
+            for (label, cfg) in &universes {
+                println!(
+                    "universe {label}: {} cores x {} pages, swaps {:?}, \
+                     <= {} mutator reads, <= {} migrations",
+                    cfg.cores, cfg.pages, cfg.swaps, cfg.max_cycle_reads, cfg.max_migrations
+                );
+                for mode in
+                    [FlushMode::GlobalBroadcast, FlushMode::LocalOnly, FlushMode::Tracked]
+                {
+                    let rep = protocol::check_protocol(mode, cfg);
+                    match &rep.counterexample {
+                        None => println!(
+                            "  {mode:?}: no stale translation over {} states",
+                            rep.states_explored
+                        ),
+                        Some(cex) => {
+                            failed = true;
+                            println!(
+                                "  {mode:?}: VIOLATION after {} states:\n{cex}",
+                                rep.states_explored
+                            );
+                        }
+                    }
+                }
+                println!("  mutation suite:");
+                for rep in protocol::mutation_suite(cfg) {
+                    let m = rep.mutation.expect("suite reports carry their mutation");
+                    match &rep.counterexample {
+                        Some(cex) => println!(
+                            "  [detected] {} ({:?}, {} states):\n{cex}",
+                            m.label(),
+                            rep.mode,
+                            rep.states_explored
+                        ),
+                        None => {
+                            failed = true;
+                            println!(
+                                "  [MISSED] {} ({:?}) — checker has no teeth for this bug",
+                                m.label(),
+                                rep.mode
+                            );
+                        }
+                    }
+                }
+            }
+            if failed {
+                eprintln!("protocol-check FAILED");
+                std::process::exit(1);
+            }
+            println!("protocol-check ok");
         }
         _ => usage(),
     }

@@ -17,6 +17,9 @@
 //!   protocol: every collection is all-or-nothing (undo journal +
 //!   rollback), bounded in time (per-phase deadlines), and survivable
 //!   (the degraded-mode circuit breaker).
+//! * [`protocol`] — a schedule-exploring model checker of the §IV
+//!   TLB-coherence protocols, with a built-in mutation suite proving the
+//!   checker itself has teeth.
 
 #![warn(missing_docs)]
 
@@ -28,6 +31,7 @@ pub mod error;
 pub mod journal;
 pub mod lisp2;
 pub mod minor;
+pub mod protocol;
 pub mod resilience;
 pub mod scheduler;
 pub mod stats;
@@ -40,6 +44,9 @@ pub use error::GcError;
 pub use journal::{CompactionJournal, RollbackReport};
 pub use lisp2::Lisp2Collector;
 pub use minor::{full_collect_generational, MinorConfig, MinorGc, MinorStats};
+pub use protocol::{
+    check_protocol, mutation_suite, Counterexample, ExploreReport, ModelConfig, Mutation,
+};
 pub use resilience::{execute_swaps, RetryPolicy, SwapOutcome};
 pub use scheduler::WorkerPool;
 pub use stats::{GcCycleStats, GcLog, PhaseBreakdown};

@@ -508,10 +508,22 @@ impl Lisp2Collector {
     ) -> Result<(), GcError> {
         let cores = kernel.cores();
         let threshold_bytes = heap.threshold_pages() * PAGE_SIZE;
-        let flush_mode = if self.cfg.pinned_compaction {
-            FlushMode::LocalOnly
-        } else {
+        // Algorithm 4's local-only flush is sound for exactly one pinned
+        // compactor: every translation it caches lives on the core it
+        // flushes. With parallel movers that precondition fails — worker X
+        // reads a forwarding word, worker Y's batch remaps the page with a
+        // local flush on Y, and X's next read translates through the dead
+        // entry (the stale-TLB oracle catches this on real workloads).
+        // Multi-worker compaction therefore uses access-tracked shootdowns:
+        // each swap IPIs precisely the cores still holding the ASID — a
+        // subset of the GC workers once the prologue broadcast has run, so
+        // other JVMs' cores are still never interrupted.
+        let flush_mode = if !self.cfg.pinned_compaction {
             FlushMode::GlobalBroadcast
+        } else if pool.len() > 1 {
+            FlushMode::Tracked
+        } else {
+            FlushMode::LocalOnly
         };
         let swap_opts = SwapVaOptions {
             pmd_cache: self.cfg.pmd_cache,
@@ -627,8 +639,9 @@ impl Lisp2Collector {
 
         // Workers resynchronize at the phase barrier: each flushes its own
         // TLB so the forwarding-word clears below cannot read mappings
-        // staled by *other* workers' swaps.
-        if any_swaps {
+        // staled by *other* workers' swaps. Tracked swaps already IPI every
+        // holder, so only the local-only protocol needs the barrier flush.
+        if any_swaps && flush_mode == FlushMode::LocalOnly {
             let asid = heap.space().asid();
             let mut worst = Cycles::ZERO;
             for w in 0..pool.len() {

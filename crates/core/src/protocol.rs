@@ -1,0 +1,769 @@
+//! Schedule-exploring model checker of the TLB-coherence protocols
+//! (§IV / Algorithm 4).
+//!
+//! The simulator executes GC phases host-sequentially, so no real
+//! mutator/compactor interleaving ever stresses the paper's safety
+//! argument — pin the compactor, broadcast one flush per GC cycle, then
+//! flush only locally. This module checks that argument the way loom
+//! checks lock-free code: an abstract state machine of cores × per-core
+//! TLB entries × PTEs × protocol events, explored breadth-first over
+//! *every* bounded interleaving of compactor steps, mutator reads, and
+//! core migrations, with seen-state hashing to prune the exponent.
+//!
+//! The safety invariant is the one the whole §IV design rests on:
+//!
+//! > **No mutator or compactor read ever translates through a stale TLB
+//! > entry** — an entry whose cached frame disagrees with the page table —
+//! > and no stale entry survives the cycle to poison a later read.
+//!
+//! [`check_protocol`] verifies the invariant exhaustively (at the bound)
+//! for the three [`FlushMode`]s. Because a checker that cannot fail is
+//! worthless, [`mutation_suite`] re-runs the explorer against seeded
+//! protocol bugs — a skipped cycle-start broadcast, an unpinned compactor
+//! migration, a victim dropped from the `Tracked` IPI set, a local flush
+//! deferred past the next swap — and each must be *detected* with a
+//! minimal (BFS-shortest) counterexample schedule.
+//!
+//! The model is deliberately tiny (3 cores × 3 pages × 2 overlapping
+//! swaps by default): TLB-coherence bugs of this class are not
+//! size-dependent — numaPTE's were all expressible with two cores and a
+//! handful of pages — and a small universe keeps exhaustive exploration
+//! in the tens of thousands of states.
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use svagc_kernel::FlushMode;
+
+/// Geometry and schedule bounds of the model universe.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Number of cores (compactor starts on core 0).
+    pub cores: usize,
+    /// Number of virtual pages; page `p` initially maps to frame `p`.
+    pub pages: usize,
+    /// Page pairs the compactor swaps, in order. Overlapping pairs (a
+    /// shared page) are the interesting case: the second swap's reads
+    /// touch a page the first swap remapped.
+    pub swaps: Vec<(usize, usize)>,
+    /// Max concurrent mutator reads interleaved into the cycle.
+    pub max_cycle_reads: usize,
+    /// Max compactor core-migrations during the cycle (only possible
+    /// while unpinned).
+    pub max_migrations: usize,
+}
+
+impl ModelConfig {
+    /// The default checked universe: 3 cores × 3 pages, two overlapping
+    /// swaps (0↔1 then 1↔2), ≤2 interleaved mutator reads, ≤2 migrations.
+    pub fn default_check() -> ModelConfig {
+        ModelConfig {
+            cores: 3,
+            pages: 3,
+            swaps: vec![(0, 1), (1, 2)],
+            max_cycle_reads: 2,
+            max_migrations: 2,
+        }
+    }
+}
+
+/// The flush a [`Op::SwapFlush`] performs, atomically with its PTE swap.
+///
+/// Swap+flush is one op because the real SwapVA syscall performs both
+/// before returning to userspace; modeling them as separate interleavable
+/// steps would "detect" staleness in the window no mutator can observe.
+/// The mutations below break protocols precisely by weakening this field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flush {
+    /// No flush at all (only reachable through a mutation).
+    None,
+    /// Flush the compactor's own core (`LocalOnly`).
+    Local,
+    /// Flush every core (`GlobalBroadcast`).
+    Global,
+    /// Flush every core that holds entries of the space, except a core
+    /// maliciously dropped from the victim set (`None` = correct).
+    Tracked(Option<usize>),
+}
+
+/// One step of the compactor's protocol program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Pin the compactor to its current core (migrations now impossible).
+    Pin,
+    /// Unpin the compactor.
+    Unpin,
+    /// Stop the world: mutator reads no longer interleave.
+    StopMutators,
+    /// Restart the world.
+    StartMutators,
+    /// Broadcast-flush every core (the once-per-cycle `flush_tlb_all_cores`).
+    Broadcast,
+    /// The compactor reads `page` (e.g. loading the object it will move);
+    /// translates through the compactor core's TLB.
+    CompactorRead(usize),
+    /// Swap the PTEs of two pages and apply `flush`, atomically.
+    SwapFlush {
+        /// First page of the exchanged pair.
+        a: usize,
+        /// Second page of the exchanged pair.
+        b: usize,
+        /// TLB maintenance fused to the swap.
+        flush: Flush,
+    },
+    /// A bare local flush of the compactor's core, *not* fused to any
+    /// swap (only emitted by the deferred-flush mutation).
+    LocalFlush,
+}
+
+/// A seeded protocol bug the explorer must be able to detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Skip the cycle-start broadcast (`LocalOnly` keeps pre-cycle
+    /// entries alive on remote cores).
+    SkipBroadcast,
+    /// The compactor never pins, so the OS may migrate it mid-cycle onto
+    /// a core whose TLB its local flushes never cleaned.
+    UnpinnedMigration,
+    /// Drop this core from every `Tracked` shootdown's victim set even
+    /// when it holds entries (a tracking-state bug à la numaPTE).
+    DropTrackedVictim(usize),
+    /// Reorder each swap's local flush to after the *next* swap — the
+    /// compactor's own reads for swap *k+1* can hit entries staled by
+    /// swap *k*.
+    DeferLocalFlush,
+}
+
+impl Mutation {
+    /// The flush mode whose protocol this mutation corrupts.
+    pub fn target_mode(self) -> FlushMode {
+        match self {
+            Mutation::SkipBroadcast
+            | Mutation::UnpinnedMigration
+            | Mutation::DeferLocalFlush => FlushMode::LocalOnly,
+            Mutation::DropTrackedVictim(_) => FlushMode::Tracked,
+        }
+    }
+
+    /// Short human label for reports.
+    pub fn label(self) -> String {
+        match self {
+            Mutation::SkipBroadcast => "skip cycle-start broadcast".to_string(),
+            Mutation::UnpinnedMigration => "compactor migrates while unpinned".to_string(),
+            Mutation::DropTrackedVictim(c) => {
+                format!("drop core {c} from the Tracked IPI victim set")
+            }
+            Mutation::DeferLocalFlush => "defer local flush past the next swap".to_string(),
+        }
+    }
+
+    /// The four seeded bugs of the built-in teeth test.
+    pub fn suite(cfg: &ModelConfig) -> Vec<Mutation> {
+        vec![
+            Mutation::SkipBroadcast,
+            Mutation::UnpinnedMigration,
+            // Core 1 is a plain mutator core in every config (the
+            // compactor starts on 0), so dropping it from the victim set
+            // is exactly the missed-IPI bug.
+            Mutation::DropTrackedVictim(1 % cfg.cores.max(1)),
+            Mutation::DeferLocalFlush,
+        ]
+    }
+}
+
+/// Build the compactor's protocol program for `mode`, optionally
+/// corrupted by `mutation`.
+pub fn program(mode: FlushMode, cfg: &ModelConfig, mutation: Option<Mutation>) -> Vec<Op> {
+    let mut ops = Vec::new();
+    match mode {
+        FlushMode::LocalOnly => {
+            // Algorithm 4: stop the world, pin, broadcast once, then
+            // local-only flushes. There is deliberately *no* closing
+            // broadcast: the opening one is what guarantees remote cores
+            // hold nothing for the whole cycle (mutators are stopped and
+            // cannot refill), and a closing broadcast would heal — and
+            // therefore hide — a skipped opening one. (The production
+            // collector adds a defensive epilogue broadcast anyway; the
+            // model checks the minimal protocol the safety argument
+            // actually needs.)
+            ops.push(Op::StopMutators);
+            if mutation != Some(Mutation::UnpinnedMigration) {
+                ops.push(Op::Pin);
+            }
+            if mutation != Some(Mutation::SkipBroadcast) {
+                ops.push(Op::Broadcast);
+            }
+            let defer = mutation == Some(Mutation::DeferLocalFlush);
+            let mut deferred = 0usize;
+            for (i, &(a, b)) in cfg.swaps.iter().enumerate() {
+                ops.push(Op::CompactorRead(a));
+                ops.push(Op::CompactorRead(b));
+                let last = i + 1 == cfg.swaps.len();
+                if defer && !last {
+                    // This swap's flush is postponed past the next swap.
+                    ops.push(Op::SwapFlush { a, b, flush: Flush::None });
+                    deferred += 1;
+                } else {
+                    ops.push(Op::SwapFlush { a, b, flush: Flush::Local });
+                    // Deferred flushes land here, after the next swap —
+                    // too late for the reads above.
+                    for _ in 0..deferred {
+                        ops.push(Op::LocalFlush);
+                    }
+                    deferred = 0;
+                }
+            }
+            if mutation != Some(Mutation::UnpinnedMigration) {
+                ops.push(Op::Unpin);
+            }
+            ops.push(Op::StartMutators);
+        }
+        FlushMode::GlobalBroadcast => {
+            // Naive mode: fully concurrent, every swap broadcasts.
+            for &(a, b) in &cfg.swaps {
+                ops.push(Op::CompactorRead(a));
+                ops.push(Op::CompactorRead(b));
+                ops.push(Op::SwapFlush { a, b, flush: Flush::Global });
+            }
+        }
+        FlushMode::Tracked => {
+            // Access-tracking shootdown: concurrent, every swap IPIs the
+            // cores that hold entries of the space.
+            let skip = match mutation {
+                Some(Mutation::DropTrackedVictim(c)) => Some(c),
+                _ => None,
+            };
+            for &(a, b) in &cfg.swaps {
+                ops.push(Op::CompactorRead(a));
+                ops.push(Op::CompactorRead(b));
+                ops.push(Op::SwapFlush { a, b, flush: Flush::Tracked(skip) });
+            }
+        }
+    }
+    ops
+}
+
+/// One scheduling decision of the explorer — the alphabet counterexample
+/// traces are written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Pre-cycle: a mutator on `core` reads `page`, warming its TLB.
+    Warm {
+        /// Reading core.
+        core: usize,
+        /// Page read.
+        page: usize,
+    },
+    /// The GC cycle begins; the compactor program starts executing.
+    BeginCycle,
+    /// The compactor executes its next program op.
+    Step(Op),
+    /// The OS migrates the (unpinned) compactor to `core`.
+    Migrate {
+        /// Destination core.
+        core: usize,
+    },
+    /// A concurrent mutator on `core` reads `page` mid-cycle.
+    MutatorRead {
+        /// Reading core.
+        core: usize,
+        /// Page read.
+        page: usize,
+    },
+    /// Post-cycle: a mutator read on `core` translated `page` through a
+    /// leftover stale entry (the end-state check).
+    StaleRead {
+        /// Reading core.
+        core: usize,
+        /// Page read.
+        page: usize,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::Warm { core, page } => {
+                write!(f, "warm: mutator on core {core} reads page {page} (TLB caches frame {page})")
+            }
+            Event::BeginCycle => write!(f, "GC cycle begins"),
+            Event::Step(op) => match op {
+                Op::Pin => write!(f, "compactor: pin to current core"),
+                Op::Unpin => write!(f, "compactor: unpin"),
+                Op::StopMutators => write!(f, "compactor: stop the world"),
+                Op::StartMutators => write!(f, "compactor: restart the world"),
+                Op::Broadcast => write!(f, "compactor: broadcast flush to all cores"),
+                Op::CompactorRead(p) => write!(f, "compactor: read page {p}"),
+                Op::SwapFlush { a, b, flush } => {
+                    write!(f, "compactor: swap PTEs of pages {a}<->{b}, flush {flush:?}")
+                }
+                Op::LocalFlush => write!(f, "compactor: (deferred) local flush"),
+            },
+            Event::Migrate { core } => write!(f, "OS migrates the compactor to core {core}"),
+            Event::MutatorRead { core, page } => {
+                write!(f, "mutator on core {core} reads page {page}")
+            }
+            Event::StaleRead { core, page } => {
+                write!(f, "post-cycle: mutator on core {core} reads page {page}")
+            }
+        }
+    }
+}
+
+/// A schedule that breaks the invariant, plus what exactly went wrong.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The minimal (BFS-shortest) event schedule reaching the violation.
+    pub schedule: Vec<Event>,
+    /// Human description of the stale translation.
+    pub violation: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ev) in self.schedule.iter().enumerate() {
+            writeln!(f, "  {:>2}. {ev}", i + 1)?;
+        }
+        write!(f, "  ** VIOLATION: {}", self.violation)
+    }
+}
+
+/// Result of one exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Protocol explored.
+    pub mode: FlushMode,
+    /// Seeded bug, if any.
+    pub mutation: Option<Mutation>,
+    /// Distinct states visited.
+    pub states_explored: usize,
+    /// First (shortest) invariant violation found, `None` = invariant
+    /// holds over every bounded schedule.
+    pub counterexample: Option<Counterexample>,
+}
+
+// ---------------------------------------------------------------------------
+// The abstract machine
+// ---------------------------------------------------------------------------
+
+/// Hard caps of the compact state encoding. Model universes are tiny by
+/// design; the caps let [`State`] be a fixed-size `Copy` value so BFS
+/// clones and seen-set hashing stay allocation-free.
+const MAX_CORES: usize = 8;
+/// See [`MAX_CORES`].
+const MAX_PAGES: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Pre-cycle TLB warming (mutators read, PTEs untouched).
+    Warm,
+    /// The compactor program is running.
+    Cycle,
+}
+
+/// Full abstract machine state. `Hash`/`Eq` drive the seen-state set.
+/// TLB entries are encoded as `0` = no entry, `frame + 1` otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    /// Page table: `pt[page]` = frame.
+    pt: [u8; MAX_PAGES],
+    /// Per-core TLBs: `tlb[core][page]` = `0` or `frame + 1`.
+    tlb: [[u8; MAX_PAGES]; MAX_CORES],
+    /// Core the compactor currently runs on.
+    cc: u8,
+    /// Is the compactor pinned?
+    pinned: bool,
+    /// Are mutators running (may reads interleave)?
+    mutators_running: bool,
+    /// Program counter into the compactor program.
+    pc: u8,
+    /// Canonical warm cursor: warming in ascending (core, page) order
+    /// only — warm reads commute, so one representative order suffices.
+    warm_cursor: u8,
+    phase: Phase,
+    /// Mid-cycle mutator reads consumed (bound).
+    cycle_reads: u8,
+    /// Migrations consumed (bound).
+    migrations: u8,
+}
+
+impl State {
+    fn initial(cfg: &ModelConfig) -> State {
+        let mut pt = [0u8; MAX_PAGES];
+        for (i, f) in pt.iter_mut().enumerate().take(cfg.pages) {
+            *f = i as u8;
+        }
+        State {
+            pt,
+            tlb: [[0; MAX_PAGES]; MAX_CORES],
+            cc: 0,
+            pinned: false,
+            mutators_running: true,
+            pc: 0,
+            warm_cursor: 0,
+            phase: Phase::Warm,
+            cycle_reads: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Translate `page` on `core`: a hit through a stale entry is the
+    /// invariant violation; a miss warms the TLB from the page table.
+    fn read(&mut self, core: usize, page: usize) -> Result<(), String> {
+        let e = self.tlb[core][page];
+        if e == 0 {
+            self.tlb[core][page] = self.pt[page] + 1;
+            Ok(())
+        } else if e - 1 != self.pt[page] {
+            Err(format!(
+                "core {core} translates page {page} through a stale TLB entry \
+                 (cached frame {}, page table says frame {})",
+                e - 1,
+                self.pt[page]
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Would a read on `(core, page)` change anything? A hit through a
+    /// valid entry is a no-op, and a schedule that burns read budget on
+    /// one cannot reach any violation a cheaper schedule misses — so the
+    /// explorer prunes such successors.
+    fn read_matters(&self, core: usize, page: usize) -> bool {
+        let e = self.tlb[core][page];
+        e == 0 || e - 1 != self.pt[page]
+    }
+
+    /// Apply one compactor op. `Err` = the op itself tripped the invariant
+    /// (a compactor read through a stale entry).
+    fn apply(&mut self, op: Op) -> Result<(), String> {
+        match op {
+            Op::Pin => self.pinned = true,
+            Op::Unpin => self.pinned = false,
+            Op::StopMutators => self.mutators_running = false,
+            Op::StartMutators => self.mutators_running = true,
+            Op::Broadcast => self.tlb = [[0; MAX_PAGES]; MAX_CORES],
+            Op::LocalFlush => self.tlb[self.cc as usize] = [0; MAX_PAGES],
+            Op::CompactorRead(p) => self.read(self.cc as usize, p)?,
+            Op::SwapFlush { a, b, flush } => {
+                self.pt.swap(a, b);
+                match flush {
+                    Flush::None => {}
+                    Flush::Local => self.tlb[self.cc as usize] = [0; MAX_PAGES],
+                    Flush::Global => self.tlb = [[0; MAX_PAGES]; MAX_CORES],
+                    Flush::Tracked(skip) => {
+                        // The initiator always flushes locally; every
+                        // other *holder* is IPIed — unless dropped.
+                        for (c, t) in self.tlb.iter_mut().enumerate() {
+                            let holder = t.iter().any(|&e| e != 0);
+                            if c == self.cc as usize || (holder && Some(c) != skip) {
+                                *t = [0; MAX_PAGES];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+/// Breadth-first exploration of every bounded schedule of `mode`'s
+/// protocol program (optionally corrupted by `mutation`) against all
+/// interleaved mutator reads, migrations, and TLB warmings allowed by
+/// `cfg`. BFS means the first violation found has a shortest-possible
+/// schedule — the "minimal counterexample".
+pub fn explore(
+    mode: FlushMode,
+    mutation: Option<Mutation>,
+    cfg: &ModelConfig,
+) -> ExploreReport {
+    assert!(
+        cfg.cores >= 2 && cfg.cores <= MAX_CORES && cfg.pages >= 1 && cfg.pages <= MAX_PAGES,
+        "model universe must fit the compact encoding (2..=8 cores, 1..=8 pages)"
+    );
+    assert!(
+        cfg.swaps.iter().all(|&(a, b)| a < cfg.pages && b < cfg.pages && a != b),
+        "swap pairs must name distinct in-range pages"
+    );
+    let prog = program(mode, cfg, mutation);
+    let mut seen: HashSet<State> = HashSet::new();
+    // Parent-pointer arena so queue entries stay O(1): (event, parent).
+    let mut arena: Vec<(Event, usize)> = Vec::new();
+    let mut queue: VecDeque<(State, usize)> = VecDeque::new();
+    const ROOT: usize = usize::MAX;
+
+    let init = State::initial(cfg);
+    seen.insert(init);
+    queue.push_back((init, ROOT));
+    let mut states = 0usize;
+
+    let trace_of = |arena: &[(Event, usize)], mut at: usize| -> Vec<Event> {
+        let mut out = Vec::new();
+        while at != ROOT {
+            let (ev, parent) = arena[at];
+            out.push(ev);
+            at = parent;
+        }
+        out.reverse();
+        out
+    };
+
+    while let Some((st, parent)) = queue.pop_front() {
+        states += 1;
+        let push = |succ: State,
+                        ev: Event,
+                        seen: &mut HashSet<State>,
+                        arena: &mut Vec<(Event, usize)>,
+                        queue: &mut VecDeque<(State, usize)>| {
+            if seen.insert(succ) {
+                arena.push((ev, parent));
+                queue.push_back((succ, arena.len() - 1));
+            }
+        };
+
+        match st.phase {
+            Phase::Warm => {
+                // Warm any suffix of the canonical (core, page) order.
+                for idx in st.warm_cursor as usize..cfg.cores * cfg.pages {
+                    let (core, page) = (idx / cfg.pages, idx % cfg.pages);
+                    let mut s = st;
+                    s.read(core, page).expect("pre-cycle reads cannot be stale");
+                    s.warm_cursor = (idx + 1) as u8;
+                    push(s, Event::Warm { core, page }, &mut seen, &mut arena, &mut queue);
+                }
+                let mut s = st;
+                s.phase = Phase::Cycle;
+                push(s, Event::BeginCycle, &mut seen, &mut arena, &mut queue);
+            }
+            Phase::Cycle => {
+                if st.pc as usize >= prog.len() {
+                    // Program done: any surviving stale entry poisons the
+                    // first post-cycle mutator read of that page.
+                    for (core, t) in st.tlb.iter().enumerate().take(cfg.cores) {
+                        for (page, &entry) in t.iter().enumerate().take(cfg.pages) {
+                            if entry != 0 {
+                                let cached = entry - 1;
+                                if cached != st.pt[page] {
+                                    let mut schedule = trace_of(&arena, parent);
+                                    schedule.push(Event::StaleRead { core, page });
+                                    return ExploreReport {
+                                        mode,
+                                        mutation,
+                                        states_explored: states,
+                                        counterexample: Some(Counterexample {
+                                            schedule,
+                                            violation: format!(
+                                                "core {core} translates page {page} through a \
+                                                 stale TLB entry that survived the GC cycle \
+                                                 (cached frame {cached}, page table says frame {})",
+                                                st.pt[page]
+                                            ),
+                                        }),
+                                    };
+                                }
+                            }
+                        }
+                    }
+                    continue; // clean terminal state
+                }
+
+                // 1. The compactor executes its next op.
+                let op = prog[st.pc as usize];
+                let mut s = st;
+                s.pc += 1;
+                match s.apply(op) {
+                    Ok(()) => {
+                        push(s, Event::Step(op), &mut seen, &mut arena, &mut queue)
+                    }
+                    Err(violation) => {
+                        let mut schedule = trace_of(&arena, parent);
+                        schedule.push(Event::Step(op));
+                        return ExploreReport {
+                            mode,
+                            mutation,
+                            states_explored: states,
+                            counterexample: Some(Counterexample { schedule, violation }),
+                        };
+                    }
+                }
+
+                // 2. The OS migrates the unpinned compactor.
+                if !st.pinned && (st.migrations as usize) < cfg.max_migrations {
+                    for core in 0..cfg.cores {
+                        if core == st.cc as usize {
+                            continue;
+                        }
+                        let mut s = st;
+                        s.cc = core as u8;
+                        s.migrations += 1;
+                        push(s, Event::Migrate { core }, &mut seen, &mut arena, &mut queue);
+                    }
+                }
+
+                // 3. A concurrent mutator reads.
+                if st.mutators_running && (st.cycle_reads as usize) < cfg.max_cycle_reads {
+                    for core in 0..cfg.cores {
+                        for page in 0..cfg.pages {
+                            if !st.read_matters(core, page) {
+                                continue;
+                            }
+                            let mut s = st;
+                            s.cycle_reads += 1;
+                            match s.read(core, page) {
+                                Ok(()) => push(
+                                    s,
+                                    Event::MutatorRead { core, page },
+                                    &mut seen,
+                                    &mut arena,
+                                    &mut queue,
+                                ),
+                                Err(violation) => {
+                                    let mut schedule = trace_of(&arena, parent);
+                                    schedule.push(Event::MutatorRead { core, page });
+                                    return ExploreReport {
+                                        mode,
+                                        mutation,
+                                        states_explored: states,
+                                        counterexample: Some(Counterexample {
+                                            schedule,
+                                            violation,
+                                        }),
+                                    };
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    ExploreReport { mode, mutation, states_explored: states, counterexample: None }
+}
+
+/// Exhaustively verify the unmutated protocol of `mode` at the bound.
+pub fn check_protocol(mode: FlushMode, cfg: &ModelConfig) -> ExploreReport {
+    explore(mode, None, cfg)
+}
+
+/// Run the built-in mutation suite: each seeded bug explored under the
+/// protocol it corrupts. A healthy checker detects every one.
+pub fn mutation_suite(cfg: &ModelConfig) -> Vec<ExploreReport> {
+    Mutation::suite(cfg)
+        .into_iter()
+        .map(|m| explore(m.target_mode(), Some(m), cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_protocols_pass_exhaustive_exploration() {
+        let cfg = ModelConfig::default_check();
+        for mode in [FlushMode::GlobalBroadcast, FlushMode::LocalOnly, FlushMode::Tracked] {
+            let rep = check_protocol(mode, &cfg);
+            assert!(
+                rep.counterexample.is_none(),
+                "{mode:?} must be safe, found:\n{}",
+                rep.counterexample.unwrap()
+            );
+            assert!(rep.states_explored > 1_000, "exploration must be nontrivial");
+        }
+    }
+
+    #[test]
+    fn every_seeded_mutation_is_detected() {
+        let cfg = ModelConfig::default_check();
+        let reports = mutation_suite(&cfg);
+        assert_eq!(reports.len(), 4);
+        for rep in reports {
+            let m = rep.mutation.unwrap();
+            let cex = rep.counterexample.unwrap_or_else(|| {
+                panic!("mutation {:?} must be detected but the invariant held", m)
+            });
+            assert!(!cex.schedule.is_empty());
+            assert!(cex.violation.contains("stale"));
+        }
+    }
+
+    #[test]
+    fn skip_broadcast_counterexample_is_minimal() {
+        // With the broadcast skipped, the violation can only surface
+        // after the whole program ran (mutators are stopped mid-cycle),
+        // so the shortest schedule is: one warm read of a remote entry,
+        // BeginCycle, the full 10-op program, and the post-cycle stale
+        // read — 13 events. BFS must find exactly that, nothing longer.
+        let cfg = ModelConfig::default_check();
+        let rep = explore(FlushMode::LocalOnly, Some(Mutation::SkipBroadcast), &cfg);
+        let cex = rep.counterexample.expect("must be detected");
+        assert!(
+            cex.schedule.len() <= 13,
+            "expected a minimal schedule, got {} events:\n{cex}",
+            cex.schedule.len()
+        );
+    }
+
+    #[test]
+    fn dropped_tracked_victim_names_the_dropped_core() {
+        let cfg = ModelConfig::default_check();
+        let rep = explore(FlushMode::Tracked, Some(Mutation::DropTrackedVictim(1)), &cfg);
+        let cex = rep.counterexample.expect("must be detected");
+        assert!(
+            cex.violation.contains("core 1"),
+            "the stale read happens on the dropped core:\n{cex}"
+        );
+    }
+
+    #[test]
+    fn defer_local_flush_is_caught_via_the_shared_page() {
+        let cfg = ModelConfig::default_check();
+        let rep = explore(FlushMode::LocalOnly, Some(Mutation::DeferLocalFlush), &cfg);
+        assert!(rep.counterexample.is_some(), "deferred flush must be detected");
+    }
+
+    #[test]
+    fn disjoint_swaps_hide_the_deferred_flush_bug() {
+        // Teeth check for the *config*: with no shared page between
+        // swaps, the compactor never re-reads a staled page, so the
+        // deferred flush is invisible — which is exactly why
+        // `default_check` uses overlapping swaps.
+        let cfg = ModelConfig {
+            pages: 4,
+            swaps: vec![(0, 1), (2, 3)],
+            ..ModelConfig::default_check()
+        };
+        let rep = explore(FlushMode::LocalOnly, Some(Mutation::DeferLocalFlush), &cfg);
+        assert!(
+            rep.counterexample.is_none(),
+            "disjoint swaps must mask the bug (got:\n{})",
+            rep.counterexample.unwrap()
+        );
+    }
+
+    #[test]
+    fn bigger_universe_still_passes() {
+        // A slightly larger exhaustive run (one extra core). The full
+        // deep bound (4 cores × 4 pages × 3 swaps, ~tens of millions of
+        // states) runs in the release-mode CI `protocol-check` job via
+        // `svagc_cli protocol-check --deep`; in the debug test suite it
+        // would dominate the whole run.
+        let cfg = ModelConfig {
+            cores: 4,
+            pages: 3,
+            swaps: vec![(0, 1), (1, 2)],
+            max_cycle_reads: 2,
+            max_migrations: 1,
+        };
+        for mode in [FlushMode::GlobalBroadcast, FlushMode::LocalOnly, FlushMode::Tracked] {
+            let rep = check_protocol(mode, &cfg);
+            assert!(rep.counterexample.is_none(), "{mode:?} must hold");
+        }
+    }
+}

@@ -10,10 +10,12 @@ use crate::state::{CoreId, Kernel};
 use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::Asid;
 
-/// Bitmask of victim cores (cores ≥ 64 fold into bit 63; the modeled
-/// machines top out at 32 cores, so in practice the mask is exact).
+/// Bitmask of victim cores. Exact by construction: `Kernel::new` rejects
+/// machines with more than 64 cores, so every core owns a distinct bit and
+/// trace victim masks can never alias.
 fn victim_bit(core: usize) -> u64 {
-    1u64 << core.min(63)
+    assert!(core < 64, "victim_bit: core {core} does not fit an exact u64 mask");
+    1u64 << core
 }
 
 /// When/where SwapVA flushes TLBs after updating PTEs.
@@ -81,6 +83,10 @@ impl Kernel {
                 ("victims", victims),
             ],
         );
+        if self.tlb_oracle.is_enabled() {
+            self.tlb_oracle.note_broadcast(asid);
+            self.audit_flush_coverage(initiator, asid);
+        }
         (t, intf)
     }
 
@@ -119,6 +125,9 @@ impl Kernel {
                 ("victims", victims),
             ],
         );
+        if self.tlb_oracle.is_enabled() {
+            self.audit_flush_coverage(initiator, asid);
+        }
         (t, intf)
     }
 
@@ -131,8 +140,55 @@ impl Kernel {
     ) -> (Cycles, Interference) {
         match mode {
             FlushMode::GlobalBroadcast => self.flush_asid_all_cores(core, asid),
-            FlushMode::LocalOnly => (self.flush_tlb_local(core, asid), Interference::default()),
+            FlushMode::LocalOnly => {
+                if self.tlb_oracle.is_enabled() {
+                    self.audit_local_only_flush(core, asid);
+                }
+                (self.flush_tlb_local(core, asid), Interference::default())
+            }
             FlushMode::Tracked => self.flush_asid_tracked(core, asid),
+        }
+    }
+
+    /// Oracle audit: a shootdown claiming full coverage of `asid` must
+    /// leave no core holding entries of it. Only reached with the oracle on.
+    #[cold]
+    fn audit_flush_coverage(&mut self, initiator: CoreId, asid: Asid) {
+        for core in 0..self.machine.cores {
+            if self.tlb_mut(CoreId(core)).holds_asid(asid) {
+                self.tlb_oracle.record_unflushed_victim();
+                self.trace.instant(
+                    TraceKind::TlbOracle,
+                    Cycles::ZERO,
+                    initiator.0 as u32,
+                    &[
+                        ("audit_violation", 1),
+                        ("unflushed_core", core as u64),
+                        ("asid", u64::from(asid.0)),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Oracle audit of the Algorithm 4 preconditions for a `LocalOnly`
+    /// post-swap flush: the compactor must be pinned, and an all-core
+    /// broadcast of `asid` must have happened since the pin began. Only
+    /// reached with the oracle on.
+    #[cold]
+    fn audit_local_only_flush(&mut self, core: CoreId, asid: Asid) {
+        let pinned = self.pinned_core().is_some();
+        if self.tlb_oracle.audit_local_only(asid, pinned) {
+            self.trace.instant(
+                TraceKind::TlbOracle,
+                Cycles::ZERO,
+                core.0 as u32,
+                &[
+                    ("audit_violation", 1),
+                    ("pinned", u64::from(pinned)),
+                    ("asid", u64::from(asid.0)),
+                ],
+            );
         }
     }
 }
@@ -211,6 +267,141 @@ mod tests {
         }
         let (global, _) = k.flush_after_swap(CoreId(0), s.asid(), FlushMode::GlobalBroadcast);
         assert!(local < tracked && tracked < global, "{local} {tracked} {global}");
+    }
+
+    #[test]
+    fn tracked_untouched_core_gets_no_ipi() {
+        let mut k = Kernel::new(MachineConfig::xeon_gold_6130(), 16);
+        let mut s = AddressSpace::new(Asid(1));
+        let va = k.vmem.alloc_region(&mut s, 1).unwrap();
+        k.set_tracing(true);
+        // Only core 5 ever touches the space.
+        k.translate(&s, CoreId(5), va).unwrap();
+        let (_, _) = k.flush_asid_tracked(CoreId(0), s.asid());
+        assert_eq!(k.perf.ipis_sent, 1, "exactly the one holder is IPIed");
+        #[cfg(feature = "trace")]
+        {
+            let ev = k
+                .take_trace()
+                .into_iter()
+                .find(|e| e.kind == TraceKind::Shootdown)
+                .expect("tracked flush emits a shootdown event");
+            let victims = ev.arg("victims").unwrap();
+            assert_eq!(victims, 1u64 << 5, "victim mask names core 5 and nobody else");
+        }
+    }
+
+    #[test]
+    fn tracked_touching_core_always_gets_ipi() {
+        // Whichever single core touched the ASID, a tracked flush from
+        // core 0 must IPI it — and its exact bit must appear in the mask.
+        for holder in 1..MachineConfig::xeon_gold_6130().cores {
+            let mut k = Kernel::new(MachineConfig::xeon_gold_6130(), 16);
+            let mut s = AddressSpace::new(Asid(1));
+            let va = k.vmem.alloc_region(&mut s, 1).unwrap();
+            k.set_tracing(true);
+            k.translate(&s, CoreId(holder), va).unwrap();
+            k.flush_asid_tracked(CoreId(0), s.asid());
+            assert_eq!(k.perf.ipis_sent, 1, "holder {holder} must be IPIed");
+            #[cfg(feature = "trace")]
+            {
+                let ev = k
+                    .take_trace()
+                    .into_iter()
+                    .find(|e| e.kind == TraceKind::Shootdown)
+                    .unwrap();
+                let victims = ev.arg("victims").unwrap();
+                assert_eq!(victims, 1u64 << holder, "exact bit for core {holder}");
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_interference_charged_only_to_true_victims() {
+        let mut k = Kernel::new(MachineConfig::xeon_gold_6130(), 16);
+        let mut s = AddressSpace::new(Asid(1));
+        let va = k.vmem.alloc_region(&mut s, 1).unwrap();
+        // No holders at all: zero IPIs, zero interference.
+        let (_, intf0) = k.flush_asid_tracked(CoreId(0), s.asid());
+        assert_eq!(k.perf.ipis_sent, 0);
+        assert_eq!(intf0.0.get(), 0, "nobody held the ASID, nobody pays");
+        // Three holders: interference is exactly 3 remote flush handlers.
+        for c in [2usize, 9, 17] {
+            k.translate(&s, CoreId(c), va).unwrap();
+        }
+        let (_, intf3) = k.flush_asid_tracked(CoreId(0), s.asid());
+        assert_eq!(k.perf.ipis_sent, 3);
+        assert_eq!(intf3.0.get(), 3 * k.machine.costs.ipi_receive_flush);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 64 cores")]
+    fn machines_beyond_64_cores_are_rejected() {
+        let mut m = MachineConfig::xeon_gold_6130();
+        m.cores = 65;
+        let _ = Kernel::new(m, 16);
+    }
+
+    #[test]
+    fn sixty_four_core_machine_masks_are_exact() {
+        let mut m = MachineConfig::xeon_gold_6130();
+        m.cores = 64;
+        let mut k = Kernel::new(m, 16);
+        k.set_tracing(true);
+        k.flush_asid_all_cores(CoreId(0), Asid(1));
+        assert_eq!(k.perf.ipis_sent, 63, "all 63 peers of core 0 are IPIed");
+        #[cfg(feature = "trace")]
+        {
+            let ev = k
+                .take_trace()
+                .into_iter()
+                .find(|e| e.kind == TraceKind::Shootdown)
+                .unwrap();
+            let victims = ev.arg("victims").unwrap();
+            assert_eq!(victims, !1u64, "all 63 peers of core 0, each with its own bit");
+        }
+    }
+
+    #[test]
+    fn oracle_audits_unprotected_local_only_flush() {
+        let mut k = Kernel::new(MachineConfig::xeon_gold_6130(), 16);
+        k.set_tlb_oracle(true);
+        // No pin, no broadcast: a LocalOnly flush violates Algorithm 4.
+        k.flush_after_swap(CoreId(0), Asid(1), FlushMode::LocalOnly);
+        assert_eq!(k.tlb_oracle_stats().audit_violations, 1);
+        // Pin + broadcast first: the same flush is now legal.
+        let mut k = Kernel::new(MachineConfig::xeon_gold_6130(), 16);
+        k.set_tlb_oracle(true);
+        k.pin(CoreId(0));
+        k.flush_asid_all_cores(CoreId(0), Asid(1));
+        k.flush_after_swap(CoreId(0), Asid(1), FlushMode::LocalOnly);
+        assert_eq!(k.tlb_oracle_stats().audit_violations, 0);
+        // Unpinning closes the epoch: local-only flushes are illegal again.
+        k.unpin();
+        k.flush_after_swap(CoreId(0), Asid(1), FlushMode::LocalOnly);
+        assert_eq!(k.tlb_oracle_stats().audit_violations, 1);
+    }
+
+    #[test]
+    fn oracle_catches_stale_hit_after_unflushed_swap() {
+        let mut k = Kernel::new(MachineConfig::i5_7600(), 16);
+        k.set_tlb_oracle(true);
+        let mut s = AddressSpace::new(Asid(1));
+        let a = k.vmem.alloc_region(&mut s, 1).unwrap();
+        let b = k.vmem.alloc_region(&mut s, 1).unwrap();
+        // Warm core 1, then swap the PTEs behind its back with no flush.
+        k.translate(&s, CoreId(1), a).unwrap();
+        k.translate(&s, CoreId(1), b).unwrap();
+        s.page_table_mut().swap_ptes(a, b).unwrap();
+        assert_eq!(k.tlb_oracle_stats().stale_hits, 0);
+        k.translate(&s, CoreId(1), a).unwrap();
+        let st = k.tlb_oracle_stats();
+        assert_eq!(st.stale_hits, 1, "the cached frame no longer matches the PT");
+        assert!(st.checks >= 1);
+        // A fresh walk on a flushed core is clean.
+        k.flush_tlb_local(CoreId(1), s.asid());
+        k.translate(&s, CoreId(1), a).unwrap();
+        assert_eq!(k.tlb_oracle_stats().stale_hits, 1);
     }
 
     #[test]

@@ -10,10 +10,11 @@ use crate::fault::FaultPlan;
 use crate::journal::{OpJournal, UndoOp};
 use svagc_metrics::{
     AccessKind, BandwidthModel, CacheHierarchy, CacheLevel, Cycles, MachineConfig, PerfCounters,
-    TraceEvent, Tracer,
+    TraceEvent, TraceKind, Tracer,
 };
 use svagc_vmem::{
-    AddressSpace, Asid, PhysAddr, VirtAddr, VmError, Tlb, TlbConfig, TlbHit, Vmem, PAGE_SIZE,
+    AddressSpace, Asid, FrameId, OracleStats, PhysAddr, TlbOracle, VirtAddr, VmError, Tlb,
+    TlbConfig, TlbHit, Vmem, PAGE_SIZE,
 };
 
 /// Identifier of a simulated core.
@@ -51,12 +52,20 @@ pub struct Kernel {
     /// [`svagc_metrics::trace`]). Kernel hot paths emit into it
     /// unconditionally — a disabled sink is a no-op.
     pub trace: Tracer,
+    /// Stale-translation / flush-protocol oracle (disabled by default; a
+    /// pure observer — enabling it never changes simulated behaviour).
+    pub(crate) tlb_oracle: TlbOracle,
 }
 
 impl Kernel {
     /// A machine with `phys_frames` frames of simulated DRAM.
     pub fn new(machine: MachineConfig, phys_frames: u32) -> Kernel {
         let cores = machine.cores;
+        assert!(
+            cores <= 64,
+            "modeled machines are limited to 64 cores: shootdown victim \
+             bitmasks are exact u64s (one bit per core) and must never alias"
+        );
         Kernel {
             machine,
             vmem: Vmem::new(phys_frames),
@@ -68,6 +77,7 @@ impl Kernel {
             fault: None,
             journal: None,
             trace: Tracer::disabled(),
+            tlb_oracle: TlbOracle::disabled(),
         }
     }
 
@@ -103,6 +113,23 @@ impl Kernel {
         self.trace.take()
     }
 
+    /// Enable/disable the stale-translation oracle. Enabling resets its
+    /// counters and audit state. The oracle is a pure observer: simulated
+    /// cycle charging and counters are identical with it on or off.
+    pub fn set_tlb_oracle(&mut self, on: bool) {
+        self.tlb_oracle.set_enabled(on);
+    }
+
+    /// Is the stale-translation oracle recording?
+    pub fn tlb_oracle_enabled(&self) -> bool {
+        self.tlb_oracle.is_enabled()
+    }
+
+    /// Snapshot of the oracle's counters.
+    pub fn tlb_oracle_stats(&self) -> OracleStats {
+        self.tlb_oracle.stats()
+    }
+
     /// Number of modeled cores.
     pub fn cores(&self) -> usize {
         self.machine.cores
@@ -116,12 +143,14 @@ impl Kernel {
     /// Pin the process to `core` (charged per `CostParams::pin_task`).
     pub fn pin(&mut self, core: CoreId) -> Cycles {
         self.pinned = Some(core);
+        self.tlb_oracle.note_pin();
         Cycles(self.machine.costs.pin_task)
     }
 
     /// Unpin the process.
     pub fn unpin(&mut self) -> Cycles {
         self.pinned = None;
+        self.tlb_oracle.note_unpin();
         Cycles(self.machine.costs.pin_task)
     }
 
@@ -211,11 +240,17 @@ impl Kernel {
             TlbHit::L1 => {
                 let frame =
                     frame.expect("TLB invariant: an L1 hit always carries its cached frame");
+                if self.tlb_oracle.is_enabled() {
+                    self.oracle_check_hit(space, core, va, frame);
+                }
                 Ok((frame.base() + va.page_offset(), Cycles(1)))
             }
             TlbHit::Stlb => {
                 let frame =
                     frame.expect("TLB invariant: an STLB hit always carries its cached frame");
+                if self.tlb_oracle.is_enabled() {
+                    self.oracle_check_hit(space, core, va, frame);
+                }
                 Ok((frame.base() + va.page_offset(), Cycles(7)))
             }
             TlbHit::Miss => {
@@ -276,6 +311,27 @@ impl Kernel {
         self.perf.tlb_flushes_page += 1;
         self.tlbs[core.0].flush_page(asid, va.vpn());
         Cycles(self.machine.costs.tlb_flush_page)
+    }
+
+    /// Oracle slow path: a TLB hit returned `cached` for `va`; cross-check
+    /// it against the live page table and record/trace a stale translation.
+    /// Only reached when the oracle is enabled.
+    #[cold]
+    fn oracle_check_hit(&mut self, space: &AddressSpace, core: CoreId, va: VirtAddr, cached: FrameId) {
+        let live = space.translate(va).ok().map(|pa| pa.frame());
+        if self.tlb_oracle.check_hit(cached, live) {
+            self.trace.instant(
+                TraceKind::TlbOracle,
+                Cycles::ZERO,
+                core.0 as u32,
+                &[
+                    ("stale_hit", 1),
+                    ("vpn", va.vpn()),
+                    ("cached_frame", u64::from(cached.0)),
+                    ("live_frame", live.map_or(u64::MAX, |f| u64::from(f.0))),
+                ],
+            );
+        }
     }
 
     /// Access a core's TLB stats: `(lookups, misses)`.

@@ -84,11 +84,15 @@ pub enum TraceKind {
     /// A degraded-mode transition (escalation or probation recovery).
     /// Instant.
     ModeChange,
+    /// The stale-translation oracle caught a violation: a TLB hit whose
+    /// cached frame disagrees with the live page table, or a flush that
+    /// broke the shootdown-protocol preconditions. Instant.
+    TlbOracle,
 }
 
 impl TraceKind {
     /// Every kind, in a fixed order (for summaries and registries).
-    pub const ALL: [TraceKind; 17] = [
+    pub const ALL: [TraceKind; 18] = [
         TraceKind::GcCycle,
         TraceKind::MinorCycle,
         TraceKind::MarkPhase,
@@ -106,6 +110,7 @@ impl TraceKind {
         TraceKind::CycleAbort,
         TraceKind::Rollback,
         TraceKind::ModeChange,
+        TraceKind::TlbOracle,
     ];
 
     /// Stable event name (Chrome trace `name`, registry key segment).
@@ -128,6 +133,7 @@ impl TraceKind {
             TraceKind::CycleAbort => "cycle_abort",
             TraceKind::Rollback => "rollback",
             TraceKind::ModeChange => "mode_change",
+            TraceKind::TlbOracle => "tlb_oracle",
         }
     }
 
@@ -148,7 +154,8 @@ impl TraceKind {
             | TraceKind::FaultInjected
             | TraceKind::CycleAbort
             | TraceKind::Rollback
-            | TraceKind::ModeChange => "resilience",
+            | TraceKind::ModeChange
+            | TraceKind::TlbOracle => "resilience",
         }
     }
 }

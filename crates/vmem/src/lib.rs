@@ -37,4 +37,4 @@ pub use frame::{FrameAllocator, PhysMem};
 pub use pagetable::{PageTable, PmdCache, PteTable, WALK_LEVELS_CACHED, WALK_LEVELS_FULL};
 pub use pte::{Pte, PteFlags};
 pub use space::{AddressSpace, Vmem, USER_BASE};
-pub use tlb::{Tlb, TlbConfig, TlbHit};
+pub use tlb::{OracleStats, Tlb, TlbConfig, TlbHit, TlbOracle};

@@ -237,6 +237,129 @@ impl Tlb {
     }
 }
 
+/// Copyable snapshot of the oracle's counters (threaded into run results
+/// and the `gc.tlb.*` registry keys).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Was the oracle recording?
+    pub enabled: bool,
+    /// TLB hits cross-checked against the live page table.
+    pub checks: u64,
+    /// Hits whose cached frame disagreed with the page table — a mutator
+    /// translated through a stale entry, the §IV safety violation.
+    pub stale_hits: u64,
+    /// Kernel flush events that violated the protocol preconditions
+    /// (a local-only flush without an active pin, or without the
+    /// once-per-cycle broadcast; a shootdown that left a victim unflushed).
+    pub audit_violations: u64,
+}
+
+/// Runtime stale-translation oracle: the dynamic counterpart of the
+/// protocol model checker (`svagc-core::protocol`).
+///
+/// When enabled, the kernel cross-checks every TLB *hit* against the live
+/// page table (a hit whose cached frame disagrees is a stale translation —
+/// exactly the hazard the shootdown protocol must prevent) and audits
+/// every post-swap flush against the Algorithm 4 preconditions: a
+/// `LocalOnly` flush is legal only while the compactor is pinned *and* a
+/// cycle-start broadcast has been issued for that address space since the
+/// pin began. Disabled (the default) it is a single branch on a bool —
+/// behaviour, cycle charging, and simulated counters are bit-identical
+/// with the oracle on or off; it is a pure observer.
+#[derive(Debug, Clone, Default)]
+pub struct TlbOracle {
+    enabled: bool,
+    checks: u64,
+    stale_hits: u64,
+    audit_violations: u64,
+    /// Address spaces broadcast-flushed since the current pin epoch began
+    /// (cleared on pin/unpin — a broadcast from a previous epoch proves
+    /// nothing about this one).
+    broadcast_asids: Vec<u16>,
+}
+
+impl TlbOracle {
+    /// A disabled oracle (every probe is a no-op).
+    pub fn disabled() -> TlbOracle {
+        TlbOracle::default()
+    }
+
+    /// Enable/disable. Toggling resets counters and audit state.
+    pub fn set_enabled(&mut self, on: bool) {
+        *self = TlbOracle::default();
+        self.enabled = on;
+    }
+
+    /// Is the oracle recording?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            enabled: self.enabled,
+            checks: self.checks,
+            stale_hits: self.stale_hits,
+            audit_violations: self.audit_violations,
+        }
+    }
+
+    /// Cross-check a TLB hit: `cached` is the frame the TLB returned,
+    /// `live` the page table's current frame (`None` = no longer mapped).
+    /// Returns `true` when the hit was stale. Callers must gate on
+    /// [`TlbOracle::is_enabled`] so the disabled path stays free.
+    pub fn check_hit(&mut self, cached: FrameId, live: Option<FrameId>) -> bool {
+        self.checks += 1;
+        let stale = live != Some(cached);
+        if stale {
+            self.stale_hits += 1;
+        }
+        stale
+    }
+
+    /// The compactor pinned itself: a new audit epoch begins, with no
+    /// broadcasts on record yet.
+    pub fn note_pin(&mut self) {
+        if self.enabled {
+            self.broadcast_asids.clear();
+        }
+    }
+
+    /// The compactor unpinned: broadcasts from the closed epoch no longer
+    /// license local-only flushes.
+    pub fn note_unpin(&mut self) {
+        if self.enabled {
+            self.broadcast_asids.clear();
+        }
+    }
+
+    /// An all-core broadcast flush of `asid` completed.
+    pub fn note_broadcast(&mut self, asid: Asid) {
+        if self.enabled && !self.broadcast_asids.contains(&asid.0) {
+            self.broadcast_asids.push(asid.0);
+        }
+    }
+
+    /// Audit a `LocalOnly` post-swap flush: legal only when `pinned` and a
+    /// broadcast of `asid` happened in the current pin epoch. Returns
+    /// `true` on violation (and counts it).
+    pub fn audit_local_only(&mut self, asid: Asid, pinned: bool) -> bool {
+        let violation = !pinned || !self.broadcast_asids.contains(&asid.0);
+        if violation {
+            self.audit_violations += 1;
+        }
+        violation
+    }
+
+    /// A shootdown claimed to flush `asid` everywhere it was held, yet a
+    /// victim still holds an entry — count the broken postcondition.
+    pub fn record_unflushed_victim(&mut self) {
+        self.audit_violations += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,7 @@ use svagc_kernel::{FaultConfig, FaultPlan, Kernel};
 use svagc_metrics::{
     BandwidthModel, Cycles, MachineConfig, PerfCounters, Registry, TraceEvent,
 };
-use svagc_vmem::Asid;
+use svagc_vmem::{Asid, OracleStats};
 
 /// Which collector to run.
 #[derive(Debug, Clone, Copy)]
@@ -147,6 +147,14 @@ pub struct RunConfig {
     /// a no-op sink otherwise). Off by default — the disabled tracer is a
     /// branch on a `None`.
     pub trace: bool,
+    /// Run under the stale-translation oracle: every TLB hit is
+    /// cross-checked against the live page table and every kernel flush
+    /// audited against the Algorithm 4 preconditions. A pure observer —
+    /// simulated cycles and counters are identical with it on or off —
+    /// but any violation fails the run. Also enabled by setting the
+    /// `SVAGC_TLB_ORACLE` environment variable (how CI runs the figure
+    /// and chaos suites under the oracle).
+    pub tlb_oracle: bool,
 }
 
 impl RunConfig {
@@ -170,6 +178,7 @@ impl RunConfig {
             deadline_cycles: None,
             degrade: DegradePolicy::off(),
             trace: false,
+            tlb_oracle: false,
         }
     }
 
@@ -201,6 +210,12 @@ impl RunConfig {
     /// Set the degraded-mode policy.
     pub fn with_degrade(mut self, policy: DegradePolicy) -> RunConfig {
         self.degrade = policy;
+        self
+    }
+
+    /// Enable the stale-translation oracle.
+    pub fn with_tlb_oracle(mut self, on: bool) -> RunConfig {
+        self.tlb_oracle = on;
         self
     }
 }
@@ -242,6 +257,10 @@ pub struct RunResult {
     /// Trace events recorded during the run (empty unless
     /// [`RunConfig::trace`] was set and the `trace` feature is on).
     pub trace: Vec<TraceEvent>,
+    /// Stale-translation oracle counters (all zero when the oracle was
+    /// off; a run with violations fails before producing a result, so a
+    /// `RunResult` always carries zero `stale_hits`/`audit_violations`).
+    pub tlb_oracle: OracleStats,
 }
 
 impl RunResult {
@@ -289,6 +308,16 @@ impl RunResult {
         self.perf.register_into(&mut reg);
         self.gc.register_into(&mut reg);
         svagc_metrics::trace::register_events(&self.trace, &mut reg);
+        // Oracle verdicts are registered unconditionally (zeros when the
+        // oracle was off) so BENCH records always carry the keys; the
+        // volume-dependent `checks` counter is registered only when the
+        // oracle ran, keeping oracle-off registries byte-identical to
+        // pre-oracle ones.
+        reg.add("gc.tlb.stale_hits", self.tlb_oracle.stale_hits);
+        reg.add("gc.tlb.audit_violations", self.tlb_oracle.audit_violations);
+        if self.tlb_oracle.enabled {
+            reg.add("gc.tlb.checks", self.tlb_oracle.checks);
+        }
         reg
     }
 }
@@ -311,6 +340,10 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
     }
     kernel.set_instrumented(cfg.instrumented);
     kernel.set_tracing(cfg.trace);
+    // The oracle can also be forced suite-wide from the environment (CI
+    // runs the figure and chaos suites under it without touching code).
+    let oracle_on = cfg.tlb_oracle || std::env::var_os("SVAGC_TLB_ORACLE").is_some();
+    kernel.set_tlb_oracle(oracle_on);
 
     let mut heap_cfg =
         HeapConfig::new(heap_bytes).with_alignment(cfg.collector.aligned_heap());
@@ -351,6 +384,15 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
     let heap_hash = HeapVerifier::new().content_hash(&kernel, &mut final_heap);
     drop(final_heap);
     let trace = kernel.take_trace();
+    let oracle_stats = kernel.tlb_oracle_stats();
+    if oracle_stats.stale_hits > 0 || oracle_stats.audit_violations > 0 {
+        return Err(format!(
+            "stale-TLB oracle: {} stale hit(s), {} flush-protocol audit violation(s) \
+             over {} checked TLB hits — the shootdown protocol let a core translate \
+             through a dead entry",
+            oracle_stats.stale_hits, oracle_stats.audit_violations, oracle_stats.checks
+        ));
+    }
 
     let cores = cfg.effective_cores.unwrap_or(cfg.machine.cores).max(1);
     let parallelism = (workload.threads() as usize).min(cores).max(1) as u64;
@@ -374,5 +416,6 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
         verify_ok,
         heap_hash,
         trace,
+        tlb_oracle: oracle_stats,
     })
 }

@@ -196,3 +196,32 @@ fn forced_watchdog_expiry_propagates_and_generous_budget_is_invisible() {
         "driver must surface the watchdog error, got: {err}"
     );
 }
+
+/// Chaos under the stale-translation oracle: a faulty run (retries,
+/// fallbacks, batch splits — every recovery path exercised) must still
+/// never let any core translate through a stale TLB entry, and watching
+/// for that must not perturb a single simulated byte.
+#[test]
+fn chaos_under_tlb_oracle_is_stale_free_and_invisible() {
+    let plain = chaos_run("LRUCache", 0.10);
+
+    let mut w = suite::by_name("LRUCache").unwrap();
+    let mut cfg = RunConfig::new(CollectorKind::Svagc)
+        .with_faults(0.10, CHAOS_SEED)
+        .with_verify_phases(true)
+        .with_tlb_oracle(true);
+    cfg.gc_threads = 8;
+    // The driver fails closed on any stale hit or audit violation, so
+    // unwrapping IS the oracle assertion.
+    let watched = run(w.as_mut(), &cfg).expect("oracle must stay silent under chaos");
+
+    assert!(watched.tlb_oracle.enabled);
+    assert!(watched.tlb_oracle.checks > 0, "oracle must actually observe hits");
+    assert_eq!(watched.tlb_oracle.stale_hits, 0);
+    assert_eq!(watched.tlb_oracle.audit_violations, 0);
+    assert_eq!(
+        watched.heap_hash, plain.heap_hash,
+        "the oracle is an observer: same seed, same bytes"
+    );
+    assert_eq!(watched.gc.count(), plain.gc.count());
+}
