@@ -4,6 +4,11 @@
 //! Usage: `perf_gate --baseline ci/perf-baseline.json --current /tmp/bench/BENCH_summary.json
 //!         [--wall-factor 20] [--wall-slack-ms 250]`
 //!
+//! The environment variable `SVAGC_GATE_WALL_MULT` multiplies the wall
+//! factor (after flags are applied) so slow CI runners can widen the
+//! host-time bound without editing every invocation; simulated metrics
+//! stay bit-exact regardless.
+//!
 //! Exits 0 when every simulated metric is bit-identical to the baseline
 //! and wall times stay under their bounds; exits 1 and prints every
 //! violation otherwise.
@@ -33,6 +38,7 @@ fn main() -> ExitCode {
     if let Some(s) = arg_value(&args, "--wall-slack-ms").and_then(|v| v.parse().ok()) {
         cfg.wall_slack_ms = s;
     }
+    cfg = cfg.with_env_wall_mult();
     match run_gate(&baseline, &current, &cfg) {
         Ok(()) => {
             println!(

@@ -10,10 +10,10 @@
 
 use svagc_bench::report::{HostInfo, Report};
 use svagc_core::protocol::{self, ModelConfig};
-use svagc_core::{DegradePolicy, DegradedMode};
-use svagc_kernel::FlushMode;
+use svagc_core::{CycleClass, DegradePolicy, DegradedMode, RetryPolicy};
+use svagc_kernel::{CrashPlan, FlushMode, WalMutation};
 use svagc_metrics::MachineConfig;
-use svagc_workloads::driver::{run, CollectorKind, RunConfig};
+use svagc_workloads::driver::{run_with_crash, CollectorKind, CrashOutcome, RunConfig};
 use svagc_workloads::lrucache::LruCache;
 use svagc_workloads::multijvm::run_multi;
 use svagc_workloads::suite;
@@ -25,10 +25,13 @@ fn usage() -> ! {
   svagc run --workload <name> [--collector svagc|memmove|parallelgc|shenandoah]
             [--heap-factor <f>] [--gc-threads <n>] [--steps <n>]
             [--machine 6130|6240|i5] [--threshold <pages>] [--instrumented]
-            [--fault-rate <p>] [--fault-seed <n>] [--verify-phases]
+            [--fault-rate <p>] [--fault-seed <n>] [--fault-permanent]
+            [--swap-fallback-budget <n>] [--verify-phases]
             [--gc-deadline-cycles <n>] [--degrade-policy off|standard|standard:N]
             [--trace <out.json>] [--trace-summary] [--bench-json <out.json>]
-            [--tlb-oracle]
+            [--tlb-oracle] [--wal] [--crash-plan <pt[:n],...>]
+            [--wal-mutate skip-commit|drop-intent]
+  svagc recover ...same flags as run...
   svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]
   svagc protocol-check [--deep]
 
@@ -53,6 +56,28 @@ fn usage() -> ! {
                       hit is cross-checked against the live page table
                       and every flush audited against the Algorithm 4
                       preconditions; any violation fails the run
+  --wal               arm the kernel write-ahead journal for PTE-mutating
+                      GC operations (implied by --crash-plan)
+  --crash-plan        seeded crash points, comma-separated `point[:n]`
+                      (the machine dies at the n-th occurrence; n
+                      defaults to 1): before-batch, inside-batch,
+                      after-batch, mid-ipi, mid-rollback, mid-log-append,
+                      inside-recovery.
+                      `run` exits 13 when a crash fires; `recover`
+                      reboots the dead machine, replays the journal, and
+                      exits 0 only if the rebuilt heap hashes
+                      bit-identically to a pre- or post-cycle snapshot
+                      (14 if recovery fails closed)
+  --wal-mutate        seeded journal corruption (teeth testing): a
+                      correct recovery MUST fail closed under it
+  recover             like `run`, but after a seeded crash the machine is
+                      rebooted and the recovery state machine replays the
+                      write-ahead journal (see --crash-plan)
+
+  exit codes: 0 ok | 1 error | 2 usage | 10 watchdog deadline |
+              11 fault abort | 12 degraded-mode ladder exhausted |
+              13 machine crashed | 14 recovery failed
+
   protocol-check      exhaustively model-check the three TLB-coherence
                       protocols (GlobalBroadcast / LocalOnly / Tracked)
                       and run the seeded mutation suite; --deep adds a
@@ -102,6 +127,8 @@ fn flags(args: &[String]) -> Vec<(String, String)> {
             || key == "verify-phases"
             || key == "trace-summary"
             || key == "tlb-oracle"
+            || key == "wal"
+            || key == "fault-permanent"
             || key == "deep"
         {
             out.push((key.to_string(), "true".to_string()));
@@ -136,7 +163,8 @@ fn main() {
             println!("  {:<16} threads {:>4}  (multi-JVM scalability workload)", "LRUCache", 1);
             println!("collectors: svagc | memmove | parallelgc | shenandoah");
         }
-        Some("run") => {
+        Some(cmd @ ("run" | "recover")) => {
+            let do_recover = cmd == "recover";
             let fs = flags(&args[1..]);
             let name = get(&fs, "workload").unwrap_or_else(|| {
                 eprintln!("--workload is required");
@@ -168,6 +196,11 @@ fn main() {
             if let Some(sd) = get(&fs, "fault-seed") {
                 cfg.fault_seed = sd.parse().expect("--fault-seed expects an integer");
             }
+            cfg.fault_permanent_only = get(&fs, "fault-permanent").is_some();
+            if let Some(b) = get(&fs, "swap-fallback-budget") {
+                let budget: u64 = b.parse().expect("--swap-fallback-budget expects an integer");
+                cfg.retry = Some(RetryPolicy::default().with_fallback_budget(Some(budget)));
+            }
             if let Some(d) = get(&fs, "gc-deadline-cycles") {
                 cfg.deadline_cycles =
                     Some(d.parse().expect("--gc-deadline-cycles expects cycles"));
@@ -182,12 +215,96 @@ fn main() {
             let trace_summary = get(&fs, "trace-summary").is_some();
             cfg.trace = trace_path.is_some() || trace_summary;
             cfg.tlb_oracle = get(&fs, "tlb-oracle").is_some();
+            cfg.wal = get(&fs, "wal").is_some();
+            if let Some(spec) = get(&fs, "crash-plan") {
+                for part in spec.split(',') {
+                    match CrashPlan::parse(part) {
+                        Some(p) => cfg.crash_plans.push(p),
+                        None => {
+                            eprintln!("bad crash plan {part:?} (want point[:n])");
+                            usage()
+                        }
+                    }
+                }
+            }
+            if let Some(m) = get(&fs, "wal-mutate") {
+                cfg.wal_mutation = Some(WalMutation::parse(m).unwrap_or_else(|| {
+                    eprintln!("unknown WAL mutation {m:?} (skip-commit | drop-intent)");
+                    usage()
+                }));
+            }
 
             let t0 = std::time::Instant::now();
-            let r = run(w.as_mut(), &cfg).unwrap_or_else(|e| {
-                eprintln!("run failed: {e}");
-                std::process::exit(1);
+            let outcome = run_with_crash(w.as_mut(), &cfg, do_recover).unwrap_or_else(|f| {
+                eprintln!("{cmd} failed: {f}");
+                std::process::exit(f.kind.exit_code());
             });
+            let r = match outcome {
+                CrashOutcome::Completed(r) => {
+                    if do_recover && cfg.crash_plans.is_empty() {
+                        eprintln!("note: no crash plan armed; the run completed normally");
+                    }
+                    *r
+                }
+                CrashOutcome::Crashed(rep) => {
+                    println!(
+                        "crash        : machine died at {} after {} completed step(s)",
+                        rep.point, rep.steps_completed
+                    );
+                    let Some(rec) = &rep.recovery else {
+                        eprintln!("machine crashed (re-run with `recover` to replay the journal)");
+                        std::process::exit(13);
+                    };
+                    match &rec.outcome {
+                        Ok(rr) => {
+                            let snapshot = if rr.class == CycleClass::Committed {
+                                "post-cycle"
+                            } else {
+                                "pre-cycle"
+                            };
+                            println!(
+                                "recovery     : epoch {} {} | {} op(s) / {} page(s) undone | {} attempt(s)",
+                                rr.epoch,
+                                rr.class.name(),
+                                rr.undone_ops,
+                                rr.undone_pages,
+                                rec.attempts
+                            );
+                            println!(
+                                "heap         : {} objects, {} roots rebuilt from the journal",
+                                rr.objects, rr.roots
+                            );
+                            println!("heap hash    : {:#018x}", rr.content_hash);
+                            println!("verify       : ok (bit-identical to the {snapshot} snapshot)");
+                            if let Some(path) = get(&fs, "bench-json") {
+                                let mut rep2 = Report::new(
+                                    "cli_recover",
+                                    &format!("{name} crash recovery ({})", cfg.machine.name),
+                                );
+                                rep2.counters_from(&rep.registry());
+                                let host = HostInfo {
+                                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                    threads: 1,
+                                    parallel: false,
+                                };
+                                std::fs::write(path, rep2.bench_json(&host)).unwrap_or_else(|e| {
+                                    eprintln!("cannot write BENCH record to {path:?}: {e}");
+                                    std::process::exit(1);
+                                });
+                                println!("bench json   : {} -> {path}", rep2.sim_digest());
+                            }
+                            std::process::exit(0);
+                        }
+                        Err(why) => {
+                            eprintln!(
+                                "recovery FAILED closed after {} attempt(s): {why}",
+                                rec.attempts
+                            );
+                            std::process::exit(14);
+                        }
+                    }
+                }
+            };
             let host_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             println!("workload     : {}", r.workload);
             println!("collector    : {}", r.collector);

@@ -8,7 +8,7 @@
 
 use std::fmt;
 use svagc_heap::{HeapError, VerifyReport};
-use svagc_kernel::SwapVaError;
+use svagc_kernel::{CrashPoint, SwapVaError};
 use svagc_metrics::Cycles;
 use svagc_vmem::VmError;
 
@@ -43,6 +43,19 @@ pub enum GcError {
         /// The first violation, rendered (the one that matters).
         first: String,
     },
+    /// A seeded crash point fired mid-cycle: the simulated machine is
+    /// dead. Bypasses rollback, retry, and the degraded-mode ladder — the
+    /// process that would run them no longer exists. The crash/recovery
+    /// harness takes over from the durable state.
+    Crashed {
+        /// Where the machine died.
+        point: CrashPoint,
+    },
+    /// The degraded-mode ladder was already at its last rung when this
+    /// operational error aborted the cycle: there is nothing left to
+    /// degrade to, so the collector gives up. Wraps the error that
+    /// exhausted it.
+    Exhausted(Box<GcError>),
 }
 
 impl GcError {
@@ -73,6 +86,17 @@ impl GcError {
             self,
             GcError::Swap(SwapVaError::Fault { .. }) | GcError::Deadline { .. }
         )
+    }
+
+    /// The crash point, if this error (or the error an
+    /// [`GcError::Exhausted`] wraps) is a machine crash.
+    pub fn crash_point(&self) -> Option<CrashPoint> {
+        match self {
+            GcError::Crashed { point } => Some(*point),
+            GcError::Swap(SwapVaError::Crashed { point }) => Some(*point),
+            GcError::Exhausted(inner) => inner.crash_point(),
+            _ => None,
+        }
     }
 }
 
@@ -115,6 +139,12 @@ impl fmt::Display for GcError {
                 f,
                 "heap corruption after {phase} phase ({violations} violation(s); first: {first})"
             ),
+            GcError::Crashed { point } => {
+                write!(f, "machine crashed at seeded crash point {point}")
+            }
+            GcError::Exhausted(inner) => {
+                write!(f, "degraded-mode ladder exhausted ({inner})")
+            }
         }
     }
 }
@@ -124,7 +154,8 @@ impl std::error::Error for GcError {
         match self {
             GcError::Heap(e) => Some(e),
             GcError::Swap(e) => Some(e),
-            GcError::Deadline { .. } | GcError::Corruption { .. } => None,
+            GcError::Exhausted(inner) => Some(inner),
+            GcError::Deadline { .. } | GcError::Corruption { .. } | GcError::Crashed { .. } => None,
         }
     }
 }

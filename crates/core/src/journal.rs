@@ -22,10 +22,11 @@
 //! never writes memory except through `Kernel` entry points. This wrapper
 //! adds the collector-side pre-state that the kernel cannot know about.
 
+use crate::error::GcError;
+use crate::recovery::CycleMeta;
 use svagc_heap::{Heap, HeapSnapshot, HeapVerifier, ObjRef, RootSet};
-use svagc_kernel::{CoreId, Kernel};
+use svagc_kernel::{CoreId, CrashPoint, Kernel, RollbackError};
 use svagc_metrics::Cycles;
-use svagc_vmem::VmError;
 
 /// What one rollback cost and undid.
 #[derive(Debug, Clone, Copy)]
@@ -51,18 +52,29 @@ impl CompactionJournal {
     /// kernel undo journal. When `want_hash` is set, the heap's content
     /// hash is computed up front so an abort can prove bit-for-bit
     /// restoration.
+    ///
+    /// When the kernel's write-ahead log is armed, this also opens a WAL
+    /// epoch whose begin record carries the full pre-cycle snapshot
+    /// ([`CycleMeta`]) — the state crash recovery restores if this cycle
+    /// never commits. The content hash is always computed in that case:
+    /// it is the recovery oracle's ground truth.
     pub fn begin(
         kernel: &mut Kernel,
         heap: &mut Heap,
         roots: &RootSet,
         want_hash: bool,
     ) -> CompactionJournal {
-        let pre_hash = want_hash.then(|| HeapVerifier::new().content_hash(kernel, heap));
+        let pre_hash = (want_hash || kernel.wal_enabled())
+            .then(|| HeapVerifier::new().content_hash(kernel, heap));
         let txn = CompactionJournal {
             heap: heap.snapshot(),
             roots: roots.snapshot(),
             pre_hash,
         };
+        if kernel.wal_enabled() {
+            let meta = CycleMeta::capture(heap, roots, pre_hash.unwrap_or(0));
+            kernel.wal_cycle_begin(meta.encode());
+        }
         kernel.journal_begin();
         txn
     }
@@ -72,29 +84,55 @@ impl CompactionJournal {
         self.pre_hash
     }
 
-    /// Commit: the cycle succeeded; drop the undo journal.
-    pub fn commit(self, kernel: &mut Kernel) {
+    /// Commit: the cycle succeeded; drop the undo journal. When a WAL
+    /// epoch is open, the commit record — carrying the full post-cycle
+    /// snapshot and content hash — is appended first, making the cycle
+    /// durable: a crash from here on recovers to the *post*-cycle heap.
+    pub fn commit(self, kernel: &mut Kernel, heap: &mut Heap, roots: &RootSet) {
+        if kernel.wal_cycle_open() {
+            let hash = HeapVerifier::new().content_hash(kernel, heap);
+            let meta = CycleMeta::capture(heap, roots, hash);
+            kernel.wal_commit(meta.encode());
+        }
         let _ = kernel.journal_take();
     }
 
     /// Abort: replay the kernel journal backward, restore the heap index
     /// and roots, and broadcast a shootdown so every core drops mappings
     /// the rollback may have re-swapped. `core` is charged for the work.
+    /// Once the rollback has fully restored the pre-cycle state, the open
+    /// WAL epoch (if any) is closed with an abort record — the durable
+    /// promise that recovery after a later crash need not undo this cycle.
     ///
-    /// Errors here are [`VmError`]s from the functional restore path —
-    /// they mean the journal itself is inconsistent, which is a simulator
-    /// bug, not an operational condition.
+    /// Errors are [`GcError::Crashed`] when a seeded crash point killed
+    /// the machine mid-rollback (the WAL epoch then stays open, so crash
+    /// recovery redoes the undo from the durable log), or
+    /// [`GcError::Corruption`] when the undo journal itself is
+    /// inconsistent — a simulator bug, not an operational condition.
     pub fn abort(
         self,
         kernel: &mut Kernel,
         heap: &mut Heap,
         roots: &mut RootSet,
         core: CoreId,
-    ) -> Result<RollbackReport, VmError> {
+    ) -> Result<RollbackReport, GcError> {
         let journal = kernel.journal_take().unwrap_or_default();
         let ops = journal.len();
         // Memory and page tables first (needs the space the cycle ran in)…
-        let (mut cycles, pages) = kernel.rollback(heap.space_mut(), journal, core)?;
+        let (mut cycles, pages) =
+            kernel
+                .rollback(heap.space_mut(), journal, core)
+                .map_err(|e| match e {
+                    RollbackError::Vm(v) => GcError::from(v),
+                    RollbackError::Crashed => GcError::Crashed {
+                        point: CrashPoint::MidRollback,
+                    },
+                    RollbackError::Replayed { id } => GcError::Corruption {
+                        phase: "rollback",
+                        violations: 1,
+                        first: format!("undo journal {id} was already replayed"),
+                    },
+                })?;
         // …then the collector-side index and roots…
         let asid = heap.space().asid();
         heap.restore(self.heap);
@@ -102,6 +140,10 @@ impl CompactionJournal {
         // …then make sure no core's TLB still caches a rolled-back PTE.
         let (flush, _intf) = kernel.flush_asid_all_cores(core, asid);
         cycles += flush;
+        if let Some(point) = kernel.crashed() {
+            return Err(GcError::Crashed { point });
+        }
+        kernel.wal_cycle_aborted();
         Ok(RollbackReport { ops, pages, cycles })
     }
 }
@@ -147,7 +189,7 @@ mod tests {
         let roots = RootSet::new();
         let txn = CompactionJournal::begin(&mut k, &mut heap, &roots, false);
         assert!(txn.pre_hash().is_none());
-        txn.commit(&mut k);
+        txn.commit(&mut k, &mut heap, &roots);
         assert!(k.journal_take().is_none(), "commit consumed the journal");
     }
 }

@@ -17,6 +17,10 @@
 //!   protocol: every collection is all-or-nothing (undo journal +
 //!   rollback), bounded in time (per-phase deadlines), and survivable
 //!   (the degraded-mode circuit breaker).
+//! * [`recovery`] — the crash-recovery state machine: classify the
+//!   write-ahead log after a simulated crash, undo torn cycles, and
+//!   rebuild a heap proven bit-identical to a pre- or post-cycle
+//!   snapshot (never a hybrid).
 //! * [`protocol`] — a schedule-exploring model checker of the §IV
 //!   TLB-coherence protocols, with a built-in mutation suite proving the
 //!   checker itself has teeth.
@@ -32,6 +36,7 @@ pub mod journal;
 pub mod lisp2;
 pub mod minor;
 pub mod protocol;
+pub mod recovery;
 pub mod resilience;
 pub mod scheduler;
 pub mod stats;
@@ -46,6 +51,10 @@ pub use lisp2::Lisp2Collector;
 pub use minor::{full_collect_generational, MinorConfig, MinorGc, MinorStats};
 pub use protocol::{
     check_protocol, mutation_suite, Counterexample, ExploreReport, ModelConfig, Mutation,
+};
+pub use recovery::{
+    recover, CycleClass, CycleMeta, RecoveryError, RecoveryFailure, RecoveryReport,
+    RecoverySuccess,
 };
 pub use resilience::{execute_swaps, RetryPolicy, SwapOutcome};
 pub use scheduler::WorkerPool;

@@ -141,7 +141,7 @@ impl Lisp2Collector {
             self.cfg = user_cfg;
             match attempt {
                 Ok(()) => {
-                    txn.commit(kernel);
+                    txn.commit(kernel, heap, roots);
                     stats.aborts = aborts;
                     stats.watchdog_expiries = watchdog_expiries;
                     stats.rollback_pages = rollback_pages;
@@ -159,8 +159,15 @@ impl Lisp2Collector {
                     return Ok(stats);
                 }
                 Err(e) => {
+                    // A seeded crash is not an abort: the machine is dead,
+                    // so no code runs to roll anything back. Leave the undo
+                    // journal armed and the WAL epoch open — exactly the
+                    // torn state crash recovery expects in the durable log.
+                    if let Some(point) = e.crash_point() {
+                        return Err(GcError::Crashed { point });
+                    }
                     // Roll back memory, page tables, heap index, roots.
-                    let rb = txn.abort(kernel, heap, roots, core0).map_err(GcError::from)?;
+                    let rb = txn.abort(kernel, heap, roots, core0)?;
                     aborts += 1;
                     rollback_pages += rb.pages;
                     if matches!(e, GcError::Deadline { .. }) {
@@ -218,7 +225,19 @@ impl Lisp2Collector {
                                 &[("from", t.from.level() as u64), ("to", t.to.level() as u64)],
                             );
                         }
-                        None => return Err(e),
+                        None => {
+                            // An operational error that found the ladder
+                            // already on its last rung is a distinct outcome
+                            // for the driver: the collector did not merely
+                            // fail, it ran out of fallbacks.
+                            return Err(
+                                if e.is_operational() && self.degrade.policy().enabled {
+                                    GcError::Exhausted(Box::new(e))
+                                } else {
+                                    e
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -549,6 +568,11 @@ impl Lisp2Collector {
             let (bcast, intf) = kernel.flush_asid_all_cores(pool.core_of(0, cores), asid);
             stats.phases.shootdown += pin_cost + bcast;
             stats.interference += intf.0;
+            // The broadcast is infallible by signature; a seeded mid-IPI
+            // crash latches instead, and the phase must stop here.
+            if let Some(point) = kernel.crashed() {
+                return Err(GcError::Crashed { point });
+            }
         }
 
         // Aggregation buffer: a run of consecutive swap-eligible moves,
@@ -668,6 +692,9 @@ impl Lisp2Collector {
             let unpin = kernel.unpin();
             stats.phases.shootdown += bcast + unpin;
             stats.interference += intf.0;
+            if let Some(point) = kernel.crashed() {
+                return Err(GcError::Crashed { point });
+            }
         }
         kernel.perf.objects_swapped += stats.swapped_objects;
         kernel.perf.gc_cycles += 1;

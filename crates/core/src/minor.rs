@@ -176,7 +176,7 @@ impl MinorGc {
             self.cfg = user_cfg;
             match attempt {
                 Ok(mut stats) => {
-                    txn.commit(kernel);
+                    txn.commit(kernel, &mut gh.old, roots);
                     stats.aborts = aborts;
                     stats.rollback_pages = rollback_pages;
                     stats.mode = self.degrade.mode().level();
@@ -195,9 +195,12 @@ impl MinorGc {
                     return Ok(stats);
                 }
                 Err(e) => {
-                    let rb = txn
-                        .abort(kernel, &mut gh.old, roots, core0)
-                        .map_err(GcError::from)?;
+                    // A seeded crash bypasses rollback entirely: the undo
+                    // journal and WAL epoch stay open for crash recovery.
+                    if let Some(point) = e.crash_point() {
+                        return Err(GcError::Crashed { point });
+                    }
+                    let rb = txn.abort(kernel, &mut gh.old, roots, core0)?;
                     aborts += 1;
                     rollback_pages += rb.pages;
                     kernel.trace.instant(
@@ -224,7 +227,15 @@ impl MinorGc {
                                 &[("from", t.from.level() as u64), ("to", t.to.level() as u64)],
                             );
                         }
-                        None => return Err(e),
+                        None => {
+                            return Err(
+                                if e.is_operational() && self.degrade.policy().enabled {
+                                    GcError::Exhausted(Box::new(e))
+                                } else {
+                                    e
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -441,6 +452,9 @@ impl MinorGc {
             let (b, intf) = kernel.flush_asid_all_cores(c0, asid);
             pool.dispatch_to(0, pin + b);
             stats.interference += intf.0;
+            if let Some(point) = kernel.crashed() {
+                return Err(GcError::Crashed { point });
+            }
         }
         let mut batch: Vec<SwapRequest> = Vec::new();
         let mut batch_pages = 0u64;
@@ -549,6 +563,9 @@ impl MinorGc {
             let (b, intf) = kernel.flush_asid_all_cores(c0, asid);
             pool.dispatch_to(0, b + kernel.unpin());
             stats.interference += intf.0;
+            if let Some(point) = kernel.crashed() {
+                return Err(GcError::Crashed { point });
+            }
         }
 
         stats.pause = pool.makespan();

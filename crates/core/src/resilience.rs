@@ -135,6 +135,10 @@ pub fn execute_swaps(
                 attempts_at_head = 0;
             }
             Err(e @ SwapVaError::Vm(_)) => return Err(GcError::Swap(e)),
+            // A seeded crash killed the machine: never retried, never
+            // demoted — surfaced so the caller abandons the cycle intact
+            // for crash recovery.
+            Err(SwapVaError::Crashed { point }) => return Err(GcError::Crashed { point }),
             Err(SwapVaError::Fault { kind, index, spent }) => {
                 out.cycles += spent;
                 kernel.trace.advance(spent);

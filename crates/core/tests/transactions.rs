@@ -168,12 +168,18 @@ fn watchdog_expiry_aborts_rolls_back_and_reports() {
         .with_degrade(DegradePolicy::standard());
     let mut gc = Lisp2Collector::new(cfg);
     let err = gc.collect(&mut k, &mut h, &mut roots).unwrap_err();
-    match err {
+    // With the breaker enabled, running out of rungs is its own outcome:
+    // the deadline that exhausted the ladder rides inside.
+    let inner = match err {
+        GcError::Exhausted(inner) => *inner,
+        other => panic!("expected Exhausted, got {other}"),
+    };
+    match inner {
         GcError::Deadline { phase, elapsed, budget } => {
             assert_eq!(budget.get(), 1);
             assert!(elapsed.get() > 1, "{phase} exceeded the budget");
         }
-        other => panic!("expected Deadline, got {other}"),
+        other => panic!("expected Deadline inside Exhausted, got {other}"),
     }
     assert_eq!(
         gc.degrade.mode(),

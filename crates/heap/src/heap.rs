@@ -476,6 +476,45 @@ impl Heap {
         self.stats = snap.stats;
     }
 
+    /// The heap's construction parameters.
+    pub fn config(&self) -> HeapConfig {
+        self.cfg
+    }
+
+    /// Dismantle the heap, releasing its address space. Used by the crash
+    /// harness: after a simulated crash only the address space (page
+    /// tables and contents) is durable — the heap's host-side bookkeeping
+    /// is volatile and dies with the process.
+    pub fn into_space(self) -> AddressSpace {
+        self.space
+    }
+
+    /// Rebuild a heap around a surviving address space from recovered
+    /// metadata (the crash-recovery path; inverse of [`Heap::into_space`]).
+    /// The object list is taken as allocation-ordered but unsorted —
+    /// [`Heap::objects_sorted`] re-sorts on first use.
+    pub fn rebuild(
+        space: AddressSpace,
+        base: VirtAddr,
+        end: VirtAddr,
+        top: VirtAddr,
+        cfg: HeapConfig,
+        objects: Vec<ObjRef>,
+        stats: HeapStats,
+    ) -> Heap {
+        debug_assert!(base <= top && top <= end);
+        Heap {
+            space,
+            base,
+            end,
+            top,
+            cfg,
+            objects,
+            sorted: false,
+            stats,
+        }
+    }
+
     /// Replace the object list and cursor after a collection.
     pub fn complete_gc(&mut self, survivors: Vec<ObjRef>, new_top: VirtAddr) {
         debug_assert!(new_top >= self.base && new_top.get() <= self.end.get());

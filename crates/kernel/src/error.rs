@@ -7,7 +7,7 @@
 //! them to the right simulated core) from the *structural* [`VmError`]s of
 //! the underlying memory model.
 
-use crate::fault::FaultKind;
+use crate::fault::{CrashPoint, FaultKind};
 use std::fmt;
 use svagc_metrics::Cycles;
 use svagc_vmem::VmError;
@@ -31,6 +31,14 @@ pub enum SwapVaError {
         /// charge these to the calling core.
         spent: Cycles,
     },
+    /// A seeded crash point fired: the simulated machine is dead. Not an
+    /// errno — nothing observed this error on the machine; it exists so
+    /// the simulation can unwind to the crash/recovery harness. Never
+    /// retried, never demoted to a fallback path.
+    Crashed {
+        /// Where the machine died.
+        point: CrashPoint,
+    },
 }
 
 impl SwapVaError {
@@ -38,7 +46,7 @@ impl SwapVaError {
     /// opposed to a permanent error that will recur on every attempt?
     pub fn is_transient(&self) -> bool {
         match self {
-            SwapVaError::Vm(_) => false,
+            SwapVaError::Vm(_) | SwapVaError::Crashed { .. } => false,
             SwapVaError::Fault { kind, .. } => kind.is_transient(),
         }
     }
@@ -47,7 +55,7 @@ impl SwapVaError {
     /// are detected in validation before any modeled work).
     pub fn spent(&self) -> Cycles {
         match self {
-            SwapVaError::Vm(_) => Cycles::ZERO,
+            SwapVaError::Vm(_) | SwapVaError::Crashed { .. } => Cycles::ZERO,
             SwapVaError::Fault { spent, .. } => *spent,
         }
     }
@@ -95,6 +103,9 @@ impl fmt::Display for SwapVaError {
                 f,
                 "injected SwapVA fault {kind} at batch index {index} ({spent} cycles burned)"
             ),
+            SwapVaError::Crashed { point } => {
+                write!(f, "machine crashed at seeded crash point {point}")
+            }
         }
     }
 }
@@ -103,7 +114,55 @@ impl std::error::Error for SwapVaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SwapVaError::Vm(e) => Some(e),
-            SwapVaError::Fault { .. } => None,
+            SwapVaError::Fault { .. } | SwapVaError::Crashed { .. } => None,
+        }
+    }
+}
+
+/// Failure of an undo-journal [`crate::Kernel::rollback`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollbackError {
+    /// Structural error from the memory model while restoring.
+    Vm(VmError),
+    /// A seeded [`CrashPoint::MidRollback`] fired mid-restore: the machine
+    /// died again while undoing. The journal's epoch stays unresolved in
+    /// the write-ahead log; recovery finishes the undo after restart.
+    Crashed,
+    /// This journal was already replayed once. Rollback is intentionally
+    /// not idempotent at the API level — the undo ops themselves would
+    /// re-corrupt restored state (a second `PteSwap` replay re-swaps) — so
+    /// the kernel retires journal ids and rejects replays outright.
+    Replayed {
+        /// The retired journal's id.
+        id: u64,
+    },
+}
+
+impl From<VmError> for RollbackError {
+    fn from(e: VmError) -> RollbackError {
+        RollbackError::Vm(e)
+    }
+}
+
+impl fmt::Display for RollbackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RollbackError::Vm(e) => write!(f, "{e}"),
+            RollbackError::Crashed => {
+                write!(f, "machine crashed at seeded crash point mid-rollback")
+            }
+            RollbackError::Replayed { id } => {
+                write!(f, "undo journal {id} was already replayed; refusing to reapply")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RollbackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RollbackError::Vm(e) => Some(e),
+            _ => None,
         }
     }
 }

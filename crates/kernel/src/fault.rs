@@ -192,6 +192,119 @@ impl FaultPlan {
     }
 }
 
+/// Places in a GC cycle where a seeded crash can kill the simulated
+/// machine. A crash is not a fault: it doesn't return an errno — it ends
+/// the simulation at that instant, preserving only durable state (physical
+/// memory, page tables, the write-ahead log). Recovery then restarts from
+/// what survived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// At SwapVA syscall entry, before any intent is logged or applied.
+    BeforeBatchApply,
+    /// Between requests of an aggregated batch: earlier requests applied
+    /// (and logged), later ones never happened.
+    InsideBatchApply,
+    /// After the batch fully applied but before its trailing TLB flush.
+    AfterBatchApply,
+    /// Mid-shootdown: the IPI fan-out died partway through the victim
+    /// loop, leaving some cores' TLBs stale.
+    MidIpi,
+    /// During an in-process undo-journal rollback (an aborting cycle dies
+    /// again while restoring).
+    MidRollback,
+    /// During a write-ahead-log append: the record is torn mid-write and
+    /// its operation never applies.
+    MidLogAppend,
+    /// During recovery's own undo replay — the double-crash case; recovery
+    /// must be restartable.
+    InsideRecovery,
+}
+
+impl CrashPoint {
+    /// Every crash point, in a fixed order (for matrices and parsers).
+    pub const ALL: [CrashPoint; 7] = [
+        CrashPoint::BeforeBatchApply,
+        CrashPoint::InsideBatchApply,
+        CrashPoint::AfterBatchApply,
+        CrashPoint::MidIpi,
+        CrashPoint::MidRollback,
+        CrashPoint::MidLogAppend,
+        CrashPoint::InsideRecovery,
+    ];
+
+    /// Stable name (CLI flag values, trace args).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::BeforeBatchApply => "before-batch",
+            CrashPoint::InsideBatchApply => "inside-batch",
+            CrashPoint::AfterBatchApply => "after-batch",
+            CrashPoint::MidIpi => "mid-ipi",
+            CrashPoint::MidRollback => "mid-rollback",
+            CrashPoint::MidLogAppend => "mid-log-append",
+            CrashPoint::InsideRecovery => "inside-recovery",
+        }
+    }
+
+    /// Numeric code for trace arguments and exit summaries.
+    pub fn code(self) -> u64 {
+        match self {
+            CrashPoint::BeforeBatchApply => 1,
+            CrashPoint::InsideBatchApply => 2,
+            CrashPoint::AfterBatchApply => 3,
+            CrashPoint::MidIpi => 4,
+            CrashPoint::MidRollback => 5,
+            CrashPoint::MidLogAppend => 6,
+            CrashPoint::InsideRecovery => 7,
+        }
+    }
+
+    /// Parse a [`CrashPoint::name`] back.
+    pub fn parse(s: &str) -> Option<CrashPoint> {
+        CrashPoint::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduled crash: kill the machine the `after`-th time execution
+/// reaches `point` (1 = the first occurrence). Deterministic by
+/// construction — no probability involved, so a crash plan composes with
+/// any seeded [`FaultPlan`] without perturbing its PRNG stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Where to die.
+    pub point: CrashPoint,
+    /// Occurrences of `point` to let pass before firing (1 = first).
+    pub after: u64,
+}
+
+impl CrashPlan {
+    /// Crash at the first occurrence of `point`.
+    pub fn first(point: CrashPoint) -> CrashPlan {
+        CrashPlan { point, after: 1 }
+    }
+
+    /// Crash at the `n`-th occurrence of `point` (clamped to ≥ 1).
+    pub fn nth(point: CrashPoint, n: u64) -> CrashPlan {
+        CrashPlan {
+            point,
+            after: n.max(1),
+        }
+    }
+
+    /// Parse `"<point>"` or `"<point>:<n>"` (e.g. `"inside-batch:3"`).
+    pub fn parse(s: &str) -> Option<CrashPlan> {
+        match s.split_once(':') {
+            Some((p, n)) => Some(CrashPlan::nth(CrashPoint::parse(p)?, n.parse().ok()?)),
+            None => Some(CrashPlan::first(CrashPoint::parse(s)?)),
+        }
+    }
+}
+
 impl Kernel {
     /// Install (or clear) the fault plan consulted by every subsequent
     /// SwapVA request.
@@ -248,6 +361,61 @@ impl Kernel {
                 )
             }
         }
+    }
+
+    /// Install the crash schedule (one entry per planned crash — several
+    /// entries model a double crash, e.g. `[inside-batch, inside-recovery]`).
+    /// Clears any previously latched crash.
+    pub fn set_crash_plans(&mut self, plans: Vec<CrashPlan>) {
+        self.crash = plans;
+        self.crashed = None;
+    }
+
+    /// The crash plans not yet fired.
+    pub fn crash_plans(&self) -> &[CrashPlan] {
+        &self.crash
+    }
+
+    /// The latched crash, if the machine has died. Once set, every
+    /// crash-gated kernel entry point refuses to run until
+    /// [`Kernel::reboot`].
+    pub fn crashed(&self) -> Option<CrashPoint> {
+        self.crashed
+    }
+
+    /// Execution just reached `point`: consume one occurrence from the
+    /// matching plan (if any) and, when it hits zero, latch the crash and
+    /// return `true`. Callers must then abandon all volatile work — only
+    /// durable state (vmem, page tables, WAL) is preserved.
+    pub fn crash_fire(&mut self, point: CrashPoint) -> bool {
+        let Some(i) = self.crash.iter().position(|p| p.point == point) else {
+            return false;
+        };
+        self.crash[i].after -= 1;
+        if self.crash[i].after > 0 {
+            return false;
+        }
+        self.crash.remove(i);
+        self.crashed = Some(point);
+        self.trace.instant(
+            svagc_metrics::TraceKind::CrashFired,
+            Cycles::ZERO,
+            0,
+            &[("point", point.code())],
+        );
+        true
+    }
+
+    /// Gate a kernel entry point on the crash schedule: error out if the
+    /// machine is already dead, then check whether it dies right here.
+    pub(crate) fn crash_gate(&mut self, point: CrashPoint) -> Result<(), crate::SwapVaError> {
+        if let Some(p) = self.crashed {
+            return Err(crate::SwapVaError::Crashed { point: p });
+        }
+        if self.crash_fire(point) {
+            return Err(crate::SwapVaError::Crashed { point });
+        }
+        Ok(())
     }
 }
 

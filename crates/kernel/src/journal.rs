@@ -29,10 +29,12 @@
 //! still charged: PTE writes at `pte_swap`, byte restores through the
 //! bandwidth model, word restores at `mem_access`.
 
+use crate::error::RollbackError;
+use crate::fault::CrashPoint;
 use crate::state::{CoreId, Kernel};
 use crate::swapva::SwapRequest;
 use svagc_metrics::{Cycles, TraceKind};
-use svagc_vmem::{AddressSpace, VirtAddr, VmError, PAGE_SIZE};
+use svagc_vmem::{AddressSpace, VirtAddr, PAGE_SIZE};
 
 /// One invertible operation applied by the kernel while a journal was
 /// active, with the data needed to undo it.
@@ -80,12 +82,23 @@ impl UndoOp {
 #[derive(Debug, Clone, Default)]
 pub struct OpJournal {
     ops: Vec<UndoOp>,
+    /// Kernel-assigned identity (0 for hand-built journals). Rollback
+    /// retires the id so a journal can only ever replay once — a second
+    /// replay would re-corrupt restored state (PTE re-swap is an
+    /// involution, byte/word restores may clobber newer writes).
+    id: u64,
 }
 
 impl OpJournal {
     /// An empty journal.
     pub fn new() -> OpJournal {
         OpJournal::default()
+    }
+
+    /// The kernel-assigned journal identity (0 = unidentified; such
+    /// journals bypass replay protection).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Number of recorded operations.
@@ -114,7 +127,11 @@ impl Kernel {
     /// `write_word` records an undo entry until [`Kernel::journal_take`].
     /// Any previously active journal is discarded.
     pub fn journal_begin(&mut self) {
-        self.journal = Some(OpJournal::new());
+        self.next_journal_id += 1;
+        self.journal = Some(OpJournal {
+            ops: Vec::new(),
+            id: self.next_journal_id,
+        });
     }
 
     /// Stop journaling and return the recorded journal (None if journaling
@@ -144,16 +161,28 @@ impl Kernel {
     /// consults, no re-journaling. The caller is responsible for the
     /// trailing TLB shootdown (stale translations survive on every core
     /// until flushed).
+    ///
+    /// A kernel-identified journal (id ≠ 0) can replay at most once:
+    /// replays are rejected with [`RollbackError::Replayed`] *before* any
+    /// op is undone, because the undo ops are not idempotent against an
+    /// already-restored heap. A seeded [`CrashPoint::MidRollback`] fires
+    /// between ops and aborts the restore with [`RollbackError::Crashed`].
     pub fn rollback(
         &mut self,
         space: &mut AddressSpace,
         journal: OpJournal,
         core: CoreId,
-    ) -> Result<(Cycles, u64), VmError> {
+    ) -> Result<(Cycles, u64), RollbackError> {
+        if journal.id != 0 && !self.retired_journals.insert(journal.id) {
+            return Err(RollbackError::Replayed { id: journal.id });
+        }
         let costs = self.machine.costs;
         let mut t = Cycles::ZERO;
         let mut pages = 0u64;
         for op in journal.ops.iter().rev() {
+            if self.crash_fire(CrashPoint::MidRollback) {
+                return Err(RollbackError::Crashed);
+            }
             pages += op.pages();
             match op {
                 UndoOp::PteSwap { req } => {
@@ -345,5 +374,60 @@ mod tests {
         assert!(k.journal_active());
         assert!(k.journal_take().is_some());
         assert!(!k.journal_active());
+    }
+
+    #[test]
+    fn journal_ids_are_unique_and_monotonic() {
+        let (mut k, _) = setup(16);
+        k.journal_begin();
+        let a = k.journal_take().unwrap().id();
+        k.journal_begin();
+        let b = k.journal_take().unwrap().id();
+        assert!(a != 0 && b != 0 && b > a);
+    }
+
+    #[test]
+    fn replaying_a_rollback_is_rejected_before_corrupting() {
+        use crate::error::RollbackError;
+        let (mut k, mut s) = setup(128);
+        let a = k.vmem.alloc_region(&mut s, 2).unwrap();
+        let b = k.vmem.alloc_region(&mut s, 2).unwrap();
+        fill(&mut k, &s, a, 2, 1);
+        fill(&mut k, &s, b, 2, 2);
+        let before_a = snapshot(&k, &s, a, 2 * PAGE_SIZE);
+        k.journal_begin();
+        k.swap_va(&mut s, CoreId(0), SwapRequest { a, b, pages: 2 }, SwapVaOptions::naive())
+            .unwrap();
+        let j = k.journal_take().unwrap();
+        let id = j.id();
+        let replay = j.clone();
+        k.rollback(&mut s, j, CoreId(0)).unwrap();
+        assert_eq!(snapshot(&k, &s, a, 2 * PAGE_SIZE), before_a);
+        // Second replay: rejected up front, heap untouched (a blind
+        // re-apply would re-swap the pages and corrupt).
+        assert_eq!(
+            k.rollback(&mut s, replay, CoreId(0)),
+            Err(RollbackError::Replayed { id })
+        );
+        assert_eq!(snapshot(&k, &s, a, 2 * PAGE_SIZE), before_a);
+    }
+
+    #[test]
+    fn mid_rollback_crash_aborts_the_restore() {
+        use crate::error::RollbackError;
+        use crate::fault::{CrashPlan, CrashPoint};
+        let (mut k, mut s) = setup(64);
+        let a = k.vmem.alloc_region(&mut s, 1).unwrap();
+        k.vmem.write_u64(&s, a, 1).unwrap();
+        k.journal_begin();
+        k.write_word(&s, CoreId(0), a, 2).unwrap();
+        k.write_word(&s, CoreId(0), a + 8, 3).unwrap();
+        let j = k.journal_take().unwrap();
+        k.set_crash_plans(vec![CrashPlan::nth(CrashPoint::MidRollback, 2)]);
+        assert_eq!(
+            k.rollback(&mut s, j, CoreId(0)),
+            Err(RollbackError::Crashed)
+        );
+        assert_eq!(k.crashed(), Some(CrashPoint::MidRollback));
     }
 }

@@ -16,7 +16,13 @@
 //! * [`memmove`] — the cost-modeled byte-copy baseline SwapVA replaces.
 //! * [`fault`] — deterministic, seeded injection of modeled SwapVA failure
 //!   modes (EAGAIN/EINVAL/ENOMEM/IPI timeout) for chaos testing; failures
-//!   surface as typed [`SwapVaError`]s that carry the cycles burned.
+//!   surface as typed [`SwapVaError`]s that carry the cycles burned. Also
+//!   home of seeded [`fault::CrashPoint`]s, which kill the simulated
+//!   machine outright instead of returning an errno.
+//! * [`wal`] — the durable write-ahead journal for PTE-mutating ops:
+//!   intent records become durable *before* their mutations apply, so a
+//!   crash at any point leaves a log from which recovery can restore a
+//!   bit-exact pre- or post-cycle heap (never a hybrid).
 //!
 //! All operations return the [`svagc_metrics::Cycles`] consumed so callers
 //! attribute time to the right simulated core.
@@ -31,11 +37,13 @@ pub mod overlap;
 pub mod shootdown;
 pub mod state;
 pub mod swapva;
+pub mod wal;
 
-pub use error::SwapVaError;
-pub use fault::{FaultConfig, FaultKind, FaultPlan};
+pub use error::{RollbackError, SwapVaError};
+pub use fault::{CrashPlan, CrashPoint, FaultConfig, FaultKind, FaultPlan};
 pub use journal::{OpJournal, UndoOp};
 pub use overlap::gcd;
 pub use shootdown::{FlushMode, Interference};
 pub use state::{CoreId, Kernel};
 pub use swapva::{SwapRequest, SwapVaOptions};
+pub use wal::{WalMutation, WalOp, WalPayload, WalRecord, WalScan, WalStats, WriteAheadLog};

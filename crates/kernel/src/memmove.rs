@@ -42,11 +42,26 @@ impl Kernel {
         let mut buf = vec![0u8; len as usize];
         self.vmem.read_bytes(space, src, &mut buf)?;
         // The copy destroys the destination; journal its bytes first so an
-        // aborting GC cycle can restore them (see `crate::journal`).
-        if self.journal_active() {
+        // aborting GC cycle can restore them (see `crate::journal`), and
+        // write the same pre-image ahead to the durable log so a crashed
+        // cycle can restore them after a restart (see `crate::wal`).
+        if self.journal_active() || self.wal_cycle_open() {
             let mut saved = vec![0u8; len as usize];
             self.vmem.read_bytes(space, dst, &mut saved)?;
-            self.journal_record(crate::journal::UndoOp::Bytes { at: dst, saved });
+            if self.wal_cycle_open() {
+                if let Ok(c) = self.wal_log_op(
+                    crate::wal::WalOp::Bytes {
+                        at: dst,
+                        pre: saved.clone(),
+                    },
+                    false,
+                ) {
+                    t += c;
+                }
+            }
+            if self.journal_active() {
+                self.journal_record(crate::journal::UndoOp::Bytes { at: dst, saved });
+            }
         }
         self.vmem.write_bytes(space, dst, &buf)?;
 

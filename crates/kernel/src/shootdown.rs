@@ -6,6 +6,7 @@
 //! protocol (Algorithm 4) pins the compactor, broadcasts *once* per GC
 //! cycle, then flushes only locally — `c` IPIs total, a gain of `l̄` (Eq. 2).
 
+use crate::fault::CrashPoint;
 use crate::state::{CoreId, Kernel};
 use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::Asid;
@@ -63,6 +64,13 @@ impl Kernel {
             if core == initiator.0 {
                 continue;
             }
+            // A seeded mid-IPI crash kills the machine partway through the
+            // fan-out: some victims flushed, the rest keep stale entries.
+            // The signature stays infallible — the latch is set and callers
+            // poll [`Kernel::crashed`] after the broadcast.
+            if self.crash_fire(CrashPoint::MidIpi) {
+                break;
+            }
             self.perf.ipis_sent += 1;
             self.tlb_mut(CoreId(core)).flush_asid(asid);
             victims |= victim_bit(core);
@@ -83,7 +91,10 @@ impl Kernel {
                 ("victims", victims),
             ],
         );
-        if self.tlb_oracle.is_enabled() {
+        if self.tlb_oracle.is_enabled() && self.crashed.is_none() {
+            // A crashed broadcast never completed: it must not count as
+            // coverage (the whole point of the MidIpi crash is that some
+            // victims still hold stale entries).
             self.tlb_oracle.note_broadcast(asid);
             self.audit_flush_coverage(initiator, asid);
         }

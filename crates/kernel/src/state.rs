@@ -6,8 +6,10 @@
 //! drivers) can attribute time to the right simulated core; global event
 //! counts land in [`Kernel::perf`].
 
-use crate::fault::FaultPlan;
+use crate::fault::{CrashPlan, CrashPoint, FaultPlan};
 use crate::journal::{OpJournal, UndoOp};
+use crate::wal::{WalOp, WriteAheadLog};
+use std::collections::HashSet;
 use svagc_metrics::{
     AccessKind, BandwidthModel, CacheHierarchy, CacheLevel, Cycles, MachineConfig, PerfCounters,
     TraceEvent, TraceKind, Tracer,
@@ -55,6 +57,18 @@ pub struct Kernel {
     /// Stale-translation / flush-protocol oracle (disabled by default; a
     /// pure observer — enabling it never changes simulated behaviour).
     pub(crate) tlb_oracle: TlbOracle,
+    /// Durable write-ahead log for PTE-mutating ops (disabled by default;
+    /// see [`crate::wal`]). Survives [`Kernel::reboot`].
+    pub(crate) wal: WriteAheadLog,
+    /// Pending seeded crashes (see [`crate::fault::CrashPlan`]).
+    pub(crate) crash: Vec<CrashPlan>,
+    /// Latched crash: once a crash point fires the machine is dead until
+    /// [`Kernel::reboot`].
+    pub(crate) crashed: Option<CrashPoint>,
+    /// Monotonic id source for undo journals (never reused).
+    pub(crate) next_journal_id: u64,
+    /// Journal ids whose rollback already ran — replays are rejected.
+    pub(crate) retired_journals: HashSet<u64>,
 }
 
 impl Kernel {
@@ -78,6 +92,34 @@ impl Kernel {
             journal: None,
             trace: Tracer::disabled(),
             tlb_oracle: TlbOracle::disabled(),
+            wal: WriteAheadLog::new(),
+            crash: Vec::new(),
+            crashed: None,
+            next_journal_id: 0,
+            retired_journals: HashSet::new(),
+        }
+    }
+
+    /// Simulate a machine restart after a crash. Volatile state dies: every
+    /// TLB comes up cold, the pin is lost, the in-memory undo journal and
+    /// the crash latch are gone. Durable state survives: physical memory,
+    /// page tables (owned by the caller), the write-ahead log, and any
+    /// *remaining* crash plans (so an `inside-recovery` plan can model a
+    /// double crash). Perf counters and the trace are host-side
+    /// measurement, not machine state, and keep accumulating.
+    pub fn reboot(&mut self) {
+        for tlb in self.tlbs.iter_mut() {
+            *tlb = Tlb::new(TlbConfig::skylake());
+        }
+        self.pinned = None;
+        self.journal = None;
+        self.crashed = None;
+        self.wal.drop_volatile();
+        if self.tlb_oracle.is_enabled() {
+            // The oracle audits flush coverage against mutation history;
+            // a cold boot invalidates that history, so restart it clean.
+            self.tlb_oracle.set_enabled(false);
+            self.tlb_oracle.set_enabled(true);
         }
     }
 
@@ -288,10 +330,19 @@ impl Kernel {
         val: u64,
     ) -> Result<Cycles, VmError> {
         let (pa, t) = self.translate(space, core, va)?;
-        let lat = self.cache_access(pa, AccessKind::Write);
-        if self.journal.is_some() {
+        let mut lat = self.cache_access(pa, AccessKind::Write);
+        if self.journal.is_some() || self.wal.cycle_open() {
             let old = self.vmem.phys.read_u64(pa)?;
-            self.journal_record(UndoOp::Word { at: va, old });
+            if self.wal.cycle_open() {
+                // Word intents are written-ahead too, but crash-atomically
+                // (a single-word log write can't tear meaningfully).
+                if let Ok(c) = self.wal_log_op(WalOp::Word { at: va, pre: old }, false) {
+                    lat += c;
+                }
+            }
+            if self.journal.is_some() {
+                self.journal_record(UndoOp::Word { at: va, old });
+            }
         }
         self.vmem.phys.write_u64(pa, val)?;
         Ok(t + lat)

@@ -17,10 +17,12 @@
 //!   local-only protocol of Algorithm 4 — see [`crate::shootdown`].
 
 use crate::error::SwapVaError;
+use crate::fault::CrashPoint;
 use crate::journal::UndoOp;
 use crate::overlap;
 use crate::shootdown::{FlushMode, Interference};
 use crate::state::{CoreId, Kernel};
+use crate::wal::WalOp;
 use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{AddressSpace, PmdCache, VirtAddr, VmError, PAGE_SIZE, WALK_LEVELS_FULL};
 
@@ -143,11 +145,17 @@ impl Kernel {
         opts: SwapVaOptions,
     ) -> Result<(Cycles, Interference), SwapVaError> {
         let perf0 = self.perf;
+        self.crash_gate(CrashPoint::BeforeBatchApply)?;
         let mut t = self.charge_syscall();
         t += self
             .swap_va_body(space, core, req, opts)
             .map_err(|e| e.add_spent(t))?;
+        self.crash_gate(CrashPoint::AfterBatchApply)?;
         let (ft, intf) = self.flush_after_swap(core, space.asid(), opts.flush);
+        if let Some(point) = self.crashed() {
+            // A MidIpi crash inside the flush: the machine is gone.
+            return Err(SwapVaError::Crashed { point });
+        }
         let total = t + ft;
         let d = self.perf - perf0;
         self.trace.span(
@@ -181,13 +189,24 @@ impl Kernel {
         opts: SwapVaOptions,
     ) -> Result<(Cycles, Interference), SwapVaError> {
         let perf0 = self.perf;
+        self.crash_gate(CrashPoint::BeforeBatchApply)?;
         let mut t = self.charge_syscall();
         for (i, req) in reqs.iter().enumerate() {
+            if i > 0 {
+                // Between requests: earlier requests are applied (and their
+                // intents durable), later ones never happened.
+                self.crash_gate(CrashPoint::InsideBatchApply)
+                    .map_err(|e| e.at_index(i))?;
+            }
             t += self
                 .swap_va_body(space, core, *req, opts)
                 .map_err(|e| e.add_spent(t).at_index(i))?;
         }
+        self.crash_gate(CrashPoint::AfterBatchApply)?;
         let (ft, intf) = self.flush_after_swap(core, space.asid(), opts.flush);
+        if let Some(point) = self.crashed() {
+            return Err(SwapVaError::Crashed { point });
+        }
         let total = t + ft;
         let d = self.perf - perf0;
         self.trace.span(
@@ -248,8 +267,11 @@ impl Kernel {
             // The rotation is not involutive, so journal the byte contents
             // of the whole window union. Recording only on success is
             // exact: the rotation validates its window up front and
-            // mutates nothing on error.
-            let snapshot = if self.journal_active() {
+            // mutates nothing on error. The WAL intent, by contrast, must
+            // be durable *before* the rotation runs — write-ahead ordering
+            // is what makes a crash between log and apply recoverable.
+            let wal_on = self.wal_cycle_open();
+            let snapshot = if self.journal_active() || wal_on {
                 let lo = if req.a <= req.b { req.a } else { req.b };
                 let delta = req.a.get().abs_diff(req.b.get()) / PAGE_SIZE;
                 let mut buf = vec![0u8; ((req.pages + delta) * PAGE_SIZE) as usize];
@@ -258,10 +280,21 @@ impl Kernel {
             } else {
                 None
             };
-            let t = overlap::swap_overlap_body(self, space, core, req, opts.pmd_cache)
+            let mut t = Cycles::ZERO;
+            if wal_on {
+                let (at, buf) = snapshot
+                    .as_ref()
+                    .expect("snapshot is taken whenever the WAL cycle is open");
+                t += self
+                    .wal_log_op(WalOp::Bytes { at: *at, pre: buf.clone() }, true)
+                    .map_err(|point| SwapVaError::Crashed { point })?;
+            }
+            t += overlap::swap_overlap_body(self, space, core, req, opts.pmd_cache)
                 .map_err(SwapVaError::Vm)?;
-            if let Some((at, saved)) = snapshot {
-                self.journal_record(UndoOp::Bytes { at, saved });
+            if self.journal_active() {
+                if let Some((at, saved)) = snapshot {
+                    self.journal_record(UndoOp::Bytes { at, saved });
+                }
             }
             return Ok(t);
         }
@@ -274,10 +307,30 @@ impl Kernel {
         let mut cache_b = PmdCache::new();
 
         // Validate both ranges up front so a failure cannot leave a
-        // half-swapped mapping.
+        // half-swapped mapping. The raw PTEs double as the WAL intent's
+        // pre-images: undo installs them verbatim, which is idempotent
+        // whether or not the swap below ever ran.
+        let wal_on = self.wal_cycle_open();
+        let mut pre = Vec::new();
         for i in 0..req.pages {
-            space.page_table().read_pte_raw(req.a.add_pages(i))?;
-            space.page_table().read_pte_raw(req.b.add_pages(i))?;
+            let ra = space.page_table().read_pte_raw(req.a.add_pages(i))?;
+            let rb = space.page_table().read_pte_raw(req.b.add_pages(i))?;
+            if wal_on {
+                pre.push((ra, rb));
+            }
+        }
+        if wal_on {
+            // Write-ahead: the intent must be durable before any PTE moves.
+            t += self
+                .wal_log_op(
+                    WalOp::PteSwap {
+                        a: req.a,
+                        b: req.b,
+                        pre,
+                    },
+                    true,
+                )
+                .map_err(|point| SwapVaError::Crashed { point })?;
         }
 
         for i in 0..req.pages {

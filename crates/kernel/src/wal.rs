@@ -1,0 +1,708 @@
+//! Write-ahead journal for PTE-mutating operations (crash consistency).
+//!
+//! The in-memory [`crate::journal::OpJournal`] makes a GC cycle atomic
+//! only while the process survives to roll it back. A crash mid-cycle —
+//! mid-batch, mid-shootdown, even mid-rollback — leaves the *address
+//! space itself* torn, a failure mode unique to a collector that moves
+//! objects by swapping PTEs. This module adds the durable half: a
+//! simulated write-ahead log ([`WriteAheadLog`]) that every PTE-mutating
+//! operation appends an intent record to *before* applying, bracketed by
+//! cycle-begin and commit records.
+//!
+//! Design rules the recovery state machine relies on:
+//!
+//! * **Write-ahead** — the intent record for an operation is durable
+//!   before the operation mutates memory or page tables. After a crash
+//!   the log is therefore a *superset* of the applied operations: at most
+//!   the final logged intent may be unapplied.
+//! * **Idempotent undo** — intent records store absolute pre-images, not
+//!   inverse operations. A [`WalOp::PteSwap`] records the raw pre-swap
+//!   PTE of every page (installing them again is a no-op if the swap
+//!   never happened — unlike re-swapping, which is an involution and
+//!   would corrupt); [`WalOp::Bytes`]/[`WalOp::Word`] record prior
+//!   contents. Undo can thus be replayed any number of times — which is
+//!   exactly what makes recovery itself restartable after a double crash.
+//! * **Checksummed framing** — each record carries a magic word, its
+//!   length, epoch, sequence number, and an FNV-1a checksum. A crash
+//!   during an append leaves a torn tail that [`WriteAheadLog::scan`]
+//!   detects and discards; everything before it is intact by induction.
+//!
+//! The log stores opaque `Vec<u64>` metadata payloads in begin/commit
+//! records so the GC layer can persist heap snapshots without this crate
+//! depending on the heap crate.
+//!
+//! Cost model: intent appends are charged to the calling core through the
+//! bandwidth model (they ride the syscall path); begin/commit metadata
+//! records are modeled as asynchronous log writes off the critical path.
+
+use crate::fault::CrashPoint;
+use crate::state::Kernel;
+use svagc_metrics::{Cycles, TraceKind};
+use svagc_vmem::{AddressSpace, VirtAddr, VmError, PAGE_SIZE, WORD_BYTES};
+
+/// Magic word opening every WAL record frame.
+pub const WAL_MAGIC: u64 = 0x5356_4147_4357_414C; // "SVAGCWAL"
+
+/// Words of framing around a record payload: magic, payload length,
+/// epoch, sequence, kind, trailing checksum.
+const FRAME_WORDS: usize = 6;
+
+/// FNV-1a over the little-endian bytes of `words`.
+fn fnv_words(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One PTE-mutating operation with the absolute pre-state needed to undo
+/// it idempotently (see the module docs for why pre-images, not inverses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// A disjoint PTE swap: the raw pre-swap PTE of every page on both
+    /// sides. Undo installs the recorded raws — idempotent whether or not
+    /// the swap (or a previous undo) already ran.
+    PteSwap {
+        /// First range base.
+        a: VirtAddr,
+        /// Second range base.
+        b: VirtAddr,
+        /// Per-page `(raw PTE at a+i, raw PTE at b+i)` before the swap.
+        pre: Vec<(u64, u64)>,
+    },
+    /// A byte-range overwrite (memmove destination, overlap-rotation
+    /// window): the range's contents before the overwrite.
+    Bytes {
+        /// Start of the overwritten virtual range.
+        at: VirtAddr,
+        /// Pre-image of the range.
+        pre: Vec<u8>,
+    },
+    /// A single metadata-word write: the word's prior value.
+    Word {
+        /// The written word's virtual address.
+        at: VirtAddr,
+        /// Pre-image of the word.
+        pre: u64,
+    },
+}
+
+impl WalOp {
+    /// Serialize to payload words.
+    fn encode(&self) -> Vec<u64> {
+        match self {
+            WalOp::PteSwap { a, b, pre } => {
+                let mut w = vec![1, a.get(), b.get(), pre.len() as u64];
+                for &(ra, rb) in pre {
+                    w.push(ra);
+                    w.push(rb);
+                }
+                w
+            }
+            WalOp::Bytes { at, pre } => {
+                let mut w = vec![2, at.get(), pre.len() as u64];
+                for chunk in pre.chunks(WORD_BYTES as usize) {
+                    let mut buf = [0u8; 8];
+                    buf[..chunk.len()].copy_from_slice(chunk);
+                    w.push(u64::from_le_bytes(buf));
+                }
+                w
+            }
+            WalOp::Word { at, pre } => vec![3, at.get(), *pre],
+        }
+    }
+
+    /// Decode from payload words (None on malformed input).
+    fn decode(w: &[u64]) -> Option<WalOp> {
+        match *w.first()? {
+            1 => {
+                let pages = *w.get(3)? as usize;
+                if w.len() != 4 + 2 * pages {
+                    return None;
+                }
+                let pre = (0..pages).map(|i| (w[4 + 2 * i], w[5 + 2 * i])).collect();
+                Some(WalOp::PteSwap {
+                    a: VirtAddr(w[1]),
+                    b: VirtAddr(w[2]),
+                    pre,
+                })
+            }
+            2 => {
+                let len = *w.get(2)? as usize;
+                if w.len() != 3 + len.div_ceil(WORD_BYTES as usize) {
+                    return None;
+                }
+                let mut pre = Vec::with_capacity(len);
+                for (i, &word) in w[3..].iter().enumerate() {
+                    let bytes = word.to_le_bytes();
+                    let take = (len - i * WORD_BYTES as usize).min(WORD_BYTES as usize);
+                    pre.extend_from_slice(&bytes[..take]);
+                }
+                Some(WalOp::Bytes {
+                    at: VirtAddr(w[1]),
+                    pre,
+                })
+            }
+            3 => {
+                if w.len() != 3 {
+                    return None;
+                }
+                Some(WalOp::Word {
+                    at: VirtAddr(w[1]),
+                    pre: w[2],
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Log-record bytes this op serializes to (for cost charging).
+    pub fn encoded_bytes(&self) -> u64 {
+        (self.encode().len() + FRAME_WORDS) as u64 * WORD_BYTES
+    }
+
+    /// Pages whose content an undo of this op rewrites.
+    pub fn pages(&self) -> u64 {
+        match self {
+            WalOp::PteSwap { pre, .. } => 2 * pre.len() as u64,
+            WalOp::Bytes { pre, .. } => (pre.len() as u64).div_ceil(PAGE_SIZE),
+            WalOp::Word { .. } => 0,
+        }
+    }
+}
+
+/// The body of a decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalPayload {
+    /// A GC cycle opened; carries the GC layer's serialized pre-cycle
+    /// metadata (heap snapshot, roots, content hash — opaque here).
+    CycleBegin {
+        /// Opaque metadata payload (owned by the GC layer).
+        meta: Vec<u64>,
+    },
+    /// An intent: the operation that was about to be applied when the
+    /// record became durable.
+    Intent(WalOp),
+    /// The cycle committed; carries serialized post-cycle metadata.
+    Commit {
+        /// Opaque metadata payload (owned by the GC layer).
+        meta: Vec<u64>,
+    },
+    /// The cycle aborted and its in-process rollback completed — the
+    /// epoch is resolved (memory is back to its pre-cycle state).
+    CycleAborted,
+    /// Recovery resolved this epoch after a restart.
+    Recovered {
+        /// Outcome code (owned by the recovery layer).
+        outcome: u64,
+    },
+}
+
+impl WalPayload {
+    fn kind_code(&self) -> u64 {
+        match self {
+            WalPayload::CycleBegin { .. } => 1,
+            WalPayload::Intent(_) => 2,
+            WalPayload::Commit { .. } => 3,
+            WalPayload::CycleAborted => 4,
+            WalPayload::Recovered { .. } => 5,
+        }
+    }
+
+    fn encode(&self) -> Vec<u64> {
+        match self {
+            WalPayload::CycleBegin { meta } | WalPayload::Commit { meta } => meta.clone(),
+            WalPayload::Intent(op) => op.encode(),
+            WalPayload::CycleAborted => Vec::new(),
+            WalPayload::Recovered { outcome } => vec![*outcome],
+        }
+    }
+
+    fn decode(kind: u64, payload: &[u64]) -> Option<WalPayload> {
+        match kind {
+            1 => Some(WalPayload::CycleBegin {
+                meta: payload.to_vec(),
+            }),
+            2 => WalOp::decode(payload).map(WalPayload::Intent),
+            3 => Some(WalPayload::Commit {
+                meta: payload.to_vec(),
+            }),
+            4 => payload.is_empty().then_some(WalPayload::CycleAborted),
+            5 => (payload.len() == 1).then(|| WalPayload::Recovered {
+                outcome: payload[0],
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// One intact record recovered from a log scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The GC cycle this record belongs to.
+    pub epoch: u64,
+    /// Position within the epoch (0 = the begin record).
+    pub seq: u64,
+    /// The record body.
+    pub payload: WalPayload,
+}
+
+/// Result of scanning the durable log after a (simulated) restart.
+#[derive(Debug, Clone, Default)]
+pub struct WalScan {
+    /// Every intact record, in log order.
+    pub records: Vec<WalRecord>,
+    /// A torn (truncated or checksum-failing) tail was found and
+    /// discarded — the signature of a crash during an append.
+    pub torn_tail: bool,
+    /// Intact words consumed by the scan (excludes any torn tail).
+    pub intact_words: usize,
+}
+
+/// Seeded log-layer mutations used by the crash-matrix suite to prove the
+/// recovery oracle has teeth: each silently corrupts the protocol in a way
+/// a correct recovery implementation MUST detect and fail closed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalMutation {
+    /// Never append commit records: committed cycles masquerade as torn.
+    SkipCommit,
+    /// Silently drop each epoch's first PTE-swap intent record: undo
+    /// misses the operation, a live object's pages stay exchanged, and
+    /// recovery would hand back a hybrid heap. (PTE swaps specifically:
+    /// they always move live content, so the miss is guaranteed visible
+    /// to the content-hash oracle.)
+    DropIntent,
+}
+
+impl WalMutation {
+    /// Parse `"skip-commit"` / `"drop-intent"`.
+    pub fn parse(s: &str) -> Option<WalMutation> {
+        match s {
+            "skip-commit" => Some(WalMutation::SkipCommit),
+            "drop-intent" => Some(WalMutation::DropIntent),
+            _ => None,
+        }
+    }
+}
+
+/// Counters describing the log's activity (volatile, for reporting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalStats {
+    /// Records appended (intact).
+    pub appends: u64,
+    /// Words currently in the durable image.
+    pub words: u64,
+    /// Intent records suppressed by [`WalMutation::DropIntent`].
+    pub intents_dropped: u64,
+    /// Commit records suppressed by [`WalMutation::SkipCommit`].
+    pub commits_skipped: u64,
+    /// A mid-append crash tore the tail.
+    pub torn: bool,
+}
+
+/// The simulated durable log. Owned by the [`Kernel`]; survives
+/// [`Kernel::reboot`] (it models storage, not RAM).
+#[derive(Debug, Default)]
+pub struct WriteAheadLog {
+    /// The durable image, as 64-bit words.
+    words: Vec<u64>,
+    enabled: bool,
+    /// Epoch of the currently open (begun, not yet resolved) cycle.
+    /// Volatile bookkeeping: cleared by reboot; recovery re-derives open
+    /// cycles from the scan.
+    open_epoch: Option<u64>,
+    /// [`WalMutation::DropIntent`] already claimed its victim this epoch.
+    epoch_dropped: bool,
+    /// Next epoch to assign (monotonic across the log's lifetime).
+    next_epoch: u64,
+    /// Next sequence number within the open epoch.
+    seq: u64,
+    mutation: Option<WalMutation>,
+    stats: WalStats,
+}
+
+impl WriteAheadLog {
+    /// A fresh, disabled log.
+    pub fn new() -> WriteAheadLog {
+        WriteAheadLog::default()
+    }
+
+    /// Is logging armed?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Is a cycle currently open (intents are being recorded)?
+    pub fn cycle_open(&self) -> bool {
+        self.enabled && self.open_epoch.is_some()
+    }
+
+    /// Epoch of the open cycle, if any.
+    pub fn open_epoch(&self) -> Option<u64> {
+        self.open_epoch
+    }
+
+    /// Volatile state lost in a reboot: the open-cycle cursor. The durable
+    /// image and the epoch counter survive.
+    pub(crate) fn drop_volatile(&mut self) {
+        self.open_epoch = None;
+        self.seq = 0;
+    }
+
+    /// Append a framed record; when `tear_at` is set, write only that many
+    /// words of the frame (a crash mid-append) and mark the log torn.
+    fn append(&mut self, epoch: u64, seq: u64, payload: &WalPayload, tear: bool) {
+        let body = payload.encode();
+        let kind = payload.kind_code();
+        let mut frame = Vec::with_capacity(FRAME_WORDS + body.len());
+        frame.push(WAL_MAGIC);
+        frame.push(body.len() as u64);
+        frame.push(epoch);
+        frame.push(seq);
+        frame.push(kind);
+        frame.extend_from_slice(&body);
+        let mut sum_input = vec![body.len() as u64, epoch, seq, kind];
+        sum_input.extend_from_slice(&body);
+        frame.push(fnv_words(&sum_input));
+        if tear {
+            // Power failed partway through the log write: keep a strict
+            // prefix (at least the magic so the tear is visible, never the
+            // checksum so the record can't validate).
+            let keep = (frame.len() / 2).max(1);
+            self.words.extend_from_slice(&frame[..keep]);
+            self.stats.torn = true;
+        } else {
+            self.words.extend_from_slice(&frame);
+            self.stats.appends += 1;
+        }
+        self.stats.words = self.words.len() as u64;
+    }
+
+    /// Decode every intact record; stop at (and flag) a torn tail.
+    pub fn scan(&self) -> WalScan {
+        let w = &self.words;
+        let mut out = WalScan::default();
+        let mut at = 0usize;
+        while at < w.len() {
+            let intact = (|| {
+                if w.len() - at < FRAME_WORDS || w[at] != WAL_MAGIC {
+                    return None;
+                }
+                let body_len = w[at + 1] as usize;
+                let total = FRAME_WORDS + body_len;
+                if w.len() - at < total {
+                    return None;
+                }
+                let (epoch, seq, kind) = (w[at + 2], w[at + 3], w[at + 4]);
+                let body = &w[at + 5..at + 5 + body_len];
+                let mut sum_input = vec![body_len as u64, epoch, seq, kind];
+                sum_input.extend_from_slice(body);
+                if w[at + total - 1] != fnv_words(&sum_input) {
+                    return None;
+                }
+                let payload = WalPayload::decode(kind, body)?;
+                Some((total, WalRecord { epoch, seq, payload }))
+            })();
+            match intact {
+                Some((total, rec)) => {
+                    out.records.push(rec);
+                    at += total;
+                    out.intact_words = at;
+                }
+                None => {
+                    out.torn_tail = true;
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            words: self.words.len() as u64,
+            ..self.stats
+        }
+    }
+}
+
+impl Kernel {
+    /// Arm (or disarm) the write-ahead log. Arming clears any previous log
+    /// image — the log is per-boot-lineage, like mounting a fresh journal
+    /// device. Disabled by default: fault-free baselines pay nothing.
+    pub fn set_wal_enabled(&mut self, on: bool) {
+        self.wal = WriteAheadLog {
+            enabled: on,
+            ..WriteAheadLog::default()
+        };
+    }
+
+    /// Is the write-ahead log armed?
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_enabled()
+    }
+
+    /// Is a logged cycle currently open?
+    pub fn wal_cycle_open(&self) -> bool {
+        self.wal.cycle_open()
+    }
+
+    /// Install a seeded log mutation (test teeth; see [`WalMutation`]).
+    pub fn set_wal_mutation(&mut self, m: Option<WalMutation>) {
+        self.wal.mutation = m;
+    }
+
+    /// Open a cycle: append a begin record carrying the GC layer's opaque
+    /// metadata. Returns the epoch, or `None` when the log is disarmed.
+    pub fn wal_cycle_begin(&mut self, meta: Vec<u64>) -> Option<u64> {
+        if !self.wal.enabled {
+            return None;
+        }
+        self.wal.next_epoch += 1;
+        let epoch = self.wal.next_epoch;
+        self.wal.open_epoch = Some(epoch);
+        self.wal.epoch_dropped = false;
+        self.wal.seq = 0;
+        self.wal.append(epoch, 0, &WalPayload::CycleBegin { meta }, false);
+        self.wal.seq = 1;
+        self.trace.instant(
+            TraceKind::WalRecord,
+            Cycles::ZERO,
+            0,
+            &[("kind", 1), ("epoch", epoch)],
+        );
+        Some(epoch)
+    }
+
+    /// Commit the open cycle: append a commit record with post-cycle
+    /// metadata and close the epoch. No-op when no cycle is open.
+    pub fn wal_commit(&mut self, meta: Vec<u64>) {
+        let Some(epoch) = self.wal.open_epoch.take() else {
+            return;
+        };
+        if self.wal.mutation == Some(WalMutation::SkipCommit) {
+            self.wal.stats.commits_skipped += 1;
+            return;
+        }
+        let seq = self.wal.seq;
+        self.wal.append(epoch, seq, &WalPayload::Commit { meta }, false);
+        self.trace.instant(
+            TraceKind::WalRecord,
+            Cycles::ZERO,
+            0,
+            &[("kind", 3), ("epoch", epoch)],
+        );
+    }
+
+    /// Mark the open cycle aborted-and-rolled-back (its in-process undo
+    /// completed, so the epoch is resolved). No-op when no cycle is open.
+    pub fn wal_cycle_aborted(&mut self) {
+        let Some(epoch) = self.wal.open_epoch.take() else {
+            return;
+        };
+        let seq = self.wal.seq;
+        self.wal.append(epoch, seq, &WalPayload::CycleAborted, false);
+        self.trace.instant(
+            TraceKind::WalRecord,
+            Cycles::ZERO,
+            0,
+            &[("kind", 4), ("epoch", epoch)],
+        );
+    }
+
+    /// Append a recovery-resolution record for `epoch` (recovery replayed
+    /// its undo/redo and verified the result).
+    pub fn wal_mark_recovered(&mut self, epoch: u64, outcome: u64) {
+        if !self.wal.enabled {
+            return;
+        }
+        self.wal.append(epoch, u64::MAX, &WalPayload::Recovered { outcome }, false);
+        self.trace.instant(
+            TraceKind::WalRecord,
+            Cycles::ZERO,
+            0,
+            &[("kind", 5), ("epoch", epoch), ("outcome", outcome)],
+        );
+    }
+
+    /// Scan the durable log (the first thing recovery does after a
+    /// restart).
+    pub fn wal_scan(&self) -> WalScan {
+        self.wal.scan()
+    }
+
+    /// The log's activity counters.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// Append an intent record for `op` ahead of applying it. Charges the
+    /// caller for the log write through the bandwidth model. When
+    /// `may_crash` is set, a pending [`CrashPoint::MidLogAppend`] fires
+    /// here: the frame is torn mid-write and the error tells the caller
+    /// the machine is gone (the operation must NOT be applied).
+    pub(crate) fn wal_log_op(
+        &mut self,
+        op: WalOp,
+        may_crash: bool,
+    ) -> Result<Cycles, CrashPoint> {
+        if !self.wal.cycle_open() {
+            return Ok(Cycles::ZERO);
+        }
+        if self.wal.mutation == Some(WalMutation::DropIntent)
+            && !self.wal.epoch_dropped
+            && matches!(op, WalOp::PteSwap { .. })
+        {
+            // Teeth mutation: the epoch's first PTE-swap intent vanishes.
+            // Keep the sequence counter moving so exactly one record per
+            // epoch is lost.
+            self.wal.epoch_dropped = true;
+            self.wal.seq += 1;
+            self.wal.stats.intents_dropped += 1;
+            return Ok(Cycles::ZERO);
+        }
+        let bytes = op.encoded_bytes();
+        let epoch = self.wal.open_epoch.expect("cycle_open checked above");
+        let seq = self.wal.seq;
+        self.wal.seq += 1;
+        let tear = may_crash && self.crash_fire(CrashPoint::MidLogAppend);
+        self.wal.append(epoch, seq, &WalPayload::Intent(op), tear);
+        if tear {
+            return Err(CrashPoint::MidLogAppend);
+        }
+        Ok(self.bandwidth.copy_cycles(&self.machine, bytes))
+    }
+
+    /// Apply the idempotent undo of one WAL op: install the recorded
+    /// pre-images. Used by recovery (after a reboot) — functional vmem
+    /// path, no fault injection, no TLB consults, no re-journaling.
+    /// Returns `(cycles, pages rewritten)`.
+    pub fn wal_undo_op(
+        &mut self,
+        space: &mut AddressSpace,
+        op: &WalOp,
+    ) -> Result<(Cycles, u64), VmError> {
+        let costs = self.machine.costs;
+        let mut t = Cycles::ZERO;
+        match op {
+            WalOp::PteSwap { a, b, pre } => {
+                for (i, &(ra, rb)) in pre.iter().enumerate() {
+                    let i = i as u64;
+                    space.page_table_mut().write_pte_raw(a.add_pages(i), ra)?;
+                    space.page_table_mut().write_pte_raw(b.add_pages(i), rb)?;
+                    t += Cycles(2 * costs.pte_swap);
+                }
+            }
+            WalOp::Bytes { at, pre } => {
+                self.vmem.write_bytes(space, *at, pre)?;
+                t += self.bandwidth.copy_cycles(&self.machine, pre.len() as u64);
+            }
+            WalOp::Word { at, pre } => {
+                self.vmem.write_u64(space, *at, *pre)?;
+                t += Cycles(costs.mem_access);
+            }
+        }
+        Ok((t, op.pages()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: WalPayload) {
+        let mut log = WriteAheadLog {
+            enabled: true,
+            ..WriteAheadLog::default()
+        };
+        log.append(7, 3, &p, false);
+        let scan = log.scan();
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.records.len(), 1);
+        let r = &scan.records[0];
+        assert_eq!((r.epoch, r.seq), (7, 3));
+        assert_eq!(r.payload, p);
+    }
+
+    #[test]
+    fn every_payload_roundtrips() {
+        roundtrip(WalPayload::CycleBegin {
+            meta: vec![1, 2, 3, u64::MAX],
+        });
+        roundtrip(WalPayload::Intent(WalOp::PteSwap {
+            a: VirtAddr(0x1000),
+            b: VirtAddr(0x9000),
+            pre: vec![(0xAA, 0xBB), (0xCC, 0xDD)],
+        }));
+        roundtrip(WalPayload::Intent(WalOp::Bytes {
+            at: VirtAddr(0x2000),
+            pre: (0..100u8).collect(), // deliberately not word-aligned
+        }));
+        roundtrip(WalPayload::Intent(WalOp::Word {
+            at: VirtAddr(0x3008),
+            pre: 0xDEAD_BEEF,
+        }));
+        roundtrip(WalPayload::Commit { meta: Vec::new() });
+        roundtrip(WalPayload::CycleAborted);
+        roundtrip(WalPayload::Recovered { outcome: 2 });
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_prefix_survives() {
+        let mut log = WriteAheadLog {
+            enabled: true,
+            ..WriteAheadLog::default()
+        };
+        log.append(1, 0, &WalPayload::CycleBegin { meta: vec![9] }, false);
+        log.append(
+            1,
+            1,
+            &WalPayload::Intent(WalOp::Word {
+                at: VirtAddr(0x1000),
+                pre: 5,
+            }),
+            false,
+        );
+        // Crash mid-append of the third record.
+        log.append(
+            1,
+            2,
+            &WalPayload::Intent(WalOp::Bytes {
+                at: VirtAddr(0x2000),
+                pre: vec![1; 64],
+            }),
+            true,
+        );
+        let scan = log.scan();
+        assert!(scan.torn_tail, "truncated frame must be flagged");
+        assert_eq!(scan.records.len(), 2, "intact prefix fully decoded");
+        assert!(log.stats().torn);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_a_torn_tail() {
+        let mut log = WriteAheadLog {
+            enabled: true,
+            ..WriteAheadLog::default()
+        };
+        log.append(1, 0, &WalPayload::CycleAborted, false);
+        let last = log.words.len() - 1;
+        log.words[last] ^= 1;
+        let scan = log.scan();
+        assert!(scan.torn_tail);
+        assert!(scan.records.is_empty());
+    }
+
+    #[test]
+    fn empty_log_scans_clean() {
+        let log = WriteAheadLog::new();
+        let scan = log.scan();
+        assert!(!scan.torn_tail);
+        assert!(scan.records.is_empty());
+    }
+}

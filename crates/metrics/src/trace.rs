@@ -88,11 +88,20 @@ pub enum TraceKind {
     /// cached frame disagrees with the live page table, or a flush that
     /// broke the shootdown-protocol preconditions. Instant.
     TlbOracle,
+    /// A seeded crash point fired: the simulated machine died here and
+    /// only durable state survives. Instant.
+    CrashFired,
+    /// A write-ahead-log protocol record (cycle begin/commit/abort/
+    /// recovered) became durable. Instant.
+    WalRecord,
+    /// One recovery action (epoch classified, undo replayed, heap
+    /// re-derived) during post-crash restart. Instant.
+    Recovery,
 }
 
 impl TraceKind {
     /// Every kind, in a fixed order (for summaries and registries).
-    pub const ALL: [TraceKind; 18] = [
+    pub const ALL: [TraceKind; 21] = [
         TraceKind::GcCycle,
         TraceKind::MinorCycle,
         TraceKind::MarkPhase,
@@ -111,6 +120,9 @@ impl TraceKind {
         TraceKind::Rollback,
         TraceKind::ModeChange,
         TraceKind::TlbOracle,
+        TraceKind::CrashFired,
+        TraceKind::WalRecord,
+        TraceKind::Recovery,
     ];
 
     /// Stable event name (Chrome trace `name`, registry key segment).
@@ -134,6 +146,9 @@ impl TraceKind {
             TraceKind::Rollback => "rollback",
             TraceKind::ModeChange => "mode_change",
             TraceKind::TlbOracle => "tlb_oracle",
+            TraceKind::CrashFired => "crash_fired",
+            TraceKind::WalRecord => "wal_record",
+            TraceKind::Recovery => "recovery",
         }
     }
 
@@ -155,7 +170,10 @@ impl TraceKind {
             | TraceKind::CycleAbort
             | TraceKind::Rollback
             | TraceKind::ModeChange
-            | TraceKind::TlbOracle => "resilience",
+            | TraceKind::TlbOracle
+            | TraceKind::CrashFired
+            | TraceKind::WalRecord
+            | TraceKind::Recovery => "resilience",
         }
     }
 }

@@ -4,13 +4,16 @@
 use crate::env::JvmEnv;
 use crate::workload::Workload;
 use svagc_baselines::{ParallelGc, Shenandoah};
-use svagc_core::{Collector, DegradePolicy, GcConfig, GcLog, Lisp2Collector};
+use svagc_core::{
+    recover, Collector, DegradePolicy, GcConfig, GcError, GcLog, Lisp2Collector,
+    RecoveryError, RecoveryReport, RetryPolicy,
+};
 use svagc_heap::{Heap, HeapConfig, HeapVerifier};
-use svagc_kernel::{FaultConfig, FaultPlan, Kernel};
+use svagc_kernel::{CoreId, CrashPlan, CrashPoint, FaultConfig, FaultPlan, Kernel, WalMutation};
 use svagc_metrics::{
     BandwidthModel, Cycles, MachineConfig, PerfCounters, Registry, TraceEvent,
 };
-use svagc_vmem::{Asid, OracleStats};
+use svagc_vmem::{AddressSpace, Asid, OracleStats};
 
 /// Which collector to run.
 #[derive(Debug, Clone, Copy)]
@@ -37,37 +40,42 @@ impl CollectorKind {
     /// verification (LISP2-based collectors only; the baseline wrappers
     /// keep their own fixed configurations).
     pub fn build_verified(&self, gc_threads: usize, verify_phases: bool) -> Box<dyn Collector> {
-        self.build_configured(gc_threads, verify_phases, None, DegradePolicy::off())
+        self.build_configured(gc_threads, verify_phases, None, DegradePolicy::off(), None)
     }
 
     /// Instantiate the collector with the full set of run-time knobs:
-    /// post-phase verification, per-phase watchdog deadline, and
-    /// degraded-mode policy. The baseline wrappers (ParallelGC,
-    /// Shenandoah) keep their own fixed configurations and ignore the
-    /// transactional knobs.
+    /// post-phase verification, per-phase watchdog deadline,
+    /// degraded-mode policy, and (optionally) a SwapVA retry-policy
+    /// override. The baseline wrappers (ParallelGC, Shenandoah) keep
+    /// their own fixed configurations and ignore the transactional knobs.
     pub fn build_configured(
         &self,
         gc_threads: usize,
         verify_phases: bool,
         deadline_cycles: Option<u64>,
         degrade: DegradePolicy,
+        retry: Option<RetryPolicy>,
     ) -> Box<dyn Collector> {
+        let with_retry = |cfg: GcConfig| match retry {
+            Some(r) => cfg.with_retry_policy(r),
+            None => cfg,
+        };
         match self {
-            CollectorKind::Svagc => Box::new(Lisp2Collector::new(
+            CollectorKind::Svagc => Box::new(Lisp2Collector::new(with_retry(
                 GcConfig::svagc(gc_threads)
                     .with_verify_phases(verify_phases)
                     .with_deadline(deadline_cycles)
                     .with_degrade(degrade),
-            )),
-            CollectorKind::SvagcMemmove => Box::new(Lisp2Collector::new(
+            ))),
+            CollectorKind::SvagcMemmove => Box::new(Lisp2Collector::new(with_retry(
                 GcConfig::lisp2_memmove(gc_threads)
                     .with_verify_phases(verify_phases)
                     .with_deadline(deadline_cycles)
                     .with_degrade(degrade),
-            )),
+            ))),
             CollectorKind::ParallelGc => Box::new(ParallelGc::new(gc_threads)),
             CollectorKind::Shenandoah => Box::new(Shenandoah::new(gc_threads)),
-            CollectorKind::Custom(cfg) => Box::new(Lisp2Collector::new(
+            CollectorKind::Custom(cfg) => Box::new(Lisp2Collector::new(with_retry(
                 GcConfig {
                     gc_threads,
                     deadline_cycles: deadline_cycles.or(cfg.deadline_cycles),
@@ -75,7 +83,7 @@ impl CollectorKind {
                 }
                 .with_verify_phases(verify_phases || cfg.verify_phases)
                 .with_degrade(if degrade.enabled { degrade } else { cfg.degrade }),
-            )),
+            ))),
         }
     }
 
@@ -155,6 +163,21 @@ pub struct RunConfig {
     /// `SVAGC_TLB_ORACLE` environment variable (how CI runs the figure
     /// and chaos suites under the oracle).
     pub tlb_oracle: bool,
+    /// Override the collector's SwapVA retry policy (`None` = the
+    /// collector default). A zero fallback budget makes every permanent
+    /// fault an unrecoverable abort — the profile behind the fault-abort
+    /// exit code.
+    pub retry: Option<RetryPolicy>,
+    /// Arm the kernel's write-ahead journal for PTE-mutating GC
+    /// operations (automatic whenever `crash_plans` is non-empty).
+    pub wal: bool,
+    /// Seeded crash points: the simulated machine dies at the chosen
+    /// occurrence, preserving only durable state (vmem, page tables,
+    /// write-ahead log). Non-empty plans imply `wal`.
+    pub crash_plans: Vec<CrashPlan>,
+    /// Seeded write-ahead-log mutation (the crash-matrix teeth: a
+    /// protocol corruption recovery MUST detect and fail closed on).
+    pub wal_mutation: Option<WalMutation>,
 }
 
 impl RunConfig {
@@ -179,6 +202,10 @@ impl RunConfig {
             degrade: DegradePolicy::off(),
             trace: false,
             tlb_oracle: false,
+            retry: None,
+            wal: false,
+            crash_plans: Vec::new(),
+            wal_mutation: None,
         }
     }
 
@@ -216,6 +243,30 @@ impl RunConfig {
     /// Enable the stale-translation oracle.
     pub fn with_tlb_oracle(mut self, on: bool) -> RunConfig {
         self.tlb_oracle = on;
+        self
+    }
+
+    /// Override the SwapVA retry policy.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> RunConfig {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Arm the write-ahead journal (crash plans arm it implicitly).
+    pub fn with_wal(mut self, on: bool) -> RunConfig {
+        self.wal = on;
+        self
+    }
+
+    /// Install seeded crash points (implies the write-ahead journal).
+    pub fn with_crash_plans(mut self, plans: Vec<CrashPlan>) -> RunConfig {
+        self.crash_plans = plans;
+        self
+    }
+
+    /// Install a seeded write-ahead-log mutation (teeth testing).
+    pub fn with_wal_mutation(mut self, m: Option<WalMutation>) -> RunConfig {
+        self.wal_mutation = m;
         self
     }
 }
@@ -322,8 +373,224 @@ impl RunResult {
     }
 }
 
+/// How a classified run failed (everything except a clean result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A seeded crash point killed the simulated machine.
+    Crash(CrashPoint),
+    /// The per-phase GC watchdog deadline expired (circuit breaker off,
+    /// or the error surfaced before the breaker could engage).
+    Watchdog,
+    /// An operational SwapVA fault aborted the run (retry/fallback
+    /// budgets exhausted, breaker off).
+    FaultAbort,
+    /// The degraded-mode ladder ran out of rungs — every mode, down to
+    /// single-threaded memmove, failed.
+    DegradeExhausted,
+    /// Anything else: OOM, verification failure, oracle violation.
+    Other,
+}
+
+impl FailureKind {
+    /// The CLI process exit code for this failure class. Stable contract
+    /// for scripts: 10 watchdog, 11 fault abort, 12 degraded-mode ladder
+    /// exhausted, 13 machine crashed, 1 anything else (2 is usage).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            FailureKind::Watchdog => 10,
+            FailureKind::FaultAbort => 11,
+            FailureKind::DegradeExhausted => 12,
+            FailureKind::Crash(_) => 13,
+            FailureKind::Other => 1,
+        }
+    }
+}
+
+/// A classified run failure: the machine-readable kind plus the
+/// human-readable message [`run`] would have returned.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// Failure class (drives CLI exit codes).
+    pub kind: FailureKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+fn classify(e: &GcError) -> FailureKind {
+    if let Some(point) = e.crash_point() {
+        return FailureKind::Crash(point);
+    }
+    match e {
+        GcError::Exhausted(_) => FailureKind::DegradeExhausted,
+        GcError::Deadline { .. } => FailureKind::Watchdog,
+        e if e.is_operational() => FailureKind::FaultAbort,
+        _ => FailureKind::Other,
+    }
+}
+
+/// One recovery attempt sequence after a crash (see [`CrashReport`]).
+#[derive(Debug, Clone)]
+pub struct RecoverySummary {
+    /// Reboot+recover attempts made (>1 only under double-crash plans).
+    pub attempts: u64,
+    /// The final attempt's outcome: the verified recovery report, or the
+    /// fail-closed reason (bad log, hybrid heap, corruption).
+    pub outcome: Result<RecoveryReport, String>,
+}
+
+/// What a crashed run leaves behind.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Where the machine died.
+    pub point: CrashPoint,
+    /// Workload steps fully completed before the crash.
+    pub steps_completed: usize,
+    /// Recovery results (`None` when recovery was not requested).
+    pub recovery: Option<RecoverySummary>,
+}
+
+impl CrashReport {
+    /// `gc.recovery.*` counter registry for BENCH records and scripts.
+    pub fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.add("gc.recovery.crash_point", self.point.code());
+        reg.add("gc.recovery.steps_completed", self.steps_completed as u64);
+        match &self.recovery {
+            None => reg.add("gc.recovery.attempted", 0),
+            Some(s) => {
+                reg.add("gc.recovery.attempted", 1);
+                reg.add("gc.recovery.attempts", s.attempts);
+                match &s.outcome {
+                    Ok(r) => {
+                        reg.add("gc.recovery.verified", 1);
+                        reg.add("gc.recovery.outcome", r.class.code());
+                        reg.add("gc.recovery.epoch", r.epoch);
+                        reg.add("gc.recovery.undone_ops", r.undone_ops as u64);
+                        reg.add("gc.recovery.undone_pages", r.undone_pages);
+                    }
+                    Err(_) => reg.add("gc.recovery.verified", 0),
+                }
+            }
+        }
+        reg
+    }
+}
+
+/// Outcome of [`run_with_crash`]: either the run completed (no armed
+/// crash point fired) or the machine died and the report says what
+/// recovery made of the debris.
+#[derive(Debug)]
+pub enum CrashOutcome {
+    /// No crash point fired; the full result is available.
+    Completed(Box<RunResult>),
+    /// The machine died at a seeded crash point.
+    Crashed(Box<CrashReport>),
+}
+
+/// Reboot+recover retries after a crash: bounded so a crash plan that
+/// also kills recovery itself (double crash) terminates — each armed
+/// `InsideRecovery` occurrence fires once, so the plan list length
+/// bounds the crashes.
+const MAX_RECOVERY_ATTEMPTS: u64 = 8;
+
+enum RunEnd {
+    Completed(Box<RunResult>),
+    Crashed {
+        point: CrashPoint,
+        steps_completed: usize,
+        kernel: Box<Kernel>,
+        space: AddressSpace,
+    },
+}
+
 /// Run `workload` under `cfg`. Deterministic for fixed inputs.
 pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, String> {
+    run_classified(workload, cfg).map_err(|f| f.message)
+}
+
+/// [`run`], but failures keep their class (for exit codes and chaos
+/// harnesses). A fired crash point is a failure here — use
+/// [`run_with_crash`] to recover instead.
+pub fn run_classified(
+    workload: &mut dyn Workload,
+    cfg: &RunConfig,
+) -> Result<RunResult, Box<RunFailure>> {
+    match run_inner(workload, cfg)? {
+        RunEnd::Completed(r) => Ok(*r),
+        RunEnd::Crashed { point, steps_completed, .. } => Err(Box::new(RunFailure {
+            kind: FailureKind::Crash(point),
+            message: format!(
+                "machine crashed at seeded crash point {point} after {steps_completed} \
+                 completed step(s)"
+            ),
+        })),
+    }
+}
+
+/// Run `workload` under `cfg` with crash semantics: if a seeded crash
+/// point fires, the simulated machine dies (volatile state gone, durable
+/// state kept) and — when `do_recover` is set — the recovery state
+/// machine reboots the kernel, replays the write-ahead journal, and
+/// verifies the rebuilt heap. Double crashes (plans that also fire
+/// inside recovery) are retried up to [`MAX_RECOVERY_ATTEMPTS`] times.
+pub fn run_with_crash(
+    workload: &mut dyn Workload,
+    cfg: &RunConfig,
+    do_recover: bool,
+) -> Result<CrashOutcome, Box<RunFailure>> {
+    match run_inner(workload, cfg)? {
+        RunEnd::Completed(r) => Ok(CrashOutcome::Completed(r)),
+        RunEnd::Crashed { point, steps_completed, mut kernel, mut space } => {
+            let recovery = if do_recover {
+                let mut attempts = 0;
+                Some(loop {
+                    attempts += 1;
+                    kernel.reboot();
+                    match recover(&mut kernel, space, CoreId(0)) {
+                        Ok(s) => {
+                            break RecoverySummary { attempts, outcome: Ok(s.report) };
+                        }
+                        Err(f) => {
+                            let double_crash =
+                                matches!(f.error, RecoveryError::Crashed { .. });
+                            if double_crash && attempts < MAX_RECOVERY_ATTEMPTS {
+                                // The crash plan also killed recovery; the
+                                // undo already applied is idempotent, so
+                                // reboot and replay from scratch.
+                                space = f.space;
+                                continue;
+                            }
+                            break RecoverySummary {
+                                attempts,
+                                outcome: Err(f.error.to_string()),
+                            };
+                        }
+                    }
+                })
+            } else {
+                None
+            };
+            Ok(CrashOutcome::Crashed(Box::new(CrashReport {
+                point,
+                steps_completed,
+                recovery,
+            })))
+        }
+    }
+}
+
+fn run_inner(
+    workload: &mut dyn Workload,
+    cfg: &RunConfig,
+) -> Result<RunEnd, Box<RunFailure>> {
     let min_heap = workload.min_heap_bytes();
     // An aligned (Algorithm 3) heap's "minimum required size" includes its
     // internal fragmentation — the paper bounds it under 5% at the
@@ -344,18 +611,27 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
     // runs the figure and chaos suites under it without touching code).
     let oracle_on = cfg.tlb_oracle || std::env::var_os("SVAGC_TLB_ORACLE").is_some();
     kernel.set_tlb_oracle(oracle_on);
+    // Crash plans without a journal would be unrecoverable by
+    // construction; arming them arms the WAL.
+    kernel.set_wal_enabled(cfg.wal || !cfg.crash_plans.is_empty());
+    kernel.set_wal_mutation(cfg.wal_mutation);
+    if !cfg.crash_plans.is_empty() {
+        kernel.set_crash_plans(cfg.crash_plans.clone());
+    }
 
     let mut heap_cfg =
         HeapConfig::new(heap_bytes).with_alignment(cfg.collector.aligned_heap());
     if let Some(t) = cfg.threshold_pages {
         heap_cfg = heap_cfg.with_threshold(t);
     }
-    let heap = Heap::new(&mut kernel, Asid(cfg.asid), heap_cfg).map_err(|e| e.to_string())?;
+    let heap = Heap::new(&mut kernel, Asid(cfg.asid), heap_cfg)
+        .map_err(|e| other_failure(e.to_string()))?;
     let collector = cfg.collector.build_configured(
         cfg.gc_threads,
         cfg.verify_phases,
         cfg.deadline_cycles,
         cfg.degrade,
+        cfg.retry,
     );
     if cfg.fault_rate > 0.0 {
         let fc = if cfg.fault_permanent_only {
@@ -367,14 +643,42 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
     }
 
     let mut env = JvmEnv::new(&mut kernel, heap, collector);
-    workload.setup(&mut env).map_err(|e| e.to_string())?;
     let steps = cfg.steps.unwrap_or_else(|| workload.default_steps());
-    for s in 0..steps {
-        workload
-            .step(&mut env)
-            .map_err(|e| format!("step {s}: {e}"))?;
+    let mut completed = 0usize;
+    // (error, Some(step) | None for setup)
+    let mut gc_err: Option<(GcError, Option<usize>)> = None;
+    if let Err(e) = workload.setup(&mut env) {
+        gc_err = Some((e, None));
+    } else {
+        for s in 0..steps {
+            match workload.step(&mut env) {
+                Ok(()) => completed = s + 1,
+                Err(e) => {
+                    gc_err = Some((e, Some(s)));
+                    break;
+                }
+            }
+        }
     }
-    workload.verify(&mut env)?;
+    if let Some((e, at_step)) = gc_err {
+        // Destructuring the env releases its borrow of the kernel so a
+        // crash can hand the dead machine (durable state) to recovery.
+        let JvmEnv { heap, .. } = env;
+        if let Some(point) = e.crash_point() {
+            return Ok(RunEnd::Crashed {
+                point,
+                steps_completed: completed,
+                kernel: Box::new(kernel),
+                space: heap.into_space(),
+            });
+        }
+        let message = match at_step {
+            Some(s) => format!("step {s}: {e}"),
+            None => e.to_string(),
+        };
+        return Err(Box::new(RunFailure { kind: classify(&e), message }));
+    }
+    workload.verify(&mut env).map_err(other_failure)?;
     let verify_ok = true;
 
     let gc_log = env.collector.log().clone();
@@ -386,12 +690,12 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
     let trace = kernel.take_trace();
     let oracle_stats = kernel.tlb_oracle_stats();
     if oracle_stats.stale_hits > 0 || oracle_stats.audit_violations > 0 {
-        return Err(format!(
+        return Err(other_failure(format!(
             "stale-TLB oracle: {} stale hit(s), {} flush-protocol audit violation(s) \
              over {} checked TLB hits — the shootdown protocol let a core translate \
              through a dead entry",
             oracle_stats.stale_hits, oracle_stats.audit_violations, oracle_stats.checks
-        ));
+        )));
     }
 
     let cores = cfg.effective_cores.unwrap_or(cfg.machine.cores).max(1);
@@ -400,7 +704,7 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
     let app_wall = app_cycles / parallelism + gc_log.total_interference() / parallelism;
     let total_wall = app_wall + gc_log.total_pause();
 
-    Ok(RunResult {
+    Ok(RunEnd::Completed(Box::new(RunResult {
         workload: workload.name(),
         collector: cfg.collector.label(),
         gc: gc_log,
@@ -417,5 +721,9 @@ pub fn run(workload: &mut dyn Workload, cfg: &RunConfig) -> Result<RunResult, St
         heap_hash,
         trace,
         tlb_oracle: oracle_stats,
-    })
+    })))
+}
+
+fn other_failure(message: String) -> Box<RunFailure> {
+    Box::new(RunFailure { kind: FailureKind::Other, message })
 }
