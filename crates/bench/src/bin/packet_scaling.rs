@@ -1,0 +1,6 @@
+//! Packet-scheduler scaling figure (barrier vs packets makespan). Pass
+//! `--out DIR` to also write the `BENCH_packet_scaling.json` perf record.
+
+fn main() {
+    svagc_bench::runner::main_single("packet_scaling");
+}

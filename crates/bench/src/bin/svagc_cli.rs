@@ -10,7 +10,7 @@
 
 use svagc_bench::report::{HostInfo, Report};
 use svagc_core::protocol::{self, ModelConfig};
-use svagc_core::{CycleClass, DegradePolicy, DegradedMode, RetryPolicy};
+use svagc_core::{CycleClass, DegradePolicy, DegradedMode, RetryPolicy, SchedulerKind};
 use svagc_kernel::{CrashPlan, FlushMode, WalMutation};
 use svagc_metrics::MachineConfig;
 use svagc_workloads::driver::{run_with_crash, CollectorKind, CrashOutcome, RunConfig};
@@ -31,10 +31,21 @@ fn usage() -> ! {
             [--trace <out.json>] [--trace-summary] [--bench-json <out.json>]
             [--tlb-oracle] [--wal] [--crash-plan <pt[:n],...>]
             [--wal-mutate skip-commit|drop-intent]
+            [--scheduler barrier|packets] [--core-base <n>]
   svagc recover ...same flags as run...
   svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]
+            [--scheduler barrier|packets]
   svagc protocol-check [--deep]
 
+  --scheduler         GC scheduling substrate: barrier (default; each
+                      phase joins at a global barrier) or packets (work
+                      decomposed into typed packets in dependency-ordered
+                      buckets, drained greedily with deterministic
+                      least-loaded stealing; workers flow across bucket
+                      boundaries where the dependency graph allows)
+  --core-base <n>     first machine core the GC workers pin to (worker w
+                      runs on core (n + w) mod cores; multi-JVM runs set
+                      disjoint bases automatically)
   --gc-deadline-cycles <n>  per-phase watchdog budget in virtual cycles; a
                       phase exceeding it aborts the GC cycle and rolls it
                       back through the compaction journal
@@ -99,6 +110,13 @@ fn parse_collector(s: &str) -> CollectorKind {
             usage()
         }
     }
+}
+
+fn parse_scheduler(s: &str) -> SchedulerKind {
+    SchedulerKind::parse(s).unwrap_or_else(|| {
+        eprintln!("unknown scheduler {s:?} (barrier | packets)");
+        usage()
+    })
 }
 
 fn parse_machine(s: &str) -> MachineConfig {
@@ -233,6 +251,12 @@ fn main() {
                     usage()
                 }));
             }
+            if let Some(s) = get(&fs, "scheduler") {
+                cfg.scheduler = parse_scheduler(s);
+            }
+            if let Some(b) = get(&fs, "core-base") {
+                cfg.core_base = b.parse().expect("--core-base expects an integer");
+            }
 
             let t0 = std::time::Instant::now();
             let outcome = run_with_crash(w.as_mut(), &cfg, do_recover).unwrap_or_else(|f| {
@@ -308,6 +332,14 @@ fn main() {
             let host_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             println!("workload     : {}", r.workload);
             println!("collector    : {}", r.collector);
+            if cfg.scheduler == SchedulerKind::Packets {
+                println!(
+                    "scheduler    : packets ({} packets | {} steals | {} steal cycles)",
+                    r.gc.total_sched_packets(),
+                    r.gc.total_sched_steals(),
+                    r.gc.total_sched_steal_cycles()
+                );
+            }
             println!(
                 "heap         : {:.1} MiB ({}x of {:.1} MiB minimum)",
                 r.heap_bytes as f64 / (1 << 20) as f64,
@@ -418,6 +450,9 @@ fn main() {
                 base.gc_threads = t.parse().expect("--gc-threads expects an integer");
             } else {
                 base.gc_threads = 4;
+            }
+            if let Some(s) = get(&fs, "scheduler") {
+                base.scheduler = parse_scheduler(s);
             }
             let res = run_multi(
                 n,

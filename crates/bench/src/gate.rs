@@ -29,7 +29,10 @@ pub struct GateConfig {
 impl Default for GateConfig {
     fn default() -> Self {
         GateConfig {
-            wall_factor: 20.0,
+            // Tightened from the original 20x once the fig02/fig11-class
+            // hot paths were optimized: a regression that erases those
+            // wins now trips the gate instead of hiding in the slack.
+            wall_factor: 8.0,
             wall_slack_ms: 250.0,
         }
     }

@@ -491,3 +491,42 @@ pub fn ablation_minor(rep: &mut Report) {
     }
     rep.table(&t);
 }
+
+/// Packet-scheduler scaling: full-GC makespan vs worker count, barrier
+/// pipeline vs work-packet scheduler, on a skewed heap (swap-heavy bigs
+/// low, ref-dense smalls high). Not a paper figure — it documents the
+/// scheduler this reproduction adds on top of the paper's pipeline.
+pub fn packet_scaling(rep: &mut Report) {
+    let rows = suites::packet_scaling_rows(&[1, 2, 4, 8]);
+    let mut t = Table::new(["GC threads", "barrier (kcycles)", "packets (kcycles)", "speedup", "packets run", "steals"]);
+    for r in &rows {
+        t.row([
+            r.workers.to_string(),
+            (r.barrier_cycles / 1000).to_string(),
+            (r.packets_cycles / 1000).to_string(),
+            x(r.barrier_cycles as f64 / r.packets_cycles as f64),
+            r.packets.to_string(),
+            r.steals.to_string(),
+        ]);
+        rep.row("packet_scaling", r);
+        rep.counter("sched.barrier_cycles", r.barrier_cycles);
+        rep.counter("sched.packets_cycles", r.packets_cycles);
+    }
+    rep.table(&t);
+    for r in rows.iter().filter(|r| r.workers >= 4) {
+        assert!(
+            r.packets_cycles < r.barrier_cycles,
+            "packet scheduler must strictly beat the barrier pipeline at \
+             {} workers: packets {} >= barrier {}",
+            r.workers,
+            r.packets_cycles,
+            r.barrier_cycles
+        );
+    }
+    let last = rows.last().unwrap();
+    rep.derived(
+        "packets_speedup_at_8",
+        last.barrier_cycles as f64 / last.packets_cycles as f64,
+    );
+    rep.say("packet overlap beats the four-barrier pipeline at every multi-worker point");
+}

@@ -150,6 +150,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         caption: "Minor-GC promotion mechanism (Table I row 2)",
         run: render::ablation_minor,
     },
+    Experiment {
+        id: "packet_scaling",
+        title: "Packet scaling",
+        caption: "Full-GC makespan vs workers: barrier pipeline vs packet scheduler",
+        run: render::packet_scaling,
+    },
 ];
 
 /// The five design-choice studies `bin/ablations` runs.

@@ -352,6 +352,102 @@ pub fn table3_rows(steps: Option<usize>) -> Vec<CacheDtlbRow> {
     })
 }
 
+/// One packet-scheduler scaling measurement: the same skewed full-GC
+/// heap collected under both schedulers at `workers` GC threads.
+#[derive(Debug, Clone)]
+pub struct PacketScalingRow {
+    /// Simulated GC worker (thread) count.
+    pub workers: usize,
+    /// Full-GC makespan (pause cycles) under the four-barrier pipeline.
+    pub barrier_cycles: u64,
+    /// Same heap and worker count under the work-packet scheduler.
+    pub packets_cycles: u64,
+    /// Packets recorded by the packet run's `gc.sched.*` counters.
+    pub packets: u64,
+    /// Steals recorded by the packet run.
+    pub steals: u64,
+}
+impl_to_json!(PacketScalingRow {
+    workers,
+    barrier_cycles,
+    packets_cycles,
+    packets,
+    steals
+});
+
+/// Packet-scheduler scaling figure: makespan vs worker count, barrier vs
+/// packets, on a skewed heap — the low half is swap-heavy big data
+/// objects with no adjust dependencies, the high half is ref-dense
+/// smalls whose adjust dominates. The barrier pipeline stalls the big
+/// compact work behind the slowest adjust packet; the packet scheduler
+/// flows workers across the bucket boundary.
+pub fn packet_scaling_rows(counts: &[usize]) -> Vec<PacketScalingRow> {
+    use svagc_core::{GcConfig, Lisp2Collector, SchedulerKind};
+    use svagc_heap::{Heap, HeapConfig, HeapVerifier, ObjShape, RootSet};
+    use svagc_kernel::{CoreId, Kernel};
+    use svagc_vmem::{Asid, PAGE_SIZE};
+    const CORE: CoreId = CoreId(0);
+
+    let run = |workers: usize, kind: SchedulerKind| {
+        let heap_bytes: u64 = 96 << 20;
+        let mut k = Kernel::with_bytes(MachineConfig::xeon_gold_6130(), heap_bytes + (8 << 20));
+        let mut h = Heap::new(&mut k, Asid(1), HeapConfig::new(heap_bytes)).unwrap();
+        let mut roots = RootSet::new();
+        let fill = |k: &mut Kernel, h: &mut Heap, shape: ObjShape, seed: u64| {
+            let (obj, _) = h.alloc(k, CORE, shape).unwrap();
+            for i in 0..shape.data_words as u64 {
+                h.write_data(k, CORE, obj, shape.num_refs as u64, i, seed + i).unwrap();
+            }
+            obj
+        };
+        // Low half: rooted 16-page bigs, each followed by doomed filler so
+        // every survivor really slides.
+        for i in 0..24u64 {
+            let big = fill(&mut k, &mut h, ObjShape::data_bytes(16 * PAGE_SIZE), i);
+            roots.push(big);
+            fill(&mut k, &mut h, ObjShape::data_bytes(8 * PAGE_SIZE), 600_000 + i);
+        }
+        // High half: ref-dense smalls cross-linked into a dependency mesh.
+        let ref_shape = ObjShape::with_refs(16, 8);
+        let mut smalls = Vec::new();
+        for i in 0..240u64 {
+            let obj = fill(&mut k, &mut h, ref_shape, i);
+            roots.push(obj);
+            smalls.push(obj);
+            fill(&mut k, &mut h, ObjShape::data(64), 500_000 + i);
+        }
+        for (i, &obj) in smalls.iter().enumerate() {
+            for r in 0..16usize {
+                h.write_ref(&mut k, CORE, obj, r as u64, smalls[(i + r + 1) % smalls.len()])
+                    .unwrap();
+            }
+        }
+        let mut gc = Lisp2Collector::new(GcConfig::svagc(workers).with_scheduler(kind));
+        let stats = gc.collect(&mut k, &mut h, &mut roots).unwrap();
+        let hash = HeapVerifier::new().content_hash(&k, &mut h);
+        (stats, hash)
+    };
+
+    counts
+        .iter()
+        .map(|&n| {
+            let (b, bh) = run(n, svagc_core::SchedulerKind::Barrier);
+            let (p, ph) = run(n, svagc_core::SchedulerKind::Packets);
+            assert_eq!(
+                bh, ph,
+                "schedulers must produce identical heaps at {n} workers"
+            );
+            PacketScalingRow {
+                workers: n,
+                barrier_cycles: b.phases.total().get(),
+                packets_cycles: p.phases.total().get(),
+                packets: p.sched_packets,
+                steals: p.sched_steals,
+            }
+        })
+        .collect()
+}
+
 /// Geometric mean helper for the Table III summary rows.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let (mut log_sum, mut n) = (0.0, 0u32);

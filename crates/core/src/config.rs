@@ -3,6 +3,39 @@
 use crate::degrade::DegradePolicy;
 use crate::resilience::RetryPolicy;
 
+/// Which scheduling substrate drives the parallel LISP2 phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The classic four-phase pipeline: each phase fills a [`crate::WorkerPool`],
+    /// hits a global barrier, and resets.
+    #[default]
+    Barrier,
+    /// Work-packet scheduler ([`crate::packets`]): typed packets in
+    /// dependency-ordered buckets; workers drain packets greedily with
+    /// deterministic least-loaded stealing and flow across bucket
+    /// boundaries wherever the dependency graph allows.
+    Packets,
+}
+
+impl SchedulerKind {
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s {
+            "barrier" => Some(SchedulerKind::Barrier),
+            "packets" => Some(SchedulerKind::Packets),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Barrier => "barrier",
+            SchedulerKind::Packets => "packets",
+        }
+    }
+}
+
 /// Tunables of the LISP2/SVAGC collector.
 #[derive(Debug, Clone, Copy)]
 pub struct GcConfig {
@@ -44,6 +77,14 @@ pub struct GcConfig {
     /// Circuit-breaker policy deciding whether an aborted cycle is
     /// retried in a degraded mode (see [`crate::degrade`]).
     pub degrade: DegradePolicy,
+    /// Scheduling substrate for the parallel phases (barrier pipeline or
+    /// work packets).
+    pub scheduler: SchedulerKind,
+    /// First machine core this collector's workers pin to (worker `w` →
+    /// core `(core_base + w) % cores`). Multi-JVM tenants get disjoint
+    /// bases so their pinned cores — and therefore Tracked-shootdown
+    /// victim sets — never collide.
+    pub core_base: usize,
 }
 
 impl GcConfig {
@@ -62,6 +103,8 @@ impl GcConfig {
             retry: RetryPolicy::default(),
             deadline_cycles: None,
             degrade: DegradePolicy::off(),
+            scheduler: SchedulerKind::Barrier,
+            core_base: 0,
         }
     }
 
@@ -148,6 +191,18 @@ impl GcConfig {
         self.degrade = policy;
         self
     }
+
+    /// Select the scheduling substrate (barrier pipeline or work packets).
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> GcConfig {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Set this collector's core-affinity base (multi-tenant pinning).
+    pub fn with_core_base(mut self, base: usize) -> GcConfig {
+        self.core_base = base;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +242,21 @@ mod tests {
             .with_degrade(DegradePolicy::standard());
         assert_eq!(c.deadline_cycles, Some(1 << 20));
         assert!(c.degrade.enabled);
+    }
+
+    #[test]
+    fn scheduler_defaults_and_parsing() {
+        let s = GcConfig::svagc(4);
+        assert_eq!(s.scheduler, SchedulerKind::Barrier);
+        assert_eq!(s.core_base, 0);
+        let c = s
+            .with_scheduler(SchedulerKind::Packets)
+            .with_core_base(8);
+        assert_eq!(c.scheduler, SchedulerKind::Packets);
+        assert_eq!(c.core_base, 8);
+        assert_eq!(SchedulerKind::parse("packets"), Some(SchedulerKind::Packets));
+        assert_eq!(SchedulerKind::parse("barrier"), Some(SchedulerKind::Barrier));
+        assert_eq!(SchedulerKind::parse("bogus"), None);
+        assert_eq!(SchedulerKind::Packets.name(), "packets");
     }
 }

@@ -94,7 +94,7 @@ impl CompactionJournal {
             let meta = CycleMeta::capture(heap, roots, hash);
             kernel.wal_commit(meta.encode());
         }
-        let _ = kernel.journal_take();
+        kernel.journal_retire();
     }
 
     /// Abort: replay the kernel journal backward, restore the heap index

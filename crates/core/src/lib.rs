@@ -7,6 +7,9 @@
 //! * [`lisp2`] — the four STW phases over real simulated memory.
 //! * [`scheduler`] — deterministic virtual-time model of parallel GC
 //!   workers (work stealing vs static partitioning).
+//! * [`packets`] — the work-packet/work-bucket scheduling substrate
+//!   (`--scheduler packets`): typed packets in dependency-ordered buckets
+//!   with deterministic least-loaded stealing.
 //! * [`stats`] — per-phase and per-cycle accounting behind every figure.
 //! * [`collector`] — the [`Collector`] trait baselines also implement.
 //! * [`applicability`] — Table I as code.
@@ -35,6 +38,7 @@ pub mod error;
 pub mod journal;
 pub mod lisp2;
 pub mod minor;
+pub mod packets;
 pub mod protocol;
 pub mod recovery;
 pub mod resilience;
@@ -43,12 +47,13 @@ pub mod stats;
 pub mod watchdog;
 
 pub use collector::Collector;
-pub use config::GcConfig;
+pub use config::{GcConfig, SchedulerKind};
 pub use degrade::{DegradeController, DegradePolicy, DegradedMode, ModeTransition};
 pub use error::GcError;
 pub use journal::{CompactionJournal, RollbackReport};
 pub use lisp2::Lisp2Collector;
 pub use minor::{full_collect_generational, MinorConfig, MinorGc, MinorStats};
+pub use packets::{PacketKind, PacketScheduler, PacketTicket, SchedStats};
 pub use protocol::{
     check_protocol, mutation_suite, Counterexample, ExploreReport, ModelConfig, Mutation,
 };
@@ -57,6 +62,6 @@ pub use recovery::{
     RecoverySuccess,
 };
 pub use resilience::{execute_swaps, RetryPolicy, SwapOutcome};
-pub use scheduler::WorkerPool;
+pub use scheduler::{Placement, WorkerPool};
 pub use stats::{GcCycleStats, GcLog, PhaseBreakdown};
 pub use watchdog::GcWatchdog;

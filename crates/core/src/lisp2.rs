@@ -18,16 +18,17 @@
 //! makes sliding safe) while cycle costs are attributed to simulated
 //! workers via [`WorkerPool`] — see that module for the model.
 
-use crate::config::GcConfig;
+use crate::config::{GcConfig, SchedulerKind};
 use crate::degrade::DegradeController;
 use crate::error::GcError;
 use crate::journal::CompactionJournal;
+use crate::packets::{chunk_ranges, PacketKind, PacketScheduler, PacketTicket, MARK_CHUNK};
 use crate::resilience::execute_swaps;
 use crate::scheduler::WorkerPool;
 use crate::stats::{GcCycleStats, GcLog};
 use crate::watchdog::GcWatchdog;
 use svagc_heap::{Heap, HeapError, HeapVerifier, MarkBitmap, ObjHeader, ObjRef, RootSet, VerifyReport};
-use svagc_kernel::{CoreId, FlushMode, Kernel, SwapRequest, SwapVaOptions};
+use svagc_kernel::{CoreId, FlushMode, Kernel, SwapBatch, SwapRequest, SwapVaOptions};
 use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{VirtAddr, PAGE_SIZE};
 
@@ -255,10 +256,13 @@ impl Lisp2Collector {
         watchdog: &mut GcWatchdog,
         stats: &mut GcCycleStats,
     ) -> Result<(), GcError> {
+        if self.cfg.scheduler == SchedulerKind::Packets {
+            return self.try_collect_packets(kernel, heap, roots, watchdog, stats);
+        }
         let cycle_start = self.timeline;
         let cores = kernel.cores();
         let threads = self.cfg.gc_threads.min(cores).max(1);
-        let mut pool = WorkerPool::new(threads);
+        let mut pool = WorkerPool::with_core_base(threads, self.cfg.core_base);
         let objects: Vec<ObjRef> = heap.objects_sorted().to_vec();
         let verifier = HeapVerifier::new();
         let faults_before = kernel.perf.swap_faults_injected;
@@ -299,7 +303,7 @@ impl Lisp2Collector {
             .unwrap_or(threads)
             .min(cores)
             .max(1);
-        let mut compact_pool = WorkerPool::new(compact_workers);
+        let mut compact_pool = WorkerPool::with_core_base(compact_workers, self.cfg.core_base);
         // Kernel-side trace events (SwapVA spans, shootdowns, fallbacks)
         // are positioned relative to the tracer base; anchor it where the
         // compact phase begins on the cumulative GC timeline so they nest
@@ -322,15 +326,29 @@ impl Lisp2Collector {
 
         stats.faults_injected = kernel.perf.swap_faults_injected - faults_before;
 
-        // Phase spans on the cumulative GC timeline (tid 0 = the VM/GC
-        // coordinator lane; per-core kernel events carry their own tids).
+        self.emit_phase_spans(kernel, cycle_start, stats, objects.len() as u64);
+        Ok(())
+    }
+
+    /// Emit the cycle's phase spans on the cumulative GC timeline (tid 0 =
+    /// the VM/GC coordinator lane; per-core kernel events carry their own
+    /// tids) and advance the timeline past this cycle. Under the packet
+    /// scheduler the four "phases" are the bucket milestone deltas, so the
+    /// same additive span layout holds.
+    fn emit_phase_spans(
+        &mut self,
+        kernel: &mut Kernel,
+        cycle_start: Cycles,
+        stats: &GcCycleStats,
+        total_objects: u64,
+    ) {
         let mut at = cycle_start;
         kernel.trace.span_abs(
             TraceKind::MarkPhase,
             at,
             stats.phases.mark,
             0,
-            &[("objects", objects.len() as u64)],
+            &[("objects", total_objects)],
         );
         at += stats.phases.mark;
         kernel.trace.span_abs(
@@ -363,6 +381,427 @@ impl Lisp2Collector {
         );
         self.timeline = cycle_start + stats.phases.total();
         kernel.trace.set_base(self.timeline);
+    }
+
+    /// Emit one packet's trace span at its absolute schedule position,
+    /// on the executing core's lane.
+    fn emit_packet(
+        kernel: &mut Kernel,
+        sched: &PacketScheduler,
+        cycle_start: Cycles,
+        ticket: &PacketTicket,
+        cost: Cycles,
+        items: u64,
+    ) {
+        sched.emit_span(&mut kernel.trace, cycle_start, ticket, cost, items);
+    }
+
+    /// One collection attempt under the **work-packet scheduler**
+    /// (`--scheduler packets`).
+    ///
+    /// Functional effects still execute host-sequentially in heap order —
+    /// exactly the same heap mutations as the barrier path — but *time*
+    /// is scheduled as typed packets in dependency-ordered buckets:
+    ///
+    /// * **mark-roots** → **mark-chunk**: a chunk is ready when the
+    ///   packets that discovered its objects complete.
+    /// * **forward-range**: ranges are mutually independent once marking
+    ///   is done (the destination cursor is a prefix sum of live sizes a
+    ///   real implementation computes in a cheap size-scan pass; see
+    ///   DESIGN.md §13), so every range is ready at the mark milestone.
+    /// * **adjust-range / adjust-roots**: ready at the forward milestone.
+    /// * **compact-batch**: ready when (a) forwarding is done and (b)
+    ///   every adjust packet that touched the batch's region — fields it
+    ///   copies, forwarding words it swaps away or overwrites — has
+    ///   completed. Workers that finish adjusting early therefore flow
+    ///   straight into compaction while the slowest adjust packet is
+    ///   still running — the overlap the four global barriers forbid.
+    ///
+    /// Compaction always uses access-tracked shootdowns here: buckets
+    /// overlap in virtual time, so another worker may still be adjusting
+    /// (and translating) while a batch swaps PTEs; `FlushMode::Tracked`
+    /// IPIs exactly the cores holding the ASID, which stays confined to
+    /// this collector's pinned workers.
+    fn try_collect_packets(
+        &mut self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        roots: &mut RootSet,
+        watchdog: &mut GcWatchdog,
+        stats: &mut GcCycleStats,
+    ) -> Result<(), GcError> {
+        let cycle_start = self.timeline;
+        let cores = kernel.cores();
+        let threads = self.cfg.gc_threads.min(cores).max(1);
+        let peers = (cores as u64 - 1).max(1);
+        let mut sched = PacketScheduler::new(threads, cores, self.cfg.core_base);
+        let objects: Vec<ObjRef> = heap.objects_sorted().to_vec();
+        let verifier = HeapVerifier::new();
+        let faults_before = kernel.perf.swap_faults_injected;
+
+        // ---- Bucket 1: mark ------------------------------------------
+        let mut bitmap = MarkBitmap::new(heap.base(), heap.extent_words());
+        // Each stack entry carries its discovery time: the completion of
+        // the packet that found it.
+        let mut stack: Vec<(ObjRef, Cycles)> = Vec::new();
+        let mut t_mark;
+        {
+            // Root scanning is uncosted in the barrier path too; the
+            // packet is the ordering point stamping the roots' discovery.
+            let ticket = sched.begin(PacketKind::MarkRoots, Cycles::ZERO);
+            let done = sched.finish(ticket, Cycles::ZERO);
+            let mut seeded = 0u64;
+            for r in roots.iter_live() {
+                if heap.contains(r.0) && bitmap.mark(r.header_va()) {
+                    stack.push((r, done));
+                    seeded += 1;
+                }
+            }
+            Self::emit_packet(kernel, &sched, cycle_start, &ticket, Cycles::ZERO, seeded);
+            t_mark = done;
+        }
+        while !stack.is_empty() {
+            let take = stack.len().min(MARK_CHUNK);
+            let chunk: Vec<(ObjRef, Cycles)> = stack.split_off(stack.len() - take);
+            let ready = chunk
+                .iter()
+                .map(|&(_, d)| d)
+                .fold(Cycles::ZERO, Cycles::max);
+            let ticket = sched.begin(PacketKind::MarkChunk, ready);
+            let core = sched.core(&ticket);
+            let mut t = Cycles::ZERO;
+            let mut discovered: Vec<ObjRef> = Vec::new();
+            for &(obj, _) in &chunk {
+                let (hdr, ht) = heap.read_header(kernel, core, obj)?;
+                t += ht;
+                for i in 0..hdr.num_refs as u64 {
+                    let (tgt, tc) = heap.read_ref(kernel, core, obj, i)?;
+                    t += tc;
+                    if !tgt.is_null() && heap.contains(tgt.0) && bitmap.mark(tgt.header_va()) {
+                        discovered.push(tgt);
+                    }
+                }
+            }
+            let done = sched.finish(ticket, t);
+            Self::emit_packet(kernel, &sched, cycle_start, &ticket, t, take as u64);
+            for d in discovered {
+                stack.push((d, done));
+            }
+            t_mark = t_mark.max(done);
+        }
+        stats.phases.mark = t_mark;
+        watchdog.check("mark", stats.phases.mark)?;
+        if self.cfg.verify_phases {
+            Self::require_clean(verifier.verify_marks(kernel, heap, &bitmap, roots), stats)?;
+        }
+
+        // ---- Bucket 2: forward ---------------------------------------
+        let mut comp_pnt = heap.base();
+        let mut moves: Vec<PlannedMove> = Vec::new();
+        let mut t_fwd = t_mark;
+        for (s, e) in chunk_ranges(objects.len(), threads) {
+            let ticket = sched.begin(PacketKind::ForwardRange, t_mark);
+            let core = sched.core(&ticket);
+            let mut t = Cycles::ZERO;
+            for &obj in &objects[s..e] {
+                let (hdr, ht) = heap.read_header(kernel, core, obj)?;
+                t += ht;
+                if bitmap.is_marked(obj.header_va()) {
+                    if hdr.is_large() {
+                        comp_pnt = comp_pnt.align_up();
+                    }
+                    let dst = ObjRef(comp_pnt);
+                    comp_pnt = comp_pnt + hdr.size_bytes();
+                    if hdr.is_large() {
+                        comp_pnt = comp_pnt.align_up();
+                    }
+                    t += kernel.write_word(heap.space(), core, obj.forwarding_va(), dst.0.get())?;
+                    stats.live_bytes += hdr.size_bytes();
+                    moves.push(PlannedMove {
+                        src: obj,
+                        dst,
+                        header: hdr,
+                    });
+                }
+            }
+            let done = sched.finish(ticket, t);
+            Self::emit_packet(kernel, &sched, cycle_start, &ticket, t, (e - s) as u64);
+            t_fwd = t_fwd.max(done);
+        }
+        let new_top = comp_pnt;
+        stats.phases.forward = Cycles(t_fwd.get().saturating_sub(t_mark.get()));
+        watchdog.check("forward", stats.phases.forward)?;
+        if self.cfg.verify_phases {
+            Self::require_clean(verifier.verify_forwarding(kernel, heap, &bitmap), stats)?;
+        }
+
+        // ---- Compact-batch partition (needed before adjust: conflict
+        // tracking maps every adjust access to the batch it constrains) --
+        let batch_bounds = chunk_ranges(moves.len(), threads);
+        let n_batches = batch_bounds.len();
+        // Destination span of each batch: [first dst, last dst + size).
+        let dst_spans: Vec<(u64, u64)> = batch_bounds
+            .iter()
+            .map(|&(s, e)| {
+                let last = &moves[e - 1];
+                (moves[s].dst.0.get(), last.dst.0.get() + last.header.size_bytes())
+            })
+            .collect();
+        // Move index -> owning batch.
+        let mut batch_of_move = vec![0usize; moves.len()];
+        for (bi, &(s, e)) in batch_bounds.iter().enumerate() {
+            for b in batch_of_move.iter_mut().take(e).skip(s) {
+                *b = bi;
+            }
+        }
+        // The batch whose destination range covers `va` (the one that will
+        // overwrite it), if any.
+        let dst_batch_covering = |va: u64| -> Option<usize> {
+            let i = dst_spans.partition_point(|&(lo, _)| lo <= va);
+            if i == 0 {
+                return None;
+            }
+            let bi = i - 1;
+            (va < dst_spans[bi].1).then_some(bi)
+        };
+        // The move whose source object sits at `src` (moves are in
+        // ascending source order), if any.
+        let move_at = |src: VirtAddr| -> Option<usize> {
+            moves.binary_search_by(|m| m.src.0.cmp(&src)).ok()
+        };
+
+        // ---- Bucket 3: adjust ----------------------------------------
+        // `batch_ready[b]` accumulates the completion of every adjust
+        // packet whose accesses land in batch b's way.
+        let mut batch_ready: Vec<Cycles> = vec![Cycles::ZERO; n_batches];
+        let mut t_adj = t_fwd;
+        let fold = |conflicts: &[usize], done: Cycles, ready: &mut [Cycles]| {
+            for &b in conflicts {
+                ready[b] = ready[b].max(done);
+            }
+        };
+        for (s, e) in chunk_ranges(moves.len(), threads) {
+            let ticket = sched.begin(PacketKind::AdjustRange, t_fwd);
+            let core = sched.core(&ticket);
+            let mut t = Cycles::ZERO;
+            let mut conflicts: Vec<usize> = Vec::new();
+            for (idx, m) in moves.iter().enumerate().take(e).skip(s) {
+                if m.header.num_refs == 0 {
+                    continue;
+                }
+                // Field writes at the object's source: its batch must not
+                // copy the data before they land.
+                conflicts.push(batch_of_move[idx]);
+                for i in 0..m.header.num_refs as u64 {
+                    let (tgt, tc) = heap.read_ref(kernel, core, m.src, i)?;
+                    t += tc;
+                    if tgt.is_null() || !heap.contains(tgt.0) {
+                        continue;
+                    }
+                    let (fwd, fc) = kernel.read_word(heap.space(), core, tgt.forwarding_va())?;
+                    t += fc;
+                    t += heap.write_ref(kernel, core, m.src, i, ObjRef(VirtAddr(fwd)))?;
+                    // The forwarding word lives at the target's *old*
+                    // address: the target's own batch swaps it away, and
+                    // the batch whose destinations cover it overwrites it.
+                    if let Some(ti) = move_at(tgt.0) {
+                        conflicts.push(batch_of_move[ti]);
+                    }
+                    if let Some(b) = dst_batch_covering(tgt.forwarding_va().get()) {
+                        conflicts.push(b);
+                    }
+                }
+            }
+            let done = sched.finish(ticket, t);
+            Self::emit_packet(kernel, &sched, cycle_start, &ticket, t, (e - s) as u64);
+            fold(&conflicts, done, &mut batch_ready);
+            t_adj = t_adj.max(done);
+        }
+        {
+            // Root slots: one packet for the VM thread's scan.
+            let ticket = sched.begin(PacketKind::AdjustRoots, t_fwd);
+            let core = sched.core(&ticket);
+            let mut t = Cycles::ZERO;
+            let mut conflicts: Vec<usize> = Vec::new();
+            let mut slots = 0u64;
+            for slot in roots.slots_mut() {
+                if slot.is_null() || !heap.contains(slot.0) {
+                    continue;
+                }
+                let (fwd, fc) = kernel.read_word(heap.space(), core, slot.forwarding_va())?;
+                t += fc;
+                if let Some(ti) = move_at(slot.0) {
+                    conflicts.push(batch_of_move[ti]);
+                }
+                if let Some(b) = dst_batch_covering(slot.forwarding_va().get()) {
+                    conflicts.push(b);
+                }
+                *slot = ObjRef(VirtAddr(fwd));
+                slots += 1;
+            }
+            let done = sched.finish(ticket, t);
+            Self::emit_packet(kernel, &sched, cycle_start, &ticket, t, slots);
+            fold(&conflicts, done, &mut batch_ready);
+            t_adj = t_adj.max(done);
+        }
+        stats.phases.adjust = Cycles(t_adj.get().saturating_sub(t_fwd.get()));
+        watchdog.check("adjust", stats.phases.adjust)?;
+        if self.cfg.verify_phases {
+            Self::require_clean(verifier.verify_forwarding(kernel, heap, &bitmap), stats)?;
+        }
+
+        // ---- Bucket 4: compact ---------------------------------------
+        let threshold_bytes = heap.threshold_pages() * PAGE_SIZE;
+        // Buckets overlap in virtual time, so a batch's PTE swaps can race
+        // other workers' cached translations: always shoot down by access
+        // tracking (IPIs reach exactly the ASID holders — this collector's
+        // pinned workers, never other tenants' cores).
+        let flush_mode = if !self.cfg.pinned_compaction {
+            FlushMode::GlobalBroadcast
+        } else {
+            FlushMode::Tracked
+        };
+        let swap_opts = SwapVaOptions {
+            pmd_cache: self.cfg.pmd_cache,
+            overlap_opt: self.cfg.overlap_opt,
+            flush: flush_mode,
+        };
+        let any_swaps = self.cfg.use_swapva
+            && moves.iter().any(|m| {
+                m.src != m.dst
+                    && m.header.size_bytes() >= threshold_bytes
+                    && m.src.0.is_page_aligned()
+                    && m.dst.0.is_page_aligned()
+            });
+
+        if self.cfg.pinned_compaction && any_swaps {
+            // Algorithm 4 prologue, positioned at the adjust milestone on
+            // the trace (its cost is shootdown overhead, not worker time).
+            kernel.trace.set_base(cycle_start + t_adj);
+            let asid = heap.space().asid();
+            let pin_cost = kernel.pin(sched.pool().core_of(0, cores));
+            let (bcast, intf) = kernel.flush_asid_all_cores(sched.pool().core_of(0, cores), asid);
+            stats.phases.shootdown += pin_cost + bcast;
+            stats.interference += intf.0;
+            if let Some(point) = kernel.crashed() {
+                return Err(GcError::Crashed { point });
+            }
+        }
+
+        // Intra-bucket sliding safety is the same assumption the barrier
+        // compactor already makes for its parallel movers (ascending-order
+        // claiming, per the paper's parallel LISP2); what the packet edges
+        // add is the *finer cross-bucket* constraint — a batch may not run
+        // until every adjust packet that read or wrote its region is done —
+        // which is exactly the hazard the barrier scheduler could only
+        // express as a global phase barrier.
+        let mut t_end = t_adj;
+        for (bi, &(s, e)) in batch_bounds.iter().enumerate() {
+            let ready = batch_ready[bi].max(t_fwd);
+            let ticket = sched.begin(PacketKind::CompactBatch, ready);
+            let core = sched.core(&ticket);
+            let pkt_base = cycle_start + ticket.placement.start;
+            let mut t = Cycles::ZERO;
+            let mut intf_total = Cycles::ZERO;
+            let mut batch = SwapBatch::new(
+                self.cfg.aggregation.unwrap_or(1),
+                8 * heap.threshold_pages().max(1),
+            );
+            for m in &moves[s..e] {
+                kernel.trace.set_base(pkt_base + t);
+                let (_, fc) = kernel.read_word(heap.space(), core, m.src.forwarding_va())?;
+                t += fc;
+                kernel.trace.advance(fc);
+                let size = m.header.size_bytes();
+                if m.src != m.dst {
+                    let pages = size.div_ceil(PAGE_SIZE);
+                    let swappable = self.cfg.use_swapva
+                        && pages >= heap.threshold_pages()
+                        && m.src.0.is_page_aligned()
+                        && m.dst.0.is_page_aligned()
+                        && size >= threshold_bytes;
+                    let overlap_unsupported = !self.cfg.overlap_opt
+                        && m.src.0.get().abs_diff(m.dst.0.get()) < pages * PAGE_SIZE;
+                    if swappable && !overlap_unsupported {
+                        let req = SwapRequest {
+                            a: m.src.0,
+                            b: m.dst.0,
+                            pages,
+                        };
+                        stats.swapped_objects += 1;
+                        stats.swapped_bytes += size;
+                        if batch.push(req, size) {
+                            let (c, intf) =
+                                self.flush_batch(kernel, heap, &mut batch, swap_opts, core, stats)?;
+                            t += c;
+                            intf_total += intf;
+                            watchdog.check("compact", t)?;
+                        }
+                    } else {
+                        let (c, intf) =
+                            self.flush_batch(kernel, heap, &mut batch, swap_opts, core, stats)?;
+                        t += c;
+                        intf_total += intf;
+                        watchdog.check("compact", t)?;
+                        t += kernel.memmove(heap.space(), core, m.src.0, m.dst.0, size)?;
+                        stats.memmove_bytes += size;
+                    }
+                    stats.moved_objects += 1;
+                    kernel.perf.objects_moved += 1;
+                }
+            }
+            if !batch.is_empty() {
+                let (c, intf) = self.flush_batch(kernel, heap, &mut batch, swap_opts, core, stats)?;
+                t += c;
+                intf_total += intf;
+            }
+            // This packet owns its destinations' forwarding-word clears:
+            // no later batch reads below its own destination cursor, so
+            // the clears need no cross-batch barrier.
+            for m in &moves[s..e] {
+                t += kernel.write_word(heap.space(), core, m.dst.forwarding_va(), 0)?;
+            }
+            let done = sched.finish(ticket, t);
+            Self::emit_packet(kernel, &sched, cycle_start, &ticket, t, (e - s) as u64);
+            if intf_total.get() > 0 {
+                // Tracked IPIs stall the other pinned workers.
+                sched.charge_all(intf_total / peers);
+            }
+            t_end = t_end.max(done);
+        }
+        t_end = t_end.max(sched.makespan());
+
+        if self.cfg.pinned_compaction && any_swaps {
+            // Algorithm 4 epilogue.
+            kernel.trace.set_base(cycle_start + t_end);
+            let asid = heap.space().asid();
+            let (bcast, intf) = kernel.flush_asid_all_cores(sched.pool().core_of(0, cores), asid);
+            let unpin = kernel.unpin();
+            stats.phases.shootdown += bcast + unpin;
+            stats.interference += intf.0;
+            if let Some(point) = kernel.crashed() {
+                return Err(GcError::Crashed { point });
+            }
+        }
+        kernel.perf.objects_swapped += stats.swapped_objects;
+        kernel.perf.gc_cycles += 1;
+        stats.phases.compact = Cycles(t_end.get().saturating_sub(t_adj.get()));
+        watchdog.check("compact", stats.phases.compact)?;
+
+        // Publish the new heap layout.
+        let survivors: Vec<ObjRef> = moves.iter().map(|m| m.dst).collect();
+        stats.live_objects = survivors.len() as u64;
+        stats.dead_objects = objects.len() as u64 - survivors.len() as u64;
+        heap.complete_gc(survivors, new_top);
+        if self.cfg.verify_phases {
+            Self::require_clean(verifier.verify_post_compact(kernel, heap, roots), stats)?;
+        }
+        stats.faults_injected = kernel.perf.swap_faults_injected - faults_before;
+        stats.sched_packets = sched.stats.packets;
+        stats.sched_steals = sched.stats.steals;
+        stats.sched_steal_cycles = sched.stats.steal_cycles;
+
+        self.emit_phase_spans(kernel, cycle_start, stats, objects.len() as u64);
         Ok(())
     }
 
@@ -395,6 +834,9 @@ impl Lisp2Collector {
             }
         }
         while let Some(obj) = stack.pop() {
+            // rr-cursor audit: `pool` is freshly constructed in
+            // `try_collect` before this phase, so the static cursor starts
+            // at 0 and the schedule is a pure function of the mark order.
             let w = if self.cfg.work_stealing {
                 pool.least_loaded()
             } else {
@@ -430,6 +872,9 @@ impl Lisp2Collector {
         let mut comp_pnt = heap.base();
         let mut moves = Vec::new();
         for &obj in objects {
+            // rr-cursor audit: `try_collect` calls `pool.reset()` right
+            // before this phase, rewinding the static cursor — assignment
+            // depends only on this phase's own item sequence.
             let w = if self.cfg.work_stealing {
                 pool.least_loaded()
             } else {
@@ -480,6 +925,9 @@ impl Lisp2Collector {
             if m.header.num_refs == 0 {
                 continue;
             }
+            // rr-cursor audit: `try_collect` calls `pool.reset()` right
+            // before this phase (see above) — no cursor leaks in from the
+            // forward phase's item count.
             let w = if self.cfg.work_stealing {
                 pool.least_loaded()
             } else {
@@ -577,17 +1025,18 @@ impl Lisp2Collector {
 
         // Aggregation buffer: a run of consecutive swap-eligible moves,
         // flushed as one syscall (Fig. 5b). Any intervening memmove flushes
-        // it first to preserve ascending-order safety. Aggregation exists
-        // to amortize syscall entry across *small* requests; a page budget
-        // keeps batches from serializing big-object moves onto one worker.
-        // Each entry carries the object's true byte size alongside its
-        // request, so a memmove fallback can be re-attributed in the stats.
-        let mut batch: Vec<(SwapRequest, u64)> = Vec::new();
-        let mut batch_pages = 0u64;
-        let batch_cap = self.cfg.aggregation.unwrap_or(1).max(1);
-        let batch_page_budget = 8 * heap.threshold_pages().max(1);
+        // it first to preserve ascending-order safety. The cap/page-budget
+        // policy lives in [`SwapBatch`], shared with the packet scheduler's
+        // per-packet batches.
+        let mut batch = SwapBatch::new(
+            self.cfg.aggregation.unwrap_or(1),
+            8 * heap.threshold_pages().max(1),
+        );
 
         for m in moves {
+            // rr-cursor audit: the compact phase runs on a *fresh*
+            // `compact_pool` (its worker count may differ from the other
+            // phases'), so the static cursor necessarily starts at 0.
             let w = if self.cfg.work_stealing {
                 pool.least_loaded()
             } else {
@@ -622,14 +1071,11 @@ impl Lisp2Collector {
                     };
                     stats.swapped_objects += 1;
                     stats.swapped_bytes += size;
-                    batch.push((req, size));
-                    batch_pages += pages;
-                    if batch.len() >= batch_cap || batch_pages >= batch_page_budget {
+                    if batch.push(req, size) {
                         let (c, intf) =
                             self.flush_batch(kernel, heap, &mut batch, swap_opts, core, stats)?;
                         t += c;
                         stall_coworkers(pool, kernel, intf);
-                        batch_pages = 0;
                         // Mid-phase deadline check: the watchdog can abort
                         // a runaway compaction between batches, not only
                         // at phase barriers.
@@ -641,7 +1087,6 @@ impl Lisp2Collector {
                         self.flush_batch(kernel, heap, &mut batch, swap_opts, core, stats)?;
                     t += c;
                     stall_coworkers(pool, kernel, intf);
-                    batch_pages = 0;
                     watchdog.check("compact", pool.makespan() + t)?;
                     t += kernel.memmove(heap.space(), core, m.src.0, m.dst.0, size)?;
                     stats.memmove_bytes += size;
@@ -710,7 +1155,7 @@ impl Lisp2Collector {
         &self,
         kernel: &mut Kernel,
         heap: &mut Heap,
-        batch: &mut Vec<(SwapRequest, u64)>,
+        batch: &mut SwapBatch,
         opts: SwapVaOptions,
         core: svagc_kernel::CoreId,
         stats: &mut GcCycleStats,
@@ -718,7 +1163,8 @@ impl Lisp2Collector {
         if batch.is_empty() {
             return Ok((Cycles::ZERO, Cycles::ZERO));
         }
-        let reqs: Vec<SwapRequest> = batch.iter().map(|(r, _)| *r).collect();
+        let entries = batch.take();
+        let reqs: Vec<SwapRequest> = entries.iter().map(|(r, _)| *r).collect();
         kernel.trace.instant(
             TraceKind::BatchFlush,
             Cycles::ZERO,
@@ -745,7 +1191,7 @@ impl Lisp2Collector {
             // executor guarantees distinct ascending indices, so each entry
             // is rebooked at most once; saturate anyway so a miscount can
             // never escalate into a debug-build panic mid-collection.
-            let size = batch[i].1;
+            let size = entries[i].1;
             stats.swapped_objects = stats.swapped_objects.saturating_sub(1);
             stats.swapped_bytes = stats.swapped_bytes.saturating_sub(size);
             stats.memmove_bytes += size;
@@ -753,7 +1199,6 @@ impl Lisp2Collector {
             stats.swap_fallback_bytes += size;
         }
         stats.interference += out.interference;
-        batch.clear();
         Ok((out.cycles, out.interference))
     }
 }

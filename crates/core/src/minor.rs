@@ -19,14 +19,16 @@
 //!    memmove. Then reset eden; the remembered set is clean by
 //!    construction (no young objects remain).
 
+use crate::config::SchedulerKind;
 use crate::degrade::{DegradeController, DegradePolicy};
 use crate::error::GcError;
 use crate::journal::CompactionJournal;
+use crate::packets::{chunk_ranges, PacketKind, PacketScheduler, PacketTicket, MARK_CHUNK};
 use crate::resilience::{execute_swaps, RetryPolicy};
 use crate::scheduler::WorkerPool;
 use crate::watchdog::GcWatchdog;
 use svagc_heap::{GenHeap, HeapError, MarkBitmap, ObjRef, RootSet, CARD_BYTES};
-use svagc_kernel::{CoreId, FlushMode, Kernel, SwapRequest, SwapVaOptions};
+use svagc_kernel::{CoreId, FlushMode, Kernel, SwapBatch, SwapRequest, SwapVaOptions};
 use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{VirtAddr, PAGE_SIZE};
 
@@ -47,6 +49,12 @@ pub struct MinorConfig {
     pub deadline_cycles: Option<u64>,
     /// Degraded-mode circuit-breaker policy for aborted scavenges.
     pub degrade: DegradePolicy,
+    /// Scheduling substrate for the scavenge phases (barrier pipeline or
+    /// work packets).
+    pub scheduler: SchedulerKind,
+    /// First machine core this scavenger's workers pin to (multi-tenant
+    /// affinity; see [`crate::GcConfig::core_base`]).
+    pub core_base: usize,
 }
 
 impl MinorConfig {
@@ -60,6 +68,8 @@ impl MinorConfig {
             retry: RetryPolicy::default(),
             deadline_cycles: None,
             degrade: DegradePolicy::off(),
+            scheduler: SchedulerKind::Barrier,
+            core_base: 0,
         }
     }
 
@@ -70,6 +80,18 @@ impl MinorConfig {
             aggregation: None,
             ..MinorConfig::svagc(gc_threads)
         }
+    }
+
+    /// Select the scheduling substrate.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> MinorConfig {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Set the core-affinity base.
+    pub fn with_core_base(mut self, base: usize) -> MinorConfig {
+        self.core_base = base;
+        self
     }
 }
 
@@ -252,13 +274,16 @@ impl MinorGc {
         roots: &mut RootSet,
         watchdog: &mut GcWatchdog,
     ) -> Result<MinorStats, GcError> {
+        if self.cfg.scheduler == SchedulerKind::Packets {
+            return self.try_collect_packets(kernel, gh, roots, watchdog);
+        }
         let mut stats = MinorStats::default();
         // Anchor of this scavenge on the cumulative GC trace timeline
         // (kernel emissions below advance the base as they consume cycles).
         let trace_start = kernel.trace.base();
         let cores = kernel.cores();
         let threads = self.cfg.gc_threads.min(cores).max(1);
-        let mut pool = WorkerPool::new(threads);
+        let mut pool = WorkerPool::with_core_base(threads, self.cfg.core_base);
         let (eden_base, eden_end) = gh.eden_range();
         let eden_words = (eden_end - eden_base) / 8;
         let mut bitmap = MarkBitmap::new(eden_base, eden_words);
@@ -588,6 +613,456 @@ impl MinorGc {
         kernel.perf.objects_moved += stats.promoted_objects;
         kernel.perf.objects_swapped += stats.swapped_objects;
         Ok(stats)
+    }
+
+    /// One scavenge attempt under the **work-packet scheduler**
+    /// (`--scheduler packets`). Functional effects run in the same host
+    /// order as the barrier path — only time attribution and core choice
+    /// differ — with the scavenge decomposed into [`PacketKind::MinorChunk`]
+    /// packets: card-scan and trace chunks stamped with discovery-time
+    /// dependencies, forward/adjust range chunks at bucket milestones, and
+    /// promotion batches that start as soon as every adjust packet that
+    /// read their forwarding words has completed.
+    fn try_collect_packets(
+        &mut self,
+        kernel: &mut Kernel,
+        gh: &mut GenHeap,
+        roots: &mut RootSet,
+        watchdog: &mut GcWatchdog,
+    ) -> Result<MinorStats, GcError> {
+        let mut stats = MinorStats::default();
+        let trace_start = kernel.trace.base();
+        let cores = kernel.cores();
+        let threads = self.cfg.gc_threads.min(cores).max(1);
+        let mut sched = PacketScheduler::new(threads, cores, self.cfg.core_base);
+        let (eden_base, eden_end) = gh.eden_range();
+        let eden_words = (eden_end - eden_base) / 8;
+        let mut bitmap = MarkBitmap::new(eden_base, eden_words);
+
+        // ---- Bucket 1: young roots, card scan, trace -----------------
+        let mut old_slots: Vec<(ObjRef, u64)> = Vec::new();
+        let mut stack: Vec<(ObjRef, Cycles)> = Vec::new();
+        let mut t_trace;
+        {
+            let ticket = sched.begin(PacketKind::MarkRoots, Cycles::ZERO);
+            let done = sched.finish(ticket, Cycles::ZERO);
+            let mut seeded = 0u64;
+            for r in roots.iter_live() {
+                if gh.in_young(r.0) && bitmap.mark(r.header_va()) {
+                    stack.push((r, done));
+                    seeded += 1;
+                }
+            }
+            sched.emit_span(&mut kernel.trace, trace_start, &ticket, Cycles::ZERO, seeded);
+            t_trace = done;
+        }
+        // Card scan in chunks of [`MARK_CHUNK`] inspected old objects, all
+        // ready immediately (dirty cards are mutually independent).
+        let dirty: Vec<VirtAddr> = gh.cards.iter_dirty().collect();
+        stats.scanned_cards = dirty.len() as u64;
+        let old_objects: Vec<ObjRef> = gh.old.objects_sorted().to_vec();
+        let mut scanned_upto = 0usize;
+        // The open card-scan packet: ticket, accumulated cost, item count;
+        // `found` holds young objects it discovered, stamped at its finish.
+        let mut open: Option<(PacketTicket, Cycles, u64)> = None;
+        let mut found: Vec<ObjRef> = Vec::new();
+        for card in dirty {
+            let card_end = card + CARD_BYTES;
+            let start_idx = old_objects
+                .partition_point(|o| o.0 <= card)
+                .saturating_sub(1)
+                .max(scanned_upto);
+            for (idx, &obj) in old_objects.iter().enumerate().skip(start_idx) {
+                if obj.0 >= card_end {
+                    break;
+                }
+                scanned_upto = idx + 1;
+                stats.scanned_objects += 1;
+                let (ticket, mut t, mut items) = open.take().unwrap_or_else(|| {
+                    (
+                        sched.begin(PacketKind::MinorChunk, Cycles::ZERO),
+                        Cycles::ZERO,
+                        0,
+                    )
+                });
+                let core = sched.core(&ticket);
+                let (hdr, ht) = gh.old.read_header(kernel, core, obj)?;
+                t += ht;
+                for i in 0..hdr.num_refs as u64 {
+                    let (tgt, tc) = gh.old.read_ref(kernel, core, obj, i)?;
+                    t += tc;
+                    if !tgt.is_null() && gh.in_young(tgt.0) {
+                        old_slots.push((obj, i));
+                        if bitmap.mark(tgt.header_va()) {
+                            found.push(tgt);
+                        }
+                    }
+                }
+                items += 1;
+                if items as usize >= MARK_CHUNK {
+                    let done = sched.finish(ticket, t);
+                    sched.emit_span(&mut kernel.trace, trace_start, &ticket, t, items);
+                    for f in found.drain(..) {
+                        stack.push((f, done));
+                    }
+                    t_trace = t_trace.max(done);
+                } else {
+                    open = Some((ticket, t, items));
+                }
+            }
+        }
+        if let Some((ticket, t, items)) = open.take() {
+            let done = sched.finish(ticket, t);
+            sched.emit_span(&mut kernel.trace, trace_start, &ticket, t, items);
+            for f in found.drain(..) {
+                stack.push((f, done));
+            }
+            t_trace = t_trace.max(done);
+        }
+        // Trace the young subgraph; each chunk is ready when the packets
+        // that discovered its objects complete.
+        while !stack.is_empty() {
+            let take = stack.len().min(MARK_CHUNK);
+            let chunk: Vec<(ObjRef, Cycles)> = stack.split_off(stack.len() - take);
+            let ready = chunk
+                .iter()
+                .map(|&(_, d)| d)
+                .fold(Cycles::ZERO, Cycles::max);
+            let ticket = sched.begin(PacketKind::MinorChunk, ready);
+            let core = sched.core(&ticket);
+            let mut t = Cycles::ZERO;
+            let mut discovered: Vec<ObjRef> = Vec::new();
+            for &(obj, _) in &chunk {
+                let (hdr, ht) = gh.old.read_header(kernel, core, obj)?;
+                t += ht;
+                for i in 0..hdr.num_refs as u64 {
+                    let (tgt, tc) = gh.old.read_ref(kernel, core, obj, i)?;
+                    t += tc;
+                    if !tgt.is_null() && gh.in_young(tgt.0) && bitmap.mark(tgt.header_va()) {
+                        discovered.push(tgt);
+                    }
+                }
+            }
+            let done = sched.finish(ticket, t);
+            sched.emit_span(&mut kernel.trace, trace_start, &ticket, t, take as u64);
+            for d in discovered {
+                stack.push((d, done));
+            }
+            t_trace = t_trace.max(done);
+        }
+        watchdog.check("minor-trace", t_trace)?;
+
+        // ---- Bucket 2: forward (promotion addresses) -----------------
+        struct Promo {
+            src: ObjRef,
+            dst: ObjRef,
+            size: u64,
+            large: bool,
+        }
+        let young: Vec<ObjRef> = gh.young_objects().to_vec();
+        let mut survivors: Vec<(ObjRef, svagc_heap::ObjShape, bool)> = Vec::new();
+        let mut demand = 0u64;
+        let mut large_count = 0u64;
+        let mut t_shape = t_trace;
+        for (s, e) in chunk_ranges(young.len(), threads) {
+            let ticket = sched.begin(PacketKind::MinorChunk, t_trace);
+            let core = sched.core(&ticket);
+            let mut t = Cycles::ZERO;
+            for &obj in &young[s..e] {
+                if !bitmap.is_marked(obj.header_va()) {
+                    stats.dead_young += 1;
+                    continue;
+                }
+                let (hdr, ht) = gh.old.read_header(kernel, core, obj)?;
+                t += ht;
+                let shape = svagc_heap::ObjShape::with_refs(
+                    hdr.num_refs,
+                    hdr.size_words - 2 - hdr.num_refs,
+                );
+                demand += hdr.size_bytes();
+                if hdr.is_large() {
+                    large_count += 1;
+                }
+                survivors.push((obj, shape, hdr.is_large()));
+            }
+            let done = sched.finish(ticket, t);
+            sched.emit_span(&mut kernel.trace, trace_start, &ticket, t, (e - s) as u64);
+            t_shape = t_shape.max(done);
+        }
+        if demand + (2 * large_count + 1) * PAGE_SIZE > gh.old.free_bytes() {
+            return Err(GcError::Heap(HeapError::NeedGc { requested: demand }));
+        }
+        // Destination assignment: the cursor is a prefix sum over survivor
+        // sizes (DESIGN.md §13), so ranges only need the shape milestone.
+        let mut promos: Vec<Promo> = Vec::new();
+        let mut t_fwd = t_shape;
+        for (s, e) in chunk_ranges(survivors.len(), threads) {
+            let ticket = sched.begin(PacketKind::MinorChunk, t_shape);
+            let core = sched.core(&ticket);
+            let mut t = Cycles::ZERO;
+            for &(obj, shape, large) in &survivors[s..e] {
+                let dst = gh.old.adopt_at_top(shape)?;
+                t += kernel.write_word(gh.old.space(), core, obj.forwarding_va(), dst.0.get())?;
+                stats.promoted_bytes += shape.size_bytes();
+                promos.push(Promo {
+                    src: obj,
+                    dst,
+                    size: shape.size_bytes(),
+                    large,
+                });
+            }
+            let done = sched.finish(ticket, t);
+            sched.emit_span(&mut kernel.trace, trace_start, &ticket, t, (e - s) as u64);
+            t_fwd = t_fwd.max(done);
+        }
+        stats.promoted_objects = promos.len() as u64;
+        watchdog.check("minor-forward", t_fwd)?;
+
+        // ---- Bucket 3: adjust ----------------------------------------
+        // Promotion-batch partition, computed now so every adjust access
+        // to a forwarding word records the batch it constrains.
+        let batch_bounds = chunk_ranges(promos.len(), threads);
+        let mut batch_ready: Vec<Cycles> = vec![Cycles::ZERO; batch_bounds.len()];
+        let mut batch_of_promo = vec![0usize; promos.len()];
+        for (bi, &(s, e)) in batch_bounds.iter().enumerate() {
+            for b in batch_of_promo.iter_mut().take(e).skip(s) {
+                *b = bi;
+            }
+        }
+        // Promos are in ascending source (eden) order by construction.
+        let promo_batch_of = |src: ObjRef| -> Option<usize> {
+            promos
+                .binary_search_by(|p| p.src.0.cmp(&src.0))
+                .ok()
+                .map(|i| batch_of_promo[i])
+        };
+        let fold = |conflicts: &[usize], done: Cycles, ready: &mut [Cycles]| {
+            for &b in conflicts {
+                ready[b] = ready[b].max(done);
+            }
+        };
+        let mut t_adj = t_fwd;
+        {
+            // Root slots (the VM thread's packet).
+            let ticket = sched.begin(PacketKind::MinorChunk, t_fwd);
+            let core = sched.core(&ticket);
+            let mut t = Cycles::ZERO;
+            let mut conflicts: Vec<usize> = Vec::new();
+            let mut slots = 0u64;
+            for slot in roots.slots_mut() {
+                if !slot.is_null() && slot.0 >= eden_base && slot.0 < eden_end {
+                    let (fwd, c) = kernel.read_word(gh.old.space(), core, slot.forwarding_va())?;
+                    t += c;
+                    if let Some(b) = promo_batch_of(*slot) {
+                        conflicts.push(b);
+                    }
+                    *slot = ObjRef(VirtAddr(fwd));
+                    slots += 1;
+                }
+            }
+            let done = sched.finish(ticket, t);
+            sched.emit_span(&mut kernel.trace, trace_start, &ticket, t, slots);
+            fold(&conflicts, done, &mut batch_ready);
+            t_adj = t_adj.max(done);
+        }
+        // Old-generation fields discovered via cards.
+        for (s, e) in chunk_ranges(old_slots.len(), threads) {
+            let ticket = sched.begin(PacketKind::MinorChunk, t_fwd);
+            let core = sched.core(&ticket);
+            let mut t = Cycles::ZERO;
+            let mut conflicts: Vec<usize> = Vec::new();
+            for &(holder, field) in &old_slots[s..e] {
+                let (tgt, tc) = gh.old.read_ref(kernel, core, holder, field)?;
+                t += tc;
+                if !tgt.is_null() && gh.in_young(tgt.0) {
+                    let (fwd, c) = kernel.read_word(gh.old.space(), core, tgt.forwarding_va())?;
+                    t += c;
+                    t += gh.old.write_ref(kernel, core, holder, field, ObjRef(VirtAddr(fwd)))?;
+                    if let Some(b) = promo_batch_of(tgt) {
+                        conflicts.push(b);
+                    }
+                }
+            }
+            let done = sched.finish(ticket, t);
+            sched.emit_span(&mut kernel.trace, trace_start, &ticket, t, (e - s) as u64);
+            fold(&conflicts, done, &mut batch_ready);
+            t_adj = t_adj.max(done);
+        }
+        // Survivors' own fields share the promotion-batch partition, so
+        // chunk `bi`'s writes land in batch `bi` by construction.
+        for (bi, &(s, e)) in batch_bounds.iter().enumerate() {
+            let ticket = sched.begin(PacketKind::MinorChunk, t_fwd);
+            let core = sched.core(&ticket);
+            let mut t = Cycles::ZERO;
+            let mut conflicts: Vec<usize> = vec![bi];
+            for p in &promos[s..e] {
+                let (hdr, ht) = gh.old.read_header(kernel, core, p.src)?;
+                t += ht;
+                for i in 0..hdr.num_refs as u64 {
+                    let (tgt, tc) = gh.old.read_ref(kernel, core, p.src, i)?;
+                    t += tc;
+                    if !tgt.is_null() && gh.in_young(tgt.0) {
+                        let (fwd, c) =
+                            kernel.read_word(gh.old.space(), core, tgt.forwarding_va())?;
+                        t += c;
+                        t += gh.old.write_ref(kernel, core, p.src, i, ObjRef(VirtAddr(fwd)))?;
+                        if let Some(b) = promo_batch_of(tgt) {
+                            conflicts.push(b);
+                        }
+                    }
+                }
+            }
+            let done = sched.finish(ticket, t);
+            sched.emit_span(&mut kernel.trace, trace_start, &ticket, t, (e - s) as u64);
+            fold(&conflicts, done, &mut batch_ready);
+            t_adj = t_adj.max(done);
+        }
+        watchdog.check("minor-adjust", t_adj)?;
+
+        // ---- Bucket 4: promote ---------------------------------------
+        let threshold_pages = gh.old.threshold_pages();
+        let swap_opts = SwapVaOptions {
+            pmd_cache: self.cfg.pmd_cache,
+            overlap_opt: false, // Table I: not applicable to Minor copying
+            flush: FlushMode::LocalOnly,
+        };
+        let any_swaps = self.cfg.use_swapva
+            && promos.iter().any(|p| {
+                p.large && p.src.0.is_page_aligned() && p.dst.0.is_page_aligned()
+            });
+        if any_swaps {
+            // Algorithm 4 prologue: a global sync point every worker
+            // stalls for, positioned at the adjust milestone.
+            kernel.trace.set_base(trace_start + t_adj);
+            let asid = gh.old.space().asid();
+            let c0 = sched.pool().core_of(0, cores);
+            let pin = kernel.pin(c0);
+            let (b, intf) = kernel.flush_asid_all_cores(c0, asid);
+            sched.charge_all(pin + b);
+            stats.interference += intf.0;
+            if let Some(point) = kernel.crashed() {
+                return Err(GcError::Crashed { point });
+            }
+        }
+        let mut t_end = t_adj;
+        for (bi, &(s, e)) in batch_bounds.iter().enumerate() {
+            let ready = batch_ready[bi].max(t_fwd);
+            let ticket = sched.begin(PacketKind::MinorChunk, ready);
+            let core = sched.core(&ticket);
+            kernel.trace.set_base(trace_start + ticket.placement.start);
+            let mut t = Cycles::ZERO;
+            let mut batch = SwapBatch::new(
+                self.cfg.aggregation.unwrap_or(1),
+                8 * threshold_pages.max(1),
+            );
+            for p in &promos[s..e] {
+                let pages = p.size.div_ceil(PAGE_SIZE);
+                let swappable = self.cfg.use_swapva
+                    && p.large
+                    && pages >= threshold_pages
+                    && p.src.0.is_page_aligned()
+                    && p.dst.0.is_page_aligned();
+                if swappable {
+                    debug_assert!(
+                        !(SwapRequest { a: p.src.0, b: p.dst.0, pages }).overlaps(),
+                        "eden and old generation must be disjoint"
+                    );
+                    stats.swapped_objects += 1;
+                    if batch.push(SwapRequest { a: p.src.0, b: p.dst.0, pages }, p.size) {
+                        t += Self::flush_promotions(
+                            kernel, gh, &mut batch, swap_opts, core, &self.cfg, &mut stats,
+                        )?;
+                        watchdog.check("minor-promote", ticket.placement.start + t)?;
+                    }
+                } else {
+                    t += kernel.memmove(gh.old.space(), core, p.src.0, p.dst.0, p.size)?;
+                }
+            }
+            if !batch.is_empty() {
+                t += Self::flush_promotions(
+                    kernel, gh, &mut batch, swap_opts, core, &self.cfg, &mut stats,
+                )?;
+            }
+            // Clear this batch's destinations' forwarding words. The
+            // clears run on the same core as the batch's swaps — which
+            // LocalOnly-flushed it — so no extra TLB pass is needed.
+            for p in &promos[s..e] {
+                t += kernel.write_word(gh.old.space(), core, p.dst.forwarding_va(), 0)?;
+            }
+            let done = sched.finish(ticket, t);
+            sched.emit_span(&mut kernel.trace, trace_start, &ticket, t, (e - s) as u64);
+            t_end = t_end.max(done);
+        }
+        t_end = t_end.max(sched.makespan());
+        if any_swaps {
+            // Algorithm 4 epilogue: one final broadcast for the mutators.
+            kernel.trace.set_base(trace_start + t_end);
+            let asid = gh.old.space().asid();
+            let c0 = sched.pool().core_of(0, cores);
+            let (b, intf) = kernel.flush_asid_all_cores(c0, asid);
+            sched.charge_all(b + kernel.unpin());
+            stats.interference += intf.0;
+            if let Some(point) = kernel.crashed() {
+                return Err(GcError::Crashed { point });
+            }
+        }
+
+        stats.pause = sched.makespan();
+        watchdog.check("minor-promote", stats.pause)?;
+        kernel.trace.span_abs(
+            TraceKind::MinorCycle,
+            trace_start,
+            stats.pause,
+            0,
+            &[
+                ("promoted", stats.promoted_objects),
+                ("swapped", stats.swapped_objects),
+                ("dead_young", stats.dead_young),
+            ],
+        );
+        kernel.trace.set_base(trace_start + stats.pause);
+        kernel.perf.gc_cycles += 1;
+        kernel.perf.objects_moved += stats.promoted_objects;
+        kernel.perf.objects_swapped += stats.swapped_objects;
+        Ok(stats)
+    }
+
+    /// Flush a promotion batch through the resilient executor, rebooking
+    /// fallback promotions in the stats (see the barrier path's rebooking
+    /// comments — batches are cleared on every flush, so each fallback is
+    /// rebooked at most once). Returns the cycles charged to the worker.
+    fn flush_promotions(
+        kernel: &mut Kernel,
+        gh: &mut GenHeap,
+        batch: &mut SwapBatch,
+        opts: SwapVaOptions,
+        core: CoreId,
+        cfg: &MinorConfig,
+        stats: &mut MinorStats,
+    ) -> Result<Cycles, GcError> {
+        if batch.is_empty() {
+            return Ok(Cycles::ZERO);
+        }
+        let entries = batch.take();
+        let reqs: Vec<SwapRequest> = entries.iter().map(|(r, _)| *r).collect();
+        let out = execute_swaps(
+            kernel,
+            gh.old.space_mut(),
+            &reqs,
+            opts,
+            core,
+            cfg.aggregation.is_some(),
+            &cfg.retry,
+        )?;
+        stats.swap_retries += out.retries;
+        stats.batch_splits += out.batch_splits;
+        debug_assert!(out.fallback.len() <= reqs.len());
+        stats.swapped_objects = stats
+            .swapped_objects
+            .saturating_sub(out.fallback.len() as u64);
+        stats.swap_fallback_objects += out.fallback.len() as u64;
+        stats.interference += out.interference;
+        Ok(out.cycles)
     }
 
     /// Total scavenge pause across the log.

@@ -1,0 +1,333 @@
+//! Work-packet scheduling for the parallel LISP2 phases.
+//!
+//! The barrier pipeline (the default) runs each phase to completion on a
+//! freshly reset [`WorkerPool`] and joins at four global barriers. This
+//! module provides the alternative `--scheduler packets` substrate, after
+//! mmtk-core's `work_bucket` architecture: GC work is decomposed into
+//! **typed packets** (mark roots, mark-transitive-closure chunks, forward
+//! ranges, adjust ranges, compact/SwapVA batches) organized into
+//! dependency-ordered buckets. Workers drain packets greedily with
+//! deterministic least-loaded stealing and flow across bucket boundaries
+//! wherever the dependency graph allows, instead of stalling at the
+//! barriers.
+//!
+//! # Model
+//!
+//! Functional effects still execute host-sequentially in heap order (what
+//! makes sliding compaction safe); only *time* is scheduled. Each packet
+//! has:
+//!
+//! * an **owner** — the worker whose deque it was pushed onto, assigned
+//!   round-robin by creation order (the deterministic stand-in for "the
+//!   worker that generated the work");
+//! * a **ready time** — the virtual time its dependencies complete;
+//! * a **cost** — measured by running its functional effects.
+//!
+//! Placement is two-phase ([`WorkerPool::place_packet`] then
+//! [`WorkerPool::commit_packet`]) because the executing core must be known
+//! *before* the packet's kernel accesses run (core identity feeds the TLB
+//! and cache simulators), while the cost is only known *after*. Executing
+//! a packet off its owner's deque is a **steal** and pays [`STEAL_COST`]
+//! — the CAS + cache-line transfer of popping a remote deque — so the
+//! schedule prefers locality and only migrates work when the owner's
+//! backlog exceeds the steal charge.
+//!
+//! # Determinism
+//!
+//! The schedule is a pure function of the packet sequence (kinds, ready
+//! times, costs): owners are assigned by a counter, placement ties break
+//! owner-first then lowest-index, and all host-side execution is
+//! sequential. Repeated runs — and runs under any `SVAGC_HOST_THREADS` —
+//! produce bit-identical virtual-time schedules.
+
+use crate::scheduler::{Placement, WorkerPool};
+use svagc_kernel::CoreId;
+use svagc_metrics::{Cycles, TraceKind, Tracer};
+
+/// Cycles charged for executing a packet off its owner's deque: the
+/// steal's CAS plus the cache-line transfer of the deque top. Small enough
+/// that stealing wins whenever a worker is meaningfully backlogged, large
+/// enough that the schedule keeps honest locality.
+pub const STEAL_COST: Cycles = Cycles(24);
+
+/// Objects per mark-transitive-closure packet. Small chunks keep the mark
+/// bucket's load balance close to the barrier scheduler's per-object
+/// greedy dispatch while still modeling packet-granular handoff.
+pub const MARK_CHUNK: usize = 8;
+
+/// Range-packet count per worker for the forward/adjust/compact buckets:
+/// each bucket is split into about `CHUNKS_PER_WORKER * workers`
+/// contiguous ranges.
+pub const CHUNKS_PER_WORKER: usize = 8;
+
+/// The packet types the LISP2 buckets are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Scan the root set and seed the mark stack.
+    MarkRoots,
+    /// Trace a chunk of the transitive closure.
+    MarkChunk,
+    /// `CALCNEWADD` over a contiguous object range.
+    ForwardRange,
+    /// Rewrite reference fields over a contiguous move range.
+    AdjustRange,
+    /// Rewrite the root slots.
+    AdjustRoots,
+    /// Move a contiguous run of objects (SwapVA batches + memmoves) and
+    /// clear its destinations' forwarding words.
+    CompactBatch,
+    /// A minor-collection work chunk (the scavenger's buckets are
+    /// per-phase and coarser).
+    MinorChunk,
+}
+
+impl PacketKind {
+    /// Short name for trace args and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            PacketKind::MarkRoots => "mark-roots",
+            PacketKind::MarkChunk => "mark-chunk",
+            PacketKind::ForwardRange => "forward-range",
+            PacketKind::AdjustRange => "adjust-range",
+            PacketKind::AdjustRoots => "adjust-roots",
+            PacketKind::CompactBatch => "compact-batch",
+            PacketKind::MinorChunk => "minor-chunk",
+        }
+    }
+
+    /// Stable numeric id (trace args are `u64`).
+    pub fn id(self) -> u64 {
+        match self {
+            PacketKind::MarkRoots => 0,
+            PacketKind::MarkChunk => 1,
+            PacketKind::ForwardRange => 2,
+            PacketKind::AdjustRange => 3,
+            PacketKind::AdjustRoots => 4,
+            PacketKind::CompactBatch => 5,
+            PacketKind::MinorChunk => 6,
+        }
+    }
+}
+
+/// A packet mid-execution: placement chosen, cost not yet known.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketTicket {
+    /// The packet's type.
+    pub kind: PacketKind,
+    /// Where and when it runs.
+    pub placement: Placement,
+}
+
+/// `gc.sched.*` counters for one cycle's schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedStats {
+    /// Packets executed.
+    pub packets: u64,
+    /// Packets executed off their owner's deque.
+    pub steals: u64,
+    /// Total steal charges paid (cycles).
+    pub steal_cycles: u64,
+}
+
+/// The packet scheduler: a [`WorkerPool`] plus deterministic owner
+/// assignment and steal accounting.
+#[derive(Debug)]
+pub struct PacketScheduler {
+    pool: WorkerPool,
+    cores: usize,
+    next_owner: usize,
+    /// Schedule counters, drained into [`crate::GcCycleStats`].
+    pub stats: SchedStats,
+}
+
+impl PacketScheduler {
+    /// A scheduler driving `threads` workers on a `cores`-core machine,
+    /// pinned starting at `core_base` (see [`WorkerPool::with_core_base`]).
+    pub fn new(threads: usize, cores: usize, core_base: usize) -> PacketScheduler {
+        PacketScheduler {
+            pool: WorkerPool::with_core_base(threads, core_base),
+            cores,
+            next_owner: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Create a packet (assigning the next round-robin owner) and place
+    /// it: the returned ticket carries the executing worker and start
+    /// time. Run the packet's functional effects on [`Self::core`] of the
+    /// ticket, then [`Self::finish`] it with the measured cost.
+    pub fn begin(&mut self, kind: PacketKind, ready: Cycles) -> PacketTicket {
+        let owner = self.next_owner;
+        self.next_owner = (self.next_owner + 1) % self.pool.len();
+        let placement = self.pool.place_packet(owner, ready, STEAL_COST);
+        PacketTicket { kind, placement }
+    }
+
+    /// The machine core a ticket's packet executes on.
+    pub fn core(&self, t: &PacketTicket) -> CoreId {
+        self.pool.core_of(t.placement.worker, self.cores)
+    }
+
+    /// Commit a packet's measured cost; returns its completion time
+    /// (dependents' ready time).
+    pub fn finish(&mut self, t: PacketTicket, cost: Cycles) -> Cycles {
+        self.pool.commit_packet(t.placement, cost);
+        self.stats.packets += 1;
+        if t.placement.stolen {
+            self.stats.steals += 1;
+            self.stats.steal_cycles += STEAL_COST.get();
+        }
+        t.placement.start + cost
+    }
+
+    /// Emit a finished ticket's [`TraceKind::Packet`] span at its absolute
+    /// schedule position, on the executing core's lane.
+    pub fn emit_span(
+        &self,
+        trace: &mut Tracer,
+        base: Cycles,
+        ticket: &PacketTicket,
+        cost: Cycles,
+        items: u64,
+    ) {
+        trace.span_abs(
+            TraceKind::Packet,
+            base + ticket.placement.start,
+            cost,
+            self.core(ticket).0 as u32,
+            &[
+                ("kind", ticket.kind.id()),
+                ("worker", ticket.placement.worker as u64),
+                ("stolen", u64::from(ticket.placement.stolen)),
+                ("items", items),
+            ],
+        );
+    }
+
+    /// The underlying pool (core pinning, per-worker clocks).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Schedule makespan so far: the slowest worker's clock.
+    pub fn makespan(&self) -> Cycles {
+        self.pool.makespan()
+    }
+
+    /// Charge every worker (IPI interference stalls all GC workers).
+    pub fn charge_all(&mut self, cost: Cycles) {
+        self.pool.charge_all(cost);
+    }
+}
+
+/// Split `len` items into about `CHUNKS_PER_WORKER * workers` contiguous
+/// `[start, end)` ranges of near-equal size (the forward/adjust/compact
+/// bucket partition). Deterministic; never returns an empty range.
+pub fn chunk_ranges(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = (CHUNKS_PER_WORKER * workers.max(1)).min(len).max(1);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let sz = base + usize::from(i < extra);
+        out.push((start, start + sz));
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for len in [0usize, 1, 5, 17, 100, 1000] {
+            for workers in [1usize, 2, 4, 8] {
+                let r = chunk_ranges(len, workers);
+                let mut pos = 0;
+                for &(s, e) in &r {
+                    assert_eq!(s, pos, "contiguous");
+                    assert!(e > s, "non-empty range");
+                    pos = e;
+                }
+                assert_eq!(pos, len, "covers all items");
+                if len > 0 {
+                    assert!(r.len() <= CHUNKS_PER_WORKER * workers);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owners_rotate_deterministically() {
+        let mut a = PacketScheduler::new(3, 8, 0);
+        let mut b = PacketScheduler::new(3, 8, 0);
+        for i in 0..20u64 {
+            let ta = a.begin(PacketKind::MarkChunk, Cycles::ZERO);
+            let tb = b.begin(PacketKind::MarkChunk, Cycles::ZERO);
+            assert_eq!(ta.placement, tb.placement, "packet {i}");
+            let cost = Cycles(1 + (i * 7919) % 97);
+            assert_eq!(a.finish(ta, cost), b.finish(tb, cost));
+        }
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.stats.packets, 20);
+        assert_eq!(a.stats.steals, b.stats.steals);
+    }
+
+    #[test]
+    fn skewed_packets_get_stolen() {
+        // One worker's deque fills with huge packets; the others steal.
+        let mut s = PacketScheduler::new(2, 4, 0);
+        let mut last = Cycles::ZERO;
+        for i in 0..10u64 {
+            let cost = if i % 2 == 0 { Cycles(1000) } else { Cycles(10) };
+            let t = s.begin(PacketKind::CompactBatch, Cycles::ZERO);
+            last = last.max(s.finish(t, cost));
+        }
+        assert!(s.stats.steals > 0, "skew must trigger steals");
+        // Stealing bounds the makespan well below serializing the bigs.
+        assert!(s.makespan() < Cycles(5000));
+        assert_eq!(
+            s.stats.steal_cycles,
+            s.stats.steals * STEAL_COST.get(),
+            "every steal pays exactly one charge"
+        );
+    }
+
+    #[test]
+    fn ready_times_defer_dependents() {
+        let mut s = PacketScheduler::new(2, 4, 0);
+        let t = s.begin(PacketKind::MarkRoots, Cycles::ZERO);
+        let done = s.finish(t, Cycles(100));
+        assert_eq!(done, Cycles(100));
+        // A dependent packet cannot start before its dependency resolves,
+        // even on the idle worker.
+        let t2 = s.begin(PacketKind::MarkChunk, done);
+        assert!(t2.placement.start >= done);
+    }
+
+    #[test]
+    fn core_pinning_respects_base() {
+        let s = PacketScheduler::new(2, 8, 4);
+        let t = PacketTicket {
+            kind: PacketKind::MarkChunk,
+            placement: Placement {
+                worker: 1,
+                start: Cycles::ZERO,
+                stolen: false,
+            },
+        };
+        assert_eq!(s.core(&t), CoreId(5));
+    }
+}

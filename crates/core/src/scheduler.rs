@@ -17,12 +17,47 @@
 use svagc_kernel::CoreId;
 use svagc_metrics::Cycles;
 
+/// Where a work packet lands when placed on a [`WorkerPool`]: the chosen
+/// worker, the virtual time execution begins, and whether the packet was
+/// stolen off its owner's deque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Worker the packet executes on.
+    pub worker: usize,
+    /// Virtual time the packet starts: `max(worker clock, ready time)`,
+    /// plus the steal charge when executed off-owner.
+    pub start: Cycles,
+    /// True when the executing worker is not the packet's owner.
+    pub stolen: bool,
+}
+
+/// Saturating clock charge shared by every dispatch path. Worker clocks
+/// must never wrap — a wrapped clock reports a tiny makespan, which an
+/// adversarial deadline/cost config could otherwise exploit. The first
+/// saturation is tolerated (the clock clamps at `u64::MAX`, keeping the
+/// makespan huge); charging *more* onto an already-saturated clock trips
+/// the debug assert because it means the simulation has left the regime
+/// where virtual time is meaningful.
+#[inline]
+fn charge(load: &mut u64, cost: Cycles) {
+    debug_assert!(
+        *load < u64::MAX || cost.get() == 0,
+        "worker clock already saturated at u64::MAX; cost {} would be lost",
+        cost.get()
+    );
+    *load = load.saturating_add(cost.get());
+}
+
 /// A pool of simulated GC workers with per-worker virtual clocks.
 #[derive(Debug, Clone)]
 pub struct WorkerPool {
     loads: Vec<u64>,
     /// Next chunk index for static dispatch.
     rr: usize,
+    /// First core this pool's workers are pinned to (worker `w` runs on
+    /// core `(base + w) % cores`). Distinct collectors sharing a machine
+    /// (multi-JVM) use disjoint bases so their pinned cores never collide.
+    base: usize,
 }
 
 impl WorkerPool {
@@ -39,10 +74,19 @@ impl WorkerPool {
     /// assert_eq!(pool.makespan(), Cycles(150)); // the slowest worker
     /// ```
     pub fn new(n: usize) -> WorkerPool {
+        WorkerPool::with_core_base(n, 0)
+    }
+
+    /// A pool of `n` workers whose core pinning starts at `core_base`
+    /// (worker `w` → core `(core_base + w) % cores`). Multi-tenant runs
+    /// give each collector its own base so tenants' pinned cores are
+    /// disjoint whenever the machine has enough cores.
+    pub fn with_core_base(n: usize, core_base: usize) -> WorkerPool {
         assert!(n >= 1, "at least one GC worker");
         WorkerPool {
             loads: vec![0; n],
             rr: 0,
+            base: core_base,
         }
     }
 
@@ -78,13 +122,13 @@ impl WorkerPool {
     /// Charge `cost` to the least-loaded worker; returns who got it.
     pub fn dispatch(&mut self, cost: Cycles) -> usize {
         let w = self.least_loaded();
-        self.loads[w] += cost.get();
+        charge(&mut self.loads[w], cost);
         w
     }
 
     /// Charge `cost` to worker `w` explicitly.
     pub fn dispatch_to(&mut self, w: usize, cost: Cycles) {
-        self.loads[w] += cost.get();
+        charge(&mut self.loads[w], cost);
     }
 
     /// Static (non-stealing) dispatch: items are assigned to workers in
@@ -101,13 +145,64 @@ impl WorkerPool {
     pub fn dispatch_static(&mut self, cost: Cycles) -> usize {
         let w = self.rr % self.loads.len();
         self.rr += 1;
-        self.loads[w] += cost.get();
+        charge(&mut self.loads[w], cost);
         w
     }
 
-    /// The core a worker runs on (worker i pinned to core i mod cores).
+    /// The core a worker runs on: worker `w` is pinned to core
+    /// `(core_base + w) mod cores`, so collectors constructed with
+    /// disjoint bases (multi-JVM tenants) pin to disjoint cores whenever
+    /// `cores >= tenants * threads`.
     pub fn core_of(&self, worker: usize, total_cores: usize) -> CoreId {
-        CoreId(worker % total_cores)
+        CoreId((self.base + worker) % total_cores)
+    }
+
+    /// Pick where a work packet executes and when it starts, without
+    /// charging anything yet (the packet's cost is only known after its
+    /// functional effects run; callers follow up with
+    /// [`WorkerPool::commit_packet`]).
+    ///
+    /// The packet becomes runnable at virtual time `ready` (the completion
+    /// of its dependencies) and lives on `owner`'s deque. Every worker is
+    /// a candidate: worker `w` could start it at `max(load(w), ready)`,
+    /// plus `steal_cost` when `w != owner` (popping a remote deque). The
+    /// earliest start wins; ties break owner-first, then lowest index —
+    /// fully deterministic.
+    pub fn place_packet(&self, owner: usize, ready: Cycles, steal_cost: Cycles) -> Placement {
+        let (worker, start, stolen) = self
+            .loads
+            .iter()
+            .enumerate()
+            .map(|(w, &l)| {
+                let stolen = w != owner;
+                let base = l.max(ready.get());
+                let start = if stolen {
+                    base.saturating_add(steal_cost.get())
+                } else {
+                    base
+                };
+                (w, start, stolen)
+            })
+            .min_by_key(|&(w, start, stolen)| (start, stolen, w))
+            .expect("WorkerPool invariant: constructed with at least one worker");
+        Placement {
+            worker,
+            start: Cycles(start),
+            stolen,
+        }
+    }
+
+    /// Complete a placed packet: advance the executing worker's clock to
+    /// `start + cost`. The clock may jump forward past its previous value
+    /// even for `cost == 0` — that is the worker idling until the packet's
+    /// dependencies resolved.
+    pub fn commit_packet(&mut self, p: Placement, cost: Cycles) {
+        let end = p.start.get().saturating_add(cost.get());
+        debug_assert!(
+            end >= self.loads[p.worker],
+            "packet commit must move the worker clock forward"
+        );
+        self.loads[p.worker] = end;
     }
 
     /// Phase wall time: the slowest worker's clock.
@@ -124,7 +219,7 @@ impl WorkerPool {
     /// per-worker local flush).
     pub fn charge_all(&mut self, cost: Cycles) {
         for l in &mut self.loads {
-            *l += cost.get();
+            charge(l, cost);
         }
     }
 
@@ -234,6 +329,94 @@ mod tests {
         let p = WorkerPool::new(8);
         assert_eq!(p.core_of(0, 4), CoreId(0));
         assert_eq!(p.core_of(5, 4), CoreId(1));
+        // With a base, pinning shifts and still wraps.
+        let q = WorkerPool::with_core_base(8, 3);
+        assert_eq!(q.core_of(0, 4), CoreId(3));
+        assert_eq!(q.core_of(1, 4), CoreId(0));
+    }
+
+    #[test]
+    fn concurrent_collectors_pin_disjoint_cores() {
+        // Regression: `core_of` used to ignore `&self`, pinning worker i of
+        // *every* collector to core `i % cores` — multi-JVM tenants'
+        // worker 0 all collided on core 0. With per-collector bases and
+        // cores >= 2 * threads the two tenants' pinned sets are disjoint.
+        let threads = 4;
+        let cores = 2 * threads;
+        let a = WorkerPool::with_core_base(threads, 0);
+        let b = WorkerPool::with_core_base(threads, threads);
+        let pins_a: Vec<_> = (0..threads).map(|w| a.core_of(w, cores)).collect();
+        let pins_b: Vec<_> = (0..threads).map(|w| b.core_of(w, cores)).collect();
+        for ca in &pins_a {
+            assert!(
+                !pins_b.contains(ca),
+                "tenants share pinned core {ca:?}: {pins_a:?} vs {pins_b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_charges_saturate_instead_of_wrapping() {
+        // Regression: unchecked `+=` let an adversarial cost wrap a worker
+        // clock back to ~0 and report a tiny makespan. All four charge
+        // paths must clamp at u64::MAX instead.
+        let near_max = Cycles(u64::MAX - 50);
+        let mut p = WorkerPool::new(2);
+        p.dispatch_to(0, near_max);
+        p.dispatch_to(1, near_max);
+        // One more saturating charge per path; none may wrap.
+        p.dispatch_to(0, Cycles(100));
+        assert_eq!(p.load(0), Cycles(u64::MAX));
+        p.reset();
+        p.charge_all(near_max);
+        p.charge_all(Cycles(100));
+        assert_eq!(p.makespan(), Cycles(u64::MAX), "charge_all clamps");
+        p.reset();
+        p.dispatch(near_max);
+        p.dispatch(near_max);
+        assert_eq!(p.dispatch(Cycles(100)), 0, "ties still break low");
+        assert_eq!(p.load(0), Cycles(u64::MAX));
+        p.reset();
+        p.dispatch_static(near_max);
+        p.dispatch_static(near_max);
+        p.dispatch_static(Cycles(100));
+        assert_eq!(p.makespan(), Cycles(u64::MAX), "static dispatch clamps");
+    }
+
+    #[test]
+    fn place_packet_prefers_owner_on_ties() {
+        let p = WorkerPool::new(3);
+        // All clocks zero: owner 1 starts at 0; stealing would cost 5.
+        let pl = p.place_packet(1, Cycles::ZERO, Cycles(5));
+        assert_eq!(pl.worker, 1);
+        assert_eq!(pl.start, Cycles::ZERO);
+        assert!(!pl.stolen);
+    }
+
+    #[test]
+    fn place_packet_steals_when_profitable() {
+        let mut p = WorkerPool::new(2);
+        p.dispatch_to(0, Cycles(100)); // owner 0 is busy until 100
+        let pl = p.place_packet(0, Cycles::ZERO, Cycles(5));
+        assert_eq!(pl.worker, 1, "idle worker 1 steals");
+        assert_eq!(pl.start, Cycles(5), "steal charge delays the start");
+        assert!(pl.stolen);
+        // A steal cost above the owner's backlog keeps the packet home.
+        let pl = p.place_packet(0, Cycles::ZERO, Cycles(200));
+        assert_eq!(pl.worker, 0);
+        assert!(!pl.stolen);
+    }
+
+    #[test]
+    fn commit_packet_advances_clock_past_idle_gaps() {
+        let mut p = WorkerPool::new(2);
+        // A packet only ready at t=40 on an idle worker: the worker waits.
+        let pl = p.place_packet(0, Cycles(40), Cycles(5));
+        assert_eq!(pl.worker, 0);
+        assert_eq!(pl.start, Cycles(40));
+        p.commit_packet(pl, Cycles(10));
+        assert_eq!(p.load(0), Cycles(50), "idle gap counts toward the clock");
+        assert_eq!(p.load(1), Cycles::ZERO);
     }
 
     #[test]

@@ -98,6 +98,12 @@ pub struct GcCycleStats {
     /// Degradation level the committed attempt ran at (0 = normal,
     /// 1 = memmove-only, 2 = single-threaded).
     pub mode: u8,
+    /// Work packets executed (0 under the barrier scheduler).
+    pub sched_packets: u64,
+    /// Packets executed off their owner's deque (work stealing).
+    pub sched_steals: u64,
+    /// Total steal charges paid, in cycles.
+    pub sched_steal_cycles: u64,
 }
 
 impl GcCycleStats {
@@ -211,6 +217,21 @@ impl GcLog {
         self.cycles.iter().map(|c| c.mode).max().unwrap_or(0)
     }
 
+    /// Total work packets executed across cycles (packet scheduler only).
+    pub fn total_sched_packets(&self) -> u64 {
+        self.cycles.iter().map(|c| c.sched_packets).sum()
+    }
+
+    /// Total packet steals across cycles.
+    pub fn total_sched_steals(&self) -> u64 {
+        self.cycles.iter().map(|c| c.sched_steals).sum()
+    }
+
+    /// Total steal charges across cycles, in cycles.
+    pub fn total_sched_steal_cycles(&self) -> u64 {
+        self.cycles.iter().map(|c| c.sched_steal_cycles).sum()
+    }
+
     /// Aggregate phase breakdown over all cycles.
     pub fn phase_totals(&self) -> PhaseBreakdown {
         let mut total = PhaseBreakdown::default();
@@ -256,6 +277,9 @@ impl GcLog {
             ("gc.rollback_pages", self.total_rollback_pages()),
             ("gc.watchdog_expiries", self.total_watchdog_expiries()),
             ("gc.mode", self.max_mode() as u64),
+            ("gc.sched.packets", self.total_sched_packets()),
+            ("gc.sched.steals", self.total_sched_steals()),
+            ("gc.sched.steal_cycles", self.total_sched_steal_cycles()),
         ] {
             reg.add(name, v);
         }

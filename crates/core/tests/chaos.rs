@@ -255,3 +255,43 @@ fn fault_free_runs_are_unperturbed() {
         );
     }
 }
+
+/// Satellite matrix for the packet scheduler: under 1% and 10% uniform
+/// fault rates, `--scheduler packets` must land on exactly the same heap
+/// as (a) its own fault-free run and (b) the barrier scheduler — packets
+/// only reorder *time attribution*, never the functional effect order, so
+/// chaos recovery (retries, fallbacks, batch splits) composes with it
+/// unchanged.
+#[test]
+fn packet_scheduler_chaos_matrix_stays_bit_identical() {
+    use svagc_core::SchedulerKind;
+    let packets = GcConfig::svagc(4).with_scheduler(SchedulerKind::Packets);
+    for rate in [0.01, 0.10] {
+        let mut injected = 0;
+        for seed in 0..6u64 {
+            let (clean, clean_hash, clean_top) = run_gc(packets, seed, None);
+            assert!(clean.sched_packets > 0, "packet scheduler never engaged");
+            let (_, barrier_hash, barrier_top) = run_gc(GcConfig::svagc(4), seed, None);
+            assert_eq!(clean_hash, barrier_hash, "seed {seed}: schedulers disagree");
+            assert_eq!(clean_top, barrier_top);
+
+            let (faulty, faulty_hash, faulty_top) = run_gc(
+                packets,
+                seed,
+                Some(FaultConfig::uniform(rate, 0x9AC4E7 + seed)),
+            );
+            assert_eq!(
+                clean_hash, faulty_hash,
+                "seed {seed} rate {rate}: heap diverged under packets+faults"
+            );
+            assert_eq!(clean_top, faulty_top);
+            assert_eq!(clean.live_objects, faulty.live_objects);
+            injected += faulty.faults_injected;
+        }
+        // Fault rolls are per swap request; at 1% over this world the plan
+        // may legitimately stay silent, but 10% must fire.
+        if rate >= 0.10 {
+            assert!(injected > 0, "rate {rate}: chaos plan never fired");
+        }
+    }
+}

@@ -458,16 +458,37 @@ impl HeapVerifier {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = FNV_OFFSET;
+        // FNV-1a folded a whole 64-bit word at a time: a per-byte fold is
+        // a serial chain of 8 dependent multiplies per word, and hashing
+        // every live payload word made it a measurable share of whole-run
+        // host time. Hash values are only ever compared against other
+        // hashes computed by this same function in-process, so the word
+        // granularity is free to choose.
         let mut fold = |word: u64| {
-            for byte in word.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(FNV_PRIME);
-            }
+            h ^= word;
+            h = h.wrapping_mul(FNV_PRIME);
         };
+        // Word reads translate once per page, not once per word (a
+        // software page-table walk per word is the other per-word cost).
+        // Words are 8-aligned so they never straddle a page.
         let objects: Vec<ObjRef> = heap.objects_sorted().to_vec();
+        let space = heap.space();
+        let mut cached: Option<(u64, svagc_vmem::PhysAddr)> = None;
+        let mut read_word = |va: VirtAddr| -> Result<u64, svagc_vmem::VmError> {
+            let vpn = va.vpn();
+            let page = match cached {
+                Some((v, pa)) if v == vpn => pa,
+                _ => {
+                    let pa = space.translate(VirtAddr(vpn << svagc_vmem::PAGE_SHIFT))?;
+                    cached = Some((vpn, pa));
+                    pa
+                }
+            };
+            kernel.vmem.phys.read_u64(page + va.page_offset())
+        };
         for obj in objects {
             fold(obj.0.get());
-            let Ok(raw) = kernel.vmem.read_u64(heap.space(), obj.header_va()) else {
+            let Ok(raw) = read_word(obj.header_va()) else {
                 fold(u64::MAX);
                 continue;
             };
@@ -476,7 +497,7 @@ impl HeapVerifier {
             // All payload words (reference fields + data), skipping the
             // forwarding word at index 1.
             for w in HEADER_WORDS..hdr.size_words as u64 {
-                match kernel.vmem.read_u64(heap.space(), obj.0 + w * 8) {
+                match read_word(obj.0 + w * 8) {
                     Ok(v) => fold(v),
                     Err(_) => fold(u64::MAX),
                 }

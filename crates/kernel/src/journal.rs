@@ -48,12 +48,16 @@ pub enum UndoOp {
     },
     /// A byte-range overwrite (memmove destination, or the window union
     /// of a non-involutive overlap rotation): undone by restoring the
-    /// saved bytes.
+    /// saved bytes. The pre-image itself lives in the owning journal's
+    /// shared byte arena ([`OpJournal::bytes`]) — one growable buffer per
+    /// cycle instead of one heap allocation per journaled move, which is
+    /// the difference between the journal being free and it dominating
+    /// host time on copy-heavy workloads.
     Bytes {
         /// Start of the overwritten virtual range.
         at: VirtAddr,
-        /// The range's contents immediately before the overwrite.
-        saved: Vec<u8>,
+        /// The pre-image's slice of the journal's byte arena.
+        saved: core::ops::Range<usize>,
     },
     /// A single word write (forwarding pointer, adjusted reference field):
     /// undone by restoring the old value.
@@ -82,6 +86,9 @@ impl UndoOp {
 #[derive(Debug, Clone, Default)]
 pub struct OpJournal {
     ops: Vec<UndoOp>,
+    /// Shared arena holding every [`UndoOp::Bytes`] pre-image, indexed by
+    /// the ops' `saved` ranges. Appended by [`Kernel::journal_stash_bytes`].
+    bytes: Vec<u8>,
     /// Kernel-assigned identity (0 for hand-built journals). Rollback
     /// retires the id so a journal can only ever replay once — a second
     /// replay would re-corrupt restored state (PTE re-swap is an
@@ -128,8 +135,17 @@ impl Kernel {
     /// Any previously active journal is discarded.
     pub fn journal_begin(&mut self) {
         self.next_journal_id += 1;
+        if let Some(old) = self.journal.take() {
+            self.journal_stash_spare(old.bytes);
+        }
+        // Reuse the arena of the last retired journal: cycle after cycle
+        // the pre-image buffer stays warm instead of being re-grown (and
+        // its pages re-faulted) from nothing.
+        let mut bytes = std::mem::take(&mut self.journal_spare);
+        bytes.clear();
         self.journal = Some(OpJournal {
             ops: Vec::new(),
+            bytes,
             id: self.next_journal_id,
         });
     }
@@ -141,6 +157,26 @@ impl Kernel {
         self.journal.take()
     }
 
+    /// Commit fast path: stop journaling and discard the record, keeping
+    /// the byte arena for the next cycle. Equivalent to dropping the
+    /// result of [`Kernel::journal_take`], minus the reallocation.
+    pub fn journal_retire(&mut self) {
+        if let Some(j) = self.journal.take() {
+            self.journal_stash_spare(j.bytes);
+        }
+    }
+
+    /// Keep `bytes` as the next journal's arena if it beats the current
+    /// spare. Capped so a one-off giant cycle cannot pin its peak arena
+    /// in memory forever.
+    fn journal_stash_spare(&mut self, mut bytes: Vec<u8>) {
+        const SPARE_CAP: usize = 8 << 20;
+        bytes.clear();
+        if bytes.capacity() <= SPARE_CAP && bytes.capacity() > self.journal_spare.capacity() {
+            self.journal_spare = bytes;
+        }
+    }
+
     /// Is a journal currently recording?
     pub fn journal_active(&self) -> bool {
         self.journal.is_some()
@@ -150,6 +186,28 @@ impl Kernel {
     pub(crate) fn journal_record(&mut self, op: UndoOp) {
         if let Some(j) = self.journal.as_mut() {
             j.record(op);
+        }
+    }
+
+    /// Read `len` bytes at `at` into the active journal's byte arena and
+    /// return their arena range for a later [`UndoOp::Bytes`] record
+    /// (None when no journal is recording). Split from the record itself
+    /// because callers snapshot *before* the destructive operation but
+    /// journal it *after* (application order); on a read error the arena
+    /// may keep a dangling prefix, which is harmless — no op points at it.
+    pub(crate) fn journal_stash_bytes(
+        &mut self,
+        space: &AddressSpace,
+        at: VirtAddr,
+        len: u64,
+    ) -> Result<Option<core::ops::Range<usize>>, svagc_vmem::VmError> {
+        match self.journal.as_mut() {
+            Some(j) => {
+                let start = j.bytes.len();
+                self.vmem.read_bytes_into(space, at, len, &mut j.bytes)?;
+                Ok(Some(start..start + len as usize))
+            }
+            None => Ok(None),
         }
     }
 
@@ -195,7 +253,7 @@ impl Kernel {
                     }
                 }
                 UndoOp::Bytes { at, saved } => {
-                    self.vmem.write_bytes(space, *at, saved)?;
+                    self.vmem.write_bytes(space, *at, &journal.bytes[saved.clone()])?;
                     t += self.bandwidth.copy_cycles(&self.machine, saved.len() as u64);
                 }
                 UndoOp::Word { at, old } => {
@@ -211,6 +269,7 @@ impl Kernel {
             core.0 as u32,
             &[("ops", journal.len() as u64), ("pages", pages)],
         );
+        self.journal_stash_spare(journal.bytes);
         Ok((t, pages))
     }
 }

@@ -13,6 +13,8 @@
 //!   `n + δ` PTE writes.
 //! * [`shootdown`] — flush policies: naive per-call global IPI broadcast
 //!   vs the pinned local-only protocol of Algorithm 4 (Fig. 9, Eq. 2).
+//! * [`batch`] — aggregation buffers ([`SwapBatch`]): the cap/page-budget
+//!   policy each compact work packet carries for its own flushes.
 //! * [`memmove`] — the cost-modeled byte-copy baseline SwapVA replaces.
 //! * [`fault`] — deterministic, seeded injection of modeled SwapVA failure
 //!   modes (EAGAIN/EINVAL/ENOMEM/IPI timeout) for chaos testing; failures
@@ -29,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod error;
 pub mod fault;
 pub mod journal;
@@ -39,6 +42,7 @@ pub mod state;
 pub mod swapva;
 pub mod wal;
 
+pub use batch::SwapBatch;
 pub use error::{RollbackError, SwapVaError};
 pub use fault::{CrashPlan, CrashPoint, FaultConfig, FaultKind, FaultPlan};
 pub use journal::{OpJournal, UndoOp};

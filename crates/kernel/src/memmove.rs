@@ -38,32 +38,24 @@ impl Kernel {
             }
         }
 
-        // Functional move via a bounce buffer (exactly memmove semantics).
-        let mut buf = vec![0u8; len as usize];
-        self.vmem.read_bytes(space, src, &mut buf)?;
         // The copy destroys the destination; journal its bytes first so an
         // aborting GC cycle can restore them (see `crate::journal`), and
         // write the same pre-image ahead to the durable log so a crashed
         // cycle can restore them after a restart (see `crate::wal`).
-        if self.journal_active() || self.wal_cycle_open() {
-            let mut saved = vec![0u8; len as usize];
-            self.vmem.read_bytes(space, dst, &mut saved)?;
-            if self.wal_cycle_open() {
-                if let Ok(c) = self.wal_log_op(
-                    crate::wal::WalOp::Bytes {
-                        at: dst,
-                        pre: saved.clone(),
-                    },
-                    false,
-                ) {
-                    t += c;
-                }
-            }
-            if self.journal_active() {
-                self.journal_record(crate::journal::UndoOp::Bytes { at: dst, saved });
+        if self.wal_cycle_open() {
+            let mut pre = vec![0u8; len as usize];
+            self.vmem.read_bytes(space, dst, &mut pre)?;
+            if let Ok(c) = self.wal_log_op(crate::wal::WalOp::Bytes { at: dst, pre }, false) {
+                t += c;
             }
         }
-        self.vmem.write_bytes(space, dst, &buf)?;
+        if let Some(saved) = self.journal_stash_bytes(space, dst, len)? {
+            self.journal_record(crate::journal::UndoOp::Bytes { at: dst, saved });
+        }
+        // Functional move, overlap-safe, without materialising a bounce
+        // buffer (the GC copy loop calls this once per moved object; a
+        // per-call allocation plus double traffic dominated host time).
+        self.vmem.move_bytes(space, src, dst, len)?;
 
         // Cache + DTLB pollution: stream src (reads) then dst (writes),
         // one TLB lookup and one cache access per line — exactly the

@@ -65,6 +65,9 @@ pub struct Kernel {
     /// Latched crash: once a crash point fires the machine is dead until
     /// [`Kernel::reboot`].
     pub(crate) crashed: Option<CrashPoint>,
+    /// Retired journals' byte arena, recycled into the next
+    /// [`Kernel::journal_begin`] so pre-image buffers stay warm.
+    pub(crate) journal_spare: Vec<u8>,
     /// Monotonic id source for undo journals (never reused).
     pub(crate) next_journal_id: u64,
     /// Journal ids whose rollback already ran — replays are rejected.
@@ -90,6 +93,7 @@ impl Kernel {
             pinned: None,
             fault: None,
             journal: None,
+            journal_spare: Vec::new(),
             trace: Tracer::disabled(),
             tlb_oracle: TlbOracle::disabled(),
             wal: WriteAheadLog::new(),

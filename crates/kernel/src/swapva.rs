@@ -270,31 +270,24 @@ impl Kernel {
             // mutates nothing on error. The WAL intent, by contrast, must
             // be durable *before* the rotation runs — write-ahead ordering
             // is what makes a crash between log and apply recoverable.
-            let wal_on = self.wal_cycle_open();
-            let snapshot = if self.journal_active() || wal_on {
-                let lo = if req.a <= req.b { req.a } else { req.b };
-                let delta = req.a.get().abs_diff(req.b.get()) / PAGE_SIZE;
-                let mut buf = vec![0u8; ((req.pages + delta) * PAGE_SIZE) as usize];
-                self.vmem.read_bytes(space, lo, &mut buf).map_err(SwapVaError::Vm)?;
-                Some((lo, buf))
-            } else {
-                None
-            };
+            let lo = if req.a <= req.b { req.a } else { req.b };
+            let delta = req.a.get().abs_diff(req.b.get()) / PAGE_SIZE;
+            let union_len = (req.pages + delta) * PAGE_SIZE;
             let mut t = Cycles::ZERO;
-            if wal_on {
-                let (at, buf) = snapshot
-                    .as_ref()
-                    .expect("snapshot is taken whenever the WAL cycle is open");
+            if self.wal_cycle_open() {
+                let mut pre = vec![0u8; union_len as usize];
+                self.vmem.read_bytes(space, lo, &mut pre).map_err(SwapVaError::Vm)?;
                 t += self
-                    .wal_log_op(WalOp::Bytes { at: *at, pre: buf.clone() }, true)
+                    .wal_log_op(WalOp::Bytes { at: lo, pre }, true)
                     .map_err(|point| SwapVaError::Crashed { point })?;
             }
+            let stashed = self
+                .journal_stash_bytes(space, lo, union_len)
+                .map_err(SwapVaError::Vm)?;
             t += overlap::swap_overlap_body(self, space, core, req, opts.pmd_cache)
                 .map_err(SwapVaError::Vm)?;
-            if self.journal_active() {
-                if let Some((at, saved)) = snapshot {
-                    self.journal_record(UndoOp::Bytes { at, saved });
-                }
+            if let Some(saved) = stashed {
+                self.journal_record(UndoOp::Bytes { at: lo, saved });
             }
             return Ok(t);
         }

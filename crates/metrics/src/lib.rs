@@ -36,3 +36,4 @@ pub use perf::PerfCounters;
 pub use registry::Registry;
 pub use rng::SimRng;
 pub use trace::{chrome_trace_json, trace_summary, TraceEvent, TraceKind, Tracer};
+

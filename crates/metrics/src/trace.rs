@@ -97,11 +97,15 @@ pub enum TraceKind {
     /// One recovery action (epoch classified, undo replayed, heap
     /// re-derived) during post-crash restart. Instant.
     Recovery,
+    /// One GC work packet executed by the packet scheduler
+    /// (`--scheduler packets`): args carry the packet kind, the executing
+    /// worker, and whether it was stolen. Span.
+    Packet,
 }
 
 impl TraceKind {
     /// Every kind, in a fixed order (for summaries and registries).
-    pub const ALL: [TraceKind; 21] = [
+    pub const ALL: [TraceKind; 22] = [
         TraceKind::GcCycle,
         TraceKind::MinorCycle,
         TraceKind::MarkPhase,
@@ -123,6 +127,7 @@ impl TraceKind {
         TraceKind::CrashFired,
         TraceKind::WalRecord,
         TraceKind::Recovery,
+        TraceKind::Packet,
     ];
 
     /// Stable event name (Chrome trace `name`, registry key segment).
@@ -149,6 +154,7 @@ impl TraceKind {
             TraceKind::CrashFired => "crash_fired",
             TraceKind::WalRecord => "wal_record",
             TraceKind::Recovery => "recovery",
+            TraceKind::Packet => "packet",
         }
     }
 
@@ -160,7 +166,8 @@ impl TraceKind {
             | TraceKind::MarkPhase
             | TraceKind::ForwardPhase
             | TraceKind::AdjustPhase
-            | TraceKind::CompactPhase => "gc",
+            | TraceKind::CompactPhase
+            | TraceKind::Packet => "gc",
             TraceKind::SwapVa | TraceKind::Memmove | TraceKind::Shootdown => "kernel",
             TraceKind::BatchFlush
             | TraceKind::SwapRetry

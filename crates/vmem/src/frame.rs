@@ -69,6 +69,14 @@ impl PhysMem {
         Ok(())
     }
 
+    /// Append `len` bytes at `pa` to `out` — `read_bytes` without the
+    /// caller having to pre-size (and zero-fill) a destination buffer.
+    pub fn read_append(&self, pa: PhysAddr, len: u64, out: &mut Vec<u8>) -> Result<(), VmError> {
+        let i = self.check(pa, len)?;
+        out.extend_from_slice(&self.bytes[i..i + len as usize]);
+        Ok(())
+    }
+
     /// Write `buf` at `pa`.
     pub fn write_bytes(&mut self, pa: PhysAddr, buf: &[u8]) -> Result<(), VmError> {
         let i = self.check(pa, buf.len() as u64)?;

@@ -189,6 +189,29 @@ impl Vmem {
         Ok(())
     }
 
+    /// Append `len` bytes starting at `va` to `out`, crossing pages as
+    /// needed. Equivalent to `read_bytes` into a fresh buffer appended to
+    /// `out`, but skips the intermediate allocation and zero-fill — the
+    /// undo journal snapshots pre-images through this on every journaled
+    /// memmove, so the saving is per moved object. On a translation error
+    /// `out` may have grown by a prefix of the range.
+    pub fn read_bytes_into(
+        &self,
+        space: &AddressSpace,
+        mut va: VirtAddr,
+        mut len: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<(), VmError> {
+        out.reserve(len as usize);
+        while len > 0 {
+            let in_page = (PAGE_SIZE - va.page_offset()).min(len);
+            self.phys.read_append(space.translate(va)?, in_page, out)?;
+            va = va + in_page;
+            len -= in_page;
+        }
+        Ok(())
+    }
+
     /// Write `buf` starting at `va`, crossing pages as needed.
     pub fn write_bytes(
         &mut self,
@@ -202,6 +225,62 @@ impl Vmem {
             self.phys.write_bytes(space.translate(va)?, chunk)?;
             buf = rest;
             va = va + in_page as u64;
+        }
+        Ok(())
+    }
+
+    /// Move `len` bytes from `src` to `dst` with memmove semantics
+    /// (overlap-safe), copying page-bounded chunks frame-to-frame.
+    ///
+    /// Equivalent to `read_bytes` into a bounce buffer followed by
+    /// `write_bytes`, but without materialising the buffer: chunks are
+    /// copied low-to-high when `dst < src` and high-to-low when
+    /// `dst > src`, so no chunk's source bytes are overwritten before
+    /// they are read. A chunk never crosses a page boundary on either
+    /// side, so intra-chunk virtual overlap implies both sides sit in the
+    /// same page (same frame) and [`PhysMem::copy`]'s `copy_within`
+    /// handles it. On a translation error the move may have been partially
+    /// applied (callers move between mapped heap ranges).
+    pub fn move_bytes(
+        &mut self,
+        space: &AddressSpace,
+        src: VirtAddr,
+        dst: VirtAddr,
+        len: u64,
+    ) -> Result<(), VmError> {
+        if len == 0 || src == dst {
+            // Still validate the endpoints like the buffered path did.
+            if len > 0 {
+                space.translate(src)?;
+            }
+            return Ok(());
+        }
+        let chunk_at = |at: u64, remaining: u64| -> u64 {
+            let s_room = PAGE_SIZE - (src + at).page_offset();
+            let d_room = PAGE_SIZE - (dst + at).page_offset();
+            s_room.min(d_room).min(remaining)
+        };
+        if dst < src {
+            let mut done = 0;
+            while done < len {
+                let step = chunk_at(done, len - done);
+                let spa = space.translate(src + done)?;
+                let dpa = space.translate(dst + done)?;
+                self.phys.copy(spa, dpa, step)?;
+                done += step;
+            }
+        } else {
+            let mut left = len;
+            while left > 0 {
+                // Largest chunk ending at offset `left`.
+                let s_off = (src + (left - 1)).page_offset() + 1;
+                let d_off = (dst + (left - 1)).page_offset() + 1;
+                let step = s_off.min(d_off).min(left);
+                left -= step;
+                let spa = space.translate(src + left)?;
+                let dpa = space.translate(dst + left)?;
+                self.phys.copy(spa, dpa, step)?;
+            }
         }
         Ok(())
     }

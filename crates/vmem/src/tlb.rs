@@ -45,21 +45,29 @@ impl TlbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct TlbEntry {
-    valid: bool,
-    asid: u16,
-    vpn: u64,
-    frame: FrameId,
-    stamp: u64,
-}
-
+/// One set-associative TLB level, stored structure-of-arrays so the
+/// per-access hot path ([`TlbArray::lookup`]) compares exactly one `u64`
+/// tag per way instead of three separately-loaded fields. An entry's tag
+/// packs `(vpn << 16) | asid` (asids are `u16`); validity lives in the
+/// LRU stamp (`0` = invalid — the tick pre-increments, so every real
+/// stamp is ≥ 1). The simulated state machine is bit-identical to the
+/// naive array-of-structs it replaced: hits, misses, LRU victims, and
+/// flush effects all agree, which the perf gate pins via `sim_digest`.
 #[derive(Debug)]
 struct TlbArray {
     sets: usize,
     ways: usize,
-    entries: Vec<TlbEntry>,
+    /// `(vpn << 16) | asid` per entry; meaningless while `stamps[i] == 0`.
+    tags: Vec<u64>,
+    /// LRU stamp per entry; `0` marks the entry invalid.
+    stamps: Vec<u64>,
+    frames: Vec<FrameId>,
     tick: u64,
+}
+
+#[inline]
+fn tag_of(asid: Asid, vpn: u64) -> u64 {
+    (vpn << 16) | asid.0 as u64
 }
 
 impl TlbArray {
@@ -69,7 +77,9 @@ impl TlbArray {
         TlbArray {
             sets,
             ways,
-            entries: vec![TlbEntry::default(); entries],
+            tags: vec![0; entries],
+            stamps: vec![0; entries],
+            frames: vec![FrameId::default(); entries],
             tick: 0,
         }
     }
@@ -78,14 +88,15 @@ impl TlbArray {
         (vpn as usize) & (self.sets - 1)
     }
 
+    #[inline]
     fn lookup(&mut self, asid: Asid, vpn: u64) -> Option<FrameId> {
         self.tick += 1;
+        let tag = tag_of(asid, vpn);
         let base = self.set_of(vpn) * self.ways;
-        for w in 0..self.ways {
-            let e = &mut self.entries[base + w];
-            if e.valid && e.asid == asid.0 && e.vpn == vpn {
-                e.stamp = self.tick;
-                return Some(e.frame);
+        for w in base..base + self.ways {
+            if self.tags[w] == tag && self.stamps[w] != 0 {
+                self.stamps[w] = self.tick;
+                return Some(self.frames[w]);
             }
         }
         None
@@ -94,51 +105,48 @@ impl TlbArray {
     fn insert(&mut self, asid: Asid, vpn: u64, frame: FrameId) {
         self.tick += 1;
         let base = self.set_of(vpn) * self.ways;
-        let victim = (0..self.ways)
-            .min_by_key(|&w| {
-                let e = &self.entries[base + w];
-                if e.valid {
-                    e.stamp + 1
-                } else {
-                    0
-                }
-            })
+        // Stamps order exactly as the old `valid ? stamp + 1 : 0` key:
+        // invalid (0) sorts before every valid stamp (>= 1), ties among
+        // invalid ways break to the lowest index.
+        let victim = (base..base + self.ways)
+            .min_by_key(|&w| self.stamps[w])
             .expect("TLB invariant: associativity (ways) is at least 1");
-        self.entries[base + victim] = TlbEntry {
-            valid: true,
-            asid: asid.0,
-            vpn,
-            frame,
-            stamp: self.tick,
-        };
+        self.tags[victim] = tag_of(asid, vpn);
+        self.stamps[victim] = self.tick;
+        self.frames[victim] = frame;
     }
 
     fn flush_all(&mut self) {
-        for e in &mut self.entries {
-            e.valid = false;
-        }
+        self.stamps.fill(0);
     }
 
     fn flush_asid(&mut self, asid: Asid) {
-        for e in &mut self.entries {
-            if e.asid == asid.0 {
-                e.valid = false;
+        for (s, &t) in self.stamps.iter_mut().zip(self.tags.iter()) {
+            if t & 0xFFFF == asid.0 as u64 {
+                *s = 0;
             }
         }
     }
 
     fn flush_page(&mut self, asid: Asid, vpn: u64) {
+        let tag = tag_of(asid, vpn);
         let base = self.set_of(vpn) * self.ways;
-        for w in 0..self.ways {
-            let e = &mut self.entries[base + w];
-            if e.valid && e.asid == asid.0 && e.vpn == vpn {
-                e.valid = false;
+        for w in base..base + self.ways {
+            if self.tags[w] == tag {
+                self.stamps[w] = 0;
             }
         }
     }
 
     fn valid_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.stamps.iter().filter(|&&s| s != 0).count()
+    }
+
+    fn holds_asid(&self, asid: Asid) -> bool {
+        self.stamps
+            .iter()
+            .zip(self.tags.iter())
+            .any(|(&s, &t)| s != 0 && t & 0xFFFF == asid.0 as u64)
     }
 }
 
@@ -229,11 +237,7 @@ impl Tlb {
     /// Does this TLB hold any entry of `asid`? (The question an
     /// access-tracking shootdown scheme answers per core.)
     pub fn holds_asid(&self, asid: Asid) -> bool {
-        self.l1
-            .entries
-            .iter()
-            .chain(self.stlb.entries.iter())
-            .any(|e| e.valid && e.asid == asid.0)
+        self.l1.holds_asid(asid) || self.stlb.holds_asid(asid)
     }
 }
 

@@ -6,7 +6,7 @@ use crate::workload::Workload;
 use svagc_baselines::{ParallelGc, Shenandoah};
 use svagc_core::{
     recover, Collector, DegradePolicy, GcConfig, GcError, GcLog, Lisp2Collector,
-    RecoveryError, RecoveryReport, RetryPolicy,
+    RecoveryError, RecoveryReport, RetryPolicy, SchedulerKind,
 };
 use svagc_heap::{Heap, HeapConfig, HeapVerifier};
 use svagc_kernel::{CoreId, CrashPlan, CrashPoint, FaultConfig, FaultPlan, Kernel, WalMutation};
@@ -40,14 +40,24 @@ impl CollectorKind {
     /// verification (LISP2-based collectors only; the baseline wrappers
     /// keep their own fixed configurations).
     pub fn build_verified(&self, gc_threads: usize, verify_phases: bool) -> Box<dyn Collector> {
-        self.build_configured(gc_threads, verify_phases, None, DegradePolicy::off(), None)
+        self.build_configured(
+            gc_threads,
+            verify_phases,
+            None,
+            DegradePolicy::off(),
+            None,
+            SchedulerKind::Barrier,
+            0,
+        )
     }
 
     /// Instantiate the collector with the full set of run-time knobs:
     /// post-phase verification, per-phase watchdog deadline,
-    /// degraded-mode policy, and (optionally) a SwapVA retry-policy
-    /// override. The baseline wrappers (ParallelGC, Shenandoah) keep
-    /// their own fixed configurations and ignore the transactional knobs.
+    /// degraded-mode policy, (optionally) a SwapVA retry-policy
+    /// override, the scheduling substrate, and the core-affinity base.
+    /// The baseline wrappers (ParallelGC, Shenandoah) keep their own
+    /// fixed configurations and ignore the transactional knobs.
+    #[allow(clippy::too_many_arguments)]
     pub fn build_configured(
         &self,
         gc_threads: usize,
@@ -55,6 +65,8 @@ impl CollectorKind {
         deadline_cycles: Option<u64>,
         degrade: DegradePolicy,
         retry: Option<RetryPolicy>,
+        scheduler: SchedulerKind,
+        core_base: usize,
     ) -> Box<dyn Collector> {
         let with_retry = |cfg: GcConfig| match retry {
             Some(r) => cfg.with_retry_policy(r),
@@ -65,13 +77,17 @@ impl CollectorKind {
                 GcConfig::svagc(gc_threads)
                     .with_verify_phases(verify_phases)
                     .with_deadline(deadline_cycles)
-                    .with_degrade(degrade),
+                    .with_degrade(degrade)
+                    .with_scheduler(scheduler)
+                    .with_core_base(core_base),
             ))),
             CollectorKind::SvagcMemmove => Box::new(Lisp2Collector::new(with_retry(
                 GcConfig::lisp2_memmove(gc_threads)
                     .with_verify_phases(verify_phases)
                     .with_deadline(deadline_cycles)
-                    .with_degrade(degrade),
+                    .with_degrade(degrade)
+                    .with_scheduler(scheduler)
+                    .with_core_base(core_base),
             ))),
             CollectorKind::ParallelGc => Box::new(ParallelGc::new(gc_threads)),
             CollectorKind::Shenandoah => Box::new(Shenandoah::new(gc_threads)),
@@ -79,6 +95,14 @@ impl CollectorKind {
                 GcConfig {
                     gc_threads,
                     deadline_cycles: deadline_cycles.or(cfg.deadline_cycles),
+                    // The run-level knobs win only when explicitly set;
+                    // an ablation's Custom config keeps its own choices.
+                    scheduler: if scheduler == SchedulerKind::Barrier {
+                        cfg.scheduler
+                    } else {
+                        scheduler
+                    },
+                    core_base: if core_base == 0 { cfg.core_base } else { core_base },
                     ..*cfg
                 }
                 .with_verify_phases(verify_phases || cfg.verify_phases)
@@ -178,6 +202,13 @@ pub struct RunConfig {
     /// Seeded write-ahead-log mutation (the crash-matrix teeth: a
     /// protocol corruption recovery MUST detect and fail closed on).
     pub wal_mutation: Option<WalMutation>,
+    /// Scheduling substrate for the GC phases: the four-barrier pipeline
+    /// (default) or dependency-ordered work packets with stealing.
+    pub scheduler: SchedulerKind,
+    /// First machine core this JVM's GC workers pin to (multi-JVM runs
+    /// give each collector a disjoint base so pinned workers never share
+    /// a core).
+    pub core_base: usize,
 }
 
 impl RunConfig {
@@ -206,7 +237,21 @@ impl RunConfig {
             wal: false,
             crash_plans: Vec::new(),
             wal_mutation: None,
+            scheduler: SchedulerKind::Barrier,
+            core_base: 0,
         }
+    }
+
+    /// Select the GC scheduling substrate.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> RunConfig {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Set the core-affinity base of this JVM's GC workers.
+    pub fn with_core_base(mut self, base: usize) -> RunConfig {
+        self.core_base = base;
+        self
     }
 
     /// Enable deterministic SwapVA fault injection at probability `p`.
@@ -632,6 +677,8 @@ fn run_inner(
         cfg.deadline_cycles,
         cfg.degrade,
         cfg.retry,
+        cfg.scheduler,
+        cfg.core_base,
     );
     if cfg.fault_rate > 0.0 {
         let fc = if cfg.fault_permanent_only {

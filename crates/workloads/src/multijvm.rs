@@ -89,6 +89,11 @@ where
         cfg.bandwidth = Some(bandwidth.clone());
         cfg.effective_cores = Some(core_share);
         cfg.asid = (i + 1) as u16;
+        // Disjoint affinity bases: instance i's workers pin starting at
+        // its own core share, so no two collectors contend for a core
+        // while enough cores exist (the scheduler-level regression test is
+        // `concurrent_collectors_pin_disjoint_cores`).
+        cfg.core_base = i * core_share;
         let mut w = make(i);
         run(w.as_mut(), &cfg)
     })
