@@ -1,0 +1,6 @@
+//! The noisy-neighbor blast-radius figure. Pass `--out DIR` to also
+//! write the `BENCH_noisy_neighbor.json` perf record.
+
+fn main() {
+    svagc_bench::runner::main_single("noisy_neighbor");
+}

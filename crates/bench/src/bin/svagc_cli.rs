@@ -15,7 +15,8 @@ use svagc_kernel::{CrashPlan, FlushMode, WalMutation};
 use svagc_metrics::MachineConfig;
 use svagc_workloads::driver::{run_with_crash, CollectorKind, CrashOutcome, RunConfig};
 use svagc_workloads::lrucache::LruCache;
-use svagc_workloads::multijvm::run_multi;
+use svagc_workloads::multijvm::{run_multi, TenantOutcome};
+use svagc_workloads::noisy::{self, NoisySpec};
 use svagc_workloads::suite;
 
 fn usage() -> ! {
@@ -35,6 +36,10 @@ fn usage() -> ! {
   svagc recover ...same flags as run...
   svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]
             [--scheduler barrier|packets]
+  svagc fleet [--tenants <n>] [--victims <i,j,...>] [--victim-fault-rate <p>]
+            [--seed <n>] [--steps <n>] [--live-objects <n>]
+            [--quota-fraction <f>] [--max-attempts <n>] [--no-pressure]
+            [--machine 6130|6240|i5]
   svagc protocol-check [--deep]
 
   --scheduler         GC scheduling substrate: barrier (default; each
@@ -85,9 +90,26 @@ fn usage() -> ! {
                       rebooted and the recovery state machine replays the
                       write-ahead journal (see --crash-plan)
 
+  fleet               the noisy-neighbor chaos harness: N tenants churn
+                      under a shared frame pool (per-tenant quotas, GC
+                      headroom, pressure ladder) while the victim tenants
+                      get seeded permanent SwapVA faults; a fault-free
+                      twin fleet runs alongside and both blast-radius
+                      oracles are applied (isolation: healthy heaps
+                      bit-identical to the twin's; frame-leak: pool
+                      in-use == survivors' footprints, ownership audit
+                      clean). Quarantines are reported per tenant with
+                      their classified failure; the fleet itself exits 0
+                      when every tenant completed and the oracles held,
+                      1 on an oracle violation, or the first quarantined
+                      tenant's failure code (quarantine is the expected
+                      outcome for a faulted victim — scripts assert on
+                      it, they don't treat it as a harness error)
+
   exit codes: 0 ok | 1 error | 2 usage | 10 watchdog deadline |
               11 fault abort | 12 degraded-mode ladder exhausted |
-              13 machine crashed | 14 recovery failed
+              13 machine crashed | 14 recovery failed |
+              15 tenant out of memory
 
   protocol-check      exhaustively model-check the three TLB-coherence
                       protocols (GlobalBroadcast / LocalOnly / Tracked)
@@ -147,6 +169,7 @@ fn flags(args: &[String]) -> Vec<(String, String)> {
             || key == "tlb-oracle"
             || key == "wal"
             || key == "fault-permanent"
+            || key == "no-pressure"
             || key == "deep"
         {
             out.push((key.to_string(), "true".to_string()));
@@ -472,6 +495,98 @@ fn main() {
                 res.avg_app_ms(),
                 res.avg_total_ms()
             );
+        }
+        Some("fleet") => {
+            let fs = flags(&args[1..]);
+            let mut spec = NoisySpec::standard(
+                get(&fs, "victim-fault-rate")
+                    .map(|p| p.parse().expect("--victim-fault-rate expects a probability"))
+                    .unwrap_or(0.10),
+                get(&fs, "seed")
+                    .map(|s| s.parse().expect("--seed expects an integer"))
+                    .unwrap_or(42),
+            );
+            if let Some(n) = get(&fs, "tenants") {
+                spec.tenants = n.parse().expect("--tenants expects an integer");
+            }
+            if let Some(v) = get(&fs, "victims") {
+                spec.victims = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--victims expects indices i,j,..."))
+                    .collect();
+            }
+            if let Some(s) = get(&fs, "steps") {
+                spec.steps = s.parse().expect("--steps expects an integer");
+            }
+            if let Some(l) = get(&fs, "live-objects") {
+                spec.live_objects = l.parse().expect("--live-objects expects an integer");
+            }
+            if let Some(q) = get(&fs, "quota-fraction") {
+                spec.quota_fraction = q.parse().expect("--quota-fraction expects a float");
+            }
+            if let Some(a) = get(&fs, "max-attempts") {
+                spec.max_attempts = a.parse().expect("--max-attempts expects an integer");
+            }
+            spec.pressure = get(&fs, "no-pressure").is_none();
+            if spec.victims.iter().any(|&v| v >= spec.tenants) {
+                eprintln!("--victims indices must be < --tenants");
+                usage()
+            }
+            let mut base = RunConfig::new(noisy::default_collector());
+            base.machine = parse_machine(get(&fs, "machine").unwrap_or("6130"));
+            let out = noisy::run_noisy_neighbor(&spec, &base).unwrap_or_else(|e| {
+                eprintln!("fleet FAILED: {e}");
+                std::process::exit(1);
+            });
+            let (quota, headroom) = noisy::quota_frames(&spec, base.heap_factor);
+            println!(
+                "fleet        : {} tenants x {} quota frames ({} GC headroom), \
+                 pressure {}",
+                spec.tenants,
+                quota,
+                headroom,
+                if spec.pressure { "on" } else { "off" }
+            );
+            println!(
+                "victims      : {:?} at {:.1}% permanent fault rate, {} attempt(s)",
+                spec.victims,
+                100.0 * spec.victim_fault_rate,
+                spec.max_attempts
+            );
+            let mut first_quarantine: Option<i32> = None;
+            for (i, o) in out.faulty.outcomes.iter().enumerate() {
+                match o {
+                    TenantOutcome::Completed(r) => println!(
+                        "tenant {i:>2}    : completed | {} frames | throughput {:.1} steps/s | \
+                         pressure remedies {} | heap hash {:#018x}",
+                        r.frames_in_use,
+                        r.throughput(),
+                        r.pressure.denial_remedies
+                            + r.pressure.signal_minor_gcs
+                            + r.pressure.signal_full_gcs,
+                        r.heap_hash
+                    ),
+                    TenantOutcome::Quarantined { kind, message, attempts, frames_reclaimed } => {
+                        first_quarantine.get_or_insert(kind.exit_code());
+                        println!(
+                            "tenant {i:>2}    : QUARANTINED [{}] after {attempts} attempt(s), \
+                             {frames_reclaimed} frame(s) reclaimed: {message}",
+                            kind.label()
+                        );
+                    }
+                }
+            }
+            println!(
+                "isolation    : ok ({} healthy tenant(s) bit-identical to the fault-free twin)",
+                out.isolation_compared
+            );
+            println!(
+                "frame leak   : ok ({} frame(s) audited, pool in-use == survivors' footprints)",
+                out.frames_audited
+            );
+            if let Some(code) = first_quarantine {
+                std::process::exit(code);
+            }
         }
         Some("protocol-check") => {
             let fs = flags(&args[1..]);

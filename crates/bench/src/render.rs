@@ -530,3 +530,66 @@ pub fn packet_scaling(rep: &mut Report) {
     );
     rep.say("packet overlap beats the four-barrier pipeline at every multi-worker point");
 }
+
+/// Noisy-neighbor blast radius: healthy-tenant throughput and survival as
+/// the victim tenant's injected fault rate rises, under a shared frame
+/// pool with the pressure ladder armed. Not a paper figure — it documents
+/// the fleet-isolation layer this reproduction adds: every point runs the
+/// faulty fleet *and* a fault-free twin, and both the isolation oracle
+/// (healthy heaps bit-identical to the twin's) and the frame-leak oracle
+/// (pool in-use == survivors' footprints, ownership audit clean) must
+/// hold for the row to exist at all.
+pub fn noisy_neighbor(rep: &mut Report) {
+    let rows = suites::noisy_neighbor_rows(&[0, 1, 5, 10]);
+    let mut t = Table::new([
+        "victim fault rate",
+        "survivors",
+        "victim",
+        "healthy steps/s",
+        "healthy GC (ms)",
+        "isolation compared",
+        "frames audited",
+    ]);
+    for r in &rows {
+        t.row([
+            pct(r.fault_rate_pct),
+            format!("{}/{}", r.survivors, r.survivors + r.quarantined),
+            r.victim.clone(),
+            format!("{:.1}", r.healthy_throughput),
+            ms(r.healthy_gc_total_ms),
+            r.isolation_compared.to_string(),
+            r.frames_audited.to_string(),
+        ]);
+        rep.row("noisy_neighbor", r);
+        rep.counter(
+            &format!("fleet.survivors.{}pct", r.fault_rate_pct as u32),
+            r.survivors,
+        );
+        rep.counter(
+            &format!("fleet.healthy_total_cycles.{}pct", r.fault_rate_pct as u32),
+            r.healthy_total_cycles,
+        );
+    }
+    rep.table(&t);
+    let base = &rows[0];
+    let worst = rows.last().unwrap();
+    assert_eq!(
+        base.quarantined, 0,
+        "fault-free fleet must survive whole under the quota squeeze"
+    );
+    assert_eq!(
+        worst.victim, "fault-abort",
+        "a 10% permanent fault rate must quarantine the victim"
+    );
+    assert_eq!(
+        worst.survivors + 1,
+        base.survivors,
+        "only the victim may fall at the top rate"
+    );
+    let retained = worst.healthy_throughput / base.healthy_throughput;
+    rep.derived("healthy_throughput_retained_at_10pct", retained);
+    rep.say(format!(
+        "healthy tenants retain {:.1}% of fault-free throughput with the victim quarantined at 10% faults",
+        100.0 * retained
+    ));
+}

@@ -156,6 +156,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         caption: "Full-GC makespan vs workers: barrier pipeline vs packet scheduler",
         run: render::packet_scaling,
     },
+    Experiment {
+        id: "noisy_neighbor",
+        title: "Noisy neighbor",
+        caption: "Healthy-tenant throughput & survival vs victim fault rate (blast-radius isolation)",
+        run: render::noisy_neighbor,
+    },
 ];
 
 /// The five design-choice studies `bin/ablations` runs.

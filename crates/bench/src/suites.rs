@@ -448,6 +448,78 @@ pub fn packet_scaling_rows(counts: &[usize]) -> Vec<PacketScalingRow> {
         .collect()
 }
 
+/// One noisy-neighbor chaos measurement: the standard 4-tenant pooled
+/// fleet at one victim fault rate, run against its fault-free twin with
+/// both blast-radius oracles applied.
+#[derive(Debug, Clone)]
+pub struct NoisyNeighborRow {
+    /// Victim per-swap-request fault rate, percent.
+    pub fault_rate_pct: f64,
+    /// Tenants that ran (and verified) to completion.
+    pub survivors: u64,
+    /// Tenants quarantined.
+    pub quarantined: u64,
+    /// The victim tenant's outcome: "completed" or its failure label.
+    pub victim: String,
+    /// Mean healthy-tenant throughput (steps per simulated second).
+    pub healthy_throughput: f64,
+    /// Mean healthy-tenant total GC pause (ms).
+    pub healthy_gc_total_ms: f64,
+    /// Healthy tenants the isolation oracle compared bit-identical.
+    pub isolation_compared: u64,
+    /// Frames the leak oracle audited in the faulty pool.
+    pub frames_audited: u64,
+    /// Summed healthy-tenant wall time, exact simulated cycles (the
+    /// digest-pinned scalar behind `healthy_throughput`).
+    pub healthy_total_cycles: u64,
+    /// Summed healthy-tenant GC pause, exact simulated cycles.
+    pub healthy_gc_pause_cycles: u64,
+}
+impl_to_json!(NoisyNeighborRow {
+    fault_rate_pct,
+    survivors,
+    quarantined,
+    victim,
+    healthy_throughput,
+    healthy_gc_total_ms,
+    isolation_compared,
+    frames_audited,
+    healthy_total_cycles,
+    healthy_gc_pause_cycles,
+});
+
+/// Noisy-neighbor figure: healthy-tenant throughput and survival vs the
+/// victim's injected fault rate. Each rate is an independent experiment
+/// (its own pool, fleets, and twin), so the sweep is host-parallel.
+pub fn noisy_neighbor_rows(rates_pct: &[u32]) -> Vec<NoisyNeighborRow> {
+    use svagc_workloads::noisy::{default_collector, run_noisy_neighbor, NoisySpec};
+    par_map(rates_pct.to_vec(), |rate_pct| {
+        let spec = NoisySpec::standard(rate_pct as f64 / 100.0, 42);
+        let base = RunConfig::new(default_collector());
+        let out = run_noisy_neighbor(&spec, &base)
+            .unwrap_or_else(|e| panic!("noisy-neighbor oracle failure at {rate_pct}%: {e}"));
+        let healthy = out.faulty.completed();
+        let n = healthy.len().max(1) as f64;
+        NoisyNeighborRow {
+            fault_rate_pct: rate_pct as f64,
+            survivors: out.faulty.survivors() as u64,
+            quarantined: out.faulty.quarantined() as u64,
+            victim: match &out.faulty.outcomes[spec.victims[0]] {
+                svagc_workloads::multijvm::TenantOutcome::Completed(_) => "completed".into(),
+                svagc_workloads::multijvm::TenantOutcome::Quarantined { kind, .. } => {
+                    kind.label().into()
+                }
+            },
+            healthy_throughput: healthy.iter().map(|(_, r)| r.throughput()).sum::<f64>() / n,
+            healthy_gc_total_ms: healthy.iter().map(|(_, r)| r.gc_total_ms()).sum::<f64>() / n,
+            isolation_compared: out.isolation_compared as u64,
+            frames_audited: out.frames_audited as u64,
+            healthy_total_cycles: healthy.iter().map(|(_, r)| r.total_cycles()).sum(),
+            healthy_gc_pause_cycles: healthy.iter().map(|(_, r)| r.gc_pause_cycles()).sum(),
+        }
+    })
+}
+
 /// Geometric mean helper for the Table III summary rows.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let (mut log_sum, mut n) = (0.0, 0u32);

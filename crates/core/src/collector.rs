@@ -20,6 +20,29 @@ pub trait Collector {
 
     /// The log of completed cycles.
     fn log(&self) -> &GcLog;
+
+    /// Run a collection cheaper than a full cycle, if the collector has
+    /// one (a young-generation/minor pass). The pressure ladder's first
+    /// rung calls this; `None` (the default) means "unsupported" and the
+    /// caller escalates to a full [`Collector::collect`] instead.
+    fn collect_minor(
+        &mut self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        roots: &mut RootSet,
+    ) -> Option<Result<GcCycleStats, GcError>> {
+        let _ = (kernel, heap, roots);
+        None
+    }
+
+    /// Pressure-driven degrade: force the collector one rung down its
+    /// degraded-mode ladder (memmove-only first) so subsequent cycles
+    /// avoid SwapVA side allocations and pack the heap as tightly as
+    /// possible. Returns `false` when the collector has no ladder or it
+    /// is already exhausted.
+    fn pressure_degrade(&mut self) -> bool {
+        false
+    }
 }
 
 impl Collector for crate::lisp2::Lisp2Collector {
@@ -42,6 +65,10 @@ impl Collector for crate::lisp2::Lisp2Collector {
 
     fn log(&self) -> &GcLog {
         &self.log
+    }
+
+    fn pressure_degrade(&mut self) -> bool {
+        self.degrade.force_escalate().is_some()
     }
 }
 

@@ -191,6 +191,23 @@ impl DegradeController {
         Some(ModeTransition { from, to })
     }
 
+    /// Pressure-driven escalation (the pressure ladder's memmove-only
+    /// rung): unconditionally step one level more conservative, even when
+    /// the abort-driven policy is disabled — memory pressure is an
+    /// explicit request, not a speculative retry. Returns `None` only
+    /// when the ladder is already at its last rung.
+    pub fn force_escalate(&mut self) -> Option<ModeTransition> {
+        self.clean_cycles = 0;
+        let from = self.mode;
+        let to = from.escalate();
+        if to == from {
+            return None;
+        }
+        self.mode = to;
+        self.escalations += 1;
+        Some(ModeTransition { from, to })
+    }
+
     /// A committed cycle: count toward probation; after
     /// [`DegradePolicy::probation`] consecutive clean cycles, step one
     /// level back toward Normal. Returns the recovery transition, if any.

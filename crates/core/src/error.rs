@@ -56,6 +56,17 @@ pub enum GcError {
     /// degrade to, so the collector gives up. Wraps the error that
     /// exhausted it.
     Exhausted(Box<GcError>),
+    /// The pressure-escalation ladder ran out of remedies: early GC, full
+    /// GC, and degraded mode all failed to bring the tenant back under its
+    /// frame budget, so this allocation cannot be satisfied. Strictly
+    /// tenant-local — the fleet layer quarantines the tenant; it never
+    /// panics and never touches another tenant's frames.
+    OutOfMemory {
+        /// Bytes the failed allocation requested.
+        requested: u64,
+        /// The pressure-ladder rung that was the last remedy attempted.
+        last_action: &'static str,
+    },
 }
 
 impl GcError {
@@ -145,6 +156,10 @@ impl fmt::Display for GcError {
             GcError::Exhausted(inner) => {
                 write!(f, "degraded-mode ladder exhausted ({inner})")
             }
+            GcError::OutOfMemory { requested, last_action } => write!(
+                f,
+                "out of memory: {requested} B unsatisfiable after pressure ladder (last action: {last_action})"
+            ),
         }
     }
 }
@@ -155,7 +170,10 @@ impl std::error::Error for GcError {
             GcError::Heap(e) => Some(e),
             GcError::Swap(e) => Some(e),
             GcError::Exhausted(inner) => Some(inner),
-            GcError::Deadline { .. } | GcError::Corruption { .. } | GcError::Crashed { .. } => None,
+            GcError::Deadline { .. }
+            | GcError::Corruption { .. }
+            | GcError::Crashed { .. }
+            | GcError::OutOfMemory { .. } => None,
         }
     }
 }

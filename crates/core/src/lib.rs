@@ -39,6 +39,7 @@ pub mod journal;
 pub mod lisp2;
 pub mod minor;
 pub mod packets;
+pub mod pressure;
 pub mod protocol;
 pub mod recovery;
 pub mod resilience;
@@ -54,6 +55,7 @@ pub use journal::{CompactionJournal, RollbackReport};
 pub use lisp2::Lisp2Collector;
 pub use minor::{full_collect_generational, MinorConfig, MinorGc, MinorStats};
 pub use packets::{PacketKind, PacketScheduler, PacketTicket, SchedStats};
+pub use pressure::{PressureAction, PressureEscalator, PressureStats};
 pub use protocol::{
     check_protocol, mutation_suite, Counterexample, ExploreReport, ModelConfig, Mutation,
 };

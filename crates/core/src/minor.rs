@@ -398,7 +398,7 @@ impl MinorGc {
         for (obj, shape, large) in survivors {
             let w = pool.least_loaded();
             let core = pool.core_of(w, cores);
-            let dst = gh.old.adopt_at_top(shape)?;
+            let dst = gh.old.adopt_at_top(kernel, shape)?;
             let t = kernel.write_word(gh.old.space(), core, obj.forwarding_va(), dst.0.get())?;
             stats.promoted_bytes += shape.size_bytes();
             promos.push(Promo {
@@ -801,7 +801,7 @@ impl MinorGc {
             let core = sched.core(&ticket);
             let mut t = Cycles::ZERO;
             for &(obj, shape, large) in &survivors[s..e] {
-                let dst = gh.old.adopt_at_top(shape)?;
+                let dst = gh.old.adopt_at_top(kernel, shape)?;
                 t += kernel.write_word(gh.old.space(), core, obj.forwarding_va(), dst.0.get())?;
                 stats.promoted_bytes += shape.size_bytes();
                 promos.push(Promo {

@@ -144,6 +144,10 @@ impl CycleMeta {
             heap_bytes: self.heap_bytes,
             swap_threshold_pages: self.swap_threshold_pages,
             align_large: self.align_large,
+            // Not serialized in the cycle snapshot; `Heap::rebuild` probes
+            // the surviving page table's mapped extent and restores the
+            // flag when the committed prefix stops short of `end`.
+            commit_on_demand: false,
         };
         let stats = HeapStats {
             allocations: self.stats[0],

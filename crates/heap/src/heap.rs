@@ -11,7 +11,7 @@
 use crate::object::{ObjHeader, ObjRef, ObjShape, FLAG_LARGE, HEADER_WORDS};
 use svagc_kernel::{CoreId, Kernel};
 use svagc_metrics::Cycles;
-use svagc_vmem::{AddressSpace, Asid, VirtAddr, VmError, PAGE_SIZE, WORD_BYTES};
+use svagc_vmem::{AddressSpace, AllocContext, Asid, VirtAddr, VmError, PAGE_SIZE, WORD_BYTES};
 
 /// Heap construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +25,12 @@ pub struct HeapConfig {
     /// Baseline collectors (ParallelGC, Shenandoah) do not align large
     /// objects — set this `false` for their heaps.
     pub align_large: bool,
+    /// Commit frames lazily as the cursor advances instead of mapping the
+    /// whole heap at construction. Off by default (the paper's Epsilon
+    /// heap maps eagerly); fleet runs under a shared [`svagc_vmem::FramePool`]
+    /// turn it on so a tenant's physical footprint — and therefore its
+    /// pressure signal — tracks what it actually uses.
+    pub commit_on_demand: bool,
 }
 
 impl HeapConfig {
@@ -34,7 +40,14 @@ impl HeapConfig {
             heap_bytes,
             swap_threshold_pages: 10,
             align_large: true,
+            commit_on_demand: false,
         }
+    }
+
+    /// Toggle lazy frame commit (on for fleet runs under a frame pool).
+    pub fn with_commit_on_demand(mut self, on: bool) -> HeapConfig {
+        self.commit_on_demand = on;
+        self
     }
 
     /// Override the swapping threshold.
@@ -143,6 +156,10 @@ pub struct Heap {
     base: VirtAddr,
     end: VirtAddr,
     top: VirtAddr,
+    /// One past the last *mapped* page. Equals `end` on eager heaps; on
+    /// commit-on-demand heaps it trails the cursor page-rounded-up and
+    /// retreats when [`Heap::trim_commit`] returns frames after a GC.
+    committed: VirtAddr,
     cfg: HeapConfig,
     /// All allocated objects in allocation order (sorted on demand).
     objects: Vec<ObjRef>,
@@ -153,20 +170,91 @@ pub struct Heap {
 
 impl Heap {
     /// Map and build a heap of `cfg.heap_bytes` in a fresh address space.
+    ///
+    /// Eager (default) heaps map the whole range here; commit-on-demand
+    /// heaps only reserve the virtual range and commit frames as the
+    /// allocation cursor advances.
     pub fn new(kernel: &mut Kernel, asid: Asid, cfg: HeapConfig) -> Result<Heap, HeapError> {
         let mut space = AddressSpace::new(asid);
         let pages = cfg.heap_bytes.div_ceil(PAGE_SIZE);
-        let base = kernel.vmem.alloc_region(&mut space, pages)?;
+        let base = if cfg.commit_on_demand {
+            space.reserve_pages(pages)
+        } else {
+            kernel.vmem.alloc_region(&mut space, pages)?
+        };
+        let committed = if cfg.commit_on_demand { base } else { base.add_pages(pages) };
         Ok(Heap {
             space,
             base,
             end: base.add_pages(pages),
             top: base,
+            committed,
             cfg,
             objects: Vec::new(),
             sorted: true,
             stats: HeapStats::default(),
         })
+    }
+
+    /// Grow the committed prefix to cover `to` (page-rounded up), charging
+    /// the frames under `ctx`. No-op on eager heaps (everything is
+    /// committed at construction). A denial — pool quota, frame
+    /// exhaustion — leaves the heap unchanged, so the caller can GC and
+    /// retry.
+    fn ensure_committed(
+        &mut self,
+        kernel: &mut Kernel,
+        to: VirtAddr,
+        ctx: AllocContext,
+    ) -> Result<(), HeapError> {
+        if to.get() <= self.committed.get() {
+            return Ok(());
+        }
+        debug_assert!(self.cfg.commit_on_demand, "eager heaps are fully committed");
+        let new_committed = to.align_up();
+        debug_assert!(new_committed.get() <= self.end.get());
+        let pages = (new_committed - self.committed) / PAGE_SIZE;
+        let prev = kernel.vmem.frames.context();
+        kernel.vmem.frames.set_context(ctx);
+        let mapped = kernel.vmem.map_pages(&mut self.space, self.committed, pages);
+        kernel.vmem.frames.set_context(prev);
+        mapped?;
+        self.committed = new_committed;
+        Ok(())
+    }
+
+    /// Return the frames above the cursor to the allocator (and the fleet
+    /// pool, if leased). Called after a GC has lowered `top`; a no-op on
+    /// eager heaps. Returns the number of pages decommitted. Recommitted
+    /// pages come back zeroed, so heap content stays a pure function of
+    /// mutator writes and GC moves.
+    pub fn trim_commit(&mut self, kernel: &mut Kernel) -> Result<u64, HeapError> {
+        if !self.cfg.commit_on_demand {
+            return Ok(0);
+        }
+        let keep = self.top.align_up();
+        if keep.get() >= self.committed.get() {
+            return Ok(0);
+        }
+        let pages = (self.committed - keep) / PAGE_SIZE;
+        kernel.vmem.unmap_pages(&mut self.space, keep, pages)?;
+        // Decommit is a munmap: every core may hold translations for the
+        // released range, and the frames go back to the pool for reuse.
+        // Without the shootdown a stale TLB entry would route later
+        // mutator accesses into a recycled frame.
+        kernel.flush_asid_all_cores(CoreId(0), self.space.asid());
+        self.committed = keep;
+        Ok(pages)
+    }
+
+    /// One past the last mapped page (equals `end()` on eager heaps).
+    pub fn committed(&self) -> VirtAddr {
+        self.committed
+    }
+
+    /// Mapped pages (the tenant's physical heap footprint).
+    pub fn committed_pages(&self) -> u64 {
+        (self.committed - self.base) / PAGE_SIZE
     }
 
     /// `IFSWAPALIGN` (Algorithm 3, lines 7-11): page-align the cursor for
@@ -221,6 +309,9 @@ impl Heap {
         if after.get() > self.end.get() {
             return Err(HeapError::NeedGc { requested: size });
         }
+        // Commit before touching the cursor: a quota denial must leave the
+        // heap retryable after a GC.
+        self.ensure_committed(kernel, aligned + size, AllocContext::Heap)?;
         let pre_gap = aligned - self.top;
         let post_gap = after - (aligned + size);
         self.top = after;
@@ -503,11 +594,24 @@ impl Heap {
         stats: HeapStats,
     ) -> Heap {
         debug_assert!(base <= top && top <= end);
+        // The recovery metadata predates the commit-on-demand flag, so the
+        // mapped extent is probed from the surviving page table: committed
+        // pages form a contiguous prefix, and a heap whose prefix stops
+        // short of `end` was necessarily commit-on-demand.
+        let mut committed = base;
+        while committed.get() < end.get() && space.translate(committed).is_ok() {
+            committed = committed.add_pages(1);
+        }
+        let mut cfg = cfg;
+        if committed.get() < end.get() {
+            cfg.commit_on_demand = true;
+        }
         Heap {
             space,
             base,
             end,
             top,
+            committed,
             cfg,
             objects,
             sorted: false,
@@ -528,11 +632,13 @@ impl Heap {
         header.size_words as u64 - HEADER_WORDS
     }
 
-    /// Advance the shared cursor to `to` (TLAB reservation). Callers must
-    /// have checked capacity.
-    pub(crate) fn reserve_to(&mut self, to: VirtAddr) {
+    /// Advance the shared cursor to `to` (TLAB reservation), committing
+    /// frames up to it first. Callers must have checked capacity.
+    pub(crate) fn reserve_to(&mut self, kernel: &mut Kernel, to: VirtAddr) -> Result<(), HeapError> {
         debug_assert!(to >= self.top && to.get() <= self.end.get());
+        self.ensure_committed(kernel, to, AllocContext::Tlab)?;
         self.top = to;
+        Ok(())
     }
 
     /// Map a fresh region of `pages` pages in this heap's address space,
@@ -542,7 +648,14 @@ impl Heap {
         kernel: &mut Kernel,
         pages: u64,
     ) -> Result<VirtAddr, HeapError> {
-        Ok(kernel.vmem.alloc_region(&mut self.space, pages)?)
+        // Side regions (eden, buffers) serve the collector: charge them to
+        // the GC context so they may dip into the pool's emergency
+        // headroom rather than dying at the mutator ceiling.
+        let prev = kernel.vmem.frames.context();
+        kernel.vmem.frames.set_context(AllocContext::Gc);
+        let mapped = kernel.vmem.alloc_region(&mut self.space, pages);
+        kernel.vmem.frames.set_context(prev);
+        Ok(mapped?)
     }
 
     /// `IFSWAPALIGN` for external allocators (eden, promotion): where an
@@ -555,13 +668,15 @@ impl Heap {
     /// (promotion) will place at the current cursor. Returns the
     /// destination; the caller moves the object bytes there (header
     /// included) and the heap tracks it from now on.
-    pub fn adopt_at_top(&mut self, shape: ObjShape) -> Result<ObjRef, HeapError> {
+    pub fn adopt_at_top(&mut self, kernel: &mut Kernel, shape: ObjShape) -> Result<ObjRef, HeapError> {
         let size = shape.size_bytes();
         let aligned = self.if_swap_align(shape, self.top);
         let after = self.if_swap_align(shape, aligned + size);
         if after.get() > self.end.get() {
             return Err(HeapError::NeedGc { requested: size });
         }
+        // Promotion runs inside a GC: commit under the GC context.
+        self.ensure_committed(kernel, aligned + size, AllocContext::Gc)?;
         let pre_gap = aligned - self.top;
         let post_gap = after - (aligned + size);
         self.top = after;
@@ -726,6 +841,52 @@ mod tests {
             "frag ratio {} exceeds 5%",
             h.stats.frag_ratio()
         );
+    }
+
+    #[test]
+    fn on_demand_commit_tracks_cursor_and_trims() {
+        let mut k = Kernel::with_bytes(MachineConfig::i5_7600(), 8 << 20);
+        let cfg = HeapConfig::new(4 << 20).with_commit_on_demand(true);
+        let mut h = Heap::new(&mut k, Asid(1), cfg).unwrap();
+        assert_eq!(h.committed_pages(), 0, "nothing mapped at construction");
+        let before = k.vmem.frames.in_use();
+        h.alloc(&mut k, CoreId(0), ObjShape::data_bytes(3 * PAGE_SIZE)).unwrap();
+        assert!(h.committed_pages() >= 3);
+        assert!(k.vmem.frames.in_use() > before, "frames committed on demand");
+        // An empty heap after "GC" gives everything back.
+        let committed_before = h.committed_pages();
+        h.complete_gc(Vec::new(), h.base());
+        let trimmed = h.trim_commit(&mut k).unwrap();
+        assert_eq!(trimmed, committed_before);
+        assert_eq!(h.committed_pages(), 0);
+        assert_eq!(k.vmem.frames.in_use(), before, "all frames returned");
+        // Recommitted pages come back zeroed.
+        let (obj, _) = h.alloc(&mut k, CoreId(0), ObjShape::data(8)).unwrap();
+        assert_eq!(h.read_data(&mut k, CoreId(0), obj, 0, 0).unwrap().0, 0);
+    }
+
+    #[test]
+    fn on_demand_commit_denial_is_retryable() {
+        // Pool quota smaller than the heap: the commit path must surface a
+        // typed error and leave the heap consistent for a GC + retry.
+        use svagc_vmem::FramePool;
+        let mut k = Kernel::with_bytes(MachineConfig::i5_7600(), 8 << 20);
+        let pool = FramePool::new(64);
+        let lease = pool.register(svagc_vmem::TenantId(1), 16, 4).unwrap();
+        k.vmem.frames.attach_lease(lease);
+        let cfg = HeapConfig::new(4 << 20).with_commit_on_demand(true);
+        let mut h = Heap::new(&mut k, Asid(1), cfg).unwrap();
+        // Mutator budget = 12 frames: the 13th page of commit is denied.
+        let big = ObjShape::data_bytes(13 * PAGE_SIZE);
+        let top_before = h.top();
+        match h.alloc(&mut k, CoreId(0), big) {
+            Err(HeapError::Vm(VmError::QuotaExceeded { tenant: 1, .. })) => {}
+            other => panic!("expected quota denial, got {other:?}"),
+        }
+        assert_eq!(h.top(), top_before, "denied alloc must not move the cursor");
+        assert_eq!(h.object_count(), 0);
+        // Within budget still works.
+        h.alloc(&mut k, CoreId(0), ObjShape::data_bytes(4 * PAGE_SIZE)).unwrap();
     }
 
     #[test]

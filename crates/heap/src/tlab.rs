@@ -31,13 +31,13 @@ impl Tlab {
         // A TLAB is just a heap range reservation: allocate a filler region
         // by bumping the shared cursor via a raw data "object" would pollute
         // the object list, so reserve directly.
-        let _ = (kernel, core);
+        let _ = core;
         let start = heap.top();
         let end = VirtAddr(start.get() + bytes);
         if end.get() > heap.end().get() {
             return Err(HeapError::NeedGc { requested: bytes });
         }
-        heap.reserve_to(end);
+        heap.reserve_to(kernel, end)?;
         Ok((
             Tlab {
                 start,
@@ -153,7 +153,21 @@ impl TlabAllocator {
                 self.retired_waste += tlab.remainder();
                 self.tlab = None;
             }
-            let (tlab, t) = Tlab::new(heap, kernel, core, self.tlab_bytes)?;
+            let (tlab, t) = match Tlab::new(heap, kernel, core, self.tlab_bytes) {
+                Ok(v) => v,
+                Err(HeapError::Vm(svagc_vmem::VmError::QuotaExceeded { .. })) => {
+                    // Near a frame-quota edge a whole-TLAB reservation can
+                    // be denied while the object itself still fits. Fall
+                    // back to a shared-space allocation; if even that is
+                    // denied, its error carries the *minimal* unsatisfiable
+                    // request, which is what a pressure ladder should see.
+                    // (Plain heap exhaustion keeps propagating as `NeedGc`
+                    // — that is the GC trigger, not a pressure condition.)
+                    let (obj, t) = heap.alloc(kernel, core, shape)?;
+                    return Ok((obj, total + t));
+                }
+                Err(e) => return Err(e),
+            };
             total += t;
             self.tlab = Some(tlab);
         }

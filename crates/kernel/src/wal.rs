@@ -319,6 +319,9 @@ pub struct WriteAheadLog {
     epoch_dropped: bool,
     /// Next epoch to assign (monotonic across the log's lifetime).
     next_epoch: u64,
+    /// Namespace prefix OR-ed into every assigned epoch (fleet tenants get
+    /// disjoint epoch spaces so logs can never be confused across tenants).
+    epoch_base: u64,
     /// Next sequence number within the open epoch.
     seq: u64,
     mutation: Option<WalMutation>,
@@ -438,8 +441,17 @@ impl Kernel {
     pub fn set_wal_enabled(&mut self, on: bool) {
         self.wal = WriteAheadLog {
             enabled: on,
+            epoch_base: self.wal.epoch_base,
             ..WriteAheadLog::default()
         };
+    }
+
+    /// Give this kernel's WAL a per-tenant epoch namespace: every epoch it
+    /// assigns carries `ns` in its top 16 bits, so two tenants' logs can
+    /// never collide or be confused during fleet-level forensics. The
+    /// default namespace 0 leaves single-JVM epochs (1, 2, 3, …) unchanged.
+    pub fn set_wal_namespace(&mut self, ns: u16) {
+        self.wal.epoch_base = (ns as u64) << 48;
     }
 
     /// Is the write-ahead log armed?
@@ -464,7 +476,7 @@ impl Kernel {
             return None;
         }
         self.wal.next_epoch += 1;
-        let epoch = self.wal.next_epoch;
+        let epoch = self.wal.epoch_base | self.wal.next_epoch;
         self.wal.open_epoch = Some(epoch);
         self.wal.epoch_dropped = false;
         self.wal.seq = 0;
@@ -650,6 +662,26 @@ mod tests {
         roundtrip(WalPayload::Commit { meta: Vec::new() });
         roundtrip(WalPayload::CycleAborted);
         roundtrip(WalPayload::Recovered { outcome: 2 });
+    }
+
+    #[test]
+    fn epoch_namespace_prefixes_every_epoch() {
+        use svagc_metrics::MachineConfig;
+        let mut k = Kernel::new(MachineConfig::i5_7600(), 16);
+        k.set_wal_enabled(true);
+        k.set_wal_namespace(3);
+        let e1 = k.wal_cycle_begin(vec![]).unwrap();
+        k.wal_commit(vec![]);
+        let e2 = k.wal_cycle_begin(vec![]).unwrap();
+        k.wal_commit(vec![]);
+        assert_eq!(e1, (3u64 << 48) | 1);
+        assert_eq!(e2, (3u64 << 48) | 2);
+        // Re-arming the log keeps the namespace; default stays 0.
+        k.set_wal_enabled(true);
+        assert_eq!(k.wal_cycle_begin(vec![]).unwrap(), (3u64 << 48) | 1);
+        let mut k0 = Kernel::new(MachineConfig::i5_7600(), 16);
+        k0.set_wal_enabled(true);
+        assert_eq!(k0.wal_cycle_begin(vec![]).unwrap(), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Error types for the virtual-memory subsystem.
 
-use crate::addr::{PhysAddr, VirtAddr};
+use crate::addr::{FrameId, PhysAddr, VirtAddr};
+use crate::pool::AllocContext;
 use std::fmt;
 
 /// Failures of the simulated memory subsystem.
@@ -32,6 +33,32 @@ pub enum VmError {
         /// Page count requested.
         pages: u64,
     },
+    /// A frame id outside the allocator's (or tenant's) range was freed or
+    /// charged.
+    FrameOutOfRange(FrameId),
+    /// A frame that is not currently allocated was freed (double free).
+    FrameNotAllocated(FrameId),
+    /// A tenant's frame-pool quota would be exceeded; the allocation was
+    /// denied without touching any other tenant's budget.
+    QuotaExceeded {
+        /// The tenant whose charge was denied.
+        tenant: u16,
+        /// What the denied allocation was for.
+        ctx: AllocContext,
+    },
+    /// The ownership map shows the frame charged to another tenant (or
+    /// charged twice) — an isolation invariant violation.
+    DualOwnership {
+        /// Tenant-local frame id.
+        frame: u32,
+        /// Current owner recorded in the map.
+        owner: u16,
+        /// Tenant that attempted the conflicting charge/release.
+        claimant: u16,
+    },
+    /// The tenant id is not registered with the frame pool (or is already
+    /// taken, for registration).
+    NoSuchTenant(u16),
 }
 
 impl fmt::Display for VmError {
@@ -47,6 +74,22 @@ impl fmt::Display for VmError {
             VmError::AliasedSwapRange { a, pages } => {
                 write!(f, "self-aliasing swap range: {a} <-> {a} ({pages} pages)")
             }
+            VmError::FrameOutOfRange(frame) => {
+                write!(f, "frame id out of range: {}", frame.0)
+            }
+            VmError::FrameNotAllocated(frame) => {
+                write!(f, "frame not allocated (double free?): {}", frame.0)
+            }
+            VmError::QuotaExceeded { tenant, ctx } => {
+                write!(f, "tenant{tenant} frame quota exceeded ({} context)", ctx.name())
+            }
+            VmError::DualOwnership { frame, owner, claimant } => {
+                write!(
+                    f,
+                    "frame {frame} ownership conflict: owned by tenant{owner}, claimed by tenant{claimant}"
+                )
+            }
+            VmError::NoSuchTenant(t) => write!(f, "tenant{t} not registered with the frame pool"),
         }
     }
 }

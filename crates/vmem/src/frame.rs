@@ -6,6 +6,7 @@
 
 use crate::addr::{FrameId, PhysAddr, PAGE_SIZE};
 use crate::error::VmError;
+use crate::pool::{AllocContext, FrameLease};
 
 /// Flat physical memory of `frames * 4096` bytes.
 #[derive(Debug)]
@@ -107,6 +108,14 @@ impl PhysMem {
 }
 
 /// Free-list frame allocator over a [`PhysMem`]-sized pool.
+///
+/// The allocator tracks an allocated-bitmap so `free` can reject
+/// out-of-range and double-freed frames with a typed error instead of
+/// silently corrupting the free list (and underflowing `allocated`) in
+/// release builds. An optional [`FrameLease`] attaches the allocator to a
+/// fleet-wide [`crate::FramePool`]: every alloc is charged against the
+/// owning tenant's quota under the current [`AllocContext`], and every
+/// free releases the charge.
 #[derive(Debug)]
 pub struct FrameAllocator {
     /// Next never-allocated frame (bump region).
@@ -114,9 +123,17 @@ pub struct FrameAllocator {
     limit: u32,
     /// Returned frames, reused LIFO.
     free: Vec<FrameId>,
+    /// One bit per frame: is it currently allocated?
+    bits: Vec<u64>,
     allocated: u32,
     /// High-water mark of simultaneously live frames.
     peak: u32,
+    /// Invalid frees rejected (out of range or double free).
+    free_errors: u64,
+    /// Optional fleet budget; charged/released alongside alloc/free.
+    lease: Option<FrameLease>,
+    /// Attribution for subsequent allocations.
+    ctx: AllocContext,
 }
 
 impl FrameAllocator {
@@ -126,22 +143,72 @@ impl FrameAllocator {
             next: 0,
             limit,
             free: Vec::new(),
+            bits: vec![0u64; limit.div_ceil(64) as usize],
             allocated: 0,
             peak: 0,
+            free_errors: 0,
+            lease: None,
+            ctx: AllocContext::Heap,
         }
+    }
+
+    #[inline]
+    fn bit(&self, frame: FrameId) -> bool {
+        self.bits[(frame.0 / 64) as usize] & (1u64 << (frame.0 % 64)) != 0
+    }
+
+    #[inline]
+    fn set_bit(&mut self, frame: FrameId, on: bool) {
+        let mask = 1u64 << (frame.0 % 64);
+        if on {
+            self.bits[(frame.0 / 64) as usize] |= mask;
+        } else {
+            self.bits[(frame.0 / 64) as usize] &= !mask;
+        }
+    }
+
+    /// Attach a fleet-budget lease; every subsequent alloc/free is charged
+    /// to or released from the owning tenant's quota.
+    pub fn attach_lease(&mut self, lease: FrameLease) {
+        self.lease = Some(lease);
+    }
+
+    /// The attached fleet-budget lease, if any.
+    pub fn lease(&self) -> Option<&FrameLease> {
+        self.lease.as_ref()
+    }
+
+    /// Set the attribution context for subsequent allocations.
+    pub fn set_context(&mut self, ctx: AllocContext) {
+        self.ctx = ctx;
+    }
+
+    /// Current allocation attribution context.
+    pub fn context(&self) -> AllocContext {
+        self.ctx
     }
 
     /// Allocate one frame.
     pub fn alloc(&mut self) -> Result<FrameId, VmError> {
-        let f = if let Some(f) = self.free.pop() {
-            f
+        // Pick the candidate first, charge the fleet budget, and only then
+        // commit allocator state — a quota denial must leave the free list
+        // and bump cursor untouched.
+        let (f, from_free) = if let Some(&f) = self.free.last() {
+            (f, true)
         } else if self.next < self.limit {
-            let f = FrameId(self.next);
-            self.next += 1;
-            f
+            (FrameId(self.next), false)
         } else {
             return Err(VmError::OutOfFrames);
         };
+        if let Some(lease) = &self.lease {
+            lease.charge(self.ctx, f)?;
+        }
+        if from_free {
+            self.free.pop();
+        } else {
+            self.next += 1;
+        }
+        self.set_bit(f, true);
         self.allocated += 1;
         self.peak = self.peak.max(self.allocated);
         Ok(f)
@@ -155,7 +222,7 @@ impl FrameAllocator {
                 Ok(f) => v.push(f),
                 Err(e) => {
                     for f in v {
-                        self.free(f);
+                        self.free(f).expect("rollback of a just-allocated frame");
                     }
                     return Err(e);
                 }
@@ -164,11 +231,25 @@ impl FrameAllocator {
         Ok(v)
     }
 
-    /// Return a frame to the pool.
-    pub fn free(&mut self, frame: FrameId) {
-        debug_assert!(frame.0 < self.limit);
-        self.allocated -= 1;
+    /// Return a frame to the pool. Out-of-range and double frees are
+    /// rejected with a typed error (and counted) instead of corrupting the
+    /// free list; counters never underflow.
+    pub fn free(&mut self, frame: FrameId) -> Result<(), VmError> {
+        if frame.0 >= self.limit {
+            self.free_errors += 1;
+            return Err(VmError::FrameOutOfRange(frame));
+        }
+        if !self.bit(frame) {
+            self.free_errors += 1;
+            return Err(VmError::FrameNotAllocated(frame));
+        }
+        if let Some(lease) = &self.lease {
+            lease.release(frame)?;
+        }
+        self.set_bit(frame, false);
+        self.allocated = self.allocated.saturating_sub(1);
         self.free.push(frame);
+        Ok(())
     }
 
     /// Frames currently allocated.
@@ -184,6 +265,11 @@ impl FrameAllocator {
     /// High-water mark of live frames.
     pub fn peak(&self) -> u32 {
         self.peak
+    }
+
+    /// Invalid frees rejected over the allocator's lifetime.
+    pub fn free_errors(&self) -> u64 {
+        self.free_errors
     }
 }
 
@@ -225,7 +311,7 @@ mod tests {
         let f0 = a.alloc().unwrap();
         let f1 = a.alloc().unwrap();
         assert!(a.alloc().is_err());
-        a.free(f0);
+        a.free(f0).unwrap();
         assert_eq!(a.alloc().unwrap(), f0);
         assert_eq!(a.in_use(), 2);
         assert_eq!(a.peak(), 2);
@@ -238,6 +324,82 @@ mod tests {
         assert!(a.alloc_many(4).is_err());
         assert_eq!(a.in_use(), 0);
         assert_eq!(a.alloc_many(3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn free_rejects_out_of_range_and_double_free() {
+        let mut a = FrameAllocator::new(4);
+        let f = a.alloc().unwrap();
+        // Out of range: typed error, counter untouched.
+        assert_eq!(
+            a.free(FrameId(4)),
+            Err(VmError::FrameOutOfRange(FrameId(4)))
+        );
+        assert_eq!(a.in_use(), 1);
+        // Never-allocated frame.
+        assert_eq!(
+            a.free(FrameId(2)),
+            Err(VmError::FrameNotAllocated(FrameId(2)))
+        );
+        // Legitimate free, then double free of the same frame.
+        a.free(f).unwrap();
+        assert_eq!(a.free(f), Err(VmError::FrameNotAllocated(f)));
+        // No underflow even after repeated invalid frees.
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.free_errors(), 3);
+        // The free list was never corrupted: both frames still allocatable.
+        assert_eq!(a.alloc_many(4).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn freed_frames_are_reused_in_lifo_order() {
+        let mut a = FrameAllocator::new(8);
+        let frames = a.alloc_many(5).unwrap();
+        // Free 1, 3, 0 — LIFO reuse must hand them back as 0, 3, 1.
+        a.free(frames[1]).unwrap();
+        a.free(frames[3]).unwrap();
+        a.free(frames[0]).unwrap();
+        assert_eq!(a.alloc().unwrap(), frames[0]);
+        assert_eq!(a.alloc().unwrap(), frames[3]);
+        assert_eq!(a.alloc().unwrap(), frames[1]);
+        // Free list drained: next alloc comes from the bump region.
+        assert_eq!(a.alloc().unwrap(), FrameId(5));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_across_interleaved_churn() {
+        let mut a = FrameAllocator::new(16);
+        let first = a.alloc_many(6).unwrap();
+        assert_eq!(a.peak(), 6);
+        for f in &first[..4] {
+            a.free(*f).unwrap();
+        }
+        assert_eq!(a.in_use(), 2);
+        // Peak is a high-water mark: unchanged by frees.
+        assert_eq!(a.peak(), 6);
+        // Climb above the previous peak through a mix of reuse and bump.
+        let second = a.alloc_many(7).unwrap();
+        assert_eq!(a.in_use(), 9);
+        assert_eq!(a.peak(), 9);
+        for f in second {
+            a.free(f).unwrap();
+        }
+        assert_eq!(a.peak(), 9);
+        assert_eq!(a.in_use(), 2);
+    }
+
+    #[test]
+    fn alloc_many_rollback_interacts_with_free_list() {
+        let mut a = FrameAllocator::new(4);
+        let keep = a.alloc_many(2).unwrap();
+        a.free(keep[0]).unwrap();
+        // 3 available (1 free-listed + 2 bump); asking for 4 must roll back
+        // cleanly and leave all 3 allocatable afterwards.
+        assert!(a.alloc_many(4).is_err());
+        assert_eq!(a.in_use(), 1);
+        assert_eq!(a.alloc_many(3).unwrap().len(), 3);
+        assert_eq!(a.in_use(), 4);
+        assert_eq!(a.peak(), 4);
     }
 
     #[test]

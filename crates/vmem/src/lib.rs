@@ -25,6 +25,7 @@ pub mod addr;
 pub mod error;
 pub mod frame;
 pub mod pagetable;
+pub mod pool;
 pub mod pte;
 pub mod space;
 pub mod tlb;
@@ -35,6 +36,7 @@ pub use addr::{
 pub use error::VmError;
 pub use frame::{FrameAllocator, PhysMem};
 pub use pagetable::{PageTable, PmdCache, PteTable, WALK_LEVELS_CACHED, WALK_LEVELS_FULL};
+pub use pool::{AllocContext, FrameLease, FramePool, Pressure, TenantFrameStats, TenantId};
 pub use pte::{Pte, PteFlags};
 pub use space::{AddressSpace, Vmem, USER_BASE};
 pub use tlb::{OracleStats, Tlb, TlbConfig, TlbHit, TlbOracle};

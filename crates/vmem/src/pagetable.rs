@@ -149,7 +149,9 @@ impl PageTable {
     pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr, VmError> {
         match self.pte(va) {
             Some(pte) if pte.present() => Ok(pte.frame().base() + va.page_offset()),
-            _ => Err(VmError::NotMapped(va)),
+            _ => {
+                Err(VmError::NotMapped(va))
+            }
         }
     }
 

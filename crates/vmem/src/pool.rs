@@ -1,0 +1,602 @@
+//! Shared frame budget across tenants: quotas, GC headroom, pressure.
+//!
+//! A multi-JVM fleet shares one machine's DRAM. Before this module, every
+//! tenant's [`crate::FrameAllocator`] drew from a private pool sized to its
+//! own heap, so fleet-level memory pressure was unrepresentable: a tenant
+//! either fit or died with [`VmError::OutOfFrames`]. The [`FramePool`] is
+//! the fleet-level budget overlay:
+//!
+//! * **Per-tenant quotas.** Each tenant registers for a fixed quota of
+//!   frames. Charges beyond the quota are *denied with a typed error*
+//!   ([`VmError::QuotaExceeded`]), never absorbed by another tenant's
+//!   share — the isolation half of the robustness story.
+//! * **GC emergency headroom.** A slice of each quota is reserved for
+//!   [`AllocContext::Gc`] charges only. A mutator allocation storm can
+//!   drive the tenant to its mutator ceiling, but the collector always has
+//!   frames left to run the cycle that relieves the pressure.
+//! * **Typed pressure signal.** [`FrameLease::pressure`] classifies the
+//!   tenant's occupancy of its mutator budget into
+//!   [`Pressure::Nominal`]/[`Pressure::Elevated`]/[`Pressure::Critical`]/
+//!   [`Pressure::Exhausted`]; the core crate's escalation ladder turns the
+//!   rising edge into early GCs and degraded modes before OOM.
+//! * **Ownership map.** Every charged frame is recorded against its
+//!   tenant in a global frame namespace (each tenant's local frame ids are
+//!   offset by a per-tenant base). Charging an owned frame, or releasing
+//!   someone else's, is a typed error — the frame-leak oracle audits the
+//!   map after a fleet run: no frame owned by two tenants, and the pool's
+//!   in-use count must equal the survivors' footprint exactly.
+//!
+//! Determinism: every admission decision depends only on the charging
+//! tenant's own counters, which are driven by that tenant's (single-
+//! threaded) simulation. Host-parallel tenants contend only on the mutex,
+//! never on the *outcome*, so fleet results are bit-identical across
+//! `SVAGC_HOST_THREADS` settings.
+
+use crate::addr::FrameId;
+use crate::error::VmError;
+use std::sync::{Arc, Mutex};
+
+/// Identifier of a fleet tenant (one simulated JVM; drivers use the ASID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u16);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// What a frame allocation is for — the typed attribution the pressure
+/// signal and the headroom policy act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocContext {
+    /// Heap region mapping (construction, on-demand commit of the shared
+    /// space).
+    #[default]
+    Heap,
+    /// TLAB / eden commit on behalf of a mutator thread.
+    Tlab,
+    /// GC-internal allocation (side buffers, eden for evacuation). May dip
+    /// into the reserved emergency headroom.
+    Gc,
+}
+
+impl AllocContext {
+    /// Stable label (errors, stats, trace args).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocContext::Heap => "heap",
+            AllocContext::Tlab => "tlab",
+            AllocContext::Gc => "gc",
+        }
+    }
+}
+
+/// The tenant's position on its mutator frame budget (quota minus GC
+/// headroom). Ordered: later variants are worse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pressure {
+    /// Below the elevated threshold; no action needed.
+    Nominal,
+    /// At or above [`FramePool::ELEVATED_PCT`]% of the mutator budget.
+    Elevated,
+    /// At or above [`FramePool::CRITICAL_PCT`]% of the mutator budget.
+    Critical,
+    /// The mutator budget is fully consumed: the next non-GC charge will
+    /// be denied.
+    Exhausted,
+}
+
+impl Pressure {
+    /// Numeric severity (0 = Nominal), for stats and trace args.
+    pub fn level(&self) -> u8 {
+        match self {
+            Pressure::Nominal => 0,
+            Pressure::Elevated => 1,
+            Pressure::Critical => 2,
+            Pressure::Exhausted => 3,
+        }
+    }
+
+    /// Stable label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pressure::Nominal => "nominal",
+            Pressure::Elevated => "elevated",
+            Pressure::Critical => "critical",
+            Pressure::Exhausted => "exhausted",
+        }
+    }
+}
+
+/// Per-tenant accounting snapshot (stats lines, oracles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantFrameStats {
+    /// The tenant's full quota in frames.
+    pub quota: u32,
+    /// Frames of the quota reserved for [`AllocContext::Gc`] charges.
+    pub headroom: u32,
+    /// Frames currently charged to the tenant.
+    pub in_use: u32,
+    /// High-water mark of simultaneously charged frames.
+    pub peak: u32,
+    /// Charges denied over the tenant's lifetime (typed back-pressure).
+    pub denials: u64,
+    /// Has the tenant been quarantined (all frames force-released)?
+    pub quarantined: bool,
+}
+
+struct TenantState {
+    id: TenantId,
+    /// Base of this tenant's slice of the global frame namespace.
+    base: u32,
+    quota: u32,
+    headroom: u32,
+    in_use: u32,
+    peak: u32,
+    denials: u64,
+    quarantined: bool,
+}
+
+struct PoolInner {
+    total: u32,
+    assigned: u32,
+    tenants: Vec<TenantState>,
+    /// Global frame namespace -> owning tenant. `None` = free.
+    owner: Vec<Option<TenantId>>,
+}
+
+impl PoolInner {
+    fn tenant_mut(&mut self, t: TenantId) -> Result<&mut TenantState, VmError> {
+        self.tenants
+            .iter_mut()
+            .find(|s| s.id == t)
+            .ok_or(VmError::NoSuchTenant(t.0))
+    }
+
+    fn tenant(&self, t: TenantId) -> Option<&TenantState> {
+        self.tenants.iter().find(|s| s.id == t)
+    }
+}
+
+/// One fleet's shared frame budget. Cheap to clone (a shared handle).
+#[derive(Clone)]
+pub struct FramePool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl std::fmt::Debug for FramePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock().expect("frame pool poisoned");
+        f.debug_struct("FramePool")
+            .field("total", &g.total)
+            .field("assigned", &g.assigned)
+            .field("tenants", &g.tenants.len())
+            .finish()
+    }
+}
+
+impl FramePool {
+    /// Mutator-budget occupancy (percent) at which pressure reads
+    /// [`Pressure::Elevated`].
+    pub const ELEVATED_PCT: u32 = 70;
+    /// Mutator-budget occupancy (percent) at which pressure reads
+    /// [`Pressure::Critical`].
+    pub const CRITICAL_PCT: u32 = 85;
+
+    /// A pool with a budget of `total` frames to divide among tenants.
+    pub fn new(total: u32) -> FramePool {
+        FramePool {
+            inner: Arc::new(Mutex::new(PoolInner {
+                total,
+                assigned: 0,
+                tenants: Vec::new(),
+                owner: vec![None; total as usize],
+            })),
+        }
+    }
+
+    /// Register `tenant` for `quota` frames, `headroom` of which are
+    /// reserved for GC-context charges. Fails if the id is taken, the
+    /// quota oversubscribes the pool, or the headroom eats the whole
+    /// quota.
+    pub fn register(
+        &self,
+        tenant: TenantId,
+        quota: u32,
+        headroom: u32,
+    ) -> Result<FrameLease, VmError> {
+        let mut g = self.inner.lock().expect("frame pool poisoned");
+        if g.tenants.iter().any(|s| s.id == tenant) {
+            return Err(VmError::NoSuchTenant(tenant.0));
+        }
+        if quota == 0 || headroom >= quota || g.assigned + quota > g.total {
+            return Err(VmError::QuotaExceeded {
+                tenant: tenant.0,
+                ctx: AllocContext::Heap,
+            });
+        }
+        let base = g.assigned;
+        g.assigned += quota;
+        g.tenants.push(TenantState {
+            id: tenant,
+            base,
+            quota,
+            headroom,
+            in_use: 0,
+            peak: 0,
+            denials: 0,
+            quarantined: false,
+        });
+        Ok(FrameLease {
+            inner: Arc::clone(&self.inner),
+            tenant,
+        })
+    }
+
+    /// A fresh lease handle for an already-registered tenant. Lets a
+    /// driver that received only the pool (plus its tenant id) attach to
+    /// the quota the fleet registered for it up front — registration
+    /// order fixes the namespace bases, so it must happen deterministically
+    /// before host-parallel tenants start.
+    pub fn lease(&self, tenant: TenantId) -> Result<FrameLease, VmError> {
+        let g = self.inner.lock().expect("frame pool poisoned");
+        if g.tenant(tenant).is_none() {
+            return Err(VmError::NoSuchTenant(tenant.0));
+        }
+        Ok(FrameLease {
+            inner: Arc::clone(&self.inner),
+            tenant,
+        })
+    }
+
+    /// Force-release every frame the tenant owns. `quarantine` marks the
+    /// tenant dead (its lease turns inert); otherwise the registration
+    /// stays live for a retry attempt. Returns how many frames came back.
+    fn reclaim(&self, tenant: TenantId, quarantine: bool) -> Result<u32, VmError> {
+        let mut g = self.inner.lock().expect("frame pool poisoned");
+        let (base, quota) = {
+            let s = g.tenant_mut(tenant)?;
+            s.quarantined = quarantine;
+            (s.base, s.quota)
+        };
+        let mut released = 0;
+        for i in base..base + quota {
+            if g.owner[i as usize] == Some(tenant) {
+                g.owner[i as usize] = None;
+                released += 1;
+            }
+        }
+        let s = g.tenant_mut(tenant)?;
+        s.in_use = s.in_use.saturating_sub(released);
+        debug_assert_eq!(s.in_use, 0, "ownership map and counter disagree");
+        s.in_use = 0;
+        Ok(released)
+    }
+
+    /// Quarantine teardown: force-release every frame the tenant owns and
+    /// mark it quarantined. Returns how many frames came back to the pool.
+    pub fn release_tenant(&self, tenant: TenantId) -> Result<u32, VmError> {
+        self.reclaim(tenant, true)
+    }
+
+    /// Retry teardown: force-release the tenant's frames but keep its
+    /// registration (and namespace slice) live, so a fresh attempt can
+    /// charge against the same quota. Also clears a prior quarantine.
+    pub fn reset_tenant(&self, tenant: TenantId) -> Result<u32, VmError> {
+        self.reclaim(tenant, false)
+    }
+
+    /// Frames currently charged across all tenants.
+    pub fn in_use(&self) -> u32 {
+        let g = self.inner.lock().expect("frame pool poisoned");
+        g.tenants.iter().map(|s| s.in_use).sum()
+    }
+
+    /// The pool's total budget.
+    pub fn total(&self) -> u32 {
+        self.inner.lock().expect("frame pool poisoned").total
+    }
+
+    /// A tenant's accounting snapshot (`None` if never registered).
+    pub fn tenant_stats(&self, tenant: TenantId) -> Option<TenantFrameStats> {
+        let g = self.inner.lock().expect("frame pool poisoned");
+        g.tenant(tenant).map(|s| TenantFrameStats {
+            quota: s.quota,
+            headroom: s.headroom,
+            in_use: s.in_use,
+            peak: s.peak,
+            denials: s.denials,
+            quarantined: s.quarantined,
+        })
+    }
+
+    /// The frame-leak oracle's audit: recompute every tenant's footprint
+    /// from the ownership map and cross-check the counters. Returns the
+    /// ownership-map total on success; any mismatch (a frame outside its
+    /// owner's namespace slice, a counter that disagrees with the map) is
+    /// reported as an error string naming the tenant.
+    pub fn audit(&self) -> Result<u32, String> {
+        let g = self.inner.lock().expect("frame pool poisoned");
+        let mut owned_total = 0u32;
+        for s in &g.tenants {
+            let mut owned = 0u32;
+            for (i, o) in g.owner.iter().enumerate() {
+                if *o == Some(s.id) {
+                    let i = i as u32;
+                    if i < s.base || i >= s.base + s.quota {
+                        return Err(format!(
+                            "{} owns frame {} outside its namespace slice [{}, {})",
+                            s.id,
+                            i,
+                            s.base,
+                            s.base + s.quota
+                        ));
+                    }
+                    owned += 1;
+                }
+            }
+            if owned != s.in_use {
+                return Err(format!(
+                    "{}: ownership map says {} frame(s), counter says {}",
+                    s.id, owned, s.in_use
+                ));
+            }
+            if s.quarantined && owned != 0 {
+                return Err(format!("{} is quarantined but still owns {owned} frame(s)", s.id));
+            }
+            owned_total += owned;
+        }
+        Ok(owned_total)
+    }
+}
+
+/// A tenant's handle on the shared pool: attached to the tenant's
+/// [`crate::FrameAllocator`], charged on every frame alloc and released on
+/// every free. Cloning shares the underlying accounting.
+#[derive(Clone)]
+pub struct FrameLease {
+    inner: Arc<Mutex<PoolInner>>,
+    tenant: TenantId,
+}
+
+impl std::fmt::Debug for FrameLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameLease").field("tenant", &self.tenant).finish()
+    }
+}
+
+impl FrameLease {
+    /// The tenant this lease charges.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Charge one frame in context `ctx`. Denials are typed and recorded;
+    /// the frame is not charged on error.
+    pub fn charge(&self, ctx: AllocContext, frame: FrameId) -> Result<(), VmError> {
+        let mut g = self.inner.lock().expect("frame pool poisoned");
+        let tenant = self.tenant;
+        let s = g.tenant_mut(tenant)?;
+        if s.quarantined {
+            s.denials += 1;
+            return Err(VmError::QuotaExceeded { tenant: tenant.0, ctx });
+        }
+        let ceiling = match ctx {
+            // Mutator charges stop at the mutator budget; the reserved
+            // headroom stays free for the GC that will relieve pressure.
+            AllocContext::Heap | AllocContext::Tlab => s.quota - s.headroom,
+            AllocContext::Gc => s.quota,
+        };
+        if s.in_use >= ceiling {
+            s.denials += 1;
+            return Err(VmError::QuotaExceeded { tenant: tenant.0, ctx });
+        }
+        if frame.0 >= s.quota {
+            return Err(VmError::FrameOutOfRange(frame));
+        }
+        let global = (s.base + frame.0) as usize;
+        match g.owner[global] {
+            Some(owner) => {
+                return Err(VmError::DualOwnership {
+                    frame: frame.0,
+                    owner: owner.0,
+                    claimant: tenant.0,
+                })
+            }
+            None => g.owner[global] = Some(tenant),
+        }
+        let s = g.tenant_mut(tenant)?;
+        s.in_use += 1;
+        s.peak = s.peak.max(s.in_use);
+        Ok(())
+    }
+
+    /// Release one charged frame back to the tenant's budget.
+    pub fn release(&self, frame: FrameId) -> Result<(), VmError> {
+        let mut g = self.inner.lock().expect("frame pool poisoned");
+        let tenant = self.tenant;
+        let s = g.tenant_mut(tenant)?;
+        if s.quarantined {
+            // Quarantine already force-released everything; a straggling
+            // free from teardown is not an error.
+            return Ok(());
+        }
+        if frame.0 >= s.quota {
+            return Err(VmError::FrameOutOfRange(frame));
+        }
+        let global = (s.base + frame.0) as usize;
+        match g.owner[global] {
+            Some(owner) if owner == tenant => g.owner[global] = None,
+            Some(owner) => {
+                return Err(VmError::DualOwnership {
+                    frame: frame.0,
+                    owner: owner.0,
+                    claimant: tenant.0,
+                })
+            }
+            None => return Err(VmError::FrameNotAllocated(frame)),
+        }
+        let s = g.tenant_mut(tenant)?;
+        s.in_use = s.in_use.saturating_sub(1);
+        Ok(())
+    }
+
+    /// The tenant's current pressure on its mutator budget.
+    pub fn pressure(&self) -> Pressure {
+        let g = self.inner.lock().expect("frame pool poisoned");
+        match g.tenant(self.tenant) {
+            None => Pressure::Nominal,
+            Some(s) => {
+                let avail = (s.quota - s.headroom).max(1);
+                let pct = (s.in_use as u64 * 100 / avail as u64) as u32;
+                if s.in_use >= avail {
+                    Pressure::Exhausted
+                } else if pct >= FramePool::CRITICAL_PCT {
+                    Pressure::Critical
+                } else if pct >= FramePool::ELEVATED_PCT {
+                    Pressure::Elevated
+                } else {
+                    Pressure::Nominal
+                }
+            }
+        }
+    }
+
+    /// This tenant's accounting snapshot.
+    pub fn stats(&self) -> TenantFrameStats {
+        let g = self.inner.lock().expect("frame pool poisoned");
+        let s = g.tenant(self.tenant).expect("lease without tenant");
+        TenantFrameStats {
+            quota: s.quota,
+            headroom: s.headroom,
+            in_use: s.in_use,
+            peak: s.peak,
+            denials: s.denials,
+            quarantined: s.quarantined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotas_are_disjoint_and_enforced() {
+        let pool = FramePool::new(100);
+        let a = pool.register(TenantId(1), 60, 10).unwrap();
+        let b = pool.register(TenantId(2), 40, 5).unwrap();
+        // Tenant 1 mutator budget = 50.
+        for i in 0..50 {
+            a.charge(AllocContext::Heap, FrameId(i)).unwrap();
+        }
+        assert_eq!(a.pressure(), Pressure::Exhausted);
+        assert!(matches!(
+            a.charge(AllocContext::Tlab, FrameId(50)),
+            Err(VmError::QuotaExceeded { tenant: 1, .. })
+        ));
+        // GC context dips into the headroom.
+        for i in 50..60 {
+            a.charge(AllocContext::Gc, FrameId(i)).unwrap();
+        }
+        assert!(matches!(
+            a.charge(AllocContext::Gc, FrameId(60)),
+            Err(VmError::QuotaExceeded { .. })
+        ));
+        // Tenant 2 is untouched by tenant 1's exhaustion.
+        b.charge(AllocContext::Heap, FrameId(0)).unwrap();
+        assert_eq!(b.pressure(), Pressure::Nominal);
+        assert_eq!(pool.in_use(), 61);
+        assert_eq!(pool.audit().unwrap(), 61);
+    }
+
+    #[test]
+    fn pressure_ladder_tracks_occupancy() {
+        let pool = FramePool::new(100);
+        let l = pool.register(TenantId(1), 100, 0).unwrap();
+        let mut i = 0;
+        let mut charge_to = |l: &FrameLease, n: u32| {
+            while i < n {
+                l.charge(AllocContext::Heap, FrameId(i)).unwrap();
+                i += 1;
+            }
+        };
+        charge_to(&l, 69);
+        assert_eq!(l.pressure(), Pressure::Nominal);
+        charge_to(&l, 70);
+        assert_eq!(l.pressure(), Pressure::Elevated);
+        charge_to(&l, 85);
+        assert_eq!(l.pressure(), Pressure::Critical);
+        charge_to(&l, 100);
+        assert_eq!(l.pressure(), Pressure::Exhausted);
+    }
+
+    #[test]
+    fn dual_ownership_and_foreign_release_are_typed_errors() {
+        let pool = FramePool::new(10);
+        let a = pool.register(TenantId(1), 5, 0).unwrap();
+        a.charge(AllocContext::Heap, FrameId(3)).unwrap();
+        assert!(matches!(
+            a.charge(AllocContext::Heap, FrameId(3)),
+            Err(VmError::DualOwnership { frame: 3, owner: 1, claimant: 1 })
+        ));
+        assert!(matches!(
+            a.release(FrameId(4)),
+            Err(VmError::FrameNotAllocated(FrameId(4)))
+        ));
+        a.release(FrameId(3)).unwrap();
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn quarantine_returns_every_frame() {
+        let pool = FramePool::new(20);
+        let a = pool.register(TenantId(1), 10, 2).unwrap();
+        let b = pool.register(TenantId(2), 10, 2).unwrap();
+        for i in 0..6 {
+            a.charge(AllocContext::Heap, FrameId(i)).unwrap();
+        }
+        b.charge(AllocContext::Heap, FrameId(0)).unwrap();
+        assert_eq!(pool.release_tenant(TenantId(1)).unwrap(), 6);
+        assert_eq!(pool.in_use(), 1, "only the survivor's footprint remains");
+        assert_eq!(pool.audit().unwrap(), 1);
+        // The quarantined tenant can no longer charge; stray releases are
+        // tolerated (teardown races with accounting).
+        assert!(a.charge(AllocContext::Gc, FrameId(0)).is_err());
+        assert!(a.release(FrameId(0)).is_ok());
+        let st = pool.tenant_stats(TenantId(1)).unwrap();
+        assert!(st.quarantined && st.in_use == 0 && st.denials >= 1);
+    }
+
+    #[test]
+    fn reset_keeps_registration_live_for_retry() {
+        let pool = FramePool::new(20);
+        let a = pool.register(TenantId(1), 10, 2).unwrap();
+        for i in 0..5 {
+            a.charge(AllocContext::Heap, FrameId(i)).unwrap();
+        }
+        assert_eq!(pool.reset_tenant(TenantId(1)).unwrap(), 5);
+        assert_eq!(pool.in_use(), 0);
+        // A fresh lease for the same registration charges again.
+        let a2 = pool.lease(TenantId(1)).unwrap();
+        a2.charge(AllocContext::Heap, FrameId(0)).unwrap();
+        assert_eq!(pool.audit().unwrap(), 1);
+        assert!(pool.lease(TenantId(9)).is_err(), "unregistered tenant");
+        // Quarantine then reset re-arms the tenant.
+        pool.release_tenant(TenantId(1)).unwrap();
+        assert!(a2.charge(AllocContext::Heap, FrameId(1)).is_err());
+        pool.reset_tenant(TenantId(1)).unwrap();
+        a2.charge(AllocContext::Heap, FrameId(1)).unwrap();
+    }
+
+    #[test]
+    fn registration_rejects_oversubscription() {
+        let pool = FramePool::new(50);
+        pool.register(TenantId(1), 40, 4).unwrap();
+        assert!(pool.register(TenantId(2), 20, 2).is_err(), "40+20 > 50");
+        assert!(pool.register(TenantId(1), 5, 0).is_err(), "duplicate id");
+        assert!(pool.register(TenantId(3), 5, 5).is_err(), "headroom eats quota");
+        pool.register(TenantId(4), 10, 0).unwrap();
+    }
+}

@@ -106,7 +106,9 @@ impl Vmem {
                     .pt
                     .unmap(va.add_pages(j))
                     .expect("rollback invariant: pages 0..upto were mapped by this call");
-                vm.frames.free(f.frame());
+                vm.frames
+                    .free(f.frame())
+                    .expect("rollback invariant: frame was allocated by this call");
             }
         };
         for i in 0..pages {
@@ -120,7 +122,9 @@ impl Vmem {
             };
             self.phys.zero_frame(frame)?;
             if let Err(e) = space.pt.map(page_va, Pte::map(frame, PteFlags::WRITABLE)) {
-                self.frames.free(frame);
+                self.frames
+                    .free(frame)
+                    .expect("frame was allocated just above");
                 rollback(self, space, i);
                 return Err(e);
             }
@@ -148,7 +152,7 @@ impl Vmem {
     ) -> Result<(), VmError> {
         for i in 0..pages {
             let pte = space.pt.unmap(va.add_pages(i))?;
-            self.frames.free(pte.frame());
+            self.frames.free(pte.frame())?;
         }
         Ok(())
     }

@@ -6,14 +6,15 @@ use crate::workload::Workload;
 use svagc_baselines::{ParallelGc, Shenandoah};
 use svagc_core::{
     recover, Collector, DegradePolicy, GcConfig, GcError, GcLog, Lisp2Collector,
-    RecoveryError, RecoveryReport, RetryPolicy, SchedulerKind,
+    PressureEscalator, PressureStats, RecoveryError, RecoveryReport, RetryPolicy,
+    SchedulerKind,
 };
-use svagc_heap::{Heap, HeapConfig, HeapVerifier};
+use svagc_heap::{Heap, HeapConfig, HeapError, HeapVerifier};
 use svagc_kernel::{CoreId, CrashPlan, CrashPoint, FaultConfig, FaultPlan, Kernel, WalMutation};
 use svagc_metrics::{
     BandwidthModel, Cycles, MachineConfig, PerfCounters, Registry, TraceEvent,
 };
-use svagc_vmem::{AddressSpace, Asid, OracleStats};
+use svagc_vmem::{AddressSpace, Asid, FramePool, OracleStats, TenantId, VmError};
 
 /// Which collector to run.
 #[derive(Debug, Clone, Copy)]
@@ -209,6 +210,20 @@ pub struct RunConfig {
     /// give each collector a disjoint base so pinned workers never share
     /// a core).
     pub core_base: usize,
+    /// Fleet frame pool this JVM draws its frames from (`None` = private
+    /// frames, the single-JVM default — behavior unchanged).
+    pub frame_pool: Option<FramePool>,
+    /// `(quota, headroom)` to self-register with the pool when it has no
+    /// registration for this ASID yet. Fleet drivers pre-register tenants
+    /// deterministically; this is for standalone pooled runs.
+    pub tenant_quota: Option<(u32, u32)>,
+    /// Arm the pressure-escalation ladder (implies on-demand heap commit
+    /// so GC can actually return frames to the pool).
+    pub pressure: bool,
+    /// WAL epoch namespace: the top 16 bits of every epoch this JVM's
+    /// journal assigns. Fleet tenants get disjoint namespaces so their
+    /// logs can never be confused; 0 (default) leaves epochs unchanged.
+    pub wal_namespace: u16,
 }
 
 impl RunConfig {
@@ -239,7 +254,36 @@ impl RunConfig {
             wal_mutation: None,
             scheduler: SchedulerKind::Barrier,
             core_base: 0,
+            frame_pool: None,
+            tenant_quota: None,
+            pressure: false,
+            wal_namespace: 0,
         }
+    }
+
+    /// Draw frames from a shared fleet pool (the tenant id is this run's
+    /// ASID).
+    pub fn with_frame_pool(mut self, pool: FramePool) -> RunConfig {
+        self.frame_pool = Some(pool);
+        self
+    }
+
+    /// Quota/headroom for self-registration with the frame pool.
+    pub fn with_tenant_quota(mut self, quota: u32, headroom: u32) -> RunConfig {
+        self.tenant_quota = Some((quota, headroom));
+        self
+    }
+
+    /// Arm the pressure-escalation ladder.
+    pub fn with_pressure(mut self, on: bool) -> RunConfig {
+        self.pressure = on;
+        self
+    }
+
+    /// Set the WAL epoch namespace.
+    pub fn with_wal_namespace(mut self, ns: u16) -> RunConfig {
+        self.wal_namespace = ns;
+        self
     }
 
     /// Select the GC scheduling substrate.
@@ -357,6 +401,12 @@ pub struct RunResult {
     /// off; a run with violations fails before producing a result, so a
     /// `RunResult` always carries zero `stale_hits`/`audit_violations`).
     pub tlb_oracle: OracleStats,
+    /// Pool frames still charged to this tenant at the end of the run
+    /// (the live heap's committed footprint; 0 without a frame pool).
+    /// The fleet's frame-leak oracle sums these against the pool.
+    pub frames_in_use: u32,
+    /// Pressure-ladder counters (all zero when pressure was off).
+    pub pressure: PressureStats,
 }
 
 impl RunResult {
@@ -432,21 +482,39 @@ pub enum FailureKind {
     /// The degraded-mode ladder ran out of rungs — every mode, down to
     /// single-threaded memmove, failed.
     DegradeExhausted,
-    /// Anything else: OOM, verification failure, oracle violation.
+    /// The tenant ran out of memory: the pressure ladder (or the plain
+    /// collect-once retry) could not bring it back under its frame budget.
+    /// Strictly tenant-local in fleet runs.
+    OutOfMemory,
+    /// Anything else: verification failure, oracle violation.
     Other,
 }
 
 impl FailureKind {
     /// The CLI process exit code for this failure class. Stable contract
     /// for scripts: 10 watchdog, 11 fault abort, 12 degraded-mode ladder
-    /// exhausted, 13 machine crashed, 1 anything else (2 is usage).
+    /// exhausted, 13 machine crashed, 15 tenant out of memory, 1 anything
+    /// else (2 is usage, 14 is recovery-failed on the CLI side).
     pub fn exit_code(&self) -> i32 {
         match self {
             FailureKind::Watchdog => 10,
             FailureKind::FaultAbort => 11,
             FailureKind::DegradeExhausted => 12,
             FailureKind::Crash(_) => 13,
+            FailureKind::OutOfMemory => 15,
             FailureKind::Other => 1,
+        }
+    }
+
+    /// Stable label (fleet reports, CI greps).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::Watchdog => "watchdog",
+            FailureKind::FaultAbort => "fault-abort",
+            FailureKind::DegradeExhausted => "degrade-exhausted",
+            FailureKind::Crash(_) => "crash",
+            FailureKind::OutOfMemory => "out-of-memory",
+            FailureKind::Other => "other",
         }
     }
 }
@@ -476,6 +544,14 @@ fn classify(e: &GcError) -> FailureKind {
     match e {
         GcError::Exhausted(_) => FailureKind::DegradeExhausted,
         GcError::Deadline { .. } => FailureKind::Watchdog,
+        GcError::OutOfMemory { .. } => FailureKind::OutOfMemory,
+        // A raw quota denial that escaped without the pressure ladder
+        // (pressure off, or a non-allocation path) is still an OOM for
+        // the exit-code contract.
+        GcError::Heap(HeapError::Vm(VmError::QuotaExceeded { .. })) => {
+            FailureKind::OutOfMemory
+        }
+        GcError::Heap(HeapError::NeedGc { .. }) => FailureKind::OutOfMemory,
         e if e.is_operational() => FailureKind::FaultAbort,
         _ => FailureKind::Other,
     }
@@ -659,9 +735,31 @@ fn run_inner(
     // Crash plans without a journal would be unrecoverable by
     // construction; arming them arms the WAL.
     kernel.set_wal_enabled(cfg.wal || !cfg.crash_plans.is_empty());
+    kernel.set_wal_namespace(cfg.wal_namespace);
     kernel.set_wal_mutation(cfg.wal_mutation);
     if !cfg.crash_plans.is_empty() {
         kernel.set_crash_plans(cfg.crash_plans.clone());
+    }
+    if let Some(pool) = &cfg.frame_pool {
+        // Fleet drivers register tenants deterministically up front (the
+        // pool's namespace bases follow registration order); a standalone
+        // pooled run self-registers from its own quota.
+        let tenant = TenantId(cfg.asid);
+        let lease = match pool.lease(tenant) {
+            Ok(l) => l,
+            Err(_) => {
+                let (quota, headroom) = cfg.tenant_quota.ok_or_else(|| {
+                    other_failure(format!(
+                        "frame pool has no registration for tenant {} and the run \
+                         config carries no tenant_quota to self-register",
+                        cfg.asid
+                    ))
+                })?;
+                pool.register(tenant, quota, headroom)
+                    .map_err(|e| other_failure(e.to_string()))?
+            }
+        };
+        kernel.vmem.frames.attach_lease(lease);
     }
 
     let mut heap_cfg =
@@ -669,8 +767,16 @@ fn run_inner(
     if let Some(t) = cfg.threshold_pages {
         heap_cfg = heap_cfg.with_threshold(t);
     }
-    let heap = Heap::new(&mut kernel, Asid(cfg.asid), heap_cfg)
-        .map_err(|e| other_failure(e.to_string()))?;
+    if cfg.pressure {
+        // Pressure handling needs on-demand commit: an eagerly mapped
+        // heap charges its whole capacity up front and a GC could never
+        // return frames to the pool.
+        heap_cfg = heap_cfg.with_commit_on_demand(true);
+    }
+    let heap = Heap::new(&mut kernel, Asid(cfg.asid), heap_cfg).map_err(|e| {
+        let g: GcError = e.into();
+        Box::new(RunFailure { kind: classify(&g), message: g.to_string() })
+    })?;
     let collector = cfg.collector.build_configured(
         cfg.gc_threads,
         cfg.verify_phases,
@@ -690,6 +796,9 @@ fn run_inner(
     }
 
     let mut env = JvmEnv::new(&mut kernel, heap, collector);
+    if cfg.pressure {
+        env.pressure = PressureEscalator::new(true);
+    }
     let steps = cfg.steps.unwrap_or_else(|| workload.default_steps());
     let mut completed = 0usize;
     // (error, Some(step) | None for setup)
@@ -731,9 +840,16 @@ fn run_inner(
     let gc_log = env.collector.log().clone();
     let app_cycles = env.app_cycles;
     let frag_ratio = env.heap.stats.frag_ratio();
+    let pressure_stats = env.pressure.stats;
     let JvmEnv { heap: mut final_heap, .. } = env;
     let heap_hash = HeapVerifier::new().content_hash(&kernel, &mut final_heap);
     drop(final_heap);
+    let frames_in_use = kernel
+        .vmem
+        .frames
+        .lease()
+        .map(|l| l.stats().in_use)
+        .unwrap_or(0);
     let trace = kernel.take_trace();
     let oracle_stats = kernel.tlb_oracle_stats();
     if oracle_stats.stale_hits > 0 || oracle_stats.audit_violations > 0 {
@@ -768,6 +884,8 @@ fn run_inner(
         heap_hash,
         trace,
         tlb_oracle: oracle_stats,
+        frames_in_use,
+        pressure: pressure_stats,
     })))
 }
 

@@ -1,10 +1,11 @@
 //! The simulated JVM a workload runs in: heap + roots + collector +
 //! mutator-time accounting, with GC-on-demand allocation.
 
-use svagc_core::{Collector, GcError};
+use svagc_core::{Collector, GcError, PressureAction, PressureEscalator};
 use svagc_heap::{Heap, HeapError, ObjRef, ObjShape, RootId, RootSet, TlabAllocator};
 use svagc_kernel::{CoreId, Kernel};
 use svagc_metrics::{AccessKind, Cycles};
+use svagc_vmem::VmError;
 
 /// Upper bound on workload TLAB size (shrunk for small heaps).
 const TLAB_BYTES_MAX: u64 = 1 << 20;
@@ -25,6 +26,11 @@ pub struct JvmEnv<'a> {
     pub app_cycles: Cycles,
     /// The core mutator work is charged to.
     pub core: CoreId,
+    /// Pressure-escalation state machine. Inert by default; the fleet
+    /// driver arms it for tenants running under a shared frame pool
+    /// (arming changes the allocation path, so pressure-off runs are
+    /// byte-identical to pre-pressure ones).
+    pub pressure: PressureEscalator,
 }
 
 impl<'a> JvmEnv<'a> {
@@ -43,13 +49,22 @@ impl<'a> JvmEnv<'a> {
             tlab: TlabAllocator::new(tlab_bytes),
             app_cycles: Cycles::ZERO,
             core: CoreId(0),
+            pressure: PressureEscalator::new(false),
         }
     }
 
     /// Allocate through the TLAB front-end, collecting once if the heap is
     /// full. A second failure is a genuine OOM and propagates. The TLAB is
     /// retired before any GC (compaction invalidates its cursors).
+    ///
+    /// With the [`JvmEnv::pressure`] escalator armed, denials instead walk
+    /// the pressure ladder (minor GC → full GC → degrade → a tenant-local
+    /// [`GcError::OutOfMemory`]) and successes feed the background pressure
+    /// signal.
     pub fn alloc(&mut self, shape: ObjShape) -> Result<ObjRef, GcError> {
+        if self.pressure.enabled() {
+            return self.alloc_pressured(shape);
+        }
         match self
             .tlab
             .alloc(&mut self.heap, self.kernel, self.core, shape)
@@ -69,6 +84,97 @@ impl<'a> JvmEnv<'a> {
                 Ok(obj)
             }
             Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The pressure-armed allocation path: every heap-full or
+    /// quota-denied attempt buys the next rung of the remedy ladder, and
+    /// the ladder's end is a typed, tenant-local OOM — never a panic,
+    /// never another tenant's frames.
+    fn alloc_pressured(&mut self, shape: ObjShape) -> Result<ObjRef, GcError> {
+        let requested = shape.size_bytes();
+        let mut last_action = "none";
+        // The proactive signal remedy must run *before* the allocation it
+        // protects: a fresh object is unrooted until the caller links it,
+        // so a GC after success would sweep it.
+        self.check_pressure_signal()?;
+        loop {
+            match self
+                .tlab
+                .alloc(&mut self.heap, self.kernel, self.core, shape)
+            {
+                Ok((obj, t)) => {
+                    self.app_cycles += t;
+                    self.pressure.on_success();
+                    return Ok(obj);
+                }
+                Err(HeapError::NeedGc { .. })
+                | Err(HeapError::Vm(VmError::QuotaExceeded { .. })) => {
+                    self.tlab.retire();
+                    let action = self.pressure.on_denial();
+                    match action {
+                        PressureAction::MinorGc => self.pressure_collect(true)?,
+                        PressureAction::FullGc => self.pressure_collect(false)?,
+                        PressureAction::Degrade => {
+                            // Memmove-only compaction packs the heap as
+                            // tightly as the collector can; whether the
+                            // ladder had a rung left or not, collect again.
+                            self.collector.pressure_degrade();
+                            self.pressure_collect(false)?;
+                        }
+                        PressureAction::GiveUp => {
+                            // `last_action` is the remedy that ran (and
+                            // failed to free enough) right before this.
+                            return Err(GcError::OutOfMemory { requested, last_action });
+                        }
+                    }
+                    last_action = action.name();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Run the remedy collection (`minor` falls back to a full cycle for
+    /// collectors without a young generation), then return any committed
+    /// pages above the compacted top to the frame pool.
+    fn pressure_collect(&mut self, minor: bool) -> Result<(), GcError> {
+        let minor_result = if minor {
+            self.collector
+                .collect_minor(self.kernel, &mut self.heap, &mut self.roots)
+        } else {
+            None
+        };
+        match minor_result {
+            Some(r) => {
+                r?;
+            }
+            None => {
+                self.collector
+                    .collect(self.kernel, &mut self.heap, &mut self.roots)?;
+            }
+        }
+        self.heap.trim_commit(self.kernel)?;
+        Ok(())
+    }
+
+    /// Read the tenant's pressure signal after a successful allocation and
+    /// run the (edge-triggered) proactive remedy it asks for.
+    fn check_pressure_signal(&mut self) -> Result<(), GcError> {
+        let p = match self.kernel.vmem.frames.lease() {
+            Some(lease) => lease.pressure(),
+            None => return Ok(()),
+        };
+        match self.pressure.on_signal(p) {
+            Some(PressureAction::MinorGc) => {
+                self.tlab.retire();
+                self.pressure_collect(true)
+            }
+            Some(PressureAction::FullGc) => {
+                self.tlab.retire();
+                self.pressure_collect(false)
+            }
+            _ => Ok(()),
         }
     }
 

@@ -18,6 +18,7 @@ pub mod driver;
 pub mod env;
 pub mod lrucache;
 pub mod multijvm;
+pub mod noisy;
 pub mod pagerank;
 pub mod parallelsort;
 pub mod spec;
@@ -25,8 +26,12 @@ pub mod suite;
 pub mod workload;
 
 pub use churn::{ChurnSpec, ChurnWorkload, SizeDist};
-pub use driver::{run, CollectorKind, RunConfig, RunResult};
+pub use driver::{run, CollectorKind, FailureKind, RunConfig, RunResult};
 pub use env::JvmEnv;
-pub use multijvm::{run_multi, MultiJvmResult};
+pub use multijvm::{
+    isolation_oracle, run_fleet, run_multi, FleetConfig, FleetResult, MultiJvmResult,
+    TenantOutcome,
+};
+pub use noisy::{run_noisy_neighbor, NoisyOutcome, NoisySpec};
 pub use spec::{render_table_ii, spec_by_name, BenchSpec, TABLE_II};
 pub use workload::Workload;

@@ -118,15 +118,19 @@ fn classified_run_reports_crashes_with_exit_code_13() {
     assert!(f.message.contains("mid-ipi"), "{}", f.message);
 }
 
-/// The exit-code contract scripts depend on (10/11/12/13, 1 for the
-/// rest) is stable.
+/// The exit-code contract scripts depend on (10/11/12/13/15, 1 for the
+/// rest; 14 is the CLI-side recovery-failed code) is stable.
 #[test]
 fn failure_exit_codes_are_a_stable_contract() {
     assert_eq!(FailureKind::Watchdog.exit_code(), 10);
     assert_eq!(FailureKind::FaultAbort.exit_code(), 11);
     assert_eq!(FailureKind::DegradeExhausted.exit_code(), 12);
     assert_eq!(FailureKind::Crash(CrashPoint::MidIpi).exit_code(), 13);
+    assert_eq!(FailureKind::OutOfMemory.exit_code(), 15);
     assert_eq!(FailureKind::Other.exit_code(), 1);
+    // The labels are greppable CI surface, pinned alongside the codes.
+    assert_eq!(FailureKind::OutOfMemory.label(), "out-of-memory");
+    assert_eq!(FailureKind::FaultAbort.label(), "fault-abort");
 }
 
 /// Teeth: a WAL that silently drops a PTE-swap intent leaves a live
