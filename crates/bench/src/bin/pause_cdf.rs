@@ -1,0 +1,5 @@
+//! Pause-CDF figure: SVAGC STW vs `--concurrent` vs Shenandoah.
+
+fn main() {
+    svagc_bench::runner::main_single("pause_cdf")
+}

@@ -32,7 +32,7 @@ fn usage() -> ! {
             [--trace <out.json>] [--trace-summary] [--bench-json <out.json>]
             [--tlb-oracle] [--wal] [--crash-plan <pt[:n],...>]
             [--wal-mutate skip-commit|drop-intent]
-            [--scheduler barrier|packets] [--core-base <n>]
+            [--scheduler barrier|packets] [--core-base <n>] [--concurrent]
   svagc recover ...same flags as run...
   svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]
             [--scheduler barrier|packets]
@@ -42,6 +42,15 @@ fn usage() -> ! {
             [--machine 6130|6240|i5]
   svagc protocol-check [--deep]
 
+  --concurrent        SATB concurrent marking: tracing overlaps mutator
+                      execution (charged as interference, not pause);
+                      only initial mark, the SATB-buffer drain, and
+                      compaction stay in the pause. The compacted heap is
+                      bit-identical to the STW run's. LISP2 collectors
+                      (svagc | memmove) wrap in the concurrent collector;
+                      shenandoah arms its SATB barrier so its final-mark
+                      charge is proportional to logged work; parallelgc
+                      is unchanged
   --scheduler         GC scheduling substrate: barrier (default; each
                       phase joins at a global barrier) or packets (work
                       decomposed into typed packets in dependency-ordered
@@ -171,6 +180,7 @@ fn flags(args: &[String]) -> Vec<(String, String)> {
             || key == "fault-permanent"
             || key == "no-pressure"
             || key == "deep"
+            || key == "concurrent"
         {
             out.push((key.to_string(), "true".to_string()));
             continue;
@@ -231,6 +241,7 @@ fn main() {
             }
             cfg.instrumented = get(&fs, "instrumented").is_some();
             cfg.verify_phases = get(&fs, "verify-phases").is_some();
+            cfg.concurrent = get(&fs, "concurrent").is_some();
             if let Some(p) = get(&fs, "fault-rate") {
                 cfg.fault_rate = p.parse().expect("--fault-rate expects a probability");
             }

@@ -593,3 +593,81 @@ pub fn noisy_neighbor(rep: &mut Report) {
         100.0 * retained
     ));
 }
+
+/// Pause CDF: SVAGC stop-the-world vs SVAGC `--concurrent` vs Shenandoah
+/// with its SATB barrier armed, on Bisort. Not a paper figure — it
+/// documents the concurrent-marking mode this reproduction adds. Two
+/// invariants are load-bearing and asserted here: the concurrent run's
+/// final heap is bit-identical to the STW run's (SATB floats garbage but
+/// never changes survivors), and the concurrent max pause beats
+/// Shenandoah's (whose degenerated evacuation is a serial memmove).
+pub fn pause_cdf(rep: &mut Report) {
+    let rows = suites::pause_cdf_rows();
+    let mut t = Table::new([
+        "collector",
+        "GCs",
+        "p50 (kcycles)",
+        "p90 (kcycles)",
+        "p99 (kcycles)",
+        "max (kcycles)",
+        "concurrent mark (kcycles)",
+        "SATB logged",
+    ]);
+    for r in &rows {
+        t.row([
+            r.collector.clone(),
+            r.gcs.to_string(),
+            (r.p50_cycles / 1000).to_string(),
+            (r.p90_cycles / 1000).to_string(),
+            (r.p99_cycles / 1000).to_string(),
+            (r.max_cycles / 1000).to_string(),
+            (r.concurrent_mark_cycles / 1000).to_string(),
+            r.satb_logged.to_string(),
+        ]);
+        rep.row("pause_cdf", r);
+        let key = |s: &str| {
+            s.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect::<String>()
+        };
+        rep.counter(&format!("pause.max_cycles.{}", key(&r.collector)), r.max_cycles);
+        rep.counter(&format!("pause.p50_cycles.{}", key(&r.collector)), r.p50_cycles);
+        assert!(r.verify_ok, "{}: end-of-run verification failed", r.collector);
+    }
+    rep.table(&t);
+    let (stw, conc, shen) = (&rows[0], &rows[1], &rows[2]);
+    assert_eq!(
+        conc.heap_hash, stw.heap_hash,
+        "concurrent heap must be bit-identical to STW"
+    );
+    assert!(
+        conc.satb_logged > 0,
+        "Bisort's parent-link overwrites must exercise the deletion barrier"
+    );
+    assert!(conc.concurrent_mark_cycles > 0, "marking must run off-pause");
+    assert!(
+        conc.max_cycles < shen.max_cycles,
+        "concurrent max pause {} must beat Shenandoah {}",
+        conc.max_cycles,
+        shen.max_cycles
+    );
+    assert!(
+        conc.max_cycles < stw.max_cycles,
+        "moving the mark off-pause must shrink the max pause: {} !< {}",
+        conc.max_cycles,
+        stw.max_cycles
+    );
+    rep.derived(
+        "max_pause_vs_shenandoah",
+        shen.max_cycles as f64 / conc.max_cycles as f64,
+    );
+    rep.derived(
+        "max_pause_vs_stw",
+        stw.max_cycles as f64 / conc.max_cycles as f64,
+    );
+    rep.say(format!(
+        "max pause: concurrent {:.2}x below STW, {:.2}x below Shenandoah; heaps bit-identical",
+        stw.max_cycles as f64 / conc.max_cycles as f64,
+        shen.max_cycles as f64 / conc.max_cycles as f64
+    ));
+}

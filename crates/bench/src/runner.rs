@@ -157,6 +157,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         run: render::packet_scaling,
     },
     Experiment {
+        id: "pause_cdf",
+        title: "Pause CDF",
+        caption: "Full-GC pause percentiles: SVAGC STW vs --concurrent vs Shenandoah (SATB armed)",
+        run: render::pause_cdf,
+    },
+    Experiment {
         id: "noisy_neighbor",
         title: "Noisy neighbor",
         caption: "Healthy-tenant throughput & survival vs victim fault rate (blast-radius isolation)",

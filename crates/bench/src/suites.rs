@@ -520,6 +520,86 @@ pub fn noisy_neighbor_rows(rates_pct: &[u32]) -> Vec<NoisyNeighborRow> {
     })
 }
 
+/// One collector's full-GC pause distribution for the pause-CDF figure.
+#[derive(Debug, Clone)]
+pub struct PauseCdfRow {
+    /// Collector label.
+    pub collector: String,
+    /// Full GC cycles observed.
+    pub gcs: usize,
+    /// Median pause (simulated cycles).
+    pub p50_cycles: u64,
+    /// 90th-percentile pause.
+    pub p90_cycles: u64,
+    /// 99th-percentile pause.
+    pub p99_cycles: u64,
+    /// Maximum pause.
+    pub max_cycles: u64,
+    /// Marking cycles run concurrently with mutators (0 for STW runs).
+    pub concurrent_mark_cycles: u64,
+    /// SATB deletion-barrier entries drained across all cycles.
+    pub satb_logged: u64,
+    /// FNV content hash of the final live heap.
+    pub heap_hash: u64,
+    /// End-of-run data verification.
+    pub verify_ok: bool,
+}
+impl_to_json!(PauseCdfRow {
+    collector,
+    gcs,
+    p50_cycles,
+    p90_cycles,
+    p99_cycles,
+    max_cycles,
+    concurrent_mark_cycles,
+    satb_logged,
+    heap_hash,
+    verify_ok
+});
+
+/// Exact percentile over a sorted pause list (nearest-rank, cycles).
+fn percentile_cycles(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() as u64 - 1) * p / 100) as usize]
+}
+
+/// Pause-CDF suite: SVAGC stop-the-world vs SVAGC `--concurrent` vs
+/// Shenandoah (SATB barrier armed), all on Bisort — the suite workload
+/// whose subtree rebuilds overwrite live parent→child references, so the
+/// deletion barrier sees genuine mutator churn. Returns rows in that
+/// order. The SVAGC pair runs on identical heaps; the renderer pins
+/// `concurrent.heap_hash == stw.heap_hash` (bit-identity) and
+/// `concurrent.max < shenandoah.max` (the low-pause claim).
+pub fn pause_cdf_rows() -> Vec<PauseCdfRow> {
+    let run_one = |kind: CollectorKind, concurrent: bool| {
+        let mut w = suite::by_name("Bisort").expect("Bisort is a suite workload");
+        let mut cfg = RunConfig::new(kind).with_concurrent(concurrent);
+        cfg.steps = Some(80);
+        let r = run(w.as_mut(), &cfg).unwrap_or_else(|e| panic!("pause_cdf: {e}"));
+        let mut pauses: Vec<u64> = r.gc.cycles.iter().map(|c| c.pause().get()).collect();
+        pauses.sort_unstable();
+        PauseCdfRow {
+            collector: r.collector.to_string(),
+            gcs: r.gc.count(),
+            p50_cycles: percentile_cycles(&pauses, 50),
+            p90_cycles: percentile_cycles(&pauses, 90),
+            p99_cycles: percentile_cycles(&pauses, 99),
+            max_cycles: percentile_cycles(&pauses, 100),
+            concurrent_mark_cycles: r.gc.total_concurrent_mark().get(),
+            satb_logged: r.gc.total_satb_logged(),
+            heap_hash: r.heap_hash,
+            verify_ok: r.verify_ok,
+        }
+    };
+    vec![
+        run_one(CollectorKind::Svagc, false),
+        run_one(CollectorKind::Svagc, true),
+        run_one(CollectorKind::Shenandoah, true),
+    ]
+}
+
 /// Geometric mean helper for the Table III summary rows.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let (mut log_sum, mut n) = (0.0, 0u32);

@@ -2,8 +2,9 @@
 
 use crate::error::GcError;
 use crate::stats::{GcCycleStats, GcLog};
-use svagc_heap::{Heap, RootSet};
-use svagc_kernel::Kernel;
+use svagc_heap::{Heap, HeapError, ObjRef, RootSet};
+use svagc_kernel::{CoreId, Kernel};
+use svagc_metrics::Cycles;
 
 /// A stop-the-world (or partially concurrent) garbage collector.
 pub trait Collector {
@@ -42,6 +43,24 @@ pub trait Collector {
     /// is already exhausted.
     fn pressure_degrade(&mut self) -> bool {
         false
+    }
+
+    /// Mutator write barrier, invoked *before* a reference field is
+    /// overwritten. SATB collectors log the old value into a deletion
+    /// buffer; the default is a no-op that performs no simulated reads,
+    /// so non-concurrent collectors stay byte-identical with or without
+    /// the hook wired into the mutator loop. Returns the barrier's
+    /// mutator-side cycle cost.
+    fn write_barrier(
+        &mut self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        core: CoreId,
+        obj: ObjRef,
+        field: u64,
+    ) -> Result<Cycles, HeapError> {
+        let _ = (kernel, heap, core, obj, field);
+        Ok(Cycles::ZERO)
     }
 }
 

@@ -32,6 +32,7 @@
 
 pub mod applicability;
 pub mod collector;
+pub mod concurrent;
 pub mod config;
 pub mod degrade;
 pub mod error;
@@ -48,11 +49,12 @@ pub mod stats;
 pub mod watchdog;
 
 pub use collector::Collector;
+pub use concurrent::{ConcurrentCollector, INIT_MARK_ROOT_COST, SATB_DRAIN_ENTRY_COST, SATB_LOG_COST};
 pub use config::{GcConfig, SchedulerKind};
 pub use degrade::{DegradeController, DegradePolicy, DegradedMode, ModeTransition};
 pub use error::GcError;
 pub use journal::{CompactionJournal, RollbackReport};
-pub use lisp2::Lisp2Collector;
+pub use lisp2::{Lisp2Collector, Premark};
 pub use minor::{full_collect_generational, MinorConfig, MinorGc, MinorStats};
 pub use packets::{PacketKind, PacketScheduler, PacketTicket, SchedStats};
 pub use pressure::{PressureAction, PressureEscalator, PressureStats};

@@ -70,6 +70,28 @@ struct PlannedMove {
     header: ObjHeader,
 }
 
+/// A finished concurrent (SATB) mark handed to the STW cycle.
+///
+/// [`Lisp2Collector::collect_with_premark`] skips its own mark phase and
+/// compacts against this bitmap instead: the trace already ran interleaved
+/// with the mutator, so the pause charges only the short STW portion
+/// (initial root scan plus the final SATB-buffer drain). The off-pause
+/// trace cycles are charged as mutator interference, exactly like IPI
+/// shootdown time.
+#[derive(Debug, Clone)]
+pub struct Premark {
+    /// Marks for every object the cycle must keep. May be a strict
+    /// superset of current reachability (SATB floating garbage), never a
+    /// subset.
+    pub bitmap: MarkBitmap,
+    /// STW marking charge: initial-mark pause + final-mark SATB drain.
+    pub stw_mark: Cycles,
+    /// Trace cycles spent off-pause, interleaved with the mutator.
+    pub concurrent_mark: Cycles,
+    /// SATB deletion-barrier entries drained at final mark.
+    pub satb_logged: u64,
+}
+
 impl Lisp2Collector {
     /// A collector with the given configuration.
     ///
@@ -122,7 +144,38 @@ impl Lisp2Collector {
         heap: &mut Heap,
         roots: &mut RootSet,
     ) -> Result<GcCycleStats, GcError> {
+        self.collect_with_premark(kernel, heap, roots, None)
+    }
+
+    /// [`Lisp2Collector::collect`], optionally seeded with a finished
+    /// concurrent mark. With `premark == None` this is byte-for-byte the
+    /// plain STW collection; with `Some`, the mark phase is skipped and the
+    /// cycle compacts against the premark bitmap (see [`Premark`]). The
+    /// premark survives aborts: every retry attempt re-clones the bitmap,
+    /// and the rollback restores the pre-GC addresses it describes.
+    pub fn collect_with_premark(
+        &mut self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        roots: &mut RootSet,
+        premark: Option<&Premark>,
+    ) -> Result<GcCycleStats, GcError> {
         let core0 = CoreId(0);
+        // The concurrent trace happened before this pause on the virtual
+        // timeline; emit its span once (attempt retries restart after it).
+        if let Some(pm) = premark {
+            if pm.concurrent_mark.get() > 0 {
+                kernel.trace.span_abs(
+                    TraceKind::ConcurrentMarkPhase,
+                    self.timeline,
+                    pm.concurrent_mark,
+                    0,
+                    &[("satb_entries", pm.satb_logged)],
+                );
+                self.timeline += pm.concurrent_mark;
+                kernel.trace.set_base(self.timeline);
+            }
+        }
         let user_cfg = self.cfg;
         let mut aborts = 0u64;
         let mut watchdog_expiries = 0u64;
@@ -138,7 +191,7 @@ impl Lisp2Collector {
             // The phase methods read `self.cfg`; swap in the (possibly
             // degraded) effective config for the duration of the attempt.
             self.cfg = effective;
-            let attempt = self.try_collect(kernel, heap, roots, &mut watchdog, &mut stats);
+            let attempt = self.try_collect(kernel, heap, roots, &mut watchdog, &mut stats, premark);
             self.cfg = user_cfg;
             match attempt {
                 Ok(()) => {
@@ -255,9 +308,10 @@ impl Lisp2Collector {
         roots: &mut RootSet,
         watchdog: &mut GcWatchdog,
         stats: &mut GcCycleStats,
+        premark: Option<&Premark>,
     ) -> Result<(), GcError> {
         if self.cfg.scheduler == SchedulerKind::Packets {
-            return self.try_collect_packets(kernel, heap, roots, watchdog, stats);
+            return self.try_collect_packets(kernel, heap, roots, watchdog, stats, premark);
         }
         let cycle_start = self.timeline;
         let cores = kernel.cores();
@@ -268,11 +322,28 @@ impl Lisp2Collector {
         let faults_before = kernel.perf.swap_faults_injected;
 
         // ---- Phase I: mark -------------------------------------------
-        let mut bitmap = MarkBitmap::new(heap.base(), heap.extent_words());
-        self.mark_phase(kernel, heap, roots, &mut bitmap, &mut pool)?;
-        stats.phases.mark = pool.makespan();
+        let bitmap = match premark {
+            Some(pm) => {
+                // The trace already ran off-pause; charge only the STW
+                // portion here. The SATB bitmap may strictly contain the
+                // snapshot's reachable set (floating garbage), so the
+                // exact-reachability verify_marks check does not apply —
+                // forwarding and post-compact verification still run.
+                stats.phases.mark = pm.stw_mark;
+                stats.concurrent_mark = pm.concurrent_mark;
+                stats.satb_logged = pm.satb_logged;
+                stats.interference += pm.concurrent_mark;
+                pm.bitmap.clone()
+            }
+            None => {
+                let mut bitmap = MarkBitmap::new(heap.base(), heap.extent_words());
+                self.mark_phase(kernel, heap, roots, &mut bitmap, &mut pool)?;
+                stats.phases.mark = pool.makespan();
+                bitmap
+            }
+        };
         watchdog.check("mark", stats.phases.mark)?;
-        if self.cfg.verify_phases {
+        if self.cfg.verify_phases && premark.is_none() {
             Self::require_clean(verifier.verify_marks(kernel, heap, &bitmap, roots), stats)?;
         }
 
@@ -429,15 +500,39 @@ impl Lisp2Collector {
         roots: &mut RootSet,
         watchdog: &mut GcWatchdog,
         stats: &mut GcCycleStats,
+        premark: Option<&Premark>,
     ) -> Result<(), GcError> {
         let cycle_start = self.timeline;
         let cores = kernel.cores();
         let threads = self.cfg.gc_threads.min(cores).max(1);
-        let peers = (cores as u64 - 1).max(1);
         let mut sched = PacketScheduler::new(threads, cores, self.cfg.core_base);
         let objects: Vec<ObjRef> = heap.objects_sorted().to_vec();
         let verifier = HeapVerifier::new();
         let faults_before = kernel.perf.swap_faults_injected;
+
+        if let Some(pm) = premark {
+            // Concurrent premark: bucket 1 collapses to the STW charge
+            // (initial mark + SATB drain); forward packets become ready at
+            // that milestone, exactly as they would at the mark milestone.
+            stats.phases.mark = pm.stw_mark;
+            stats.concurrent_mark = pm.concurrent_mark;
+            stats.satb_logged = pm.satb_logged;
+            stats.interference += pm.concurrent_mark;
+            watchdog.check("mark", stats.phases.mark)?;
+            return self.finish_packets_cycle(
+                kernel,
+                heap,
+                roots,
+                watchdog,
+                stats,
+                &pm.bitmap,
+                pm.stw_mark,
+                cycle_start,
+                sched,
+                objects,
+                faults_before,
+            );
+        }
 
         // ---- Bucket 1: mark ------------------------------------------
         let mut bitmap = MarkBitmap::new(heap.base(), heap.extent_words());
@@ -494,6 +589,44 @@ impl Lisp2Collector {
         if self.cfg.verify_phases {
             Self::require_clean(verifier.verify_marks(kernel, heap, &bitmap, roots), stats)?;
         }
+        self.finish_packets_cycle(
+            kernel,
+            heap,
+            roots,
+            watchdog,
+            stats,
+            &bitmap,
+            t_mark,
+            cycle_start,
+            sched,
+            objects,
+            faults_before,
+        )
+    }
+
+    /// Buckets 2-4 of the packet-scheduled cycle (forward, adjust,
+    /// compact), shared by the STW path (after its mark bucket) and the
+    /// concurrent path (which replaces the mark bucket with the SATB
+    /// premark's STW charge).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_packets_cycle(
+        &mut self,
+        kernel: &mut Kernel,
+        heap: &mut Heap,
+        roots: &mut RootSet,
+        watchdog: &mut GcWatchdog,
+        stats: &mut GcCycleStats,
+        bitmap: &MarkBitmap,
+        t_mark: Cycles,
+        cycle_start: Cycles,
+        mut sched: PacketScheduler,
+        objects: Vec<ObjRef>,
+        faults_before: u64,
+    ) -> Result<(), GcError> {
+        let cores = kernel.cores();
+        let threads = self.cfg.gc_threads.min(cores).max(1);
+        let peers = (cores as u64 - 1).max(1);
+        let verifier = HeapVerifier::new();
 
         // ---- Bucket 2: forward ---------------------------------------
         let mut comp_pnt = heap.base();
@@ -532,7 +665,7 @@ impl Lisp2Collector {
         stats.phases.forward = Cycles(t_fwd.get().saturating_sub(t_mark.get()));
         watchdog.check("forward", stats.phases.forward)?;
         if self.cfg.verify_phases {
-            Self::require_clean(verifier.verify_forwarding(kernel, heap, &bitmap), stats)?;
+            Self::require_clean(verifier.verify_forwarding(kernel, heap, bitmap), stats)?;
         }
 
         // ---- Compact-batch partition (needed before adjust: conflict
@@ -647,7 +780,7 @@ impl Lisp2Collector {
         stats.phases.adjust = Cycles(t_adj.get().saturating_sub(t_fwd.get()));
         watchdog.check("adjust", stats.phases.adjust)?;
         if self.cfg.verify_phases {
-            Self::require_clean(verifier.verify_forwarding(kernel, heap, &bitmap), stats)?;
+            Self::require_clean(verifier.verify_forwarding(kernel, heap, bitmap), stats)?;
         }
 
         // ---- Bucket 4: compact ---------------------------------------

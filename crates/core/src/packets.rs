@@ -79,6 +79,9 @@ pub enum PacketKind {
     /// A minor-collection work chunk (the scavenger's buckets are
     /// per-phase and coarser).
     MinorChunk,
+    /// Drain a SATB deletion-barrier buffer during the final-mark pause
+    /// of a concurrent cycle (`--concurrent`).
+    SatbDrain,
 }
 
 impl PacketKind {
@@ -92,6 +95,7 @@ impl PacketKind {
             PacketKind::AdjustRoots => "adjust-roots",
             PacketKind::CompactBatch => "compact-batch",
             PacketKind::MinorChunk => "minor-chunk",
+            PacketKind::SatbDrain => "satb-drain",
         }
     }
 
@@ -105,6 +109,7 @@ impl PacketKind {
             PacketKind::AdjustRoots => 4,
             PacketKind::CompactBatch => 5,
             PacketKind::MinorChunk => 6,
+            PacketKind::SatbDrain => 7,
         }
     }
 }

@@ -104,6 +104,13 @@ pub struct GcCycleStats {
     pub sched_steals: u64,
     /// Total steal charges paid, in cycles.
     pub sched_steal_cycles: u64,
+    /// Marking cycles spent outside the pause, interleaved with the
+    /// mutator (`--concurrent` SATB mode; zero for STW cycles). These
+    /// are charged as mutator interference, not pause time.
+    pub concurrent_mark: Cycles,
+    /// SATB deletion-barrier entries drained at final mark (zero for
+    /// STW cycles and when the barrier logged nothing).
+    pub satb_logged: u64,
 }
 
 impl GcCycleStats {
@@ -232,6 +239,16 @@ impl GcLog {
         self.cycles.iter().map(|c| c.sched_steal_cycles).sum()
     }
 
+    /// Total off-pause (concurrent) marking cycles across cycles.
+    pub fn total_concurrent_mark(&self) -> Cycles {
+        self.cycles.iter().map(|c| c.concurrent_mark).sum()
+    }
+
+    /// Total SATB barrier entries drained across cycles.
+    pub fn total_satb_logged(&self) -> u64 {
+        self.cycles.iter().map(|c| c.satb_logged).sum()
+    }
+
     /// Aggregate phase breakdown over all cycles.
     pub fn phase_totals(&self) -> PhaseBreakdown {
         let mut total = PhaseBreakdown::default();
@@ -282,6 +299,16 @@ impl GcLog {
             ("gc.sched.steal_cycles", self.total_sched_steal_cycles()),
         ] {
             reg.add(name, v);
+        }
+        // Concurrent-mode keys appear only when SATB marking actually ran,
+        // so STW runs keep their registry (and sim digest) byte-identical.
+        let cm = self.total_concurrent_mark().get();
+        if cm > 0 {
+            reg.add("gc.concurrent.mark", cm);
+        }
+        let satb = self.total_satb_logged();
+        if satb > 0 {
+            reg.add("gc.concurrent.satb_logged", satb);
         }
     }
 }

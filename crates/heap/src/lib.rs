@@ -17,6 +17,7 @@ pub mod genheap;
 pub mod heap;
 pub mod object;
 pub mod roots;
+pub mod satb;
 pub mod tlab;
 pub mod verify;
 
@@ -26,5 +27,6 @@ pub use genheap::GenHeap;
 pub use heap::{Heap, HeapConfig, HeapError, HeapSnapshot, HeapStats};
 pub use object::{ObjHeader, ObjRef, ObjShape, FLAG_LARGE, HEADER_WORDS};
 pub use roots::{RootId, RootSet};
+pub use satb::SatbBuffer;
 pub use tlab::{Tlab, TlabAllocator};
 pub use verify::{HeapVerifier, VerifyReport, Violation};

@@ -1,0 +1,86 @@
+//! Snapshot-at-the-beginning (SATB) deletion-barrier buffers.
+//!
+//! Concurrent marking traces the heap as it was when the cycle's snapshot
+//! was taken (the initial-mark pause). A mutator running during the trace
+//! can hide a live object from the collector by overwriting the only
+//! reference to it; the SATB discipline closes that hole with a *deletion
+//! barrier*: before a reference field is overwritten, the old value is
+//! logged into a per-tenant buffer. The final-mark pause drains the buffer
+//! and treats every logged reference as a mark root — anything reachable
+//! at the snapshot stays reachable by the collector, at the price of some
+//! floating garbage (objects that died mid-cycle survive one extra GC).
+//!
+//! The buffer is plain host-side metadata (like the mark bitmap): logging
+//! cost is modeled by the collector's write-barrier hook, not here.
+
+use crate::object::ObjRef;
+
+/// A per-tenant SATB log of overwritten references.
+#[derive(Debug, Clone, Default)]
+pub struct SatbBuffer {
+    entries: Vec<ObjRef>,
+    logged_total: u64,
+}
+
+impl SatbBuffer {
+    /// An empty buffer.
+    pub fn new() -> SatbBuffer {
+        SatbBuffer::default()
+    }
+
+    /// Log one overwritten reference. Callers filter nulls and
+    /// out-of-heap values; the buffer stores whatever it is given.
+    pub fn log(&mut self, old: ObjRef) {
+        self.entries.push(old);
+        self.logged_total += 1;
+    }
+
+    /// Entries currently buffered (not yet drained).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every entry ever logged, including drained ones (stats).
+    pub fn logged_total(&self) -> u64 {
+        self.logged_total
+    }
+
+    /// Take all buffered entries, leaving the buffer empty (the
+    /// final-mark drain). The lifetime total is unaffected.
+    pub fn drain(&mut self) -> Vec<ObjRef> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Peek at the buffered entries without draining.
+    pub fn entries(&self) -> &[ObjRef] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svagc_vmem::VirtAddr;
+
+    #[test]
+    fn log_drain_and_totals() {
+        let mut b = SatbBuffer::new();
+        assert!(b.is_empty());
+        b.log(ObjRef(VirtAddr(0x1000)));
+        b.log(ObjRef(VirtAddr(0x2000)));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.logged_total(), 2);
+        let drained = b.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.logged_total(), 2, "lifetime total survives the drain");
+        b.log(ObjRef(VirtAddr(0x3000)));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.logged_total(), 3);
+    }
+}

@@ -55,6 +55,10 @@ pub enum TraceKind {
     MinorCycle,
     /// LISP2 phase I: mark. Span.
     MarkPhase,
+    /// SATB marking interleaved with the mutator (`--concurrent` mode):
+    /// the off-pause portion of the trace, between the initial-mark and
+    /// final-mark pauses. Span.
+    ConcurrentMarkPhase,
     /// LISP2 phase II: compute forwarding addresses. Span.
     ForwardPhase,
     /// LISP2 phase III: adjust references. Span.
@@ -105,10 +109,11 @@ pub enum TraceKind {
 
 impl TraceKind {
     /// Every kind, in a fixed order (for summaries and registries).
-    pub const ALL: [TraceKind; 22] = [
+    pub const ALL: [TraceKind; 23] = [
         TraceKind::GcCycle,
         TraceKind::MinorCycle,
         TraceKind::MarkPhase,
+        TraceKind::ConcurrentMarkPhase,
         TraceKind::ForwardPhase,
         TraceKind::AdjustPhase,
         TraceKind::CompactPhase,
@@ -136,6 +141,7 @@ impl TraceKind {
             TraceKind::GcCycle => "gc_cycle",
             TraceKind::MinorCycle => "minor_cycle",
             TraceKind::MarkPhase => "mark",
+            TraceKind::ConcurrentMarkPhase => "concurrent_mark",
             TraceKind::ForwardPhase => "forward",
             TraceKind::AdjustPhase => "adjust",
             TraceKind::CompactPhase => "compact",
@@ -164,6 +170,7 @@ impl TraceKind {
             TraceKind::GcCycle
             | TraceKind::MinorCycle
             | TraceKind::MarkPhase
+            | TraceKind::ConcurrentMarkPhase
             | TraceKind::ForwardPhase
             | TraceKind::AdjustPhase
             | TraceKind::CompactPhase
@@ -488,6 +495,7 @@ pub fn trace_summary(events: &[TraceEvent], top_n: usize, cores: usize) -> Strin
     // GC phase totals (span sums across cycles).
     let phases = [
         TraceKind::MarkPhase,
+        TraceKind::ConcurrentMarkPhase,
         TraceKind::ForwardPhase,
         TraceKind::AdjustPhase,
         TraceKind::CompactPhase,

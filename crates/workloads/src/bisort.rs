@@ -59,13 +59,13 @@ impl Bisort {
         self.next_key += 1;
         env.app_cycles += env.heap.write_data(env.kernel, env.core, obj, 2, 0, key)?;
         env.app_cycles += env.heap.write_data(env.kernel, env.core, obj, 2, 1, key ^ 0xB15)?;
-        env.app_cycles += env.heap.write_ref(env.kernel, env.core, obj, 0, ObjRef::NULL)?;
-        env.app_cycles += env.heap.write_ref(env.kernel, env.core, obj, 1, ObjRef::NULL)?;
+        env.write_ref(obj, 0, ObjRef::NULL)?;
+        env.write_ref(obj, 1, ObjRef::NULL)?;
         if idx > 0 {
             let parent_idx = (idx - 1) / 2;
             let which = ((idx - 1) % 2) as u64;
             let parent = env.roots.get(self.slots[parent_idx]);
-            env.app_cycles += env.heap.write_ref(env.kernel, env.core, parent, which, obj)?;
+            env.write_ref(parent, which, obj)?;
         }
         Ok(())
     }

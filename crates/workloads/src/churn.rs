@@ -184,7 +184,7 @@ impl ChurnWorkload {
         for r in 0..self.spec.refs_per_object as u64 {
             let hub_rid = self.hubs[self.rng.gen_range(0..self.hubs.len())];
             let hub = env.roots.get(hub_rid);
-            env.app_cycles += env.heap.write_ref(env.kernel, env.core, obj, r, hub)?;
+            env.write_ref(obj, r, hub)?;
         }
         Ok(LiveObj { rid, shape, seed })
     }

@@ -5,9 +5,9 @@ use crate::env::JvmEnv;
 use crate::workload::Workload;
 use svagc_baselines::{ParallelGc, Shenandoah};
 use svagc_core::{
-    recover, Collector, DegradePolicy, GcConfig, GcError, GcLog, Lisp2Collector,
-    PressureEscalator, PressureStats, RecoveryError, RecoveryReport, RetryPolicy,
-    SchedulerKind,
+    recover, Collector, ConcurrentCollector, DegradePolicy, GcConfig, GcError, GcLog,
+    Lisp2Collector, PressureEscalator, PressureStats, RecoveryError, RecoveryReport,
+    RetryPolicy, SchedulerKind,
 };
 use svagc_heap::{Heap, HeapConfig, HeapError, HeapVerifier};
 use svagc_kernel::{CoreId, CrashPlan, CrashPoint, FaultConfig, FaultPlan, Kernel, WalMutation};
@@ -52,6 +52,62 @@ impl CollectorKind {
         )
     }
 
+    /// The resolved LISP2 configuration of this kind, or `None` for the
+    /// baseline wrappers (which keep their own fixed configurations and
+    /// ignore the transactional knobs).
+    #[allow(clippy::too_many_arguments)]
+    fn lisp2_config(
+        &self,
+        gc_threads: usize,
+        verify_phases: bool,
+        deadline_cycles: Option<u64>,
+        degrade: DegradePolicy,
+        retry: Option<RetryPolicy>,
+        scheduler: SchedulerKind,
+        core_base: usize,
+    ) -> Option<GcConfig> {
+        let with_retry = |cfg: GcConfig| match retry {
+            Some(r) => cfg.with_retry_policy(r),
+            None => cfg,
+        };
+        match self {
+            CollectorKind::Svagc => Some(with_retry(
+                GcConfig::svagc(gc_threads)
+                    .with_verify_phases(verify_phases)
+                    .with_deadline(deadline_cycles)
+                    .with_degrade(degrade)
+                    .with_scheduler(scheduler)
+                    .with_core_base(core_base),
+            )),
+            CollectorKind::SvagcMemmove => Some(with_retry(
+                GcConfig::lisp2_memmove(gc_threads)
+                    .with_verify_phases(verify_phases)
+                    .with_deadline(deadline_cycles)
+                    .with_degrade(degrade)
+                    .with_scheduler(scheduler)
+                    .with_core_base(core_base),
+            )),
+            CollectorKind::Custom(cfg) => Some(with_retry(
+                GcConfig {
+                    gc_threads,
+                    deadline_cycles: deadline_cycles.or(cfg.deadline_cycles),
+                    // The run-level knobs win only when explicitly set;
+                    // an ablation's Custom config keeps its own choices.
+                    scheduler: if scheduler == SchedulerKind::Barrier {
+                        cfg.scheduler
+                    } else {
+                        scheduler
+                    },
+                    core_base: if core_base == 0 { cfg.core_base } else { core_base },
+                    ..*cfg
+                }
+                .with_verify_phases(verify_phases || cfg.verify_phases)
+                .with_degrade(if degrade.enabled { degrade } else { cfg.degrade }),
+            )),
+            CollectorKind::ParallelGc | CollectorKind::Shenandoah => None,
+        }
+    }
+
     /// Instantiate the collector with the full set of run-time knobs:
     /// post-phase verification, per-phase watchdog deadline,
     /// degraded-mode policy, (optionally) a SwapVA retry-policy
@@ -69,45 +125,59 @@ impl CollectorKind {
         scheduler: SchedulerKind,
         core_base: usize,
     ) -> Box<dyn Collector> {
-        let with_retry = |cfg: GcConfig| match retry {
-            Some(r) => cfg.with_retry_policy(r),
-            None => cfg,
-        };
         match self {
-            CollectorKind::Svagc => Box::new(Lisp2Collector::new(with_retry(
-                GcConfig::svagc(gc_threads)
-                    .with_verify_phases(verify_phases)
-                    .with_deadline(deadline_cycles)
-                    .with_degrade(degrade)
-                    .with_scheduler(scheduler)
-                    .with_core_base(core_base),
-            ))),
-            CollectorKind::SvagcMemmove => Box::new(Lisp2Collector::new(with_retry(
-                GcConfig::lisp2_memmove(gc_threads)
-                    .with_verify_phases(verify_phases)
-                    .with_deadline(deadline_cycles)
-                    .with_degrade(degrade)
-                    .with_scheduler(scheduler)
-                    .with_core_base(core_base),
-            ))),
             CollectorKind::ParallelGc => Box::new(ParallelGc::new(gc_threads)),
             CollectorKind::Shenandoah => Box::new(Shenandoah::new(gc_threads)),
-            CollectorKind::Custom(cfg) => Box::new(Lisp2Collector::new(with_retry(
-                GcConfig {
+            _ => Box::new(Lisp2Collector::new(
+                self.lisp2_config(
                     gc_threads,
-                    deadline_cycles: deadline_cycles.or(cfg.deadline_cycles),
-                    // The run-level knobs win only when explicitly set;
-                    // an ablation's Custom config keeps its own choices.
-                    scheduler: if scheduler == SchedulerKind::Barrier {
-                        cfg.scheduler
-                    } else {
-                        scheduler
-                    },
-                    core_base: if core_base == 0 { cfg.core_base } else { core_base },
-                    ..*cfg
-                }
-                .with_verify_phases(verify_phases || cfg.verify_phases)
-                .with_degrade(if degrade.enabled { degrade } else { cfg.degrade }),
+                    verify_phases,
+                    deadline_cycles,
+                    degrade,
+                    retry,
+                    scheduler,
+                    core_base,
+                )
+                .expect("LISP2-based kind"),
+            )),
+        }
+    }
+
+    /// Instantiate the collector for a `--concurrent` run: LISP2-based
+    /// kinds get SATB concurrent marking ([`ConcurrentCollector`] wrapping
+    /// the same configuration `build_configured` would produce);
+    /// Shenandoah arms its SATB barrier so its final-mark pause charge is
+    /// proportional to logged work; ParallelGC has no concurrent mode and
+    /// builds unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_concurrent(
+        &self,
+        gc_threads: usize,
+        verify_phases: bool,
+        deadline_cycles: Option<u64>,
+        degrade: DegradePolicy,
+        retry: Option<RetryPolicy>,
+        scheduler: SchedulerKind,
+        core_base: usize,
+    ) -> Box<dyn Collector> {
+        match self {
+            CollectorKind::ParallelGc => Box::new(ParallelGc::new(gc_threads)),
+            CollectorKind::Shenandoah => {
+                let mut s = Shenandoah::new(gc_threads);
+                s.arm_satb();
+                Box::new(s)
+            }
+            _ => Box::new(ConcurrentCollector::new(Lisp2Collector::new(
+                self.lisp2_config(
+                    gc_threads,
+                    verify_phases,
+                    deadline_cycles,
+                    degrade,
+                    retry,
+                    scheduler,
+                    core_base,
+                )
+                .expect("LISP2-based kind"),
             ))),
         }
     }
@@ -129,6 +199,17 @@ impl CollectorKind {
             CollectorKind::ParallelGc => "ParallelGC",
             CollectorKind::Shenandoah => "Shenandoah",
             CollectorKind::Custom(_) => "Custom",
+        }
+    }
+
+    /// Display label of a `--concurrent` run of this kind.
+    pub fn concurrent_label(&self) -> &'static str {
+        match self {
+            CollectorKind::Svagc => "SVAGC-concurrent",
+            CollectorKind::SvagcMemmove => "SVAGC(-SwapVA)-concurrent",
+            CollectorKind::ParallelGc => "ParallelGC",
+            CollectorKind::Shenandoah => "Shenandoah+SATB",
+            CollectorKind::Custom(_) => "Custom-concurrent",
         }
     }
 }
@@ -224,6 +305,12 @@ pub struct RunConfig {
     /// journal assigns. Fleet tenants get disjoint namespaces so their
     /// logs can never be confused; 0 (default) leaves epochs unchanged.
     pub wal_namespace: u16,
+    /// Run with SATB concurrent marking (`--concurrent`): marking
+    /// overlaps mutator execution and only initial/final mark plus
+    /// compaction are charged to the pause. LISP2-based collectors wrap
+    /// in [`ConcurrentCollector`]; Shenandoah arms its SATB barrier.
+    /// The compacted heap is bit-identical to the STW run's.
+    pub concurrent: bool,
 }
 
 impl RunConfig {
@@ -258,7 +345,14 @@ impl RunConfig {
             tenant_quota: None,
             pressure: false,
             wal_namespace: 0,
+            concurrent: false,
         }
+    }
+
+    /// Enable SATB concurrent marking.
+    pub fn with_concurrent(mut self, on: bool) -> RunConfig {
+        self.concurrent = on;
+        self
     }
 
     /// Draw frames from a shared fleet pool (the tenant id is this run's
@@ -777,15 +871,27 @@ fn run_inner(
         let g: GcError = e.into();
         Box::new(RunFailure { kind: classify(&g), message: g.to_string() })
     })?;
-    let collector = cfg.collector.build_configured(
-        cfg.gc_threads,
-        cfg.verify_phases,
-        cfg.deadline_cycles,
-        cfg.degrade,
-        cfg.retry,
-        cfg.scheduler,
-        cfg.core_base,
-    );
+    let collector = if cfg.concurrent {
+        cfg.collector.build_concurrent(
+            cfg.gc_threads,
+            cfg.verify_phases,
+            cfg.deadline_cycles,
+            cfg.degrade,
+            cfg.retry,
+            cfg.scheduler,
+            cfg.core_base,
+        )
+    } else {
+        cfg.collector.build_configured(
+            cfg.gc_threads,
+            cfg.verify_phases,
+            cfg.deadline_cycles,
+            cfg.degrade,
+            cfg.retry,
+            cfg.scheduler,
+            cfg.core_base,
+        )
+    };
     if cfg.fault_rate > 0.0 {
         let fc = if cfg.fault_permanent_only {
             FaultConfig::permanent_only(cfg.fault_rate, cfg.fault_seed)
@@ -869,7 +975,11 @@ fn run_inner(
 
     Ok(RunEnd::Completed(Box::new(RunResult {
         workload: workload.name(),
-        collector: cfg.collector.label(),
+        collector: if cfg.concurrent {
+            cfg.collector.concurrent_label()
+        } else {
+            cfg.collector.label()
+        },
         gc: gc_log,
         app_cycles,
         app_wall,

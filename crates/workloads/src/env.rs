@@ -277,6 +277,21 @@ impl<'a> JvmEnv<'a> {
         self.app_cycles += c;
     }
 
+    /// Mutator reference store through the collector's write barrier.
+    /// All workload ref overwrites must go through here: SATB collectors
+    /// log the old value (the deletion barrier) before the store lands;
+    /// for everything else the barrier is a free no-op, so non-concurrent
+    /// runs are byte-identical to the pre-barrier code path.
+    pub fn write_ref(&mut self, obj: ObjRef, field: u64, target: ObjRef) -> Result<(), GcError> {
+        self.app_cycles +=
+            self.collector
+                .write_barrier(self.kernel, &mut self.heap, self.core, obj, field)?;
+        self.app_cycles += self
+            .heap
+            .write_ref(self.kernel, self.core, obj, field, target)?;
+        Ok(())
+    }
+
     /// Force a GC now (drivers use this for deterministic cycle counts).
     pub fn force_gc(&mut self) -> Result<(), GcError> {
         self.collector
