@@ -31,8 +31,10 @@ fn usage() -> ! {
             [--gc-deadline-cycles <n>] [--degrade-policy off|standard|standard:N]
             [--trace <out.json>] [--trace-summary] [--bench-json <out.json>]
             [--tlb-oracle] [--wal] [--crash-plan <pt[:n],...>]
-            [--wal-mutate skip-commit|drop-intent]
+            [--wal-mutate skip-commit|drop-intent|corrupt-preimage]
             [--scheduler barrier|packets] [--core-base <n>] [--concurrent]
+            [--dram-fraction <f>] [--device-fault-rate <p>]
+            [--device-fault-seed <n>] [--device-offline-after <n>]
   svagc recover ...same flags as run...
   svagc multi --jvms <n> [--collector ...] [--gc-threads <n>]
             [--scheduler barrier|packets]
@@ -42,6 +44,19 @@ fn usage() -> ! {
             [--machine 6130|6240|i5]
   svagc protocol-check [--deep]
 
+  --dram-fraction <f> arm cold-object tiering: keep this fraction of the
+                      heap's pages resident in DRAM and demote the cold
+                      rest to a simulated far-memory device after every
+                      GC cycle. The run ends with a promote-all and the
+                      invisibility oracle (residency and device empty,
+                      heap hash equal to the DRAM-only run's)
+  --device-fault-rate <p>  per-device-request fault probability, split
+                      across transient EIO / latency spikes / torn
+                      writebacks; the retry ladder absorbs them
+  --device-fault-seed <n>  seed of the device fault plan
+  --device-offline-after <n>  kill the far device for good after n
+                      requests: writebacks degrade the run to DRAM-only
+                      mode; a lost fetch exits 16 (device failed)
   --concurrent        SATB concurrent marking: tracing overlaps mutator
                       execution (charged as interference, not pause);
                       only initial mark, the SATB-buffer drain, and
@@ -87,7 +102,8 @@ fn usage() -> ! {
                       (the machine dies at the n-th occurrence; n
                       defaults to 1): before-batch, inside-batch,
                       after-batch, mid-ipi, mid-rollback, mid-log-append,
-                      inside-recovery.
+                      inside-recovery, mid-demote-writeback,
+                      mid-promote-fetch.
                       `run` exits 13 when a crash fires; `recover`
                       reboots the dead machine, replays the journal, and
                       exits 0 only if the rebuilt heap hashes
@@ -118,7 +134,7 @@ fn usage() -> ! {
   exit codes: 0 ok | 1 error | 2 usage | 10 watchdog deadline |
               11 fault abort | 12 degraded-mode ladder exhausted |
               13 machine crashed | 14 recovery failed |
-              15 tenant out of memory
+              15 tenant out of memory | 16 far device failed
 
   protocol-check      exhaustively model-check the three TLB-coherence
                       protocols (GlobalBroadcast / LocalOnly / Tracked)
@@ -291,6 +307,22 @@ fn main() {
             if let Some(b) = get(&fs, "core-base") {
                 cfg.core_base = b.parse().expect("--core-base expects an integer");
             }
+            if let Some(f) = get(&fs, "dram-fraction") {
+                cfg.dram_fraction =
+                    Some(f.parse().expect("--dram-fraction expects a float"));
+            }
+            if let Some(p) = get(&fs, "device-fault-rate") {
+                cfg.device_fault_rate =
+                    p.parse().expect("--device-fault-rate expects a probability");
+            }
+            if let Some(sd) = get(&fs, "device-fault-seed") {
+                cfg.device_fault_seed =
+                    sd.parse().expect("--device-fault-seed expects an integer");
+            }
+            if let Some(n) = get(&fs, "device-offline-after") {
+                cfg.device_offline_after =
+                    Some(n.parse().expect("--device-offline-after expects an integer"));
+            }
 
             let t0 = std::time::Instant::now();
             let outcome = run_with_crash(w.as_mut(), &cfg, do_recover).unwrap_or_else(|f| {
@@ -422,6 +454,23 @@ fn main() {
                     r.gc.total_watchdog_expiries(),
                     r.gc.total_rollback_pages(),
                     DegradedMode::from_level(r.gc.max_mode()).name()
+                );
+            }
+            if r.tier_mode != "off" {
+                println!(
+                    "far tier     : mode {} | {} demotions | {} promotions | {} on-access \
+                     fetches | {} retries | {} device fault(s) | degraded {} / recovered {}",
+                    r.tier_mode,
+                    r.tier.demotions,
+                    r.tier.promotions,
+                    r.tier.fetch_on_access,
+                    r.tier.writeback_retries + r.tier.fetch_retries,
+                    r.device.faults,
+                    r.tier_ctl.degraded,
+                    r.tier_ctl.recovered
+                );
+                println!(
+                    "tier oracle  : ok (residency and device empty, heap fully resident)"
                 );
             }
             if r.tlb_oracle.enabled {

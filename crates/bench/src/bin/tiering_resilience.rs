@@ -1,0 +1,5 @@
+//! Tiering-resilience figure: SVAGC vs memmove over a fallible far tier.
+
+fn main() {
+    svagc_bench::runner::main_single("tiering_resilience")
+}

@@ -168,6 +168,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         caption: "Healthy-tenant throughput & survival vs victim fault rate (blast-radius isolation)",
         run: render::noisy_neighbor,
     },
+    Experiment {
+        id: "tiering_resilience",
+        title: "Tiering resilience",
+        caption: "Throughput & invisibility vs DRAM fraction x device fault rate (SVAGC vs memmove)",
+        run: render::tiering_resilience,
+    },
 ];
 
 /// The five design-choice studies `bin/ablations` runs.

@@ -600,6 +600,102 @@ pub fn pause_cdf_rows() -> Vec<PauseCdfRow> {
     ]
 }
 
+/// One tiering-resilience measurement: collector × DRAM fraction ×
+/// device fault rate on LRUCache.
+#[derive(Debug, Clone)]
+pub struct TieringResilienceRow {
+    /// Collector label.
+    pub collector: String,
+    /// Fraction of the heap kept resident (1.0 == tiering off).
+    pub dram_fraction: f64,
+    /// Per-request device fault probability.
+    pub fault_rate: f64,
+    /// Steps per simulated second.
+    pub throughput: f64,
+    /// Total GC pause cycles.
+    pub gc_total_cycles: u64,
+    /// Cycles charged to tier traffic (writebacks, fetches, backoff).
+    pub tier_cycles: u64,
+    /// Pages demoted to the far device.
+    pub demotions: u64,
+    /// Promotions triggered by a mutator/GC access (the thrash metric).
+    pub fetch_on_access: u64,
+    /// Device operations retried after a transient fault.
+    pub retries: u64,
+    /// Torn writebacks caught by the mandatory read-back verify.
+    pub torn_caught: u64,
+    /// Final tier mode (`"off"`, `"tiered"`, `"dram-only"`).
+    pub tier_mode: String,
+    /// FNV content hash of the final live heap.
+    pub heap_hash: u64,
+    /// End-of-run data verification.
+    pub verify_ok: bool,
+}
+impl_to_json!(TieringResilienceRow {
+    collector,
+    dram_fraction,
+    fault_rate,
+    throughput,
+    gc_total_cycles,
+    tier_cycles,
+    demotions,
+    fetch_on_access,
+    retries,
+    torn_caught,
+    tier_mode,
+    heap_hash,
+    verify_ok
+});
+
+/// Tiering-resilience suite: SVAGC vs its memmove ablation on LRUCache,
+/// swept over DRAM fraction {1.0, 0.6, 0.3} × device fault rate
+/// {0, 1%, 10%}. SVAGC compacts by PTE swaps, so far pages move without
+/// touching the device; memmove must copy every live word and drags cold
+/// pages back through the fallible device each cycle. The renderer pins
+/// the two contracts: every row's heap is bit-identical to its
+/// collector's DRAM-only run (the tier + retry ladder are invisible),
+/// and SVAGC retains more of its DRAM-only throughput than memmove at
+/// the harshest point of the matrix.
+pub fn tiering_resilience_rows() -> Vec<TieringResilienceRow> {
+    const DEVICE_SEED: u64 = 0xD1CE;
+    let mut plan: Vec<(CollectorKind, f64, f64)> = Vec::new();
+    for kind in [CollectorKind::Svagc, CollectorKind::SvagcMemmove] {
+        plan.push((kind, 1.0, 0.0)); // DRAM-only reference
+        for frac in [0.6, 0.3] {
+            for rate in [0.0, 0.01, 0.10] {
+                plan.push((kind, frac, rate));
+            }
+        }
+    }
+    par_map(plan, |(kind, frac, rate)| {
+        let mut w = suite::by_name("LRUCache").expect("LRUCache is a suite workload");
+        let mut cfg = RunConfig::new(kind).with_verify_phases(true);
+        if frac < 1.0 {
+            cfg = cfg.with_tiering(frac).with_tier_batch(4096);
+            if rate > 0.0 {
+                cfg = cfg.with_device_faults(rate, DEVICE_SEED);
+            }
+        }
+        let r = run(w.as_mut(), &cfg)
+            .unwrap_or_else(|e| panic!("tiering_resilience f={frac} p={rate}: {e}"));
+        TieringResilienceRow {
+            collector: r.collector.to_string(),
+            dram_fraction: frac,
+            fault_rate: rate,
+            throughput: r.throughput(),
+            gc_total_cycles: r.gc.total_pause().get(),
+            tier_cycles: r.tier_cycles.get(),
+            demotions: r.tier.demotions,
+            fetch_on_access: r.tier.fetch_on_access,
+            retries: r.tier.writeback_retries + r.tier.fetch_retries,
+            torn_caught: r.device.torn_writebacks,
+            tier_mode: r.tier_mode.to_string(),
+            heap_hash: r.heap_hash,
+            verify_ok: r.verify_ok,
+        }
+    })
+}
+
 /// Geometric mean helper for the Table III summary rows.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let (mut log_sum, mut n) = (0.0, 0u32);

@@ -8,7 +8,7 @@
 
 use std::fmt;
 use svagc_heap::{HeapError, VerifyReport};
-use svagc_kernel::{CrashPoint, SwapVaError};
+use svagc_kernel::{CrashPoint, SwapVaError, TierError};
 use svagc_metrics::Cycles;
 use svagc_vmem::VmError;
 
@@ -67,6 +67,12 @@ pub enum GcError {
         /// The pressure-ladder rung that was the last remedy attempted.
         last_action: &'static str,
     },
+    /// The far-memory tier failed in a way its own ladder could not
+    /// absorb: a demoted page is unfetchable after retries (the device
+    /// lost data the heap needs) or the device died mid-operation. This
+    /// is the tenant-local terminal failure of cold-object tiering — it
+    /// never panics and never touches another tenant's frames.
+    Tier(TierError),
 }
 
 impl GcError {
@@ -105,8 +111,34 @@ impl GcError {
         match self {
             GcError::Crashed { point } => Some(*point),
             GcError::Swap(SwapVaError::Crashed { point }) => Some(*point),
+            GcError::Tier(TierError::Crashed { point }) => Some(*point),
             GcError::Exhausted(inner) => inner.crash_point(),
             _ => None,
+        }
+    }
+
+    /// True when this error means the far-memory device permanently lost
+    /// or refused data the heap needs (directly, via the VM layer's
+    /// fetch-on-access path, or wrapped by the degrade ladder). Drivers
+    /// map this to a dedicated process exit code.
+    pub fn is_device_failure(&self) -> bool {
+        match self {
+            GcError::Tier(e) => !matches!(e, TierError::Crashed { .. }),
+            GcError::Heap(HeapError::Vm(VmError::FarPageLost(_))) => true,
+            GcError::Exhausted(inner) => inner.is_device_failure(),
+            _ => false,
+        }
+    }
+}
+
+impl From<TierError> for GcError {
+    fn from(e: TierError) -> GcError {
+        match e {
+            // A machine crash is a machine crash regardless of which
+            // subsystem tripped it — keep the crash/recovery harness's
+            // classification uniform.
+            TierError::Crashed { point } => GcError::Crashed { point },
+            other => GcError::Tier(other),
         }
     }
 }
@@ -160,6 +192,7 @@ impl fmt::Display for GcError {
                 f,
                 "out of memory: {requested} B unsatisfiable after pressure ladder (last action: {last_action})"
             ),
+            GcError::Tier(e) => write!(f, "far-memory tier failure: {e}"),
         }
     }
 }
@@ -169,6 +202,7 @@ impl std::error::Error for GcError {
         match self {
             GcError::Heap(e) => Some(e),
             GcError::Swap(e) => Some(e),
+            GcError::Tier(e) => Some(e),
             GcError::Exhausted(inner) => Some(inner),
             GcError::Deadline { .. }
             | GcError::Corruption { .. }

@@ -46,6 +46,7 @@ pub mod recovery;
 pub mod resilience;
 pub mod scheduler;
 pub mod stats;
+pub mod tier;
 pub mod watchdog;
 
 pub use collector::Collector;
@@ -68,4 +69,5 @@ pub use recovery::{
 pub use resilience::{execute_swaps, RetryPolicy, SwapOutcome};
 pub use scheduler::{Placement, WorkerPool};
 pub use stats::{GcCycleStats, GcLog, PhaseBreakdown};
+pub use tier::{TierController, TierCtlStats, TierMode, TierPolicy};
 pub use watchdog::GcWatchdog;

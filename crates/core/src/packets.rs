@@ -82,6 +82,10 @@ pub enum PacketKind {
     /// Drain a SATB deletion-barrier buffer during the final-mark pause
     /// of a concurrent cycle (`--concurrent`).
     SatbDrain,
+    /// Demote a batch of cold pages to the far-memory tier (writeback +
+    /// verify + residency record per page), piggybacked on the end of a
+    /// GC cycle.
+    DemoteBatch,
 }
 
 impl PacketKind {
@@ -96,6 +100,7 @@ impl PacketKind {
             PacketKind::CompactBatch => "compact-batch",
             PacketKind::MinorChunk => "minor-chunk",
             PacketKind::SatbDrain => "satb-drain",
+            PacketKind::DemoteBatch => "demote-batch",
         }
     }
 
@@ -110,6 +115,7 @@ impl PacketKind {
             PacketKind::CompactBatch => 5,
             PacketKind::MinorChunk => 6,
             PacketKind::SatbDrain => 7,
+            PacketKind::DemoteBatch => 8,
         }
     }
 }

@@ -33,7 +33,7 @@
 
 use crate::error::GcError;
 use svagc_heap::{Heap, HeapConfig, HeapStats, HeapVerifier, ObjRef, RootSet};
-use svagc_kernel::{CoreId, CrashPoint, Kernel, WalOp, WalPayload};
+use svagc_kernel::{CoreId, CrashPoint, Kernel, TierError, WalOp, WalPayload, TIER_EPOCH};
 use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{AddressSpace, VirtAddr};
 
@@ -239,6 +239,10 @@ pub enum RecoveryError {
     },
     /// The rebuilt heap failed a structural verifier pass.
     Corruption(String),
+    /// The far-memory device could not hand back demoted pages during
+    /// recovery (permanent fetch failure or device offline). The DRAM
+    /// image is incomplete and no undo pass can run over it.
+    DeviceFailed(String),
     /// A seeded crash point fired *inside recovery* (the double-crash
     /// case). The log is untouched beyond idempotent undo writes; a fresh
     /// recovery attempt after another reboot can run to completion.
@@ -260,6 +264,9 @@ impl std::fmt::Display for RecoveryError {
             RecoveryError::Corruption(why) => {
                 write!(f, "recovered heap failed verification: {why}")
             }
+            RecoveryError::DeviceFailed(why) => {
+                write!(f, "far-memory device failed during recovery: {why}")
+            }
             RecoveryError::Crashed { point } => {
                 write!(f, "machine crashed again inside recovery at {point}")
             }
@@ -278,6 +285,9 @@ pub struct RecoveryReport {
     pub class: CycleClass,
     /// Intent records undone (torn cycles only).
     pub undone_ops: usize,
+    /// Far-tier pages promoted back to DRAM before the undo pass (zero
+    /// when no far tier is configured).
+    pub far_restored: u32,
     /// Pages rewritten by the undo pass.
     pub undone_pages: u64,
     /// Simulated cycles the recovery pass consumed.
@@ -344,11 +354,19 @@ impl EpochState {
 
 /// Fold the scan into per-epoch state, in log order. Fails on records
 /// that violate the protocol (an intent before its begin, undecodable
-/// metadata) — those mean the log writer and reader disagree, and
-/// guessing would risk publishing a hybrid heap.
+/// metadata, an intent whose pre-image checksum does not validate) —
+/// those mean the log writer and reader disagree, and guessing would
+/// risk publishing a hybrid heap.
+///
+/// Far-tier residency records live under the reserved [`TIER_EPOCH`]
+/// outside the begin/commit protocol; they are skipped here and
+/// replayed by [`Kernel::tier_recover`] instead.
 fn fold_epochs(records: &[svagc_kernel::WalRecord]) -> Result<Vec<EpochState>, RecoveryError> {
     let mut epochs: Vec<EpochState> = Vec::new();
     for rec in records {
+        if rec.epoch == TIER_EPOCH {
+            continue;
+        }
         match &rec.payload {
             WalPayload::CycleBegin { meta } => {
                 let meta = CycleMeta::decode(meta).ok_or_else(|| {
@@ -379,6 +397,25 @@ fn fold_epochs(records: &[svagc_kernel::WalRecord]) -> Result<Vec<EpochState>, R
                     }
                     WalPayload::CycleAborted => cur.aborted = true,
                     WalPayload::Recovered { .. } => cur.recovered = true,
+                    // An intent record whose pre-image checksum failed:
+                    // the log frame is intact but the payload is lying
+                    // about what to restore. Undoing it would write
+                    // garbage, skipping it would leave a half-applied
+                    // cycle — refuse the log outright.
+                    WalPayload::BadIntent => {
+                        return Err(RecoveryError::BadLog(format!(
+                            "epoch {}: intent pre-image checksum failed",
+                            rec.epoch
+                        )))
+                    }
+                    // Residency records outside TIER_EPOCH violate the
+                    // protocol (the writer only ever appends them there).
+                    WalPayload::TierDemote { .. } | WalPayload::TierPromote { .. } => {
+                        return Err(RecoveryError::BadLog(format!(
+                            "epoch {}: far-tier record outside the reserved epoch",
+                            rec.epoch
+                        )))
+                    }
                     WalPayload::CycleBegin { .. } => unreachable!("matched above"),
                 }
             }
@@ -438,6 +475,23 @@ pub fn recover(
     let mut undone_ops = 0usize;
     let mut undone_pages = 0u64;
     let mut space = space;
+
+    // Rebuild far-tier residency and promote every demoted page back to
+    // DRAM *before* the undo pass: pre-images are absolute frame writes
+    // and must land in resident frames, and the content-hash oracle
+    // below reads the heap through uncosted paths that bypass the
+    // fetch-on-access hook.
+    let far_restored = match kernel.tier_recover() {
+        Ok((restored, c)) => {
+            cycles += c;
+            restored
+        }
+        Err(TierError::Crashed { point }) => {
+            return fail(space, RecoveryError::Crashed { point })
+        }
+        Err(e) => return fail(space, RecoveryError::DeviceFailed(e.to_string())),
+    };
+
     if class == CycleClass::Torn {
         // Undo the intents in reverse. Pre-images are absolute, so this
         // pass is idempotent: it is safe when the final logged intent was
@@ -548,6 +602,7 @@ pub fn recover(
         epoch,
         class,
         undone_ops,
+        far_restored,
         undone_pages,
         cycles,
         torn_tail: scan.torn_tail,

@@ -25,61 +25,10 @@ use svagc_kernel::{CoreId, Kernel, SwapRequest, SwapVaError, SwapVaOptions};
 use svagc_metrics::{Cycles, TraceKind};
 use svagc_vmem::{AddressSpace, PAGE_SIZE};
 
-/// Bounded-retry policy for transient SwapVA faults.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Retries allowed per request before it falls back to `memmove`.
-    pub max_retries: u32,
-    /// Cycles charged before the first retry; doubles per attempt.
-    pub backoff_base: u64,
-    /// Backoff ceiling in cycles (keeps pathological runs bounded).
-    pub backoff_cap: u64,
-    /// Memmove fallbacks allowed per [`execute_swaps`] call before the
-    /// next demotion is treated as *unrecoverable* and surfaces as
-    /// [`GcError::Swap`]. `None` (the default) never gives up — the
-    /// pre-transactional behavior. A bounded budget is what makes an
-    /// unrecoverable mid-compaction fault reachable, which the
-    /// transactional collector answers with rollback + degraded retry.
-    pub fallback_budget: Option<u64>,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> RetryPolicy {
-        RetryPolicy {
-            max_retries: 8,
-            backoff_base: 64,
-            backoff_cap: 4096,
-            fallback_budget: None,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// A policy with a custom retry budget and default backoff shape.
-    pub fn with_max_retries(max_retries: u32) -> RetryPolicy {
-        RetryPolicy {
-            max_retries,
-            ..RetryPolicy::default()
-        }
-    }
-
-    /// Cap the number of memmove fallbacks absorbed per call.
-    pub fn with_fallback_budget(mut self, budget: Option<u64>) -> RetryPolicy {
-        self.fallback_budget = budget;
-        self
-    }
-
-    /// Cycles the caller spins before retry number `attempt` (1-based):
-    /// exponential from `backoff_base`, capped at `backoff_cap`.
-    pub fn backoff(&self, attempt: u32) -> Cycles {
-        let shift = attempt.saturating_sub(1).min(63);
-        Cycles(
-            self.backoff_base
-                .saturating_mul(1u64 << shift)
-                .min(self.backoff_cap),
-        )
-    }
-}
+// The retry/backoff policy used to be defined here; it now lives in the
+// kernel crate so the far-memory device I/O path can share it. Re-exported
+// to keep every existing import site (`svagc_core::RetryPolicy`) intact.
+pub use svagc_kernel::RetryPolicy;
 
 /// What resilient execution of a request list cost and absorbed.
 #[derive(Debug, Clone, Default)]

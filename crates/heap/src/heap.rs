@@ -237,6 +237,10 @@ impl Heap {
             return Ok(0);
         }
         let pages = (self.committed - keep) / PAGE_SIZE;
+        // Far-tier pages in the doomed range are dead: drop their device
+        // bindings (bookkeeping only, no fetch) before the frames go back
+        // to the pool, or a recycled frame would still read as "far".
+        kernel.tier_discard_range(&self.space, keep, pages);
         kernel.vmem.unmap_pages(&mut self.space, keep, pages)?;
         // Decommit is a munmap: every core may hold translations for the
         // released range, and the frames go back to the pool for reuse.
@@ -322,8 +326,8 @@ impl Heap {
         if large {
             header.flags |= FLAG_LARGE;
         }
-        self.zero_object(kernel, aligned, size)?;
-        let mut t = kernel.write_word(&self.space, core, obj.header_va(), header.encode())?;
+        let mut t = self.zero_object(kernel, aligned, size)?;
+        t += kernel.write_word(&self.space, core, obj.header_va(), header.encode())?;
         t += kernel.write_word(&self.space, core, obj.forwarding_va(), 0)?;
 
         self.objects.push(obj);
@@ -354,8 +358,8 @@ impl Heap {
         if large {
             header.flags |= FLAG_LARGE;
         }
-        self.zero_object(kernel, at, shape.size_bytes())?;
-        let mut t = kernel.write_word(&self.space, core, obj.header_va(), header.encode())?;
+        let mut t = self.zero_object(kernel, at, shape.size_bytes())?;
+        t += kernel.write_word(&self.space, core, obj.header_va(), header.encode())?;
         t += kernel.write_word(&self.space, core, obj.forwarding_va(), 0)?;
         self.objects.push(obj);
         self.sorted = false;
@@ -501,9 +505,18 @@ impl Heap {
     /// same here makes heap content a pure function of mutator writes and
     /// GC moves — never of whatever garbage the region held before — which
     /// is exactly the property the chaos suite's content-hash oracle needs.
-    /// Functional write only: allocation cost is modeled by the callers.
-    fn zero_object(&mut self, kernel: &mut Kernel, at: VirtAddr, size: u64) -> Result<(), HeapError> {
+    /// Functional write only — allocation cost is modeled by the callers —
+    /// except that any far page under the range must be promoted first
+    /// (the raw write would otherwise be clobbered by the next
+    /// fetch-on-access); those fetch cycles are real and returned.
+    fn zero_object(
+        &mut self,
+        kernel: &mut Kernel,
+        at: VirtAddr,
+        size: u64,
+    ) -> Result<Cycles, HeapError> {
         const ZERO_CHUNK: [u8; 4096] = [0u8; 4096];
+        let t = kernel.tier_resolve_write_range(&self.space, at, size)?;
         let mut va = at;
         let mut left = size;
         while left > 0 {
@@ -512,7 +525,7 @@ impl Heap {
             va = va + n as u64;
             left -= n as u64;
         }
-        Ok(())
+        Ok(t)
     }
 
     /// Bulk-initialize an object's data region (uncosted functional write;
@@ -524,10 +537,10 @@ impl Heap {
         num_refs: u64,
         bytes: &[u8],
     ) -> Result<Cycles, HeapError> {
-        kernel
-            .vmem
-            .write_bytes(&self.space, obj.data_va(num_refs, 0), bytes)?;
-        Ok(kernel
+        let at = obj.data_va(num_refs, 0);
+        let t = kernel.tier_resolve_write_range(&self.space, at, bytes.len() as u64)?;
+        kernel.vmem.write_bytes(&self.space, at, bytes)?;
+        Ok(t + kernel
             .bandwidth
             .copy_cycles(&kernel.machine, bytes.len() as u64))
     }

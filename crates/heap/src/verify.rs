@@ -103,9 +103,11 @@ impl<'a> Checker<'a> {
         }
     }
 
-    /// Uncosted functional read; an unmapped address is itself a violation.
+    /// Uncosted functional read (tier-aware: a demoted page's word is
+    /// served from its far-device slot without promoting it or rolling
+    /// the device fault plan); an unmapped address is itself a violation.
     fn read(&mut self, heap: &Heap, va: VirtAddr) -> Option<u64> {
-        match self.kernel.vmem.read_u64(heap.space(), va) {
+        match self.kernel.read_u64_tiered(heap.space(), va) {
             Ok(v) => Some(v),
             Err(e) => {
                 self.violate("heap-word-mapped", va, format!("read failed: {e}"));

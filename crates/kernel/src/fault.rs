@@ -218,11 +218,20 @@ pub enum CrashPoint {
     /// During recovery's own undo replay — the double-crash case; recovery
     /// must be restartable.
     InsideRecovery,
+    /// During a far-tier demotion, after the page's writeback to the
+    /// device began but before the demotion's WAL record became durable.
+    /// The DRAM copy is still intact, so recovery must treat the page as
+    /// resident (and reclaim any orphaned device slot).
+    MidDemoteWriteback,
+    /// During a far-tier promotion, after the device fetch returned but
+    /// before the fetched bytes landed in the frame. The device copy is
+    /// still authoritative, so recovery must re-fetch.
+    MidPromoteFetch,
 }
 
 impl CrashPoint {
     /// Every crash point, in a fixed order (for matrices and parsers).
-    pub const ALL: [CrashPoint; 7] = [
+    pub const ALL: [CrashPoint; 9] = [
         CrashPoint::BeforeBatchApply,
         CrashPoint::InsideBatchApply,
         CrashPoint::AfterBatchApply,
@@ -230,6 +239,8 @@ impl CrashPoint {
         CrashPoint::MidRollback,
         CrashPoint::MidLogAppend,
         CrashPoint::InsideRecovery,
+        CrashPoint::MidDemoteWriteback,
+        CrashPoint::MidPromoteFetch,
     ];
 
     /// Stable name (CLI flag values, trace args).
@@ -242,6 +253,8 @@ impl CrashPoint {
             CrashPoint::MidRollback => "mid-rollback",
             CrashPoint::MidLogAppend => "mid-log-append",
             CrashPoint::InsideRecovery => "inside-recovery",
+            CrashPoint::MidDemoteWriteback => "mid-demote-writeback",
+            CrashPoint::MidPromoteFetch => "mid-promote-fetch",
         }
     }
 
@@ -255,6 +268,8 @@ impl CrashPoint {
             CrashPoint::MidRollback => 5,
             CrashPoint::MidLogAppend => 6,
             CrashPoint::InsideRecovery => 7,
+            CrashPoint::MidDemoteWriteback => 8,
+            CrashPoint::MidPromoteFetch => 9,
         }
     }
 

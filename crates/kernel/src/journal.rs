@@ -253,10 +253,15 @@ impl Kernel {
                     }
                 }
                 UndoOp::Bytes { at, saved } => {
+                    // A pre-image restored into a demoted page would be
+                    // clobbered by the next fetch-on-access; pull any far
+                    // page home before the raw write.
+                    t += self.tier_resolve_write_range(space, *at, saved.len() as u64)?;
                     self.vmem.write_bytes(space, *at, &journal.bytes[saved.clone()])?;
                     t += self.bandwidth.copy_cycles(&self.machine, saved.len() as u64);
                 }
                 UndoOp::Word { at, old } => {
+                    t += self.tier_resolve_write_range(space, *at, 8)?;
                     self.vmem.write_u64(space, *at, *old)?;
                     t += Cycles(costs.mem_access);
                 }

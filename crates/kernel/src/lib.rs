@@ -32,22 +32,31 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod device;
 pub mod error;
 pub mod fault;
 pub mod journal;
 pub mod memmove;
 pub mod overlap;
+pub mod retry;
 pub mod shootdown;
 pub mod state;
 pub mod swapva;
+pub mod tier;
 pub mod wal;
 
 pub use batch::SwapBatch;
+pub use device::{
+    DeviceError, DeviceFaultConfig, DeviceFaultKind, DeviceFaultPlan, DeviceStats, FarDevice,
+    SlotId,
+};
 pub use error::{RollbackError, SwapVaError};
 pub use fault::{CrashPlan, CrashPoint, FaultConfig, FaultKind, FaultPlan};
 pub use journal::{OpJournal, UndoOp};
 pub use overlap::gcd;
+pub use retry::RetryPolicy;
 pub use shootdown::{FlushMode, Interference};
 pub use state::{CoreId, Kernel};
 pub use swapva::{SwapRequest, SwapVaOptions};
-pub use wal::{WalMutation, WalOp, WalPayload, WalRecord, WalScan, WalStats, WriteAheadLog};
+pub use tier::{FarTier, TierError, TierStats};
+pub use wal::{WalMutation, WalOp, WalPayload, WalRecord, WalScan, WalStats, WriteAheadLog, TIER_EPOCH};

@@ -1,0 +1,120 @@
+//! Bounded, cycle-charged retry/backoff policy shared by every fallible
+//! kernel path.
+//!
+//! Two subsystems retry transient failures: the SwapVA executor in the
+//! core crate (PTE-lock contention, shootdown timeouts) and the far-memory
+//! device I/O path (transient EIO, latency spikes). Both used to carry
+//! their own copy of the same exponential-backoff arithmetic; this module
+//! is the single source of truth. The policy is *deterministic by
+//! construction* — backoff is a pure function of the attempt number, so a
+//! seeded fault schedule replays to the same cycle charges on every run.
+
+use svagc_metrics::Cycles;
+
+/// Bounded-retry policy for transient faults (SwapVA and device I/O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed per request before it falls back (to `memmove` for
+    /// SwapVA, to the degrade ladder for device I/O).
+    pub max_retries: u32,
+    /// Cycles charged before the first retry; doubles per attempt.
+    pub backoff_base: u64,
+    /// Backoff ceiling in cycles (keeps pathological runs bounded).
+    pub backoff_cap: u64,
+    /// Fallbacks allowed per executor call before the next demotion is
+    /// treated as *unrecoverable*. `None` (the default) never gives up —
+    /// the pre-transactional behavior. A bounded budget is what makes an
+    /// unrecoverable mid-compaction fault reachable, which the
+    /// transactional collector answers with rollback + degraded retry.
+    pub fallback_budget: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            backoff_base: 64,
+            backoff_cap: 4096,
+            fallback_budget: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with a custom retry budget and default backoff shape.
+    pub fn with_max_retries(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Cap the number of fallbacks absorbed per call.
+    pub fn with_fallback_budget(mut self, budget: Option<u64>) -> RetryPolicy {
+        self.fallback_budget = budget;
+        self
+    }
+
+    /// Cycles the caller spins before retry number `attempt` (1-based):
+    /// exponential from `backoff_base`, capped at `backoff_cap`.
+    pub fn backoff(&self, attempt: u32) -> Cycles {
+        let shift = attempt.saturating_sub(1).min(63);
+        Cycles(
+            self.backoff_base
+                .saturating_mul(1u64 << shift)
+                .min(self.backoff_cap),
+        )
+    }
+
+    /// The full backoff schedule up to `max_retries`, as cycle values.
+    /// The determinism regression test pins this: the schedule is a pure
+    /// function of the policy, never of host state or call history.
+    pub fn schedule(&self) -> Vec<Cycles> {
+        (1..=self.max_retries).map(|a| self.backoff(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), Cycles(64));
+        assert_eq!(p.backoff(2), Cycles(128));
+        assert_eq!(p.backoff(3), Cycles(256));
+        assert_eq!(p.backoff(12), Cycles(4096), "capped");
+        assert_eq!(p.backoff(63), Cycles(4096), "shift saturates, still capped");
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        // Same policy ⇒ same schedule, every time, with no hidden state:
+        // the regression the SwapVA executor and the device I/O path both
+        // rely on for replayable chaos runs.
+        let p = RetryPolicy::with_max_retries(6);
+        let a = p.schedule();
+        let b = p.schedule();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            vec![
+                Cycles(64),
+                Cycles(128),
+                Cycles(256),
+                Cycles(512),
+                Cycles(1024),
+                Cycles(2048)
+            ]
+        );
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = RetryPolicy::with_max_retries(3).with_fallback_budget(Some(2));
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.fallback_budget, Some(2));
+        assert_eq!(p.backoff_base, RetryPolicy::default().backoff_base);
+    }
+}

@@ -60,6 +60,10 @@ pub struct Kernel {
     /// Durable write-ahead log for PTE-mutating ops (disabled by default;
     /// see [`crate::wal`]). Survives [`Kernel::reboot`].
     pub(crate) wal: WriteAheadLog,
+    /// Far-memory tier (None = DRAM-only; see [`crate::tier`]). The
+    /// backing device is durable across [`Kernel::reboot`]; the host-side
+    /// residency map is volatile and rebuilt by recovery from the WAL.
+    pub(crate) tier: Option<crate::tier::FarTier>,
     /// Pending seeded crashes (see [`crate::fault::CrashPlan`]).
     pub(crate) crash: Vec<CrashPlan>,
     /// Latched crash: once a crash point fires the machine is dead until
@@ -97,6 +101,7 @@ impl Kernel {
             trace: Tracer::disabled(),
             tlb_oracle: TlbOracle::disabled(),
             wal: WriteAheadLog::new(),
+            tier: None,
             crash: Vec::new(),
             crashed: None,
             next_journal_id: 0,
@@ -119,6 +124,13 @@ impl Kernel {
         self.journal = None;
         self.crashed = None;
         self.wal.drop_volatile();
+        if let Some(t) = self.tier.as_mut() {
+            // The device (and its data) is durable; the host-side
+            // residency map is kernel memory and dies with the machine.
+            // Recovery rebuilds it from the WAL's tier stream.
+            t.residency.clear();
+            t.touched.clear();
+        }
         if self.tlb_oracle.is_enabled() {
             // The oracle audits flush coverage against mutation history;
             // a cold boot invalidates that history, so restart it clean.
@@ -282,14 +294,14 @@ impl Kernel {
         let vpn = va.vpn();
         self.perf.tlb_lookups += 1;
         let (hit, frame) = self.tlbs[core.0].lookup(asid, vpn);
-        match hit {
+        let (frame, mut t) = match hit {
             TlbHit::L1 => {
                 let frame =
                     frame.expect("TLB invariant: an L1 hit always carries its cached frame");
                 if self.tlb_oracle.is_enabled() {
                     self.oracle_check_hit(space, core, va, frame);
                 }
-                Ok((frame.base() + va.page_offset(), Cycles(1)))
+                (frame, Cycles(1))
             }
             TlbHit::Stlb => {
                 let frame =
@@ -297,15 +309,22 @@ impl Kernel {
                 if self.tlb_oracle.is_enabled() {
                     self.oracle_check_hit(space, core, va, frame);
                 }
-                Ok((frame.base() + va.page_offset(), Cycles(7)))
+                (frame, Cycles(7))
             }
             TlbHit::Miss => {
                 self.perf.tlb_misses += 1;
                 let pa = space.translate(va)?;
                 self.tlbs[core.0].insert(asid, vpn, pa.frame());
-                Ok((pa, Cycles(self.machine.costs.tlb_refill)))
+                (pa.frame(), Cycles(self.machine.costs.tlb_refill))
             }
+        };
+        // Far-tier hook: a TLB hit proves the mapping is cached, not that
+        // the frame is resident — every arm consults the residency map so
+        // a demoted page is fetched before the access proceeds.
+        if self.tier.is_some() {
+            t += self.tier_fetch_on_access(frame)?;
         }
+        Ok((frame.base() + va.page_offset(), t))
     }
 
     /// Read one word through `space` on `core`, with full charging.

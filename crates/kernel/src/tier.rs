@@ -1,0 +1,780 @@
+//! The far-memory tier: frame-keyed residency, fetch-on-access, and the
+//! crash-consistent demote/promote protocol.
+//!
+//! # Frame-keyed residency
+//!
+//! Demoting a page does NOT unmap it. The page's *frame* keeps its PTE;
+//! the frame's contents move to a device slot, the frame is zeroed (so a
+//! missed fetch can never silently read stale data), and the frame id is
+//! bound to the slot in the residency map. This is the tiering analogue
+//! of the paper's zero-copy thesis: because SVAGC moves objects by
+//! swapping PTEs, a PTE swap *moves a far page without touching the
+//! device* — the frame's slot binding travels with the frame, which the
+//! PTE swap re-targets for free. The memmove baseline, by contrast,
+//! copies every byte through the CPU each cycle, which forces a fetch of
+//! every far page it touches — the thrash the `tiering_resilience` figure
+//! measures.
+//!
+//! # Fetch-on-access
+//!
+//! [`crate::Kernel::translate`] consults the residency map on every
+//! translation (hits and misses alike — a TLB hit proves the *mapping* is
+//! cached, not that the frame is resident). A translation that lands on a
+//! far frame triggers a fetch: the device read is verified against the
+//! page's FNV checksum, retried under the shared
+//! [`crate::RetryPolicy`], and the frame's contents are rewritten before
+//! the caller's access proceeds. Mutators never observe a zeroed frame.
+//!
+//! # Crash consistency
+//!
+//! Residency transitions are write-ahead logged under the reserved
+//! [`crate::wal::TIER_EPOCH`], ordered so every crash window recovers to
+//! a consistent state:
+//!
+//! * **Demotion**: device writeback + verify → *WAL record* → zero
+//!   frame, move pool charge, insert residency. A crash before the record
+//!   (e.g. [`CrashPoint::MidDemoteWriteback`]) leaves the DRAM copy
+//!   intact and an orphaned device slot, which recovery's
+//!   [`crate::FarDevice::retain_slots`] reclaims.
+//! * **Promotion**: device fetch + verify → *WAL record* → rewrite
+//!   frame, remove residency, free slot. A crash before the record
+//!   ([`CrashPoint::MidPromoteFetch`]) leaves the page far; recovery
+//!   re-fetches it.
+//!
+//! Recovery replays the tier stream in log order to rebuild the residency
+//! map, rebuilds the device free list, then promotes everything — all
+//! *before* the GC undo pass, whose pre-images must land in resident
+//! frames.
+//!
+//! # Failure ladder
+//!
+//! Transient device faults retry with exponential backoff. A writeback
+//! that fails permanently is *graceful*: the data never left DRAM, so the
+//! tier reports [`TierError::WritebackFailed`] and the policy layer
+//! degrades to DRAM-only. A fetch that fails permanently lost the only
+//! copy: [`TierError::FetchLost`] (surfaced as
+//! [`VmError::FarPageLost`] on the access path) is fatal for the run —
+//! but still a typed, tenant-local failure, never a panic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::device::{DeviceStats, FarDevice, SlotId, SLOT_BYTES};
+use crate::fault::CrashPoint;
+use crate::retry::RetryPolicy;
+use crate::state::Kernel;
+use crate::wal::{WalPayload, TIER_EPOCH};
+use svagc_metrics::{Cycles, TraceKind};
+use svagc_vmem::{AddressSpace, FrameId, VirtAddr, VmError};
+
+/// Failure of a tier operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierError {
+    /// A demotion writeback failed permanently (retries exhausted or the
+    /// device went offline). Graceful: the page never left DRAM; the
+    /// policy layer should degrade to DRAM-only mode.
+    WritebackFailed {
+        /// The page that stayed resident.
+        frame: FrameId,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A fetch of a far page failed permanently: the device holds the
+    /// only copy, so the data is lost. Fatal for the run (typed, never a
+    /// panic).
+    FetchLost {
+        /// The unfetchable frame.
+        frame: FrameId,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The far device has no free slot (the tier is full); the demotion
+    /// is skipped. Graceful — like `WritebackFailed`, nothing was lost.
+    DeviceFull,
+    /// A seeded crash point fired mid-operation: the machine is dead.
+    Crashed {
+        /// The crash point that fired.
+        point: CrashPoint,
+    },
+    /// The functional memory substrate failed (bad VA, etc.).
+    Vm(VmError),
+}
+
+impl From<VmError> for TierError {
+    fn from(e: VmError) -> TierError {
+        TierError::Vm(e)
+    }
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierError::WritebackFailed { frame, attempts } => write!(
+                f,
+                "far-tier writeback of frame {} failed permanently after {attempts} attempt(s)",
+                frame.0
+            ),
+            TierError::FetchLost { frame, attempts } => write!(
+                f,
+                "far-tier fetch of frame {} failed permanently after {attempts} attempt(s): data lost",
+                frame.0
+            ),
+            TierError::DeviceFull => write!(f, "far device full: demotion skipped"),
+            TierError::Crashed { point } => write!(f, "crashed at {}", point.name()),
+            TierError::Vm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {}
+
+/// Tier activity counters (volatile, for reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Pages demoted to the far tier.
+    pub demotions: u64,
+    /// Pages promoted back to DRAM (all causes).
+    pub promotions: u64,
+    /// Promotions triggered by a mutator/GC access (the thrash metric).
+    pub fetch_on_access: u64,
+    /// Writeback attempts retried after a transient fault.
+    pub writeback_retries: u64,
+    /// Fetch attempts retried after a transient fault.
+    pub fetch_retries: u64,
+    /// Cycles burned in retry backoff.
+    pub backoff_cycles: u64,
+    /// Total cycles charged to tier operations.
+    pub tier_cycles: u64,
+    /// High-water mark of simultaneously far pages.
+    pub far_peak: u32,
+    /// Far pages discarded without a fetch because their range was
+    /// unmapped (heap decommit of dead pages).
+    pub discards: u64,
+}
+
+/// The kernel's far-memory tier: the device plus the frame-keyed
+/// residency map and the retry policy for its I/O.
+#[derive(Debug)]
+pub struct FarTier {
+    pub(crate) device: FarDevice,
+    /// Frame → device slot for every currently-far page. Frame-keyed (not
+    /// VPN-keyed) so PTE swaps move far pages for free; BTreeMap so every
+    /// iteration (promote-all, recovery) is deterministic.
+    pub(crate) residency: BTreeMap<FrameId, SlotId>,
+    /// Frames touched by translation since the last policy drain — the
+    /// hotness signal the demotion policy feeds on.
+    pub(crate) touched: BTreeSet<FrameId>,
+    /// Retry/backoff policy for device I/O (shared shape with SwapVA).
+    pub(crate) retry: RetryPolicy,
+    pub(crate) stats: TierStats,
+}
+
+impl FarTier {
+    /// A tier backed by `device`, retrying I/O per `retry`.
+    pub fn new(device: FarDevice, retry: RetryPolicy) -> FarTier {
+        FarTier {
+            device,
+            residency: BTreeMap::new(),
+            touched: BTreeSet::new(),
+            retry,
+            stats: TierStats::default(),
+        }
+    }
+
+    /// Is `frame`'s content currently on the far tier?
+    pub fn is_far(&self, frame: FrameId) -> bool {
+        self.residency.contains_key(&frame)
+    }
+
+    /// Number of currently-far pages.
+    pub fn far_count(&self) -> u32 {
+        self.residency.len() as u32
+    }
+
+    /// The far frames, in deterministic (sorted) order.
+    pub fn far_frames(&self) -> Vec<FrameId> {
+        self.residency.keys().copied().collect()
+    }
+
+    /// Drain the set of frames touched since the last drain (the hotness
+    /// signal for the demotion policy).
+    pub fn take_touched(&mut self) -> BTreeSet<FrameId> {
+        std::mem::take(&mut self.touched)
+    }
+
+    /// Tier activity counters.
+    pub fn stats(&self) -> TierStats {
+        self.stats
+    }
+
+    /// The backing device's activity counters.
+    pub fn device_stats(&self) -> DeviceStats {
+        self.device.stats()
+    }
+
+    /// Device slots currently holding data (the tier half of the
+    /// frame-leak oracle: after promote-all this must be zero and match
+    /// the pool's `far_in_use`).
+    pub fn slots_in_use(&self) -> u32 {
+        self.device.slots_in_use()
+    }
+
+    /// Has the backing device latched offline?
+    pub fn device_offline(&self) -> bool {
+        self.device.is_offline()
+    }
+
+    /// Install (or clear) the device's seeded fault plan.
+    pub fn set_device_fault_plan(&mut self, plan: Option<crate::device::DeviceFaultPlan>) {
+        self.device.set_fault_plan(plan);
+    }
+
+    fn note_far(&mut self) {
+        self.stats.far_peak = self.stats.far_peak.max(self.residency.len() as u32);
+    }
+}
+
+impl Kernel {
+    /// Install (or remove) the far-memory tier. With no tier installed
+    /// every tier hook is a no-op and runs are byte-identical to builds
+    /// that predate the tier.
+    pub fn set_far_tier(&mut self, tier: Option<FarTier>) {
+        self.tier = tier;
+    }
+
+    /// The installed tier, if any.
+    pub fn far_tier(&self) -> Option<&FarTier> {
+        self.tier.as_ref()
+    }
+
+    /// Mutable access to the installed tier.
+    pub fn far_tier_mut(&mut self) -> Option<&mut FarTier> {
+        self.tier.as_mut()
+    }
+
+    /// Tier-aware uncosted functional read: like `vmem.read_u64`, but a
+    /// far page's word is served from its device slot via a fault-free
+    /// peek. The heap verifier reads through this so its invariant checks
+    /// see through the tier without promoting anything (and without
+    /// rolling the device fault plan — observation cannot perturb the
+    /// run). With no tier installed it is exactly `vmem.read_u64`.
+    pub fn read_u64_tiered(
+        &self,
+        space: &AddressSpace,
+        va: VirtAddr,
+    ) -> Result<u64, VmError> {
+        let pa = space.translate(va)?;
+        if let Some(tier) = &self.tier {
+            if let Some(&slot) = tier.residency.get(&pa.frame()) {
+                let data = tier
+                    .device
+                    .peek(slot)
+                    .expect("residency invariant: a far frame's slot holds data");
+                let off = va.page_offset() as usize;
+                let word: [u8; 8] = data[off..off + 8]
+                    .try_into()
+                    .expect("page-offset word is in the slot");
+                return Ok(u64::from_le_bytes(word));
+            }
+        }
+        self.vmem.phys.read_u64(pa)
+    }
+
+    /// Demote the page at `va` to the far tier: write its frame's
+    /// contents to a device slot (verified, retried), log the residency
+    /// record, zero the frame, and move the pool charge off the DRAM
+    /// budget. The PTE is untouched — subsequent accesses fetch on
+    /// demand. No-op if the page is already far.
+    pub fn tier_demote_page(
+        &mut self,
+        space: &AddressSpace,
+        va: VirtAddr,
+    ) -> Result<Cycles, TierError> {
+        let Some(mut tier) = self.tier.take() else {
+            return Ok(Cycles::ZERO);
+        };
+        let r = self.tier_demote_inner(&mut tier, space, va);
+        if let Ok(c) = r {
+            tier.stats.tier_cycles += c.0;
+        }
+        self.tier = Some(tier);
+        r
+    }
+
+    fn tier_demote_inner(
+        &mut self,
+        tier: &mut FarTier,
+        space: &AddressSpace,
+        va: VirtAddr,
+    ) -> Result<Cycles, TierError> {
+        let frame = space.translate(va)?.frame();
+        if tier.residency.contains_key(&frame) {
+            return Ok(Cycles::ZERO);
+        }
+        // The demote pass walks the page table functionally (GC-side).
+        let mut t = Cycles(self.machine.costs.tlb_refill);
+        let bytes = self.vmem.phys.frame_bytes(frame)?.to_vec();
+        let slot = tier.device.alloc_slot().map_err(|_| TierError::DeviceFull)?;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let wrote = tier
+                .device
+                .write(slot, &bytes)
+                .and_then(|c| Ok(c + tier.device.verify(slot)?));
+            match wrote {
+                Ok(c) => {
+                    t += c;
+                    break;
+                }
+                Err(e) if e.is_transient() && attempts <= tier.retry.max_retries => {
+                    let back = tier.retry.backoff(attempts);
+                    t += e.spent() + back;
+                    tier.stats.writeback_retries += 1;
+                    tier.stats.backoff_cycles += back.0;
+                }
+                Err(_) => {
+                    // Permanent: the page never left DRAM. Unwind the slot
+                    // and report gracefully so the policy layer can degrade.
+                    tier.device.release_slot(slot);
+                    return Err(TierError::WritebackFailed { frame, attempts });
+                }
+            }
+        }
+        // Crash window: the device holds the copy but the WAL record is
+        // not durable. Recovery sees no record → the page stays resident
+        // (the DRAM copy is intact) and the slot is reclaimed as orphaned.
+        self.crash_gate(CrashPoint::MidDemoteWriteback)
+            .map_err(|_| TierError::Crashed {
+                point: CrashPoint::MidDemoteWriteback,
+            })?;
+        t += self.wal_tier_record(WalPayload::TierDemote {
+            frame: u64::from(frame.0),
+            slot: u64::from(slot.0),
+        });
+        self.vmem.phys.zero_frame(frame)?;
+        if let Some(lease) = self.vmem.frames.lease() {
+            lease.demote_charge(frame)?;
+        }
+        tier.residency.insert(frame, slot);
+        tier.touched.remove(&frame);
+        tier.stats.demotions += 1;
+        tier.note_far();
+        self.trace.instant(
+            TraceKind::WalRecord,
+            Cycles::ZERO,
+            0,
+            &[
+                ("tier_demote", 1),
+                ("frame", u64::from(frame.0)),
+                ("slot", u64::from(slot.0)),
+            ],
+        );
+        Ok(t)
+    }
+
+    /// Promote one far frame back to DRAM (explicit, crash-gated path:
+    /// GC passes, promote-all, recovery). No-op if the frame is resident.
+    pub fn tier_promote_frame(&mut self, frame: FrameId) -> Result<Cycles, TierError> {
+        self.tier_promote(frame, true, false)
+    }
+
+    /// Promote every far page back to DRAM in deterministic order — the
+    /// end-of-run step that makes the invisibility oracle meaningful
+    /// (content hashes are computed over a fully-resident heap) and the
+    /// degrade ladder's DRAM-only transition.
+    pub fn tier_promote_all(&mut self) -> Result<Cycles, TierError> {
+        let frames = match &self.tier {
+            Some(t) => t.far_frames(),
+            None => return Ok(Cycles::ZERO),
+        };
+        let mut t = Cycles::ZERO;
+        for frame in frames {
+            t += self.tier_promote_frame(frame)?;
+        }
+        Ok(t)
+    }
+
+    fn tier_promote(
+        &mut self,
+        frame: FrameId,
+        gate: bool,
+        on_access: bool,
+    ) -> Result<Cycles, TierError> {
+        let Some(mut tier) = self.tier.take() else {
+            return Ok(Cycles::ZERO);
+        };
+        let r = self.tier_promote_inner(&mut tier, frame, gate, on_access);
+        if let Ok(c) = r {
+            tier.stats.tier_cycles += c.0;
+        }
+        self.tier = Some(tier);
+        r
+    }
+
+    fn tier_promote_inner(
+        &mut self,
+        tier: &mut FarTier,
+        frame: FrameId,
+        gate: bool,
+        on_access: bool,
+    ) -> Result<Cycles, TierError> {
+        let Some(&slot) = tier.residency.get(&frame) else {
+            return Ok(Cycles::ZERO);
+        };
+        let mut t = Cycles::ZERO;
+        let mut buf = vec![0u8; SLOT_BYTES];
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match tier.device.read(slot, &mut buf) {
+                Ok(c) => {
+                    t += c;
+                    break;
+                }
+                Err(e) if e.is_transient() && attempts <= tier.retry.max_retries => {
+                    let back = tier.retry.backoff(attempts);
+                    t += e.spent() + back;
+                    tier.stats.fetch_retries += 1;
+                    tier.stats.backoff_cycles += back.0;
+                }
+                Err(_) => return Err(TierError::FetchLost { frame, attempts }),
+            }
+        }
+        if gate {
+            // Crash window: the fetch returned but nothing landed. The
+            // residency map and slot are untouched; recovery re-fetches.
+            self.crash_gate(CrashPoint::MidPromoteFetch)
+                .map_err(|_| TierError::Crashed {
+                    point: CrashPoint::MidPromoteFetch,
+                })?;
+        }
+        t += self.wal_tier_record(WalPayload::TierPromote {
+            frame: u64::from(frame.0),
+            slot: u64::from(slot.0),
+        });
+        self.vmem.phys.write_bytes(frame.base(), &buf)?;
+        tier.device
+            .free_slot(slot)
+            .expect("residency invariant: a far frame's slot holds data");
+        if let Some(lease) = self.vmem.frames.lease() {
+            lease.promote_charge(frame)?;
+        }
+        tier.residency.remove(&frame);
+        tier.stats.promotions += 1;
+        if on_access {
+            tier.stats.fetch_on_access += 1;
+        }
+        Ok(t)
+    }
+
+    /// Translation hook: note the access for the hotness signal and, if
+    /// the frame is far, fetch it before the access proceeds. Crash
+    /// points do not fire on this path (a `VmError` cannot carry a crash);
+    /// the crash matrix drives the explicit promote paths instead.
+    /// Permanent fetch failure surfaces as [`VmError::FarPageLost`].
+    #[cold]
+    pub(crate) fn tier_fetch_on_access(&mut self, frame: FrameId) -> Result<Cycles, VmError> {
+        let far = match self.tier.as_mut() {
+            Some(t) => {
+                t.touched.insert(frame);
+                t.is_far(frame)
+            }
+            None => false,
+        };
+        if !far {
+            return Ok(Cycles::ZERO);
+        }
+        self.perf.tier_fetches += 1;
+        match self.tier_promote(frame, false, true) {
+            Ok(c) => Ok(c),
+            Err(TierError::Vm(e)) => Err(e),
+            Err(_) => Err(VmError::FarPageLost(frame)),
+        }
+    }
+
+    /// Raw-write hook: promote every far page overlapping `bytes` bytes
+    /// at `from` before an untranslated bulk write lands. Functional
+    /// writes that go straight to `vmem` (object zeroing, bulk init,
+    /// rollback pre-image restores) bypass the translation hook; on a
+    /// demoted page they would land in the zeroed frame and be clobbered
+    /// by the next fetch-on-access, resurrecting dead device bytes over
+    /// live data. No-op without a tier or when every page is resident.
+    pub fn tier_resolve_write_range(
+        &mut self,
+        space: &AddressSpace,
+        from: VirtAddr,
+        bytes: u64,
+    ) -> Result<Cycles, VmError> {
+        if self.tier.is_none() || bytes == 0 {
+            return Ok(Cycles::ZERO);
+        }
+        let mut t = Cycles::ZERO;
+        let pages = (from + (bytes - 1)).vpn() - from.vpn() + 1;
+        for i in 0..pages {
+            let pa = space.translate(from.add_pages(i))?;
+            t += self.tier_fetch_on_access(pa.frame())?;
+        }
+        Ok(t)
+    }
+
+    /// Recovery: rebuild the residency map by replaying the WAL's tier
+    /// stream in log order, reclaim orphaned device slots, then promote
+    /// every far page — which must happen *before* the GC undo pass so
+    /// pre-images land in resident frames. Returns `(far pages restored,
+    /// cycles)`.
+    pub fn tier_recover(&mut self) -> Result<(u32, Cycles), TierError> {
+        if self.tier.is_none() {
+            return Ok((0, Cycles::ZERO));
+        }
+        let scan = self.wal.scan();
+        let mut residency: BTreeMap<FrameId, SlotId> = BTreeMap::new();
+        for rec in scan.records.iter().filter(|r| r.epoch == TIER_EPOCH) {
+            match rec.payload {
+                WalPayload::TierDemote { frame, slot } => {
+                    residency.insert(FrameId(frame as u32), SlotId(slot as u32));
+                }
+                WalPayload::TierPromote { frame, .. } => {
+                    residency.remove(&FrameId(frame as u32));
+                }
+                _ => {}
+            }
+        }
+        let restored = residency.len() as u32;
+        let live: BTreeSet<SlotId> = residency.values().copied().collect();
+        let tier = self.tier.as_mut().expect("checked above");
+        tier.residency = residency;
+        tier.touched.clear();
+        tier.device.retain_slots(&live);
+        let t = self.tier_promote_all()?;
+        Ok((restored, t))
+    }
+
+    /// Drop the residency of any far page in the `pages`-page range at
+    /// `from` of `space` *without* touching the device data path. For
+    /// callers about to unmap the range (heap decommit after compaction):
+    /// the device copy is dead, so fetching it would be waste — but the
+    /// frame is headed back to the pool, and a stale frame-keyed binding
+    /// would resurrect dead bytes into whoever gets the frame next. Logs
+    /// the promote record first (recovery must not rebuild the binding),
+    /// frees the slot, and moves the pool charge back where the pending
+    /// frame-free expects it. Pure bookkeeping: works even when the
+    /// device is offline, which is exactly when it matters most.
+    pub fn tier_discard_range(&mut self, space: &AddressSpace, from: VirtAddr, pages: u64) -> Cycles {
+        let Some(mut tier) = self.tier.take() else {
+            return Cycles::ZERO;
+        };
+        let mut t = Cycles::ZERO;
+        for i in 0..pages {
+            let Ok(pa) = space.translate(from.add_pages(i)) else {
+                continue;
+            };
+            let frame = pa.frame();
+            let Some(slot) = tier.residency.remove(&frame) else {
+                continue;
+            };
+            t += self.wal_tier_record(WalPayload::TierPromote {
+                frame: u64::from(frame.0),
+                slot: u64::from(slot.0),
+            });
+            tier.device
+                .free_slot(slot)
+                .expect("residency invariant: a far frame's slot holds data");
+            if let Some(lease) = self.vmem.frames.lease() {
+                // The range is being freed either way; a charge error here
+                // would mean the pool and the tier disagree about the
+                // frame, which the pool's own audit reports.
+                let _ = lease.promote_charge(frame);
+            }
+            tier.stats.discards += 1;
+        }
+        tier.stats.tier_cycles += t.0;
+        self.tier = Some(tier);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceFaultConfig, DeviceFaultPlan};
+    use crate::fault::CrashPlan;
+    use svagc_metrics::MachineConfig;
+    use svagc_vmem::Asid;
+
+    fn setup(tier_slots: u32) -> (Kernel, AddressSpace, VirtAddr) {
+        let mut k = Kernel::new(MachineConfig::i5_7600(), 64);
+        let mut s = AddressSpace::new(Asid(1));
+        let va = k.vmem.alloc_region(&mut s, 4).unwrap();
+        k.set_far_tier(Some(FarTier::new(
+            FarDevice::new(tier_slots),
+            RetryPolicy::default(),
+        )));
+        (k, s, va)
+    }
+
+    #[test]
+    fn demote_then_access_fetches_identical_content() {
+        let (mut k, s, va) = setup(8);
+        k.write_word(&s, crate::CoreId(0), va, 0xC0FFEE).unwrap();
+        let t = k.tier_demote_page(&s, va).unwrap();
+        assert!(t.get() >= FarDevice::WRITEBACK_CYCLES);
+        assert_eq!(k.far_tier().unwrap().far_count(), 1);
+        // The frame itself is zeroed (uncosted peek past the hook).
+        let frame = s.translate(va).unwrap().frame();
+        assert_eq!(k.vmem.phys.read_u64(frame.base()).unwrap(), 0);
+        // A costed access fetches transparently and sees the real data.
+        let (v, t) = k.read_word(&s, crate::CoreId(0), va).unwrap();
+        assert_eq!(v, 0xC0FFEE);
+        assert!(t.get() >= FarDevice::FETCH_CYCLES, "fetch cost charged");
+        let st = k.far_tier().unwrap().stats();
+        assert_eq!((st.demotions, st.promotions, st.fetch_on_access), (1, 1, 1));
+        assert_eq!(k.far_tier().unwrap().slots_in_use(), 0, "slot freed");
+    }
+
+    #[test]
+    fn double_demote_is_a_noop_and_promote_all_drains() {
+        let (mut k, s, va) = setup(8);
+        for i in 0..4u64 {
+            k.write_word(&s, crate::CoreId(0), va.add_pages(i), 100 + i)
+                .unwrap();
+            k.tier_demote_page(&s, va.add_pages(i)).unwrap();
+        }
+        assert_eq!(k.tier_demote_page(&s, va).unwrap(), Cycles::ZERO);
+        assert_eq!(k.far_tier().unwrap().far_count(), 4);
+        k.tier_promote_all().unwrap();
+        assert_eq!(k.far_tier().unwrap().far_count(), 0);
+        assert_eq!(k.far_tier().unwrap().slots_in_use(), 0);
+        for i in 0..4u64 {
+            let (v, _) = k.read_word(&s, crate::CoreId(0), va.add_pages(i)).unwrap();
+            assert_eq!(v, 100 + i);
+        }
+    }
+
+    #[test]
+    fn transient_faults_retry_and_succeed() {
+        let (mut k, s, va) = setup(8);
+        k.write_word(&s, crate::CoreId(0), va, 7).unwrap();
+        let plan = DeviceFaultPlan::new(DeviceFaultConfig::uniform(0.4, 11));
+        k.far_tier_mut().unwrap().device.set_fault_plan(Some(plan));
+        for i in 0..4u64 {
+            k.tier_demote_page(&s, va.add_pages(i)).unwrap();
+        }
+        k.tier_promote_all().unwrap();
+        let (v, _) = k.read_word(&s, crate::CoreId(0), va).unwrap();
+        assert_eq!(v, 7);
+        let st = k.far_tier().unwrap().stats();
+        assert!(
+            st.writeback_retries + st.fetch_retries > 0,
+            "p=0.4 over many ops must retry at least once"
+        );
+        assert!(st.backoff_cycles > 0);
+    }
+
+    #[test]
+    fn offline_during_writeback_is_graceful() {
+        let (mut k, s, va) = setup(8);
+        k.write_word(&s, crate::CoreId(0), va, 42).unwrap();
+        let plan =
+            DeviceFaultPlan::new(DeviceFaultConfig::uniform(0.0, 1).with_offline_after(0));
+        k.far_tier_mut().unwrap().device.set_fault_plan(Some(plan));
+        let e = k.tier_demote_page(&s, va).unwrap_err();
+        assert!(matches!(e, TierError::WritebackFailed { .. }));
+        // Nothing was lost: the page is still resident and readable.
+        assert_eq!(k.far_tier().unwrap().far_count(), 0);
+        assert_eq!(k.far_tier().unwrap().slots_in_use(), 0);
+        let (v, _) = k.read_word(&s, crate::CoreId(0), va).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn offline_after_demotion_loses_the_page_with_a_typed_error() {
+        let (mut k, s, va) = setup(8);
+        k.write_word(&s, crate::CoreId(0), va, 42).unwrap();
+        k.tier_demote_page(&s, va).unwrap();
+        let plan =
+            DeviceFaultPlan::new(DeviceFaultConfig::uniform(0.0, 1).with_offline_after(0));
+        k.far_tier_mut().unwrap().device.set_fault_plan(Some(plan));
+        // Explicit promote: typed FetchLost.
+        let e = k.tier_promote_frame(s.translate(va).unwrap().frame()).unwrap_err();
+        assert!(matches!(e, TierError::FetchLost { .. }));
+        // Access path: typed FarPageLost, never fabricated zeros.
+        let e = k.read_word(&s, crate::CoreId(0), va).unwrap_err();
+        assert!(matches!(e, VmError::FarPageLost(_)));
+    }
+
+    #[test]
+    fn pte_swap_moves_far_pages_without_device_traffic() {
+        // The zero-copy thesis, tiered: swap a far page with a resident
+        // one by PTE swap; the residency map follows the frames, so no
+        // fetch happens until someone actually touches the data.
+        let (mut k, mut s, va) = setup(8);
+        let a = va;
+        let b = va.add_pages(1);
+        k.write_word(&s, crate::CoreId(0), a, 0xAAAA).unwrap();
+        k.write_word(&s, crate::CoreId(0), b, 0xBBBB).unwrap();
+        k.tier_demote_page(&s, a).unwrap();
+        let fetches_before = k.far_tier().unwrap().device_stats().fetches;
+        k.swap_va(
+            &mut s,
+            crate::CoreId(0),
+            crate::SwapRequest { a, b, pages: 1 },
+            crate::SwapVaOptions::naive(),
+        )
+        .unwrap();
+        assert_eq!(
+            k.far_tier().unwrap().device_stats().fetches,
+            fetches_before,
+            "the swap itself must not touch the device"
+        );
+        // Data follows the swap: b now reads the far page's content
+        // (fetched on access), a reads the resident one.
+        let (vb, _) = k.read_word(&s, crate::CoreId(0), b).unwrap();
+        assert_eq!(vb, 0xAAAA);
+        let (va_, _) = k.read_word(&s, crate::CoreId(0), a).unwrap();
+        assert_eq!(va_, 0xBBBB);
+    }
+
+    #[test]
+    fn crash_mid_demote_recovers_to_resident() {
+        let (mut k, s, va) = setup(8);
+        k.set_wal_enabled(true);
+        k.write_word(&s, crate::CoreId(0), va, 0x11).unwrap();
+        k.set_crash_plans(vec![CrashPlan::first(CrashPoint::MidDemoteWriteback)]);
+        let e = k.tier_demote_page(&s, va).unwrap_err();
+        assert!(matches!(
+            e,
+            TierError::Crashed {
+                point: CrashPoint::MidDemoteWriteback
+            }
+        ));
+        k.reboot();
+        let (restored, _) = k.tier_recover().unwrap();
+        assert_eq!(restored, 0, "no WAL record ⇒ page stays resident");
+        assert_eq!(k.far_tier().unwrap().slots_in_use(), 0, "orphan reclaimed");
+        let (v, _) = k.read_word(&s, crate::CoreId(0), va).unwrap();
+        assert_eq!(v, 0x11);
+    }
+
+    #[test]
+    fn crash_mid_promote_recovers_by_refetching() {
+        let (mut k, s, va) = setup(8);
+        k.set_wal_enabled(true);
+        k.write_word(&s, crate::CoreId(0), va, 0x22).unwrap();
+        k.tier_demote_page(&s, va).unwrap();
+        let frame = s.translate(va).unwrap().frame();
+        k.set_crash_plans(vec![CrashPlan::first(CrashPoint::MidPromoteFetch)]);
+        let e = k.tier_promote_frame(frame).unwrap_err();
+        assert!(matches!(
+            e,
+            TierError::Crashed {
+                point: CrashPoint::MidPromoteFetch
+            }
+        ));
+        k.reboot();
+        let (restored, _) = k.tier_recover().unwrap();
+        assert_eq!(restored, 1, "the demote record replays; promote-all refetches");
+        assert_eq!(k.far_tier().unwrap().far_count(), 0);
+        let (v, _) = k.read_word(&s, crate::CoreId(0), va).unwrap();
+        assert_eq!(v, 0x22);
+    }
+}

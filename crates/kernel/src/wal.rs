@@ -43,6 +43,12 @@ use svagc_vmem::{AddressSpace, VirtAddr, VmError, PAGE_SIZE, WORD_BYTES};
 /// Magic word opening every WAL record frame.
 pub const WAL_MAGIC: u64 = 0x5356_4147_4357_414C; // "SVAGCWAL"
 
+/// Reserved epoch carrying far-tier residency records. GC epochs are
+/// always ≥ 1 (even namespaced ones OR a nonzero counter into the low
+/// bits), so 0 can never collide; recovery partitions this epoch out
+/// before folding the per-cycle state machine.
+pub const TIER_EPOCH: u64 = 0;
+
 /// Words of framing around a record payload: magic, payload length,
 /// epoch, sequence, kind, trailing checksum.
 const FRAME_WORDS: usize = 6;
@@ -91,8 +97,20 @@ pub enum WalOp {
     },
 }
 
+/// Outcome of decoding a serialized [`WalOp`]: structurally valid ops
+/// additionally carry a pre-image checksum (for [`WalOp::Bytes`] and
+/// [`WalOp::Word`]) that can mismatch even when the record frame itself
+/// validates — the signature of a corrupted or stale intent body.
+enum DecodedOp {
+    Ok(WalOp),
+    BadPreimage,
+}
+
 impl WalOp {
-    /// Serialize to payload words.
+    /// Serialize to payload words. `Bytes` and `Word` intents carry a
+    /// trailing FNV checksum of their pre-image, verified again at
+    /// decode: the *frame* checksum covers the log write, this one covers
+    /// the pre-image data recovery is about to install into the heap.
     fn encode(&self) -> Vec<u64> {
         match self {
             WalOp::PteSwap { a, b, pre } => {
@@ -110,14 +128,17 @@ impl WalOp {
                     buf[..chunk.len()].copy_from_slice(chunk);
                     w.push(u64::from_le_bytes(buf));
                 }
+                let sum = fnv_words(&w[3..]);
+                w.push(sum);
                 w
             }
-            WalOp::Word { at, pre } => vec![3, at.get(), *pre],
+            WalOp::Word { at, pre } => vec![3, at.get(), *pre, fnv_words(&[*pre])],
         }
     }
 
-    /// Decode from payload words (None on malformed input).
-    fn decode(w: &[u64]) -> Option<WalOp> {
+    /// Decode from payload words (None on malformed input; `BadPreimage`
+    /// when the op parses but its pre-image checksum mismatches).
+    fn decode(w: &[u64]) -> Option<DecodedOp> {
         match *w.first()? {
             1 => {
                 let pages = *w.get(3)? as usize;
@@ -125,44 +146,60 @@ impl WalOp {
                     return None;
                 }
                 let pre = (0..pages).map(|i| (w[4 + 2 * i], w[5 + 2 * i])).collect();
-                Some(WalOp::PteSwap {
+                Some(DecodedOp::Ok(WalOp::PteSwap {
                     a: VirtAddr(w[1]),
                     b: VirtAddr(w[2]),
                     pre,
-                })
+                }))
             }
             2 => {
                 let len = *w.get(2)? as usize;
-                if w.len() != 3 + len.div_ceil(WORD_BYTES as usize) {
+                let data_words = len.div_ceil(WORD_BYTES as usize);
+                if w.len() != 4 + data_words {
                     return None;
                 }
+                if fnv_words(&w[3..3 + data_words]) != w[3 + data_words] {
+                    return Some(DecodedOp::BadPreimage);
+                }
                 let mut pre = Vec::with_capacity(len);
-                for (i, &word) in w[3..].iter().enumerate() {
+                for (i, &word) in w[3..3 + data_words].iter().enumerate() {
                     let bytes = word.to_le_bytes();
                     let take = (len - i * WORD_BYTES as usize).min(WORD_BYTES as usize);
                     pre.extend_from_slice(&bytes[..take]);
                 }
-                Some(WalOp::Bytes {
+                Some(DecodedOp::Ok(WalOp::Bytes {
                     at: VirtAddr(w[1]),
                     pre,
-                })
+                }))
             }
             3 => {
-                if w.len() != 3 {
+                if w.len() != 4 {
                     return None;
                 }
-                Some(WalOp::Word {
+                if fnv_words(&[w[2]]) != w[3] {
+                    return Some(DecodedOp::BadPreimage);
+                }
+                Some(DecodedOp::Ok(WalOp::Word {
                     at: VirtAddr(w[1]),
                     pre: w[2],
-                })
+                }))
             }
             _ => None,
         }
     }
 
     /// Log-record bytes this op serializes to (for cost charging).
+    /// Computed from the op's shape, NOT from `encode()`: the pre-image
+    /// checksum word rides the frame's existing trailer budget, so cost
+    /// charges (and therefore every pre-existing run digest) are
+    /// independent of it.
     pub fn encoded_bytes(&self) -> u64 {
-        (self.encode().len() + FRAME_WORDS) as u64 * WORD_BYTES
+        let body_words = match self {
+            WalOp::PteSwap { pre, .. } => 4 + 2 * pre.len(),
+            WalOp::Bytes { pre, .. } => 3 + pre.len().div_ceil(WORD_BYTES as usize),
+            WalOp::Word { .. } => 3,
+        };
+        (body_words + FRAME_WORDS) as u64 * WORD_BYTES
     }
 
     /// Pages whose content an undo of this op rewrites.
@@ -200,6 +237,27 @@ pub enum WalPayload {
         /// Outcome code (owned by the recovery layer).
         outcome: u64,
     },
+    /// A page was demoted to the far tier: `frame`'s contents now live in
+    /// device `slot` (residency record, reserved epoch [`TIER_EPOCH`]).
+    TierDemote {
+        /// The demoted frame.
+        frame: u64,
+        /// The device slot holding its contents.
+        slot: u64,
+    },
+    /// A far page was promoted back: `frame` holds its contents again and
+    /// device `slot` is free (residency record, epoch [`TIER_EPOCH`]).
+    TierPromote {
+        /// The promoted frame.
+        frame: u64,
+        /// The device slot that held its contents.
+        slot: u64,
+    },
+    /// An intent record whose frame validates but whose pre-image
+    /// checksum does not: the log is lying about what to restore.
+    /// Decode-only (never appended); recovery must classify this as a bad
+    /// log and fail closed rather than install the corrupt pre-image.
+    BadIntent,
 }
 
 impl WalPayload {
@@ -210,6 +268,11 @@ impl WalPayload {
             WalPayload::Commit { .. } => 3,
             WalPayload::CycleAborted => 4,
             WalPayload::Recovered { .. } => 5,
+            WalPayload::TierDemote { .. } => 6,
+            WalPayload::TierPromote { .. } => 7,
+            // Decode-only: a BadIntent is what a kind-2 record becomes
+            // when its pre-image checksum fails; it is never appended.
+            WalPayload::BadIntent => 2,
         }
     }
 
@@ -219,6 +282,10 @@ impl WalPayload {
             WalPayload::Intent(op) => op.encode(),
             WalPayload::CycleAborted => Vec::new(),
             WalPayload::Recovered { outcome } => vec![*outcome],
+            WalPayload::TierDemote { frame, slot } | WalPayload::TierPromote { frame, slot } => {
+                vec![*frame, *slot]
+            }
+            WalPayload::BadIntent => Vec::new(),
         }
     }
 
@@ -227,13 +294,24 @@ impl WalPayload {
             1 => Some(WalPayload::CycleBegin {
                 meta: payload.to_vec(),
             }),
-            2 => WalOp::decode(payload).map(WalPayload::Intent),
+            2 => WalOp::decode(payload).map(|d| match d {
+                DecodedOp::Ok(op) => WalPayload::Intent(op),
+                DecodedOp::BadPreimage => WalPayload::BadIntent,
+            }),
             3 => Some(WalPayload::Commit {
                 meta: payload.to_vec(),
             }),
             4 => payload.is_empty().then_some(WalPayload::CycleAborted),
             5 => (payload.len() == 1).then(|| WalPayload::Recovered {
                 outcome: payload[0],
+            }),
+            6 => (payload.len() == 2).then(|| WalPayload::TierDemote {
+                frame: payload[0],
+                slot: payload[1],
+            }),
+            7 => (payload.len() == 2).then(|| WalPayload::TierPromote {
+                frame: payload[0],
+                slot: payload[1],
             }),
             _ => None,
         }
@@ -276,14 +354,21 @@ pub enum WalMutation {
     /// they always move live content, so the miss is guaranteed visible
     /// to the content-hash oracle.)
     DropIntent,
+    /// Flip one bit in the pre-image of each epoch's first `Bytes`/`Word`
+    /// intent *after* encoding, then frame it normally: the record's frame
+    /// checksum validates, so only the op-level pre-image checksum can
+    /// catch it. A recovery that skips the read-back verification would
+    /// silently install the corrupt pre-image into the heap.
+    CorruptPreimage,
 }
 
 impl WalMutation {
-    /// Parse `"skip-commit"` / `"drop-intent"`.
+    /// Parse `"skip-commit"` / `"drop-intent"` / `"corrupt-preimage"`.
     pub fn parse(s: &str) -> Option<WalMutation> {
         match s {
             "skip-commit" => Some(WalMutation::SkipCommit),
             "drop-intent" => Some(WalMutation::DropIntent),
+            "corrupt-preimage" => Some(WalMutation::CorruptPreimage),
             _ => None,
         }
     }
@@ -300,6 +385,10 @@ pub struct WalStats {
     pub intents_dropped: u64,
     /// Commit records suppressed by [`WalMutation::SkipCommit`].
     pub commits_skipped: u64,
+    /// Intent pre-images corrupted by [`WalMutation::CorruptPreimage`].
+    pub preimages_corrupted: u64,
+    /// Far-tier residency records appended (epoch [`TIER_EPOCH`]).
+    pub tier_records: u64,
     /// A mid-append crash tore the tail.
     pub torn: bool,
 }
@@ -317,6 +406,13 @@ pub struct WriteAheadLog {
     open_epoch: Option<u64>,
     /// [`WalMutation::DropIntent`] already claimed its victim this epoch.
     epoch_dropped: bool,
+    /// [`WalMutation::CorruptPreimage`] already claimed its victim this
+    /// epoch.
+    epoch_corrupted: bool,
+    /// Next sequence number for far-tier residency records (epoch
+    /// [`TIER_EPOCH`] has no begin/commit bracket; its records form one
+    /// ever-growing replay stream).
+    tier_seq: u64,
     /// Next epoch to assign (monotonic across the log's lifetime).
     next_epoch: u64,
     /// Namespace prefix OR-ed into every assigned epoch (fleet tenants get
@@ -359,8 +455,25 @@ impl WriteAheadLog {
     /// Append a framed record; when `tear_at` is set, write only that many
     /// words of the frame (a crash mid-append) and mark the log torn.
     fn append(&mut self, epoch: u64, seq: u64, payload: &WalPayload, tear: bool) {
-        let body = payload.encode();
+        let mut body = payload.encode();
         let kind = payload.kind_code();
+        if self.mutation == Some(WalMutation::CorruptPreimage)
+            && !self.epoch_corrupted
+            && matches!(
+                payload,
+                WalPayload::Intent(WalOp::Bytes { .. } | WalOp::Word { .. })
+            )
+        {
+            // Teeth mutation: flip a bit in the last pre-image data word
+            // (never the op checksum itself), then frame the corrupted
+            // body normally — the frame checksum below is computed over
+            // the *corrupted* body, so only the op-level pre-image
+            // checksum can expose the lie.
+            let i = body.len() - 2;
+            body[i] ^= 1;
+            self.epoch_corrupted = true;
+            self.stats.preimages_corrupted += 1;
+        }
         let mut frame = Vec::with_capacity(FRAME_WORDS + body.len());
         frame.push(WAL_MAGIC);
         frame.push(body.len() as u64);
@@ -479,6 +592,7 @@ impl Kernel {
         let epoch = self.wal.epoch_base | self.wal.next_epoch;
         self.wal.open_epoch = Some(epoch);
         self.wal.epoch_dropped = false;
+        self.wal.epoch_corrupted = false;
         self.wal.seq = 0;
         self.wal.append(epoch, 0, &WalPayload::CycleBegin { meta }, false);
         self.wal.seq = 1;
@@ -546,6 +660,34 @@ impl Kernel {
     /// restart).
     pub fn wal_scan(&self) -> WalScan {
         self.wal.scan()
+    }
+
+    /// Append a far-tier residency record ([`WalPayload::TierDemote`] or
+    /// [`WalPayload::TierPromote`]) under the reserved [`TIER_EPOCH`].
+    /// Unlike intents these are not bracketed by a cycle — they form one
+    /// append-only replay stream from which recovery rebuilds the
+    /// residency map. Charged through the bandwidth model like intents.
+    pub(crate) fn wal_tier_record(&mut self, payload: WalPayload) -> Cycles {
+        debug_assert!(matches!(
+            payload,
+            WalPayload::TierDemote { .. } | WalPayload::TierPromote { .. }
+        ));
+        if !self.wal.enabled {
+            return Cycles::ZERO;
+        }
+        let seq = self.wal.tier_seq;
+        self.wal.tier_seq += 1;
+        let kind = payload.kind_code();
+        let bytes = (2 + FRAME_WORDS) as u64 * WORD_BYTES;
+        self.wal.append(TIER_EPOCH, seq, &payload, false);
+        self.wal.stats.tier_records += 1;
+        self.trace.instant(
+            TraceKind::WalRecord,
+            Cycles::ZERO,
+            0,
+            &[("kind", kind), ("epoch", TIER_EPOCH)],
+        );
+        self.bandwidth.copy_cycles(&self.machine, bytes)
     }
 
     /// The log's activity counters.
@@ -662,6 +804,96 @@ mod tests {
         roundtrip(WalPayload::Commit { meta: Vec::new() });
         roundtrip(WalPayload::CycleAborted);
         roundtrip(WalPayload::Recovered { outcome: 2 });
+        roundtrip(WalPayload::TierDemote { frame: 17, slot: 3 });
+        roundtrip(WalPayload::TierPromote { frame: 17, slot: 3 });
+    }
+
+    #[test]
+    fn corrupt_preimage_mutation_yields_bad_intent_not_torn_tail() {
+        // The mutation flips a pre-image bit but reframes with a valid
+        // frame checksum: the scan must decode the record (no torn tail)
+        // and surface it as BadIntent via the op-level checksum.
+        for op in [
+            WalOp::Word {
+                at: VirtAddr(0x1000),
+                pre: 0xFEED,
+            },
+            WalOp::Bytes {
+                at: VirtAddr(0x2000),
+                pre: vec![7; 100],
+            },
+        ] {
+            let mut log = WriteAheadLog {
+                enabled: true,
+                mutation: Some(WalMutation::CorruptPreimage),
+                ..WriteAheadLog::default()
+            };
+            log.append(1, 1, &WalPayload::Intent(op), false);
+            assert_eq!(log.stats().preimages_corrupted, 1);
+            let scan = log.scan();
+            assert!(!scan.torn_tail, "frame checksum must still validate");
+            assert_eq!(scan.records.len(), 1);
+            assert_eq!(scan.records[0].payload, WalPayload::BadIntent);
+        }
+        // PteSwap intents are not covered by the mutation (no op checksum).
+        let mut log = WriteAheadLog {
+            enabled: true,
+            mutation: Some(WalMutation::CorruptPreimage),
+            ..WriteAheadLog::default()
+        };
+        log.append(
+            1,
+            1,
+            &WalPayload::Intent(WalOp::PteSwap {
+                a: VirtAddr(0x1000),
+                b: VirtAddr(0x2000),
+                pre: vec![(1, 2)],
+            }),
+            false,
+        );
+        assert_eq!(log.stats().preimages_corrupted, 0);
+        assert!(matches!(
+            log.scan().records[0].payload,
+            WalPayload::Intent(WalOp::PteSwap { .. })
+        ));
+    }
+
+    #[test]
+    fn encoded_bytes_excludes_the_preimage_checksum_word() {
+        // Cost charges must not move with the S2 checksum word: Word
+        // encodes to 4 words but charges for 3 + framing.
+        let w = WalOp::Word {
+            at: VirtAddr(0x1000),
+            pre: 9,
+        };
+        assert_eq!(w.encode().len(), 4);
+        assert_eq!(w.encoded_bytes(), (3 + FRAME_WORDS) as u64 * WORD_BYTES);
+        let b = WalOp::Bytes {
+            at: VirtAddr(0x2000),
+            pre: vec![1; 64],
+        };
+        assert_eq!(b.encode().len(), 3 + 8 + 1);
+        assert_eq!(b.encoded_bytes(), (3 + 8 + FRAME_WORDS) as u64 * WORD_BYTES);
+    }
+
+    #[test]
+    fn tier_records_live_in_the_reserved_epoch() {
+        use svagc_metrics::MachineConfig;
+        let mut k = Kernel::new(MachineConfig::i5_7600(), 16);
+        k.set_wal_enabled(true);
+        k.set_wal_namespace(5);
+        let c = k.wal_tier_record(WalPayload::TierDemote { frame: 4, slot: 0 });
+        assert!(c > Cycles::ZERO, "tier records are cost-charged");
+        k.wal_tier_record(WalPayload::TierPromote { frame: 4, slot: 0 });
+        let scan = k.wal_scan();
+        assert_eq!(scan.records.len(), 2);
+        // Namespacing never touches the reserved epoch, and seq increments.
+        assert!(scan.records.iter().all(|r| r.epoch == TIER_EPOCH));
+        assert_eq!(
+            scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(k.wal_stats().tier_records, 2);
     }
 
     #[test]

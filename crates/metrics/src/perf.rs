@@ -47,6 +47,8 @@ pub struct PerfCounters {
     pub swap_faults_injected: u64,
     /// Pages rewritten by transaction rollbacks (aborted GC cycles).
     pub rollback_pages: u64,
+    /// Far-tier pages fetched on access (demand promotions).
+    pub tier_fetches: u64,
 }
 
 impl PerfCounters {
@@ -128,6 +130,7 @@ impl Add for PerfCounters {
             gc_cycles: self.gc_cycles + o.gc_cycles,
             swap_faults_injected: self.swap_faults_injected + o.swap_faults_injected,
             rollback_pages: self.rollback_pages + o.rollback_pages,
+            tier_fetches: self.tier_fetches + o.tier_fetches,
         }
     }
 }
@@ -160,6 +163,7 @@ impl Sub for PerfCounters {
             gc_cycles: self.gc_cycles - o.gc_cycles,
             swap_faults_injected: self.swap_faults_injected - o.swap_faults_injected,
             rollback_pages: self.rollback_pages - o.rollback_pages,
+            tier_fetches: self.tier_fetches - o.tier_fetches,
         }
     }
 }

@@ -59,6 +59,11 @@ pub enum VmError {
     /// The tenant id is not registered with the frame pool (or is already
     /// taken, for registration).
     NoSuchTenant(u16),
+    /// A page demoted to the far-memory tier could not be fetched back
+    /// (the device failed permanently while holding the only copy). The
+    /// access cannot be satisfied; the run must surface device loss, not
+    /// fabricate data.
+    FarPageLost(FrameId),
 }
 
 impl fmt::Display for VmError {
@@ -90,6 +95,9 @@ impl fmt::Display for VmError {
                 )
             }
             VmError::NoSuchTenant(t) => write!(f, "tenant{t} not registered with the frame pool"),
+            VmError::FarPageLost(frame) => {
+                write!(f, "far-tier page lost: frame {} unfetchable (device failed)", frame.0)
+            }
         }
     }
 }

@@ -116,9 +116,12 @@ pub struct TenantFrameStats {
     pub quota: u32,
     /// Frames of the quota reserved for [`AllocContext::Gc`] charges.
     pub headroom: u32,
-    /// Frames currently charged to the tenant.
+    /// Frames currently charged to the tenant and resident in DRAM.
     pub in_use: u32,
-    /// High-water mark of simultaneously charged frames.
+    /// Frames currently charged to the tenant but demoted to the far
+    /// tier (owned, but not consuming DRAM budget).
+    pub far_in_use: u32,
+    /// High-water mark of simultaneously charged DRAM-resident frames.
     pub peak: u32,
     /// Charges denied over the tenant's lifetime (typed back-pressure).
     pub denials: u64,
@@ -133,6 +136,11 @@ struct TenantState {
     quota: u32,
     headroom: u32,
     in_use: u32,
+    /// Owned frames whose contents live on the far tier. They stay in the
+    /// ownership map (the frame is still the tenant's — its DRAM cell is
+    /// quarantined until promotion) but stop counting against the DRAM
+    /// pressure signal: demotion is supposed to *relieve* pressure.
+    far_in_use: u32,
     peak: u32,
     denials: u64,
     quarantined: bool,
@@ -224,6 +232,7 @@ impl FramePool {
             quota,
             headroom,
             in_use: 0,
+            far_in_use: 0,
             peak: 0,
             denials: 0,
             quarantined: false,
@@ -268,9 +277,13 @@ impl FramePool {
             }
         }
         let s = g.tenant_mut(tenant)?;
-        s.in_use = s.in_use.saturating_sub(released);
-        debug_assert_eq!(s.in_use, 0, "ownership map and counter disagree");
+        debug_assert_eq!(
+            s.in_use + s.far_in_use,
+            released,
+            "ownership map and counters disagree"
+        );
         s.in_use = 0;
+        s.far_in_use = 0;
         Ok(released)
     }
 
@@ -287,10 +300,18 @@ impl FramePool {
         self.reclaim(tenant, false)
     }
 
-    /// Frames currently charged across all tenants.
+    /// DRAM-resident frames currently charged across all tenants.
     pub fn in_use(&self) -> u32 {
         let g = self.inner.lock().expect("frame pool poisoned");
         g.tenants.iter().map(|s| s.in_use).sum()
+    }
+
+    /// Far-tier frames currently charged across all tenants. The tier's
+    /// leak oracle cross-checks this against the device's occupied slots:
+    /// after end-of-run promote-all, both must be zero.
+    pub fn far_in_use(&self) -> u32 {
+        let g = self.inner.lock().expect("frame pool poisoned");
+        g.tenants.iter().map(|s| s.far_in_use).sum()
     }
 
     /// The pool's total budget.
@@ -305,6 +326,7 @@ impl FramePool {
             quota: s.quota,
             headroom: s.headroom,
             in_use: s.in_use,
+            far_in_use: s.far_in_use,
             peak: s.peak,
             denials: s.denials,
             quarantined: s.quarantined,
@@ -336,10 +358,10 @@ impl FramePool {
                     owned += 1;
                 }
             }
-            if owned != s.in_use {
+            if owned != s.in_use + s.far_in_use {
                 return Err(format!(
-                    "{}: ownership map says {} frame(s), counter says {}",
-                    s.id, owned, s.in_use
+                    "{}: ownership map says {} frame(s), counters say {} resident + {} far",
+                    s.id, owned, s.in_use, s.far_in_use
                 ));
             }
             if s.quarantined && owned != 0 {
@@ -442,6 +464,70 @@ impl FrameLease {
         Ok(())
     }
 
+    /// Move one charged frame's budget from DRAM to the far tier: the
+    /// tenant still owns the frame (ownership map untouched) but it stops
+    /// counting against the DRAM pressure signal. The frame must be
+    /// charged to this tenant.
+    pub fn demote_charge(&self, frame: FrameId) -> Result<(), VmError> {
+        let mut g = self.inner.lock().expect("frame pool poisoned");
+        let tenant = self.tenant;
+        let s = g.tenant_mut(tenant)?;
+        if s.quarantined {
+            return Ok(());
+        }
+        if frame.0 >= s.quota {
+            return Err(VmError::FrameOutOfRange(frame));
+        }
+        let global = (s.base + frame.0) as usize;
+        match g.owner[global] {
+            Some(owner) if owner == tenant => {}
+            Some(owner) => {
+                return Err(VmError::DualOwnership {
+                    frame: frame.0,
+                    owner: owner.0,
+                    claimant: tenant.0,
+                })
+            }
+            None => return Err(VmError::FrameNotAllocated(frame)),
+        }
+        let s = g.tenant_mut(tenant)?;
+        s.in_use = s.in_use.saturating_sub(1);
+        s.far_in_use += 1;
+        Ok(())
+    }
+
+    /// Move one far-tier frame's budget back to DRAM (promotion). Never
+    /// denied: the frame was already owned, so the tenant's total charge
+    /// is unchanged — promotion is correctness-driven, like a GC charge.
+    pub fn promote_charge(&self, frame: FrameId) -> Result<(), VmError> {
+        let mut g = self.inner.lock().expect("frame pool poisoned");
+        let tenant = self.tenant;
+        let s = g.tenant_mut(tenant)?;
+        if s.quarantined {
+            return Ok(());
+        }
+        if frame.0 >= s.quota {
+            return Err(VmError::FrameOutOfRange(frame));
+        }
+        let global = (s.base + frame.0) as usize;
+        match g.owner[global] {
+            Some(owner) if owner == tenant => {}
+            Some(owner) => {
+                return Err(VmError::DualOwnership {
+                    frame: frame.0,
+                    owner: owner.0,
+                    claimant: tenant.0,
+                })
+            }
+            None => return Err(VmError::FrameNotAllocated(frame)),
+        }
+        let s = g.tenant_mut(tenant)?;
+        s.far_in_use = s.far_in_use.saturating_sub(1);
+        s.in_use += 1;
+        s.peak = s.peak.max(s.in_use);
+        Ok(())
+    }
+
     /// The tenant's current pressure on its mutator budget.
     pub fn pressure(&self) -> Pressure {
         let g = self.inner.lock().expect("frame pool poisoned");
@@ -471,6 +557,7 @@ impl FrameLease {
             quota: s.quota,
             headroom: s.headroom,
             in_use: s.in_use,
+            far_in_use: s.far_in_use,
             peak: s.peak,
             denials: s.denials,
             quarantined: s.quarantined,
@@ -588,6 +675,37 @@ mod tests {
         assert!(a2.charge(AllocContext::Heap, FrameId(1)).is_err());
         pool.reset_tenant(TenantId(1)).unwrap();
         a2.charge(AllocContext::Heap, FrameId(1)).unwrap();
+    }
+
+    #[test]
+    fn demote_moves_the_charge_off_the_pressure_signal() {
+        let pool = FramePool::new(20);
+        let l = pool.register(TenantId(1), 10, 0).unwrap();
+        for i in 0..8 {
+            l.charge(AllocContext::Heap, FrameId(i)).unwrap();
+        }
+        assert_eq!(l.pressure(), Pressure::Elevated);
+        // Demoting four pages relieves DRAM pressure without releasing
+        // ownership (the audit still sees 8 owned frames).
+        for i in 0..4 {
+            l.demote_charge(FrameId(i)).unwrap();
+        }
+        assert_eq!(l.pressure(), Pressure::Nominal);
+        assert_eq!(pool.in_use(), 4);
+        assert_eq!(pool.far_in_use(), 4);
+        assert_eq!(pool.audit().unwrap(), 8);
+        // Promotion moves the budget back; totals stay conserved.
+        l.promote_charge(FrameId(0)).unwrap();
+        assert_eq!((pool.in_use(), pool.far_in_use()), (5, 3));
+        // Charges on unowned frames are typed errors.
+        assert!(matches!(
+            l.demote_charge(FrameId(9)),
+            Err(VmError::FrameNotAllocated(FrameId(9)))
+        ));
+        // Quarantine reclaims DRAM and far charges alike.
+        pool.release_tenant(TenantId(1)).unwrap();
+        assert_eq!((pool.in_use(), pool.far_in_use()), (0, 0));
+        assert_eq!(pool.audit().unwrap(), 0);
     }
 
     #[test]

@@ -7,10 +7,13 @@ use svagc_baselines::{ParallelGc, Shenandoah};
 use svagc_core::{
     recover, Collector, ConcurrentCollector, DegradePolicy, GcConfig, GcError, GcLog,
     Lisp2Collector, PressureEscalator, PressureStats, RecoveryError, RecoveryReport,
-    RetryPolicy, SchedulerKind,
+    RetryPolicy, SchedulerKind, TierController, TierCtlStats, TierPolicy,
 };
 use svagc_heap::{Heap, HeapConfig, HeapError, HeapVerifier};
-use svagc_kernel::{CoreId, CrashPlan, CrashPoint, FaultConfig, FaultPlan, Kernel, WalMutation};
+use svagc_kernel::{
+    CoreId, CrashPlan, CrashPoint, DeviceFaultConfig, DeviceFaultPlan, DeviceStats, FarDevice,
+    FarTier, FaultConfig, FaultPlan, Kernel, TierError, TierStats, WalMutation,
+};
 use svagc_metrics::{
     BandwidthModel, Cycles, MachineConfig, PerfCounters, Registry, TraceEvent,
 };
@@ -311,6 +314,28 @@ pub struct RunConfig {
     /// in [`ConcurrentCollector`]; Shenandoah arms its SATB barrier.
     /// The compacted heap is bit-identical to the STW run's.
     pub concurrent: bool,
+    /// Arm cold-object tiering: keep this fraction of the heap's
+    /// committed pages resident in DRAM and demote the cold rest to a
+    /// simulated far-memory device after every GC cycle (`None` = no
+    /// far tier; behavior byte-identical to pre-tier runs). The run ends
+    /// with a promote-all and the invisibility oracle: residency and
+    /// device empty, heap hash equal to the DRAM-only run's.
+    pub dram_fraction: Option<f64>,
+    /// Per-device-request fault probability (0.0 = fault-free device),
+    /// split across transient EIO / latency spikes / torn writebacks per
+    /// [`DeviceFaultConfig::uniform`].
+    pub device_fault_rate: f64,
+    /// Seed of the device fault plan.
+    pub device_fault_seed: u64,
+    /// Deterministically take the device offline for good after this
+    /// many requests (`None` = never). The ladder's permanent rung:
+    /// writebacks degrade to DRAM-only, lost fetches end the run with
+    /// the device-failed exit code.
+    pub device_offline_after: Option<u64>,
+    /// Override of [`TierPolicy::max_batch`] (pages demoted per GC
+    /// pass). The default cap bounds the added pause; sweeps that want
+    /// the DRAM-fraction target actually reached raise it.
+    pub tier_max_batch: Option<usize>,
 }
 
 impl RunConfig {
@@ -346,7 +371,37 @@ impl RunConfig {
             pressure: false,
             wal_namespace: 0,
             concurrent: false,
+            dram_fraction: None,
+            device_fault_rate: 0.0,
+            device_fault_seed: 0xD1CE,
+            device_offline_after: None,
+            tier_max_batch: None,
         }
+    }
+
+    /// Arm cold-object tiering at the given resident DRAM fraction.
+    pub fn with_tiering(mut self, dram_fraction: f64) -> RunConfig {
+        self.dram_fraction = Some(dram_fraction);
+        self
+    }
+
+    /// Enable deterministic far-device fault injection at probability `p`.
+    pub fn with_device_faults(mut self, p: f64, seed: u64) -> RunConfig {
+        self.device_fault_rate = p;
+        self.device_fault_seed = seed;
+        self
+    }
+
+    /// Kill the far device permanently after `n` requests.
+    pub fn with_device_offline_after(mut self, n: u64) -> RunConfig {
+        self.device_offline_after = Some(n);
+        self
+    }
+
+    /// Raise the per-pass demotion cap (pages per GC cycle).
+    pub fn with_tier_batch(mut self, max_batch: usize) -> RunConfig {
+        self.tier_max_batch = Some(max_batch);
+        self
     }
 
     /// Enable SATB concurrent marking.
@@ -501,6 +556,18 @@ pub struct RunResult {
     pub frames_in_use: u32,
     /// Pressure-ladder counters (all zero when pressure was off).
     pub pressure: PressureStats,
+    /// Kernel far-tier counters (all zero when tiering was off).
+    pub tier: TierStats,
+    /// Tiering-policy counters (all zero when tiering was off).
+    pub tier_ctl: TierCtlStats,
+    /// Far-device counters (all zero when tiering was off).
+    pub device: DeviceStats,
+    /// Cycles the tier demote passes consumed (included in
+    /// [`RunResult::total_wall`] as GC overhead).
+    pub tier_cycles: Cycles,
+    /// The tier controller's final mode name: `"off"`, `"tiered"`, or
+    /// `"dram-only"` (the degrade rung — what the chaos CI greps for).
+    pub tier_mode: &'static str,
 }
 
 impl RunResult {
@@ -558,6 +625,20 @@ impl RunResult {
         if self.tlb_oracle.enabled {
             reg.add("gc.tlb.checks", self.tlb_oracle.checks);
         }
+        // Tier keys only when tiering ran: tiering-off registries stay
+        // byte-identical to pre-tier ones (the perf-baseline digests).
+        if self.tier_mode != "off" {
+            reg.add("gc.tier.demotions", self.tier.demotions);
+            reg.add("gc.tier.promotions", self.tier.promotions);
+            reg.add("gc.tier.fetch_on_access", self.tier.fetch_on_access);
+            reg.add("gc.tier.discards", self.tier.discards);
+            reg.add("gc.tier.retries", self.tier.writeback_retries + self.tier.fetch_retries);
+            reg.add("gc.tier.cycles", self.tier.tier_cycles);
+            reg.add("gc.tier.far_peak", u64::from(self.tier.far_peak));
+            reg.add("gc.tier.device_faults", self.device.faults);
+            reg.add("gc.tier.degraded", self.tier_ctl.degraded);
+            reg.add("gc.tier.recovered", self.tier_ctl.recovered);
+        }
         reg
     }
 }
@@ -580,6 +661,12 @@ pub enum FailureKind {
     /// collect-once retry) could not bring it back under its frame budget.
     /// Strictly tenant-local in fleet runs.
     OutOfMemory,
+    /// The far-memory device permanently lost data the heap needs (a
+    /// fetch failed after retries, or the end-of-run promote-all could
+    /// not drain the tier). Past the last rung of the tiering ladder —
+    /// DRAM-only degradation can no longer help because the bytes are
+    /// gone. Strictly tenant-local.
+    DeviceFailed,
     /// Anything else: verification failure, oracle violation.
     Other,
 }
@@ -587,8 +674,9 @@ pub enum FailureKind {
 impl FailureKind {
     /// The CLI process exit code for this failure class. Stable contract
     /// for scripts: 10 watchdog, 11 fault abort, 12 degraded-mode ladder
-    /// exhausted, 13 machine crashed, 15 tenant out of memory, 1 anything
-    /// else (2 is usage, 14 is recovery-failed on the CLI side).
+    /// exhausted, 13 machine crashed, 15 tenant out of memory, 16 far
+    /// device failed, 1 anything else (2 is usage, 14 is recovery-failed
+    /// on the CLI side).
     pub fn exit_code(&self) -> i32 {
         match self {
             FailureKind::Watchdog => 10,
@@ -596,6 +684,7 @@ impl FailureKind {
             FailureKind::DegradeExhausted => 12,
             FailureKind::Crash(_) => 13,
             FailureKind::OutOfMemory => 15,
+            FailureKind::DeviceFailed => 16,
             FailureKind::Other => 1,
         }
     }
@@ -608,6 +697,7 @@ impl FailureKind {
             FailureKind::DegradeExhausted => "degrade-exhausted",
             FailureKind::Crash(_) => "crash",
             FailureKind::OutOfMemory => "out-of-memory",
+            FailureKind::DeviceFailed => "device-failed",
             FailureKind::Other => "other",
         }
     }
@@ -634,6 +724,11 @@ impl std::error::Error for RunFailure {}
 fn classify(e: &GcError) -> FailureKind {
     if let Some(point) = e.crash_point() {
         return FailureKind::Crash(point);
+    }
+    // Device loss outranks the operational bucket: a lost far page is not
+    // a retryable SwapVA fault, it is the end of the tiering ladder.
+    if e.is_device_failure() {
+        return FailureKind::DeviceFailed;
     }
     match e {
         GcError::Exhausted(_) => FailureKind::DegradeExhausted,
@@ -900,10 +995,35 @@ fn run_inner(
         };
         kernel.set_fault_plan(Some(FaultPlan::new(fc)));
     }
+    if cfg.dram_fraction.is_some() {
+        // Device capacity covers the whole heap plus slack: capacity is
+        // never the failure under test, DeviceFull only steers policy.
+        let capacity = (heap_bytes / svagc_vmem::PAGE_SIZE) as u32 + 64;
+        let mut device = FarDevice::new(capacity);
+        if cfg.device_fault_rate > 0.0 || cfg.device_offline_after.is_some() {
+            let mut dc =
+                DeviceFaultConfig::uniform(cfg.device_fault_rate, cfg.device_fault_seed);
+            if let Some(n) = cfg.device_offline_after {
+                dc = dc.with_offline_after(n);
+            }
+            device.set_fault_plan(Some(DeviceFaultPlan::new(dc)));
+        }
+        kernel.set_far_tier(Some(FarTier::new(device, RetryPolicy::default())));
+        // fold_epochs partitions tier records out of the GC epoch stream,
+        // so recovery needs the journal whenever residency can change.
+        kernel.set_wal_enabled(true);
+    }
 
     let mut env = JvmEnv::new(&mut kernel, heap, collector);
     if cfg.pressure {
         env.pressure = PressureEscalator::new(true);
+    }
+    if let Some(frac) = cfg.dram_fraction {
+        let mut policy = TierPolicy::new(frac);
+        if let Some(b) = cfg.tier_max_batch {
+            policy.max_batch = b;
+        }
+        env.tier = TierController::new(policy);
     }
     let steps = cfg.steps.unwrap_or_else(|| workload.default_steps());
     let mut completed = 0usize;
@@ -943,6 +1063,61 @@ fn run_inner(
     workload.verify(&mut env).map_err(other_failure)?;
     let verify_ok = true;
 
+    // End-of-run tier drain + invisibility oracle: promote every far page
+    // home, then demand the tier left no trace — residency empty, device
+    // empty, no far-charged pool frames. The content hash below is then
+    // computed over an all-resident heap, so equal hashes against a
+    // DRAM-only run prove the tier was invisible to the mutator. The drain
+    // itself is oracle machinery, not measured work: its cycles stay out
+    // of `total_wall` (cold objects would have stayed far in production).
+    let tier_mode = if env.tier.enabled() { env.tier.mode().name() } else { "off" };
+    let tier_ctl_stats = env.tier.stats;
+    let tier_cycles = env.tier_cycles;
+    if env.kernel.far_tier().is_some() {
+        if let Err(e) = env.kernel.tier_promote_all() {
+            let JvmEnv { heap, .. } = env;
+            // A seeded crash point firing inside the drain is a machine
+            // crash (recovery's job), not a device verdict.
+            if let TierError::Crashed { point } = e {
+                return Ok(RunEnd::Crashed {
+                    point,
+                    steps_completed: completed,
+                    kernel: Box::new(kernel),
+                    space: heap.into_space(),
+                });
+            }
+            return Err(Box::new(RunFailure {
+                kind: FailureKind::DeviceFailed,
+                message: format!(
+                    "end-of-run promote-all could not drain the far tier: {e}"
+                ),
+            }));
+        }
+    }
+    let (tier_stats, device_stats) = match env.kernel.far_tier() {
+        Some(t) => {
+            if t.far_count() != 0 || t.slots_in_use() != 0 {
+                return Err(other_failure(format!(
+                    "tier invisibility oracle: {} far frame(s) and {} device \
+                     slot(s) survived the end-of-run promote-all",
+                    t.far_count(),
+                    t.slots_in_use()
+                )));
+            }
+            (t.stats(), t.device_stats())
+        }
+        None => (TierStats::default(), DeviceStats::default()),
+    };
+    if let Some(lease) = env.kernel.vmem.frames.lease() {
+        let far_charged = lease.stats().far_in_use;
+        if far_charged != 0 {
+            return Err(other_failure(format!(
+                "tier invisibility oracle: {far_charged} pool frame(s) still \
+                 charged as far after the end-of-run promote-all"
+            )));
+        }
+    }
+
     let gc_log = env.collector.log().clone();
     let app_cycles = env.app_cycles;
     let frag_ratio = env.heap.stats.frag_ratio();
@@ -971,7 +1146,8 @@ fn run_inner(
     let parallelism = (workload.threads() as usize).min(cores).max(1) as u64;
     // Mutators absorb IPI interference from this JVM's own shootdowns too.
     let app_wall = app_cycles / parallelism + gc_log.total_interference() / parallelism;
-    let total_wall = app_wall + gc_log.total_pause();
+    // Tier demote passes ran inside the GC safepoint window: GC overhead.
+    let total_wall = app_wall + gc_log.total_pause() + tier_cycles;
 
     Ok(RunEnd::Completed(Box::new(RunResult {
         workload: workload.name(),
@@ -996,6 +1172,11 @@ fn run_inner(
         tlb_oracle: oracle_stats,
         frames_in_use,
         pressure: pressure_stats,
+        tier: tier_stats,
+        tier_ctl: tier_ctl_stats,
+        device: device_stats,
+        tier_cycles,
+        tier_mode,
     })))
 }
 

@@ -1,7 +1,7 @@
 //! The simulated JVM a workload runs in: heap + roots + collector +
 //! mutator-time accounting, with GC-on-demand allocation.
 
-use svagc_core::{Collector, GcError, PressureAction, PressureEscalator};
+use svagc_core::{Collector, GcError, PressureAction, PressureEscalator, TierController};
 use svagc_heap::{Heap, HeapError, ObjRef, ObjShape, RootId, RootSet, TlabAllocator};
 use svagc_kernel::{CoreId, Kernel};
 use svagc_metrics::{AccessKind, Cycles};
@@ -31,6 +31,14 @@ pub struct JvmEnv<'a> {
     /// (arming changes the allocation path, so pressure-off runs are
     /// byte-identical to pre-pressure ones).
     pub pressure: PressureEscalator,
+    /// Cold-object tiering policy. Inert by default; drivers arm it
+    /// (together with a kernel far tier) to demote cold heap pages after
+    /// every GC cycle. Off ⇒ every collect path is byte-identical to
+    /// pre-tier code.
+    pub tier: TierController,
+    /// Simulated cycles the tier demote passes consumed (GC overhead,
+    /// charged to wall time alongside the pauses).
+    pub tier_cycles: Cycles,
 }
 
 impl<'a> JvmEnv<'a> {
@@ -50,7 +58,26 @@ impl<'a> JvmEnv<'a> {
             app_cycles: Cycles::ZERO,
             core: CoreId(0),
             pressure: PressureEscalator::new(false),
+            tier: TierController::off(),
+            tier_cycles: Cycles::ZERO,
         }
+    }
+
+    /// The post-cycle tiering pass: demote cold pages until the DRAM
+    /// target holds (or degrade, per the controller's ladder). Must run
+    /// after *every* collection, whichever path triggered it, so the
+    /// hotness signal and the resident set stay in step with the GC
+    /// schedule.
+    fn tier_pass(&mut self) -> Result<(), GcError> {
+        if !self.tier.enabled() {
+            return Ok(());
+        }
+        let (base, top) = (self.heap.base(), self.heap.top());
+        let t = self
+            .tier
+            .after_cycle(self.kernel, self.heap.space(), base, top)?;
+        self.tier_cycles += t;
+        Ok(())
     }
 
     /// Allocate through the TLAB front-end, collecting once if the heap is
@@ -77,6 +104,7 @@ impl<'a> JvmEnv<'a> {
                 self.tlab.retire();
                 self.collector
                     .collect(self.kernel, &mut self.heap, &mut self.roots)?;
+                self.tier_pass()?;
                 let (obj, t) = self
                     .tlab
                     .alloc(&mut self.heap, self.kernel, self.core, shape)?;
@@ -155,6 +183,7 @@ impl<'a> JvmEnv<'a> {
             }
         }
         self.heap.trim_commit(self.kernel)?;
+        self.tier_pass()?;
         Ok(())
     }
 
@@ -296,6 +325,7 @@ impl<'a> JvmEnv<'a> {
     pub fn force_gc(&mut self) -> Result<(), GcError> {
         self.collector
             .collect(self.kernel, &mut self.heap, &mut self.roots)?;
+        self.tier_pass()?;
         Ok(())
     }
 }

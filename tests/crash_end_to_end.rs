@@ -118,8 +118,8 @@ fn classified_run_reports_crashes_with_exit_code_13() {
     assert!(f.message.contains("mid-ipi"), "{}", f.message);
 }
 
-/// The exit-code contract scripts depend on (10/11/12/13/15, 1 for the
-/// rest; 14 is the CLI-side recovery-failed code) is stable.
+/// The exit-code contract scripts depend on (10/11/12/13/15/16, 1 for
+/// the rest; 14 is the CLI-side recovery-failed code) is stable.
 #[test]
 fn failure_exit_codes_are_a_stable_contract() {
     assert_eq!(FailureKind::Watchdog.exit_code(), 10);
@@ -127,10 +127,12 @@ fn failure_exit_codes_are_a_stable_contract() {
     assert_eq!(FailureKind::DegradeExhausted.exit_code(), 12);
     assert_eq!(FailureKind::Crash(CrashPoint::MidIpi).exit_code(), 13);
     assert_eq!(FailureKind::OutOfMemory.exit_code(), 15);
+    assert_eq!(FailureKind::DeviceFailed.exit_code(), 16);
     assert_eq!(FailureKind::Other.exit_code(), 1);
     // The labels are greppable CI surface, pinned alongside the codes.
     assert_eq!(FailureKind::OutOfMemory.label(), "out-of-memory");
     assert_eq!(FailureKind::FaultAbort.label(), "fault-abort");
+    assert_eq!(FailureKind::DeviceFailed.label(), "device-failed");
 }
 
 /// Teeth: a WAL that silently drops a PTE-swap intent leaves a live
@@ -147,6 +149,23 @@ fn dropped_intents_fail_recovery_closed() {
     assert!(
         err.contains("hybrid") || err.contains("mismatch"),
         "unexpected failure reason: {err}"
+    );
+}
+
+/// Teeth: an intent record whose pre-image was bit-flipped in the log
+/// decodes as `BadIntent` — the pre-image checksum no longer matches —
+/// and recovery must refuse to replay a payload it cannot trust.
+#[test]
+fn corrupted_preimages_fail_recovery_closed() {
+    let rep = crash_run(
+        vec![CrashPlan::first(CrashPoint::AfterBatchApply)],
+        Some(WalMutation::CorruptPreimage),
+    );
+    let summary = rep.recovery.expect("recovery was requested");
+    let err = summary.outcome.expect_err("a corrupted log must not verify");
+    assert!(
+        err.contains("checksum"),
+        "the refusal must name the checksum failure: {err}"
     );
 }
 
